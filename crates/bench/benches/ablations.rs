@@ -1,0 +1,99 @@
+//! Ablation benches for the design choices DESIGN.md calls out, driven by
+//! the typed runners in `ras_core::experiments::ablations`:
+//!
+//! * restart rate and total overhead as a function of the preemption
+//!   quantum (the optimism assumption, §5.3);
+//! * PC check at suspend vs at resume (§4.1);
+//! * user-level restart vs in-kernel recovery (§4.1);
+//! * the instruction mix each mechanism retires per critical section.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ras_core::experiments::ablations::{
+    check_time_comparison, instruction_mix, quantum_sweep, recovery_home_comparison,
+    render_instruction_mix, render_quantum_sweep,
+};
+use ras_core::report::AsciiTable;
+use ras_core::workloads::{counter_loop, CounterSpec};
+use ras_core::{run_guest, CheckTime, Mechanism, RunOptions};
+
+fn print_reports() {
+    let sweep = quantum_sweep(
+        Mechanism::RasInline,
+        &[50, 200, 1_000, 10_000, 250_000],
+        30_000,
+    );
+    eprintln!("\n{}", render_quantum_sweep(Mechanism::RasInline, &sweep));
+
+    let mut t = AsciiTable::new(
+        "Ablation: PC check at suspend (Mach) vs at resume (Taos)",
+        &["Mechanism", "Check", "Cycles", "Restarts"],
+    );
+    for mechanism in [Mechanism::RasRegistered, Mechanism::RasInline] {
+        for row in check_time_comparison(mechanism, 30_000) {
+            t.row(vec![
+                row.mechanism.id().to_owned(),
+                format!("{:?}", row.check),
+                row.cycles.to_string(),
+                row.restarts.to_string(),
+            ]);
+        }
+    }
+    eprintln!("\n{t}");
+
+    let mut t = AsciiTable::new(
+        "Ablation: recovery in the kernel vs at user level (§4.1)",
+        &["Mechanism", "µs/op", "Kernel cycles", "Recovery events"],
+    );
+    for row in recovery_home_comparison(30_000) {
+        t.row(vec![
+            row.mechanism.id().to_owned(),
+            format!("{:.3}", row.us_per_op),
+            row.kernel_cycles.to_string(),
+            row.recovery_events.to_string(),
+        ]);
+    }
+    eprintln!("\n{t}");
+
+    let mix = instruction_mix(
+        &[
+            Mechanism::RasInline,
+            Mechanism::RasRegistered,
+            Mechanism::KernelEmulation,
+            Mechanism::LamportPerLock,
+            Mechanism::LamportBundled,
+        ],
+        20_000,
+    );
+    eprintln!("\n{}", render_instruction_mix(&mix));
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_reports();
+
+    // Host-cost of the two check placements.
+    let mut group = c.benchmark_group("ablations");
+    let spec = CounterSpec {
+        iterations: 5_000,
+        workers: 2,
+        ..Default::default()
+    };
+    for check in [CheckTime::OnSuspend, CheckTime::OnResume] {
+        let built = counter_loop(Mechanism::RasInline, &spec);
+        let options = RunOptions {
+            quantum: 500,
+            check_time: check,
+            ..RunOptions::default()
+        };
+        group.bench_function(format!("check/{check:?}"), |b| {
+            b.iter(|| run_guest(&built, &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ras_bench::criterion();
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Host-native comparison: the paper's algorithms with real atomics
+//! against today's synchronization primitives — a modern Table 4 of
+//! sorts, run on the machine executing this benchmark.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use ras_native::{BundledTas, DekkerMutex, FastMutex, PetersonMutex, RestartableU32, Side};
+
+fn bench_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_uncontended");
+
+    let fast = FastMutex::new(1);
+    let slot = fast.slot().unwrap();
+    group.bench_function("lamport_fast_mutex", |b| {
+        b.iter(|| {
+            let _g = fast.lock(slot);
+        })
+    });
+
+    let meta = FastMutex::new(1);
+    let mslot = meta.slot().unwrap();
+    let bundled = BundledTas::new();
+    group.bench_function("bundled_meta_tas", |b| {
+        b.iter(|| {
+            let held = bundled.test_and_set(&meta, mslot);
+            assert!(!held);
+            bundled.clear();
+        })
+    });
+
+    let cell = RestartableU32::new(0);
+    group.bench_function("restartable_fetch_add", |b| {
+        b.iter(|| cell.update(|v| v.wrapping_add(1)))
+    });
+
+    let peterson = PetersonMutex::new();
+    group.bench_function("peterson_mutex", |b| {
+        b.iter(|| {
+            let _g = peterson.lock(Side::Left);
+        })
+    });
+
+    let dekker = DekkerMutex::new();
+    group.bench_function("dekker_mutex", |b| {
+        b.iter(|| {
+            let _g = dekker.lock(Side::Left);
+        })
+    });
+
+    let atomic = AtomicU32::new(0);
+    group.bench_function("hardware_swap_tas", |b| {
+        b.iter(|| {
+            let old = atomic.swap(1, Ordering::SeqCst);
+            atomic.store(0, Ordering::SeqCst);
+            old
+        })
+    });
+
+    let mutex = Mutex::new(0u64);
+    group.bench_function("parking_lot_mutex", |b| {
+        b.iter(|| {
+            let mut g = mutex.lock();
+            *g += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ras_bench::criterion();
+    targets = bench_native
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench target regenerating Table 1 (§5.1 microbenchmarks) and measuring
+//! the simulator's host-side throughput on it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ras_bench::scales;
+use ras_core::experiments::{render_table1, table1};
+use ras_core::workloads::{counter_loop, CounterSpec};
+use ras_core::{run_guest, Mechanism, RunOptions};
+
+fn bench_table1(c: &mut Criterion) {
+    // The reproduction itself: run the experiment and print the table.
+    let rows = table1(scales::table1());
+    eprintln!("\n{}", render_table1(&rows));
+
+    // Host-side timing of each mechanism's simulation.
+    let mut group = c.benchmark_group("table1");
+    for mechanism in Mechanism::table1_lineup() {
+        let spec = CounterSpec {
+            iterations: 5_000,
+            workers: 1,
+            ..Default::default()
+        };
+        let built = counter_loop(mechanism, &spec);
+        let options = RunOptions::default();
+        group.bench_function(mechanism.id(), |b| {
+            b.iter(|| run_guest(&built, &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ras_bench::criterion();
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench target regenerating Table 2 (§5.2 thread-management benchmarks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ras_bench::scales;
+use ras_core::experiments::{render_table2, table2};
+use ras_core::workloads::{mutex_bench, ping_pong, Table2Spec};
+use ras_core::{run_guest, Mechanism, RunOptions};
+
+fn bench_table2(c: &mut Criterion) {
+    let rows = table2(&scales::table2());
+    eprintln!("\n{}", render_table2(&rows));
+
+    let mut group = c.benchmark_group("table2");
+    for mechanism in [Mechanism::KernelEmulation, Mechanism::RasRegistered] {
+        let spec = Table2Spec { iterations: 2_000 };
+        let built = mutex_bench(mechanism, &spec);
+        let options = RunOptions::default();
+        group.bench_function(format!("mutex/{}", mechanism.id()), |b| {
+            b.iter(|| run_guest(&built, &options))
+        });
+        let spec = Table2Spec { iterations: 200 };
+        let built = ping_pong(mechanism, &spec);
+        group.bench_function(format!("pingpong/{}", mechanism.id()), |b| {
+            b.iter(|| run_guest(&built, &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ras_bench::criterion();
+    targets = bench_table2
+}
+criterion_main!(benches);

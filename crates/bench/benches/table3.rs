@@ -1,0 +1,29 @@
+//! Bench target regenerating Table 3 (§5.3 application performance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ras_bench::scales;
+use ras_core::experiments::{render_table3, table3};
+use ras_core::workloads::{proton64, Proton64Spec};
+use ras_core::{run_guest, Mechanism, RunOptions};
+
+fn bench_table3(c: &mut Criterion) {
+    let rows = table3(&scales::table3());
+    eprintln!("\n{}", render_table3(&rows));
+
+    let mut group = c.benchmark_group("table3");
+    for mechanism in [Mechanism::KernelEmulation, Mechanism::RasRegistered] {
+        let built = proton64(mechanism, &Proton64Spec { items: 1_000 });
+        let options = RunOptions::default();
+        group.bench_function(format!("proton64/{}", mechanism.id()), |b| {
+            b.iter(|| run_guest(&built, &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ras_bench::criterion();
+    targets = bench_table3
+}
+criterion_main!(benches);

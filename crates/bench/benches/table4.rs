@@ -1,0 +1,36 @@
+//! Bench target regenerating Table 4 (§6 hardware vs software across
+//! eight architectures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ras_bench::scales;
+use ras_core::experiments::{render_table4, table4};
+use ras_core::workloads::{counter_loop, CounterBody, CounterSpec};
+use ras_core::{run_guest, CpuProfile, Mechanism, RunOptions};
+
+fn bench_table4(c: &mut Criterion) {
+    let rows = table4(scales::table4());
+    eprintln!("\n{}", render_table4(&rows));
+
+    // Host-side timing on a representative fast and slow architecture.
+    let mut group = c.benchmark_group("table4");
+    for profile in [CpuProfile::i486(), CpuProfile::hp_pa()] {
+        let spec = CounterSpec {
+            iterations: 5_000,
+            workers: 1,
+            body: CounterBody::LockOnly,
+        };
+        let built = counter_loop(Mechanism::Interlocked, &spec);
+        let options = RunOptions::new(profile.clone());
+        group.bench_function(format!("interlocked/{}", profile.name()), |b| {
+            b.iter(|| run_guest(&built, &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = ras_bench::criterion();
+    targets = bench_table4
+}
+criterion_main!(benches);

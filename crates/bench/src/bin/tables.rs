@@ -1,0 +1,25 @@
+//! Regenerates every table in the paper at full scale and prints them in
+//! EXPERIMENTS.md-ready form.
+//!
+//! Run with: `cargo run --release -p ras-bench --bin tables`
+
+fn main() {
+    let figures = std::env::args().any(|a| a == "--figures");
+    let verify = std::env::args().any(|a| a == "--verify");
+    if verify {
+        let v = ras_core::experiments::verify_reproduction(
+            &ras_core::experiments::VerifyScale::default(),
+        );
+        println!("{v}");
+        std::process::exit(if v.all_hold() { 0 } else { 1 });
+    }
+    println!("Reproduction of Bershad, Redell & Ellis, \"Fast Mutual Exclusion");
+    println!("for Uniprocessors\" (ASPLOS 1992) — all evaluation tables.\n");
+    println!("{}", ras_core::experiments::render_all());
+    if figures {
+        println!();
+        println!("{}", ras_core::experiments::figures::render_figures());
+    }
+    println!("Paper values appear beside or beneath each measurement; see");
+    println!("EXPERIMENTS.md for the per-row comparison and discussion.");
+}

@@ -1,0 +1,64 @@
+//! Shared configuration for the benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's tables on the
+//! simulator and also measures the harness's own (host) runtime with
+//! Criterion so regressions in the simulator are visible. The simulated
+//! results — the actual reproduction — are printed to stderr before the
+//! Criterion measurements run, and `cargo run -p ras-bench --bin tables`
+//! prints all of them at full scale.
+
+use criterion::Criterion;
+
+/// A Criterion instance tuned for simulator-sized benchmarks: each
+/// iteration is a whole simulation run, so a handful of samples suffices.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+/// Reduced experiment scales so `cargo bench` stays fast while keeping
+/// every comparison meaningful.
+pub mod scales {
+    use ras_core::experiments::{Table1Scale, Table2Scale, Table3Scale, Table4Scale};
+    use ras_guest::workloads::{AfsSpec, TextFormatSpec};
+
+    /// Table 1 at bench scale.
+    pub fn table1() -> Table1Scale {
+        Table1Scale { iterations: 20_000 }
+    }
+
+    /// Table 2 at bench scale.
+    pub fn table2() -> Table2Scale {
+        Table2Scale {
+            lock_iterations: 5_000,
+            forks: 200,
+            pingpong_cycles: 500,
+        }
+    }
+
+    /// Table 3 at bench scale.
+    pub fn table3() -> Table3Scale {
+        Table3Scale {
+            text: TextFormatSpec {
+                requests: 40,
+                client_work: 16_000,
+                server_work: 1_000,
+            },
+            afs: AfsSpec {
+                requests: 250,
+                client_work: 8_000,
+                server_work: 4_000,
+            },
+            parthenon_clauses: 800,
+            parthenon_work: 650,
+            proton_items: 3_000,
+        }
+    }
+
+    /// Table 4 at bench scale.
+    pub fn table4() -> Table4Scale {
+        Table4Scale { iterations: 10_000 }
+    }
+}

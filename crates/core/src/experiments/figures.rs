@@ -1,0 +1,154 @@
+//! The paper's figures, regenerated from the real code generators.
+//!
+//! Figures 1–5 of the paper are code listings, not data plots. Each
+//! renderer below assembles the corresponding implementation with the
+//! same emitters the experiments use and disassembles it, so the listings
+//! shown in documentation are guaranteed to match the code that actually
+//! ran — the executable equivalent of "reproducing the figure".
+
+use ras_guest::{lamport, tas};
+use ras_isa::{Asm, Program, Reg};
+
+fn listing(title: &str, description: &str, program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(description);
+    out.push_str("\n\n");
+    for line in program.disassemble().lines() {
+        out.push_str("    ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 1: Lamport's fast mutual exclusion algorithm, as the
+/// `__lamport_enter`/`__lamport_exit` guest functions (protocol (a)),
+/// including the `__cthread_self` identifier lookup whose cost drives the
+/// (a)/(b) comparison.
+pub fn figure1() -> String {
+    let mut asm = Asm::new();
+    let self_fn = lamport::emit_cthread_self(&mut asm, 0x100);
+    lamport::emit_functions(&mut asm, 4, self_fn);
+    let program = asm.finish().expect("assembles");
+    listing(
+        "Figure 1: Lamport's fast mutual exclusion algorithm",
+        "Protocol (a): per-lock reservation structure {y, x, b[N]} at $a0;\n\
+         `await` is a load/branch/yield loop; N = 4 in this listing.",
+        &program,
+    )
+}
+
+/// Figure 2: the bundled "meta" Test-And-Set (protocol (b)).
+pub fn figure2() -> String {
+    let mut asm = Asm::new();
+    let self_fn = lamport::emit_cthread_self(&mut asm, 0x100);
+    lamport::emit_meta_tas(&mut asm, 0x200, 4, self_fn);
+    let program = asm.finish().expect("assembles");
+    listing(
+        "Figure 2: Bundled Test-And-Set using Lamport's algorithm",
+        "Lamport's enter/exit (on the meta structure at 0x200) brackets the\n\
+         conditional test-and-set of the word at $a0; the store is\n\
+         conditional exactly as in the paper, because AtomicClear is a bare\n\
+         store outside the meta lock.",
+        &program,
+    )
+}
+
+/// Figure 3: the generic restartable-sequence Test-And-Set. The generic
+/// form is Figure 4's window without the linkage: load, set, store — the
+/// kernel guarantees the three instructions re-execute from the load if
+/// interrupted.
+pub fn figure3() -> String {
+    let mut asm = Asm::new();
+    asm.bind_symbol("Test-And-Set");
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.li(Reg::T0, 1);
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.bind_symbol("AtomicClear");
+    asm.sw(Reg::ZERO, Reg::A0, 0);
+    let program = asm.finish().expect("assembles");
+    listing(
+        "Figure 3: Generic Test-And-Set using a restartable atomic sequence",
+        "Instructions 0..3 form the restartable sequence: re-executing from\n\
+         the load after any interruption yields an atomic read-modify-write.\n\
+         The clear is a single store, atomic on its own.",
+        &program,
+    )
+}
+
+/// Figure 4: the explicitly registered (Mach 3.0) Test-And-Set procedure.
+pub fn figure4() -> String {
+    let mut asm = Asm::new();
+    tas::emit_tas_registered(&mut asm);
+    let program = asm.finish().expect("assembles");
+    listing(
+        "Figure 4: Restartable Test-And-Set procedure using explicit registration",
+        "The registered window is instructions 0..3 (lw/li/sw); the return\n\
+         jump lies outside it. (The paper's MIPS version places the store\n\
+         in the `j ra` delay slot; this ISA has no delay slots.)",
+        &program,
+    )
+}
+
+/// Figure 5: the inlined designated sequence for mutex acquisition.
+pub fn figure5() -> String {
+    let mut asm = Asm::new();
+    asm.bind_symbol("acquire");
+    tas::emit_tas_inline(&mut asm);
+    asm.bind_symbol("SlowPath");
+    asm.jr(Reg::RA);
+    let program = asm.finish().expect("assembles");
+    listing(
+        "Figure 5: A restartable atomic sequence for mutex acquisition (designated)",
+        "The landmark no-op is never emitted outside designated sequences,\n\
+         making the kernel's two-stage opcode/landmark check unambiguous.\n\
+         The branch exits to the out-of-line slow path on contention.",
+        &program,
+    )
+}
+
+/// All five figures concatenated.
+pub fn render_figures() -> String {
+    [figure1(), figure2(), figure3(), figure4(), figure5()].join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_renders_nonempty_assembly() {
+        for (i, fig) in [figure1(), figure2(), figure3(), figure4(), figure5()]
+            .iter()
+            .enumerate()
+        {
+            assert!(fig.lines().count() > 5, "figure {} too short", i + 1);
+            assert!(fig.contains("Figure"), "figure {} missing title", i + 1);
+        }
+    }
+
+    #[test]
+    fn designated_figures_show_the_landmark() {
+        assert!(figure5().contains("landmark"));
+        assert!(!figure4().contains("landmark"), "registered form has none");
+    }
+
+    #[test]
+    fn lamport_figures_contain_their_symbols() {
+        let f1 = figure1();
+        assert!(f1.contains("__lamport_enter:"));
+        assert!(f1.contains("__lamport_exit:"));
+        assert!(f1.contains("__cthread_self:"));
+        assert!(figure2().contains("__meta_tas:"));
+    }
+
+    #[test]
+    fn render_figures_concatenates_all_five() {
+        let all = render_figures();
+        for n in ["Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5"] {
+            assert!(all.contains(n));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Table 1: microbenchmark results for the DECstation 5000/200 (§5.1).
+//!
+//! "The values in the table were determined by executing the test in a
+//! tight loop 1,000,000 times, computing the average elapsed time of each
+//! pass through the loop, and subtracting off the loop overhead." We do
+//! the same (default 100,000 iterations — the simulator is deterministic,
+//! so more repetitions only cost wall-clock time), including the
+//! loop-overhead calibration run.
+
+use ras_guest::workloads::{counter_loop, CounterBody, CounterSpec};
+use ras_guest::Mechanism;
+use ras_machine::CpuProfile;
+
+use crate::report::{fmt_us, AsciiTable};
+use crate::{run_guest, RunOptions};
+
+/// Scale knob for [`table1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Scale {
+    /// Loop iterations per mechanism.
+    pub iterations: u32,
+}
+
+impl Default for Table1Scale {
+    fn default() -> Table1Scale {
+        Table1Scale {
+            iterations: 100_000,
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// The software mechanism measured.
+    pub mechanism: Mechanism,
+    /// Measured µs per enter–increment–exit, loop overhead subtracted.
+    pub measured_us: f64,
+    /// The paper's published value in µs.
+    pub paper_us: f64,
+}
+
+/// The paper's Table 1 values (µs on the 25 MHz R3000).
+pub const PAPER_TABLE1: [(Mechanism, f64); 5] = [
+    (Mechanism::RasRegistered, 0.64),
+    (Mechanism::RasInline, 0.51),
+    (Mechanism::KernelEmulation, 4.15),
+    (Mechanism::LamportPerLock, 1.51),
+    (Mechanism::LamportBundled, 1.16),
+];
+
+/// Runs the Table 1 experiment on the R3000 profile.
+pub fn table1(scale: Table1Scale) -> Vec<Table1Row> {
+    let options = RunOptions::new(CpuProfile::r3000());
+    PAPER_TABLE1
+        .iter()
+        .map(|&(mechanism, paper_us)| {
+            let measured_us =
+                measure_per_op(mechanism, scale.iterations, CounterBody::LockAndCounter, &options);
+            Table1Row {
+                mechanism,
+                measured_us,
+                paper_us,
+            }
+        })
+        .collect()
+}
+
+/// Measures µs per operation for one mechanism and body, subtracting the
+/// empty-loop calibration run. Shared with Table 4.
+pub(crate) fn measure_per_op(
+    mechanism: Mechanism,
+    iterations: u32,
+    body: CounterBody,
+    options: &RunOptions,
+) -> f64 {
+    let spec = CounterSpec {
+        iterations,
+        workers: 1,
+        body,
+    };
+    let cal_spec = CounterSpec {
+        body: CounterBody::Empty,
+        ..spec
+    };
+    let full = run_guest(&counter_loop(mechanism, &spec), options);
+    let cal = run_guest(&counter_loop(mechanism, &cal_spec), options);
+    (full.micros - cal.micros) / f64::from(iterations)
+}
+
+/// Renders the rows in the paper's layout.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut t = AsciiTable::new(
+        "Table 1: Microbenchmark results for the DECstation 5000/200 (µs per op)",
+        &["Software Mechanism", "Measured", "Paper"],
+    );
+    for row in rows {
+        t.row(vec![
+            row.mechanism.label().to_owned(),
+            fmt_us(row.measured_us),
+            fmt_us(row.paper_us),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Vec<Table1Row> {
+        table1(Table1Scale { iterations: 4_000 })
+    }
+
+    #[test]
+    fn table1_reproduces_the_paper_ordering() {
+        let rows = quick();
+        assert_eq!(rows.len(), 5);
+        let us = |m: Mechanism| {
+            rows.iter()
+                .find(|r| r.mechanism == m)
+                .expect("row present")
+                .measured_us
+        };
+        // The paper's ordering: inline < branch < bundled < per-lock < emulation.
+        assert!(us(Mechanism::RasInline) < us(Mechanism::RasRegistered));
+        assert!(us(Mechanism::RasRegistered) < us(Mechanism::LamportBundled));
+        assert!(us(Mechanism::LamportBundled) < us(Mechanism::LamportPerLock));
+        assert!(us(Mechanism::LamportPerLock) < us(Mechanism::KernelEmulation));
+    }
+
+    #[test]
+    fn kernel_emulation_dominates_by_the_paper_factor() {
+        let rows = quick();
+        let emul = rows
+            .iter()
+            .find(|r| r.mechanism == Mechanism::KernelEmulation)
+            .unwrap()
+            .measured_us;
+        let inline = rows
+            .iter()
+            .find(|r| r.mechanism == Mechanism::RasInline)
+            .unwrap()
+            .measured_us;
+        // Paper: 4.15 / 0.51 ≈ 8.1×. Accept a broad band around it.
+        let factor = emul / inline;
+        assert!(
+            (4.0..16.0).contains(&factor),
+            "emulation/inline factor {factor:.1} out of band"
+        );
+    }
+
+    #[test]
+    fn measured_magnitudes_are_near_the_paper() {
+        for row in quick() {
+            let ratio = row.measured_us / row.paper_us;
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{}: measured {:.2} vs paper {:.2}",
+                row.mechanism,
+                row.measured_us,
+                row.paper_us
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_contains_every_mechanism() {
+        let rows = quick();
+        let text = render_table1(&rows);
+        for row in &rows {
+            assert!(text.contains(row.mechanism.label()));
+        }
+    }
+}

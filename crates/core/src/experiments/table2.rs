@@ -1,0 +1,220 @@
+//! Table 2: the effect of synchronization on thread-management overhead
+//! under Mach 3.0 (§5.2) — Spinlock, MutexLock, ForkTest, and PingPong,
+//! each under kernel emulation and under restartable atomic sequences
+//! (the registered flavor, as Mach's C-Threads used).
+
+use ras_guest::workloads::{fork_test, mutex_bench, ping_pong, spinlock_bench, Table2Spec};
+use ras_guest::Mechanism;
+use ras_machine::CpuProfile;
+
+use crate::report::{fmt_us, AsciiTable};
+use crate::{run_guest, RunOptions};
+
+/// Which Table 2 benchmark a row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table2Bench {
+    /// Repeated spin-lock acquire/release.
+    Spinlock,
+    /// Repeated blocking-mutex acquire/release.
+    MutexLock,
+    /// Recursive thread forking.
+    ForkTest,
+    /// Two threads alternating through a mutex and condition variable.
+    PingPong,
+}
+
+impl Table2Bench {
+    /// The paper's row name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Table2Bench::Spinlock => "Spinlock",
+            Table2Bench::MutexLock => "MutexLock",
+            Table2Bench::ForkTest => "ForkTest",
+            Table2Bench::PingPong => "PingPong",
+        }
+    }
+}
+
+/// Scale knobs for [`table2`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Scale {
+    /// Iterations for Spinlock and MutexLock.
+    pub lock_iterations: u32,
+    /// Chain length for ForkTest.
+    pub forks: u32,
+    /// Cycles for PingPong.
+    pub pingpong_cycles: u32,
+}
+
+impl Default for Table2Scale {
+    fn default() -> Table2Scale {
+        Table2Scale {
+            lock_iterations: 20_000,
+            forks: 500,
+            pingpong_cycles: 2_000,
+        }
+    }
+}
+
+/// One row of Table 2: µs per operation under each system version.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// The benchmark.
+    pub bench: Table2Bench,
+    /// Measured µs/op with kernel emulation.
+    pub emulation_us: f64,
+    /// Measured µs/op with restartable atomic sequences.
+    pub ras_us: f64,
+    /// The paper's (emulation, R.A.S.) values in µs.
+    pub paper_us: (f64, f64),
+}
+
+impl Table2Row {
+    /// Speedup of restartable atomic sequences over emulation.
+    pub fn speedup(&self) -> f64 {
+        self.emulation_us / self.ras_us
+    }
+}
+
+/// The paper's Table 2 values: (emulation µs, R.A.S. µs).
+pub const PAPER_TABLE2: [(Table2Bench, f64, f64); 4] = [
+    (Table2Bench::Spinlock, 4.3, 0.58),
+    (Table2Bench::MutexLock, 4.6, 0.91),
+    (Table2Bench::ForkTest, 43.7, 23.8),
+    (Table2Bench::PingPong, 230.8, 115.2),
+];
+
+fn run_bench(bench: Table2Bench, mechanism: Mechanism, scale: &Table2Scale) -> f64 {
+    let mut options = RunOptions::new(CpuProfile::r3000());
+    match bench {
+        Table2Bench::Spinlock => {
+            let spec = Table2Spec {
+                iterations: scale.lock_iterations,
+            };
+            let report = run_guest(&spinlock_bench(mechanism, &spec), &options);
+            report.micros / f64::from(spec.iterations)
+        }
+        Table2Bench::MutexLock => {
+            let spec = Table2Spec {
+                iterations: scale.lock_iterations,
+            };
+            let report = run_guest(&mutex_bench(mechanism, &spec), &options);
+            report.micros / f64::from(spec.iterations)
+        }
+        Table2Bench::ForkTest => {
+            let spec = Table2Spec {
+                iterations: scale.forks,
+            };
+            options.stack_bytes = 2048;
+            options.max_threads = scale.forks as usize + 2;
+            options.mem_bytes =
+                (8 * 1024 * 1024).max(options.stack_bytes * (scale.forks + 8));
+            let report = run_guest(&fork_test(mechanism, &spec), &options);
+            report.micros / f64::from(spec.iterations)
+        }
+        Table2Bench::PingPong => {
+            let spec = Table2Spec {
+                iterations: scale.pingpong_cycles,
+            };
+            let report = run_guest(&ping_pong(mechanism, &spec), &options);
+            report.micros / f64::from(spec.iterations)
+        }
+    }
+}
+
+/// Runs the Table 2 experiment.
+pub fn table2(scale: &Table2Scale) -> Vec<Table2Row> {
+    PAPER_TABLE2
+        .iter()
+        .map(|&(bench, paper_emul, paper_ras)| Table2Row {
+            bench,
+            emulation_us: run_bench(bench, Mechanism::KernelEmulation, scale),
+            ras_us: run_bench(bench, Mechanism::RasRegistered, scale),
+            paper_us: (paper_emul, paper_ras),
+        })
+        .collect()
+}
+
+/// Renders the rows in the paper's layout.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut t = AsciiTable::new(
+        "Table 2: Thread management overhead, Mach 3.0 / DECstation 5000/200 (µs per op)",
+        &[
+            "Benchmark",
+            "Emulation",
+            "R.A.S.",
+            "Paper Emul.",
+            "Paper R.A.S.",
+        ],
+    );
+    for row in rows {
+        t.row(vec![
+            row.bench.label().to_owned(),
+            fmt_us(row.emulation_us),
+            fmt_us(row.ras_us),
+            fmt_us(row.paper_us.0),
+            fmt_us(row.paper_us.1),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Vec<Table2Row> {
+        table2(&Table2Scale {
+            lock_iterations: 2_000,
+            forks: 60,
+            pingpong_cycles: 150,
+        })
+    }
+
+    #[test]
+    fn ras_beats_emulation_on_every_benchmark() {
+        for row in quick() {
+            assert!(
+                row.ras_us < row.emulation_us,
+                "{}: RAS {:.2} vs emulation {:.2}",
+                row.bench.label(),
+                row.ras_us,
+                row.emulation_us
+            );
+        }
+    }
+
+    #[test]
+    fn speedups_have_the_paper_shape() {
+        let rows = quick();
+        let get = |b: Table2Bench| rows.iter().find(|r| r.bench == b).unwrap().speedup();
+        // Paper: spinlock 7.4x, mutex 5.1x, fork 1.8x, pingpong 2.0x — the
+        // lock microbenchmarks gain far more than the heavyweight ops.
+        assert!(get(Table2Bench::Spinlock) > 3.0);
+        assert!(get(Table2Bench::MutexLock) > 2.0);
+        assert!(get(Table2Bench::ForkTest) > 1.1);
+        assert!(get(Table2Bench::ForkTest) < get(Table2Bench::Spinlock));
+        assert!(get(Table2Bench::PingPong) > 1.2);
+        assert!(get(Table2Bench::PingPong) < get(Table2Bench::Spinlock));
+    }
+
+    #[test]
+    fn per_op_costs_order_like_the_paper() {
+        // Spinlock < MutexLock < ForkTest < PingPong within each column.
+        let rows = quick();
+        let col = |f: fn(&Table2Row) -> f64| -> Vec<f64> { rows.iter().map(f).collect() };
+        for us in [col(|r| r.emulation_us), col(|r| r.ras_us)] {
+            assert!(us[0] < us[1], "spinlock < mutex: {us:?}");
+            assert!(us[1] < us[2], "mutex < fork: {us:?}");
+            assert!(us[2] < us[3], "fork < pingpong: {us:?}");
+        }
+    }
+
+    #[test]
+    fn rendering_contains_all_benchmarks() {
+        let text = render_table2(&quick());
+        for (bench, _, _) in PAPER_TABLE2 {
+            assert!(text.contains(bench.label()));
+        }
+    }
+}

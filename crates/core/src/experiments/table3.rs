@@ -1,0 +1,294 @@
+//! Table 3: the effect of synchronization overhead on application
+//! performance (§5.3) — elapsed time, emulation traps, restarts, and
+//! thread suspensions for each application under kernel emulation and
+//! under restartable atomic sequences.
+
+use ras_guest::workloads::{
+    afs_bench, parthenon, proton64, text_format, AfsSpec, ParthenonSpec, Proton64Spec,
+    TextFormatSpec,
+};
+use ras_guest::{BuiltGuest, Mechanism};
+use ras_machine::CpuProfile;
+
+use crate::report::{fmt_ratio, AsciiTable};
+use crate::{run_guest, RunOptions, RunReport};
+
+/// The Table 3 applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table3App {
+    /// LaTeX-like single-threaded formatter over a multithreaded server.
+    TextFormat,
+    /// File-system-intensive script over a multithreaded server.
+    AfsBench,
+    /// Or-parallel theorem prover with 1 worker.
+    Parthenon1,
+    /// Or-parallel theorem prover with 10 workers.
+    Parthenon10,
+    /// Producer/consumer with a 64-byte buffer.
+    Proton64,
+}
+
+impl Table3App {
+    /// The paper's row name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Table3App::TextFormat => "text-format",
+            Table3App::AfsBench => "afs-bench",
+            Table3App::Parthenon1 => "parthenon-1",
+            Table3App::Parthenon10 => "parthenon-10",
+            Table3App::Proton64 => "proton-64",
+        }
+    }
+
+    /// All applications in the paper's row order.
+    pub fn all() -> [Table3App; 5] {
+        [
+            Table3App::TextFormat,
+            Table3App::AfsBench,
+            Table3App::Parthenon1,
+            Table3App::Parthenon10,
+            Table3App::Proton64,
+        ]
+    }
+}
+
+/// Scale knobs for [`table3`]. The defaults are sized so each application
+/// runs tens of millions of simulated cycles (about a second of simulated
+/// time), preserving the paper's relative elapsed-time shape at a fraction
+/// of its wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table3Scale {
+    /// text-format parameters.
+    pub text: TextFormatSpec,
+    /// afs-bench parameters.
+    pub afs: AfsSpec,
+    /// parthenon clauses (workers fixed at 1 and 10 by the rows).
+    pub parthenon_clauses: u32,
+    /// parthenon busy-work per clause.
+    pub parthenon_work: i32,
+    /// proton-64 items.
+    pub proton_items: u32,
+}
+
+impl Default for Table3Scale {
+    fn default() -> Table3Scale {
+        Table3Scale {
+            text: TextFormatSpec::default(),
+            afs: AfsSpec::default(),
+            parthenon_clauses: 3_000,
+            parthenon_work: 650,
+            proton_items: 10_000,
+        }
+    }
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// The application.
+    pub app: Table3App,
+    /// Simulated elapsed seconds under kernel emulation.
+    pub elapsed_emul_s: f64,
+    /// Simulated elapsed seconds under restartable atomic sequences.
+    pub elapsed_ras_s: f64,
+    /// Emulation traps in the emulation run ("Emulation Traps").
+    pub emulation_traps: u64,
+    /// Sequence restarts in the R.A.S. run ("Restarts").
+    pub restarts: u64,
+    /// Thread suspensions (emulation run, R.A.S. run).
+    pub suspensions: (u64, u64),
+    /// The paper's elapsed seconds (emulation, R.A.S.).
+    pub paper_elapsed_s: (f64, f64),
+}
+
+impl Table3Row {
+    /// Elapsed-time improvement of R.A.S. over emulation.
+    pub fn speedup(&self) -> f64 {
+        self.elapsed_emul_s / self.elapsed_ras_s
+    }
+
+    /// The paper's improvement for this row.
+    pub fn paper_speedup(&self) -> f64 {
+        self.paper_elapsed_s.0 / self.paper_elapsed_s.1
+    }
+}
+
+/// The paper's Table 3 elapsed times in seconds (emulation, R.A.S.).
+pub const PAPER_TABLE3: [(Table3App, f64, f64); 5] = [
+    (Table3App::TextFormat, 10.1, 9.8),
+    (Table3App::AfsBench, 239.4, 231.1),
+    (Table3App::Parthenon1, 25.8, 18.5),
+    (Table3App::Parthenon10, 26.1, 18.6),
+    (Table3App::Proton64, 30.4, 15.7),
+];
+
+fn build(app: Table3App, mechanism: Mechanism, scale: &Table3Scale) -> BuiltGuest {
+    match app {
+        Table3App::TextFormat => text_format(mechanism, &scale.text),
+        Table3App::AfsBench => afs_bench(mechanism, &scale.afs),
+        Table3App::Parthenon1 => parthenon(
+            mechanism,
+            &ParthenonSpec {
+                workers: 1,
+                clauses: scale.parthenon_clauses,
+                work_iters: scale.parthenon_work,
+            },
+        ),
+        Table3App::Parthenon10 => parthenon(
+            mechanism,
+            &ParthenonSpec {
+                workers: 10,
+                clauses: scale.parthenon_clauses,
+                work_iters: scale.parthenon_work,
+            },
+        ),
+        Table3App::Proton64 => proton64(
+            mechanism,
+            &Proton64Spec {
+                items: scale.proton_items,
+            },
+        ),
+    }
+}
+
+fn run_app(app: Table3App, mechanism: Mechanism, scale: &Table3Scale) -> RunReport {
+    let options = RunOptions::new(CpuProfile::r3000());
+    run_guest(&build(app, mechanism, scale), &options)
+}
+
+/// Runs the Table 3 experiment: each application under kernel emulation
+/// and under registered restartable atomic sequences.
+pub fn table3(scale: &Table3Scale) -> Vec<Table3Row> {
+    PAPER_TABLE3
+        .iter()
+        .map(|&(app, paper_emul, paper_ras)| {
+            let emul = run_app(app, Mechanism::KernelEmulation, scale);
+            let ras = run_app(app, Mechanism::RasRegistered, scale);
+            Table3Row {
+                app,
+                elapsed_emul_s: emul.seconds(),
+                elapsed_ras_s: ras.seconds(),
+                emulation_traps: emul.stats.emulation_traps,
+                restarts: ras.stats.ras_restarts,
+                suspensions: (emul.stats.suspensions, ras.stats.suspensions),
+                paper_elapsed_s: (paper_emul, paper_ras),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows in the paper's layout.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut t = AsciiTable::new(
+        "Table 3: Effect of synchronization overhead on application performance",
+        &[
+            "Program",
+            "Emul (s)",
+            "R.A.S. (s)",
+            "Speedup",
+            "Paper speedup",
+            "Emul. traps",
+            "Restarts",
+            "Susp. (E/R)",
+        ],
+    );
+    for row in rows {
+        t.row(vec![
+            row.app.label().to_owned(),
+            format!("{:.4}", row.elapsed_emul_s),
+            format!("{:.4}", row.elapsed_ras_s),
+            fmt_ratio(row.speedup()),
+            fmt_ratio(row.paper_speedup()),
+            row.emulation_traps.to_string(),
+            row.restarts.to_string(),
+            format!("{}/{}", row.suspensions.0, row.suspensions.1),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_scale() -> Table3Scale {
+        Table3Scale {
+            text: TextFormatSpec {
+                requests: 25,
+                client_work: 16_000,
+                server_work: 1_000,
+            },
+            afs: AfsSpec {
+                requests: 150,
+                client_work: 8_000,
+                server_work: 4_000,
+            },
+            parthenon_clauses: 400,
+            parthenon_work: 650,
+            proton_items: 1_500,
+        }
+    }
+
+    #[test]
+    fn ras_improves_every_application() {
+        for row in table3(&quick_scale()) {
+            assert!(
+                row.speedup() > 1.0,
+                "{}: speedup {:.3}",
+                row.app.label(),
+                row.speedup()
+            );
+        }
+    }
+
+    #[test]
+    fn improvement_shape_matches_the_paper() {
+        let rows = table3(&quick_scale());
+        let get = |a: Table3App| rows.iter().find(|r| r.app == a).unwrap().speedup();
+        // Single-threaded clients gain a little; explicitly threaded
+        // programs gain 30–50%; proton-64 gains the most (paper: ~1.94x).
+        assert!(get(Table3App::TextFormat) < 1.25, "text-format should gain least");
+        assert!(get(Table3App::AfsBench) < 1.4);
+        assert!(get(Table3App::Parthenon10) > get(Table3App::TextFormat));
+        assert!(get(Table3App::Proton64) > get(Table3App::Parthenon10));
+        assert!(get(Table3App::Proton64) > 1.3);
+    }
+
+    #[test]
+    fn restarts_are_rare_relative_to_traps() {
+        // "The restart count demonstrates that the likelihood of a thread
+        // being suspended during a restartable atomic sequence is
+        // extremely small."
+        for row in table3(&quick_scale()) {
+            assert!(
+                row.restarts * 100 <= row.emulation_traps.max(1),
+                "{}: {} restarts vs {} traps",
+                row.app.label(),
+                row.restarts,
+                row.emulation_traps
+            );
+        }
+    }
+
+    #[test]
+    fn suspensions_are_far_fewer_than_atomic_operations() {
+        // The justification for doing the check at suspension time (§5.3).
+        for row in table3(&quick_scale()) {
+            assert!(
+                row.suspensions.0 < row.emulation_traps.max(1),
+                "{}: suspensions {:?} vs traps {}",
+                row.app.label(),
+                row.suspensions,
+                row.emulation_traps
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_lists_all_apps() {
+        let text = render_table3(&table3(&quick_scale()));
+        for app in Table3App::all() {
+            assert!(text.contains(app.label()));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Table 4: hardware vs software support for mutual exclusion across
+//! eight processor architectures (§6) — the overhead of acquiring and
+//! releasing a Test-And-Set lock with memory-interlocked instructions,
+//! explicitly registered sequences, and inlined designated sequences.
+
+use ras_guest::workloads::CounterBody;
+use ras_guest::Mechanism;
+use ras_machine::CpuProfile;
+
+use super::table1::measure_per_op;
+use crate::report::{fmt_us, AsciiTable};
+use crate::RunOptions;
+
+/// Scale knob for [`table4`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table4Scale {
+    /// Loop iterations per cell.
+    pub iterations: u32,
+}
+
+impl Default for Table4Scale {
+    fn default() -> Table4Scale {
+        Table4Scale { iterations: 50_000 }
+    }
+}
+
+/// One row of Table 4 (one processor architecture), µs per
+/// acquire+release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Architecture name.
+    pub processor: String,
+    /// Hardware memory-interlocked instruction.
+    pub interlocked_us: f64,
+    /// Explicitly registered sequence (includes call linkage).
+    pub registered_us: f64,
+    /// Call-linkage overhead (registered minus designated, as in the
+    /// paper: "subtract the overhead of linkage from that of an explicitly
+    /// registered sequence" to get the designated cost).
+    pub linkage_us: f64,
+    /// Inlined designated sequence.
+    pub designated_us: f64,
+    /// The paper's values: (interlocked, registered, linkage, designated).
+    pub paper_us: [f64; 4],
+}
+
+/// The paper's Table 4 (µs): interlocked, explicit registration, linkage
+/// overhead, designated sequence.
+pub const PAPER_TABLE4: [(&str, [f64; 4]); 8] = [
+    ("DEC CVAX", [2.8, 2.2, 0.6, 1.6]),
+    ("Motorola 68030", [1.1, 2.0, 0.8, 1.2]),
+    ("Intel 386", [1.0, 1.6, 0.7, 0.9]),
+    ("Intel 486", [0.7, 0.6, 0.3, 0.3]),
+    ("Intel 860", [0.3, 0.4, 0.2, 0.2]),
+    ("Motorola 88000", [0.9, 0.3, 0.1, 0.2]),
+    ("Sun SPARC", [0.8, 1.0, 0.3, 0.7]),
+    ("HP 9000/700", [0.94, 0.17, 0.08, 0.09]),
+];
+
+/// Runs the Table 4 experiment: the acquire+release microbenchmark (no
+/// counter body) on every architecture profile under each mechanism.
+pub fn table4(scale: Table4Scale) -> Vec<Table4Row> {
+    CpuProfile::table4_lineup()
+        .into_iter()
+        .map(|profile| {
+            let options = RunOptions::new(profile.clone());
+            let measure = |mechanism: Mechanism| {
+                measure_per_op(mechanism, scale.iterations, CounterBody::LockOnly, &options)
+            };
+            let interlocked_us = measure(Mechanism::Interlocked);
+            let registered_us = measure(Mechanism::RasRegistered);
+            let designated_us = measure(Mechanism::RasInline);
+            let paper_us = PAPER_TABLE4
+                .iter()
+                .find(|(name, _)| *name == profile.name())
+                .map(|(_, v)| *v)
+                .expect("profile present in paper table");
+            Table4Row {
+                processor: profile.name().to_owned(),
+                interlocked_us,
+                registered_us,
+                linkage_us: registered_us - designated_us,
+                designated_us,
+                paper_us,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows in the paper's layout, measured beside paper values.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut t = AsciiTable::new(
+        "Table 4: Hardware and software overheads of Test-And-Set (µs; paper values in parentheses)",
+        &[
+            "Processor",
+            "Interlocked",
+            "Explicit Reg.",
+            "Linkage",
+            "Designated",
+        ],
+    );
+    for row in rows {
+        t.row(vec![
+            row.processor.clone(),
+            format!("{} ({})", fmt_us(row.interlocked_us), fmt_us(row.paper_us[0])),
+            format!("{} ({})", fmt_us(row.registered_us), fmt_us(row.paper_us[1])),
+            format!("{} ({})", fmt_us(row.linkage_us), fmt_us(row.paper_us[2])),
+            format!("{} ({})", fmt_us(row.designated_us), fmt_us(row.paper_us[3])),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Vec<Table4Row> {
+        table4(Table4Scale { iterations: 3_000 })
+    }
+
+    #[test]
+    fn designated_beats_or_matches_hardware_everywhere() {
+        // "Using designated sequences, the software approach outperforms
+        // the hardware in all cases" — though the paper's own Table 4 has
+        // one exception: on the 68030 the well-implemented TAS instruction
+        // (1.1 µs) edges the designated sequence (1.2 µs). We require a
+        // strict win everywhere else and near-parity (within 30%) there.
+        for row in quick() {
+            if row.processor == "Motorola 68030" {
+                assert!(
+                    row.designated_us < row.interlocked_us * 1.3,
+                    "{}: designated {:.2} vs interlocked {:.2}",
+                    row.processor,
+                    row.designated_us,
+                    row.interlocked_us
+                );
+            } else {
+                assert!(
+                    row.designated_us < row.interlocked_us,
+                    "{}: designated {:.2} vs interlocked {:.2}",
+                    row.processor,
+                    row.designated_us,
+                    row.interlocked_us
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registered_beats_hardware_where_the_paper_says() {
+        // Registered sequences beat interlocked instructions on the CVAX,
+        // 486, 88000, and HP-PA; lose on the 68030, 386, i860, and SPARC.
+        let rows = quick();
+        let wins: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.registered_us < r.interlocked_us)
+            .map(|r| r.processor.as_str())
+            .collect();
+        for expected in ["DEC CVAX", "Intel 486", "Motorola 88000", "HP 9000/700"] {
+            assert!(wins.contains(&expected), "{expected} should win, wins={wins:?}");
+        }
+        for expected_loss in ["Motorola 68030", "Intel 386", "Intel 860", "Sun SPARC"] {
+            assert!(
+                !wins.contains(&expected_loss),
+                "{expected_loss} should lose, wins={wins:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn registered_equals_designated_plus_linkage() {
+        for row in quick() {
+            let sum = row.designated_us + row.linkage_us;
+            assert!(
+                (row.registered_us - sum).abs() < 1e-9,
+                "{}: identity violated",
+                row.processor
+            );
+            assert!(row.linkage_us > 0.0, "{}: linkage must cost", row.processor);
+        }
+    }
+
+    #[test]
+    fn magnitudes_are_near_the_paper() {
+        for row in quick() {
+            for (measured, paper) in [
+                (row.interlocked_us, row.paper_us[0]),
+                (row.registered_us, row.paper_us[1]),
+                (row.designated_us, row.paper_us[3]),
+            ] {
+                let ratio = measured / paper;
+                assert!(
+                    (0.4..2.5).contains(&ratio),
+                    "{}: measured {measured:.2} vs paper {paper:.2}",
+                    row.processor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_contains_all_processors() {
+        let text = render_table4(&quick());
+        for (name, _) in PAPER_TABLE4 {
+            assert!(text.contains(name));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! A structured self-check of the reproduction: every qualitative claim
+//! the paper makes about its tables, evaluated against fresh simulator
+//! runs. Used by the `tables --verify` binary and by the test suite; a
+//! downstream user can call [`verify_reproduction`] after changing cost
+//! models or workloads to see exactly which claims still hold.
+
+use std::fmt;
+
+use ras_guest::Mechanism;
+
+use super::{table1, table2, table3, table4, Table1Scale, Table2Scale, Table3Scale, Table4Scale};
+use super::{Table2Bench, Table3App};
+
+/// One verified claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claim {
+    /// Which table the claim belongs to.
+    pub table: u8,
+    /// The claim, in the paper's terms.
+    pub statement: String,
+    /// Whether this run satisfied it.
+    pub holds: bool,
+    /// The measured evidence.
+    pub evidence: String,
+}
+
+/// The result of a full verification pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verification {
+    /// All claims checked, in table order.
+    pub claims: Vec<Claim>,
+}
+
+impl Verification {
+    /// Whether every claim held.
+    pub fn all_hold(&self) -> bool {
+        self.claims.iter().all(|c| c.holds)
+    }
+
+    /// The claims that failed.
+    pub fn failures(&self) -> Vec<&Claim> {
+        self.claims.iter().filter(|c| !c.holds).collect()
+    }
+}
+
+impl fmt::Display for Verification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "reproduction self-check: {}/{} claims hold",
+            self.claims.iter().filter(|c| c.holds).count(),
+            self.claims.len())?;
+        for c in &self.claims {
+            writeln!(
+                f,
+                "  [{}] T{}: {} — {}",
+                if c.holds { "ok" } else { "FAIL" },
+                c.table,
+                c.statement,
+                c.evidence
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Scales for a verification pass. The defaults finish in a few seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyScale {
+    /// Table 1 iterations.
+    pub t1: Table1Scale,
+    /// Table 2 scale.
+    pub t2: Table2Scale,
+    /// Table 3 scale.
+    pub t3: Table3Scale,
+    /// Table 4 iterations.
+    pub t4: Table4Scale,
+}
+
+impl Default for VerifyScale {
+    fn default() -> VerifyScale {
+        VerifyScale {
+            t1: Table1Scale { iterations: 6_000 },
+            t2: Table2Scale {
+                lock_iterations: 3_000,
+                forks: 120,
+                pingpong_cycles: 250,
+            },
+            t3: Table3Scale {
+                text: ras_guest::workloads::TextFormatSpec {
+                    requests: 25,
+                    client_work: 16_000,
+                    server_work: 1_000,
+                },
+                afs: ras_guest::workloads::AfsSpec {
+                    requests: 120,
+                    client_work: 8_000,
+                    server_work: 4_000,
+                },
+                parthenon_clauses: 400,
+                parthenon_work: 650,
+                proton_items: 1_500,
+            },
+            t4: Table4Scale { iterations: 4_000 },
+        }
+    }
+}
+
+fn claim(table: u8, statement: &str, holds: bool, evidence: String) -> Claim {
+    Claim {
+        table,
+        statement: statement.to_owned(),
+        holds,
+        evidence,
+    }
+}
+
+/// Runs all four experiments at the given scale and evaluates the paper's
+/// qualitative claims against them.
+pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
+    let mut claims = Vec::new();
+
+    // ---- Table 1 ----------------------------------------------------------
+    let t1 = table1(scale.t1);
+    let us = |m: Mechanism| t1.iter().find(|r| r.mechanism == m).unwrap().measured_us;
+    claims.push(claim(
+        1,
+        "inline RAS is the cheapest software mechanism",
+        t1.iter().all(|r| us(Mechanism::RasInline) <= r.measured_us),
+        format!("inline = {:.2} µs", us(Mechanism::RasInline)),
+    ));
+    claims.push(claim(
+        1,
+        "kernel emulation is by far the most expensive approach",
+        t1.iter().all(|r| us(Mechanism::KernelEmulation) >= r.measured_us)
+            && us(Mechanism::KernelEmulation) > 3.0 * us(Mechanism::RasRegistered),
+        format!("emulation = {:.2} µs", us(Mechanism::KernelEmulation)),
+    ));
+    claims.push(claim(
+        1,
+        "protocol (b) executes more quickly than protocol (a)",
+        us(Mechanism::LamportBundled) < us(Mechanism::LamportPerLock),
+        format!(
+            "(a) = {:.2} µs, (b) = {:.2} µs",
+            us(Mechanism::LamportPerLock),
+            us(Mechanism::LamportBundled)
+        ),
+    ));
+    claims.push(claim(
+        1,
+        "both reservation schemes are faster than kernel emulation",
+        us(Mechanism::LamportPerLock) < us(Mechanism::KernelEmulation)
+            && us(Mechanism::LamportBundled) < us(Mechanism::KernelEmulation),
+        format!("emulation = {:.2} µs", us(Mechanism::KernelEmulation)),
+    ));
+
+    // ---- Table 2 ----------------------------------------------------------
+    let t2 = table2(&scale.t2);
+    claims.push(claim(
+        2,
+        "thread management performance depends on the synchronization mechanism",
+        t2.iter().all(|r| r.ras_us < r.emulation_us),
+        t2.iter()
+            .map(|r| format!("{} {:.1}x", r.bench.label(), r.speedup()))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    let spin = t2.iter().find(|r| r.bench == Table2Bench::Spinlock).unwrap();
+    claims.push(claim(
+        2,
+        "with RAS, synchronization overhead becomes negligible on spinlocks",
+        spin.speedup() > 3.0,
+        format!("spinlock speedup {:.1}x", spin.speedup()),
+    ));
+
+    // ---- Table 3 ----------------------------------------------------------
+    let t3 = table3(&scale.t3);
+    let app = |a: Table3App| t3.iter().find(|r| r.app == a).unwrap();
+    claims.push(claim(
+        3,
+        "threaded applications improve by tens of percent",
+        app(Table3App::Parthenon10).speedup() > 1.15
+            && app(Table3App::Proton64).speedup() > 1.3,
+        format!(
+            "parthenon-10 {:.2}x, proton-64 {:.2}x",
+            app(Table3App::Parthenon10).speedup(),
+            app(Table3App::Proton64).speedup()
+        ),
+    ));
+    claims.push(claim(
+        3,
+        "single-threaded applications benefit indirectly by a few percent",
+        app(Table3App::TextFormat).speedup() > 1.0
+            && app(Table3App::TextFormat).speedup() < 1.25,
+        format!("text-format {:.2}x", app(Table3App::TextFormat).speedup()),
+    ));
+    claims.push(claim(
+        3,
+        "the likelihood of suspension inside a sequence is extremely small",
+        t3.iter().all(|r| r.restarts * 50 <= r.emulation_traps.max(1)),
+        t3.iter()
+            .map(|r| format!("{} {}r/{}t", r.app.label(), r.restarts, r.emulation_traps))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    claims.push(claim(
+        3,
+        "thread suspensions occur far less often than atomic operations",
+        t3.iter().all(|r| r.suspensions.0 < r.emulation_traps.max(1)),
+        t3.iter()
+            .map(|r| format!("{} {}s", r.app.label(), r.suspensions.0))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+
+    // ---- Table 4 ----------------------------------------------------------
+    let t4 = table4(scale.t4);
+    let row = |name: &str| t4.iter().find(|r| r.processor == name).unwrap();
+    let expected_wins = ["DEC CVAX", "Intel 486", "Motorola 88000", "HP 9000/700"];
+    let expected_losses = ["Motorola 68030", "Intel 386", "Intel 860", "Sun SPARC"];
+    claims.push(claim(
+        4,
+        "explicit registration beats hardware exactly on CVAX/486/88000/HP-PA",
+        expected_wins
+            .iter()
+            .all(|n| row(n).registered_us < row(n).interlocked_us)
+            && expected_losses
+                .iter()
+                .all(|n| row(n).registered_us >= row(n).interlocked_us),
+        "win/loss split as in the paper".to_owned(),
+    ));
+    claims.push(claim(
+        4,
+        "designated sequences outperform the hardware in all cases (68030 near-tie)",
+        t4.iter().all(|r| {
+            r.designated_us < r.interlocked_us
+                || (r.processor == "Motorola 68030"
+                    && r.designated_us < r.interlocked_us * 1.3)
+        }),
+        t4.iter()
+            .map(|r| format!("{} {:.2}/{:.2}", r.processor, r.designated_us, r.interlocked_us))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    claims.push(claim(
+        4,
+        "linkage overhead is positive everywhere (explicit = designated + linkage)",
+        t4.iter().all(|r| r.linkage_us > 0.0),
+        "identity holds by construction".to_owned(),
+    ));
+
+    Verification { claims }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_reproduction_verifies_itself() {
+        let v = verify_reproduction(&VerifyScale::default());
+        assert!(
+            v.all_hold(),
+            "failed claims:\n{}",
+            v.failures()
+                .iter()
+                .map(|c| format!("  T{}: {} ({})", c.table, c.statement, c.evidence))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(v.claims.len() >= 12);
+        let text = v.to_string();
+        assert!(text.contains("claims hold"));
+    }
+}

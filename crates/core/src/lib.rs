@@ -1,0 +1,35 @@
+//! High-level facade for the *Fast Mutual Exclusion for Uniprocessors*
+//! reproduction: build a workload for a [`Mechanism`], run it on a
+//! simulated uniprocessor, and regenerate the paper's evaluation tables.
+//!
+//! This crate re-exports the pieces most users need — the mechanisms and
+//! workloads from `ras-guest`, the kernel configuration surface from
+//! `ras-kernel`, and the CPU profiles from `ras-machine` — plus the
+//! [`experiments`] module, whose `table1`…`table4` runners regenerate
+//! every table in the paper's evaluation section.
+//!
+//! # Example
+//!
+//! ```
+//! use ras_core::{run_guest, Mechanism, RunOptions};
+//! use ras_guest::workloads::{counter_loop, CounterSpec};
+//!
+//! let spec = CounterSpec { iterations: 2_000, ..Default::default() };
+//! let ras = run_guest(&counter_loop(Mechanism::RasInline, &spec), &RunOptions::default());
+//! let emu = run_guest(&counter_loop(Mechanism::KernelEmulation, &spec), &RunOptions::default());
+//! assert!(ras.micros < emu.micros, "optimism wins on the fast path");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+mod run;
+
+pub use ras_guest::{workloads, BuiltGuest, GuestBuilder, Mechanism, SeqRange, SyncRuntime};
+pub use ras_kernel::{
+    CheckTime, Kernel, KernelConfig, KernelStats, Outcome, StrategyKind, ThreadId,
+};
+pub use ras_machine::{CostModel, CpuProfile, PagingConfig};
+pub use run::{run_guest, run_guest_keeping_kernel, RunOptions, RunReport};

@@ -1,0 +1,136 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A plain-text table renderer for experiment output, mirroring the
+/// paper's table layout in monospace.
+///
+/// # Example
+///
+/// ```
+/// use ras_core::report::AsciiTable;
+///
+/// let mut t = AsciiTable::new("Table 1", &["Mechanism", "Time (µs)"]);
+/// t.row(vec!["RAS (inline)".into(), "0.51".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("Mechanism"));
+/// assert!(text.contains("0.51"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> AsciiTable {
+        AsciiTable {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for AsciiTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        writeln!(f, "{line}")?;
+        let fmt_row = |row: &[String]| -> String {
+            (0..cols)
+                .map(|i| format!(" {:<w$} ", row[i], w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{line}")?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a microsecond value the way the paper prints it (two decimals
+/// under 10, one decimal above).
+pub fn fmt_us(us: f64) -> String {
+    if us < 10.0 {
+        format!("{us:.2}")
+    } else {
+        format!("{us:.1}")
+    }
+}
+
+/// Formats a ratio like `1.38x`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = AsciiTable::new("T", &["a", "bbbb"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[2].contains("a"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // All data lines have equal width.
+        assert_eq!(lines[4].len(), lines[5].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = AsciiTable::new("T", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn microsecond_formatting_matches_paper_style() {
+        assert_eq!(fmt_us(0.51), "0.51");
+        assert_eq!(fmt_us(4.154), "4.15");
+        assert_eq!(fmt_us(230.84), "230.8");
+        assert_eq!(fmt_ratio(1.376), "1.38x");
+    }
+}

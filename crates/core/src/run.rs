@@ -1,0 +1,149 @@
+use ras_guest::BuiltGuest;
+use ras_kernel::{CheckTime, Kernel, KernelStats, Outcome};
+use ras_machine::{CpuProfile, PagingConfig};
+
+/// Options for executing a built guest on the simulator.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The CPU to run on.
+    pub profile: CpuProfile,
+    /// Preemption quantum in cycles (default: 250,000 — the DECstation's
+    /// 100 Hz tick at 25 MHz).
+    pub quantum: u64,
+    /// Timer jitter in cycles.
+    pub jitter: u64,
+    /// Seed for the jitter generator.
+    pub seed: u64,
+    /// When the kernel's PC check runs (§4.1).
+    pub check_time: CheckTime,
+    /// Optional demand paging.
+    pub paging: Option<PagingConfig>,
+    /// Per-thread stack size.
+    pub stack_bytes: u32,
+    /// Maximum thread count.
+    pub max_threads: usize,
+    /// Data memory size.
+    pub mem_bytes: u32,
+    /// Cycle budget; [`RunReport::outcome`] is
+    /// [`Outcome::OutOfFuel`] if exceeded.
+    pub fuel: u64,
+}
+
+impl RunOptions {
+    /// Paper-realistic defaults on the given profile.
+    pub fn new(profile: CpuProfile) -> RunOptions {
+        RunOptions {
+            profile,
+            quantum: 250_000,
+            jitter: 0,
+            seed: 0,
+            check_time: CheckTime::OnSuspend,
+            paging: None,
+            stack_bytes: 16 * 1024,
+            max_threads: 64,
+            mem_bytes: 8 * 1024 * 1024,
+            fuel: u64::MAX,
+        }
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions::new(CpuProfile::r3000())
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Total machine cycles.
+    pub cycles: u64,
+    /// Elapsed simulated time in microseconds.
+    pub micros: f64,
+    /// Kernel statistics (Table 3's columns live here).
+    pub stats: KernelStats,
+}
+
+impl RunReport {
+    /// Elapsed simulated time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.micros / 1e6
+    }
+}
+
+/// Boots and runs a built guest, returning the report.
+///
+/// # Panics
+///
+/// Panics if the kernel cannot boot (data image too large) or the run does
+/// not complete — experiment harnesses treat those as configuration bugs.
+pub fn run_guest(built: &BuiltGuest, options: &RunOptions) -> RunReport {
+    let (report, _) = run_guest_keeping_kernel(built, options);
+    report
+}
+
+/// Like [`run_guest`] but also returns the final kernel for inspection
+/// (memory contents, output log).
+pub fn run_guest_keeping_kernel(built: &BuiltGuest, options: &RunOptions) -> (RunReport, Kernel) {
+    let mut config = built.kernel_config(options.profile.clone());
+    config.quantum = options.quantum;
+    config.jitter = options.jitter;
+    config.seed = options.seed;
+    config.check_time = options.check_time;
+    config.paging = options.paging;
+    config.stack_bytes = options.stack_bytes;
+    config.max_threads = options.max_threads;
+    config.mem_bytes = options.mem_bytes;
+    let mut kernel = built.boot(config).expect("guest boots");
+    let outcome = kernel.run(options.fuel);
+    assert!(
+        matches!(outcome, Outcome::Completed),
+        "experiment run must complete, got {outcome:?} for {}",
+        built.mechanism
+    );
+    let report = RunReport {
+        outcome,
+        cycles: kernel.machine().clock(),
+        micros: kernel.machine().elapsed_micros(),
+        stats: *kernel.stats(),
+    };
+    (report, kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_guest::{workloads, Mechanism};
+
+    #[test]
+    fn run_guest_reports_cycles_and_stats() {
+        let spec = workloads::CounterSpec {
+            iterations: 100,
+            workers: 1,
+            body: workloads::CounterBody::LockAndCounter,
+        };
+        let built = workloads::counter_loop(Mechanism::KernelEmulation, &spec);
+        let report = run_guest(&built, &RunOptions::default());
+        assert_eq!(report.outcome, Outcome::Completed);
+        assert!(report.cycles > 0);
+        assert!(report.micros > 0.0);
+        assert!(report.stats.emulation_traps >= 100);
+        assert!((report.seconds() - report.micros / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keeping_kernel_allows_memory_inspection() {
+        let spec = workloads::CounterSpec {
+            iterations: 50,
+            workers: 2,
+            body: workloads::CounterBody::LockAndCounter,
+        };
+        let built = workloads::counter_loop(Mechanism::RasInline, &spec);
+        let (report, kernel) = run_guest_keeping_kernel(&built, &RunOptions::default());
+        assert_eq!(report.outcome, Outcome::Completed);
+        let counter = built.data.symbol("counter").unwrap();
+        assert_eq!(kernel.read_word(counter).unwrap(), 100);
+    }
+}

@@ -1,0 +1,191 @@
+//! Small reusable code-generation idioms shared by the runtime, the
+//! synchronization library, and the workloads.
+
+use ras_isa::{abi, AluOp, Asm, CodeAddr, Reg};
+
+/// Emits `yield()`: relinquish the processor. Clobbers `$v0`.
+pub fn emit_yield(asm: &mut Asm) {
+    asm.li(Reg::V0, abi::SYS_YIELD as i32);
+    asm.syscall();
+}
+
+/// Emits `exit()`: terminate the calling thread. Does not return.
+pub fn emit_exit(asm: &mut Asm) {
+    asm.li(Reg::V0, abi::SYS_EXIT as i32);
+    asm.syscall();
+}
+
+/// Emits `print(reg)`: log a value to the kernel output channel.
+/// Clobbers `$v0` and `$a0`.
+pub fn emit_print(asm: &mut Asm, reg: Reg) {
+    asm.li(Reg::V0, abi::SYS_PRINT as i32);
+    if reg != Reg::A0 {
+        asm.mv(Reg::A0, reg);
+    }
+    asm.syscall();
+}
+
+/// Emits `spawn(entry, arg_reg)`; the child's thread id is left in `$v0`.
+/// Clobbers `$a0`, `$a1`.
+pub fn emit_spawn(asm: &mut Asm, entry: CodeAddr, arg: Reg) {
+    if arg != Reg::A1 {
+        asm.mv(Reg::A1, arg);
+    }
+    asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+    asm.li(Reg::A0, entry as i32);
+    asm.syscall();
+}
+
+/// Emits `join(tid_reg)`. Clobbers `$v0`, `$a0`.
+pub fn emit_join(asm: &mut Asm, tid: Reg) {
+    asm.li(Reg::V0, abi::SYS_JOIN as i32);
+    if tid != Reg::A0 {
+        asm.mv(Reg::A0, tid);
+    }
+    asm.syscall();
+}
+
+/// Emits `wait(addr_reg, expected_reg)` — futex-style block while
+/// `mem[addr] == expected`. Clobbers `$v0`, `$a0`, `$a1`.
+pub fn emit_wait(asm: &mut Asm, addr: Reg, expected: Reg) {
+    debug_assert!(addr != Reg::A1, "addr would be clobbered by expected move");
+    if expected != Reg::A1 {
+        asm.mv(Reg::A1, expected);
+    }
+    if addr != Reg::A0 {
+        asm.mv(Reg::A0, addr);
+    }
+    asm.li(Reg::V0, abi::SYS_WAIT as i32);
+    asm.syscall();
+}
+
+/// Emits `wake(addr_reg, count)`. Clobbers `$v0`, `$a0`, `$a1`.
+pub fn emit_wake(asm: &mut Asm, addr: Reg, count: i32) {
+    if addr != Reg::A0 {
+        asm.mv(Reg::A0, addr);
+    }
+    asm.li(Reg::A1, count);
+    asm.li(Reg::V0, abi::SYS_WAKE as i32);
+    asm.syscall();
+}
+
+/// Emits a push of `regs` onto the stack (first register ends up at the
+/// lowest address).
+pub fn emit_push(asm: &mut Asm, regs: &[Reg]) {
+    let bytes = 4 * regs.len() as i32;
+    asm.addi(Reg::SP, Reg::SP, -bytes);
+    for (i, r) in regs.iter().enumerate() {
+        asm.sw(*r, Reg::SP, 4 * i as i32);
+    }
+}
+
+/// Emits the matching pop for [`emit_push`] (pass the same list).
+pub fn emit_pop(asm: &mut Asm, regs: &[Reg]) {
+    for (i, r) in regs.iter().enumerate() {
+        asm.lw(*r, Reg::SP, 4 * i as i32);
+    }
+    let bytes = 4 * regs.len() as i32;
+    asm.addi(Reg::SP, Reg::SP, bytes);
+}
+
+/// Emits a deterministic linear-congruential step:
+/// `state_reg = state_reg * 1103515245 + 12345` (glibc constants), leaving
+/// the new state in place. Clobbers `$at`.
+pub fn emit_lcg_step(asm: &mut Asm, state: Reg) {
+    asm.li(Reg::AT, 1103515245u32 as i32);
+    asm.alu(AluOp::Mul, state, state, Reg::AT);
+    asm.addi(state, state, 12345);
+}
+
+/// Emits a busy-work loop burning roughly `2 * iterations` cycles,
+/// using `scratch` as the counter.
+pub fn emit_busy_work(asm: &mut Asm, iterations: i32, scratch: Reg) {
+    asm.li(scratch, iterations);
+    let top = asm.bind_new();
+    asm.addi(scratch, scratch, -1);
+    asm.bnez(scratch, top);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::DataLayout;
+    use ras_kernel::{Kernel, KernelConfig, Outcome, StrategyKind};
+    use ras_machine::CpuProfile;
+
+    fn boot_and_run(asm: Asm) -> Kernel {
+        let mut cfg = KernelConfig::new(CpuProfile::r3000(), StrategyKind::None);
+        cfg.mem_bytes = 1 << 20;
+        cfg.stack_bytes = 4096;
+        let mut k = Kernel::boot(cfg, asm.finish().unwrap(), &DataLayout::new().finish()).unwrap();
+        assert_eq!(k.run(10_000_000), Outcome::Completed);
+        k
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut asm = Asm::new();
+        asm.li(Reg::S0, 11);
+        asm.li(Reg::S1, 22);
+        emit_push(&mut asm, &[Reg::S0, Reg::S1]);
+        asm.li(Reg::S0, 0);
+        asm.li(Reg::S1, 0);
+        emit_pop(&mut asm, &[Reg::S0, Reg::S1]);
+        emit_print(&mut asm, Reg::S0);
+        emit_print(&mut asm, Reg::S1);
+        emit_exit(&mut asm);
+        let k = boot_and_run(asm);
+        assert_eq!(k.output(), &[11, 22]);
+    }
+
+    #[test]
+    fn lcg_matches_oracle() {
+        let mut asm = Asm::new();
+        asm.li(Reg::S0, 1);
+        emit_lcg_step(&mut asm, Reg::S0);
+        emit_lcg_step(&mut asm, Reg::S0);
+        emit_print(&mut asm, Reg::S0);
+        emit_exit(&mut asm);
+        let k = boot_and_run(asm);
+        let step = |s: u32| s.wrapping_mul(1103515245).wrapping_add(12345);
+        assert_eq!(k.output(), &[step(step(1))]);
+    }
+
+    #[test]
+    fn busy_work_burns_cycles() {
+        let mut asm = Asm::new();
+        emit_busy_work(&mut asm, 100, Reg::T0);
+        emit_exit(&mut asm);
+        let k = boot_and_run(asm);
+        assert!(k.machine().clock() >= 200);
+    }
+
+    #[test]
+    fn spawn_join_wait_wake_helpers_compose() {
+        // Main spawns a child that stores 5 at address 0 and wakes main,
+        // which waits for it.
+        let mut asm = Asm::new();
+        let to_main = asm.label();
+        asm.j(to_main);
+        let child = asm.here();
+        asm.li(Reg::T0, 5);
+        asm.sw(Reg::T0, Reg::ZERO, 0);
+        emit_wake(&mut asm, Reg::ZERO, 1);
+        emit_exit(&mut asm);
+        asm.bind(to_main);
+        asm.set_entry_here();
+        asm.li(Reg::S0, 0);
+        emit_spawn(&mut asm, child, Reg::S0);
+        asm.mv(Reg::S1, Reg::V0);
+        // Wait while mem[0] == 0.
+        let check = asm.bind_new();
+        emit_wait(&mut asm, Reg::ZERO, Reg::ZERO);
+        asm.lw(Reg::T1, Reg::ZERO, 0);
+        asm.beqz(Reg::T1, check);
+        emit_join(&mut asm, Reg::S1);
+        emit_print(&mut asm, Reg::T1);
+        emit_exit(&mut asm);
+        let k = boot_and_run(asm);
+        assert_eq!(k.output(), &[5]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Lamport's fast mutual exclusion algorithm — executable forms of
+//! Figures 1 and 2 of the paper (software reservation, §2.2).
+//!
+//! Protocol (a) gives every lock its own reservation structure; protocol
+//! (b) bundles the algorithm into a single "meta" Test-And-Set that guards
+//! all regular atomic objects, trading memory accesses for `O(n)` total
+//! space.
+//!
+//! # Data layout of a reservation structure
+//!
+//! ```text
+//! offset 0      y  — owner (thread id + 1; 0 = free)
+//! offset 4      x  — reservation (thread id + 1)
+//! offset 8      b  — one "busy" word per thread slot, max_threads of them
+//! ```
+//!
+//! A thread's unique identifier comes from `$gp` (set by the kernel at
+//! spawn). The paper notes that computing the identifier and the address
+//! of the thread's busy word dominates the difference between the two
+//! protocols: protocol (a) computes them on entry *and* exit, protocol (b)
+//! only on entry — which is why (b) is faster on the DECstation despite
+//! more memory accesses.
+
+use ras_isa::{Asm, CodeAddr, DataAddr, DataLayout, Reg};
+
+use crate::codegen::emit_yield;
+
+/// Emits the `__cthread_self` helper: returns the calling thread's id in
+/// `$v1` via a table lookup, modeling the real cost of C-Threads'
+/// `cthread_self()` — the paper attributes the (a)-vs-(b) performance
+/// inversion to "the cost of having to compute a thread's unique
+/// identifier and the address of its 'busy' bit", and notes that "a
+/// dedicated per-thread hardware register would reverse this disparity."
+/// Protocol (a) pays this on entry and exit; protocol (b) only on entry.
+///
+/// `table` must be a `max_threads`-entry identity array (allocate with
+/// [`alloc_self_table`]). Clobbers `$t9` and `$v1`.
+pub fn emit_cthread_self(asm: &mut Asm, table: DataAddr) -> CodeAddr {
+    let entry = asm.bind_symbol("__cthread_self");
+    asm.slli(Reg::T9, Reg::GP, 2);
+    asm.lw(Reg::V1, Reg::T9, table as i32);
+    asm.jr(Reg::RA);
+    entry
+}
+
+/// Allocates the identity table backing [`emit_cthread_self`].
+pub fn alloc_self_table(data: &mut DataLayout, max_threads: usize) -> DataAddr {
+    let ids: Vec<u32> = (0..max_threads as u32).collect();
+    data.array_init("__self_table", &ids)
+}
+
+/// Bytes occupied by one reservation structure for `max_threads` threads.
+pub fn lock_bytes(max_threads: usize) -> u32 {
+    8 + 4 * max_threads as u32
+}
+
+/// Allocates a reservation structure in the data segment.
+pub fn alloc_lock(data: &mut DataLayout, name: &str, max_threads: usize) -> DataAddr {
+    data.array(name, (lock_bytes(max_threads) / 4) as usize, 0)
+}
+
+/// Emits the body of Lamport's *enter* protocol (Figure 1 lines 1–18)
+/// inline at the current position. `base` holds the structure's byte
+/// address; falls through with the lock held.
+///
+/// If `self_fn` is given, the thread id is obtained by calling
+/// `__cthread_self` (clobbering `$ra`, `$v1`, `$t9`); otherwise it is read
+/// from the dedicated `$gp` register.
+///
+/// Clobbers `$t0..$t5` and `$v0` (via `yield`); preserves `base` and the
+/// argument registers other than those listed.
+pub fn emit_enter_body(asm: &mut Asm, base: Reg, max_threads: usize, self_fn: Option<CodeAddr>) {
+    assert!(base != Reg::T0 && base != Reg::T1 && base != Reg::T3 && base != Reg::T4);
+    // Identifier and busy-bit address are computed once on entry.
+    match self_fn {
+        Some(f) => {
+            asm.jal_to(f);
+        }
+        None => {
+            asm.mv(Reg::V1, Reg::GP);
+        }
+    }
+    let start = asm.bind_new();
+    // t3 = i (own id + 1); t4 = &b[i].
+    asm.addi(Reg::T3, Reg::V1, 1);
+    asm.slli(Reg::T4, Reg::V1, 2);
+    asm.add(Reg::T4, Reg::T4, base);
+    asm.addi(Reg::T4, Reg::T4, 8);
+    // b[i] := true; x := i.
+    asm.li(Reg::T0, 1);
+    asm.sw(Reg::T0, Reg::T4, 0);
+    asm.sw(Reg::T3, base, 4);
+    // if y <> 0 then contention.
+    let contention = asm.label();
+    let enter = asm.label();
+    asm.lw(Reg::T1, base, 0);
+    asm.bnez(Reg::T1, contention);
+    // y := i; if x <> i then collision.
+    asm.sw(Reg::T3, base, 0);
+    asm.lw(Reg::T1, base, 4);
+    asm.beq(Reg::T1, Reg::T3, enter);
+    // Collision (lines 11–18): b[i] := false; wait for all busy bits.
+    asm.sw(Reg::ZERO, Reg::T4, 0);
+    asm.addi(Reg::T5, base, 8);
+    asm.li(Reg::T2, max_threads as i32);
+    let for_j = asm.bind_new();
+    let j_clear = asm.label();
+    asm.lw(Reg::T1, Reg::T5, 0);
+    asm.beqz(Reg::T1, j_clear);
+    emit_yield(asm);
+    asm.j(for_j);
+    asm.bind(j_clear);
+    asm.addi(Reg::T5, Reg::T5, 4);
+    asm.addi(Reg::T2, Reg::T2, -1);
+    asm.bnez(Reg::T2, for_j);
+    // if y <> i then await (y = 0); goto start.
+    asm.lw(Reg::T1, base, 0);
+    asm.beq(Reg::T1, Reg::T3, enter);
+    let await_y2 = asm.bind_new();
+    let retry2 = asm.label();
+    asm.lw(Reg::T1, base, 0);
+    asm.beqz(Reg::T1, retry2);
+    emit_yield(asm);
+    asm.j(await_y2);
+    asm.bind(retry2);
+    asm.j(start);
+    // Contention (lines 4–7): b[i] := false; await (y = 0); goto start.
+    asm.bind(contention);
+    asm.sw(Reg::ZERO, Reg::T4, 0);
+    let await_y = asm.bind_new();
+    let retry = asm.label();
+    asm.lw(Reg::T1, base, 0);
+    asm.beqz(Reg::T1, retry);
+    emit_yield(asm);
+    asm.j(await_y);
+    asm.bind(retry);
+    asm.j(start);
+    asm.bind(enter);
+}
+
+/// Emits the body of the *exit* protocol (Figure 1 lines 21–22) inline:
+/// `y := 0; b[i] := false`. Clobbers `$t4` (plus `$ra`, `$v1`, `$t9` when
+/// `self_fn` recomputes the id — protocol (a) pays that on exit too).
+pub fn emit_exit_body(asm: &mut Asm, base: Reg, self_fn: Option<CodeAddr>) {
+    assert!(base != Reg::T4);
+    match self_fn {
+        Some(f) => {
+            asm.jal_to(f);
+        }
+        None => {
+            asm.mv(Reg::V1, Reg::GP);
+        }
+    }
+    asm.sw(Reg::ZERO, base, 0);
+    asm.slli(Reg::T4, Reg::V1, 2);
+    asm.add(Reg::T4, Reg::T4, base);
+    asm.addi(Reg::T4, Reg::T4, 8);
+    asm.sw(Reg::ZERO, Reg::T4, 0);
+}
+
+/// Emits protocol (a)'s out-of-line functions `__lamport_enter` and
+/// `__lamport_exit` (`$a0` = structure address). Both recompute the
+/// thread identifier via `self_fn`, matching the paper's accounting that
+/// protocol (a) pays the id/busy-bit computation "on entry and exit to a
+/// critical section." Returns their entry addresses.
+pub fn emit_functions(asm: &mut Asm, max_threads: usize, self_fn: CodeAddr) -> (CodeAddr, CodeAddr) {
+    // `$t8` carries the return address across the internal
+    // `__cthread_self` call (leaf-function linkage, cheaper than a stack
+    // frame — callers already treat `$t8`/`$t9` as clobbered).
+    let enter = asm.bind_symbol("__lamport_enter");
+    asm.mv(Reg::T8, Reg::RA);
+    emit_enter_body(asm, Reg::A0, max_threads, Some(self_fn));
+    asm.jr(Reg::T8);
+    let exit = asm.bind_symbol("__lamport_exit");
+    asm.mv(Reg::T8, Reg::RA);
+    emit_exit_body(asm, Reg::A0, Some(self_fn));
+    asm.jr(Reg::T8);
+    (enter, exit)
+}
+
+/// Emits protocol (b)'s bundled meta Test-And-Set function (Figure 2):
+/// Lamport's algorithm on one global meta structure guards the simple
+/// Test-And-Set of the word at `$a0`. Returns the function address.
+///
+/// `meta_base` is the address of the meta reservation structure (allocate
+/// with [`alloc_lock`]). The old value of the word is left in `$v0`.
+pub fn emit_meta_tas(
+    asm: &mut Asm,
+    meta_base: DataAddr,
+    max_threads: usize,
+    self_fn: CodeAddr,
+) -> CodeAddr {
+    let entry = asm.bind_symbol("__meta_tas");
+    asm.mv(Reg::T8, Reg::RA);
+    asm.li(Reg::A1, meta_base as i32);
+    emit_enter_body(asm, Reg::A1, max_threads, Some(self_fn));
+    // Critical section, exactly Figure 2: if p = 0 then result := 0;
+    // p := 1 else result := 1. The store MUST be conditional: the clear
+    // (`p := 0`) is a bare store outside the meta lock, so an
+    // unconditional store here could re-lock a lock released between this
+    // function's read and write.
+    let already_set = asm.label();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.bnez(Reg::V0, already_set);
+    asm.li(Reg::T0, 1);
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.bind(already_set);
+    // Protocol (b) computes the identifier only on entry; the exit reuses
+    // the value still in `$v1`.
+    emit_exit_body(asm, Reg::A1, None);
+    asm.jr(Reg::T8);
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::DataLayout;
+
+    #[test]
+    fn lock_bytes_scales_with_threads() {
+        assert_eq!(lock_bytes(1), 12);
+        assert_eq!(lock_bytes(8), 40);
+    }
+
+    #[test]
+    fn alloc_lock_reserves_the_right_span() {
+        let mut data = DataLayout::new();
+        let a = alloc_lock(&mut data, "l1", 4);
+        let b = data.word("after", 0);
+        assert_eq!(b - a, lock_bytes(4));
+    }
+
+    #[test]
+    fn enter_body_uses_no_forbidden_registers() {
+        // The body must not clobber s-registers or the argument registers
+        // beyond its contract: scan the emitted instructions.
+        let mut asm = Asm::new();
+        emit_enter_body(&mut asm, Reg::A0, 4, None);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        for inst in p.code() {
+            if let ras_isa::Inst::Sw { .. } | ras_isa::Inst::Lw { .. } = inst {
+                continue;
+            }
+            let writes = match *inst {
+                ras_isa::Inst::Li { rd, .. } => Some(rd),
+                ras_isa::Inst::Alu { rd, .. } => Some(rd),
+                ras_isa::Inst::AluI { rd, .. } => Some(rd),
+                _ => None,
+            };
+            if let Some(rd) = writes {
+                assert!(
+                    (Reg::T0..=Reg::T5).contains(&rd) || rd == Reg::V0 || rd == Reg::V1,
+                    "unexpected clobber of {rd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn functions_have_distinct_entries() {
+        let mut asm = Asm::new();
+        let self_fn = emit_cthread_self(&mut asm, 0x200);
+        let (enter, exit) = emit_functions(&mut asm, 4, self_fn);
+        assert!(enter < exit);
+        let p = asm.finish().unwrap();
+        assert_eq!(p.symbol("__lamport_enter"), Some(enter));
+        assert_eq!(p.symbol("__lamport_exit"), Some(exit));
+    }
+
+    #[test]
+    fn meta_tas_embeds_enter_and_exit() {
+        let mut asm = Asm::new();
+        let self_fn = emit_cthread_self(&mut asm, 0x200);
+        let entry = emit_meta_tas(&mut asm, 0x100, 4, self_fn);
+        assert!(entry > self_fn);
+        let p = asm.finish().unwrap();
+        // Ends in jr ra.
+        assert_eq!(
+            p.fetch(p.len() as u32 - 1).unwrap().opcode(),
+            ras_isa::Opcode::Jr
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Guest-side code generation for the uniprocessor simulator: every
+//! mutual-exclusion mechanism evaluated in *Fast Mutual Exclusion for
+//! Uniprocessors* (Bershad, Redell & Ellis, ASPLOS 1992), a C-Threads-like
+//! synchronization library built on top of them, and the paper's benchmark
+//! and application workloads.
+//!
+//! The central abstraction is [`Mechanism`]: pick one, build a
+//! [`GuestBuilder`], and the same workload code runs over restartable
+//! atomic sequences (registered, inlined, or user-level), kernel
+//! emulation, hardware interlocked instructions, the i860 restart bit, or
+//! Lamport's software reservation — only the generated fast paths differ.
+//!
+//! # Example
+//!
+//! ```
+//! use ras_guest::{workloads, Mechanism};
+//! use ras_kernel::Outcome;
+//! use ras_machine::CpuProfile;
+//!
+//! let spec = workloads::CounterSpec { iterations: 1000, ..Default::default() };
+//! let built = workloads::counter_loop(Mechanism::RasInline, &spec);
+//! let mut config = built.kernel_config(CpuProfile::r3000());
+//! config.quantum = 50_000;
+//! let mut kernel = built.boot(config)?;
+//! assert_eq!(kernel.run(u64::MAX), Outcome::Completed);
+//! assert_eq!(kernel.read_word(built.data.symbol("counter").unwrap())?, 1000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod lamport;
+mod lock;
+mod mechanism;
+mod runtime;
+pub mod sync_extra;
+pub mod tas;
+pub mod workloads;
+
+pub use mechanism::Mechanism;
+pub use runtime::{BuiltGuest, GuestBuilder, SyncRuntime};
+pub use sync_extra::{alloc_barrier, alloc_rwlock, alloc_semaphore, emit_sync_extra, SyncExtra};
+pub use tas::SeqRange;

@@ -1,0 +1,135 @@
+//! Blocking mutexes and condition variables, generic over the Test-And-Set
+//! flavor.
+//!
+//! The paper's Taos mutex takes an optimistic fast path and falls into an
+//! out-of-line `SlowAcquire` kernel call on contention (§3.2, Figure 5).
+//! This library is structured the same way: the raw lock (one Test-And-Set
+//! word, or a Lamport reservation structure) is taken with the mechanism's
+//! fast path, and contended mutexes park in the kernel on futex-style
+//! wait queues.
+//!
+//! Mutex memory layout (word offsets relative to the raw-lock size `R`):
+//!
+//! ```text
+//! [0 .. R)   raw guard lock
+//! [R]        state   (0 = free, 1 = held)
+//! [R + 1]    waiters (count of threads that may be parked)
+//! ```
+
+use ras_isa::{abi, Asm, Reg};
+
+use crate::runtime::SyncRuntime;
+
+/// Emits the out-of-line mutex and condition-variable functions and
+/// records their addresses in `rt`. Called once by
+/// [`crate::GuestBuilder::new`] after the Test-And-Set flavor's own
+/// functions exist.
+pub(crate) fn emit_lock_functions(asm: &mut Asm, rt: &mut SyncRuntime) {
+    let state = rt.mutex_state_offset();
+    let waiters = rt.mutex_waiters_offset();
+
+    // ---- __mutex_acquire (a0 = mutex) -----------------------------------
+    rt.mutex_acquire_fn = asm.bind_symbol("__mutex_acquire");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S7]);
+        asm.mv(Reg::S7, Reg::A0);
+        let retry = asm.bind_new();
+        let take = asm.label();
+        asm.mv(Reg::A0, Reg::S7);
+        rt.emit_raw_enter(asm);
+        asm.lw(Reg::T6, Reg::S7, state);
+        asm.beqz(Reg::T6, take);
+        // Held: note interest, drop the guard, park on the state word.
+        asm.lw(Reg::T6, Reg::S7, waiters);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::S7, waiters);
+        asm.mv(Reg::A0, Reg::S7);
+        rt.emit_raw_exit(asm);
+        asm.addi(Reg::A0, Reg::S7, state);
+        asm.li(Reg::A1, 1);
+        asm.li(Reg::V0, abi::SYS_WAIT as i32);
+        asm.syscall();
+        // Retract interest and try again.
+        asm.mv(Reg::A0, Reg::S7);
+        rt.emit_raw_enter(asm);
+        asm.lw(Reg::T6, Reg::S7, waiters);
+        asm.addi(Reg::T6, Reg::T6, -1);
+        asm.sw(Reg::T6, Reg::S7, waiters);
+        asm.mv(Reg::A0, Reg::S7);
+        rt.emit_raw_exit(asm);
+        asm.j(retry);
+        // Free: take it and drop the guard.
+        asm.bind(take);
+        asm.li(Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::S7, state);
+        asm.mv(Reg::A0, Reg::S7);
+        rt.emit_raw_exit(asm);
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S7]);
+        asm.jr(Reg::RA);
+    }
+
+    // ---- __mutex_release (a0 = mutex) -----------------------------------
+    rt.mutex_release_fn = asm.bind_symbol("__mutex_release");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S7]);
+        asm.mv(Reg::S7, Reg::A0);
+        asm.mv(Reg::A0, Reg::S7);
+        rt.emit_raw_enter(asm);
+        asm.sw(Reg::ZERO, Reg::S7, state);
+        asm.lw(Reg::T6, Reg::S7, waiters);
+        asm.mv(Reg::A0, Reg::S7);
+        rt.emit_raw_exit(asm);
+        let done = asm.label();
+        asm.beqz(Reg::T6, done);
+        asm.addi(Reg::A0, Reg::S7, state);
+        asm.li(Reg::A1, 1);
+        asm.li(Reg::V0, abi::SYS_WAKE as i32);
+        asm.syscall();
+        asm.bind(done);
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S7]);
+        asm.jr(Reg::RA);
+    }
+
+    // ---- __cv_wait (a0 = condvar, a1 = held mutex) -----------------------
+    rt.cv_wait_fn = asm.bind_symbol("__cv_wait");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S4, Reg::S5, Reg::S6]);
+        asm.mv(Reg::S4, Reg::A0); // condvar
+        asm.mv(Reg::S5, Reg::A1); // mutex
+        asm.lw(Reg::S6, Reg::S4, 0); // sequence snapshot
+        asm.mv(Reg::A0, Reg::S5);
+        asm.jal_to(rt.mutex_release_fn);
+        asm.mv(Reg::A0, Reg::S4);
+        asm.mv(Reg::A1, Reg::S6);
+        asm.li(Reg::V0, abi::SYS_WAIT as i32);
+        asm.syscall();
+        asm.mv(Reg::A0, Reg::S5);
+        asm.jal_to(rt.mutex_acquire_fn);
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S4, Reg::S5, Reg::S6]);
+        asm.jr(Reg::RA);
+    }
+
+    // ---- __cv_signal (a0 = condvar; caller holds the mutex) --------------
+    rt.cv_signal_fn = asm.bind_symbol("__cv_signal");
+    {
+        asm.lw(Reg::T6, Reg::A0, 0);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::A0, 0);
+        asm.li(Reg::A1, 1);
+        asm.li(Reg::V0, abi::SYS_WAKE as i32);
+        asm.syscall();
+        asm.jr(Reg::RA);
+    }
+
+    // ---- __cv_broadcast (a0 = condvar; caller holds the mutex) -----------
+    rt.cv_broadcast_fn = asm.bind_symbol("__cv_broadcast");
+    {
+        asm.lw(Reg::T6, Reg::A0, 0);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::A0, 0);
+        asm.li(Reg::A1, i32::MAX);
+        asm.li(Reg::V0, abi::SYS_WAKE as i32);
+        asm.syscall();
+        asm.jr(Reg::RA);
+    }
+}

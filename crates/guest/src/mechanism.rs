@@ -1,0 +1,191 @@
+use std::fmt;
+
+use ras_kernel::StrategyKind;
+use ras_machine::CpuProfile;
+
+/// A mutual-exclusion mechanism from the paper, selecting both the guest
+/// code shape and the kernel support it requires.
+///
+/// | Variant | Paper section | Kernel strategy |
+/// |---|---|---|
+/// | [`Mechanism::RasRegistered`] | §3.1 (Mach, Figure 4) | explicit registration |
+/// | [`Mechanism::RasInline`] | §3.2 (Taos, Figure 5) | designated sequences |
+/// | [`Mechanism::KernelEmulation`] | §2.3 | none (always available) |
+/// | [`Mechanism::Interlocked`] | §2.1 / §6 | none (hardware TAS) |
+/// | [`Mechanism::LamportPerLock`] | §2.2 protocol (a), Figure 1 | none |
+/// | [`Mechanism::LamportBundled`] | §2.2 protocol (b), Figure 2 | none |
+/// | [`Mechanism::UserLevelRestart`] | §4.1 | user-level redirect |
+/// | [`Mechanism::HardwareBit`] | §7 (i860) | hardware restart bit |
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mechanism {
+    /// Out-of-line restartable atomic sequence, explicitly registered with
+    /// the kernel. The Table 1 row "Restartable Atomic Sequences (branch)".
+    RasRegistered,
+    /// Inlined designated restartable atomic sequence with the landmark
+    /// no-op. The Table 1 row "Restartable Atomic Sequences (inline)".
+    RasInline,
+    /// Test-And-Set as a system call with interrupts disabled.
+    KernelEmulation,
+    /// The hardware memory-interlocked Test-And-Set instruction.
+    Interlocked,
+    /// Lamport's fast mutual exclusion, one reservation structure per lock
+    /// — software reservation protocol (a).
+    LamportPerLock,
+    /// Lamport's algorithm bundled into a single "meta" Test-And-Set
+    /// guarding all regular atomic objects — protocol (b).
+    LamportBundled,
+    /// Restartable sequences detected and repaired at user level (§4.1):
+    /// the kernel redirects every involuntarily suspended thread through a
+    /// guest recovery routine.
+    UserLevelRestart,
+    /// The i860's `begin_atomic` processor-status bit.
+    HardwareBit,
+}
+
+impl Mechanism {
+    /// All mechanisms, in presentation order.
+    pub fn all() -> [Mechanism; 8] {
+        [
+            Mechanism::RasRegistered,
+            Mechanism::RasInline,
+            Mechanism::KernelEmulation,
+            Mechanism::Interlocked,
+            Mechanism::LamportPerLock,
+            Mechanism::LamportBundled,
+            Mechanism::UserLevelRestart,
+            Mechanism::HardwareBit,
+        ]
+    }
+
+    /// The software mechanisms measured on the R3000 in Table 1 (which has
+    /// no hardware atomic support), in the table's row order.
+    pub fn table1_lineup() -> [Mechanism; 5] {
+        [
+            Mechanism::RasRegistered,
+            Mechanism::RasInline,
+            Mechanism::KernelEmulation,
+            Mechanism::LamportPerLock,
+            Mechanism::LamportBundled,
+        ]
+    }
+
+    /// Short lowercase identifier for reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            Mechanism::RasRegistered => "ras-registered",
+            Mechanism::RasInline => "ras-inline",
+            Mechanism::KernelEmulation => "kernel-emulation",
+            Mechanism::Interlocked => "interlocked",
+            Mechanism::LamportPerLock => "lamport-a",
+            Mechanism::LamportBundled => "lamport-b",
+            Mechanism::UserLevelRestart => "user-level",
+            Mechanism::HardwareBit => "hardware-bit",
+        }
+    }
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::RasRegistered => "Restartable Atomic Sequences (branch)",
+            Mechanism::RasInline => "Restartable Atomic Sequences (inline)",
+            Mechanism::KernelEmulation => "Kernel Emulation",
+            Mechanism::Interlocked => "Memory-Interlocked Instruction",
+            Mechanism::LamportPerLock => "Software-reservation (a)",
+            Mechanism::LamportBundled => "Software-reservation (b)",
+            Mechanism::UserLevelRestart => "User-Level Restart",
+            Mechanism::HardwareBit => "Hardware Restart Bit (i860)",
+        }
+    }
+
+    /// Whether the guest code for this mechanism uses restartable atomic
+    /// sequences (as opposed to a pessimistic technique).
+    pub fn is_optimistic(self) -> bool {
+        matches!(
+            self,
+            Mechanism::RasRegistered
+                | Mechanism::RasInline
+                | Mechanism::UserLevelRestart
+                | Mechanism::HardwareBit
+        )
+    }
+
+    /// Whether `profile` can run this mechanism.
+    pub fn supported_by(self, profile: &CpuProfile) -> bool {
+        match self {
+            Mechanism::Interlocked => profile.has_interlocked(),
+            Mechanism::HardwareBit => profile.has_restart_bit(),
+            _ => true,
+        }
+    }
+
+    /// The kernel strategy this mechanism requires. The user-level restart
+    /// mechanism needs the guest recovery routine's address, which is only
+    /// known once the program is built, so it is provided by
+    /// [`crate::BuiltGuest::strategy`] rather than here.
+    pub fn base_strategy(self) -> StrategyKind {
+        match self {
+            Mechanism::RasRegistered => StrategyKind::Registered,
+            Mechanism::RasInline => StrategyKind::Designated,
+            Mechanism::HardwareBit => StrategyKind::HardwareBit,
+            Mechanism::UserLevelRestart
+            | Mechanism::KernelEmulation
+            | Mechanism::Interlocked
+            | Mechanism::LamportPerLock
+            | Mechanism::LamportBundled => StrategyKind::None,
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let ids: Vec<_> = Mechanism::all().iter().map(|m| m.id()).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn r3000_supports_exactly_the_software_mechanisms() {
+        let p = CpuProfile::r3000();
+        assert!(Mechanism::RasInline.supported_by(&p));
+        assert!(Mechanism::KernelEmulation.supported_by(&p));
+        assert!(!Mechanism::Interlocked.supported_by(&p));
+        assert!(!Mechanism::HardwareBit.supported_by(&p));
+    }
+
+    #[test]
+    fn i860_supports_everything() {
+        let p = CpuProfile::i860();
+        for m in Mechanism::all() {
+            assert!(m.supported_by(&p), "{m}");
+        }
+    }
+
+    #[test]
+    fn optimism_classification_matches_the_paper() {
+        assert!(Mechanism::RasInline.is_optimistic());
+        assert!(Mechanism::UserLevelRestart.is_optimistic());
+        assert!(!Mechanism::KernelEmulation.is_optimistic());
+        assert!(!Mechanism::LamportPerLock.is_optimistic());
+        assert!(!Mechanism::Interlocked.is_optimistic());
+    }
+
+    #[test]
+    fn table1_lineup_has_no_hardware_rows() {
+        for m in Mechanism::table1_lineup() {
+            assert!(m.supported_by(&CpuProfile::r3000()), "{m}");
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The guest-side runtime: a C-Threads-like synchronization library
+//! generated as guest machine code, parameterized by [`Mechanism`].
+//!
+//! [`GuestBuilder`] assembles a complete program image: the runtime
+//! functions (Test-And-Set in the chosen flavor, blocking mutexes,
+//! condition variables), the user's code, a `crt0` that performs explicit
+//! registration when required (§3.1) and calls `main`, and — for the
+//! user-level restart mechanism — the recovery routine of §4.1.
+
+use ras_isa::{abi, Asm, AsmError, CodeAddr, DataAddr, DataImage, DataLayout, Program, Reg};
+use ras_kernel::{BootError, Kernel, KernelConfig, StrategyKind};
+use ras_machine::CpuProfile;
+
+use crate::codegen::emit_yield;
+use crate::lamport;
+use crate::lock;
+use crate::tas::{self, SeqRange};
+use crate::Mechanism;
+
+/// Addresses and emitters for the synchronization runtime of one program.
+///
+/// All emitters follow these conventions:
+///
+/// * `emit_tas` / `emit_clear`: `$a0` = word address; old value in `$v0`;
+///   clobbers `$t0` and (for out-of-line flavors) `$ra`.
+/// * `emit_raw_enter` / `emit_raw_exit`: `$a0` = raw lock address;
+///   clobbers `$v0`, `$t0..$t5`, `$ra`; spins by yielding.
+/// * The mutex and condition-variable functions preserve everything except
+///   `$v0`, `$t0..$t7`, `$a0..$a1` and are called with `jal`.
+#[derive(Debug, Clone)]
+pub struct SyncRuntime {
+    pub(crate) mechanism: Mechanism,
+    pub(crate) max_threads: usize,
+    pub(crate) tas_fn: Option<CodeAddr>,
+    pub(crate) tas_seq: Option<SeqRange>,
+    pub(crate) meta_tas_fn: Option<CodeAddr>,
+    pub(crate) lamport_enter: Option<CodeAddr>,
+    pub(crate) lamport_exit: Option<CodeAddr>,
+    pub(crate) mutex_acquire_fn: CodeAddr,
+    pub(crate) mutex_release_fn: CodeAddr,
+    pub(crate) cv_wait_fn: CodeAddr,
+    pub(crate) cv_signal_fn: CodeAddr,
+    pub(crate) cv_broadcast_fn: CodeAddr,
+    pub(crate) user_seq_ranges: Vec<SeqRange>,
+}
+
+impl SyncRuntime {
+    /// The mechanism this runtime was generated for.
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// Maximum number of threads the Lamport structures are sized for.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Words occupied by a raw (spin) lock under this mechanism.
+    pub fn raw_lock_words(&self) -> usize {
+        match self.mechanism {
+            Mechanism::LamportPerLock => 2 + self.max_threads,
+            _ => 1,
+        }
+    }
+
+    /// Allocates a raw lock in the data segment.
+    pub fn alloc_raw_lock(&self, data: &mut DataLayout, name: &str) -> DataAddr {
+        data.array(name, self.raw_lock_words(), 0)
+    }
+
+    /// Allocates a blocking mutex: `[raw lock][state][waiters]`.
+    pub fn alloc_mutex(&self, data: &mut DataLayout, name: &str) -> DataAddr {
+        data.array(name, self.raw_lock_words() + 2, 0)
+    }
+
+    /// Allocates a condition variable (a sequence word).
+    pub fn alloc_condvar(&self, data: &mut DataLayout, name: &str) -> DataAddr {
+        data.array(name, 1, 0)
+    }
+
+    /// Byte offset of the mutex `state` word.
+    pub fn mutex_state_offset(&self) -> i32 {
+        4 * self.raw_lock_words() as i32
+    }
+
+    /// Byte offset of the mutex `waiters` word.
+    pub fn mutex_waiters_offset(&self) -> i32 {
+        self.mutex_state_offset() + 4
+    }
+
+    /// Emits a single Test-And-Set of the word at `$a0`, old value to
+    /// `$v0`, in this runtime's flavor.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Mechanism::LamportPerLock`], which has no Test-And-Set
+    /// primitive — use [`SyncRuntime::emit_raw_enter`] instead.
+    pub fn emit_tas(&self, asm: &mut Asm) {
+        match self.mechanism {
+            Mechanism::RasRegistered | Mechanism::UserLevelRestart => {
+                asm.jal_to(self.tas_fn.expect("tas function emitted"));
+            }
+            Mechanism::RasInline => {
+                tas::emit_tas_inline(asm);
+            }
+            Mechanism::KernelEmulation => tas::emit_tas_kernel(asm),
+            Mechanism::Interlocked => tas::emit_tas_interlocked(asm),
+            Mechanism::HardwareBit => tas::emit_tas_hardware_bit(asm),
+            Mechanism::LamportBundled => {
+                asm.jal_to(self.meta_tas_fn.expect("meta tas emitted"));
+            }
+            Mechanism::LamportPerLock => {
+                panic!("protocol (a) has no Test-And-Set; use emit_raw_enter")
+            }
+        }
+    }
+
+    /// Emits the atomic clear of the word at `$a0`.
+    pub fn emit_clear(&self, asm: &mut Asm) {
+        tas::emit_clear(asm);
+    }
+
+    /// Emits an inline spin-acquire of the raw lock at `$a0`: Test-And-Set
+    /// until free, yielding the processor on contention (the uniprocessor
+    /// form of `await`, §2.2).
+    pub fn emit_raw_enter(&self, asm: &mut Asm) {
+        if self.mechanism == Mechanism::LamportPerLock {
+            asm.jal_to(self.lamport_enter.expect("lamport functions emitted"));
+            return;
+        }
+        let retry = asm.bind_new();
+        let done = asm.label();
+        self.emit_tas(asm);
+        asm.beqz(Reg::V0, done);
+        emit_yield(asm);
+        asm.j(retry);
+        asm.bind(done);
+    }
+
+    /// Emits the inline release of the raw lock at `$a0`.
+    pub fn emit_raw_exit(&self, asm: &mut Asm) {
+        if self.mechanism == Mechanism::LamportPerLock {
+            asm.jal_to(self.lamport_exit.expect("lamport functions emitted"));
+            return;
+        }
+        self.emit_clear(asm);
+    }
+
+    /// Emits `jal __mutex_acquire` (`$a0` = mutex address).
+    pub fn emit_mutex_acquire(&self, asm: &mut Asm) {
+        asm.jal_to(self.mutex_acquire_fn);
+    }
+
+    /// Emits `jal __mutex_release` (`$a0` = mutex address).
+    pub fn emit_mutex_release(&self, asm: &mut Asm) {
+        asm.jal_to(self.mutex_release_fn);
+    }
+
+    /// Emits `jal __cv_wait` (`$a0` = condvar, `$a1` = mutex; the caller
+    /// must hold the mutex).
+    pub fn emit_cv_wait(&self, asm: &mut Asm) {
+        asm.jal_to(self.cv_wait_fn);
+    }
+
+    /// Emits `jal __cv_signal` (`$a0` = condvar; caller holds the mutex).
+    pub fn emit_cv_signal(&self, asm: &mut Asm) {
+        asm.jal_to(self.cv_signal_fn);
+    }
+
+    /// Emits `jal __cv_broadcast` (`$a0` = condvar; caller holds the mutex).
+    pub fn emit_cv_broadcast(&self, asm: &mut Asm) {
+        asm.jal_to(self.cv_broadcast_fn);
+    }
+
+    /// The registered sequence range (Figure 4 window), when the mechanism
+    /// uses one.
+    pub fn registered_seq(&self) -> Option<SeqRange> {
+        self.tas_seq
+    }
+
+    /// Entry address of `__mutex_acquire` (for custom emitters that call
+    /// it directly rather than through [`SyncRuntime::emit_mutex_acquire`]).
+    pub fn mutex_acquire_addr(&self) -> CodeAddr {
+        self.mutex_acquire_fn
+    }
+
+    /// Entry address of `__mutex_release`.
+    pub fn mutex_release_addr(&self) -> CodeAddr {
+        self.mutex_release_fn
+    }
+
+    /// Entry address of `__cv_wait`.
+    pub fn cv_wait_addr(&self) -> CodeAddr {
+        self.cv_wait_fn
+    }
+
+    /// Entry address of `__cv_signal`.
+    pub fn cv_signal_addr(&self) -> CodeAddr {
+        self.cv_signal_fn
+    }
+
+    /// Entry address of `__cv_broadcast`.
+    pub fn cv_broadcast_addr(&self) -> CodeAddr {
+        self.cv_broadcast_fn
+    }
+}
+
+/// Builds a complete guest program around a [`SyncRuntime`].
+#[derive(Debug)]
+pub struct GuestBuilder {
+    asm: Asm,
+    data: DataLayout,
+    rt: SyncRuntime,
+}
+
+impl GuestBuilder {
+    /// Creates a builder and emits the runtime functions for `mechanism`.
+    ///
+    /// `max_threads` sizes the Lamport busy arrays and must cover every
+    /// thread the program will create (including main).
+    pub fn new(mechanism: Mechanism, max_threads: usize) -> GuestBuilder {
+        assert!(max_threads >= 1, "at least the main thread exists");
+        let mut asm = Asm::new();
+        let mut data = DataLayout::new();
+        data.word("__ras_register_result", 0);
+
+        let mut rt = SyncRuntime {
+            mechanism,
+            max_threads,
+            tas_fn: None,
+            tas_seq: None,
+            meta_tas_fn: None,
+            lamport_enter: None,
+            lamport_exit: None,
+            mutex_acquire_fn: 0,
+            mutex_release_fn: 0,
+            cv_wait_fn: 0,
+            cv_signal_fn: 0,
+            cv_broadcast_fn: 0,
+            user_seq_ranges: Vec::new(),
+        };
+        match mechanism {
+            Mechanism::RasRegistered | Mechanism::UserLevelRestart => {
+                let (entry, seq) = tas::emit_tas_registered(&mut asm);
+                rt.tas_fn = Some(entry);
+                rt.tas_seq = Some(seq);
+                if mechanism == Mechanism::UserLevelRestart {
+                    rt.user_seq_ranges.push(seq);
+                }
+            }
+            Mechanism::LamportBundled => {
+                let table = lamport::alloc_self_table(&mut data, max_threads);
+                let self_fn = lamport::emit_cthread_self(&mut asm, table);
+                let meta = lamport::alloc_lock(&mut data, "__lamport_meta", max_threads);
+                rt.meta_tas_fn =
+                    Some(lamport::emit_meta_tas(&mut asm, meta, max_threads, self_fn));
+            }
+            Mechanism::LamportPerLock => {
+                let table = lamport::alloc_self_table(&mut data, max_threads);
+                let self_fn = lamport::emit_cthread_self(&mut asm, table);
+                let (enter, exit) = lamport::emit_functions(&mut asm, max_threads, self_fn);
+                rt.lamport_enter = Some(enter);
+                rt.lamport_exit = Some(exit);
+            }
+            Mechanism::RasInline
+            | Mechanism::KernelEmulation
+            | Mechanism::Interlocked
+            | Mechanism::HardwareBit => {}
+        }
+        lock::emit_lock_functions(&mut asm, &mut rt);
+        GuestBuilder { asm, data, rt }
+    }
+
+    /// The assembler, for emitting user code.
+    pub fn asm(&mut self) -> &mut Asm {
+        &mut self.asm
+    }
+
+    /// The data layout, for allocating user data.
+    pub fn data(&mut self) -> &mut DataLayout {
+        &mut self.data
+    }
+
+    /// The runtime emitters.
+    pub fn rt(&self) -> &SyncRuntime {
+        self.rt_ref()
+    }
+
+    fn rt_ref(&self) -> &SyncRuntime {
+        &self.rt
+    }
+
+    /// Splits the builder into its assembler/data/runtime parts — needed
+    /// when an emitter requires the runtime and the assembler at once.
+    pub fn parts(&mut self) -> (&mut Asm, &mut DataLayout, &SyncRuntime) {
+        (&mut self.asm, &mut self.data, &self.rt)
+    }
+
+    /// Finishes the program: emits `crt0` (the entry point — explicit
+    /// registration when needed, then a call to `main`, then exit) and the
+    /// user-level recovery routine, and resolves all labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AsmError`] from unresolved labels in user code.
+    pub fn finish(mut self, main: CodeAddr) -> Result<BuiltGuest, AsmError> {
+        self.asm.set_entry_here();
+        self.asm.bind_symbol("__crt0");
+        if self.rt.mechanism == Mechanism::RasRegistered {
+            let seq = self.rt.tas_seq.expect("registered mechanism has a sequence");
+            self.asm.li(Reg::V0, abi::SYS_RAS_REGISTER as i32);
+            self.asm.li(Reg::A0, seq.start as i32);
+            self.asm.li(Reg::A1, seq.len as i32);
+            self.asm.syscall();
+            let result = self
+                .data
+                .symbol("__ras_register_result")
+                .expect("allocated in new()");
+            self.asm.li(Reg::T0, result as i32);
+            self.asm.sw(Reg::V0, Reg::T0, 0);
+        }
+        self.asm.jal_to(main);
+        crate::codegen::emit_exit(&mut self.asm);
+
+        let mut recovery = None;
+        if self.rt.mechanism == Mechanism::UserLevelRestart {
+            let entry = emit_recovery(&mut self.asm, &self.rt.user_seq_ranges);
+            let len = self.asm.here() - entry;
+            recovery = Some((entry, len));
+        }
+
+        let mechanism = self.rt.mechanism;
+        let registered_seq = self.rt.tas_seq;
+        let program = self.asm.finish()?;
+        let strategy = match mechanism {
+            Mechanism::UserLevelRestart => {
+                let (recovery_pc, recovery_len) = recovery.expect("emitted above");
+                StrategyKind::UserLevel {
+                    recovery_pc,
+                    recovery_len,
+                }
+            }
+            other => other.base_strategy(),
+        };
+        Ok(BuiltGuest {
+            program,
+            data: self.data.finish(),
+            mechanism,
+            strategy,
+            registered_seq,
+        })
+    }
+}
+
+/// Emits the fixed user-level recovery routine of §4.1. Entered with the
+/// interrupted PC pushed at `0($sp)` by the kernel; determines whether
+/// that PC lies inside a restartable sequence, rewrites it to the
+/// sequence start if so, then pops and resumes.
+///
+/// Uses only `$k0`/`$k1`, which the register convention reserves for the
+/// kernel — the interrupted context never holds live values there.
+fn emit_recovery(asm: &mut Asm, ranges: &[SeqRange]) -> CodeAddr {
+    let entry = asm.bind_symbol("__recovery");
+    let done = asm.label();
+    asm.lw(Reg::K0, Reg::SP, 0);
+    for range in ranges {
+        let next = asm.label();
+        asm.li(Reg::K1, range.start as i32);
+        asm.bltu(Reg::K0, Reg::K1, next);
+        asm.li(Reg::K1, range.end() as i32);
+        asm.bgeu(Reg::K0, Reg::K1, next);
+        asm.li(Reg::K0, range.start as i32);
+        asm.sw(Reg::K0, Reg::SP, 0);
+        asm.j(done);
+        asm.bind(next);
+    }
+    asm.bind(done);
+    asm.lw(Reg::K0, Reg::SP, 0);
+    asm.addi(Reg::SP, Reg::SP, 4);
+    asm.jr(Reg::K0);
+    entry
+}
+
+/// A finished guest program plus everything needed to boot it.
+#[derive(Debug, Clone)]
+pub struct BuiltGuest {
+    /// The program image.
+    pub program: Program,
+    /// The static data segment.
+    pub data: DataImage,
+    /// The mechanism the runtime was generated for.
+    pub mechanism: Mechanism,
+    /// The kernel strategy this program requires.
+    pub strategy: StrategyKind,
+    /// The registered (Figure 4) sequence window, if the mechanism has one.
+    pub registered_seq: Option<SeqRange>,
+}
+
+impl BuiltGuest {
+    /// A kernel configuration for running this guest on `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile cannot run the mechanism (e.g.
+    /// [`Mechanism::Interlocked`] on the R3000).
+    pub fn kernel_config(&self, profile: CpuProfile) -> KernelConfig {
+        assert!(
+            self.mechanism.supported_by(&profile),
+            "{} is not supported by {}",
+            self.mechanism,
+            profile.name()
+        );
+        KernelConfig::new(profile, self.strategy.clone())
+    }
+
+    /// Boots a kernel with this guest and the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BootError`].
+    pub fn boot(&self, config: KernelConfig) -> Result<Kernel, BootError> {
+        Kernel::boot(config, self.program.clone(), &self.data)
+    }
+
+    /// Applies the §3.1 binary-compatibility fallback: overwrites the
+    /// registered restartable sequence with a kernel-emulation call, for
+    /// running a [`Mechanism::RasRegistered`] binary on a kernel without
+    /// registration support. The strategy downgrades to
+    /// [`StrategyKind::None`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mechanism has no registered sequence to overwrite.
+    pub fn apply_emulation_fallback(&mut self) {
+        let seq = self
+            .registered_seq
+            .expect("only registered mechanisms can fall back");
+        let body = tas::emulation_fallback_body();
+        // The window is the sequence plus its return jump (Figure 4's four
+        // instructions).
+        self.program.patch(seq.start, seq.len as usize + 1, &body);
+        self.strategy = StrategyKind::None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_emits_runtime_for_every_mechanism() {
+        for mechanism in Mechanism::all() {
+            let mut b = GuestBuilder::new(mechanism, 4);
+            let main = b.asm().here();
+            b.asm().jr(Reg::RA);
+            let built = b.finish(main).unwrap();
+            assert!(built.program.len() > 2, "{mechanism}: too little code");
+            assert_eq!(built.mechanism, mechanism);
+            assert!(built.program.symbol("__crt0").is_some());
+        }
+    }
+
+    #[test]
+    fn registered_mechanism_records_its_window() {
+        let mut b = GuestBuilder::new(Mechanism::RasRegistered, 2);
+        let main = b.asm().here();
+        b.asm().jr(Reg::RA);
+        let built = b.finish(main).unwrap();
+        let seq = built.registered_seq.unwrap();
+        assert_eq!(seq.len, 3);
+        assert_eq!(built.strategy, StrategyKind::Registered);
+        assert_eq!(built.program.symbol("__tas_registered"), Some(seq.start));
+    }
+
+    #[test]
+    fn user_level_strategy_points_at_the_recovery_routine() {
+        let mut b = GuestBuilder::new(Mechanism::UserLevelRestart, 2);
+        let main = b.asm().here();
+        b.asm().jr(Reg::RA);
+        let built = b.finish(main).unwrap();
+        let recovery = built.program.symbol("__recovery").unwrap();
+        match built.strategy {
+            StrategyKind::UserLevel {
+                recovery_pc,
+                recovery_len,
+            } => {
+                assert_eq!(recovery_pc, recovery);
+                assert!(recovery_len >= 4, "routine spans its check and return");
+            }
+            other => panic!("wrong strategy {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_patch_replaces_the_sequence() {
+        let mut b = GuestBuilder::new(Mechanism::RasRegistered, 2);
+        let main = b.asm().here();
+        b.asm().jr(Reg::RA);
+        let mut built = b.finish(main).unwrap();
+        let seq = built.registered_seq.unwrap();
+        built.apply_emulation_fallback();
+        assert_eq!(built.strategy, StrategyKind::None);
+        assert_eq!(
+            built.program.fetch(seq.start).unwrap().opcode(),
+            ras_isa::Opcode::Li
+        );
+        assert_eq!(
+            built.program.fetch(seq.start + 1).unwrap().opcode(),
+            ras_isa::Opcode::Syscall
+        );
+    }
+
+    #[test]
+    fn raw_lock_sizes_differ_by_mechanism() {
+        let b = GuestBuilder::new(Mechanism::RasInline, 8);
+        assert_eq!(b.rt().raw_lock_words(), 1);
+        let b = GuestBuilder::new(Mechanism::LamportPerLock, 8);
+        assert_eq!(b.rt().raw_lock_words(), 10);
+        assert_eq!(b.rt().mutex_state_offset(), 40);
+        assert_eq!(b.rt().mutex_waiters_offset(), 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Test-And-Set")]
+    fn per_lock_lamport_has_no_tas() {
+        let b = GuestBuilder::new(Mechanism::LamportPerLock, 2);
+        let mut asm = Asm::new();
+        b.rt().emit_tas(&mut asm);
+    }
+
+    #[test]
+    fn kernel_config_rejects_unsupported_profile() {
+        let mut b = GuestBuilder::new(Mechanism::Interlocked, 2);
+        let main = b.asm().here();
+        b.asm().jr(Reg::RA);
+        let built = b.finish(main).unwrap();
+        assert!(std::panic::catch_unwind(|| {
+            built.kernel_config(CpuProfile::r3000())
+        })
+        .is_err());
+        let _ = built.kernel_config(CpuProfile::i486());
+    }
+}

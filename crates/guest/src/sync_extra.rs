@@ -1,0 +1,267 @@
+//! Higher-level synchronization objects: counting semaphores (the paper's
+//! opening citation is Dijkstra's P/V), reader–writer locks, and
+//! barriers — all built on the mechanism-generic mutex and condition
+//! variables, so they run over every Test-And-Set flavor.
+//!
+//! Layouts (word offsets; `M` = mutex words = raw lock + 2):
+//!
+//! ```text
+//! semaphore: [mutex (M)][cv (1)][count (1)]
+//! rwlock:    [mutex (M)][cv (1)][readers (1)][writer (1)][write_waiting (1)]
+//! barrier:   [mutex (M)][cv (1)][arrived (1)][generation (1)]
+//! ```
+
+use ras_isa::{Asm, CodeAddr, DataAddr, DataLayout, Reg};
+
+use crate::runtime::SyncRuntime;
+
+/// Function entry points for the extra synchronization objects, emitted
+/// once per program by [`emit_sync_extra`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyncExtra {
+    /// `P(sem)` / down: decrement, blocking while zero. `$a0` = semaphore.
+    pub sem_p: CodeAddr,
+    /// `V(sem)` / up: increment and wake one waiter. `$a0` = semaphore.
+    pub sem_v: CodeAddr,
+    /// Acquire shared. `$a0` = rwlock.
+    pub rw_read_lock: CodeAddr,
+    /// Release shared. `$a0` = rwlock.
+    pub rw_read_unlock: CodeAddr,
+    /// Acquire exclusive. `$a0` = rwlock.
+    pub rw_write_lock: CodeAddr,
+    /// Release exclusive. `$a0` = rwlock.
+    pub rw_write_unlock: CodeAddr,
+    /// Wait at the barrier. `$a0` = barrier, `$a1` = party count.
+    pub barrier_wait: CodeAddr,
+}
+
+/// Allocates a semaphore with initial `count`.
+pub fn alloc_semaphore(
+    rt: &SyncRuntime,
+    data: &mut DataLayout,
+    name: &str,
+    count: u32,
+) -> DataAddr {
+    let m = rt.raw_lock_words() + 2;
+    let mut words = vec![0; m + 2];
+    words[m + 1] = count;
+    data.array_init(name, &words)
+}
+
+/// Allocates a reader–writer lock (mutex + cv + readers + writer +
+/// write_waiting).
+pub fn alloc_rwlock(rt: &SyncRuntime, data: &mut DataLayout, name: &str) -> DataAddr {
+    data.array(name, rt.raw_lock_words() + 2 + 4, 0)
+}
+
+/// Allocates a barrier.
+pub fn alloc_barrier(rt: &SyncRuntime, data: &mut DataLayout, name: &str) -> DataAddr {
+    data.array(name, rt.raw_lock_words() + 2 + 3, 0)
+}
+
+/// Emits the semaphore/rwlock/barrier functions. Call once after
+/// [`crate::GuestBuilder::new`], passing the builder's parts.
+pub fn emit_sync_extra(asm: &mut Asm, rt: &SyncRuntime) -> SyncExtra {
+    let mutex_words = rt.raw_lock_words() as i32 + 2;
+    let cv_off = 4 * mutex_words;
+    let f1 = cv_off + 4; // count / readers / arrived
+    let f2 = cv_off + 8; // writer / generation
+    let f3 = cv_off + 12; // write_waiting (rwlock only)
+
+    // ---- semaphores -------------------------------------------------------
+    // P: lock; while count == 0 wait; count--; unlock.
+    let sem_p = asm.bind_symbol("__sem_p");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S7]);
+        asm.mv(Reg::S7, Reg::A0);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_acquire_addr());
+        let check = asm.bind_new();
+        let go = asm.label();
+        asm.lw(Reg::T6, Reg::S7, f1);
+        asm.bnez(Reg::T6, go);
+        asm.addi(Reg::A0, Reg::S7, cv_off);
+        asm.mv(Reg::A1, Reg::S7);
+        asm.jal_to(rt.cv_wait_addr());
+        asm.j(check);
+        asm.bind(go);
+        asm.addi(Reg::T6, Reg::T6, -1);
+        asm.sw(Reg::T6, Reg::S7, f1);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_release_addr());
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S7]);
+        asm.jr(Reg::RA);
+    }
+    // V: lock; count++; signal; unlock.
+    let sem_v = asm.bind_symbol("__sem_v");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S7]);
+        asm.mv(Reg::S7, Reg::A0);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_acquire_addr());
+        asm.lw(Reg::T6, Reg::S7, f1);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::S7, f1);
+        asm.addi(Reg::A0, Reg::S7, cv_off);
+        asm.jal_to(rt.cv_signal_addr());
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_release_addr());
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S7]);
+        asm.jr(Reg::RA);
+    }
+
+    // ---- reader–writer lock ------------------------------------------------
+    // Writer-preference: readers defer to both an active writer and any
+    // waiting writer, so overlapping readers cannot starve writers (the
+    // failure mode a reader-preference lock exhibits under exactly the
+    // adversarial schedules this test suite generates).
+    // read_lock: lock; while writer != 0 || write_waiting != 0 wait;
+    // readers++; unlock.
+    let rw_read_lock = asm.bind_symbol("__rw_read_lock");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S7]);
+        asm.mv(Reg::S7, Reg::A0);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_acquire_addr());
+        let check = asm.bind_new();
+        let wait = asm.label();
+        let go = asm.label();
+        asm.lw(Reg::T6, Reg::S7, f2);
+        asm.bnez(Reg::T6, wait);
+        asm.lw(Reg::T6, Reg::S7, f3);
+        asm.beqz(Reg::T6, go);
+        asm.bind(wait);
+        asm.addi(Reg::A0, Reg::S7, cv_off);
+        asm.mv(Reg::A1, Reg::S7);
+        asm.jal_to(rt.cv_wait_addr());
+        asm.j(check);
+        asm.bind(go);
+        asm.lw(Reg::T6, Reg::S7, f1);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::S7, f1);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_release_addr());
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S7]);
+        asm.jr(Reg::RA);
+    }
+    // read_unlock: lock; readers--; if readers == 0 broadcast; unlock.
+    let rw_read_unlock = asm.bind_symbol("__rw_read_unlock");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S7]);
+        asm.mv(Reg::S7, Reg::A0);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_acquire_addr());
+        asm.lw(Reg::T6, Reg::S7, f1);
+        asm.addi(Reg::T6, Reg::T6, -1);
+        asm.sw(Reg::T6, Reg::S7, f1);
+        let skip = asm.label();
+        asm.bnez(Reg::T6, skip);
+        asm.addi(Reg::A0, Reg::S7, cv_off);
+        asm.jal_to(rt.cv_broadcast_addr());
+        asm.bind(skip);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_release_addr());
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S7]);
+        asm.jr(Reg::RA);
+    }
+    // write_lock: lock; write_waiting++; while writer != 0 || readers != 0
+    // wait; write_waiting--; writer = 1; unlock.
+    let rw_write_lock = asm.bind_symbol("__rw_write_lock");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S7]);
+        asm.mv(Reg::S7, Reg::A0);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_acquire_addr());
+        asm.lw(Reg::T6, Reg::S7, f3);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::S7, f3);
+        let check = asm.bind_new();
+        let wait = asm.label();
+        let go = asm.label();
+        asm.lw(Reg::T6, Reg::S7, f2);
+        asm.bnez(Reg::T6, wait);
+        asm.lw(Reg::T6, Reg::S7, f1);
+        asm.beqz(Reg::T6, go);
+        asm.bind(wait);
+        asm.addi(Reg::A0, Reg::S7, cv_off);
+        asm.mv(Reg::A1, Reg::S7);
+        asm.jal_to(rt.cv_wait_addr());
+        asm.j(check);
+        asm.bind(go);
+        asm.lw(Reg::T6, Reg::S7, f3);
+        asm.addi(Reg::T6, Reg::T6, -1);
+        asm.sw(Reg::T6, Reg::S7, f3);
+        asm.li(Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::S7, f2);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_release_addr());
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S7]);
+        asm.jr(Reg::RA);
+    }
+    // write_unlock: lock; writer = 0; broadcast; unlock.
+    let rw_write_unlock = asm.bind_symbol("__rw_write_unlock");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S7]);
+        asm.mv(Reg::S7, Reg::A0);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_acquire_addr());
+        asm.sw(Reg::ZERO, Reg::S7, f2);
+        asm.addi(Reg::A0, Reg::S7, cv_off);
+        asm.jal_to(rt.cv_broadcast_addr());
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_release_addr());
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S7]);
+        asm.jr(Reg::RA);
+    }
+
+    // ---- barrier ------------------------------------------------------------
+    // wait(barrier, parties): lock; gen = generation; arrived++;
+    // if arrived == parties { arrived = 0; generation++; broadcast }
+    // else while generation == gen wait; unlock.
+    let barrier_wait = asm.bind_symbol("__barrier_wait");
+    {
+        crate::codegen::emit_push(asm, &[Reg::RA, Reg::S6, Reg::S7]);
+        asm.mv(Reg::S7, Reg::A0);
+        asm.mv(Reg::S6, Reg::A1); // parties
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_acquire_addr());
+        asm.lw(Reg::T5, Reg::S7, f2); // generation snapshot
+        asm.lw(Reg::T6, Reg::S7, f1);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::S7, f1);
+        let last = asm.label();
+        let out = asm.label();
+        asm.beq(Reg::T6, Reg::S6, last);
+        // Not last: wait for the generation to advance. The snapshot must
+        // survive cv_wait, so keep it in a saved register.
+        asm.mv(Reg::S6, Reg::T5);
+        let check = asm.bind_new();
+        asm.lw(Reg::T6, Reg::S7, f2);
+        asm.bne(Reg::T6, Reg::S6, out);
+        asm.addi(Reg::A0, Reg::S7, cv_off);
+        asm.mv(Reg::A1, Reg::S7);
+        asm.jal_to(rt.cv_wait_addr());
+        asm.j(check);
+        asm.bind(last);
+        asm.sw(Reg::ZERO, Reg::S7, f1);
+        asm.addi(Reg::T5, Reg::T5, 1);
+        asm.sw(Reg::T5, Reg::S7, f2);
+        asm.addi(Reg::A0, Reg::S7, cv_off);
+        asm.jal_to(rt.cv_broadcast_addr());
+        asm.bind(out);
+        asm.mv(Reg::A0, Reg::S7);
+        asm.jal_to(rt.mutex_release_addr());
+        crate::codegen::emit_pop(asm, &[Reg::RA, Reg::S6, Reg::S7]);
+        asm.jr(Reg::RA);
+    }
+
+    SyncExtra {
+        sem_p,
+        sem_v,
+        rw_read_lock,
+        rw_read_unlock,
+        rw_write_lock,
+        rw_write_unlock,
+        barrier_wait,
+    }
+}

@@ -1,0 +1,277 @@
+//! Test-And-Set code generators — the executable forms of Figures 3, 4,
+//! and 5 of the paper.
+//!
+//! Every emitter follows one calling convention:
+//!
+//! * `$a0` holds the byte address of the lock word on entry;
+//! * the old value of the word is left in `$v0` (0 = was free);
+//! * `$t0` is clobbered; `$a0` is preserved;
+//! * out-of-line forms clobber `$ra`.
+
+use ras_isa::{abi, Asm, CodeAddr, Reg};
+
+/// A code range occupied by a restartable atomic sequence:
+/// `[start, start + len)` in instruction addresses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SeqRange {
+    /// First instruction of the sequence.
+    pub start: CodeAddr,
+    /// Length in instructions.
+    pub len: u32,
+}
+
+impl SeqRange {
+    /// Exclusive end address.
+    pub fn end(self) -> CodeAddr {
+        self.start + self.len
+    }
+}
+
+/// Emits the out-of-line registered Test-And-Set function of Figure 4:
+///
+/// ```text
+/// Test-And-Set:
+///   lw   v0, (a0)   # v0 = contents of a0     ─┐
+///   li   t0, 1      # temporary t0 gets 1      │ restartable sequence
+///   sw   t0, (a0)   # store 1                 ─┘
+///   jr   ra         # return, result in v0
+/// ```
+///
+/// (The paper's MIPS version puts the store in the `j ra` branch delay
+/// slot; this ISA has no delay slots, so the store precedes the return —
+/// the sequence is the same three-instruction load/set/store window.)
+///
+/// Returns the function address and the sequence range to register with
+/// [`ras_isa::abi::SYS_RAS_REGISTER`].
+pub fn emit_tas_registered(asm: &mut Asm) -> (CodeAddr, SeqRange) {
+    let entry = asm.bind_symbol("__tas_registered");
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.li(Reg::T0, 1);
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.jr(Reg::RA);
+    (entry, SeqRange { start: entry, len: 3 })
+}
+
+/// Emits Figure 5's inlined designated Test-And-Set sequence at the
+/// current position:
+///
+/// ```text
+///   lw        v0, (a0)     # get value of lock
+///   li        t0, 1        # locked value
+///   bnez      v0, out      # branch if not common case
+///   landmark               # special landmark no-op
+///   sw        t0, (a0)     # store locked value
+/// out:
+/// ```
+///
+/// The shape matches the kernel's `tas` [`ras_kernel::SequenceTemplate`]
+/// exactly: `lw; li; branch; landmark; sw`. When the lock is already held
+/// the branch leaves the sequence before the store, returning the old
+/// value — a Test-And-Set that skips the redundant store, as in the
+/// paper's mutex-acquire sequence.
+pub fn emit_tas_inline(asm: &mut Asm) -> SeqRange {
+    let start = asm.here();
+    let out = asm.label();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.li(Reg::T0, 1);
+    asm.bnez(Reg::V0, out);
+    asm.landmark();
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.bind(out);
+    SeqRange { start, len: 5 }
+}
+
+/// Emits a kernel-emulated Test-And-Set (§2.3): a trap that performs the
+/// read-modify-write with interrupts disabled. ~100 instructions of
+/// kernel time on the R3000.
+pub fn emit_tas_kernel(asm: &mut Asm) {
+    asm.li(Reg::V0, abi::SYS_TAS as i32);
+    asm.syscall();
+}
+
+/// Emits the hardware memory-interlocked Test-And-Set (§2.1). Requires a
+/// profile with `has_interlocked`.
+pub fn emit_tas_interlocked(asm: &mut Asm) {
+    asm.tas(Reg::V0, Reg::A0);
+}
+
+/// Emits an i860-style sequence protected by the hardware restart bit
+/// (§7): `begin_atomic` defers interrupts until the committing store.
+pub fn emit_tas_hardware_bit(asm: &mut Asm) {
+    asm.begin_atomic();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.li(Reg::T0, 1);
+    asm.sw(Reg::T0, Reg::A0, 0);
+}
+
+/// Emits the atomic clear (lock release). A single aligned word store is
+/// atomic on every mechanism, as the paper notes for Figure 3's
+/// `AtomicClear`.
+pub fn emit_clear(asm: &mut Asm) {
+    asm.sw(Reg::ZERO, Reg::A0, 0);
+}
+
+/// Emits an inlined designated *exchange* sequence: atomically
+/// `v0 <- mem[a0]; mem[a0] <- a1`. Shape `lw; landmark; sw`, matching the
+/// kernel's `xchg` template. Three instructions — the cheapest designated
+/// read-modify-write.
+pub fn emit_xchg_inline(asm: &mut Asm) -> SeqRange {
+    let start = asm.here();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.landmark();
+    asm.sw(Reg::A1, Reg::A0, 0);
+    SeqRange { start, len: 3 }
+}
+
+/// Emits an inlined designated *compare-and-swap* sequence: if
+/// `mem[a0] == a1` then `mem[a0] <- a2`; the old value is left in `v0`
+/// either way. Shape `lw; branch; landmark; sw`, matching the kernel's
+/// `cas` template. With CAS, every wait-free construction of [Herlihy 91]
+/// — which §4.1 cites as a client of richer recovery — becomes available
+/// on a uniprocessor without hardware support.
+pub fn emit_cas_inline(asm: &mut Asm) -> SeqRange {
+    let start = asm.here();
+    let out = asm.label();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.bne(Reg::V0, Reg::A1, out);
+    asm.landmark();
+    asm.sw(Reg::A2, Reg::A0, 0);
+    asm.bind(out);
+    SeqRange { start, len: 4 }
+}
+
+/// Emits an inlined designated *fetch-and-add* sequence:
+/// `mem[a0] <- mem[a0] + delta`, leaving the **new** value in `v0`.
+/// Shape `lw; addi; landmark; sw`, matching the kernel's `faa` template.
+pub fn emit_faa_inline(asm: &mut Asm, delta: i32) -> SeqRange {
+    let start = asm.here();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.addi(Reg::V0, Reg::V0, delta);
+    asm.landmark();
+    asm.sw(Reg::V0, Reg::A0, 0);
+    SeqRange { start, len: 4 }
+}
+
+/// The 4-instruction replacement used when explicit registration is
+/// refused by the kernel (§3.1): the thread package overwrites the
+/// restartable sequence with a conventional kernel-emulation call,
+/// preserving binary compatibility. Fits exactly in the Figure 4 window.
+pub fn emulation_fallback_body() -> Vec<ras_isa::Inst> {
+    let mut asm = Asm::new();
+    emit_tas_kernel(&mut asm);
+    asm.jr(Reg::RA);
+    asm.nop();
+    asm.finish().expect("straight-line code").code().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::Opcode;
+
+    #[test]
+    fn registered_tas_matches_figure_4() {
+        let mut asm = Asm::new();
+        let (entry, range) = emit_tas_registered(&mut asm);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(entry, 0);
+        assert_eq!(range, SeqRange { start: 0, len: 3 });
+        assert_eq!(range.end(), 3);
+        let ops: Vec<Opcode> = (0..4).map(|i| p.fetch(i).unwrap().opcode()).collect();
+        assert_eq!(ops, vec![Opcode::Lw, Opcode::Li, Opcode::Sw, Opcode::Jr]);
+        assert_eq!(p.symbol("__tas_registered"), Some(0));
+    }
+
+    #[test]
+    fn inline_tas_matches_the_designated_template() {
+        let mut asm = Asm::new();
+        asm.nop();
+        let range = emit_tas_inline(&mut asm);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(range.start, 1);
+        assert_eq!(range.len, 5);
+        let ops: Vec<Opcode> = (1..6).map(|i| p.fetch(i).unwrap().opcode()).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Opcode::Lw,
+                Opcode::Li,
+                Opcode::Branch,
+                Opcode::Landmark,
+                Opcode::Sw
+            ]
+        );
+        // The branch must exit past the store.
+        match p.fetch(3).unwrap() {
+            ras_isa::Inst::Branch { target, .. } => assert_eq!(target, 6),
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn inline_tas_is_recognized_by_the_kernel_matcher() {
+        let mut asm = Asm::new();
+        asm.nop();
+        let range = emit_tas_inline(&mut asm);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let set = ras_kernel::DesignatedSet::standard();
+        for pc in range.start + 1..range.end() {
+            assert_eq!(set.stage2(&p, pc), Some(range.start), "pc={pc}");
+        }
+        assert_eq!(set.stage2(&p, range.end()), None);
+    }
+
+    #[test]
+    fn fallback_body_fits_the_figure_4_window() {
+        let body = emulation_fallback_body();
+        assert!(body.len() <= 4, "must fit over the registered sequence");
+        assert_eq!(body[0].opcode(), Opcode::Li);
+        assert_eq!(body[1].opcode(), Opcode::Syscall);
+        assert_eq!(body[2].opcode(), Opcode::Jr);
+    }
+
+    #[test]
+    fn xchg_cas_faa_match_their_kernel_templates() {
+        let set = ras_kernel::DesignatedSet::standard();
+        // xchg
+        let mut asm = Asm::new();
+        asm.nop();
+        let r = emit_xchg_inline(&mut asm);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        for pc in r.start + 1..r.end() {
+            assert_eq!(set.stage2(&p, pc), Some(r.start), "xchg pc={pc}");
+        }
+        // cas
+        let mut asm = Asm::new();
+        asm.nop();
+        let r = emit_cas_inline(&mut asm);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        for pc in r.start + 1..r.end() {
+            assert_eq!(set.stage2(&p, pc), Some(r.start), "cas pc={pc}");
+        }
+        // faa
+        let mut asm = Asm::new();
+        asm.nop();
+        let r = emit_faa_inline(&mut asm, 5);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        for pc in r.start + 1..r.end() {
+            assert_eq!(set.stage2(&p, pc), Some(r.start), "faa pc={pc}");
+        }
+    }
+
+    #[test]
+    fn kernel_and_interlocked_forms_are_two_instructions_or_fewer() {
+        let mut asm = Asm::new();
+        emit_tas_kernel(&mut asm);
+        assert_eq!(asm.here(), 2);
+        let mut asm = Asm::new();
+        emit_tas_interlocked(&mut asm);
+        assert_eq!(asm.here(), 1);
+    }
+}

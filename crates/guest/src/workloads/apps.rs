@@ -1,0 +1,522 @@
+//! Synthetic analogues of the §5.3 applications of Table 3.
+//!
+//! The paper's applications are a LaTeX formatting run (`text-format`), a
+//! file-system script over AFS (`afs-bench`), the Parthenon or-parallel
+//! theorem prover (`parthenon-n`), and a producer/consumer file reader
+//! with a 64-byte buffer (`proton-64`). None of them can run here, so each
+//! is replaced by a workload with the same threading and synchronization
+//! structure:
+//!
+//! * [`parthenon`] — `n` workers drain a mutex-protected work queue; each
+//!   item costs some "inference" busy work plus two short lock-protected
+//!   counter updates ("most synchronization operations guard short
+//!   critical sections that simply increment a counter, or dequeue an
+//!   item from a linked list", §5.3).
+//! * [`proton64`] — one producer and one consumer coordinate through a
+//!   16-word (64-byte) bounded buffer with a mutex and two condition
+//!   variables.
+//! * [`text_format`] / [`afs_bench`] — a single-threaded client doing its
+//!   own computation, making synchronous requests to a multithreaded
+//!   server, which is where the synchronization happens. This models the
+//!   paper's point that "even single-threaded applications benefit
+//!   indirectly through the improved performance of multithreaded
+//!   user-level operating system services."
+
+use ras_isa::{abi, Reg};
+
+use crate::codegen::{emit_busy_work, emit_exit, emit_join, emit_lcg_step, emit_spawn, emit_wake};
+use crate::{BuiltGuest, GuestBuilder, Mechanism};
+
+/// Parameters for [`parthenon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParthenonSpec {
+    /// Worker thread count (the paper runs 1 and 10).
+    pub workers: usize,
+    /// Total work items ("clauses") to resolve.
+    pub clauses: u32,
+    /// Busy-work iterations per clause (inference cost).
+    pub work_iters: i32,
+}
+
+impl Default for ParthenonSpec {
+    fn default() -> ParthenonSpec {
+        ParthenonSpec {
+            workers: 10,
+            clauses: 2_000,
+            work_iters: 60,
+        }
+    }
+}
+
+impl ParthenonSpec {
+    /// Expected final value of the `sum` counter: the wrapping sum of the
+    /// item ids `1..=clauses`.
+    pub fn expected_sum(&self) -> u32 {
+        (1..=self.clauses).fold(0u32, |a, b| a.wrapping_add(b))
+    }
+}
+
+/// Builds the or-parallel prover analogue. Data symbols: `resolved`,
+/// `inferences`, `sum` for verification.
+pub fn parthenon(mechanism: Mechanism, spec: &ParthenonSpec) -> BuiltGuest {
+    assert!(spec.workers >= 1 && spec.clauses >= 1);
+    let mut b = GuestBuilder::new(mechanism, spec.workers + 1);
+    let (asm, data, rt) = b.parts();
+    let qmutex = rt.alloc_mutex(data, "qmutex");
+    let slock = rt.alloc_raw_lock(data, "slock");
+    let head = data.word("head", 0);
+    let count = data.word("count", spec.clauses);
+    let resolved = data.word("resolved", 0);
+    let inferences = data.word("inferences", 0);
+    let sum = data.word("sum", 0);
+    let tids = data.array("tids", spec.workers, 0);
+    let items: Vec<u32> = (1..=spec.clauses).collect();
+    let queue = data.array_init("queue", &items);
+
+    // ---- worker -----------------------------------------------------------
+    let worker = asm.bind_symbol("worker");
+    let loop_top = asm.bind_new();
+    let have_item = asm.label();
+    asm.li(Reg::A0, qmutex as i32);
+    rt.emit_mutex_acquire(asm);
+    asm.li(Reg::T0, count as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.bnez(Reg::T6, have_item);
+    // Queue drained: done.
+    asm.li(Reg::A0, qmutex as i32);
+    rt.emit_mutex_release(asm);
+    emit_exit(asm);
+    asm.bind(have_item);
+    // s4 = queue[head]; head++; count--; resolved++.
+    asm.li(Reg::T0, head as i32);
+    asm.lw(Reg::T7, Reg::T0, 0);
+    asm.slli(Reg::T6, Reg::T7, 2);
+    asm.li(Reg::T1, queue as i32);
+    asm.add(Reg::T1, Reg::T1, Reg::T6);
+    asm.lw(Reg::S4, Reg::T1, 0);
+    asm.addi(Reg::T7, Reg::T7, 1);
+    asm.sw(Reg::T7, Reg::T0, 0);
+    asm.li(Reg::T0, count as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.addi(Reg::T6, Reg::T6, -1);
+    asm.sw(Reg::T6, Reg::T0, 0);
+    asm.li(Reg::T0, resolved as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.addi(Reg::T6, Reg::T6, 1);
+    asm.sw(Reg::T6, Reg::T0, 0);
+    asm.li(Reg::A0, qmutex as i32);
+    rt.emit_mutex_release(asm);
+    // Inference.
+    emit_busy_work(asm, spec.work_iters, Reg::T0);
+    // Two short lock-protected updates (counter increment + sum).
+    asm.li(Reg::A0, slock as i32);
+    rt.emit_raw_enter(asm);
+    asm.li(Reg::T0, inferences as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.addi(Reg::T6, Reg::T6, 1);
+    asm.sw(Reg::T6, Reg::T0, 0);
+    asm.li(Reg::A0, slock as i32);
+    rt.emit_raw_exit(asm);
+    asm.li(Reg::A0, slock as i32);
+    rt.emit_raw_enter(asm);
+    asm.li(Reg::T0, sum as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.add(Reg::T6, Reg::T6, Reg::S4);
+    asm.sw(Reg::T6, Reg::T0, 0);
+    asm.li(Reg::A0, slock as i32);
+    rt.emit_raw_exit(asm);
+    asm.j(loop_top);
+
+    // ---- main ---------------------------------------------------------------
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    for w in 0..spec.workers {
+        asm.li(Reg::T0, 0);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for w in 0..spec.workers {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    b.finish(main).expect("parthenon assembles")
+}
+
+/// Parameters for [`proton64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Proton64Spec {
+    /// Words transferred through the 64-byte buffer.
+    pub items: u32,
+}
+
+impl Default for Proton64Spec {
+    fn default() -> Proton64Spec {
+        Proton64Spec { items: 4_000 }
+    }
+}
+
+impl Proton64Spec {
+    /// The checksum the consumer must compute: wrapping sum of the
+    /// producer's LCG stream (seed 1, glibc constants).
+    pub fn expected_checksum(&self) -> u32 {
+        let mut state = 1u32;
+        let mut sum = 0u32;
+        for _ in 0..self.items {
+            state = state.wrapping_mul(1103515245).wrapping_add(12345);
+            sum = sum.wrapping_add(state);
+        }
+        sum
+    }
+}
+
+/// Builds the producer/consumer analogue with a 64-byte bounded buffer.
+/// Data symbols: `checksum` for verification.
+pub fn proton64(mechanism: Mechanism, spec: &Proton64Spec) -> BuiltGuest {
+    assert!(spec.items >= 1);
+    let mut b = GuestBuilder::new(mechanism, 3);
+    let (asm, data, rt) = b.parts();
+    let m = rt.alloc_mutex(data, "m");
+    let cv_nf = rt.alloc_condvar(data, "cv_not_full");
+    let cv_ne = rt.alloc_condvar(data, "cv_not_empty");
+    let buf = data.array("buf", 16, 0);
+    let head = data.word("head", 0);
+    let tail = data.word("tail", 0);
+    let count = data.word("count", 0);
+    let checksum = data.word("checksum", 0);
+    let tids = data.array("tids", 2, 0);
+
+    // ---- producer ----------------------------------------------------------
+    let producer = asm.bind_symbol("producer");
+    asm.li(Reg::S0, spec.items as i32);
+    asm.li(Reg::S1, 1); // LCG state
+    let ptop = asm.bind_new();
+    emit_lcg_step(asm, Reg::S1);
+    asm.li(Reg::A0, m as i32);
+    rt.emit_mutex_acquire(asm);
+    let pcheck = asm.bind_new();
+    let not_full = asm.label();
+    asm.li(Reg::T0, count as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.slti(Reg::T6, Reg::T6, 16);
+    asm.bnez(Reg::T6, not_full);
+    asm.li(Reg::A0, cv_nf as i32);
+    asm.li(Reg::A1, m as i32);
+    rt.emit_cv_wait(asm);
+    asm.j(pcheck);
+    asm.bind(not_full);
+    // buf[tail] = state; tail = (tail + 1) & 15; count++.
+    asm.li(Reg::T0, tail as i32);
+    asm.lw(Reg::T7, Reg::T0, 0);
+    asm.slli(Reg::T6, Reg::T7, 2);
+    asm.li(Reg::T1, buf as i32);
+    asm.add(Reg::T1, Reg::T1, Reg::T6);
+    asm.sw(Reg::S1, Reg::T1, 0);
+    asm.addi(Reg::T7, Reg::T7, 1);
+    asm.andi(Reg::T7, Reg::T7, 15);
+    asm.sw(Reg::T7, Reg::T0, 0);
+    asm.li(Reg::T0, count as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.addi(Reg::T6, Reg::T6, 1);
+    asm.sw(Reg::T6, Reg::T0, 0);
+    asm.li(Reg::A0, cv_ne as i32);
+    rt.emit_cv_signal(asm);
+    asm.li(Reg::A0, m as i32);
+    rt.emit_mutex_release(asm);
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, ptop);
+    emit_exit(asm);
+
+    // ---- consumer ----------------------------------------------------------
+    let consumer = asm.bind_symbol("consumer");
+    asm.li(Reg::S0, spec.items as i32);
+    asm.li(Reg::S2, 0); // running checksum
+    let ctop = asm.bind_new();
+    asm.li(Reg::A0, m as i32);
+    rt.emit_mutex_acquire(asm);
+    let ccheck = asm.bind_new();
+    let have = asm.label();
+    asm.li(Reg::T0, count as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.bnez(Reg::T6, have);
+    asm.li(Reg::A0, cv_ne as i32);
+    asm.li(Reg::A1, m as i32);
+    rt.emit_cv_wait(asm);
+    asm.j(ccheck);
+    asm.bind(have);
+    // v = buf[head]; head = (head + 1) & 15; count--.
+    asm.li(Reg::T0, head as i32);
+    asm.lw(Reg::T7, Reg::T0, 0);
+    asm.slli(Reg::T6, Reg::T7, 2);
+    asm.li(Reg::T1, buf as i32);
+    asm.add(Reg::T1, Reg::T1, Reg::T6);
+    asm.lw(Reg::T2, Reg::T1, 0);
+    asm.add(Reg::S2, Reg::S2, Reg::T2);
+    asm.addi(Reg::T7, Reg::T7, 1);
+    asm.andi(Reg::T7, Reg::T7, 15);
+    asm.sw(Reg::T7, Reg::T0, 0);
+    asm.li(Reg::T0, count as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.addi(Reg::T6, Reg::T6, -1);
+    asm.sw(Reg::T6, Reg::T0, 0);
+    asm.li(Reg::A0, cv_nf as i32);
+    rt.emit_cv_signal(asm);
+    asm.li(Reg::A0, m as i32);
+    rt.emit_mutex_release(asm);
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, ctop);
+    asm.li(Reg::T0, checksum as i32);
+    asm.sw(Reg::S2, Reg::T0, 0);
+    emit_exit(asm);
+
+    // ---- main ---------------------------------------------------------------
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    asm.li(Reg::T0, 0);
+    emit_spawn(asm, producer, Reg::T0);
+    asm.li(Reg::T1, tids as i32);
+    asm.sw(Reg::V0, Reg::T1, 0);
+    asm.li(Reg::T0, 0);
+    emit_spawn(asm, consumer, Reg::T0);
+    asm.li(Reg::T1, (tids + 4) as i32);
+    asm.sw(Reg::V0, Reg::T1, 0);
+    for i in 0..2 {
+        asm.li(Reg::T1, (tids + 4 * i) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    b.finish(main).expect("proton64 assembles")
+}
+
+/// Common shape of the client/server applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ServerSpec {
+    requests: u32,
+    client_work: i32,
+    server_work: i32,
+    server_threads: usize,
+    inner_lock_ops: usize,
+}
+
+/// Parameters for [`text_format`]: a compute-heavy single-threaded client
+/// (the formatter) making occasional requests of the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextFormatSpec {
+    /// Service requests issued by the client.
+    pub requests: u32,
+    /// Client-side busy work between requests (the "formatting").
+    pub client_work: i32,
+    /// Server-side busy work per request.
+    pub server_work: i32,
+}
+
+impl Default for TextFormatSpec {
+    fn default() -> TextFormatSpec {
+        TextFormatSpec {
+            requests: 80,
+            client_work: 16_000,
+            server_work: 1_000,
+        }
+    }
+}
+
+/// Parameters for [`afs_bench`]: a file-system-intensive script — many
+/// more requests, heavier per-request server synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AfsSpec {
+    /// Service requests issued by the client.
+    pub requests: u32,
+    /// Client-side busy work between requests.
+    pub client_work: i32,
+    /// Server-side busy work per request.
+    pub server_work: i32,
+}
+
+impl Default for AfsSpec {
+    fn default() -> AfsSpec {
+        AfsSpec {
+            requests: 600,
+            client_work: 8_000,
+            server_work: 4_000,
+        }
+    }
+}
+
+/// Builds the text-formatter analogue. Data symbols: `handled` (must equal
+/// `requests`), `srv_counter`.
+pub fn text_format(mechanism: Mechanism, spec: &TextFormatSpec) -> BuiltGuest {
+    client_server(
+        mechanism,
+        &ServerSpec {
+            requests: spec.requests,
+            client_work: spec.client_work,
+            server_work: spec.server_work,
+            server_threads: 2,
+            inner_lock_ops: 2,
+        },
+    )
+}
+
+/// Builds the AFS-script analogue. Data symbols: `handled`, `srv_counter`.
+pub fn afs_bench(mechanism: Mechanism, spec: &AfsSpec) -> BuiltGuest {
+    client_server(
+        mechanism,
+        &ServerSpec {
+            requests: spec.requests,
+            client_work: spec.client_work,
+            server_work: spec.server_work,
+            server_threads: 2,
+            inner_lock_ops: 4,
+        },
+    )
+}
+
+fn client_server(mechanism: Mechanism, spec: &ServerSpec) -> BuiltGuest {
+    assert!(spec.requests >= 1 && spec.server_threads >= 1);
+    let mut b = GuestBuilder::new(mechanism, spec.server_threads + 1);
+    let (asm, data, rt) = b.parts();
+    let qm = rt.alloc_mutex(data, "qm");
+    let qcv = rt.alloc_condvar(data, "qcv");
+    let slock = rt.alloc_raw_lock(data, "slock");
+    let reqq = data.array("reqq", 4, 0);
+    let qhead = data.word("qhead", 0);
+    let qtail = data.word("qtail", 0);
+    let qcount = data.word("qcount", 0);
+    let shutdown = data.word("shutdown", 0);
+    let reply = data.word("reply", 0);
+    let handled = data.word("handled", 0);
+    let srv_counter = data.word("srv_counter", 0);
+    let tids = data.array("tids", spec.server_threads, 0);
+
+    // ---- server worker ------------------------------------------------------
+    let server = asm.bind_symbol("server");
+    let sloop = asm.bind_new();
+    asm.li(Reg::A0, qm as i32);
+    rt.emit_mutex_acquire(asm);
+    let scheck = asm.bind_new();
+    let deq = asm.label();
+    let out = asm.label();
+    asm.li(Reg::T0, qcount as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.bnez(Reg::T6, deq);
+    asm.li(Reg::T0, shutdown as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.bnez(Reg::T6, out);
+    asm.li(Reg::A0, qcv as i32);
+    asm.li(Reg::A1, qm as i32);
+    rt.emit_cv_wait(asm);
+    asm.j(scheck);
+    asm.bind(deq);
+    // s0 = reqq[qhead]; qhead = (qhead + 1) & 3; qcount--.
+    asm.li(Reg::T0, qhead as i32);
+    asm.lw(Reg::T7, Reg::T0, 0);
+    asm.slli(Reg::T6, Reg::T7, 2);
+    asm.li(Reg::T1, reqq as i32);
+    asm.add(Reg::T1, Reg::T1, Reg::T6);
+    asm.lw(Reg::S0, Reg::T1, 0);
+    asm.addi(Reg::T7, Reg::T7, 1);
+    asm.andi(Reg::T7, Reg::T7, 3);
+    asm.sw(Reg::T7, Reg::T0, 0);
+    asm.li(Reg::T0, qcount as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.addi(Reg::T6, Reg::T6, -1);
+    asm.sw(Reg::T6, Reg::T0, 0);
+    asm.li(Reg::A0, qm as i32);
+    rt.emit_mutex_release(asm);
+    // Service: internal synchronization plus computation.
+    for _ in 0..spec.inner_lock_ops {
+        asm.li(Reg::A0, slock as i32);
+        rt.emit_raw_enter(asm);
+        asm.li(Reg::T0, srv_counter as i32);
+        asm.lw(Reg::T6, Reg::T0, 0);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::T0, 0);
+        asm.li(Reg::A0, slock as i32);
+        rt.emit_raw_exit(asm);
+    }
+    emit_busy_work(asm, spec.server_work, Reg::T0);
+    asm.li(Reg::A0, slock as i32);
+    rt.emit_raw_enter(asm);
+    asm.li(Reg::T0, handled as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.addi(Reg::T6, Reg::T6, 1);
+    asm.sw(Reg::T6, Reg::T0, 0);
+    asm.li(Reg::A0, slock as i32);
+    rt.emit_raw_exit(asm);
+    // Reply to the client and wake it.
+    asm.li(Reg::T0, reply as i32);
+    asm.sw(Reg::S0, Reg::T0, 0);
+    emit_wake(asm, Reg::T0, 1);
+    asm.j(sloop);
+    asm.bind(out);
+    asm.li(Reg::A0, qm as i32);
+    rt.emit_mutex_release(asm);
+    emit_exit(asm);
+
+    // ---- main = single-threaded client ---------------------------------------
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    for w in 0..spec.server_threads {
+        asm.li(Reg::T0, 0);
+        emit_spawn(asm, server, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    asm.li(Reg::S0, spec.requests as i32);
+    let rloop = asm.bind_new();
+    // The client's own computation.
+    emit_busy_work(asm, spec.client_work, Reg::T0);
+    // reply = 0, then submit request id s0.
+    asm.li(Reg::T0, reply as i32);
+    asm.sw(Reg::ZERO, Reg::T0, 0);
+    asm.li(Reg::A0, qm as i32);
+    rt.emit_mutex_acquire(asm);
+    asm.li(Reg::T0, qtail as i32);
+    asm.lw(Reg::T7, Reg::T0, 0);
+    asm.slli(Reg::T6, Reg::T7, 2);
+    asm.li(Reg::T1, reqq as i32);
+    asm.add(Reg::T1, Reg::T1, Reg::T6);
+    asm.sw(Reg::S0, Reg::T1, 0);
+    asm.addi(Reg::T7, Reg::T7, 1);
+    asm.andi(Reg::T7, Reg::T7, 3);
+    asm.sw(Reg::T7, Reg::T0, 0);
+    asm.li(Reg::T0, qcount as i32);
+    asm.lw(Reg::T6, Reg::T0, 0);
+    asm.addi(Reg::T6, Reg::T6, 1);
+    asm.sw(Reg::T6, Reg::T0, 0);
+    asm.li(Reg::A0, qcv as i32);
+    rt.emit_cv_signal(asm);
+    asm.li(Reg::A0, qm as i32);
+    rt.emit_mutex_release(asm);
+    // Synchronous wait for the reply.
+    let wait_reply = asm.bind_new();
+    asm.li(Reg::A0, reply as i32);
+    asm.li(Reg::A1, 0);
+    asm.li(Reg::V0, abi::SYS_WAIT as i32);
+    asm.syscall();
+    asm.li(Reg::T0, reply as i32);
+    asm.lw(Reg::T1, Reg::T0, 0);
+    asm.beqz(Reg::T1, wait_reply);
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, rloop);
+    // Shutdown the server and join it.
+    asm.li(Reg::A0, qm as i32);
+    rt.emit_mutex_acquire(asm);
+    asm.li(Reg::T0, shutdown as i32);
+    asm.li(Reg::T1, 1);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    asm.li(Reg::A0, qcv as i32);
+    rt.emit_cv_broadcast(asm);
+    asm.li(Reg::A0, qm as i32);
+    rt.emit_mutex_release(asm);
+    for w in 0..spec.server_threads {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    b.finish(main).expect("client/server app assembles")
+}

@@ -1,0 +1,140 @@
+//! The §5.1 microbenchmark: "a test that enters a critical section using a
+//! Test-And-Set lock, increments a counter, and leaves the critical
+//! section by clearing the Test-And-Set lock."
+//!
+//! With one worker the lock is always free, measuring the fast path of the
+//! mechanism plus the interaction with the critical-section body — exactly
+//! what Tables 1 and 4 report. With several workers and a small quantum it
+//! becomes the adversarial correctness workload used throughout the test
+//! suite: the final counter value must be exactly
+//! `workers × iterations` under every schedule.
+
+use ras_isa::Reg;
+
+use crate::codegen::{emit_exit, emit_join, emit_spawn};
+use crate::{BuiltGuest, GuestBuilder, Mechanism};
+
+/// What the microbenchmark loop body contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CounterBody {
+    /// Acquire, increment the shared counter, release — the Table 1
+    /// measurement.
+    #[default]
+    LockAndCounter,
+    /// Acquire and release only — the Table 4 measurement ("the overhead
+    /// to acquire and release a Test-And-Set lock").
+    LockOnly,
+    /// Nothing — the calibration run whose time is subtracted, as the
+    /// paper subtracts its loop overhead.
+    Empty,
+}
+
+/// Parameters for [`counter_loop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSpec {
+    /// Critical sections per worker.
+    pub iterations: u32,
+    /// Number of worker threads (the paper's Table 1 uses one).
+    pub workers: usize,
+    /// Loop body variant.
+    pub body: CounterBody,
+}
+
+impl Default for CounterSpec {
+    fn default() -> CounterSpec {
+        CounterSpec {
+            iterations: 100_000,
+            workers: 1,
+            body: CounterBody::LockAndCounter,
+        }
+    }
+}
+
+impl CounterSpec {
+    /// The expected final counter value.
+    pub fn expected_count(&self) -> u32 {
+        match self.body {
+            CounterBody::LockAndCounter => self.iterations * self.workers as u32,
+            CounterBody::LockOnly | CounterBody::Empty => 0,
+        }
+    }
+
+    /// Total critical sections entered across all workers.
+    pub fn total_ops(&self) -> u64 {
+        u64::from(self.iterations) * self.workers as u64
+    }
+}
+
+/// Builds the microbenchmark for `mechanism`.
+///
+/// Data symbols: `lock` (the raw lock) and `counter`.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero or `workers` is zero or exceeds the
+/// runtime's thread capacity.
+pub fn counter_loop(mechanism: Mechanism, spec: &CounterSpec) -> BuiltGuest {
+    assert!(spec.iterations > 0 && spec.workers > 0, "degenerate spec");
+    let mut b = GuestBuilder::new(mechanism, spec.workers + 1);
+    let (asm, data, rt) = b.parts();
+    let lock = rt.alloc_raw_lock(data, "lock");
+    let counter = data.word("counter", 0);
+    let tids = data.array("tids", spec.workers, 0);
+
+    // ---- worker (a0 = iterations) ----------------------------------------
+    let worker = asm.bind_symbol("worker");
+    asm.mv(Reg::S0, Reg::A0);
+    asm.li(Reg::S1, lock as i32);
+    asm.li(Reg::S2, counter as i32);
+    let top = asm.bind_new();
+    match spec.body {
+        CounterBody::Empty => {}
+        CounterBody::LockAndCounter => {
+            asm.mv(Reg::A0, Reg::S1);
+            rt.emit_raw_enter(asm);
+            asm.lw(Reg::T6, Reg::S2, 0);
+            asm.addi(Reg::T6, Reg::T6, 1);
+            asm.sw(Reg::T6, Reg::S2, 0);
+            asm.mv(Reg::A0, Reg::S1);
+            rt.emit_raw_exit(asm);
+        }
+        CounterBody::LockOnly => {
+            // The Table 4 measurement: the bare Test-And-Set fast path and
+            // its release, with no spin check — exactly "the overhead to
+            // acquire and release a Test-And-Set lock" with one thread
+            // (the designated sequence's own branch covers the contended
+            // case, as in Figure 5). Protocol (a) has no TAS, so it uses
+            // its enter/exit pair.
+            asm.mv(Reg::A0, Reg::S1);
+            if mechanism == Mechanism::LamportPerLock {
+                rt.emit_raw_enter(asm);
+                asm.mv(Reg::A0, Reg::S1);
+                rt.emit_raw_exit(asm);
+            } else {
+                rt.emit_tas(asm);
+                asm.mv(Reg::A0, Reg::S1);
+                rt.emit_clear(asm);
+            }
+        }
+    }
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, top);
+    emit_exit(asm);
+
+    // ---- main --------------------------------------------------------------
+    let main = asm.bind_symbol("main");
+    for w in 0..spec.workers {
+        asm.li(Reg::T0, spec.iterations as i32);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for w in 0..spec.workers {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::RA);
+
+    b.finish(main).expect("counter workload assembles")
+}

@@ -1,0 +1,157 @@
+//! An allocator-stress workload: a shared free list of fixed-size blocks
+//! protected by the mechanism's lock — the storage-allocator pattern that
+//! userspace runtimes of the paper's era (C-Threads, PRESTO) guard with
+//! exactly these locks.
+//!
+//! Workers repeatedly allocate a block, stamp it with a unique signature,
+//! do some work, verify the signature survived, and free the block. Any
+//! atomicity failure in the lock shows up as either a corrupted signature
+//! (two owners of one block) or a broken free list (lost blocks and a
+//! starved allocator).
+
+use ras_isa::Reg;
+
+use crate::codegen::{emit_busy_work, emit_exit, emit_join, emit_spawn, emit_yield};
+use crate::{BuiltGuest, GuestBuilder, Mechanism};
+
+/// Parameters for [`malloc_stress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MallocSpec {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Allocate/free rounds per worker.
+    pub rounds: u32,
+    /// Blocks in the arena (must be ≥ `workers`; each worker holds at
+    /// most one block at a time).
+    pub blocks: usize,
+}
+
+impl Default for MallocSpec {
+    fn default() -> MallocSpec {
+        MallocSpec {
+            workers: 4,
+            rounds: 300,
+            blocks: 6,
+        }
+    }
+}
+
+/// Builds the allocator-stress workload for any mechanism.
+///
+/// Data symbols: `alloc_count` (must equal `workers × rounds`),
+/// `corruptions` (must be zero), `free_head` (must be nonzero — the list
+/// survives).
+///
+/// # Panics
+///
+/// Panics if `blocks < workers` (the allocator could legitimately starve).
+pub fn malloc_stress(mechanism: Mechanism, spec: &MallocSpec) -> BuiltGuest {
+    assert!(spec.blocks >= spec.workers, "arena must cover all workers");
+    assert!(spec.workers >= 1 && spec.rounds >= 1);
+    let mut b = GuestBuilder::new(mechanism, spec.workers + 1);
+    let (asm, data, rt) = b.parts();
+    let lock = rt.alloc_raw_lock(data, "alloc_lock");
+    let free_head = data.word("free_head", 0);
+    let alloc_count = data.word("alloc_count", 0);
+    let corruptions = data.word("corruptions", 0);
+    let tids = data.array("tids", spec.workers, 0);
+    // Blocks: [next, payload] (2 words each), linked into a free list.
+    // The arena base is the current cursor, so the links can be computed
+    // before allocation.
+    const BLOCK_BYTES: u32 = 8;
+    let arena_base = data.cursor();
+    let mut init = Vec::with_capacity(spec.blocks * 2);
+    for i in 0..spec.blocks {
+        let next = if i + 1 < spec.blocks {
+            arena_base + (i as u32 + 1) * BLOCK_BYTES
+        } else {
+            0
+        };
+        init.push(next);
+        init.push(0);
+    }
+    let arena = data.array_init("arena", &init);
+    assert_eq!(arena, arena_base, "cursor math");
+    // free_head starts at the first block. (word() elides zero inits, so
+    // re-allocate via a patch at boot: easiest is an init pass in main.)
+
+    // ---- worker (a0 = rounds) ----------------------------------------------
+    let worker = asm.bind_symbol("worker");
+    asm.mv(Reg::S0, Reg::A0);
+    let round = asm.bind_new();
+    // Allocate: pop the free list under the lock.
+    let alloc_retry = asm.bind_new();
+    let got_block = asm.label();
+    asm.li(Reg::A0, lock as i32);
+    rt.emit_raw_enter(asm);
+    asm.li(Reg::T0, free_head as i32);
+    asm.lw(Reg::S1, Reg::T0, 0);
+    let empty = asm.label();
+    asm.beqz(Reg::S1, empty);
+    asm.lw(Reg::T1, Reg::S1, 0);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    asm.li(Reg::A0, lock as i32);
+    rt.emit_raw_exit(asm);
+    asm.j(got_block);
+    asm.bind(empty);
+    asm.li(Reg::A0, lock as i32);
+    rt.emit_raw_exit(asm);
+    emit_yield(asm);
+    asm.j(alloc_retry);
+    asm.bind(got_block);
+    // Stamp a unique signature: (tid << 20) | round counter.
+    asm.slli(Reg::T2, Reg::GP, 20);
+    asm.or(Reg::T2, Reg::T2, Reg::S0);
+    asm.sw(Reg::T2, Reg::S1, 4);
+    emit_busy_work(asm, 15, Reg::T0);
+    // Verify the signature survived sole ownership.
+    asm.lw(Reg::T3, Reg::S1, 4);
+    let intact = asm.label();
+    asm.beq(Reg::T3, Reg::T2, intact);
+    asm.li(Reg::A0, lock as i32);
+    rt.emit_raw_enter(asm);
+    asm.li(Reg::T0, corruptions as i32);
+    asm.lw(Reg::T1, Reg::T0, 0);
+    asm.addi(Reg::T1, Reg::T1, 1);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    asm.li(Reg::A0, lock as i32);
+    rt.emit_raw_exit(asm);
+    asm.bind(intact);
+    // Free: push back and count the completed round, under the lock.
+    asm.li(Reg::A0, lock as i32);
+    rt.emit_raw_enter(asm);
+    asm.li(Reg::T0, free_head as i32);
+    asm.lw(Reg::T1, Reg::T0, 0);
+    asm.sw(Reg::T1, Reg::S1, 0);
+    asm.sw(Reg::S1, Reg::T0, 0);
+    asm.li(Reg::T0, alloc_count as i32);
+    asm.lw(Reg::T1, Reg::T0, 0);
+    asm.addi(Reg::T1, Reg::T1, 1);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    asm.li(Reg::A0, lock as i32);
+    rt.emit_raw_exit(asm);
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, round);
+    emit_exit(asm);
+
+    // ---- main ---------------------------------------------------------------
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    // Initialize the free-list head (before any worker exists).
+    asm.li(Reg::T0, free_head as i32);
+    asm.li(Reg::T1, arena_base as i32);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    for w in 0..spec.workers {
+        asm.li(Reg::T0, spec.rounds as i32);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for w in 0..spec.workers {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    b.finish(main).expect("malloc workload assembles")
+}

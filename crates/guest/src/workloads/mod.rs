@@ -1,0 +1,30 @@
+//! The paper's benchmark and application workloads, generated as guest
+//! programs parameterized by [`crate::Mechanism`].
+//!
+//! * [`counter_loop`] — the §5.1 microbenchmark behind Tables 1 and 4:
+//!   enter a Test-And-Set critical section, increment a counter, leave.
+//! * [`spinlock_bench`], [`mutex_bench`], [`fork_test`], [`ping_pong`] —
+//!   the §5.2 thread-management benchmarks of Table 2.
+//! * [`treiber_stack`] — a lock-free stack on designated CAS sequences,
+//!   the §4.1 "richer sequences" demonstration.
+//! * [`parthenon`], [`proton64`], [`text_format`], [`afs_bench`] —
+//!   synthetic analogues of the §5.3 applications of Table 3 (the
+//!   originals — a LaTeX run, the Andrew benchmark, the Parthenon theorem
+//!   prover, and a producer/consumer file reader — are not available, so
+//!   each is modeled by a workload with the same threading and
+//!   synchronization structure; see DESIGN.md §2).
+
+mod apps;
+mod counter;
+mod malloc;
+mod stack;
+mod table2;
+
+pub use apps::{
+    afs_bench, parthenon, proton64, text_format, AfsSpec, ParthenonSpec, Proton64Spec,
+    TextFormatSpec,
+};
+pub use counter::{counter_loop, CounterBody, CounterSpec};
+pub use malloc::{malloc_stress, MallocSpec};
+pub use stack::{treiber_stack, StackSpec};
+pub use table2::{fork_test, mutex_bench, ping_pong, spinlock_bench, Table2Spec};

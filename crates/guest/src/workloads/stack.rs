@@ -1,0 +1,191 @@
+//! A lock-free Treiber stack built entirely on designated
+//! compare-and-swap sequences — the kind of "richer" atomic sequence
+//! §4.1 of the paper anticipates beyond Test-And-Set (citing Herlihy's
+//! wait-free constructions). No locks, no hardware atomics: every push,
+//! pop, and statistics update commits through a restartable CAS or
+//! fetch-and-add.
+//!
+//! Workers first push their private arena of nodes (nodes are never
+//! reused, so ABA cannot arise), synchronize at a barrier, then pop until
+//! they have taken their share. The conservation invariant — every pushed
+//! value popped exactly once — only holds if CAS is truly atomic under
+//! preemption.
+
+use ras_isa::{Asm, Reg};
+
+use crate::codegen::{emit_exit, emit_join, emit_spawn, emit_yield};
+use crate::sync_extra::{alloc_barrier, emit_sync_extra};
+use crate::{tas, BuiltGuest, GuestBuilder, Mechanism};
+
+/// Parameters for [`treiber_stack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackSpec {
+    /// Worker threads.
+    pub workers: usize,
+    /// Nodes pushed (then popped) per worker.
+    pub nodes_per_worker: u32,
+}
+
+impl Default for StackSpec {
+    fn default() -> StackSpec {
+        StackSpec {
+            workers: 4,
+            nodes_per_worker: 200,
+        }
+    }
+}
+
+impl StackSpec {
+    /// Total nodes flowing through the stack.
+    pub fn total_nodes(&self) -> u32 {
+        self.workers as u32 * self.nodes_per_worker
+    }
+
+    /// Expected sum of all popped values: values are `1..=total`.
+    pub fn expected_sum(&self) -> u32 {
+        (1..=self.total_nodes()).fold(0u32, |a, b| a.wrapping_add(b))
+    }
+}
+
+/// Emits an inline Treiber push: `$s1` = node byte address (node layout:
+/// `[value, next]`). Clobbers `$t0..$t1`, `$v0`, `$a0..$a2`.
+fn emit_push(asm: &mut Asm, head_addr: u32) {
+    let retry = asm.bind_new();
+    let done = asm.label();
+    asm.li(Reg::A0, head_addr as i32);
+    asm.lw(Reg::T1, Reg::A0, 0); // expected old head
+    asm.sw(Reg::T1, Reg::S1, 4); // node.next = old head (pre-publication)
+    asm.mv(Reg::A1, Reg::T1);
+    asm.mv(Reg::A2, Reg::S1);
+    tas::emit_cas_inline(asm); // head: old -> node
+    asm.beq(Reg::V0, Reg::T1, done);
+    asm.j(retry);
+    asm.bind(done);
+}
+
+/// Emits an inline Treiber pop; the popped node address lands in `$s2`
+/// (0 = stack was empty). Clobbers `$t0..$t2`, `$v0`, `$a0..$a2`.
+fn emit_pop(asm: &mut Asm, head_addr: u32) {
+    let retry = asm.bind_new();
+    let done = asm.label();
+    asm.li(Reg::A0, head_addr as i32);
+    asm.lw(Reg::T1, Reg::A0, 0); // candidate head
+    asm.mv(Reg::S2, Reg::T1);
+    asm.beqz(Reg::T1, done); // empty
+    asm.lw(Reg::T2, Reg::T1, 4); // next
+    asm.mv(Reg::A1, Reg::T1);
+    asm.mv(Reg::A2, Reg::T2);
+    tas::emit_cas_inline(asm); // head: candidate -> next
+    asm.beq(Reg::V0, Reg::T1, done);
+    asm.j(retry);
+    asm.bind(done);
+}
+
+/// Emits a lock-free `mem[addr] += $s5` using a CAS retry loop.
+/// Clobbers `$t0..$t2`, `$v0`, `$a0..$a2`.
+fn emit_atomic_add_reg(asm: &mut Asm, addr: u32) {
+    let retry = asm.bind_new();
+    let done = asm.label();
+    asm.li(Reg::A0, addr as i32);
+    asm.lw(Reg::T1, Reg::A0, 0);
+    asm.add(Reg::T2, Reg::T1, Reg::S5);
+    asm.mv(Reg::A1, Reg::T1);
+    asm.mv(Reg::A2, Reg::T2);
+    tas::emit_cas_inline(asm);
+    asm.beq(Reg::V0, Reg::T1, done);
+    asm.j(retry);
+    asm.bind(done);
+}
+
+/// Builds the lock-free stack workload.
+///
+/// Data symbols: `popped_total` (count of successful pops, via designated
+/// fetch-and-add) and `popped_sum` (wrapping sum of popped values, via a
+/// CAS loop) — the whole program is lock-free.
+///
+/// # Panics
+///
+/// Panics unless `mechanism` is [`Mechanism::RasInline`]: the lock-free
+/// structure needs inline CAS sequences, which only the designated-
+/// sequence kernel recognizes.
+pub fn treiber_stack(mechanism: Mechanism, spec: &StackSpec) -> BuiltGuest {
+    assert_eq!(
+        mechanism,
+        Mechanism::RasInline,
+        "the lock-free stack requires designated CAS sequences"
+    );
+    assert!(spec.workers >= 1 && spec.nodes_per_worker >= 1);
+    let mut b = GuestBuilder::new(mechanism, spec.workers + 1);
+    let (asm, data, rt) = b.parts();
+    let extra = emit_sync_extra(asm, rt);
+    let barrier = alloc_barrier(rt, data, "barrier");
+    let head = data.word("head", 0);
+    let popped_total = data.word("popped_total", 0);
+    let popped_sum = data.word("popped_sum", 0);
+    let tids = data.array("tids", spec.workers, 0);
+    // Node arenas: 2 words per node, preinitialized with unique values
+    // 1..=total (worker w owns nodes [w*n, (w+1)*n)).
+    let total = spec.total_nodes();
+    let mut init = Vec::with_capacity(2 * total as usize);
+    for v in 1..=total {
+        init.push(v); // value
+        init.push(0); // next
+    }
+    let arena = data.array_init("arena", &init);
+
+    // ---- worker (a0 = worker index) ----------------------------------------
+    let worker = asm.bind_symbol("worker");
+    asm.mv(Reg::S0, Reg::A0);
+    // s1 = my arena cursor = arena + index * nodes_per_worker * 8.
+    asm.li(Reg::T1, spec.nodes_per_worker as i32 * 8);
+    asm.mul(Reg::S1, Reg::S0, Reg::T1);
+    asm.li(Reg::T1, arena as i32);
+    asm.add(Reg::S1, Reg::S1, Reg::T1);
+    // Phase 1: push my nodes.
+    asm.li(Reg::S4, spec.nodes_per_worker as i32);
+    let push_loop = asm.bind_new();
+    emit_push(asm, head);
+    asm.addi(Reg::S1, Reg::S1, 8);
+    asm.addi(Reg::S4, Reg::S4, -1);
+    asm.bnez(Reg::S4, push_loop);
+    // Barrier: all pushes complete before any pop.
+    asm.li(Reg::A0, barrier as i32);
+    asm.li(Reg::A1, spec.workers as i32);
+    asm.jal_to(extra.barrier_wait);
+    // Phase 2: pop my share.
+    asm.li(Reg::S4, spec.nodes_per_worker as i32);
+    let pop_loop = asm.bind_new();
+    let got_one = asm.label();
+    emit_pop(asm, head);
+    asm.bnez(Reg::S2, got_one);
+    // Empty is impossible on a correct run (pops == pushes), but stay
+    // defensive: yield and retry rather than diverging silently.
+    emit_yield(asm);
+    asm.j(pop_loop);
+    asm.bind(got_one);
+    // popped_sum += node.value (CAS loop); popped_total += 1 (faa).
+    asm.lw(Reg::S5, Reg::S2, 0);
+    emit_atomic_add_reg(asm, popped_sum);
+    asm.li(Reg::A0, popped_total as i32);
+    tas::emit_faa_inline(asm, 1);
+    asm.addi(Reg::S4, Reg::S4, -1);
+    asm.bnez(Reg::S4, pop_loop);
+    emit_exit(asm);
+
+    // ---- main ---------------------------------------------------------------
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    for w in 0..spec.workers {
+        asm.li(Reg::T0, w as i32);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for w in 0..spec.workers {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    b.finish(main).expect("stack workload assembles")
+}

@@ -1,0 +1,241 @@
+//! The §5.2 thread-management benchmarks of Table 2: Spinlock, MutexLock,
+//! ForkTest, and PingPong, "the kinds of operations typically found in
+//! multithreaded programs."
+
+use ras_isa::{abi, Reg};
+
+use crate::codegen::{emit_exit, emit_join, emit_spawn, emit_wake};
+use crate::{BuiltGuest, GuestBuilder, Mechanism};
+
+/// Parameters for the Table 2 benchmarks. `iterations` is the operation
+/// count: lock round-trips, forks, or ping-pong cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Spec {
+    /// Number of operations to perform.
+    pub iterations: u32,
+}
+
+impl Default for Table2Spec {
+    fn default() -> Table2Spec {
+        Table2Spec { iterations: 10_000 }
+    }
+}
+
+/// Spinlock: one thread repeatedly acquires and releases a spin lock
+/// implemented with the mechanism's Test-And-Set.
+///
+/// Data symbols: `lock`, plus `acquisitions` counting successful entries.
+pub fn spinlock_bench(mechanism: Mechanism, spec: &Table2Spec) -> BuiltGuest {
+    assert!(spec.iterations > 0);
+    let mut b = GuestBuilder::new(mechanism, 2);
+    let (asm, data, rt) = b.parts();
+    let lock = rt.alloc_raw_lock(data, "lock");
+    let acquisitions = data.word("acquisitions", 0);
+
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    asm.li(Reg::S0, spec.iterations as i32);
+    asm.li(Reg::S1, lock as i32);
+    asm.li(Reg::S2, acquisitions as i32);
+    let top = asm.bind_new();
+    asm.mv(Reg::A0, Reg::S1);
+    rt.emit_raw_enter(asm);
+    asm.lw(Reg::T6, Reg::S2, 0);
+    asm.addi(Reg::T6, Reg::T6, 1);
+    asm.sw(Reg::T6, Reg::S2, 0);
+    asm.mv(Reg::A0, Reg::S1);
+    rt.emit_raw_exit(asm);
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, top);
+    asm.jr(Reg::S3);
+    b.finish(main).expect("spinlock bench assembles")
+}
+
+/// MutexLock: one thread repeatedly acquires and releases a relinquishing
+/// mutex (a spinlock fast path plus a kernel wait queue, §5.2).
+///
+/// Data symbols: `mutex`, `acquisitions`.
+pub fn mutex_bench(mechanism: Mechanism, spec: &Table2Spec) -> BuiltGuest {
+    assert!(spec.iterations > 0);
+    let mut b = GuestBuilder::new(mechanism, 2);
+    let (asm, data, rt) = b.parts();
+    let mutex = rt.alloc_mutex(data, "mutex");
+    let acquisitions = data.word("acquisitions", 0);
+
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    asm.li(Reg::S0, spec.iterations as i32);
+    asm.li(Reg::S1, mutex as i32);
+    asm.li(Reg::S2, acquisitions as i32);
+    let top = asm.bind_new();
+    asm.mv(Reg::A0, Reg::S1);
+    rt.emit_mutex_acquire(asm);
+    asm.lw(Reg::T6, Reg::S2, 0);
+    asm.addi(Reg::T6, Reg::T6, 1);
+    asm.sw(Reg::T6, Reg::S2, 0);
+    asm.mv(Reg::A0, Reg::S1);
+    rt.emit_mutex_release(asm);
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, top);
+    asm.jr(Reg::S3);
+    b.finish(main).expect("mutex bench assembles")
+}
+
+/// ForkTest: threads are recursively forked in succession — thread 1 forks
+/// thread 2, which forks thread 3, and so on; after forking, a thread
+/// immediately terminates.
+///
+/// `spec.iterations` is the chain length, so the program creates
+/// `iterations + 2` threads in total (main plus the chain). Size the
+/// kernel's `max_threads` and shrink `stack_bytes` accordingly.
+///
+/// Data symbols: `forks_done` (incremented by every chain thread under the
+/// mechanism's lock), `done` (completion flag the main thread waits on).
+pub fn fork_test(mechanism: Mechanism, spec: &Table2Spec) -> BuiltGuest {
+    assert!(spec.iterations > 0);
+    let mut b = GuestBuilder::new(mechanism, spec.iterations as usize + 2);
+    let (asm, data, rt) = b.parts();
+    let lock = rt.alloc_raw_lock(data, "lock");
+    let forks_done = data.word("forks_done", 0);
+    let bookkeep_a = data.word("bookkeep_a", 0);
+    let bookkeep_b = data.word("bookkeep_b", 0);
+    let done = data.word("done", 0);
+
+    // worker(a0 = remaining forks)
+    let worker_label = asm.bind_new();
+    let worker = asm.bind_symbol("worker");
+    asm.mv(Reg::S0, Reg::A0);
+    // Thread bookkeeping, as C-Threads does on every fork: stack
+    // allocation, run-queue linkage, and the fork counter, each a short
+    // lock-protected critical section.
+    for slot in [bookkeep_a as i32, bookkeep_b as i32, forks_done as i32] {
+        asm.li(Reg::A0, lock as i32);
+        rt.emit_raw_enter(asm);
+        asm.li(Reg::T6, slot);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.addi(Reg::T7, Reg::T7, 1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        asm.li(Reg::A0, lock as i32);
+        rt.emit_raw_exit(asm);
+    }
+    let last = asm.label();
+    asm.beqz(Reg::S0, last);
+    asm.addi(Reg::A1, Reg::S0, -1);
+    asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+    asm.li_label(Reg::A0, worker_label);
+    asm.syscall();
+    emit_exit(asm);
+    asm.bind(last);
+    asm.li(Reg::T0, done as i32);
+    asm.li(Reg::T1, 1);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    emit_wake(asm, Reg::T0, 1);
+    emit_exit(asm);
+
+    // main
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    asm.li(Reg::T0, spec.iterations as i32 - 1);
+    emit_spawn(asm, worker, Reg::T0);
+    // Wait for the completion flag.
+    let check = asm.bind_new();
+    asm.li(Reg::A0, done as i32);
+    asm.li(Reg::A1, 0);
+    asm.li(Reg::V0, abi::SYS_WAIT as i32);
+    asm.syscall();
+    asm.li(Reg::T0, done as i32);
+    asm.lw(Reg::T1, Reg::T0, 0);
+    asm.beqz(Reg::T1, check);
+    asm.jr(Reg::S3);
+
+    b.finish(main).expect("fork test assembles")
+}
+
+/// PingPong: two threads alternate in a tight loop using a mutex and a
+/// condition variable.
+///
+/// `spec.iterations` is the number of full ping-pong cycles. Data
+/// symbols: `mutex`, `cv`, `turn`, and `cycles` (incremented by thread 0
+/// each cycle).
+pub fn ping_pong(mechanism: Mechanism, spec: &Table2Spec) -> BuiltGuest {
+    assert!(spec.iterations > 0);
+    let mut b = GuestBuilder::new(mechanism, 3);
+    let (asm, data, rt) = b.parts();
+    let mutex = rt.alloc_mutex(data, "mutex");
+    let cv = rt.alloc_condvar(data, "cv");
+    let slock = rt.alloc_raw_lock(data, "slock");
+    let turn = data.word("turn", 0);
+    let cycles = data.word("cycles", 0);
+    let stats = data.array("stats", 4, 0);
+    let tids = data.array("tids", 2, 0);
+
+    // worker(a0 = my side, 0 or 1)
+    let worker = asm.bind_symbol("worker");
+    asm.mv(Reg::S0, Reg::A0);
+    asm.li(Reg::S1, spec.iterations as i32);
+    asm.li(Reg::S2, mutex as i32);
+    let top = asm.bind_new();
+    asm.mv(Reg::A0, Reg::S2);
+    rt.emit_mutex_acquire(asm);
+    // while turn != me: wait
+    let check = asm.bind_new();
+    let proceed = asm.label();
+    asm.li(Reg::T6, turn as i32);
+    asm.lw(Reg::T7, Reg::T6, 0);
+    asm.beq(Reg::T7, Reg::S0, proceed);
+    asm.li(Reg::A0, cv as i32);
+    asm.mv(Reg::A1, Reg::S2);
+    rt.emit_cv_wait(asm);
+    asm.j(check);
+    asm.bind(proceed);
+    // turn = 1 - me; thread 0 counts completed cycles.
+    asm.li(Reg::T7, 1);
+    asm.sub(Reg::T7, Reg::T7, Reg::S0);
+    asm.li(Reg::T6, turn as i32);
+    asm.sw(Reg::T7, Reg::T6, 0);
+    // cycles++ only on side 0.
+    let skip = asm.label();
+    asm.bnez(Reg::S0, skip);
+    asm.li(Reg::T6, cycles as i32);
+    asm.lw(Reg::T7, Reg::T6, 0);
+    asm.addi(Reg::T7, Reg::T7, 1);
+    asm.sw(Reg::T7, Reg::T6, 0);
+    asm.bind(skip);
+    asm.li(Reg::A0, cv as i32);
+    rt.emit_cv_signal(asm);
+    asm.mv(Reg::A0, Reg::S2);
+    rt.emit_mutex_release(asm);
+    // Per-pass statistics, each under the package's internal lock — the
+    // paper measures 26 Test-And-Sets per full ping-pong cycle, most of
+    // them this kind of bookkeeping.
+    for i in 0..4u32 {
+        asm.li(Reg::A0, slock as i32);
+        rt.emit_raw_enter(asm);
+        asm.li(Reg::T6, (stats + 4 * i) as i32);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.addi(Reg::T7, Reg::T7, 1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        asm.li(Reg::A0, slock as i32);
+        rt.emit_raw_exit(asm);
+    }
+    asm.addi(Reg::S1, Reg::S1, -1);
+    asm.bnez(Reg::S1, top);
+    emit_exit(asm);
+
+    // main
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    for side in 0..2u32 {
+        asm.li(Reg::T0, side as i32);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * side) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for side in 0..2u32 {
+        asm.li(Reg::T1, (tids + 4 * side) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    b.finish(main).expect("ping pong assembles")
+}

@@ -1,0 +1,319 @@
+//! The correctness matrix: every mechanism × every workload, under
+//! adversarial preemption (tiny jittered quanta), verifying the workload
+//! invariants exactly. This is the load-bearing validation of the whole
+//! reproduction — if a mechanism failed to provide atomicity anywhere, a
+//! counter or checksum would come out wrong.
+
+use ras_guest::{workloads, BuiltGuest, Mechanism};
+use ras_kernel::{Kernel, KernelConfig, Outcome};
+use ras_machine::CpuProfile;
+
+/// The profile that supports a mechanism: the R3000 for software-only
+/// mechanisms, the i860 otherwise.
+fn profile_for(mechanism: Mechanism) -> CpuProfile {
+    if mechanism.supported_by(&CpuProfile::r3000()) {
+        CpuProfile::r3000()
+    } else {
+        CpuProfile::i860()
+    }
+}
+
+fn run_hostile(built: &BuiltGuest, quantum: u64, seed: u64) -> Kernel {
+    let mut config = built.kernel_config(profile_for(built.mechanism));
+    config.quantum = quantum;
+    config.jitter = 7;
+    config.seed = seed;
+    config.mem_bytes = 1 << 21;
+    config.stack_bytes = 4096;
+    let mut kernel = built.boot(config).expect("boots");
+    let outcome = kernel.run(20_000_000_000);
+    assert_eq!(
+        outcome,
+        Outcome::Completed,
+        "{} did not complete: {outcome:?}",
+        built.mechanism
+    );
+    kernel
+}
+
+fn read(kernel: &Kernel, built: &BuiltGuest, symbol: &str) -> u32 {
+    kernel
+        .read_word(built.data.symbol(symbol).expect("symbol exists"))
+        .expect("aligned")
+}
+
+#[test]
+fn counter_loop_is_exact_for_every_mechanism() {
+    let spec = workloads::CounterSpec {
+        iterations: 300,
+        workers: 3,
+        body: workloads::CounterBody::LockAndCounter,
+    };
+    for mechanism in Mechanism::all() {
+        for (quantum, seed) in [(17, 1), (53, 2), (211, 3)] {
+            let built = workloads::counter_loop(mechanism, &spec);
+            let kernel = run_hostile(&built, quantum, seed);
+            assert_eq!(
+                read(&kernel, &built, "counter"),
+                spec.expected_count(),
+                "{mechanism} quantum={quantum} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimistic_mechanisms_actually_restart() {
+    // Under a tiny quantum, the in-kernel RAS mechanisms must show restarts
+    // and the user-level mechanism must show redirects; otherwise the
+    // hostile schedule is not actually hostile.
+    let spec = workloads::CounterSpec {
+        iterations: 500,
+        workers: 3,
+        body: workloads::CounterBody::LockAndCounter,
+    };
+    for mechanism in [Mechanism::RasRegistered, Mechanism::RasInline] {
+        let built = workloads::counter_loop(mechanism, &spec);
+        let kernel = run_hostile(&built, 13, 9);
+        assert!(
+            kernel.stats().ras_restarts > 0,
+            "{mechanism}: no restarts under quantum 13"
+        );
+    }
+    let built = workloads::counter_loop(Mechanism::UserLevelRestart, &spec);
+    let kernel = run_hostile(&built, 13, 9);
+    assert!(kernel.stats().user_restart_redirects > 0);
+    assert_eq!(read(&kernel, &built, "counter"), spec.expected_count());
+}
+
+#[test]
+fn spinlock_and_mutex_benches_complete_exactly() {
+    let spec = workloads::Table2Spec { iterations: 400 };
+    for mechanism in Mechanism::all() {
+        let built = workloads::spinlock_bench(mechanism, &spec);
+        let kernel = run_hostile(&built, 31, 4);
+        assert_eq!(
+            read(&kernel, &built, "acquisitions"),
+            spec.iterations,
+            "{mechanism} spinlock"
+        );
+
+        let built = workloads::mutex_bench(mechanism, &spec);
+        let kernel = run_hostile(&built, 31, 5);
+        assert_eq!(
+            read(&kernel, &built, "acquisitions"),
+            spec.iterations,
+            "{mechanism} mutex"
+        );
+    }
+}
+
+#[test]
+fn fork_test_spawns_the_whole_chain() {
+    let spec = workloads::Table2Spec { iterations: 40 };
+    for mechanism in Mechanism::all() {
+        let built = workloads::fork_test(mechanism, &spec);
+        let mut config = built.kernel_config(profile_for(mechanism));
+        config.quantum = 97;
+        config.jitter = 5;
+        config.seed = 6;
+        config.mem_bytes = 1 << 21;
+        config.stack_bytes = 2048;
+        config.max_threads = spec.iterations as usize + 2;
+        let mut kernel = built.boot(config).unwrap();
+        assert_eq!(kernel.run(20_000_000_000), Outcome::Completed, "{mechanism}");
+        assert_eq!(
+            read(&kernel, &built, "forks_done"),
+            spec.iterations,
+            "{mechanism} forks"
+        );
+        assert_eq!(
+            kernel.stats().threads_spawned,
+            u64::from(spec.iterations) + 1,
+            "{mechanism} spawn count"
+        );
+    }
+}
+
+#[test]
+fn ping_pong_alternates_exactly() {
+    let spec = workloads::Table2Spec { iterations: 120 };
+    for mechanism in Mechanism::all() {
+        let built = workloads::ping_pong(mechanism, &spec);
+        let kernel = run_hostile(&built, 71, 7);
+        assert_eq!(
+            read(&kernel, &built, "cycles"),
+            spec.iterations,
+            "{mechanism} pingpong cycles"
+        );
+    }
+}
+
+#[test]
+fn parthenon_resolves_every_clause() {
+    let spec = workloads::ParthenonSpec {
+        workers: 4,
+        clauses: 200,
+        work_iters: 25,
+    };
+    for mechanism in Mechanism::all() {
+        let built = workloads::parthenon(mechanism, &spec);
+        let kernel = run_hostile(&built, 83, 8);
+        assert_eq!(read(&kernel, &built, "resolved"), spec.clauses, "{mechanism}");
+        assert_eq!(
+            read(&kernel, &built, "inferences"),
+            spec.clauses,
+            "{mechanism}"
+        );
+        assert_eq!(
+            read(&kernel, &built, "sum"),
+            spec.expected_sum(),
+            "{mechanism} sum"
+        );
+    }
+}
+
+#[test]
+fn proton64_checksum_matches_the_oracle() {
+    let spec = workloads::Proton64Spec { items: 500 };
+    for mechanism in Mechanism::all() {
+        let built = workloads::proton64(mechanism, &spec);
+        let kernel = run_hostile(&built, 101, 10);
+        assert_eq!(
+            read(&kernel, &built, "checksum"),
+            spec.expected_checksum(),
+            "{mechanism} checksum"
+        );
+    }
+}
+
+#[test]
+fn client_server_apps_handle_every_request() {
+    let tf = workloads::TextFormatSpec {
+        requests: 30,
+        client_work: 300,
+        server_work: 80,
+    };
+    let afs = workloads::AfsSpec {
+        requests: 60,
+        client_work: 60,
+        server_work: 60,
+    };
+    for mechanism in Mechanism::all() {
+        let built = workloads::text_format(mechanism, &tf);
+        let kernel = run_hostile(&built, 131, 11);
+        assert_eq!(read(&kernel, &built, "handled"), tf.requests, "{mechanism} tf");
+        assert_eq!(
+            read(&kernel, &built, "srv_counter"),
+            tf.requests * 2,
+            "{mechanism} tf counter"
+        );
+
+        let built = workloads::afs_bench(mechanism, &afs);
+        let kernel = run_hostile(&built, 131, 12);
+        assert_eq!(read(&kernel, &built, "handled"), afs.requests, "{mechanism} afs");
+        assert_eq!(
+            read(&kernel, &built, "srv_counter"),
+            afs.requests * 4,
+            "{mechanism} afs counter"
+        );
+    }
+}
+
+#[test]
+fn registered_fallback_still_computes_correctly() {
+    // The §3.1 story end-to-end: a RasRegistered binary meets a kernel
+    // without registration support; the loader overwrites the sequence
+    // with kernel emulation and the program still runs correctly under a
+    // StrategyKind::None kernel.
+    let spec = workloads::CounterSpec {
+        iterations: 300,
+        workers: 3,
+        body: workloads::CounterBody::LockAndCounter,
+    };
+    let mut built = workloads::counter_loop(Mechanism::RasRegistered, &spec);
+    built.apply_emulation_fallback();
+    let mut config = KernelConfig::new(CpuProfile::r3000(), built.strategy.clone());
+    config.quantum = 29;
+    config.jitter = 7;
+    config.seed = 13;
+    config.mem_bytes = 1 << 21;
+    config.stack_bytes = 4096;
+    let mut kernel = built.boot(config).unwrap();
+    assert_eq!(kernel.run(20_000_000_000), Outcome::Completed);
+    assert_eq!(read(&kernel, &built, "counter"), spec.expected_count());
+    assert!(
+        kernel.stats().emulation_traps >= u64::from(spec.expected_count()),
+        "fallback must route through kernel emulation"
+    );
+    assert_eq!(kernel.stats().ras_restarts, 0);
+}
+
+#[test]
+fn hostile_counter_is_deterministic_per_mechanism() {
+    let spec = workloads::CounterSpec {
+        iterations: 200,
+        workers: 2,
+        body: workloads::CounterBody::LockAndCounter,
+    };
+    for mechanism in [Mechanism::RasInline, Mechanism::KernelEmulation] {
+        let run = || {
+            let built = workloads::counter_loop(mechanism, &spec);
+            let k = run_hostile(&built, 37, 21);
+            (k.machine().clock(), *k.stats())
+        };
+        assert_eq!(run(), run(), "{mechanism}");
+    }
+}
+
+#[test]
+fn malloc_stress_never_corrupts_blocks() {
+    let spec = workloads::MallocSpec {
+        workers: 4,
+        rounds: 150,
+        blocks: 5,
+    };
+    for mechanism in Mechanism::all() {
+        let built = workloads::malloc_stress(mechanism, &spec);
+        let kernel = run_hostile(&built, 59, 14);
+        let read = |s: &str| kernel.read_word(built.data.symbol(s).unwrap()).unwrap();
+        assert_eq!(read("corruptions"), 0, "{mechanism}: double allocation");
+        assert_eq!(
+            read("alloc_count"),
+            spec.workers as u32 * spec.rounds,
+            "{mechanism}: rounds lost"
+        );
+        assert_ne!(read("free_head"), 0, "{mechanism}: free list leaked");
+    }
+}
+
+#[test]
+fn user_level_restart_survives_quanta_shorter_than_the_recovery_routine() {
+    // Regression test: when the quantum is shorter than the recovery
+    // routine itself, the kernel must not redirect a thread that is
+    // already inside the routine — cascading redirects would grow the
+    // user stack without bound (found by probing quantum 3, which
+    // overflowed a 4 KiB stack before the recovery-range check existed).
+    let spec = workloads::CounterSpec {
+        iterations: 300,
+        workers: 2,
+        ..Default::default()
+    };
+    for quantum in [3u64, 5, 9] {
+        let built = workloads::counter_loop(Mechanism::UserLevelRestart, &spec);
+        let mut config = built.kernel_config(CpuProfile::r3000());
+        config.quantum = quantum;
+        config.jitter = 2;
+        config.seed = 5;
+        config.mem_bytes = 1 << 21;
+        config.stack_bytes = 4096;
+        let mut kernel = built.boot(config).unwrap();
+        assert_eq!(kernel.run(20_000_000_000), Outcome::Completed, "q={quantum}");
+        assert_eq!(
+            kernel.read_word(built.data.symbol("counter").unwrap()).unwrap(),
+            spec.expected_count(),
+            "q={quantum}"
+        );
+        assert!(kernel.stats().user_restart_redirects > 0);
+    }
+}

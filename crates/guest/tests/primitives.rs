@@ -1,0 +1,222 @@
+//! The richer designated read-modify-write primitives (exchange,
+//! compare-and-swap, fetch-and-add) under hostile preemption, composed
+//! into a Drepper-style futex mutex — the kind of richer atomic sequence
+//! §4.1 of the paper anticipates beyond plain Test-And-Set.
+
+use ras_guest::codegen::{emit_exit, emit_join, emit_spawn};
+use ras_guest::{tas, GuestBuilder, Mechanism};
+use ras_isa::{abi, Reg};
+use ras_kernel::Outcome;
+use ras_machine::CpuProfile;
+
+fn hostile_run(built: &ras_guest::BuiltGuest, quantum: u64, seed: u64) -> ras_kernel::Kernel {
+    let mut config = built.kernel_config(CpuProfile::r3000());
+    config.quantum = quantum;
+    config.jitter = 7;
+    config.seed = seed;
+    config.mem_bytes = 1 << 21;
+    config.stack_bytes = 4096;
+    let mut kernel = built.boot(config).unwrap();
+    assert_eq!(kernel.run(20_000_000_000), Outcome::Completed);
+    kernel
+}
+
+#[test]
+fn designated_fetch_and_add_is_atomic() {
+    const N: i32 = 600;
+    const WORKERS: usize = 3;
+    let mut b = GuestBuilder::new(Mechanism::RasInline, WORKERS + 1);
+    let (asm, data, _) = b.parts();
+    let counter = data.word("counter", 0);
+    let tids = data.array("tids", WORKERS, 0);
+
+    let worker = asm.bind_symbol("worker");
+    asm.mv(Reg::S0, Reg::A0);
+    let top = asm.bind_new();
+    asm.li(Reg::A0, counter as i32);
+    tas::emit_faa_inline(asm, 1);
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, top);
+    emit_exit(asm);
+
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    for w in 0..WORKERS {
+        asm.li(Reg::T0, N);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for w in 0..WORKERS {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    let built = b.finish(main).unwrap();
+
+    for (quantum, seed) in [(11, 1), (29, 2), (97, 3)] {
+        let kernel = hostile_run(&built, quantum, seed);
+        assert_eq!(
+            kernel.read_word(counter).unwrap(),
+            (N as u32) * WORKERS as u32,
+            "quantum={quantum}"
+        );
+        if quantum < 30 {
+            assert!(kernel.stats().ras_restarts > 0);
+        }
+    }
+}
+
+/// A futex mutex in the style of modern pthreads (state 0 = free,
+/// 1 = locked, 2 = contended), built entirely from designated CAS and
+/// exchange sequences — no kernel atomic support needed.
+#[test]
+fn futex_mutex_from_cas_and_xchg_excludes() {
+    const N: i32 = 400;
+    const WORKERS: usize = 4;
+    let mut b = GuestBuilder::new(Mechanism::RasInline, WORKERS + 1);
+    let (asm, data, _) = b.parts();
+    let lock = data.word("lock", 0);
+    let counter = data.word("counter", 0);
+    let tids = data.array("tids", WORKERS, 0);
+
+    let worker = asm.bind_symbol("worker");
+    asm.mv(Reg::S0, Reg::A0);
+    let top = asm.bind_new();
+    {
+        // acquire:
+        //   if cas(lock, 0 -> 1) succeeded, fast path done;
+        //   else loop { if xchg(lock, 2) == 0 break; wait(lock, 2) }
+        let acquired = asm.label();
+        asm.li(Reg::A0, lock as i32);
+        asm.li(Reg::A1, 0);
+        asm.li(Reg::A2, 1);
+        tas::emit_cas_inline(asm);
+        asm.beqz(Reg::V0, acquired);
+        let slow = asm.bind_new();
+        asm.li(Reg::A0, lock as i32);
+        asm.li(Reg::A1, 2);
+        tas::emit_xchg_inline(asm);
+        asm.beqz(Reg::V0, acquired);
+        asm.li(Reg::A0, lock as i32);
+        asm.li(Reg::A1, 2);
+        asm.li(Reg::V0, abi::SYS_WAIT as i32);
+        asm.syscall();
+        asm.j(slow);
+        asm.bind(acquired);
+    }
+    // critical section: counter++ (plain, protected by the mutex).
+    asm.li(Reg::T1, counter as i32);
+    asm.lw(Reg::T2, Reg::T1, 0);
+    asm.addi(Reg::T2, Reg::T2, 1);
+    asm.sw(Reg::T2, Reg::T1, 0);
+    {
+        // release: if xchg(lock, 0) == 2 there were waiters -> wake 1.
+        let no_waiters = asm.label();
+        asm.li(Reg::A0, lock as i32);
+        asm.li(Reg::A1, 0);
+        tas::emit_xchg_inline(asm);
+        asm.li(Reg::T3, 2);
+        asm.bne(Reg::V0, Reg::T3, no_waiters);
+        asm.li(Reg::A0, lock as i32);
+        asm.li(Reg::A1, 1);
+        asm.li(Reg::V0, abi::SYS_WAKE as i32);
+        asm.syscall();
+        asm.bind(no_waiters);
+    }
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, top);
+    emit_exit(asm);
+
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    for w in 0..WORKERS {
+        asm.li(Reg::T0, N);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for w in 0..WORKERS {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    let built = b.finish(main).unwrap();
+
+    for (quantum, seed) in [(13, 4), (41, 5), (173, 6), (5_000, 7)] {
+        let kernel = hostile_run(&built, quantum, seed);
+        assert_eq!(
+            kernel.read_word(counter).unwrap(),
+            (N as u32) * WORKERS as u32,
+            "quantum={quantum}"
+        );
+    }
+}
+
+/// The same futex mutex run WITHOUT sequence recognition loses updates —
+/// CAS and exchange really do depend on the recovery.
+#[test]
+fn futex_mutex_breaks_without_recovery() {
+    const N: i32 = 600;
+    let mut b = GuestBuilder::new(Mechanism::RasInline, 4);
+    let (asm, data, _) = b.parts();
+    let counter = data.word("counter", 0);
+    let tids = data.array("tids", 3, 0);
+
+    // Workers use raw fetch-and-add shapes; under StrategyKind::None the
+    // landmark is a plain no-op and the read-modify-write tears.
+    let worker = asm.bind_symbol("worker");
+    asm.mv(Reg::S0, Reg::A0);
+    let top = asm.bind_new();
+    asm.li(Reg::A0, counter as i32);
+    tas::emit_faa_inline(asm, 1);
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, top);
+    emit_exit(asm);
+
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    for w in 0..3 {
+        asm.li(Reg::T0, N);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for w in 0..3 {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    let mut built = b.finish(main).unwrap();
+    built.strategy = ras_kernel::StrategyKind::None;
+
+    let kernel = hostile_run(&built, 13, 8);
+    let got = kernel.read_word(counter).unwrap();
+    assert!(
+        got < 3 * N as u32,
+        "expected torn updates without recovery, got {got}"
+    );
+}
+
+#[test]
+fn treiber_stack_conserves_every_node() {
+    use ras_guest::workloads::{treiber_stack, StackSpec};
+    let spec = StackSpec {
+        workers: 4,
+        nodes_per_worker: 150,
+    };
+    for (quantum, seed) in [(19, 1), (67, 2), (503, 3)] {
+        let built = treiber_stack(Mechanism::RasInline, &spec);
+        let kernel = hostile_run(&built, quantum, seed);
+        let read = |s: &str| kernel.read_word(built.data.symbol(s).unwrap()).unwrap();
+        assert_eq!(read("popped_total"), spec.total_nodes(), "quantum={quantum}");
+        assert_eq!(read("popped_sum"), spec.expected_sum(), "quantum={quantum}");
+        assert_eq!(read("head"), 0, "stack must drain");
+        if quantum < 100 {
+            assert!(kernel.stats().ras_restarts > 0);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: workload invariants hold for fuzzed specs, schedules,
+//! and mechanisms.
+
+use proptest::prelude::*;
+use ras_guest::workloads::{
+    counter_loop, proton64, treiber_stack, CounterSpec, Proton64Spec, StackSpec,
+};
+use ras_guest::Mechanism;
+use ras_kernel::Outcome;
+use ras_machine::CpuProfile;
+
+fn run(built: &ras_guest::BuiltGuest, quantum: u64, seed: u64) -> ras_kernel::Kernel {
+    let mut config = built.kernel_config(CpuProfile::r3000());
+    config.quantum = quantum;
+    config.jitter = 5;
+    config.seed = seed;
+    config.mem_bytes = 1 << 21;
+    config.stack_bytes = 4096;
+    let mut kernel = built.boot(config).unwrap();
+    assert_eq!(kernel.run(40_000_000_000), Outcome::Completed);
+    kernel
+}
+
+fn arb_soft_mechanism() -> impl Strategy<Value = Mechanism> {
+    prop_oneof![
+        Just(Mechanism::RasRegistered),
+        Just(Mechanism::RasInline),
+        Just(Mechanism::KernelEmulation),
+        Just(Mechanism::LamportPerLock),
+        Just(Mechanism::LamportBundled),
+        Just(Mechanism::UserLevelRestart),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The counter invariant holds for fuzzed (mechanism, workers,
+    /// iterations, quantum, seed).
+    #[test]
+    fn counter_exact_under_fuzzing(
+        mechanism in arb_soft_mechanism(),
+        workers in 1usize..4,
+        iterations in 1u32..250,
+        quantum in 9u64..400,
+        seed: u64,
+    ) {
+        let spec = CounterSpec { iterations, workers, ..Default::default() };
+        let built = counter_loop(mechanism, &spec);
+        let kernel = run(&built, quantum, seed);
+        let counter = kernel.read_word(built.data.symbol("counter").unwrap()).unwrap();
+        prop_assert_eq!(counter, spec.expected_count());
+    }
+
+    /// The producer/consumer checksum matches the oracle for fuzzed sizes
+    /// and schedules.
+    #[test]
+    fn proton_checksum_under_fuzzing(
+        items in 1u32..400,
+        quantum in 31u64..500,
+        seed: u64,
+        inline: bool,
+    ) {
+        let mechanism = if inline { Mechanism::RasInline } else { Mechanism::KernelEmulation };
+        let spec = Proton64Spec { items };
+        let built = proton64(mechanism, &spec);
+        let kernel = run(&built, quantum, seed);
+        let checksum = kernel.read_word(built.data.symbol("checksum").unwrap()).unwrap();
+        prop_assert_eq!(checksum, spec.expected_checksum());
+    }
+
+    /// The lock-free stack conserves nodes for fuzzed shapes.
+    #[test]
+    fn stack_conservation_under_fuzzing(
+        workers in 1usize..4,
+        nodes in 1u32..120,
+        quantum in 13u64..300,
+        seed: u64,
+    ) {
+        let spec = StackSpec { workers, nodes_per_worker: nodes };
+        let built = treiber_stack(Mechanism::RasInline, &spec);
+        let kernel = run(&built, quantum, seed);
+        let read = |s: &str| kernel.read_word(built.data.symbol(s).unwrap()).unwrap();
+        prop_assert_eq!(read("popped_total"), spec.total_nodes());
+        prop_assert_eq!(read("popped_sum"), spec.expected_sum());
+        prop_assert_eq!(read("head"), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Semaphores, reader–writer locks, and barriers under hostile
+//! preemption, across mechanisms.
+
+use ras_guest::codegen::{emit_exit, emit_join, emit_spawn};
+use ras_guest::{alloc_barrier, alloc_rwlock, alloc_semaphore, emit_sync_extra, GuestBuilder, Mechanism};
+use ras_isa::Reg;
+use ras_kernel::Outcome;
+use ras_machine::CpuProfile;
+
+fn run(built: &ras_guest::BuiltGuest, quantum: u64, seed: u64) -> ras_kernel::Kernel {
+    let profile = if built.mechanism.supported_by(&CpuProfile::r3000()) {
+        CpuProfile::r3000()
+    } else {
+        CpuProfile::i860()
+    };
+    let mut config = built.kernel_config(profile);
+    config.quantum = quantum;
+    config.jitter = 5;
+    config.seed = seed;
+    config.mem_bytes = 1 << 21;
+    config.stack_bytes = 4096;
+    let mut kernel = built.boot(config).unwrap();
+    assert_eq!(
+        kernel.run(40_000_000_000),
+        Outcome::Completed,
+        "{}",
+        built.mechanism
+    );
+    kernel
+}
+
+fn spawn_and_join_workers(
+    asm: &mut ras_isa::Asm,
+    worker: u32,
+    tids: u32,
+    workers: usize,
+    arg: i32,
+) -> u32 {
+    let main = asm.bind_symbol("main");
+    asm.mv(Reg::S3, Reg::RA);
+    for w in 0..workers {
+        asm.li(Reg::T0, arg);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for w in 0..workers {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::S3);
+    main
+}
+
+/// A semaphore initialized to K bounds concurrency: the "inside" count
+/// must never exceed K, checked by recording the high-water mark under an
+/// auxiliary critical section.
+#[test]
+fn semaphore_bounds_concurrency() {
+    const WORKERS: usize = 5;
+    const K: u32 = 2;
+    const ROUNDS: i32 = 60;
+    for mechanism in [Mechanism::RasInline, Mechanism::KernelEmulation] {
+        let mut b = GuestBuilder::new(mechanism, WORKERS + 1);
+        let (asm, data, rt) = b.parts();
+        let extra = emit_sync_extra(asm, rt);
+        let sem = alloc_semaphore(rt, data, "sem", K);
+        let guard = rt.alloc_raw_lock(data, "guard");
+        let inside = data.word("inside", 0);
+        let high = data.word("high", 0);
+        let tids = data.array("tids", WORKERS, 0);
+
+        let worker = asm.bind_symbol("worker");
+        asm.mv(Reg::S0, Reg::A0);
+        let top = asm.bind_new();
+        asm.li(Reg::A0, sem as i32);
+        asm.jal_to(extra.sem_p);
+        // inside++ and track the high-water mark, under the guard lock.
+        asm.li(Reg::A0, guard as i32);
+        rt.emit_raw_enter(asm);
+        asm.li(Reg::T6, inside as i32);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.addi(Reg::T7, Reg::T7, 1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        asm.li(Reg::T6, high as i32);
+        asm.lw(Reg::T2, Reg::T6, 0);
+        let no_update = asm.label();
+        asm.bge(Reg::T2, Reg::T7, no_update);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        asm.bind(no_update);
+        asm.li(Reg::A0, guard as i32);
+        rt.emit_raw_exit(asm);
+        // linger briefly inside the region
+        ras_guest::codegen::emit_busy_work(asm, 10, Reg::T0);
+        // inside--
+        asm.li(Reg::A0, guard as i32);
+        rt.emit_raw_enter(asm);
+        asm.li(Reg::T6, inside as i32);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.addi(Reg::T7, Reg::T7, -1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        asm.li(Reg::A0, guard as i32);
+        rt.emit_raw_exit(asm);
+        asm.li(Reg::A0, sem as i32);
+        asm.jal_to(extra.sem_v);
+        asm.addi(Reg::S0, Reg::S0, -1);
+        asm.bnez(Reg::S0, top);
+        emit_exit(asm);
+
+        let main = spawn_and_join_workers(asm, worker, tids, WORKERS, ROUNDS);
+        let built = b.finish(main).unwrap();
+        let kernel = run(&built, 73, 3);
+        let high_val = kernel.read_word(high).unwrap();
+        assert!((1..=K).contains(&high_val), "{mechanism}: high={high_val}");
+        assert_eq!(kernel.read_word(inside).unwrap(), 0);
+    }
+}
+
+/// Readers see a consistent two-word value that a writer updates
+/// atomically under the write lock (writes both halves; readers verify
+/// halves match).
+#[test]
+fn rwlock_keeps_paired_words_consistent() {
+    const READERS: usize = 3;
+    const ROUNDS: i32 = 80;
+    for mechanism in [Mechanism::RasRegistered, Mechanism::LamportBundled] {
+        let mut b = GuestBuilder::new(mechanism, READERS + 2);
+        let (asm, data, rt) = b.parts();
+        let extra = emit_sync_extra(asm, rt);
+        let rw = alloc_rwlock(rt, data, "rw");
+        let pair_a = data.word("pair_a", 0);
+        let pair_b = data.word("pair_b", 0);
+        let mismatches = data.word("mismatches", 0);
+        let wdone = data.word("wdone", 0);
+        let tids = data.array("tids", READERS + 1, 0);
+
+        // writer: ROUNDS times, write_lock; a++; b++; write_unlock.
+        let writer = asm.bind_symbol("writer");
+        asm.mv(Reg::S0, Reg::A0);
+        let wtop = asm.bind_new();
+        asm.li(Reg::A0, rw as i32);
+        asm.jal_to(extra.rw_write_lock);
+        asm.li(Reg::T6, pair_a as i32);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.addi(Reg::T7, Reg::T7, 1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        asm.li(Reg::T6, pair_b as i32);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.addi(Reg::T7, Reg::T7, 1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        asm.li(Reg::A0, rw as i32);
+        asm.jal_to(extra.rw_write_unlock);
+        asm.addi(Reg::S0, Reg::S0, -1);
+        asm.bnez(Reg::S0, wtop);
+        asm.li(Reg::T6, wdone as i32);
+        asm.li(Reg::T7, 1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        emit_exit(asm);
+
+        // reader: until wdone, read_lock; check a == b; read_unlock.
+        let reader = asm.bind_symbol("reader");
+        let rtop = asm.bind_new();
+        let rdone = asm.label();
+        asm.li(Reg::T6, wdone as i32);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.bnez(Reg::T7, rdone);
+        asm.li(Reg::A0, rw as i32);
+        asm.jal_to(extra.rw_read_lock);
+        asm.li(Reg::T6, pair_a as i32);
+        asm.lw(Reg::T2, Reg::T6, 0);
+        asm.li(Reg::T6, pair_b as i32);
+        asm.lw(Reg::T3, Reg::T6, 0);
+        let consistent = asm.label();
+        asm.beq(Reg::T2, Reg::T3, consistent);
+        asm.li(Reg::T6, mismatches as i32);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.addi(Reg::T7, Reg::T7, 1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        asm.bind(consistent);
+        asm.li(Reg::A0, rw as i32);
+        asm.jal_to(extra.rw_read_unlock);
+        asm.j(rtop);
+        asm.bind(rdone);
+        emit_exit(asm);
+
+        // main: spawn writer + readers, join all.
+        let main = asm.bind_symbol("main");
+        asm.mv(Reg::S3, Reg::RA);
+        asm.li(Reg::T0, ROUNDS);
+        emit_spawn(asm, writer, Reg::T0);
+        asm.li(Reg::T1, tids as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+        for r in 0..READERS {
+            asm.li(Reg::T0, 0);
+            emit_spawn(asm, reader, Reg::T0);
+            asm.li(Reg::T1, (tids + 4 * (r as u32 + 1)) as i32);
+            asm.sw(Reg::V0, Reg::T1, 0);
+        }
+        for i in 0..READERS + 1 {
+            asm.li(Reg::T1, (tids + 4 * i as u32) as i32);
+            asm.lw(Reg::A0, Reg::T1, 0);
+            emit_join(asm, Reg::A0);
+        }
+        asm.jr(Reg::S3);
+        let built = b.finish(main).unwrap();
+        let kernel = run(&built, 113, 9);
+        assert_eq!(kernel.read_word(mismatches).unwrap(), 0, "{mechanism}");
+        assert_eq!(kernel.read_word(pair_a).unwrap(), ROUNDS as u32);
+        assert_eq!(kernel.read_word(pair_b).unwrap(), ROUNDS as u32);
+    }
+}
+
+/// A barrier keeps N workers in lockstep: after each round, every
+/// worker's round counter is within one of every other's; final rounds
+/// all equal.
+#[test]
+fn barrier_keeps_workers_in_lockstep() {
+    const WORKERS: usize = 4;
+    const ROUNDS: i32 = 25;
+    for mechanism in [Mechanism::RasInline, Mechanism::UserLevelRestart] {
+        let mut b = GuestBuilder::new(mechanism, WORKERS + 1);
+        let (asm, data, rt) = b.parts();
+        let extra = emit_sync_extra(asm, rt);
+        let barrier = alloc_barrier(rt, data, "barrier");
+        let guard = rt.alloc_raw_lock(data, "guard");
+        let sum = data.word("sum", 0);
+        let skew = data.word("skew", 0);
+        let rounds_arr = data.array("rounds", WORKERS, 0);
+        let tids = data.array("tids", WORKERS, 0);
+
+        // worker(a0 = index! packed: we pass index via arg)
+        let worker = asm.bind_symbol("worker");
+        asm.mv(Reg::S0, Reg::A0); // my slot index
+        asm.li(Reg::S1, ROUNDS);
+        let top = asm.bind_new();
+        // rounds[me]++
+        asm.slli(Reg::T6, Reg::S0, 2);
+        asm.li(Reg::T7, rounds_arr as i32);
+        asm.add(Reg::T6, Reg::T6, Reg::T7);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.addi(Reg::T7, Reg::T7, 1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        // contribute to a lock-protected sum
+        asm.li(Reg::A0, guard as i32);
+        rt.emit_raw_enter(asm);
+        asm.li(Reg::T6, sum as i32);
+        asm.lw(Reg::T7, Reg::T6, 0);
+        asm.addi(Reg::T7, Reg::T7, 1);
+        asm.sw(Reg::T7, Reg::T6, 0);
+        asm.li(Reg::A0, guard as i32);
+        rt.emit_raw_exit(asm);
+        // barrier
+        asm.li(Reg::A0, barrier as i32);
+        asm.li(Reg::A1, WORKERS as i32);
+        asm.jal_to(extra.barrier_wait);
+        // After the barrier, every worker's round count must equal mine.
+        for w in 0..WORKERS {
+            asm.li(Reg::T6, (rounds_arr + 4 * w as u32) as i32);
+            asm.lw(Reg::T7, Reg::T6, 0);
+            // my own current round:
+            asm.slli(Reg::T2, Reg::S0, 2);
+            asm.li(Reg::T3, rounds_arr as i32);
+            asm.add(Reg::T2, Reg::T2, Reg::T3);
+            asm.lw(Reg::T3, Reg::T2, 0);
+            let same = asm.label();
+            asm.beq(Reg::T7, Reg::T3, same);
+            asm.li(Reg::T6, skew as i32);
+            asm.lw(Reg::T7, Reg::T6, 0);
+            asm.addi(Reg::T7, Reg::T7, 1);
+            asm.sw(Reg::T7, Reg::T6, 0);
+            asm.bind(same);
+        }
+        // second barrier so nobody races ahead into the next increment
+        // while others are still checking.
+        asm.li(Reg::A0, barrier as i32);
+        asm.li(Reg::A1, WORKERS as i32);
+        asm.jal_to(extra.barrier_wait);
+        asm.addi(Reg::S1, Reg::S1, -1);
+        asm.bnez(Reg::S1, top);
+        emit_exit(asm);
+
+        // main
+        let main = asm.bind_symbol("main");
+        asm.mv(Reg::S3, Reg::RA);
+        for w in 0..WORKERS {
+            asm.li(Reg::T0, w as i32);
+            emit_spawn(asm, worker, Reg::T0);
+            asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+            asm.sw(Reg::V0, Reg::T1, 0);
+        }
+        for w in 0..WORKERS {
+            asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+            asm.lw(Reg::A0, Reg::T1, 0);
+            emit_join(asm, Reg::A0);
+        }
+        asm.jr(Reg::S3);
+        let built = b.finish(main).unwrap();
+        let kernel = run(&built, 89, 17);
+        assert_eq!(kernel.read_word(skew).unwrap(), 0, "{mechanism}: lockstep broken");
+        assert_eq!(
+            kernel.read_word(sum).unwrap(),
+            (WORKERS as u32) * ROUNDS as u32
+        );
+        for w in 0..WORKERS {
+            assert_eq!(
+                kernel.read_word(rounds_arr + 4 * w as u32).unwrap(),
+                ROUNDS as u32
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The guest/kernel ABI: syscall numbers and calling conventions.
+//!
+//! Both the kernel (`ras-kernel`) and the guest code generators
+//! (`ras-guest`) depend on these constants, so they live in the ISA crate.
+//!
+//! # Calling convention
+//!
+//! * Syscall number in `$v0`, arguments in `$a0..$a3`, result in `$v0`.
+//! * Function calls: arguments in `$a0..$a3`, result in `$v0`, return
+//!   address in `$ra`; `$t*` are caller-saved, `$s*` callee-saved.
+//! * `$gp` holds the current thread's id (written at spawn); the paper's
+//!   discussion of Lamport's algorithm notes that a dedicated per-thread
+//!   register changes the cost balance between its two packagings, and this
+//!   register is how workloads obtain `i`.
+//!
+//! # Example
+//!
+//! Emit a `yield()` call:
+//!
+//! ```
+//! use ras_isa::{abi, Asm, Reg};
+//! let mut asm = Asm::new();
+//! asm.li(Reg::V0, abi::SYS_YIELD as i32);
+//! asm.syscall();
+//! ```
+
+/// Terminate the calling thread. No arguments. Does not return.
+pub const SYS_EXIT: u32 = 0;
+
+/// Voluntarily relinquish the processor to the scheduler.
+pub const SYS_YIELD: u32 = 1;
+
+/// Create a thread. `a0` = entry code address, `a1` = argument (delivered in
+/// the child's `$a0`). Returns the new thread id in `v0`, or
+/// [`ERR_NOMEM`] if no stack can be allocated.
+pub const SYS_SPAWN: u32 = 2;
+
+/// Kernel-emulated Test-And-Set (§2.3 of the paper). `a0` = byte address of
+/// the lock word. Atomically loads the old value into `v0` and stores 1.
+/// Costs roughly 100 instructions of kernel time, as measured on the R3000.
+pub const SYS_TAS: u32 = 3;
+
+/// Register the address space's restartable atomic sequence (§3.1).
+/// `a0` = start code address, `a1` = length in instructions. Returns 0 on
+/// success or [`ERR_UNSUPPORTED`] when the kernel was not built with
+/// explicit-registration support — the caller is expected to overwrite the
+/// sequence with a conventional mechanism, preserving binary compatibility.
+pub const SYS_RAS_REGISTER: u32 = 4;
+
+/// Futex-style wait: atomically re-checks that `mem[a0] == a1` and, if so,
+/// blocks the calling thread on address `a0`. Returns 0 on wakeup, or 1
+/// immediately if the value had already changed. This is the kernel half of
+/// the paper's out-of-line `SlowAcquire` path (§3.2, Figure 5).
+pub const SYS_WAIT: u32 = 5;
+
+/// Wake up to `a1` threads blocked on address `a0`. Returns the number
+/// woken in `v0`.
+pub const SYS_WAKE: u32 = 6;
+
+/// Read the low 32 bits of the machine's cycle counter into `v0`.
+pub const SYS_CLOCK: u32 = 7;
+
+/// Append `a0` to the kernel's output log (debug/telemetry channel).
+pub const SYS_PRINT: u32 = 8;
+
+/// Block until thread `a0` has exited. Returns 0, or [`ERR_NO_THREAD`] if
+/// the id never existed.
+pub const SYS_JOIN: u32 = 9;
+
+/// Sleep for at least `a0` cycles: the thread leaves the run queue and is
+/// made ready again once the machine clock has advanced that far.
+pub const SYS_SLEEP: u32 = 10;
+
+/// Error: requested facility is not supported by this kernel.
+pub const ERR_UNSUPPORTED: u32 = u32::MAX; // -1
+
+/// Error: resource exhaustion (e.g. no stack space for a new thread).
+pub const ERR_NOMEM: u32 = u32::MAX - 1; // -2
+
+/// Error: no such thread.
+pub const ERR_NO_THREAD: u32 = u32::MAX - 2; // -3
+
+/// Default per-thread stack size, in bytes.
+pub const DEFAULT_STACK_BYTES: u32 = 64 * 1024;
+
+/// Human-readable name of a syscall number, for traces and errors.
+pub fn syscall_name(number: u32) -> &'static str {
+    match number {
+        SYS_EXIT => "exit",
+        SYS_YIELD => "yield",
+        SYS_SPAWN => "spawn",
+        SYS_TAS => "tas",
+        SYS_RAS_REGISTER => "ras_register",
+        SYS_WAIT => "wait",
+        SYS_WAKE => "wake",
+        SYS_CLOCK => "clock",
+        SYS_PRINT => "print",
+        SYS_JOIN => "join",
+        SYS_SLEEP => "sleep",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_numbers_are_distinct() {
+        let nums = [
+            SYS_EXIT,
+            SYS_YIELD,
+            SYS_SPAWN,
+            SYS_TAS,
+            SYS_RAS_REGISTER,
+            SYS_WAIT,
+            SYS_WAKE,
+            SYS_CLOCK,
+            SYS_PRINT,
+            SYS_JOIN,
+            SYS_SLEEP,
+        ];
+        for (i, a) in nums.iter().enumerate() {
+            for b in &nums[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(syscall_name(SYS_TAS), "tas");
+        assert_eq!(syscall_name(SYS_WAIT), "wait");
+        assert_eq!(syscall_name(12345), "unknown");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn error_codes_do_not_collide_with_results() {
+        assert!(ERR_UNSUPPORTED > ERR_NOMEM);
+        assert!(ERR_NOMEM > ERR_NO_THREAD);
+        // All error codes are in the top page of the address space, far from
+        // any valid thread id or lock value.
+        assert!(ERR_NO_THREAD > 0xFFFF_0000);
+    }
+}

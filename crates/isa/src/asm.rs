@@ -1,0 +1,482 @@
+use std::collections::BTreeMap;
+
+use crate::{AluOp, AsmError, CodeAddr, Cond, Inst, Program, Reg};
+
+/// A forward- or backward-referenceable code label.
+///
+/// Create with [`Asm::label`], place with [`Asm::bind`], and reference from
+/// branch/jump emitters. Labels are resolved when [`Asm::finish`] is called.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Label(pub(crate) usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    BranchTarget,
+    JumpTarget,
+    LiAddr,
+}
+
+/// A single-pass assembler with labels and named symbols.
+///
+/// Every emitter returns the [`CodeAddr`] of the instruction it emitted,
+/// which the restartable-atomic-sequence machinery uses to record sequence
+/// ranges.
+///
+/// # Example
+///
+/// ```
+/// use ras_isa::{Asm, Reg};
+///
+/// let mut asm = Asm::new();
+/// let top = asm.label();
+/// asm.li(Reg::T0, 10);
+/// asm.bind(top);
+/// asm.addi(Reg::T0, Reg::T0, -1);
+/// asm.bnez(Reg::T0, top);
+/// asm.halt();
+/// let program = asm.finish().unwrap();
+/// assert_eq!(program.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    code: Vec<Inst>,
+    labels: Vec<Option<CodeAddr>>,
+    fixups: Vec<(CodeAddr, Label, Fixup)>,
+    symbols: BTreeMap<String, CodeAddr>,
+    entry: CodeAddr,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// The address the next emitted instruction will occupy.
+    pub fn here(&self) -> CodeAddr {
+        self.code.len() as CodeAddr
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound; rebinding is always a bug in
+    /// the code generator.
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label #{} bound twice", label.0);
+        *slot = Some(here);
+    }
+
+    /// Allocates a label already bound to the current address.
+    pub fn bind_new(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Records `name` as a symbol for the current address (e.g. a function
+    /// entry point). Returns the address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was already bound.
+    pub fn bind_symbol(&mut self, name: &str) -> CodeAddr {
+        let here = self.here();
+        let prev = self.symbols.insert(name.to_owned(), here);
+        assert!(prev.is_none(), "symbol `{name}` bound twice");
+        here
+    }
+
+    /// Marks the current address as the program entry point (defaults to 0).
+    pub fn set_entry_here(&mut self) {
+        self.entry = self.here();
+    }
+
+    fn push(&mut self, inst: Inst) -> CodeAddr {
+        let at = self.here();
+        self.code.push(inst);
+        at
+    }
+
+    /// Emits a raw instruction. Prefer the specific emitters below.
+    pub fn emit(&mut self, inst: Inst) -> CodeAddr {
+        self.push(inst)
+    }
+
+    // --- ALU -------------------------------------------------------------
+
+    /// `li rd, imm`
+    pub fn li(&mut self, rd: Reg, imm: i32) -> CodeAddr {
+        self.push(Inst::Li { rd, imm })
+    }
+
+    /// `li rd, <code address of label>` — the label's address is patched
+    /// in when the program is finished. Useful for passing function entry
+    /// points to `spawn`.
+    pub fn li_label(&mut self, rd: Reg, label: Label) -> CodeAddr {
+        let at = self.push(Inst::Li { rd, imm: 0 });
+        self.fixups.push((at, label, Fixup::LiAddr));
+        at
+    }
+
+    /// `move rd, rs` (encoded as `or rd, rs, $zero`)
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> CodeAddr {
+        self.push(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            rs,
+            rt: Reg::ZERO,
+        })
+    }
+
+    /// Register-register ALU helper.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs: Reg, rt: Reg) -> CodeAddr {
+        self.push(Inst::Alu { op, rd, rs, rt })
+    }
+
+    /// Register-immediate ALU helper.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs: Reg, imm: i32) -> CodeAddr {
+        self.push(Inst::AluI { op, rd, rs, imm })
+    }
+
+    /// `add rd, rs, rt`
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) -> CodeAddr {
+        self.alu(AluOp::Add, rd, rs, rt)
+    }
+
+    /// `sub rd, rs, rt`
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) -> CodeAddr {
+        self.alu(AluOp::Sub, rd, rs, rt)
+    }
+
+    /// `addi rd, rs, imm`
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i32) -> CodeAddr {
+        self.alui(AluOp::Add, rd, rs, imm)
+    }
+
+    /// `and rd, rs, rt`
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) -> CodeAddr {
+        self.alu(AluOp::And, rd, rs, rt)
+    }
+
+    /// `andi rd, rs, imm`
+    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i32) -> CodeAddr {
+        self.alui(AluOp::And, rd, rs, imm)
+    }
+
+    /// `or rd, rs, rt`
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) -> CodeAddr {
+        self.alu(AluOp::Or, rd, rs, rt)
+    }
+
+    /// `ori rd, rs, imm`
+    pub fn ori(&mut self, rd: Reg, rs: Reg, imm: i32) -> CodeAddr {
+        self.alui(AluOp::Or, rd, rs, imm)
+    }
+
+    /// `xor rd, rs, rt`
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) -> CodeAddr {
+        self.alu(AluOp::Xor, rd, rs, rt)
+    }
+
+    /// `sll rd, rs, imm`
+    pub fn slli(&mut self, rd: Reg, rs: Reg, imm: i32) -> CodeAddr {
+        self.alui(AluOp::Sll, rd, rs, imm)
+    }
+
+    /// `srl rd, rs, imm`
+    pub fn srli(&mut self, rd: Reg, rs: Reg, imm: i32) -> CodeAddr {
+        self.alui(AluOp::Srl, rd, rs, imm)
+    }
+
+    /// `slt rd, rs, rt`
+    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) -> CodeAddr {
+        self.alu(AluOp::Slt, rd, rs, rt)
+    }
+
+    /// `slti rd, rs, imm`
+    pub fn slti(&mut self, rd: Reg, rs: Reg, imm: i32) -> CodeAddr {
+        self.alui(AluOp::Slt, rd, rs, imm)
+    }
+
+    /// `mul rd, rs, rt`
+    pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) -> CodeAddr {
+        self.alu(AluOp::Mul, rd, rs, rt)
+    }
+
+    // --- memory ----------------------------------------------------------
+
+    /// `lw rd, off(base)`
+    pub fn lw(&mut self, rd: Reg, base: Reg, off: i32) -> CodeAddr {
+        self.push(Inst::Lw { rd, base, off })
+    }
+
+    /// `sw rs, off(base)`
+    pub fn sw(&mut self, rs: Reg, base: Reg, off: i32) -> CodeAddr {
+        self.push(Inst::Sw { rs, base, off })
+    }
+
+    // --- control ---------------------------------------------------------
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, rs: Reg, rt: Reg, label: Label) -> CodeAddr {
+        let at = self.push(Inst::Branch {
+            cond,
+            rs,
+            rt,
+            target: 0,
+        });
+        self.fixups.push((at, label, Fixup::BranchTarget));
+        at
+    }
+
+    /// `beq rs, rt, label`
+    pub fn beq(&mut self, rs: Reg, rt: Reg, label: Label) -> CodeAddr {
+        self.branch(Cond::Eq, rs, rt, label)
+    }
+
+    /// `bne rs, rt, label`
+    pub fn bne(&mut self, rs: Reg, rt: Reg, label: Label) -> CodeAddr {
+        self.branch(Cond::Ne, rs, rt, label)
+    }
+
+    /// `beqz rs, label`
+    pub fn beqz(&mut self, rs: Reg, label: Label) -> CodeAddr {
+        self.beq(rs, Reg::ZERO, label)
+    }
+
+    /// `bnez rs, label`
+    pub fn bnez(&mut self, rs: Reg, label: Label) -> CodeAddr {
+        self.bne(rs, Reg::ZERO, label)
+    }
+
+    /// `blt rs, rt, label` (signed)
+    pub fn blt(&mut self, rs: Reg, rt: Reg, label: Label) -> CodeAddr {
+        self.branch(Cond::Lt, rs, rt, label)
+    }
+
+    /// `bge rs, rt, label` (signed)
+    pub fn bge(&mut self, rs: Reg, rt: Reg, label: Label) -> CodeAddr {
+        self.branch(Cond::Ge, rs, rt, label)
+    }
+
+    /// `bltu rs, rt, label`
+    pub fn bltu(&mut self, rs: Reg, rt: Reg, label: Label) -> CodeAddr {
+        self.branch(Cond::Ltu, rs, rt, label)
+    }
+
+    /// `bgeu rs, rt, label`
+    pub fn bgeu(&mut self, rs: Reg, rt: Reg, label: Label) -> CodeAddr {
+        self.branch(Cond::Geu, rs, rt, label)
+    }
+
+    /// `j label`
+    pub fn j(&mut self, label: Label) -> CodeAddr {
+        let at = self.push(Inst::J { target: 0 });
+        self.fixups.push((at, label, Fixup::JumpTarget));
+        at
+    }
+
+    /// `jal label`
+    pub fn jal(&mut self, label: Label) -> CodeAddr {
+        let at = self.push(Inst::Jal { target: 0 });
+        self.fixups.push((at, label, Fixup::JumpTarget));
+        at
+    }
+
+    /// `jal` to an already-known absolute address (e.g. a previously
+    /// assembled function).
+    pub fn jal_to(&mut self, target: CodeAddr) -> CodeAddr {
+        self.push(Inst::Jal { target })
+    }
+
+    /// `j` to an already-known absolute address.
+    pub fn j_to(&mut self, target: CodeAddr) -> CodeAddr {
+        self.push(Inst::J { target })
+    }
+
+    /// `jr rs`
+    pub fn jr(&mut self, rs: Reg) -> CodeAddr {
+        self.push(Inst::Jr { rs })
+    }
+
+    /// `jalr rd, rs`
+    pub fn jalr(&mut self, rd: Reg, rs: Reg) -> CodeAddr {
+        self.push(Inst::Jalr { rd, rs })
+    }
+
+    // --- special ---------------------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) -> CodeAddr {
+        self.push(Inst::Nop)
+    }
+
+    /// The designated-sequence landmark no-op (§3.2 of the paper).
+    pub fn landmark(&mut self) -> CodeAddr {
+        self.push(Inst::Landmark)
+    }
+
+    /// `syscall`
+    pub fn syscall(&mut self) -> CodeAddr {
+        self.push(Inst::Syscall)
+    }
+
+    /// Hardware interlocked Test-And-Set.
+    pub fn tas(&mut self, rd: Reg, base: Reg) -> CodeAddr {
+        self.push(Inst::Tas { rd, base })
+    }
+
+    /// i860-style begin-atomic (sets the restart bit).
+    pub fn begin_atomic(&mut self) -> CodeAddr {
+        self.push(Inst::BeginAtomic)
+    }
+
+    /// `halt`
+    pub fn halt(&mut self) -> CodeAddr {
+        self.push(Inst::Halt)
+    }
+
+    // --- finishing -------------------------------------------------------
+
+    /// Resolves all labels and produces the program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound, and [`AsmError::ProgramTooLarge`] if the program cannot be
+    /// addressed by a `u32` instruction index.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if self.code.len() > u32::MAX as usize / 2 {
+            return Err(AsmError::ProgramTooLarge {
+                len: self.code.len(),
+            });
+        }
+        for (at, label, fixup) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0].ok_or(AsmError::UnboundLabel {
+                label: label.0,
+                first_use: at,
+            })?;
+            let inst = &mut self.code[at as usize];
+            match (fixup, &mut *inst) {
+                (Fixup::BranchTarget, Inst::Branch { target: t, .. }) => *t = target,
+                (Fixup::JumpTarget, Inst::J { target: t }) => *t = target,
+                (Fixup::JumpTarget, Inst::Jal { target: t }) => *t = target,
+                (Fixup::LiAddr, Inst::Li { imm, .. }) => *imm = target as i32,
+                _ => unreachable!("fixup kind mismatch at @{at}"),
+            }
+        }
+        Ok(Program::new(self.code, self.symbols, self.entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Asm::new();
+        let fwd = asm.label();
+        asm.j(fwd); // @0 -> 3
+        let back = asm.bind_new(); // @1
+        asm.nop(); // @1
+        asm.j(back); // @2 -> 1
+        asm.bind(fwd);
+        asm.halt(); // @3
+        let p = asm.finish().unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::J { target: 3 }));
+        assert_eq!(p.fetch(2), Some(Inst::J { target: 1 }));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Asm::new();
+        let l = asm.label();
+        asm.j(l);
+        assert!(matches!(
+            asm.finish(),
+            Err(AsmError::UnboundLabel { label: 0, first_use: 0 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn rebinding_panics() {
+        let mut asm = Asm::new();
+        let l = asm.label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol `f` bound twice")]
+    fn duplicate_symbol_panics() {
+        let mut asm = Asm::new();
+        asm.bind_symbol("f");
+        asm.nop();
+        asm.bind_symbol("f");
+    }
+
+    #[test]
+    fn emitters_return_addresses() {
+        let mut asm = Asm::new();
+        assert_eq!(asm.li(Reg::T0, 1), 0);
+        assert_eq!(asm.mv(Reg::T1, Reg::T0), 1);
+        assert_eq!(asm.lw(Reg::T2, Reg::SP, 4), 2);
+        assert_eq!(asm.here(), 3);
+    }
+
+    #[test]
+    fn mv_encodes_as_or_with_zero() {
+        let mut asm = Asm::new();
+        asm.mv(Reg::T1, Reg::T0);
+        let p = asm.finish().unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Alu {
+                op: AluOp::Or,
+                rd: Reg::T1,
+                rs: Reg::T0,
+                rt: Reg::ZERO
+            })
+        );
+    }
+
+    #[test]
+    fn entry_point_is_recorded() {
+        let mut asm = Asm::new();
+        asm.nop();
+        asm.set_entry_here();
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.entry(), 1);
+    }
+
+    #[test]
+    fn branch_helpers_encode_conditions() {
+        let mut asm = Asm::new();
+        let l = asm.bind_new();
+        asm.beqz(Reg::V0, l);
+        asm.bnez(Reg::V0, l);
+        asm.blt(Reg::T0, Reg::T1, l);
+        asm.bgeu(Reg::T0, Reg::T1, l);
+        let p = asm.finish().unwrap();
+        let conds: Vec<Cond> = (0..4)
+            .map(|i| match p.fetch(i).unwrap() {
+                Inst::Branch { cond, .. } => cond,
+                other => panic!("expected branch, got {other}"),
+            })
+            .collect();
+        assert_eq!(conds, vec![Cond::Eq, Cond::Ne, Cond::Lt, Cond::Geu]);
+    }
+}

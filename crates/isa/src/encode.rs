@@ -1,0 +1,430 @@
+//! Binary encoding of instructions and program images.
+//!
+//! The ISA is a simulator IR rather than a real MIPS encoding, so
+//! instructions encode into fixed **64-bit** words — wide enough to carry
+//! full 32-bit immediates and absolute code targets losslessly, keeping
+//! the PC-to-instruction mapping trivial (which the restartable-sequence
+//! machinery depends on). Program images serialize to a small container
+//! format with the code, the entry point, and the symbol table.
+//!
+//! ```text
+//! instruction word (little-endian u64):
+//!   bits  0..8    opcode
+//!   bits  8..16   rd / rs (primary register)
+//!   bits 16..24   rs / base (secondary register)
+//!   bits 24..32   rt / condition / ALU op (selector)
+//!   bits 32..64   immediate / offset / absolute target (u32)
+//!
+//! program container:
+//!   magic  "RASP"            4 bytes
+//!   version u32              currently 1
+//!   entry   u32
+//!   n_code  u32
+//!   n_syms  u32
+//!   code    n_code × u64
+//!   symbols n_syms × { len u32, name bytes, addr u32 }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{AluOp, CodeAddr, Cond, Inst, Program, Reg};
+
+/// Error decoding an instruction or program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The container does not start with the `RASP` magic.
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion {
+        /// The version found.
+        found: u32,
+    },
+    /// The byte stream ended prematurely.
+    Truncated,
+    /// An instruction word carries an unknown opcode byte.
+    UnknownOpcode {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A register field is out of range.
+    BadRegister {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A selector field (ALU op or branch condition) is out of range.
+    BadSelector {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A symbol name is not valid UTF-8.
+    BadSymbolName,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "missing RASP magic"),
+            DecodeError::BadVersion { found } => write!(f, "unsupported version {found}"),
+            DecodeError::Truncated => write!(f, "unexpected end of image"),
+            DecodeError::UnknownOpcode { byte } => write!(f, "unknown opcode byte {byte:#x}"),
+            DecodeError::BadRegister { byte } => write!(f, "register byte {byte:#x} out of range"),
+            DecodeError::BadSelector { byte } => write!(f, "selector byte {byte:#x} out of range"),
+            DecodeError::BadSymbolName => write!(f, "symbol name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"RASP";
+const VERSION: u32 = 1;
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Sll => 5,
+        AluOp::Srl => 6,
+        AluOp::Sra => 7,
+        AluOp::Slt => 8,
+        AluOp::Sltu => 9,
+        AluOp::Mul => 10,
+    }
+}
+
+fn alu_from(byte: u8) -> Result<AluOp, DecodeError> {
+    Ok(match byte {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Sll,
+        6 => AluOp::Srl,
+        7 => AluOp::Sra,
+        8 => AluOp::Slt,
+        9 => AluOp::Sltu,
+        10 => AluOp::Mul,
+        byte => return Err(DecodeError::BadSelector { byte }),
+    })
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Ltu => 4,
+        Cond::Geu => 5,
+    }
+}
+
+fn cond_from(byte: u8) -> Result<Cond, DecodeError> {
+    Ok(match byte {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Ltu,
+        5 => Cond::Geu,
+        byte => return Err(DecodeError::BadSelector { byte }),
+    })
+}
+
+fn reg_from(byte: u8) -> Result<Reg, DecodeError> {
+    Reg::new(byte).ok_or(DecodeError::BadRegister { byte })
+}
+
+fn pack(op: u8, r1: Reg, r2: Reg, sel: u8, imm: u32) -> u64 {
+    u64::from(op)
+        | (r1.index() as u64) << 8
+        | (r2.index() as u64) << 16
+        | u64::from(sel) << 24
+        | u64::from(imm) << 32
+}
+
+/// Encodes one instruction into its 64-bit word.
+pub fn encode_inst(inst: Inst) -> u64 {
+    let z = Reg::ZERO;
+    match inst {
+        Inst::Li { rd, imm } => pack(0, rd, z, 0, imm as u32),
+        Inst::Alu { op, rd, rs, rt } => pack(1, rd, rs, alu_code(op), rt.index() as u32),
+        Inst::AluI { op, rd, rs, imm } => pack(2, rd, rs, alu_code(op), imm as u32),
+        Inst::Lw { rd, base, off } => pack(3, rd, base, 0, off as u32),
+        Inst::Sw { rs, base, off } => pack(4, rs, base, 0, off as u32),
+        Inst::Branch { cond, rs, rt, target } => pack(5, rs, rt, cond_code(cond), target),
+        Inst::J { target } => pack(6, z, z, 0, target),
+        Inst::Jal { target } => pack(7, z, z, 0, target),
+        Inst::Jr { rs } => pack(8, rs, z, 0, 0),
+        Inst::Jalr { rd, rs } => pack(9, rd, rs, 0, 0),
+        Inst::Nop => pack(10, z, z, 0, 0),
+        Inst::Landmark => pack(11, z, z, 0, 0),
+        Inst::Syscall => pack(12, z, z, 0, 0),
+        Inst::Tas { rd, base } => pack(13, rd, base, 0, 0),
+        Inst::BeginAtomic => pack(14, z, z, 0, 0),
+        Inst::Halt => pack(15, z, z, 0, 0),
+    }
+}
+
+/// Decodes one 64-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unknown opcode bytes or out-of-range
+/// register/selector fields.
+pub fn decode_inst(word: u64) -> Result<Inst, DecodeError> {
+    let op = (word & 0xff) as u8;
+    let r1 = ((word >> 8) & 0xff) as u8;
+    let r2 = ((word >> 16) & 0xff) as u8;
+    let sel = ((word >> 24) & 0xff) as u8;
+    let imm = (word >> 32) as u32;
+    Ok(match op {
+        0 => Inst::Li {
+            rd: reg_from(r1)?,
+            imm: imm as i32,
+        },
+        1 => Inst::Alu {
+            op: alu_from(sel)?,
+            rd: reg_from(r1)?,
+            rs: reg_from(r2)?,
+            rt: reg_from((imm & 0xff) as u8)?,
+        },
+        2 => Inst::AluI {
+            op: alu_from(sel)?,
+            rd: reg_from(r1)?,
+            rs: reg_from(r2)?,
+            imm: imm as i32,
+        },
+        3 => Inst::Lw {
+            rd: reg_from(r1)?,
+            base: reg_from(r2)?,
+            off: imm as i32,
+        },
+        4 => Inst::Sw {
+            rs: reg_from(r1)?,
+            base: reg_from(r2)?,
+            off: imm as i32,
+        },
+        5 => Inst::Branch {
+            cond: cond_from(sel)?,
+            rs: reg_from(r1)?,
+            rt: reg_from(r2)?,
+            target: imm,
+        },
+        6 => Inst::J { target: imm },
+        7 => Inst::Jal { target: imm },
+        8 => Inst::Jr { rs: reg_from(r1)? },
+        9 => Inst::Jalr {
+            rd: reg_from(r1)?,
+            rs: reg_from(r2)?,
+        },
+        10 => Inst::Nop,
+        11 => Inst::Landmark,
+        12 => Inst::Syscall,
+        13 => Inst::Tas {
+            rd: reg_from(r1)?,
+            base: reg_from(r2)?,
+        },
+        14 => Inst::BeginAtomic,
+        15 => Inst::Halt,
+        byte => return Err(DecodeError::UnknownOpcode { byte }),
+    })
+}
+
+impl Program {
+    /// Serializes the program (code, entry point, symbols) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.entry().to_le_bytes());
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        let symbols: Vec<(&str, CodeAddr)> = self.symbols().collect();
+        out.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
+        for inst in self.code() {
+            out.extend_from_slice(&encode_inst(*inst).to_le_bytes());
+        }
+        for (name, addr) in symbols {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&addr.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a program previously written by [`Program::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on a malformed image.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Program, DecodeError> {
+        let mut cursor = Cursor { bytes, at: 0 };
+        if cursor.take(4)? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = cursor.u32()?;
+        if version != VERSION {
+            return Err(DecodeError::BadVersion { found: version });
+        }
+        let entry = cursor.u32()?;
+        let n_code = cursor.u32()? as usize;
+        let n_syms = cursor.u32()? as usize;
+        // Validate counts against the remaining bytes before allocating,
+        // so a corrupted header cannot trigger a giant allocation.
+        if cursor.remaining() / 8 < n_code {
+            return Err(DecodeError::Truncated);
+        }
+        let mut code = Vec::with_capacity(n_code);
+        for _ in 0..n_code {
+            code.push(decode_inst(cursor.u64()?)?);
+        }
+        if cursor.remaining() / 8 < n_syms {
+            return Err(DecodeError::Truncated);
+        }
+        let mut symbols = BTreeMap::new();
+        for _ in 0..n_syms {
+            let len = cursor.u32()? as usize;
+            let name = std::str::from_utf8(cursor.take(len)?)
+                .map_err(|_| DecodeError::BadSymbolName)?
+                .to_owned();
+            let addr = cursor.u32()?;
+            symbols.insert(name, addr);
+        }
+        Ok(Program::new(code, symbols, entry))
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.at)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.at.checked_add(n).ok_or(DecodeError::Truncated)?;
+        let slice = self.bytes.get(self.at..end).ok_or(DecodeError::Truncated)?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asm;
+
+    fn sample_insts() -> Vec<Inst> {
+        vec![
+            Inst::Li { rd: Reg::A0, imm: -12345 },
+            Inst::Li { rd: Reg::T0, imm: i32::MAX },
+            Inst::Alu { op: AluOp::Mul, rd: Reg::V0, rs: Reg::T1, rt: Reg::T2 },
+            Inst::AluI { op: AluOp::Sra, rd: Reg::S0, rs: Reg::S1, imm: -7 },
+            Inst::Lw { rd: Reg::V0, base: Reg::A0, off: 2048 },
+            Inst::Sw { rs: Reg::T7, base: Reg::SP, off: -4 },
+            Inst::Branch { cond: Cond::Geu, rs: Reg::T0, rt: Reg::T1, target: 0x00FF_FFFF },
+            Inst::J { target: 7 },
+            Inst::Jal { target: u32::MAX },
+            Inst::Jr { rs: Reg::RA },
+            Inst::Jalr { rd: Reg::T9, rs: Reg::T8 },
+            Inst::Nop,
+            Inst::Landmark,
+            Inst::Syscall,
+            Inst::Tas { rd: Reg::V0, base: Reg::A0 },
+            Inst::BeginAtomic,
+            Inst::Halt,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        for inst in sample_insts() {
+            let word = encode_inst(inst);
+            assert_eq!(decode_inst(word), Ok(inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        assert_eq!(decode_inst(0xfe), Err(DecodeError::UnknownOpcode { byte: 0xfe }));
+    }
+
+    #[test]
+    fn bad_register_is_rejected() {
+        // opcode 8 = jr with register byte 40.
+        let word = 8u64 | (40 << 8);
+        assert_eq!(decode_inst(word), Err(DecodeError::BadRegister { byte: 40 }));
+    }
+
+    #[test]
+    fn bad_selector_is_rejected() {
+        // opcode 5 = branch with condition byte 9.
+        let word = 5u64 | (9 << 24);
+        assert_eq!(decode_inst(word), Err(DecodeError::BadSelector { byte: 9 }));
+    }
+
+    fn sample_program() -> Program {
+        let mut asm = Asm::new();
+        asm.bind_symbol("main");
+        for inst in sample_insts() {
+            if matches!(inst, Inst::Halt) {
+                asm.bind_symbol("the_end");
+            }
+            asm.emit(inst);
+        }
+        asm.set_entry_here();
+        asm.nop();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn program_container_roundtrips() {
+        let p = sample_program();
+        let bytes = p.to_bytes();
+        let q = Program::from_bytes(&bytes).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.symbol("main"), Some(0));
+        assert_eq!(q.symbol("the_end"), p.symbol("the_end"));
+        assert_eq!(q.entry(), p.entry());
+    }
+
+    #[test]
+    fn container_rejects_corruption() {
+        let p = sample_program();
+        let mut bytes = p.to_bytes();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(Program::from_bytes(&bad), Err(DecodeError::BadMagic));
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert_eq!(
+            Program::from_bytes(&bad),
+            Err(DecodeError::BadVersion { found: 99 })
+        );
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(Program::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        // Appending junk is tolerated (trailing bytes ignored).
+        bytes.extend_from_slice(b"junk");
+        assert!(Program::from_bytes(&bytes).is_ok());
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound with [`crate::Asm::bind`].
+    UnboundLabel {
+        /// The label's internal id.
+        label: usize,
+        /// Address of the first instruction that referenced it.
+        first_use: u32,
+    },
+    /// A label was bound twice.
+    RebonudLabel {
+        /// The label's internal id.
+        label: usize,
+    },
+    /// A symbol name was bound twice.
+    DuplicateSymbol {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The program grew past the addressable limit.
+    ProgramTooLarge {
+        /// Number of instructions emitted.
+        len: usize,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label, first_use } => {
+                write!(f, "label #{label} first used at @{first_use} was never bound")
+            }
+            AsmError::RebonudLabel { label } => write!(f, "label #{label} bound twice"),
+            AsmError::DuplicateSymbol { name } => write!(f, "symbol `{name}` bound twice"),
+            AsmError::ProgramTooLarge { len } => {
+                write!(f, "program of {len} instructions exceeds the addressable limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

@@ -1,0 +1,413 @@
+use std::fmt;
+
+use crate::{CodeAddr, Reg};
+
+/// An ALU operation, used by both register-register and register-immediate
+/// instruction forms.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left (by the low 5 bits of the right operand).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set-if-less-than, signed: destination gets 1 or 0.
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+}
+
+impl AluOp {
+    /// Mnemonic for the register-register form.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Mul => "mul",
+        }
+    }
+
+    /// Applies the operation to two 32-bit values.
+    ///
+    /// Shifts use the low five bits of `b`; arithmetic wraps, matching the
+    /// machine's semantics so tests can use this as an oracle.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => (a as i32).wrapping_shr(b & 31) as u32,
+            AluOp::Slt => u32::from((a as i32) < (b as i32)),
+            AluOp::Sltu => u32::from(a < b),
+            AluOp::Mul => a.wrapping_mul(b),
+        }
+    }
+}
+
+/// A branch condition comparing two registers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+    /// Branch if unsigned less-than.
+    Ltu,
+    /// Branch if unsigned greater-or-equal.
+    Geu,
+}
+
+impl Cond {
+    /// Mnemonic, e.g. `bne`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+            Cond::Ltu => "bltu",
+            Cond::Geu => "bgeu",
+        }
+    }
+
+    /// Evaluates the condition on two register values.
+    pub fn holds(self, a: u32, b: u32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i32) < (b as i32),
+            Cond::Ge => (a as i32) >= (b as i32),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+}
+
+/// One machine instruction.
+///
+/// Branch and jump targets are absolute code addresses (instruction
+/// indices); the assembler resolves labels to these before a [`crate::Program`]
+/// is produced.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Load a 32-bit immediate into `rd` (pseudo-instruction covering
+    /// `li`/`lui`+`ori`; costs one cycle in the default model).
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value (stored sign-extended semantics via `as u32`).
+        imm: i32,
+    },
+    /// Register-register ALU operation: `rd <- rs op rt`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+    },
+    /// Register-immediate ALU operation: `rd <- rs op imm`.
+    AluI {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Immediate right operand.
+        imm: i32,
+    },
+    /// Load word: `rd <- mem[rs + off]` (byte address, must be 4-aligned).
+    Lw {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Store word: `mem[base + off] <- rs`.
+    Sw {
+        /// Source register.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Conditional branch to an absolute code address.
+    Branch {
+        /// Condition to evaluate.
+        cond: Cond,
+        /// Left comparand.
+        rs: Reg,
+        /// Right comparand.
+        rt: Reg,
+        /// Absolute target instruction index.
+        target: CodeAddr,
+    },
+    /// Unconditional jump.
+    J {
+        /// Absolute target instruction index.
+        target: CodeAddr,
+    },
+    /// Jump-and-link: `ra <- pc + 1; pc <- target`.
+    Jal {
+        /// Absolute target instruction index.
+        target: CodeAddr,
+    },
+    /// Jump to register.
+    Jr {
+        /// Register holding the target instruction index.
+        rs: Reg,
+    },
+    /// Jump to register and link: `rd <- pc + 1; pc <- rs`.
+    Jalr {
+        /// Destination for the return address.
+        rd: Reg,
+        /// Register holding the target instruction index.
+        rs: Reg,
+    },
+    /// Ordinary no-op.
+    Nop,
+    /// The Taos landmark no-op: a non-destructive register move the compiler
+    /// never emits outside a designated restartable atomic sequence (§3.2
+    /// of the paper). Semantically identical to [`Inst::Nop`].
+    Landmark,
+    /// System call; the call number is taken from `$v0` and arguments from
+    /// `$a0..$a3` (see [`crate::abi`]).
+    Syscall,
+    /// Memory-interlocked Test-And-Set: atomically `rd <- mem[base]`,
+    /// `mem[base] <- 1`. Only available on CPU profiles with hardware
+    /// atomic support; executing it elsewhere faults.
+    Tas {
+        /// Destination for the old value.
+        rd: Reg,
+        /// Register holding the byte address of the lock word.
+        base: Reg,
+    },
+    /// Begin an i860-style hardware restartable sequence (§7 of the paper):
+    /// sets the processor-status atomic bit, which is cleared by the next
+    /// store or after 32 cycles. While set, a suspension rolls the thread
+    /// back to this instruction. Only available on profiles with
+    /// `has_restart_bit`.
+    BeginAtomic,
+    /// Halt the machine. Reserved for the idle/kernel path; user threads
+    /// exit via [`crate::abi::SYS_EXIT`].
+    Halt,
+}
+
+/// The opcode class of an instruction, used as the stage-1 index of the
+/// Taos designated-sequence check (§3.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    Li,
+    Alu,
+    AluI,
+    Lw,
+    Sw,
+    Branch,
+    J,
+    Jal,
+    Jr,
+    Jalr,
+    Nop,
+    Landmark,
+    Syscall,
+    Tas,
+    BeginAtomic,
+    Halt,
+}
+
+impl Opcode {
+    /// Total number of opcode classes; handy for table sizing.
+    pub const COUNT: usize = 16;
+
+    /// Dense index of this opcode, `0..COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl Inst {
+    /// The instruction's opcode class.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Inst::Li { .. } => Opcode::Li,
+            Inst::Alu { .. } => Opcode::Alu,
+            Inst::AluI { .. } => Opcode::AluI,
+            Inst::Lw { .. } => Opcode::Lw,
+            Inst::Sw { .. } => Opcode::Sw,
+            Inst::Branch { .. } => Opcode::Branch,
+            Inst::J { .. } => Opcode::J,
+            Inst::Jal { .. } => Opcode::Jal,
+            Inst::Jr { .. } => Opcode::Jr,
+            Inst::Jalr { .. } => Opcode::Jalr,
+            Inst::Nop => Opcode::Nop,
+            Inst::Landmark => Opcode::Landmark,
+            Inst::Syscall => Opcode::Syscall,
+            Inst::Tas { .. } => Opcode::Tas,
+            Inst::BeginAtomic => Opcode::BeginAtomic,
+            Inst::Halt => Opcode::Halt,
+        }
+    }
+
+    /// Whether the instruction can transfer control (branch, jump, call).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.opcode(),
+            Opcode::Branch | Opcode::J | Opcode::Jal | Opcode::Jr | Opcode::Jalr
+        )
+    }
+
+    /// Whether the instruction writes to data memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self.opcode(), Opcode::Sw | Opcode::Tas)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Li { rd, imm } => write!(f, "li    {rd}, {imm}"),
+            Inst::Alu { op, rd, rs, rt } => {
+                write!(f, "{:<5} {rd}, {rs}, {rt}", op.mnemonic())
+            }
+            Inst::AluI { op, rd, rs, imm } => {
+                write!(f, "{:<5} {rd}, {rs}, {imm}", format!("{}i", op.mnemonic()))
+            }
+            Inst::Lw { rd, base, off } => write!(f, "lw    {rd}, {off}({base})"),
+            Inst::Sw { rs, base, off } => write!(f, "sw    {rs}, {off}({base})"),
+            Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => write!(f, "{:<5} {rs}, {rt}, @{target}", cond.mnemonic()),
+            Inst::J { target } => write!(f, "j     @{target}"),
+            Inst::Jal { target } => write!(f, "jal   @{target}"),
+            Inst::Jr { rs } => write!(f, "jr    {rs}"),
+            Inst::Jalr { rd, rs } => write!(f, "jalr  {rd}, {rs}"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Landmark => write!(f, "landmark"),
+            Inst::Syscall => write!(f, "syscall"),
+            Inst::Tas { rd, base } => write!(f, "tas   {rd}, ({base})"),
+            Inst::BeginAtomic => write!(f, "begin_atomic"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_apply_matches_expected() {
+        assert_eq!(AluOp::Add.apply(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u32::MAX);
+        assert_eq!(AluOp::Sll.apply(1, 33), 2, "shift amount is masked");
+        assert_eq!(AluOp::Sra.apply(0x8000_0000, 31), u32::MAX);
+        assert_eq!(AluOp::Srl.apply(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Slt.apply(u32::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(AluOp::Sltu.apply(u32::MAX, 0), 0);
+        assert_eq!(AluOp::Mul.apply(0x1_0001, 0x1_0001), 0x2_0001);
+    }
+
+    #[test]
+    fn cond_holds() {
+        assert!(Cond::Eq.holds(3, 3));
+        assert!(Cond::Ne.holds(3, 4));
+        assert!(Cond::Lt.holds(u32::MAX, 0));
+        assert!(!Cond::Ltu.holds(u32::MAX, 0));
+        assert!(Cond::Ge.holds(0, u32::MAX));
+        assert!(Cond::Geu.holds(u32::MAX, 0));
+    }
+
+    #[test]
+    fn opcode_classification() {
+        let i = Inst::Lw {
+            rd: Reg::V0,
+            base: Reg::A0,
+            off: 0,
+        };
+        assert_eq!(i.opcode(), Opcode::Lw);
+        assert!(!i.is_control());
+        assert!(!i.is_store());
+        assert!(Inst::Sw {
+            rs: Reg::T0,
+            base: Reg::A0,
+            off: 0
+        }
+        .is_store());
+        assert!(Inst::J { target: 3 }.is_control());
+        assert_eq!(Inst::Landmark.opcode(), Opcode::Landmark);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        let a = Inst::Nop.to_string();
+        let b = Inst::Landmark.to_string();
+        assert!(!a.is_empty() && !b.is_empty());
+        assert_ne!(a, b, "landmark must be visibly distinct from nop");
+    }
+
+    #[test]
+    fn opcode_indices_are_dense() {
+        let ops = [
+            Opcode::Li,
+            Opcode::Alu,
+            Opcode::AluI,
+            Opcode::Lw,
+            Opcode::Sw,
+            Opcode::Branch,
+            Opcode::J,
+            Opcode::Jal,
+            Opcode::Jr,
+            Opcode::Jalr,
+            Opcode::Nop,
+            Opcode::Landmark,
+            Opcode::Syscall,
+            Opcode::Tas,
+            Opcode::BeginAtomic,
+            Opcode::Halt,
+        ];
+        assert_eq!(ops.len(), Opcode::COUNT);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+}

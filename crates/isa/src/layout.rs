@@ -1,0 +1,216 @@
+use std::collections::BTreeMap;
+
+use crate::DataAddr;
+
+/// Builder for a program's static data segment.
+///
+/// Allocates aligned words and arrays at increasing byte addresses and
+/// records named symbols for them. The result is a [`DataImage`] that the
+/// kernel copies into simulated memory at load time.
+///
+/// # Example
+///
+/// ```
+/// use ras_isa::DataLayout;
+///
+/// let mut data = DataLayout::new();
+/// let lock = data.word("lock", 0);
+/// let counter = data.word("counter", 0);
+/// let buf = data.array("buf", 16, 0);
+/// assert_eq!(lock, 0);
+/// assert_eq!(counter, 4);
+/// assert_eq!(buf, 8);
+/// let image = data.finish();
+/// assert_eq!(image.symbol("buf"), Some(8));
+/// assert_eq!(image.len_bytes(), 8 + 16 * 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DataLayout {
+    cursor: DataAddr,
+    symbols: BTreeMap<String, DataAddr>,
+    init: Vec<(DataAddr, u32)>,
+}
+
+impl DataLayout {
+    /// Creates an empty layout starting at byte address 0.
+    pub fn new() -> DataLayout {
+        DataLayout::default()
+    }
+
+    /// Creates a layout whose first allocation lands at `base` (must be
+    /// 4-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned.
+    pub fn with_base(base: DataAddr) -> DataLayout {
+        assert_eq!(base % 4, 0, "data base must be word-aligned");
+        DataLayout {
+            cursor: base,
+            ..DataLayout::default()
+        }
+    }
+
+    /// The next free byte address.
+    pub fn cursor(&self) -> DataAddr {
+        self.cursor
+    }
+
+    /// Allocates one word, initialized to `value`, under `name`.
+    /// Returns its byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already allocated.
+    pub fn word(&mut self, name: &str, value: u32) -> DataAddr {
+        self.array_init(name, &[value])
+    }
+
+    /// Allocates `len` words all initialized to `fill`. Returns the base
+    /// byte address.
+    pub fn array(&mut self, name: &str, len: usize, fill: u32) -> DataAddr {
+        let addr = self.cursor;
+        self.insert_symbol(name, addr);
+        for i in 0..len {
+            if fill != 0 {
+                self.init.push((addr + 4 * i as DataAddr, fill));
+            }
+        }
+        self.cursor += 4 * len as DataAddr;
+        addr
+    }
+
+    /// Allocates and initializes an array from explicit values.
+    pub fn array_init(&mut self, name: &str, values: &[u32]) -> DataAddr {
+        let addr = self.cursor;
+        self.insert_symbol(name, addr);
+        for (i, &v) in values.iter().enumerate() {
+            if v != 0 {
+                self.init.push((addr + 4 * i as DataAddr, v));
+            }
+        }
+        self.cursor += 4 * values.len() as DataAddr;
+        addr
+    }
+
+    /// Advances the cursor so the next allocation is aligned to `align`
+    /// bytes (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or not a multiple of 4.
+    pub fn align(&mut self, align: DataAddr) {
+        assert!(align.is_power_of_two() && align >= 4, "bad alignment {align}");
+        self.cursor = self.cursor.div_ceil(align) * align;
+    }
+
+    /// Looks up a previously allocated symbol.
+    pub fn symbol(&self, name: &str) -> Option<DataAddr> {
+        self.symbols.get(name).copied()
+    }
+
+    fn insert_symbol(&mut self, name: &str, addr: DataAddr) {
+        let prev = self.symbols.insert(name.to_owned(), addr);
+        assert!(prev.is_none(), "data symbol `{name}` allocated twice");
+    }
+
+    /// Finalizes the layout into an image.
+    pub fn finish(self) -> DataImage {
+        DataImage {
+            len_bytes: self.cursor,
+            symbols: self.symbols,
+            init: self.init,
+        }
+    }
+}
+
+/// A finalized static data segment: total size, symbols, and nonzero
+/// initializers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataImage {
+    len_bytes: DataAddr,
+    symbols: BTreeMap<String, DataAddr>,
+    init: Vec<(DataAddr, u32)>,
+}
+
+impl DataImage {
+    /// Total segment size in bytes (allocation high-water mark).
+    pub fn len_bytes(&self) -> DataAddr {
+        self.len_bytes
+    }
+
+    /// Looks up a named allocation.
+    pub fn symbol(&self, name: &str) -> Option<DataAddr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Nonzero initial values as `(byte_address, value)` pairs.
+    pub fn initializers(&self) -> &[(DataAddr, u32)] {
+        &self.init
+    }
+
+    /// Iterates over `(name, address)` pairs in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, DataAddr)> {
+        self.symbols.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocation() {
+        let mut d = DataLayout::new();
+        assert_eq!(d.word("a", 7), 0);
+        assert_eq!(d.word("b", 0), 4);
+        assert_eq!(d.array("c", 3, 5), 8);
+        assert_eq!(d.cursor(), 20);
+        let img = d.finish();
+        assert_eq!(img.len_bytes(), 20);
+        assert_eq!(img.symbol("a"), Some(0));
+        assert_eq!(img.symbol("c"), Some(8));
+        // a=7 plus three fills of 5.
+        assert_eq!(img.initializers().len(), 4);
+    }
+
+    #[test]
+    fn zero_initializers_are_elided() {
+        let mut d = DataLayout::new();
+        d.word("z", 0);
+        d.array("zz", 8, 0);
+        let img = d.finish();
+        assert!(img.initializers().is_empty());
+        assert_eq!(img.len_bytes(), 36);
+    }
+
+    #[test]
+    fn with_base_offsets_allocations() {
+        let mut d = DataLayout::with_base(0x1000);
+        assert_eq!(d.word("a", 1), 0x1000);
+    }
+
+    #[test]
+    fn align_rounds_up() {
+        let mut d = DataLayout::new();
+        d.word("a", 0);
+        d.align(64);
+        assert_eq!(d.word("b", 0), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn duplicate_name_panics() {
+        let mut d = DataLayout::new();
+        d.word("a", 0);
+        d.word("a", 1);
+    }
+
+    #[test]
+    fn array_init_records_values() {
+        let mut d = DataLayout::new();
+        d.array_init("v", &[1, 0, 3]);
+        let img = d.finish();
+        assert_eq!(img.initializers(), &[(0, 1), (8, 3)]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Instruction set, assembler, and program images for the uniprocessor
+//! simulator used to reproduce *Fast Mutual Exclusion for Uniprocessors*
+//! (Bershad, Redell & Ellis, ASPLOS 1992).
+//!
+//! The ISA is a small load/store RISC modeled on the MIPS R3000 the paper
+//! measured: 32 general registers, word-oriented loads and stores, and a
+//! handful of ALU and branch operations. Two instructions exist purely for
+//! the paper's mechanisms:
+//!
+//! * [`Inst::Landmark`] — the "landmark no-op" a Taos-style compiler plants
+//!   inside every designated restartable atomic sequence (§3.2 of the
+//!   paper). It is never emitted under any other circumstance.
+//! * [`Inst::Tas`] — a memory-interlocked Test-And-Set, standing in for the
+//!   hardware atomic instructions surveyed in §6.
+//!
+//! Code is Harvard-style: a program is a vector of [`Inst`] and the program
+//! counter is an instruction index, while data memory is byte-addressed with
+//! aligned 32-bit words. This keeps the designated-sequence matcher in the
+//! kernel honest (it inspects real instruction streams) without requiring a
+//! binary encoder.
+//!
+//! # Example
+//!
+//! Assemble and inspect a tiny function that adds its two arguments:
+//!
+//! ```
+//! use ras_isa::{Asm, Reg};
+//!
+//! let mut asm = Asm::new();
+//! asm.bind_symbol("add2");
+//! asm.add(Reg::V0, Reg::A0, Reg::A1);
+//! asm.jr(Reg::RA);
+//! let program = asm.finish().expect("labels resolve");
+//! assert_eq!(program.symbol("add2"), Some(0));
+//! assert_eq!(program.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abi;
+mod asm;
+mod encode;
+mod error;
+mod inst;
+mod layout;
+mod parse;
+mod program;
+mod reg;
+
+pub use asm::{Asm, Label};
+pub use encode::{decode_inst, encode_inst, DecodeError};
+pub use error::AsmError;
+pub use inst::{AluOp, Cond, Inst, Opcode};
+pub use layout::{DataImage, DataLayout};
+pub use parse::{parse_asm, ParseAsmError};
+pub use program::Program;
+pub use reg::Reg;
+
+/// A code address: an index into a program's instruction vector.
+pub type CodeAddr = u32;
+
+/// A data address: a byte offset into simulated data memory.
+pub type DataAddr = u32;

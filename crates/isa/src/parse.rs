@@ -1,0 +1,473 @@
+//! A text-format assembler: parses the same syntax the disassembler
+//! prints, so listings round-trip. Useful for writing guest programs as
+//! `.s` files and for tests that want readable fixtures.
+//!
+//! Syntax, one instruction or label per line:
+//!
+//! ```text
+//! # comment                      ; also "//"
+//! .entry main                    ; optional entry point (label or @addr)
+//! main:                          ; label / symbol
+//!   li    $t0, 10
+//! loop:
+//!   addi  $t0, $t0, -1
+//!   bne   $t0, $zero, loop       ; branch to a label…
+//!   beq   $t0, $zero, @7         ; …or to an absolute address
+//!   lw    $v0, 0($a0)
+//!   sw    $v0, -4($sp)
+//!   jal   loop
+//!   jr    $ra
+//!   landmark
+//!   halt
+//! ```
+//!
+//! The optional `@N` address prefix the disassembler prints before each
+//! instruction is accepted and ignored.
+
+use std::fmt;
+
+use crate::{AluOp, Asm, Cond, Label, Program, Reg};
+
+/// Error parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+struct Parser {
+    asm: Asm,
+    labels: std::collections::HashMap<String, Label>,
+    entry: Option<String>,
+}
+
+impl Parser {
+    fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+        ParseAsmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn label_for(&mut self, name: &str) -> Label {
+        if let Some(l) = self.labels.get(name) {
+            *l
+        } else {
+            let l = self.asm.label();
+            self.labels.insert(name.to_owned(), l);
+            l
+        }
+    }
+
+    fn reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
+        tok.trim_end_matches(',')
+            .parse::<Reg>()
+            .map_err(|e| Self::err(line, e.to_string()))
+    }
+
+    fn imm(tok: &str, line: usize) -> Result<i32, ParseAsmError> {
+        let t = tok.trim_end_matches(',');
+        let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+            u32::from_str_radix(hex, 16).map(|v| v as i32).ok()
+        } else if let Some(hex) = t.strip_prefix("-0x") {
+            u32::from_str_radix(hex, 16).map(|v| (v as i32).wrapping_neg()).ok()
+        } else {
+            t.parse::<i32>().ok()
+        };
+        parsed.ok_or_else(|| Self::err(line, format!("bad immediate `{t}`")))
+    }
+
+    /// Parses `off(base)` into (offset, base register).
+    fn mem_operand(tok: &str, line: usize) -> Result<(i32, Reg), ParseAsmError> {
+        let open = tok
+            .find('(')
+            .ok_or_else(|| Self::err(line, format!("expected off(base), got `{tok}`")))?;
+        let close = tok
+            .find(')')
+            .ok_or_else(|| Self::err(line, format!("missing `)` in `{tok}`")))?;
+        let off = if open == 0 { 0 } else { Self::imm(&tok[..open], line)? };
+        let base = Self::reg(&tok[open + 1..close], line)?;
+        Ok((off, base))
+    }
+
+    /// A jump/branch target: `@N` absolute or a label name.
+    fn target(&mut self, tok: &str, line: usize) -> Result<Target, ParseAsmError> {
+        let t = tok.trim_end_matches(',');
+        if let Some(addr) = t.strip_prefix('@') {
+            addr.parse::<u32>()
+                .map(Target::Absolute)
+                .map_err(|_| Self::err(line, format!("bad address `{t}`")))
+        } else if t.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+            Ok(Target::Named(self.label_for(t)))
+        } else {
+            Err(Self::err(line, format!("bad target `{t}`")))
+        }
+    }
+}
+
+enum Target {
+    Absolute(u32),
+    Named(Label),
+}
+
+/// Parses assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] with the offending line on any syntax
+/// problem, and for labels referenced but never defined.
+pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
+    let mut p = Parser {
+        asm: Asm::new(),
+        labels: std::collections::HashMap::new(),
+        entry: None,
+    };
+    let mut bound: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw;
+        if let Some(cut) = line.find('#') {
+            line = &line[..cut];
+        }
+        if let Some(cut) = line.find("//") {
+            line = &line[..cut];
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".entry") {
+            p.entry = Some(rest.trim().to_owned());
+            continue;
+        }
+        if let Some(name) = line.strip_suffix(':') {
+            let name = name.trim();
+            if !bound.insert(name.to_owned()) {
+                return Err(Parser::err(line_no, format!("label `{name}` defined twice")));
+            }
+            let l = p.label_for(name);
+            p.asm.bind(l);
+            p.asm.bind_symbol(name);
+            continue;
+        }
+        // Strip a leading `@N` address annotation from disassembly output.
+        let mut tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens[0].starts_with('@') && tokens.len() > 1 {
+            tokens.remove(0);
+        }
+        let mnemonic = tokens[0];
+        let ops = &tokens[1..];
+        let need = |n: usize| -> Result<(), ParseAsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(Parser::err(
+                    line_no,
+                    format!("`{mnemonic}` wants {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+        match mnemonic {
+            "li" => {
+                need(2)?;
+                let rd = Parser::reg(ops[0], line_no)?;
+                // `li rd, label` loads a code address.
+                if ops[1].chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+                    match p.target(ops[1], line_no)? {
+                        Target::Named(l) => {
+                            p.asm.li_label(rd, l);
+                        }
+                        Target::Absolute(a) => {
+                            p.asm.li(rd, a as i32);
+                        }
+                    }
+                } else {
+                    let imm = Parser::imm(ops[1], line_no)?;
+                    p.asm.li(rd, imm);
+                }
+            }
+            "lw" => {
+                need(2)?;
+                let rd = Parser::reg(ops[0], line_no)?;
+                let (off, base) = Parser::mem_operand(ops[1], line_no)?;
+                p.asm.lw(rd, base, off);
+            }
+            "sw" => {
+                need(2)?;
+                let rs = Parser::reg(ops[0], line_no)?;
+                let (off, base) = Parser::mem_operand(ops[1], line_no)?;
+                p.asm.sw(rs, base, off);
+            }
+            "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu"
+            | "mul" => {
+                need(3)?;
+                let op = alu_by_name(mnemonic).expect("matched above");
+                let rd = Parser::reg(ops[0], line_no)?;
+                let rs = Parser::reg(ops[1], line_no)?;
+                let rt = Parser::reg(ops[2], line_no)?;
+                p.asm.alu(op, rd, rs, rt);
+            }
+            "addi" | "subi" | "andi" | "ori" | "xori" | "slli" | "srli" | "srai" | "slti"
+            | "sltui" | "muli" => {
+                need(3)?;
+                let op = alu_by_name(&mnemonic[..mnemonic.len() - 1]).expect("matched above");
+                let rd = Parser::reg(ops[0], line_no)?;
+                let rs = Parser::reg(ops[1], line_no)?;
+                let imm = Parser::imm(ops[2], line_no)?;
+                p.asm.alui(op, rd, rs, imm);
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                need(3)?;
+                let cond = match mnemonic {
+                    "beq" => Cond::Eq,
+                    "bne" => Cond::Ne,
+                    "blt" => Cond::Lt,
+                    "bge" => Cond::Ge,
+                    "bltu" => Cond::Ltu,
+                    _ => Cond::Geu,
+                };
+                let rs = Parser::reg(ops[0], line_no)?;
+                let rt = Parser::reg(ops[1], line_no)?;
+                match p.target(ops[2], line_no)? {
+                    Target::Named(l) => {
+                        p.asm.branch(cond, rs, rt, l);
+                    }
+                    Target::Absolute(a) => {
+                        p.asm.emit(crate::Inst::Branch {
+                            cond,
+                            rs,
+                            rt,
+                            target: a,
+                        });
+                    }
+                }
+            }
+            "j" | "jal" => {
+                need(1)?;
+                match p.target(ops[0], line_no)? {
+                    Target::Named(l) => {
+                        if mnemonic == "j" {
+                            p.asm.j(l);
+                        } else {
+                            p.asm.jal(l);
+                        }
+                    }
+                    Target::Absolute(a) => {
+                        if mnemonic == "j" {
+                            p.asm.j_to(a);
+                        } else {
+                            p.asm.jal_to(a);
+                        }
+                    }
+                }
+            }
+            "jr" => {
+                need(1)?;
+                let rs = Parser::reg(ops[0], line_no)?;
+                p.asm.jr(rs);
+            }
+            "jalr" => {
+                need(2)?;
+                let rd = Parser::reg(ops[0], line_no)?;
+                let rs = Parser::reg(ops[1], line_no)?;
+                p.asm.jalr(rd, rs);
+            }
+            "tas" => {
+                need(2)?;
+                let rd = Parser::reg(ops[0], line_no)?;
+                let (off, base) = Parser::mem_operand(ops[1], line_no)
+                    .or_else(|_| Parser::reg(ops[1], line_no).map(|r| (0, r)))?;
+                if off != 0 {
+                    return Err(Parser::err(line_no, "tas takes (base) with no offset"));
+                }
+                p.asm.tas(rd, base);
+            }
+            "nop" => {
+                need(0)?;
+                p.asm.nop();
+            }
+            "landmark" => {
+                need(0)?;
+                p.asm.landmark();
+            }
+            "syscall" => {
+                need(0)?;
+                p.asm.syscall();
+            }
+            "begin_atomic" => {
+                need(0)?;
+                p.asm.begin_atomic();
+            }
+            "halt" => {
+                need(0)?;
+                p.asm.halt();
+            }
+            other => {
+                return Err(Parser::err(line_no, format!("unknown mnemonic `{other}`")));
+            }
+        }
+    }
+    let entry = p.entry.clone();
+    let asm = p.asm;
+    let program = asm
+        .finish()
+        .map_err(|e| Parser::err(0, format!("unresolved reference: {e}")))?;
+    let program = match entry {
+        None => program,
+        Some(name) => {
+            let addr = if let Some(at) = name.strip_prefix('@') {
+                at.parse::<u32>()
+                    .map_err(|_| Parser::err(0, format!("bad .entry `{name}`")))?
+            } else {
+                program
+                    .symbol(&name)
+                    .ok_or_else(|| Parser::err(0, format!(".entry label `{name}` not found")))?
+            };
+            program.with_entry(addr)
+        }
+    };
+    Ok(program)
+}
+
+fn alu_by_name(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "mul" => AluOp::Mul,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Inst, Opcode};
+
+    #[test]
+    fn parses_a_full_program() {
+        let text = r#"
+            # countdown with a landmark
+            .entry main
+            main:
+                li    $t0, 3
+            loop:
+                addi  $t0, $t0, -1
+                landmark
+                bne   $t0, $zero, loop
+                lw    $v0, 8($sp)
+                sw    $v0, ($a0)
+                jal   main
+                jr    $ra
+                halt
+        "#;
+        let p = parse_asm(text).unwrap();
+        assert_eq!(p.symbol("main"), Some(0));
+        assert_eq!(p.symbol("loop"), Some(1));
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.fetch(2), Some(Inst::Landmark));
+        match p.fetch(3).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(target, 1),
+            other => panic!("{other}"),
+        }
+        match p.fetch(4).unwrap() {
+            Inst::Lw { off, .. } => assert_eq!(off, 8),
+            other => panic!("{other}"),
+        }
+        assert_eq!(p.fetch(8).unwrap().opcode(), Opcode::Halt);
+    }
+
+    #[test]
+    fn disassembly_round_trips() {
+        let text = r#"
+            f:
+                li    $t0, -42
+                addi  $t1, $t0, 7
+                mul   $v0, $t0, $t1
+                beq   $v0, $zero, @5
+                sw    $v0, 4($sp)
+            out:
+                jr    $ra
+        "#;
+        let p = parse_asm(text).unwrap();
+        let q = parse_asm(&p.disassemble()).unwrap();
+        assert_eq!(p.code(), q.code());
+        assert_eq!(
+            p.symbols().collect::<Vec<_>>(),
+            q.symbols().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("nop\nbogus $t0").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = parse_asm("lw $t0").unwrap_err();
+        assert!(e.message.contains("wants 2 operands"));
+
+        let e = parse_asm("li $t0, 12x").unwrap_err();
+        assert!(e.message.contains("12x"));
+
+        // An alphabetic operand to li is a label reference; if never
+        // defined, that surfaces as an unresolved reference.
+        let e = parse_asm("li $t0, zzz").unwrap_err();
+        assert!(e.message.contains("unresolved"));
+
+        let e = parse_asm("j nowhere").unwrap_err();
+        assert!(e.message.contains("unresolved"));
+
+        let e = parse_asm("a:\na:").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn li_with_label_loads_the_address() {
+        let text = r#"
+            main:
+                li   $a0, worker
+                halt
+            worker:
+                nop
+        "#;
+        let p = parse_asm(text).unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Li {
+                rd: crate::Reg::A0,
+                imm: 2
+            })
+        );
+    }
+
+    #[test]
+    fn hex_immediates_and_comments() {
+        let p = parse_asm("li $t0, 0x10 // sixteen\nli $t1, -0x2 # minus two\nhalt").unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::Li { rd: crate::Reg::T0, imm: 16 }));
+        assert_eq!(p.fetch(1), Some(Inst::Li { rd: crate::Reg::T1, imm: -2 }));
+    }
+
+    #[test]
+    fn entry_can_be_absolute() {
+        let p = parse_asm(".entry @1\nnop\nhalt").unwrap();
+        assert_eq!(p.entry(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{CodeAddr, Inst};
+
+/// An assembled program image: the code, its named symbols, and its entry
+/// point.
+///
+/// The image is mutable through [`Program::patch`] to support the paper's
+/// binary-compatibility story (§3.1): when registering a restartable atomic
+/// sequence fails on a kernel that does not support them, the thread
+/// management package *overwrites* the sequence with code that uses a
+/// conventional mechanism.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Program {
+    code: Vec<Inst>,
+    symbols: BTreeMap<String, CodeAddr>,
+    entry: CodeAddr,
+}
+
+impl Program {
+    pub(crate) fn new(code: Vec<Inst>, symbols: BTreeMap<String, CodeAddr>, entry: CodeAddr) -> Program {
+        Program { code, symbols, entry }
+    }
+
+    /// Number of instructions in the image.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the image contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The entry-point address of the main thread.
+    pub fn entry(&self) -> CodeAddr {
+        self.entry
+    }
+
+    /// Returns the same program with a different entry point.
+    pub fn with_entry(mut self, entry: CodeAddr) -> Program {
+        self.entry = entry;
+        self
+    }
+
+    /// Fetches the instruction at `addr`, or `None` past the end.
+    pub fn fetch(&self, addr: CodeAddr) -> Option<Inst> {
+        self.code.get(addr as usize).copied()
+    }
+
+    /// A view of the whole instruction stream.
+    pub fn code(&self) -> &[Inst] {
+        &self.code
+    }
+
+    /// Looks up a named symbol (function entry, sequence start, …).
+    pub fn symbol(&self, name: &str) -> Option<CodeAddr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Iterates over `(name, address)` pairs in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, CodeAddr)> {
+        self.symbols.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Overwrites the instructions starting at `start` with `replacement`,
+    /// padding with [`Inst::Nop`] up to `len` if the replacement is shorter.
+    ///
+    /// This models the Mach thread package rewriting its registered
+    /// Test-And-Set sequence when the kernel rejects registration (§3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replacement.len() > len` or if `start + len` runs past the
+    /// end of the image — both are code-generation bugs, not runtime
+    /// conditions.
+    pub fn patch(&mut self, start: CodeAddr, len: usize, replacement: &[Inst]) {
+        assert!(
+            replacement.len() <= len,
+            "replacement of {} instructions does not fit in a {len}-instruction window",
+            replacement.len()
+        );
+        let start = start as usize;
+        assert!(start + len <= self.code.len(), "patch window out of bounds");
+        for (i, slot) in self.code[start..start + len].iter_mut().enumerate() {
+            *slot = replacement.get(i).copied().unwrap_or(Inst::Nop);
+        }
+    }
+
+    /// Renders a human-readable listing with addresses and symbols.
+    pub fn disassemble(&self) -> String {
+        let by_addr: BTreeMap<CodeAddr, Vec<&str>> =
+            self.symbols.iter().fold(BTreeMap::new(), |mut m, (n, a)| {
+                m.entry(*a).or_default().push(n);
+                m
+            });
+        let mut out = String::new();
+        for (addr, inst) in self.code.iter().enumerate() {
+            if let Some(names) = by_addr.get(&(addr as CodeAddr)) {
+                for name in names {
+                    out.push_str(&format!("{name}:\n"));
+                }
+            }
+            out.push_str(&format!("  @{addr:<6} {inst}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("len", &self.code.len())
+            .field("entry", &self.entry)
+            .field("symbols", &self.symbols)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, Reg};
+
+    fn sample() -> Program {
+        let mut asm = Asm::new();
+        asm.bind_symbol("main");
+        asm.li(Reg::T0, 42);
+        asm.bind_symbol("spot");
+        asm.nop();
+        asm.halt();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn fetch_and_symbols() {
+        let p = sample();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.symbol("main"), Some(0));
+        assert_eq!(p.symbol("spot"), Some(1));
+        assert_eq!(p.symbol("missing"), None);
+        assert_eq!(p.fetch(2), Some(Inst::Halt));
+        assert_eq!(p.fetch(3), None);
+    }
+
+    #[test]
+    fn patch_overwrites_and_pads() {
+        let mut p = sample();
+        p.patch(0, 2, &[Inst::Halt]);
+        assert_eq!(p.fetch(0), Some(Inst::Halt));
+        assert_eq!(p.fetch(1), Some(Inst::Nop), "padded with nop");
+        assert_eq!(p.fetch(2), Some(Inst::Halt), "outside window untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn patch_rejects_oversized_replacement() {
+        let mut p = sample();
+        p.patch(0, 1, &[Inst::Nop, Inst::Nop]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn patch_rejects_out_of_bounds() {
+        let mut p = sample();
+        p.patch(2, 5, &[Inst::Nop]);
+    }
+
+    #[test]
+    fn disassembly_mentions_symbols_and_addresses() {
+        let p = sample();
+        let text = p.disassemble();
+        assert!(text.contains("main:"));
+        assert!(text.contains("spot:"));
+        assert!(text.contains("@0"));
+        assert!(text.contains("halt"));
+    }
+}

@@ -1,0 +1,212 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 general-purpose registers.
+///
+/// Register 0 ([`Reg::ZERO`]) is hardwired to zero, as on the MIPS R3000.
+/// The conventional names follow the MIPS o32 calling convention, which the
+/// guest runtime in `ras-guest` also follows (see [`crate::abi`]).
+///
+/// # Example
+///
+/// ```
+/// use ras_isa::Reg;
+/// assert_eq!(Reg::A0.index(), 4);
+/// assert_eq!(Reg::A0.to_string(), "$a0");
+/// assert_eq!("$a0".parse::<Reg>().unwrap(), Reg::A0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary (unused by the assembler here; free scratch).
+    pub const AT: Reg = Reg(1);
+    /// First return-value register.
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register.
+    pub const V1: Reg = Reg(3);
+    /// First argument register.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporary 0.
+    pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary 1.
+    pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary 2.
+    pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary 3.
+    pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary 4.
+    pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary 5.
+    pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary 6.
+    pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary 7.
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved register 0.
+    pub const S0: Reg = Reg(16);
+    /// Callee-saved register 1.
+    pub const S1: Reg = Reg(17);
+    /// Callee-saved register 2.
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved register 3.
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved register 4.
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved register 5.
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved register 6.
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved register 7.
+    pub const S7: Reg = Reg(23);
+    /// Caller-saved temporary 8.
+    pub const T8: Reg = Reg(24);
+    /// Caller-saved temporary 9.
+    pub const T9: Reg = Reg(25);
+    /// Reserved for the kernel (scratch during traps).
+    pub const K0: Reg = Reg(26);
+    /// Reserved for the kernel (scratch during traps).
+    pub const K1: Reg = Reg(27);
+    /// Global pointer; the guest runtime stores the thread id here.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address, written by `jal`/`jalr`.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// All 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// The conventional MIPS o32 name, without the `$` sigil.
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self.index()]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({})", self.name())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError(String);
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bare = s.strip_prefix('$').unwrap_or(s);
+        if let Some(idx) = bare.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) {
+            return Reg::new(idx).ok_or_else(|| ParseRegError(s.to_owned()));
+        }
+        Reg::all()
+            .find(|r| r.name() == bare)
+            .ok_or_else(|| ParseRegError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_constants() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::V0.index(), 2);
+        assert_eq!(Reg::A3.index(), 7);
+        assert_eq!(Reg::T7.index(), 15);
+        assert_eq!(Reg::S0.index(), 16);
+        assert_eq!(Reg::GP.index(), 28);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::RA.index(), 31);
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Reg::new(31).is_some());
+        assert!(Reg::new(32).is_none());
+        assert!(Reg::new(255).is_none());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for r in Reg::all() {
+            let shown = r.to_string();
+            assert_eq!(shown.parse::<Reg>().unwrap(), r, "roundtrip {shown}");
+            assert_eq!(r.name().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parse_numeric_form() {
+        assert_eq!("$r4".parse::<Reg>().unwrap(), Reg::A0);
+        assert_eq!("r31".parse::<Reg>().unwrap(), Reg::RA);
+        assert!("$r32".parse::<Reg>().is_err());
+        assert!("bogus".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::V0.is_zero());
+    }
+
+    #[test]
+    fn all_yields_32_unique() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the assembler and ISA types.
+
+use proptest::prelude::*;
+use ras_isa::{AluOp, Asm, Cond, Inst, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::Ltu),
+        Just(Cond::Geu),
+    ]
+}
+
+proptest! {
+    /// Every register Display form parses back to the same register.
+    #[test]
+    fn reg_display_roundtrip(r in arb_reg()) {
+        let shown = r.to_string();
+        prop_assert_eq!(shown.parse::<Reg>().unwrap(), r);
+    }
+
+    /// ALU operations never panic and Slt/Sltu always produce 0 or 1.
+    #[test]
+    fn alu_total_and_slt_boolean(op in arb_alu_op(), a: u32, b: u32) {
+        let r = op.apply(a, b);
+        if matches!(op, AluOp::Slt | AluOp::Sltu) {
+            prop_assert!(r <= 1);
+        }
+    }
+
+    /// Slt agrees with signed comparison, Sltu with unsigned.
+    #[test]
+    fn slt_matches_native_comparison(a: u32, b: u32) {
+        prop_assert_eq!(AluOp::Slt.apply(a, b) == 1, (a as i32) < (b as i32));
+        prop_assert_eq!(AluOp::Sltu.apply(a, b) == 1, a < b);
+    }
+
+    /// Branch conditions are each other's negations in the expected pairs.
+    #[test]
+    fn cond_negation_pairs(c in arb_cond(), a: u32, b: u32) {
+        let neg = match c {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        };
+        prop_assert_ne!(c.holds(a, b), neg.holds(a, b));
+    }
+
+    /// A program made of `n` forward jumps to a common exit resolves every
+    /// target to the same address, and instruction count is `n + 1`.
+    #[test]
+    fn forward_jumps_resolve(n in 1usize..64) {
+        let mut asm = Asm::new();
+        let exit = asm.label();
+        for _ in 0..n {
+            asm.j(exit);
+        }
+        asm.bind(exit);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        prop_assert_eq!(p.len(), n + 1);
+        for i in 0..n {
+            prop_assert_eq!(p.fetch(i as u32), Some(Inst::J { target: n as u32 }));
+        }
+    }
+
+    /// Emitter return addresses are consecutive regardless of instruction mix.
+    #[test]
+    fn addresses_are_consecutive(ops in prop::collection::vec(0u8..6, 1..100)) {
+        let mut asm = Asm::new();
+        for (i, op) in ops.iter().enumerate() {
+            let at = match op {
+                0 => asm.nop(),
+                1 => asm.li(Reg::T0, i as i32),
+                2 => asm.lw(Reg::T1, Reg::SP, 0),
+                3 => asm.sw(Reg::T1, Reg::SP, 0),
+                4 => asm.landmark(),
+                _ => asm.add(Reg::T0, Reg::T0, Reg::T1),
+            };
+            prop_assert_eq!(at, i as u32);
+        }
+        let p = asm.finish().unwrap();
+        prop_assert_eq!(p.len(), ops.len());
+    }
+
+    /// Disassembly contains one line per instruction.
+    #[test]
+    fn disassembly_is_complete(n in 1usize..50) {
+        let mut asm = Asm::new();
+        for _ in 0..n {
+            asm.nop();
+        }
+        let p = asm.finish().unwrap();
+        prop_assert_eq!(p.disassemble().lines().count(), n);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the binary encoding and the text parser: arbitrary
+//! instructions and programs survive both round trips.
+
+use proptest::prelude::*;
+use ras_isa::{decode_inst, encode_inst, parse_asm, AluOp, Asm, Cond, Inst, Program, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::Ltu),
+        Just(Cond::Geu),
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs, rt)| Inst::Alu { op, rd, rs, rt }),
+        (arb_alu(), arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(op, rd, rs, imm)| Inst::AluI { op, rd, rs, imm }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, off)| Inst::Lw { rd, base, off }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rs, base, off)| Inst::Sw { rs, base, off }),
+        (arb_cond(), arb_reg(), arb_reg(), any::<u32>())
+            .prop_map(|(cond, rs, rt, target)| Inst::Branch { cond, rs, rt, target }),
+        any::<u32>().prop_map(|target| Inst::J { target }),
+        any::<u32>().prop_map(|target| Inst::Jal { target }),
+        arb_reg().prop_map(|rs| Inst::Jr { rs }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Inst::Jalr { rd, rs }),
+        Just(Inst::Nop),
+        Just(Inst::Landmark),
+        Just(Inst::Syscall),
+        (arb_reg(), arb_reg()).prop_map(|(rd, base)| Inst::Tas { rd, base }),
+        Just(Inst::BeginAtomic),
+        Just(Inst::Halt),
+    ]
+}
+
+proptest! {
+    /// Every instruction survives binary encode/decode.
+    #[test]
+    fn inst_binary_roundtrip(inst in arb_inst()) {
+        prop_assert_eq!(decode_inst(encode_inst(inst)), Ok(inst));
+    }
+
+    /// Whole programs survive the container round trip, including entry
+    /// point and symbols.
+    #[test]
+    fn program_container_roundtrip(
+        insts in prop::collection::vec(arb_inst(), 1..60),
+        entry in 0u32..50,
+        with_symbols: bool,
+    ) {
+        let mut asm = Asm::new();
+        for (i, inst) in insts.iter().enumerate() {
+            if with_symbols && i % 7 == 0 {
+                asm.bind_symbol(&format!("sym{i}"));
+            }
+            if i as u32 == entry.min(insts.len() as u32 - 1) {
+                asm.set_entry_here();
+            }
+            asm.emit(*inst);
+        }
+        let p = asm.finish().unwrap();
+        let q = Program::from_bytes(&p.to_bytes()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Corrupting any single byte of the container either errors or still
+    /// decodes to *some* program — it never panics.
+    #[test]
+    fn corruption_never_panics(
+        insts in prop::collection::vec(arb_inst(), 1..20),
+        byte in 0usize..64,
+        value: u8,
+    ) {
+        let mut asm = Asm::new();
+        for inst in &insts {
+            asm.emit(*inst);
+        }
+        let mut bytes = asm.finish().unwrap().to_bytes();
+        let idx = byte % bytes.len();
+        bytes[idx] = value;
+        let _ = Program::from_bytes(&bytes);
+    }
+
+    /// Disassembly of any label-free program parses back to identical code.
+    /// (Instructions whose immediates collide with the disassembler's
+    /// address annotations are still unambiguous because targets print as
+    /// `@N`.)
+    #[test]
+    fn disasm_parse_roundtrip(insts in prop::collection::vec(arb_inst(), 1..40)) {
+        // Keep targets in range so the listing is self-consistent.
+        let len = insts.len() as u32;
+        let mut asm = Asm::new();
+        for inst in &insts {
+            let fixed = match *inst {
+                Inst::Branch { cond, rs, rt, target } => Inst::Branch { cond, rs, rt, target: target % len },
+                Inst::J { target } => Inst::J { target: target % len },
+                Inst::Jal { target } => Inst::Jal { target: target % len },
+                other => other,
+            };
+            asm.emit(fixed);
+        }
+        let p = asm.finish().unwrap();
+        let q = parse_asm(&p.disassemble()).unwrap();
+        prop_assert_eq!(p.code(), q.code());
+    }
+}

@@ -1,0 +1,735 @@
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use ras_isa::{abi, CodeAddr, DataAddr, DataImage, Program, Reg};
+use ras_machine::{CpuProfile, Exit, Fault, Machine, PagingConfig, RegFile};
+
+use crate::{
+    CheckTime, Event, KernelStats, PreemptionPolicy, Strategy, StrategyKind, Tcb, ThreadId,
+    ThreadState, TimedEvent,
+};
+
+/// Configuration for [`Kernel::boot`].
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// The CPU the kernel runs on.
+    pub profile: CpuProfile,
+    /// Data memory size in bytes.
+    pub mem_bytes: u32,
+    /// Which atomicity strategy the kernel supports.
+    pub strategy: StrategyKind,
+    /// When the PC check runs (§4.1).
+    pub check_time: CheckTime,
+    /// Preemption quantum in cycles. The DECstation's 100 Hz tick at
+    /// 25 MHz corresponds to 250,000 cycles.
+    pub quantum: u64,
+    /// Extra random delay added to each quantum, `0..=jitter` cycles.
+    pub jitter: u64,
+    /// Seed for the jitter generator.
+    pub seed: u64,
+    /// Optional demand paging.
+    pub paging: Option<PagingConfig>,
+    /// Per-thread stack size in bytes.
+    pub stack_bytes: u32,
+    /// Maximum number of threads (TCBs are never reclaimed).
+    pub max_threads: usize,
+}
+
+impl KernelConfig {
+    /// A configuration with paper-realistic defaults: 8 MiB of memory, a
+    /// 250,000-cycle quantum (10 ms at 25 MHz), 64 KiB stacks.
+    pub fn new(profile: CpuProfile, strategy: StrategyKind) -> KernelConfig {
+        KernelConfig {
+            profile,
+            mem_bytes: 8 * 1024 * 1024,
+            strategy,
+            check_time: CheckTime::OnSuspend,
+            quantum: 250_000,
+            jitter: 0,
+            seed: 0,
+            paging: None,
+            stack_bytes: abi::DEFAULT_STACK_BYTES,
+            max_threads: 64,
+        }
+    }
+}
+
+/// Why [`Kernel::run`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every thread exited.
+    Completed,
+    /// A thread executed `halt` directly (bare-metal style programs).
+    Halted,
+    /// No thread is runnable but some are blocked — a guest deadlock.
+    Deadlock {
+        /// The blocked threads.
+        blocked: Vec<ThreadId>,
+    },
+    /// A thread faulted irrecoverably (guest bug).
+    Fault {
+        /// The faulting thread.
+        thread: ThreadId,
+        /// The fault.
+        fault: Fault,
+    },
+    /// The cycle budget given to [`Kernel::run`] ran out; call `run` again
+    /// to continue.
+    OutOfFuel,
+}
+
+/// Error booting a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BootError {
+    /// The data image does not fit below the stack region.
+    DataTooLarge {
+        /// Bytes required by the data image.
+        need: u32,
+        /// Bytes available.
+        have: u32,
+    },
+    /// The program has no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootError::DataTooLarge { need, have } => {
+                write!(f, "data image needs {need} bytes but only {have} fit below the stacks")
+            }
+            BootError::EmptyProgram => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
+/// The simulated uniprocessor operating system.
+///
+/// Owns the machine, the program image, every thread's saved state, the
+/// run and wait queues, and the configured atomicity strategy. Drives
+/// execution with a preemption timer and performs the restartable-atomic-
+/// sequence PC checks whenever a thread is suspended (§3–§4 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use ras_isa::{abi, Asm, DataLayout, Reg};
+/// use ras_kernel::{Kernel, KernelConfig, Outcome, StrategyKind};
+/// use ras_machine::CpuProfile;
+///
+/// // A main thread that stores 7 to address 0 and exits.
+/// let mut asm = Asm::new();
+/// asm.li(Reg::T0, 7);
+/// asm.sw(Reg::T0, Reg::ZERO, 0);
+/// asm.li(Reg::V0, abi::SYS_EXIT as i32);
+/// asm.syscall();
+/// let program = asm.finish()?;
+///
+/// let config = KernelConfig::new(CpuProfile::r3000(), StrategyKind::None);
+/// let mut kernel = Kernel::boot(config, program, &DataLayout::new().finish())?;
+/// assert_eq!(kernel.run(1_000_000), Outcome::Completed);
+/// assert_eq!(kernel.read_word(0)?, 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    machine: Machine,
+    program: Program,
+    threads: Vec<Tcb>,
+    ready: VecDeque<ThreadId>,
+    current: Option<ThreadId>,
+    last_running: Option<ThreadId>,
+    strategy: Strategy,
+    check_time: CheckTime,
+    policy: PreemptionPolicy,
+    slice_deadline: u64,
+    waiters: HashMap<DataAddr, VecDeque<ThreadId>>,
+    join_waiters: HashMap<ThreadId, Vec<ThreadId>>,
+    /// Sleeping threads ordered by wake time (min-heap).
+    sleepers: std::collections::BinaryHeap<std::cmp::Reverse<(u64, ThreadId)>>,
+    stats: KernelStats,
+    output: Vec<u32>,
+    live: usize,
+    data_end: u32,
+    stack_bytes: u32,
+    max_threads: usize,
+    page_fifo: VecDeque<usize>,
+    max_resident: usize,
+    timeline: Option<Vec<TimedEvent>>,
+    /// A fault detected inside a kernel path (e.g. user stack overflow
+    /// during a redirect), delivered at the top of the run loop.
+    pending_fault: Option<(ThreadId, Fault)>,
+}
+
+impl Kernel {
+    /// Boots a kernel: installs the data image, configures paging and the
+    /// timer, and creates the main thread at the program's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BootError`] if the program is empty or the data image
+    /// does not fit.
+    pub fn boot(
+        config: KernelConfig,
+        program: Program,
+        data: &DataImage,
+    ) -> Result<Kernel, BootError> {
+        if program.is_empty() {
+            return Err(BootError::EmptyProgram);
+        }
+        let mut machine = Machine::new(config.profile, config.mem_bytes);
+        let stack_region = config.stack_bytes * config.max_threads as u32;
+        let have = config.mem_bytes.saturating_sub(stack_region);
+        if data.len_bytes() > have {
+            return Err(BootError::DataTooLarge {
+                need: data.len_bytes(),
+                have,
+            });
+        }
+        for &(addr, value) in data.initializers() {
+            machine
+                .mem_mut()
+                .store_kernel(addr, value)
+                .expect("initializer inside validated image");
+        }
+        let max_resident = config.paging.map_or(0, |p| p.max_resident);
+        if let Some(paging) = config.paging {
+            machine.mem_mut().enable_paging(paging);
+        }
+        let policy = PreemptionPolicy::new(config.quantum, config.jitter, config.seed);
+        let mut kernel = Kernel {
+            machine,
+            program,
+            threads: Vec::new(),
+            ready: VecDeque::new(),
+            current: None,
+            last_running: None,
+            strategy: Strategy::from_kind(&config.strategy),
+            check_time: config.check_time,
+            policy,
+            slice_deadline: 0,
+            waiters: HashMap::new(),
+            join_waiters: HashMap::new(),
+            sleepers: std::collections::BinaryHeap::new(),
+            stats: KernelStats::new(),
+            output: Vec::new(),
+            live: 0,
+            data_end: data.len_bytes(),
+            stack_bytes: config.stack_bytes,
+            max_threads: config.max_threads,
+            page_fifo: VecDeque::new(),
+            max_resident,
+            timeline: None,
+            pending_fault: None,
+        };
+        let entry = kernel.program.entry();
+        kernel
+            .spawn_thread(entry, 0)
+            .expect("main thread always fits");
+        Ok(kernel)
+    }
+
+    // --- accessors ---------------------------------------------------------
+
+    /// The machine (clock, memory, profile).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The loaded program image.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Values logged by guest `SYS_PRINT` calls.
+    pub fn output(&self) -> &[u32] {
+        &self.output
+    }
+
+    /// Number of threads ever created.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// A thread's scheduling state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never allocated.
+    pub fn thread_state(&self, id: ThreadId) -> &ThreadState {
+        &self.threads[id.0 as usize].state
+    }
+
+    /// User-mode cycles a thread has executed so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never allocated.
+    pub fn thread_cycles(&self, id: ThreadId) -> u64 {
+        self.threads[id.0 as usize].user_cycles
+    }
+
+    /// Reads a word of guest memory (kernel-privileged).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-range addresses.
+    pub fn read_word(&self, addr: DataAddr) -> Result<u32, ras_machine::MemError> {
+        self.machine.mem().load_kernel(addr)
+    }
+
+    /// Writes a word of guest memory (kernel-privileged).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-range addresses.
+    pub fn write_word(&mut self, addr: DataAddr, value: u32) -> Result<(), ras_machine::MemError> {
+        self.machine.mem_mut().store_kernel(addr, value)
+    }
+
+    /// Starts recording the event timeline. Every scheduling and recovery
+    /// decision from this point on is appended (unbounded — enable only
+    /// for runs you intend to inspect).
+    pub fn enable_timeline(&mut self) {
+        if self.timeline.is_none() {
+            self.timeline = Some(Vec::new());
+        }
+    }
+
+    /// The recorded events (empty unless [`Kernel::enable_timeline`] was
+    /// called).
+    pub fn timeline(&self) -> &[TimedEvent] {
+        self.timeline.as_deref().unwrap_or(&[])
+    }
+
+    fn record(&mut self, event: Event) {
+        if let Some(log) = &mut self.timeline {
+            log.push(TimedEvent {
+                clock: self.machine.clock(),
+                event,
+            });
+        }
+    }
+
+    /// The registered restartable-sequence range, if the strategy is
+    /// explicit registration and a registration has been made.
+    pub fn registered_range(&self) -> Option<(CodeAddr, u32)> {
+        match &self.strategy {
+            Strategy::Registered { range } => *range,
+            _ => None,
+        }
+    }
+
+    // --- thread management --------------------------------------------------
+
+    fn spawn_thread(&mut self, entry: CodeAddr, arg: u32) -> Result<ThreadId, ()> {
+        if self.threads.len() >= self.max_threads {
+            return Err(());
+        }
+        let id = ThreadId(self.threads.len() as u32);
+        let stack_top = self.machine.mem().len_bytes() - id.0 * self.stack_bytes;
+        let stack_bottom = stack_top.saturating_sub(self.stack_bytes);
+        if stack_bottom < self.data_end {
+            return Err(());
+        }
+        let mut regs = RegFile::new(entry);
+        regs.set(Reg::A0, arg);
+        regs.set(Reg::SP, stack_top - 16);
+        regs.set(Reg::GP, id.0);
+        // A return from the top-level function lands at an invalid PC and
+        // faults loudly instead of silently running off.
+        regs.set(Reg::RA, u32::MAX);
+        self.threads.push(Tcb::new(id, regs, stack_top));
+        self.ready.push_back(id);
+        self.live += 1;
+        self.stats.threads_spawned += 1;
+        self.record(Event::Spawn { thread: id });
+        Ok(id)
+    }
+
+    fn charge_kernel(&mut self, cycles: u64) {
+        self.machine.charge(cycles);
+        self.stats.kernel_cycles += cycles;
+    }
+
+    /// The PC check and rollback applied when a thread is suspended (or
+    /// resumed, per [`CheckTime`]). Shared by every suspension site.
+    fn apply_strategy_check(&mut self, tid: ThreadId) {
+        // The i860 restart bit is hardware state, inspected on every
+        // transfer out of the kernel regardless of strategy; it can only
+        // be set under the HardwareBit strategy's guest code.
+        if let Some(restart) = self.machine.atomic_restart_pc() {
+            let from = self.threads[tid.0 as usize].regs.pc();
+            self.threads[tid.0 as usize].regs.set_pc(restart);
+            self.machine.clear_atomic_bit();
+            self.stats.ras_restarts += 1;
+            self.stats.ras_checks += 1;
+            self.record(Event::Restart { thread: tid, from, to: restart });
+            return;
+        }
+        let pc = self.threads[tid.0 as usize].regs.pc();
+        let cost = *self.machine.profile().cost();
+        let (rollback, cycles) = self.strategy.check(&self.program, pc, &cost, &mut self.stats);
+        self.charge_kernel(cycles);
+        if let Some(start) = rollback {
+            self.threads[tid.0 as usize].regs.set_pc(start);
+            self.record(Event::Restart { thread: tid, from: pc, to: start });
+        }
+    }
+
+    /// Bookkeeping common to every involuntary or voluntary suspension.
+    fn suspend(&mut self, tid: ThreadId) {
+        self.stats.suspensions += 1;
+        if self.check_time == CheckTime::OnSuspend {
+            self.apply_strategy_check(tid);
+        } else {
+            // Check deferred to resume; remember that one is owed. The
+            // hardware bit still must be captured now, before another
+            // thread runs.
+            if let Some(restart) = self.machine.atomic_restart_pc() {
+                let from = self.threads[tid.0 as usize].regs.pc();
+                self.threads[tid.0 as usize].regs.set_pc(restart);
+                self.machine.clear_atomic_bit();
+                self.stats.ras_restarts += 1;
+                self.stats.ras_checks += 1;
+                self.record(Event::Restart { thread: tid, from, to: restart });
+            }
+        }
+        if matches!(self.strategy, Strategy::UserLevel { .. }) {
+            self.threads[tid.0 as usize].needs_user_restart = true;
+        }
+    }
+
+    fn dispatch(&mut self, tid: ThreadId) {
+        if self.last_running != Some(tid) {
+            self.stats.context_switches += 1;
+            let cs = u64::from(self.machine.profile().cost().context_switch);
+            self.charge_kernel(cs);
+        }
+        if self.check_time == CheckTime::OnResume {
+            self.apply_strategy_check(tid);
+        }
+        if let Strategy::UserLevel {
+            recovery_pc,
+            recovery_len,
+        } = self.strategy
+        {
+            if self.threads[tid.0 as usize].needs_user_restart {
+                self.threads[tid.0 as usize].needs_user_restart = false;
+                let pc = self.threads[tid.0 as usize].regs.pc();
+                // Never redirect a thread that is already executing the
+                // recovery routine: it resumes where it left off, with its
+                // saved frame still on the stack. Without this check, a
+                // quantum shorter than the routine cascades redirects and
+                // overflows the user stack.
+                if pc < recovery_pc || pc >= recovery_pc + recovery_len {
+                    let dispatch_cost =
+                        u64::from(self.machine.profile().cost().user_restart_dispatch);
+                    self.charge_kernel(dispatch_cost);
+                    self.stats.user_restart_redirects += 1;
+                    self.record(Event::UserRedirect { thread: tid });
+                    let tcb = &mut self.threads[tid.0 as usize];
+                    let sp = tcb.regs.get(Reg::SP).wrapping_sub(4);
+                    tcb.regs.set(Reg::SP, sp);
+                    tcb.regs.set_pc(recovery_pc);
+                    if self.machine.mem_mut().store_kernel(sp, pc).is_err() {
+                        // Guest stack overflow: surface it as a fault
+                        // rather than corrupting state.
+                        self.pending_fault = Some((tid, Fault::BadMemory { addr: sp, pc }));
+                    }
+                }
+            }
+        }
+        self.threads[tid.0 as usize].state = ThreadState::Running;
+        self.current = Some(tid);
+        self.last_running = Some(tid);
+        self.record(Event::Dispatch { thread: tid });
+        // The timer slice starts when the thread reaches user level, so a
+        // quantum buys actual user execution even when kernel overhead
+        // (context switch, checks) exceeds it.
+        self.slice_deadline = self.policy.next_tick(self.machine.clock());
+    }
+
+    fn timer_preempt(&mut self, tid: ThreadId) {
+        self.stats.preemptions += 1;
+        self.record(Event::Preempt { thread: tid });
+        self.suspend(tid);
+        self.threads[tid.0 as usize].state = ThreadState::Ready;
+        self.ready.push_back(tid);
+        self.current = None;
+    }
+
+    fn handle_page_fault(&mut self, tid: ThreadId, addr: DataAddr) {
+        self.stats.page_faults += 1;
+        self.record(Event::PageFault { thread: tid, addr });
+        let service = u64::from(self.machine.profile().cost().page_fault_service);
+        self.charge_kernel(service);
+        let page = self.machine.mem_mut().make_resident(addr);
+        self.page_fifo.push_back(page);
+        if self.max_resident > 0 && self.page_fifo.len() > self.max_resident {
+            let victim = self.page_fifo.pop_front().expect("nonempty");
+            self.machine.mem_mut().evict_page(victim);
+            self.stats.page_evictions += 1;
+        }
+        // The fault suspended the thread mid-instruction; the PC still
+        // addresses the faulting instruction. If that lies inside a
+        // restartable sequence the whole sequence re-executes — this is
+        // the "page fault" row of the event ordering discussed in §4.2.
+        self.suspend(tid);
+        self.threads[tid.0 as usize].state = ThreadState::Ready;
+        self.ready.push_back(tid);
+        self.current = None;
+    }
+
+    // --- syscalls -----------------------------------------------------------
+
+    fn handle_syscall(&mut self, tid: ThreadId) {
+        self.stats.syscalls += 1;
+        let trap = u64::from(self.machine.profile().cost().syscall_trap);
+        self.charge_kernel(trap);
+        let (num, a0, a1) = {
+            let regs = &self.threads[tid.0 as usize].regs;
+            (regs.get(Reg::V0), regs.get(Reg::A0), regs.get(Reg::A1))
+        };
+        match num {
+            abi::SYS_EXIT => {
+                self.record(Event::Exit { thread: tid });
+                self.threads[tid.0 as usize].state = ThreadState::Exited;
+                self.live -= 1;
+                self.current = None;
+                if let Some(joiners) = self.join_waiters.remove(&tid) {
+                    for j in joiners {
+                        self.threads[j.0 as usize].state = ThreadState::Ready;
+                        self.ready.push_back(j);
+                        self.stats.wakeups += 1;
+                        self.record(Event::Wake { thread: j });
+                    }
+                }
+            }
+            abi::SYS_YIELD => {
+                self.stats.yields += 1;
+                self.record(Event::Yield { thread: tid });
+                self.suspend(tid);
+                self.threads[tid.0 as usize].state = ThreadState::Ready;
+                self.ready.push_back(tid);
+                self.current = None;
+            }
+            abi::SYS_SPAWN => {
+                let result = match self.spawn_thread(a0, a1) {
+                    Ok(id) => id.0,
+                    Err(()) => abi::ERR_NOMEM,
+                };
+                self.threads[tid.0 as usize].regs.set(Reg::V0, result);
+            }
+            abi::SYS_TAS => {
+                self.stats.emulation_traps += 1;
+                self.record(Event::EmulatedTas { thread: tid, addr: a0 });
+                let body = u64::from(self.machine.profile().cost().kernel_emul_body);
+                self.charge_kernel(body);
+                // Interrupts are disabled in the kernel, so the
+                // read-modify-write below is atomic by construction (§2.3).
+                let old = self.machine.mem().load_kernel(a0).unwrap_or(0);
+                let _ = self.machine.mem_mut().store_kernel(a0, 1);
+                self.threads[tid.0 as usize].regs.set(Reg::V0, old);
+            }
+            abi::SYS_RAS_REGISTER => {
+                let result = match &mut self.strategy {
+                    Strategy::Registered { range } => {
+                        // One sequence per address space (§3.1); a new
+                        // registration replaces the old.
+                        *range = Some((a0, a1));
+                        self.stats.registrations += 1;
+                        0
+                    }
+                    _ => {
+                        self.stats.registrations_refused += 1;
+                        abi::ERR_UNSUPPORTED
+                    }
+                };
+                self.threads[tid.0 as usize].regs.set(Reg::V0, result);
+            }
+            abi::SYS_WAIT => {
+                let val = self.machine.mem().load_kernel(a0).unwrap_or(!a1);
+                if val == a1 {
+                    self.stats.blocks += 1;
+                    self.record(Event::Block { thread: tid });
+                    self.threads[tid.0 as usize].regs.set(Reg::V0, 0);
+                    self.suspend(tid);
+                    self.threads[tid.0 as usize].state = ThreadState::Blocked { addr: a0 };
+                    self.waiters.entry(a0).or_default().push_back(tid);
+                    self.current = None;
+                } else {
+                    self.threads[tid.0 as usize].regs.set(Reg::V0, 1);
+                }
+            }
+            abi::SYS_WAKE => {
+                let mut to_wake = Vec::new();
+                if let Some(queue) = self.waiters.get_mut(&a0) {
+                    while (to_wake.len() as u32) < a1 {
+                        let Some(w) = queue.pop_front() else { break };
+                        to_wake.push(w);
+                    }
+                }
+                let woken = to_wake.len() as u32;
+                for w in to_wake {
+                    self.threads[w.0 as usize].state = ThreadState::Ready;
+                    self.ready.push_back(w);
+                    self.stats.wakeups += 1;
+                    self.record(Event::Wake { thread: w });
+                }
+                self.threads[tid.0 as usize].regs.set(Reg::V0, woken);
+            }
+            abi::SYS_CLOCK => {
+                let now = self.machine.clock() as u32;
+                self.threads[tid.0 as usize].regs.set(Reg::V0, now);
+            }
+            abi::SYS_PRINT => {
+                self.output.push(a0);
+            }
+            abi::SYS_SLEEP => {
+                self.stats.sleeps += 1;
+                let until = self.machine.clock().saturating_add(u64::from(a0));
+                self.record(Event::Sleep { thread: tid, until });
+                self.threads[tid.0 as usize].regs.set(Reg::V0, 0);
+                self.suspend(tid);
+                self.threads[tid.0 as usize].state = ThreadState::Sleeping { until };
+                self.sleepers.push(std::cmp::Reverse((until, tid)));
+                self.stats.blocks += 1;
+                self.current = None;
+            }
+            abi::SYS_JOIN => {
+                let target = ThreadId(a0);
+                let result = match self.threads.get(a0 as usize) {
+                    None => Some(abi::ERR_NO_THREAD),
+                    Some(t) if t.is_exited() => Some(0),
+                    Some(_) => None,
+                };
+                match result {
+                    Some(v) => self.threads[tid.0 as usize].regs.set(Reg::V0, v),
+                    None => {
+                        self.stats.blocks += 1;
+                        self.record(Event::Block { thread: tid });
+                        self.threads[tid.0 as usize].regs.set(Reg::V0, 0);
+                        self.suspend(tid);
+                        self.threads[tid.0 as usize].state =
+                            ThreadState::Joining { target };
+                        self.join_waiters.entry(target).or_default().push(tid);
+                        self.current = None;
+                    }
+                }
+            }
+            _ => {
+                self.threads[tid.0 as usize]
+                    .regs
+                    .set(Reg::V0, abi::ERR_UNSUPPORTED);
+            }
+        }
+        // Interrupts were disabled during the trap; a timer tick that
+        // landed in the meantime is delivered on the way back to user
+        // level. This is exactly the §5.3 effect: under kernel emulation a
+        // preemption can land immediately after a Test-And-Set trap, while
+        // the lock is held, inflating the critical section.
+        if self.current == Some(tid) && self.machine.clock() >= self.slice_deadline {
+            self.timer_preempt(tid);
+        }
+    }
+
+    // --- main loop -----------------------------------------------------------
+
+    /// Runs the system for at most `fuel` cycles.
+    ///
+    /// Returns [`Outcome::OutOfFuel`] if the budget runs out; the kernel is
+    /// left in a consistent state and `run` may be called again.
+    pub fn run(&mut self, fuel: u64) -> Outcome {
+        let limit = self.machine.clock().saturating_add(fuel);
+        loop {
+            if let Some((thread, fault)) = self.pending_fault.take() {
+                return Outcome::Fault { thread, fault };
+            }
+            // Deliver due wake-ups from the sleep queue.
+            while let Some(&std::cmp::Reverse((until, tid))) = self.sleepers.peek() {
+                if until > self.machine.clock() {
+                    break;
+                }
+                self.sleepers.pop();
+                if matches!(self.threads[tid.0 as usize].state, ThreadState::Sleeping { .. }) {
+                    self.threads[tid.0 as usize].state = ThreadState::Ready;
+                    self.ready.push_back(tid);
+                    self.stats.wakeups += 1;
+                    self.record(Event::Wake { thread: tid });
+                }
+            }
+            let tid = match self.current {
+                Some(t) => t,
+                None => {
+                    let Some(next) = self.ready.pop_front() else {
+                        if self.live == 0 {
+                            return Outcome::Completed;
+                        }
+                        // Nothing runnable: if threads are sleeping, the
+                        // processor idles until the earliest wake-up.
+                        if let Some(&std::cmp::Reverse((until, _))) = self.sleepers.peek() {
+                            let now = self.machine.clock();
+                            if until > now {
+                                self.machine.charge(until - now);
+                                self.stats.idle_cycles += until - now;
+                            }
+                            continue;
+                        }
+                        let blocked = self
+                            .threads
+                            .iter()
+                            .filter(|t| {
+                                matches!(
+                                    t.state,
+                                    ThreadState::Blocked { .. } | ThreadState::Joining { .. }
+                                )
+                            })
+                            .map(|t| t.id)
+                            .collect();
+                        return Outcome::Deadlock { blocked };
+                    };
+                    self.dispatch(next);
+                    next
+                }
+            };
+            if self.machine.clock() >= limit {
+                return Outcome::OutOfFuel;
+            }
+            let deadline = self.slice_deadline.min(limit);
+            let exit = {
+                let Kernel {
+                    machine,
+                    program,
+                    threads,
+                    ..
+                } = self;
+                let before = machine.clock();
+                let exit = machine.run(program, &mut threads[tid.0 as usize].regs, deadline);
+                threads[tid.0 as usize].user_cycles += machine.clock() - before;
+                exit
+            };
+            match exit {
+                Exit::Budget => {
+                    if self.machine.clock() >= limit && limit < self.slice_deadline {
+                        return Outcome::OutOfFuel;
+                    }
+                    self.timer_preempt(tid);
+                }
+                Exit::Syscall => self.handle_syscall(tid),
+                Exit::Halt => return Outcome::Halted,
+                Exit::Fault(Fault::PageFault { addr, .. }) => self.handle_page_fault(tid, addr),
+                Exit::Fault(fault) => {
+                    return Outcome::Fault { thread: tid, fault };
+                }
+            }
+        }
+    }
+}

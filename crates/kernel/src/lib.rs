@@ -1,0 +1,30 @@
+//! The simulated uniprocessor kernel: threads, preemptive round-robin
+//! scheduling, futex-style wait queues, demand paging, system calls — and
+//! the restartable-atomic-sequence machinery of *Fast Mutual Exclusion for
+//! Uniprocessors* (Bershad, Redell & Ellis, ASPLOS 1992).
+//!
+//! The kernel supports five atomicity strategies (see [`StrategyKind`]):
+//! none, Mach-style explicit registration, Taos-style designated sequences,
+//! user-level detection and restart, and the i860 hardware restart bit. It
+//! also always offers kernel-emulated Test-And-Set via
+//! [`ras_isa::abi::SYS_TAS`], the paper's pessimistic baseline.
+//!
+//! Everything is deterministic given the configuration: same program, same
+//! quantum, same seed — same cycle-exact execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod sched;
+mod stats;
+mod strategy;
+mod tcb;
+mod timeline;
+
+pub use crate::kernel::{BootError, Kernel, KernelConfig, Outcome};
+pub use crate::sched::PreemptionPolicy;
+pub use crate::stats::KernelStats;
+pub use crate::strategy::{CheckTime, DesignatedSet, SequenceTemplate, Strategy, StrategyKind};
+pub use crate::tcb::{Tcb, ThreadId, ThreadState};
+pub use crate::timeline::{Event, TimedEvent};

@@ -1,0 +1,105 @@
+use std::fmt;
+
+/// Event counters maintained by the kernel.
+///
+/// These are the quantities Table 3 of the paper reports per application:
+/// emulation traps, restartable-sequence restarts, and thread suspensions —
+/// plus finer-grained counters used by the ablation benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Timer-driven involuntary preemptions of a running thread.
+    pub preemptions: u64,
+    /// Voluntary processor relinquishments (`yield`).
+    pub yields: u64,
+    /// Threads blocked on a wait queue (futex wait or join).
+    pub blocks: u64,
+    /// Threads moved from blocked to ready.
+    pub wakeups: u64,
+    /// Page faults serviced.
+    pub page_faults: u64,
+    /// Pages evicted by the FIFO policy.
+    pub page_evictions: u64,
+    /// Total thread suspensions: preemptions + yields + blocks + faults.
+    /// This is the "Thread Suspensions" column of Table 3 — every one of
+    /// these paid the strategy's PC-check cost.
+    pub suspensions: u64,
+    /// Context switches (dispatches that changed the running thread).
+    pub context_switches: u64,
+    /// All system calls handled.
+    pub syscalls: u64,
+    /// Kernel-emulated atomic operations (`SYS_TAS`) — the "Emulation
+    /// Traps" column of Table 3.
+    pub emulation_traps: u64,
+    /// PC checks performed at suspension or resume.
+    pub ras_checks: u64,
+    /// Sequences actually rolled back — the "Restarts" column of Table 3.
+    pub ras_restarts: u64,
+    /// Designated-sequence stage-1 probes that passed (eligible opcode).
+    pub designated_stage1_hits: u64,
+    /// Stage-2 checks that rejected a lookalike (false alarms, §3.2).
+    pub designated_false_alarms: u64,
+    /// Successful explicit registrations.
+    pub registrations: u64,
+    /// Registration attempts rejected because the kernel lacks support.
+    pub registrations_refused: u64,
+    /// Threads redirected through the user-level recovery routine (§4.1).
+    pub user_restart_redirects: u64,
+    /// Threads created.
+    pub threads_spawned: u64,
+    /// Cycles spent in kernel paths (traps, checks, switches, emulation).
+    pub kernel_cycles: u64,
+    /// Cycles the processor sat idle with every thread blocked or asleep.
+    pub idle_cycles: u64,
+    /// `SYS_SLEEP` calls handled.
+    pub sleeps: u64,
+}
+
+impl KernelStats {
+    /// Creates zeroed counters.
+    pub fn new() -> KernelStats {
+        KernelStats::default()
+    }
+}
+
+impl fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel statistics:")?;
+        writeln!(f, "  suspensions        {:>10}", self.suspensions)?;
+        writeln!(f, "    preemptions      {:>10}", self.preemptions)?;
+        writeln!(f, "    yields           {:>10}", self.yields)?;
+        writeln!(f, "    blocks           {:>10}", self.blocks)?;
+        writeln!(f, "    page faults      {:>10}", self.page_faults)?;
+        writeln!(f, "  context switches   {:>10}", self.context_switches)?;
+        writeln!(f, "  syscalls           {:>10}", self.syscalls)?;
+        writeln!(f, "  emulation traps    {:>10}", self.emulation_traps)?;
+        writeln!(f, "  ras checks         {:>10}", self.ras_checks)?;
+        writeln!(f, "  ras restarts       {:>10}", self.ras_restarts)?;
+        writeln!(f, "  stage-1 hits       {:>10}", self.designated_stage1_hits)?;
+        writeln!(f, "  false alarms       {:>10}", self.designated_false_alarms)?;
+        writeln!(f, "  threads spawned    {:>10}", self.threads_spawned)?;
+        write!(f, "  kernel cycles      {:>10}", self.kernel_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = KernelStats::new();
+        assert_eq!(s.preemptions, 0);
+        assert_eq!(s.suspensions, 0);
+        assert_eq!(s, KernelStats::default());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_key_counters() {
+        let mut s = KernelStats::new();
+        s.emulation_traps = 42;
+        let text = s.to_string();
+        assert!(text.contains("emulation traps"));
+        assert!(text.contains("42"));
+        assert!(text.contains("ras restarts"));
+    }
+}

@@ -1,0 +1,532 @@
+//! The atomicity strategies: how the kernel detects and repairs a thread
+//! suspended inside a restartable atomic sequence.
+//!
+//! Three in-kernel strategies are implemented, matching §3 and §4 of the
+//! paper, plus the i860 hardware bit of §7:
+//!
+//! * [`StrategyKind::Registered`] — Mach 3.0's explicit registration: one
+//!   `(start, len)` PC range per address space, checked against the
+//!   suspended PC.
+//! * [`StrategyKind::Designated`] — Taos's designated sequences: a
+//!   two-stage check (opcode table, then landmark at the expected offset)
+//!   over the suspended instruction stream, allowing inlined sequences.
+//! * [`StrategyKind::UserLevel`] — detection at user level (§4.1): the
+//!   kernel redirects a resumed thread through a fixed guest recovery
+//!   routine which performs its own PC check and rollback.
+//! * [`StrategyKind::HardwareBit`] — the i860's processor-status bit: the
+//!   kernel backs the thread up to the `begin_atomic` instruction if the
+//!   bit is set at suspension.
+
+use ras_isa::{CodeAddr, Opcode, Program};
+
+use crate::KernelStats;
+
+/// When the kernel performs the PC check (§4.1 of the paper).
+///
+/// Mach checks when the thread is suspended (the return PC is conveniently
+/// at hand); Taos checks when it is about to be resumed (fewer restrictions
+/// on faults when coming out of a context switch). On this simulator both
+/// give identical results because a suspended thread cannot run in between;
+/// only the accounting point differs — which the `ablations` benchmark
+/// measures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum CheckTime {
+    /// Check as the thread is suspended (Mach).
+    #[default]
+    OnSuspend,
+    /// Check as the thread is resumed (Taos).
+    OnResume,
+}
+
+/// Which atomicity strategy the kernel runs.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// No recovery: naive read-modify-write sequences are demonstrably
+    /// unsafe under preemption (used to validate that the simulator really
+    /// interleaves).
+    #[default]
+    None,
+    /// Explicit registration (Mach 3.0, §3.1).
+    Registered,
+    /// Designated sequences (Taos, §3.2).
+    Designated,
+    /// User-level detection and restart (§4.1): on resume after an
+    /// involuntary suspension, the thread re-enters at `recovery_pc` with
+    /// the interrupted PC pushed on its stack. The kernel must know the
+    /// routine's extent so it never redirects a thread that is *already
+    /// inside* the recovery code — without that check, a quantum shorter
+    /// than the routine produces cascading redirects that grow the user
+    /// stack without bound (the recursion hazard §4.2 warns about, in
+    /// user-level form).
+    UserLevel {
+        /// Entry point of the guest recovery routine.
+        recovery_pc: CodeAddr,
+        /// Length of the routine in instructions.
+        recovery_len: u32,
+    },
+    /// i860-style hardware restart bit (§7).
+    HardwareBit,
+}
+
+/// One designated-sequence shape: the opcode skeleton the compiler emits,
+/// with the landmark's position within it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequenceTemplate {
+    /// Human-readable name (for traces and tests).
+    pub name: &'static str,
+    /// The opcode pattern, first instruction to last.
+    pub pattern: Vec<Opcode>,
+    /// Index of the landmark no-op within `pattern`.
+    pub landmark: usize,
+}
+
+impl SequenceTemplate {
+    fn validate(&self) {
+        assert!(
+            self.pattern.get(self.landmark) == Some(&Opcode::Landmark),
+            "template `{}` landmark index does not point at a landmark",
+            self.name
+        );
+        assert!(
+            matches!(self.pattern.last(), Some(&Opcode::Sw)),
+            "template `{}` must end in its committing store",
+            self.name
+        );
+    }
+}
+
+/// The set of designated-sequence templates the kernel recognizes, with the
+/// two-stage lookup tables of §3.2.
+#[derive(Clone, Debug)]
+pub struct DesignatedSet {
+    templates: Vec<SequenceTemplate>,
+    /// Stage 1: for each opcode, whether it may appear in any template.
+    eligible: [bool; Opcode::COUNT],
+    /// Stage 2 index: for each opcode, the `(template, position)` pairs at
+    /// which it appears.
+    occurrences: Vec<Vec<(usize, usize)>>,
+}
+
+impl DesignatedSet {
+    /// Builds a set from templates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a template's landmark index does not point at a landmark
+    /// opcode or the template does not end in a store.
+    pub fn new(templates: Vec<SequenceTemplate>) -> DesignatedSet {
+        let mut eligible = [false; Opcode::COUNT];
+        let mut occurrences = vec![Vec::new(); Opcode::COUNT];
+        for (ti, t) in templates.iter().enumerate() {
+            t.validate();
+            for (pi, op) in t.pattern.iter().enumerate() {
+                eligible[op.index()] = true;
+                occurrences[op.index()].push((ti, pi));
+            }
+        }
+        DesignatedSet {
+            templates,
+            eligible,
+            occurrences,
+        }
+    }
+
+    /// The standard shapes emitted by the `ras-guest` code generators:
+    ///
+    /// * `tas` — Figure 5's five-instruction Test-And-Set:
+    ///   `lw; li; bne; landmark; sw`.
+    /// * `cas` — compare-and-swap: `lw; bne; landmark; sw`.
+    /// * `xchg` — exchange: `lw; landmark; sw`.
+    /// * `faa` — fetch-and-add: `lw; addi; landmark; sw`.
+    pub fn standard() -> DesignatedSet {
+        DesignatedSet::new(vec![
+            SequenceTemplate {
+                name: "tas",
+                pattern: vec![
+                    Opcode::Lw,
+                    Opcode::Li,
+                    Opcode::Branch,
+                    Opcode::Landmark,
+                    Opcode::Sw,
+                ],
+                landmark: 3,
+            },
+            SequenceTemplate {
+                name: "cas",
+                pattern: vec![Opcode::Lw, Opcode::Branch, Opcode::Landmark, Opcode::Sw],
+                landmark: 2,
+            },
+            SequenceTemplate {
+                name: "xchg",
+                pattern: vec![Opcode::Lw, Opcode::Landmark, Opcode::Sw],
+                landmark: 1,
+            },
+            SequenceTemplate {
+                name: "faa",
+                pattern: vec![Opcode::Lw, Opcode::AluI, Opcode::Landmark, Opcode::Sw],
+                landmark: 2,
+            },
+        ])
+    }
+
+    /// The registered templates.
+    pub fn templates(&self) -> &[SequenceTemplate] {
+        &self.templates
+    }
+
+    /// Stage 1 of the check: is the suspended opcode eligible to appear in
+    /// any designated sequence? "Quite fast, yet succeeds in rejecting a
+    /// large majority of the non-atomic cases and none of the atomic ones."
+    pub fn stage1(&self, op: Opcode) -> bool {
+        self.eligible[op.index()]
+    }
+
+    /// Stage 2: full landmark-and-shape verification. Returns the restart
+    /// address if `pc` lies strictly inside a designated sequence (i.e. at
+    /// least one instruction of it has already executed), or `None`.
+    ///
+    /// A thread suspended *at* the first instruction has executed nothing
+    /// and needs no rollback; a thread suspended just past the final store
+    /// has completed the sequence. Both return `None`.
+    pub fn stage2(&self, program: &Program, pc: CodeAddr) -> Option<CodeAddr> {
+        let inst = program.fetch(pc)?;
+        for &(ti, pos) in &self.occurrences[inst.opcode().index()] {
+            if pos == 0 {
+                continue; // nothing executed yet; no rollback required
+            }
+            let t = &self.templates[ti];
+            let Some(start) = pc.checked_sub(pos as CodeAddr) else {
+                continue;
+            };
+            let matches_shape = t.pattern.iter().enumerate().all(|(k, want)| {
+                program
+                    .fetch(start + k as CodeAddr)
+                    .is_some_and(|got| got.opcode() == *want)
+            });
+            // The landmark test is what makes the match unambiguous: the
+            // compiler never emits a landmark outside a designated
+            // sequence, so shape + landmark cannot be a false positive.
+            let landmark_ok = program
+                .fetch(start + t.landmark as CodeAddr)
+                .is_some_and(|got| got.opcode() == Opcode::Landmark);
+            if matches_shape && landmark_ok {
+                return Some(start);
+            }
+        }
+        None
+    }
+}
+
+/// Runtime state of the kernel's strategy.
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// See [`StrategyKind::None`].
+    None,
+    /// Explicit registration with the currently registered range.
+    Registered {
+        /// The registered `(start, len)`, if any.
+        range: Option<(CodeAddr, u32)>,
+    },
+    /// Designated sequences with the recognizer tables.
+    Designated {
+        /// Template set.
+        set: DesignatedSet,
+    },
+    /// User-level restart.
+    UserLevel {
+        /// Guest recovery routine entry.
+        recovery_pc: CodeAddr,
+        /// Routine length in instructions.
+        recovery_len: u32,
+    },
+    /// i860 hardware bit.
+    HardwareBit,
+}
+
+impl Strategy {
+    /// Instantiates runtime state for a configured kind.
+    pub fn from_kind(kind: &StrategyKind) -> Strategy {
+        match kind {
+            StrategyKind::None => Strategy::None,
+            StrategyKind::Registered => Strategy::Registered { range: None },
+            StrategyKind::Designated => Strategy::Designated {
+                set: DesignatedSet::standard(),
+            },
+            StrategyKind::UserLevel {
+                recovery_pc,
+                recovery_len,
+            } => Strategy::UserLevel {
+                recovery_pc: *recovery_pc,
+                recovery_len: *recovery_len,
+            },
+            StrategyKind::HardwareBit => Strategy::HardwareBit,
+        }
+    }
+
+    /// Performs the in-kernel PC check for a suspended thread and returns
+    /// the rolled-back PC if a restart is required. Charges check costs to
+    /// `kernel_cycles` via the returned cycle count and updates `stats`
+    /// counters; the caller adds the cycles to the machine clock.
+    ///
+    /// The user-level strategy performs no in-kernel check (that is its
+    /// point); redirection is handled by the kernel's dispatch path.
+    pub fn check(
+        &self,
+        program: &Program,
+        pc: CodeAddr,
+        cost: &ras_machine::CostModel,
+        stats: &mut KernelStats,
+    ) -> (Option<CodeAddr>, u64) {
+        match self {
+            Strategy::None | Strategy::UserLevel { .. } | Strategy::HardwareBit => (None, 0),
+            Strategy::Registered { range } => {
+                stats.ras_checks += 1;
+                let cycles = u64::from(cost.ras_check_registered);
+                let rollback = range.and_then(|(start, len)| {
+                    (pc > start && pc < start + len).then_some(start)
+                });
+                if rollback.is_some() {
+                    stats.ras_restarts += 1;
+                }
+                (rollback, cycles)
+            }
+            Strategy::Designated { set } => {
+                stats.ras_checks += 1;
+                let mut cycles = u64::from(cost.designated_stage1);
+                let Some(inst) = program.fetch(pc) else {
+                    return (None, cycles);
+                };
+                if !set.stage1(inst.opcode()) {
+                    return (None, cycles);
+                }
+                stats.designated_stage1_hits += 1;
+                cycles += u64::from(cost.designated_stage2);
+                match set.stage2(program, pc) {
+                    Some(start) => {
+                        stats.ras_restarts += 1;
+                        (Some(start), cycles)
+                    }
+                    None => {
+                        stats.designated_false_alarms += 1;
+                        (None, cycles)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::{Asm, Reg};
+    use ras_machine::CostModel;
+
+    /// Assembles Figure 5's designated TAS shape at an offset, surrounded
+    /// by unrelated code.
+    fn designated_program() -> (Program, CodeAddr) {
+        let mut asm = Asm::new();
+        asm.li(Reg::T5, 0); // @0 unrelated
+        asm.lw(Reg::T5, Reg::SP, 0); // @1 unrelated load (stage-1 lookalike)
+        let start = asm.here();
+        let out = asm.label();
+        asm.lw(Reg::V0, Reg::A0, 0); // @2 sequence start
+        asm.li(Reg::T0, 1); // @3
+        asm.bnez(Reg::V0, out); // @4
+        asm.landmark(); // @5
+        asm.sw(Reg::T0, Reg::A0, 0); // @6 committing store
+        asm.bind(out);
+        asm.jr(Reg::RA); // @7
+        (asm.finish().unwrap(), start)
+    }
+
+    #[test]
+    fn standard_set_has_four_templates() {
+        let set = DesignatedSet::standard();
+        assert_eq!(set.templates().len(), 4);
+        assert!(set.stage1(Opcode::Lw));
+        assert!(set.stage1(Opcode::Landmark));
+        assert!(!set.stage1(Opcode::Syscall));
+        assert!(!set.stage1(Opcode::Jal));
+    }
+
+    #[test]
+    fn stage2_restarts_interior_suspensions_only() {
+        let (program, start) = designated_program();
+        let set = DesignatedSet::standard();
+        // At the first instruction: nothing executed, no rollback.
+        assert_eq!(set.stage2(&program, start), None);
+        // Inside: every interior point rolls back to the start.
+        for pc in start + 1..start + 5 {
+            assert_eq!(set.stage2(&program, pc), Some(start), "pc={pc}");
+        }
+        // Past the store: complete, no rollback.
+        assert_eq!(set.stage2(&program, start + 5), None);
+    }
+
+    #[test]
+    fn stage2_rejects_lookalikes_without_landmark() {
+        // lw; li; bne; nop; sw — same shape but an ordinary nop where the
+        // landmark should be. The kernel must NOT touch this thread's PC:
+        // "mistakenly changing the PC ... could cause code to malfunction".
+        let mut asm = Asm::new();
+        let out = asm.label();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.li(Reg::T0, 1);
+        asm.bnez(Reg::V0, out);
+        asm.nop();
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.bind(out);
+        asm.jr(Reg::RA);
+        let program = asm.finish().unwrap();
+        let set = DesignatedSet::standard();
+        for pc in 0..5 {
+            assert_eq!(set.stage2(&program, pc), None, "pc={pc}");
+        }
+    }
+
+    #[test]
+    fn stage2_recognizes_all_standard_shapes() {
+        let set = DesignatedSet::standard();
+        // xchg: lw; landmark; sw
+        let mut asm = Asm::new();
+        asm.nop();
+        let s = asm.here();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.landmark();
+        asm.sw(Reg::A1, Reg::A0, 0);
+        asm.jr(Reg::RA);
+        let p = asm.finish().unwrap();
+        assert_eq!(set.stage2(&p, s + 1), Some(s));
+        assert_eq!(set.stage2(&p, s + 2), Some(s));
+
+        // faa: lw; addi; landmark; sw
+        let mut asm = Asm::new();
+        let s = asm.here();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.addi(Reg::V0, Reg::V0, 1);
+        asm.landmark();
+        asm.sw(Reg::V0, Reg::A0, 0);
+        asm.jr(Reg::RA);
+        let p = asm.finish().unwrap();
+        for pc in s + 1..=s + 3 {
+            assert_eq!(set.stage2(&p, pc), Some(s), "pc={pc}");
+        }
+
+        // cas: lw; bne out; landmark; sw
+        let mut asm = Asm::new();
+        let out = asm.label();
+        let s = asm.here();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.bne(Reg::V0, Reg::A1, out);
+        asm.landmark();
+        asm.sw(Reg::A2, Reg::A0, 0);
+        asm.bind(out);
+        asm.jr(Reg::RA);
+        let p = asm.finish().unwrap();
+        for pc in s + 1..=s + 3 {
+            assert_eq!(set.stage2(&p, pc), Some(s), "pc={pc}");
+        }
+    }
+
+    #[test]
+    fn registered_strategy_checks_range() {
+        let (program, start) = designated_program();
+        let mut stats = KernelStats::new();
+        let cost = CostModel::default();
+        let strat = Strategy::Registered {
+            range: Some((start, 5)),
+        };
+        // Interior points restart.
+        let (r, cycles) = strat.check(&program, start + 2, &cost, &mut stats);
+        assert_eq!(r, Some(start));
+        assert_eq!(cycles, u64::from(cost.ras_check_registered));
+        // The first instruction needs no rollback.
+        let (r, _) = strat.check(&program, start, &cost, &mut stats);
+        assert_eq!(r, None);
+        // One past the end is complete.
+        let (r, _) = strat.check(&program, start + 5, &cost, &mut stats);
+        assert_eq!(r, None);
+        assert_eq!(stats.ras_checks, 3);
+        assert_eq!(stats.ras_restarts, 1);
+    }
+
+    #[test]
+    fn designated_strategy_counts_false_alarms() {
+        let (program, start) = designated_program();
+        let mut stats = KernelStats::new();
+        let cost = CostModel::default();
+        let strat = Strategy::Designated {
+            set: DesignatedSet::standard(),
+        };
+        // The unrelated lw at @1 passes stage 1 but fails stage 2.
+        let (r, cycles) = strat.check(&program, 1, &cost, &mut stats);
+        assert_eq!(r, None);
+        assert_eq!(stats.designated_stage1_hits, 1);
+        assert_eq!(stats.designated_false_alarms, 1);
+        assert_eq!(
+            cycles,
+            u64::from(cost.designated_stage1) + u64::from(cost.designated_stage2)
+        );
+        // An interior suspension restarts.
+        let (r, _) = strat.check(&program, start + 3, &cost, &mut stats);
+        assert_eq!(r, Some(start));
+        assert_eq!(stats.ras_restarts, 1);
+        // A completely ineligible opcode is rejected by stage 1 alone.
+        let (r, cycles) = strat.check(&program, 7, &cost, &mut stats);
+        assert_eq!(r, None);
+        assert_eq!(cycles, u64::from(cost.designated_stage1));
+        assert_eq!(stats.designated_false_alarms, 1, "no stage-2 entry");
+    }
+
+    #[test]
+    fn none_and_user_level_do_no_kernel_check() {
+        let (program, start) = designated_program();
+        let mut stats = KernelStats::new();
+        let cost = CostModel::default();
+        for strat in [
+            Strategy::None,
+            Strategy::UserLevel { recovery_pc: 0, recovery_len: 4 },
+            Strategy::HardwareBit,
+        ] {
+            let (r, cycles) = strat.check(&program, start + 2, &cost, &mut stats);
+            assert_eq!(r, None);
+            assert_eq!(cycles, 0);
+        }
+        assert_eq!(stats.ras_checks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "landmark index")]
+    fn template_validation_rejects_bad_landmark() {
+        DesignatedSet::new(vec![SequenceTemplate {
+            name: "bad",
+            pattern: vec![Opcode::Lw, Opcode::Sw],
+            landmark: 0,
+        }]);
+    }
+
+    #[test]
+    fn from_kind_constructs_matching_variants() {
+        assert!(matches!(
+            Strategy::from_kind(&StrategyKind::None),
+            Strategy::None
+        ));
+        assert!(matches!(
+            Strategy::from_kind(&StrategyKind::Registered),
+            Strategy::Registered { range: None }
+        ));
+        assert!(matches!(
+            Strategy::from_kind(&StrategyKind::Designated),
+            Strategy::Designated { .. }
+        ));
+        assert!(matches!(
+            Strategy::from_kind(&StrategyKind::UserLevel { recovery_pc: 9, recovery_len: 7 }),
+            Strategy::UserLevel { recovery_pc: 9, recovery_len: 7 }
+        ));
+        assert!(matches!(
+            Strategy::from_kind(&StrategyKind::HardwareBit),
+            Strategy::HardwareBit
+        ));
+    }
+}

@@ -1,0 +1,121 @@
+use std::fmt;
+
+use ras_isa::DataAddr;
+use ras_machine::RegFile;
+
+/// Identifier of a simulated thread, dense from zero.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The id as a plain integer (as delivered to guest code in `$v0`).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Scheduling state of a thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// On the run queue.
+    Ready,
+    /// Currently executing on the (one) processor.
+    Running,
+    /// Blocked in a futex-style wait on a data address.
+    Blocked {
+        /// The address the thread is waiting on.
+        addr: DataAddr,
+    },
+    /// Blocked joining another thread.
+    Joining {
+        /// The thread being joined.
+        target: ThreadId,
+    },
+    /// Sleeping until the machine clock reaches a deadline.
+    Sleeping {
+        /// Absolute wake-up time in cycles.
+        until: u64,
+    },
+    /// Exited; the TCB is kept for join bookkeeping.
+    Exited,
+}
+
+/// A thread control block: architectural state plus scheduling metadata.
+#[derive(Clone, Debug)]
+pub struct Tcb {
+    /// The thread's id.
+    pub id: ThreadId,
+    /// Saved register state (authoritative whenever the thread is not
+    /// running).
+    pub regs: RegFile,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Initial stack pointer (top of the thread's stack region).
+    pub stack_top: DataAddr,
+    /// Set when the thread was involuntarily suspended and the user-level
+    /// restart strategy must redirect it through the recovery routine on
+    /// its next dispatch (§4.1 of the paper).
+    pub needs_user_restart: bool,
+    /// User-mode cycles this thread has executed.
+    pub user_cycles: u64,
+}
+
+impl Tcb {
+    /// Creates a ready thread with the given register state.
+    pub fn new(id: ThreadId, regs: RegFile, stack_top: DataAddr) -> Tcb {
+        Tcb {
+            id,
+            regs,
+            state: ThreadState::Ready,
+            stack_top,
+            needs_user_restart: false,
+            user_cycles: 0,
+        }
+    }
+
+    /// Whether the thread can be placed on the run queue.
+    pub fn is_ready(&self) -> bool {
+        self.state == ThreadState::Ready
+    }
+
+    /// Whether the thread has exited.
+    pub fn is_exited(&self) -> bool {
+        self.state == ThreadState::Exited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_thread_is_ready() {
+        let t = Tcb::new(ThreadId(3), RegFile::new(7), 4096);
+        assert!(t.is_ready());
+        assert!(!t.is_exited());
+        assert_eq!(t.regs.pc(), 7);
+        assert_eq!(t.stack_top, 4096);
+        assert!(!t.needs_user_restart);
+    }
+
+    #[test]
+    fn thread_id_display_and_raw() {
+        assert_eq!(ThreadId(5).to_string(), "t5");
+        assert_eq!(ThreadId(5).raw(), 5);
+    }
+
+    #[test]
+    fn state_transitions_reflect_in_predicates() {
+        let mut t = Tcb::new(ThreadId(0), RegFile::new(0), 0);
+        t.state = ThreadState::Blocked { addr: 16 };
+        assert!(!t.is_ready());
+        t.state = ThreadState::Exited;
+        assert!(t.is_exited());
+    }
+}

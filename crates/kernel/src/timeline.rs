@@ -1,0 +1,125 @@
+//! An optional event timeline: a timestamped record of every scheduling
+//! and recovery decision the kernel makes, for debugging guest programs
+//! and for tests that assert on *when* things happened, not just how
+//! often.
+
+use ras_isa::{CodeAddr, DataAddr};
+
+use crate::ThreadId;
+
+/// One kernel event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A thread was created.
+    Spawn {
+        /// The new thread.
+        thread: ThreadId,
+    },
+    /// A thread was given the processor.
+    Dispatch {
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// The timer preempted the running thread.
+    Preempt {
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// The thread yielded voluntarily.
+    Yield {
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// The thread blocked on a futex address or a join.
+    Block {
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// A blocked or sleeping thread became ready.
+    Wake {
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// The thread went to sleep until an absolute deadline.
+    Sleep {
+        /// The thread.
+        thread: ThreadId,
+        /// Wake-up time in cycles.
+        until: u64,
+    },
+    /// The thread exited.
+    Exit {
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// A restartable atomic sequence was rolled back.
+    Restart {
+        /// The suspended thread.
+        thread: ThreadId,
+        /// PC at suspension.
+        from: CodeAddr,
+        /// Sequence start it was rolled back to.
+        to: CodeAddr,
+    },
+    /// The thread was redirected through the user-level recovery routine.
+    UserRedirect {
+        /// The thread.
+        thread: ThreadId,
+    },
+    /// A page fault was serviced.
+    PageFault {
+        /// The faulting thread.
+        thread: ThreadId,
+        /// Faulting byte address.
+        addr: DataAddr,
+    },
+    /// A kernel-emulated Test-And-Set trap.
+    EmulatedTas {
+        /// The calling thread.
+        thread: ThreadId,
+        /// The lock word.
+        addr: DataAddr,
+    },
+}
+
+/// An event with the machine clock at which it occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Machine cycles at the event.
+    pub clock: u64,
+    /// What happened.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_compare_and_debug() {
+        let a = TimedEvent {
+            clock: 5,
+            event: Event::Dispatch { thread: ThreadId(1) },
+        };
+        let b = a;
+        assert_eq!(a, b);
+        let text = format!("{a:?}");
+        assert!(text.contains("Dispatch"));
+        assert!(text.contains('5'));
+    }
+
+    #[test]
+    fn restart_event_carries_both_pcs() {
+        let e = Event::Restart {
+            thread: ThreadId(2),
+            from: 14,
+            to: 10,
+        };
+        match e {
+            Event::Restart { from, to, .. } => {
+                assert!(from > to, "rollback goes backwards");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

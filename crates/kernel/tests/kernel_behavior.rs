@@ -1,0 +1,622 @@
+//! End-to-end kernel behavior: scheduling, syscalls, and — most importantly
+//! — the restartable-atomic-sequence strategies under hostile preemption.
+
+use ras_isa::{abi, Asm, DataLayout, Reg};
+use ras_kernel::{CheckTime, Kernel, KernelConfig, Outcome, StrategyKind, ThreadState};
+use ras_machine::{CpuProfile, PagingConfig};
+
+const N: i32 = 400;
+
+fn cfg(strategy: StrategyKind, quantum: u64) -> KernelConfig {
+    let mut c = KernelConfig::new(CpuProfile::r3000(), strategy);
+    c.quantum = quantum;
+    c.jitter = 3;
+    c.seed = 42;
+    c.mem_bytes = 1 << 20;
+    c.stack_bytes = 4096;
+    c
+}
+
+fn exit(asm: &mut Asm) {
+    asm.li(Reg::V0, abi::SYS_EXIT as i32);
+    asm.syscall();
+}
+
+/// Emits: spawn worker at absolute address `entry` with `arg`; child tid
+/// left in `save`.
+fn spawn_at(asm: &mut Asm, entry: u32, arg: i32, save: Reg) {
+    asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+    asm.li(Reg::A0, entry as i32);
+    asm.li(Reg::A1, arg);
+    asm.syscall();
+    asm.alui(ras_isa::AluOp::Or, save, Reg::V0, 0);
+}
+
+fn join(asm: &mut Asm, tid: Reg) {
+    asm.li(Reg::V0, abi::SYS_JOIN as i32);
+    asm.alui(ras_isa::AluOp::Or, Reg::A0, tid, 0);
+    asm.syscall();
+}
+
+/// Builds a program where two workers each do `N` unprotected
+/// fetch-and-add increments of `counter` using the designated `faa` shape
+/// (lw; addi; landmark; sw).
+fn faa_program(counter: u32) -> ras_isa::Program {
+    let mut asm = Asm::new();
+    // Worker sits after main; assemble worker first so its address is known.
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let worker = asm.here();
+    {
+        // a0 = iterations
+        asm.alui(ras_isa::AluOp::Or, Reg::S0, Reg::A0, 0);
+        let top = asm.bind_new();
+        asm.li(Reg::A1, counter as i32);
+        // The designated fetch-and-add sequence.
+        asm.lw(Reg::V0, Reg::A1, 0);
+        asm.addi(Reg::V0, Reg::V0, 1);
+        asm.landmark();
+        asm.sw(Reg::V0, Reg::A1, 0);
+        asm.addi(Reg::S0, Reg::S0, -1);
+        asm.bnez(Reg::S0, top);
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    spawn_at(&mut asm, worker, N, Reg::S1);
+    spawn_at(&mut asm, worker, N, Reg::S2);
+    join(&mut asm, Reg::S1);
+    join(&mut asm, Reg::S2);
+    exit(&mut asm);
+    asm.finish().unwrap()
+}
+
+/// Same increments but with the landmark replaced by a plain nop, so no
+/// strategy can recognize the sequence: the race is naked.
+fn naked_program(counter: u32) -> ras_isa::Program {
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let worker = asm.here();
+    {
+        asm.alui(ras_isa::AluOp::Or, Reg::S0, Reg::A0, 0);
+        let top = asm.bind_new();
+        asm.li(Reg::A1, counter as i32);
+        asm.lw(Reg::V0, Reg::A1, 0);
+        asm.addi(Reg::V0, Reg::V0, 1);
+        asm.nop();
+        asm.sw(Reg::V0, Reg::A1, 0);
+        asm.addi(Reg::S0, Reg::S0, -1);
+        asm.bnez(Reg::S0, top);
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    spawn_at(&mut asm, worker, N, Reg::S1);
+    spawn_at(&mut asm, worker, N, Reg::S2);
+    join(&mut asm, Reg::S1);
+    join(&mut asm, Reg::S2);
+    exit(&mut asm);
+    asm.finish().unwrap()
+}
+
+#[test]
+fn single_thread_completes() {
+    let mut asm = Asm::new();
+    asm.li(Reg::T0, 99);
+    asm.sw(Reg::T0, Reg::ZERO, 0);
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None, 10_000),
+        asm.finish().unwrap(),
+        &DataLayout::new().finish(),
+    )
+    .unwrap();
+    assert_eq!(k.run(1_000_000), Outcome::Completed);
+    assert_eq!(k.read_word(0).unwrap(), 99);
+    assert_eq!(k.stats().threads_spawned, 1);
+}
+
+#[test]
+fn spawn_join_and_print() {
+    let mut data = DataLayout::new();
+    let slot = data.word("slot", 0);
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let worker = asm.here();
+    {
+        // Child stores its argument then prints its own tid from $gp.
+        asm.li(Reg::T0, slot as i32);
+        asm.sw(Reg::A0, Reg::T0, 0);
+        asm.li(Reg::V0, abi::SYS_PRINT as i32);
+        asm.alui(ras_isa::AluOp::Or, Reg::A0, Reg::GP, 0);
+        asm.syscall();
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    spawn_at(&mut asm, worker, 1234, Reg::S1);
+    join(&mut asm, Reg::S1);
+    asm.li(Reg::T1, slot as i32);
+    asm.lw(Reg::T2, Reg::T1, 0);
+    asm.li(Reg::V0, abi::SYS_PRINT as i32);
+    asm.alui(ras_isa::AluOp::Or, Reg::A0, Reg::T2, 0);
+    asm.syscall();
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None, 10_000),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    assert_eq!(k.run(10_000_000), Outcome::Completed);
+    assert_eq!(k.output(), &[1, 1234], "child tid then the stored arg");
+}
+
+#[test]
+fn naked_increments_lose_updates_under_preemption() {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = naked_program(counter);
+    let mut k = Kernel::boot(cfg(StrategyKind::None, 23), program, &data.finish()).unwrap();
+    assert_eq!(k.run(500_000_000), Outcome::Completed);
+    let got = k.read_word(counter).unwrap();
+    assert!(
+        got < 2 * N as u32,
+        "expected lost updates, got full count {got} — the simulator is not interleaving"
+    );
+    assert!(k.stats().preemptions > 0);
+}
+
+#[test]
+fn designated_sequences_repair_the_same_race() {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = faa_program(counter);
+    let mut k = Kernel::boot(cfg(StrategyKind::Designated, 23), program, &data.finish()).unwrap();
+    assert_eq!(k.run(500_000_000), Outcome::Completed);
+    assert_eq!(k.read_word(counter).unwrap(), 2 * N as u32);
+    let stats = k.stats();
+    assert!(stats.ras_restarts > 0, "tiny quantum must force restarts");
+    assert!(stats.ras_checks >= stats.suspensions);
+}
+
+#[test]
+fn designated_check_on_resume_also_repairs() {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = faa_program(counter);
+    let mut config = cfg(StrategyKind::Designated, 23);
+    config.check_time = CheckTime::OnResume;
+    let mut k = Kernel::boot(config, program, &data.finish()).unwrap();
+    assert_eq!(k.run(500_000_000), Outcome::Completed);
+    assert_eq!(k.read_word(counter).unwrap(), 2 * N as u32);
+    assert!(k.stats().ras_restarts > 0);
+}
+
+#[test]
+fn faa_landmark_is_invisible_to_none_strategy() {
+    // The landmark is a plain no-op to a kernel without the strategy: the
+    // race stays broken, proving the recovery (not some accidental
+    // serialization) fixes it.
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = faa_program(counter);
+    let mut k = Kernel::boot(cfg(StrategyKind::None, 23), program, &data.finish()).unwrap();
+    assert_eq!(k.run(500_000_000), Outcome::Completed);
+    assert!(k.read_word(counter).unwrap() < 2 * N as u32);
+}
+
+#[test]
+fn kernel_emulated_tas_protects_a_spinlock() {
+    let mut data = DataLayout::new();
+    let lock = data.word("lock", 0);
+    let counter = data.word("counter", 0);
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let worker = asm.here();
+    {
+        asm.alui(ras_isa::AluOp::Or, Reg::S0, Reg::A0, 0);
+        let top = asm.bind_new();
+        // acquire: loop { if TAS(lock)==0 break; yield }
+        let acquire = asm.bind_new();
+        asm.li(Reg::V0, abi::SYS_TAS as i32);
+        asm.li(Reg::A0, lock as i32);
+        asm.syscall();
+        let got_it = asm.label();
+        asm.beqz(Reg::V0, got_it);
+        asm.li(Reg::V0, abi::SYS_YIELD as i32);
+        asm.syscall();
+        asm.j(acquire);
+        asm.bind(got_it);
+        // critical section: counter++
+        asm.li(Reg::A1, counter as i32);
+        asm.lw(Reg::T0, Reg::A1, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A1, 0);
+        // release: single store of zero is atomic
+        asm.li(Reg::A2, lock as i32);
+        asm.sw(Reg::ZERO, Reg::A2, 0);
+        asm.addi(Reg::S0, Reg::S0, -1);
+        asm.bnez(Reg::S0, top);
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    spawn_at(&mut asm, worker, N, Reg::S1);
+    spawn_at(&mut asm, worker, N, Reg::S2);
+    join(&mut asm, Reg::S1);
+    join(&mut asm, Reg::S2);
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None, 97),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    assert_eq!(k.run(2_000_000_000), Outcome::Completed);
+    assert_eq!(k.read_word(counter).unwrap(), 2 * N as u32);
+    assert!(k.stats().emulation_traps >= 2 * N as u64);
+}
+
+#[test]
+fn registered_sequence_repairs_a_tas_spinlock() {
+    let mut data = DataLayout::new();
+    let lock = data.word("lock", 0);
+    let counter = data.word("counter", 0);
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    // The registered Test-And-Set function (Figure 4): the sequence is the
+    // three instructions lw/li/sw; the jr is outside it.
+    let tas = asm.here();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.li(Reg::T0, 1);
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.jr(Reg::RA);
+    let worker = asm.here();
+    {
+        asm.alui(ras_isa::AluOp::Or, Reg::S0, Reg::A0, 0);
+        let top = asm.bind_new();
+        let acquire = asm.bind_new();
+        asm.li(Reg::A0, lock as i32);
+        asm.jal_to(tas);
+        let got_it = asm.label();
+        asm.beqz(Reg::V0, got_it);
+        asm.li(Reg::V0, abi::SYS_YIELD as i32);
+        asm.syscall();
+        asm.j(acquire);
+        asm.bind(got_it);
+        asm.li(Reg::A1, counter as i32);
+        asm.lw(Reg::T0, Reg::A1, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A1, 0);
+        asm.li(Reg::A2, lock as i32);
+        asm.sw(Reg::ZERO, Reg::A2, 0);
+        asm.addi(Reg::S0, Reg::S0, -1);
+        asm.bnez(Reg::S0, top);
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    // Register the sequence before spawning workers.
+    asm.li(Reg::V0, abi::SYS_RAS_REGISTER as i32);
+    asm.li(Reg::A0, tas as i32);
+    asm.li(Reg::A1, 3);
+    asm.syscall();
+    spawn_at(&mut asm, worker, N, Reg::S1);
+    spawn_at(&mut asm, worker, N, Reg::S2);
+    join(&mut asm, Reg::S1);
+    join(&mut asm, Reg::S2);
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::Registered, 19),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    assert_eq!(k.run(2_000_000_000), Outcome::Completed);
+    assert_eq!(k.read_word(counter).unwrap(), 2 * N as u32);
+    assert_eq!(k.registered_range(), Some((tas, 3)));
+    assert!(k.stats().registrations == 1);
+    assert!(k.stats().ras_restarts > 0);
+}
+
+#[test]
+fn registration_is_refused_without_support() {
+    let mut asm = Asm::new();
+    asm.li(Reg::V0, abi::SYS_RAS_REGISTER as i32);
+    asm.li(Reg::A0, 0);
+    asm.li(Reg::A1, 3);
+    asm.syscall();
+    // Print the result so the test can observe it.
+    asm.li(Reg::T0, abi::ERR_UNSUPPORTED as i32);
+    let ok = asm.label();
+    asm.beq(Reg::V0, Reg::T0, ok);
+    asm.li(Reg::V0, abi::SYS_PRINT as i32);
+    asm.li(Reg::A0, 0);
+    asm.syscall();
+    exit(&mut asm);
+    asm.bind(ok);
+    asm.li(Reg::V0, abi::SYS_PRINT as i32);
+    asm.li(Reg::A0, 1);
+    asm.syscall();
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::Designated, 10_000),
+        asm.finish().unwrap(),
+        &DataLayout::new().finish(),
+    )
+    .unwrap();
+    assert_eq!(k.run(1_000_000), Outcome::Completed);
+    assert_eq!(k.output(), &[1], "registration must be refused");
+    assert_eq!(k.stats().registrations_refused, 1);
+}
+
+#[test]
+fn wait_and_wake_form_a_rendezvous() {
+    let mut data = DataLayout::new();
+    let flag = data.word("flag", 0);
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let waiter = asm.here();
+    {
+        // Wait while flag == 0, then print the flag's value.
+        let retry = asm.bind_new();
+        asm.li(Reg::V0, abi::SYS_WAIT as i32);
+        asm.li(Reg::A0, flag as i32);
+        asm.li(Reg::A1, 0);
+        asm.syscall();
+        asm.li(Reg::T0, flag as i32);
+        asm.lw(Reg::T1, Reg::T0, 0);
+        asm.beqz(Reg::T1, retry);
+        asm.li(Reg::V0, abi::SYS_PRINT as i32);
+        asm.alui(ras_isa::AluOp::Or, Reg::A0, Reg::T1, 0);
+        asm.syscall();
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    spawn_at(&mut asm, waiter, 0, Reg::S1);
+    // Let the waiter run and block.
+    asm.li(Reg::V0, abi::SYS_YIELD as i32);
+    asm.syscall();
+    // Set the flag, then wake.
+    asm.li(Reg::T0, flag as i32);
+    asm.li(Reg::T1, 777);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    asm.li(Reg::V0, abi::SYS_WAKE as i32);
+    asm.li(Reg::A0, flag as i32);
+    asm.li(Reg::A1, 1);
+    asm.syscall();
+    join(&mut asm, Reg::S1);
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None, 100_000),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    assert_eq!(k.run(10_000_000), Outcome::Completed);
+    assert_eq!(k.output(), &[777]);
+    assert!(k.stats().blocks >= 1);
+    assert!(k.stats().wakeups >= 1);
+}
+
+#[test]
+fn wait_with_stale_value_returns_immediately() {
+    let mut data = DataLayout::new();
+    let flag = data.word("flag", 5);
+    let mut asm = Asm::new();
+    asm.li(Reg::V0, abi::SYS_WAIT as i32);
+    asm.li(Reg::A0, flag as i32);
+    asm.li(Reg::A1, 0); // expected 0, actual 5 → no block
+    asm.syscall();
+    asm.li(Reg::T0, 0);
+    let blocked_path = asm.label();
+    asm.beq(Reg::V0, Reg::T0, blocked_path);
+    asm.li(Reg::V0, abi::SYS_PRINT as i32);
+    asm.li(Reg::A0, 1);
+    asm.syscall();
+    exit(&mut asm);
+    asm.bind(blocked_path);
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None, 100_000),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    assert_eq!(k.run(1_000_000), Outcome::Completed);
+    assert_eq!(k.output(), &[1]);
+    assert_eq!(k.stats().blocks, 0);
+}
+
+#[test]
+fn deadlock_is_detected() {
+    let mut data = DataLayout::new();
+    let flag = data.word("flag", 0);
+    let mut asm = Asm::new();
+    asm.li(Reg::V0, abi::SYS_WAIT as i32);
+    asm.li(Reg::A0, flag as i32);
+    asm.li(Reg::A1, 0);
+    asm.syscall();
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None, 100_000),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    match k.run(1_000_000) {
+        Outcome::Deadlock { blocked } => assert_eq!(blocked.len(), 1),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_fuel_is_resumable() {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = faa_program(counter);
+    let mut k = Kernel::boot(cfg(StrategyKind::Designated, 23), program, &data.finish()).unwrap();
+    let mut outcomes = 0;
+    loop {
+        match k.run(10_000) {
+            Outcome::OutOfFuel => outcomes += 1,
+            Outcome::Completed => break,
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(outcomes < 1_000_000, "never completes");
+    }
+    assert!(outcomes > 0, "fuel slicing must have engaged");
+    assert_eq!(k.read_word(counter).unwrap(), 2 * N as u32);
+}
+
+#[test]
+fn hardware_restart_bit_protects_increments_on_i860() {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let worker = asm.here();
+    {
+        asm.alui(ras_isa::AluOp::Or, Reg::S0, Reg::A0, 0);
+        let top = asm.bind_new();
+        asm.li(Reg::A1, counter as i32);
+        asm.begin_atomic();
+        asm.lw(Reg::V0, Reg::A1, 0);
+        asm.addi(Reg::V0, Reg::V0, 1);
+        asm.sw(Reg::V0, Reg::A1, 0);
+        asm.addi(Reg::S0, Reg::S0, -1);
+        asm.bnez(Reg::S0, top);
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    spawn_at(&mut asm, worker, N, Reg::S1);
+    spawn_at(&mut asm, worker, N, Reg::S2);
+    join(&mut asm, Reg::S1);
+    join(&mut asm, Reg::S2);
+    exit(&mut asm);
+    let mut config = KernelConfig::new(CpuProfile::i860(), StrategyKind::HardwareBit);
+    config.quantum = 23;
+    config.jitter = 3;
+    config.seed = 7;
+    config.mem_bytes = 1 << 20;
+    config.stack_bytes = 4096;
+    let mut k = Kernel::boot(config, asm.finish().unwrap(), &data.finish()).unwrap();
+    assert_eq!(k.run(2_000_000_000), Outcome::Completed);
+    assert_eq!(k.read_word(counter).unwrap(), 2 * N as u32);
+    assert!(k.stats().preemptions > 0);
+}
+
+#[test]
+fn page_faults_restart_designated_sequences() {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = faa_program(counter);
+    let mut config = cfg(StrategyKind::Designated, 31);
+    config.paging = Some(PagingConfig {
+        page_bytes: 4096,
+        max_resident: 2,
+    });
+    let mut k = Kernel::boot(config, program, &data.finish()).unwrap();
+    assert_eq!(k.run(4_000_000_000), Outcome::Completed);
+    assert_eq!(k.read_word(counter).unwrap(), 2 * N as u32);
+    assert!(k.stats().page_faults > 0, "paging must have engaged");
+}
+
+#[test]
+fn determinism_same_seed_same_execution() {
+    let build = || {
+        let mut data = DataLayout::new();
+        let counter = data.word("counter", 0);
+        let program = faa_program(counter);
+        let mut k =
+            Kernel::boot(cfg(StrategyKind::Designated, 23), program, &data.finish()).unwrap();
+        assert_eq!(k.run(500_000_000), Outcome::Completed);
+        (k.machine().clock(), *k.stats())
+    };
+    let (c1, s1) = build();
+    let (c2, s2) = build();
+    assert_eq!(c1, c2);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn preemptions_are_counted_and_fair() {
+    // Two busy loops with SYS_PRINT markers; both must make progress.
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let worker = asm.here();
+    {
+        asm.li(Reg::S0, 30);
+        let top = asm.bind_new();
+        asm.li(Reg::V0, abi::SYS_PRINT as i32);
+        asm.alui(ras_isa::AluOp::Or, Reg::A0, Reg::GP, 0);
+        asm.syscall();
+        // burn some cycles
+        asm.li(Reg::T0, 50);
+        let burn = asm.bind_new();
+        asm.addi(Reg::T0, Reg::T0, -1);
+        asm.bnez(Reg::T0, burn);
+        asm.addi(Reg::S0, Reg::S0, -1);
+        asm.bnez(Reg::S0, top);
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    spawn_at(&mut asm, worker, 0, Reg::S1);
+    spawn_at(&mut asm, worker, 0, Reg::S2);
+    join(&mut asm, Reg::S1);
+    join(&mut asm, Reg::S2);
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None, 60),
+        asm.finish().unwrap(),
+        &DataLayout::new().finish(),
+    )
+    .unwrap();
+    assert_eq!(k.run(100_000_000), Outcome::Completed);
+    let ones = k.output().iter().filter(|&&v| v == 1).count();
+    let twos = k.output().iter().filter(|&&v| v == 2).count();
+    assert_eq!(ones, 30);
+    assert_eq!(twos, 30);
+    assert!(k.stats().preemptions > 10);
+    // The markers must actually interleave rather than run to completion
+    // serially.
+    let first_two = k.output().iter().position(|&v| v == 2).unwrap();
+    assert!(
+        first_two < 30,
+        "thread 2 should start before thread 1 finishes"
+    );
+}
+
+#[test]
+fn thread_states_are_visible() {
+    let mut data = DataLayout::new();
+    let flag = data.word("flag", 0);
+    let mut asm = Asm::new();
+    asm.li(Reg::V0, abi::SYS_WAIT as i32);
+    asm.li(Reg::A0, flag as i32);
+    asm.li(Reg::A1, 0);
+    asm.syscall();
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None, 100_000),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    let _ = k.run(1_000_000);
+    assert_eq!(
+        *k.thread_state(ras_kernel::ThreadId(0)),
+        ThreadState::Blocked { addr: flag }
+    );
+}

@@ -1,0 +1,211 @@
+//! Property tests: the mutual-exclusion invariant holds for *every*
+//! preemption schedule, and execution is a deterministic function of the
+//! configuration.
+
+use proptest::prelude::*;
+use ras_isa::{abi, AluOp, Asm, DataLayout, Program, Reg};
+use ras_kernel::{CheckTime, Kernel, KernelConfig, Outcome, StrategyKind};
+use ras_machine::CpuProfile;
+
+const N: i32 = 120;
+
+fn exit(asm: &mut Asm) {
+    asm.li(Reg::V0, abi::SYS_EXIT as i32);
+    asm.syscall();
+}
+
+fn spawn_at(asm: &mut Asm, entry: u32, arg: i32, save: Reg) {
+    asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+    asm.li(Reg::A0, entry as i32);
+    asm.li(Reg::A1, arg);
+    asm.syscall();
+    asm.alui(AluOp::Or, save, Reg::V0, 0);
+}
+
+fn join(asm: &mut Asm, tid: Reg) {
+    asm.li(Reg::V0, abi::SYS_JOIN as i32);
+    asm.alui(AluOp::Or, Reg::A0, tid, 0);
+    asm.syscall();
+}
+
+/// Workers increment `counter` N times each with the designated
+/// fetch-and-add shape; main spawns `workers` of them and joins all.
+fn faa_program(counter: u32, workers: usize) -> Program {
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let worker = asm.here();
+    {
+        asm.alui(AluOp::Or, Reg::S0, Reg::A0, 0);
+        let top = asm.bind_new();
+        asm.li(Reg::A1, counter as i32);
+        asm.lw(Reg::V0, Reg::A1, 0);
+        asm.addi(Reg::V0, Reg::V0, 1);
+        asm.landmark();
+        asm.sw(Reg::V0, Reg::A1, 0);
+        asm.addi(Reg::S0, Reg::S0, -1);
+        asm.bnez(Reg::S0, top);
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    // Save up to 6 worker tids in s1..s6.
+    let saves = [Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6];
+    for save in saves.iter().take(workers) {
+        spawn_at(&mut asm, worker, N, *save);
+    }
+    for save in saves.iter().take(workers) {
+        join(&mut asm, *save);
+    }
+    exit(&mut asm);
+    asm.finish().unwrap()
+}
+
+fn run_counter(
+    strategy: StrategyKind,
+    check_time: CheckTime,
+    quantum: u64,
+    jitter: u64,
+    seed: u64,
+    workers: usize,
+) -> (u32, u64, ras_kernel::KernelStats) {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = faa_program(counter, workers);
+    let mut config = KernelConfig::new(CpuProfile::r3000(), strategy);
+    config.quantum = quantum;
+    config.jitter = jitter;
+    config.seed = seed;
+    config.check_time = check_time;
+    config.mem_bytes = 1 << 20;
+    config.stack_bytes = 4096;
+    let mut k = Kernel::boot(config, program, &data.finish()).unwrap();
+    assert_eq!(k.run(4_000_000_000), Outcome::Completed);
+    (k.read_word(counter).unwrap(), k.machine().clock(), *k.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Designated sequences give the exact count under any quantum, jitter,
+    /// seed, worker count, and check placement.
+    #[test]
+    fn designated_is_exact_for_all_schedules(
+        quantum in 5u64..300,
+        jitter in 0u64..20,
+        seed: u64,
+        workers in 1usize..5,
+        on_resume: bool,
+    ) {
+        let check = if on_resume { CheckTime::OnResume } else { CheckTime::OnSuspend };
+        let (count, _, stats) = run_counter(
+            StrategyKind::Designated, check, quantum, jitter, seed, workers,
+        );
+        prop_assert_eq!(count, (workers as u32) * N as u32);
+        prop_assert!(stats.ras_checks > 0);
+    }
+
+    /// The unprotected race never over-counts, and with more than one
+    /// worker and a small quantum it reliably under-counts somewhere in
+    /// the batch (checked per-case as <=, the loss itself is demonstrated
+    /// by a dedicated deterministic test).
+    #[test]
+    fn naked_race_never_overcounts(
+        quantum in 5u64..100,
+        seed: u64,
+        workers in 2usize..5,
+    ) {
+        // Same program shape but no landmark recognition: run under None.
+        let (count, _, _) = run_counter(
+            StrategyKind::None, CheckTime::OnSuspend, quantum, 3, seed, workers,
+        );
+        prop_assert!(count <= (workers as u32) * N as u32);
+        prop_assert!(count > 0);
+    }
+
+    /// Execution is a pure function of the configuration: same inputs,
+    /// same final clock and identical statistics.
+    #[test]
+    fn execution_is_deterministic(
+        quantum in 5u64..200,
+        jitter in 0u64..10,
+        seed: u64,
+    ) {
+        let a = run_counter(
+            StrategyKind::Designated, CheckTime::OnSuspend, quantum, jitter, seed, 2,
+        );
+        let b = run_counter(
+            StrategyKind::Designated, CheckTime::OnSuspend, quantum, jitter, seed, 2,
+        );
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// Check placement (suspend vs resume) never changes the result, only
+    /// potentially the accounting — §4.1's equivalence argument.
+    #[test]
+    fn check_time_is_result_equivalent(
+        quantum in 5u64..200,
+        seed: u64,
+    ) {
+        let a = run_counter(
+            StrategyKind::Designated, CheckTime::OnSuspend, quantum, 0, seed, 3,
+        );
+        let b = run_counter(
+            StrategyKind::Designated, CheckTime::OnResume, quantum, 0, seed, 3,
+        );
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.2.ras_restarts > 0, b.2.ras_restarts > 0);
+    }
+}
+
+mod matcher_safety {
+    use proptest::prelude::*;
+    use ras_isa::{AluOp, Asm, Cond, Inst, Reg};
+    use ras_kernel::DesignatedSet;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+    }
+
+    /// Instructions a compiler might emit — everything EXCEPT the landmark.
+    fn arb_ordinary_inst(code_len: u32) -> impl Strategy<Value = Inst> {
+        prop_oneof![
+            (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
+            (arb_reg(), arb_reg(), arb_reg())
+                .prop_map(|(rd, rs, rt)| Inst::Alu { op: AluOp::Add, rd, rs, rt }),
+            (arb_reg(), arb_reg(), any::<i32>())
+                .prop_map(|(rd, rs, imm)| Inst::AluI { op: AluOp::Add, rd, rs, imm }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, off)| Inst::Lw { rd, base, off }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rs, base, off)| Inst::Sw { rs, base, off }),
+            (arb_reg(), arb_reg(), 0..code_len)
+                .prop_map(|(rs, rt, target)| Inst::Branch { cond: Cond::Ne, rs, rt, target }),
+            (0..code_len).prop_map(|target| Inst::J { target }),
+            arb_reg().prop_map(|rs| Inst::Jr { rs }),
+            Just(Inst::Nop),
+            Just(Inst::Syscall),
+        ]
+    }
+
+    proptest! {
+        /// "The kernel's comparison must ... reject any other similar
+        /// looking sequence since mistakenly changing the PC in such a
+        /// situation could cause code to malfunction" (§3.2). For any
+        /// landmark-free program, stage 2 never requests a rollback at any
+        /// PC.
+        #[test]
+        fn stage2_never_touches_landmark_free_code(
+            insts in prop::collection::vec(arb_ordinary_inst(64), 1..64),
+        ) {
+            let mut asm = Asm::new();
+            for inst in &insts {
+                asm.emit(*inst);
+            }
+            let program = asm.finish().unwrap();
+            let set = DesignatedSet::standard();
+            for pc in 0..program.len() as u32 {
+                prop_assert_eq!(set.stage2(&program, pc), None, "pc={}", pc);
+            }
+        }
+    }
+}

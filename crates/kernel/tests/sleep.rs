@@ -1,0 +1,175 @@
+//! The sleep facility: timed wake-ups, idle-time accounting, and
+//! interaction with the scheduler.
+
+use ras_isa::{abi, AluOp, Asm, DataLayout, Reg};
+use ras_kernel::{Kernel, KernelConfig, Outcome, StrategyKind, ThreadState};
+use ras_machine::CpuProfile;
+
+fn cfg() -> KernelConfig {
+    let mut c = KernelConfig::new(CpuProfile::r3000(), StrategyKind::None);
+    c.mem_bytes = 1 << 20;
+    c.stack_bytes = 4096;
+    c
+}
+
+fn exit(asm: &mut Asm) {
+    asm.li(Reg::V0, abi::SYS_EXIT as i32);
+    asm.syscall();
+}
+
+fn sleep(asm: &mut Asm, cycles: i32) {
+    asm.li(Reg::V0, abi::SYS_SLEEP as i32);
+    asm.li(Reg::A0, cycles);
+    asm.syscall();
+}
+
+fn print_reg(asm: &mut Asm, r: Reg) {
+    asm.li(Reg::V0, abi::SYS_PRINT as i32);
+    asm.alui(AluOp::Or, Reg::A0, r, 0);
+    asm.syscall();
+}
+
+fn spawn_at(asm: &mut Asm, entry: u32, arg: i32) {
+    asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+    asm.li(Reg::A0, entry as i32);
+    asm.li(Reg::A1, arg);
+    asm.syscall();
+}
+
+fn join_v0(asm: &mut Asm) {
+    asm.alui(AluOp::Or, Reg::A0, Reg::V0, 0);
+    asm.li(Reg::V0, abi::SYS_JOIN as i32);
+    asm.syscall();
+}
+
+#[test]
+fn sleepers_wake_in_deadline_order() {
+    // Three children sleep 30_000 / 10_000 / 20_000 cycles and print
+    // their argument on waking: output must be sorted by duration.
+    let mut asm = Asm::new();
+    let to_main = asm.label();
+    asm.j(to_main);
+    let child = asm.here();
+    {
+        // a0 = duration; sleep then print duration.
+        asm.alui(AluOp::Or, Reg::S0, Reg::A0, 0);
+        asm.li(Reg::V0, abi::SYS_SLEEP as i32);
+        asm.syscall();
+        print_reg(&mut asm, Reg::S0);
+        exit(&mut asm);
+    }
+    asm.bind(to_main);
+    asm.set_entry_here();
+    for d in [30_000, 10_000, 20_000] {
+        spawn_at(&mut asm, child, d);
+    }
+    // Join all three (tids 1..=3).
+    for t in 1..=3 {
+        asm.li(Reg::A0, t);
+        asm.li(Reg::V0, abi::SYS_JOIN as i32);
+        asm.syscall();
+    }
+    exit(&mut asm);
+    let mut k = Kernel::boot(cfg(), asm.finish().unwrap(), &DataLayout::new().finish()).unwrap();
+    assert_eq!(k.run(10_000_000), Outcome::Completed);
+    assert_eq!(k.output(), &[10_000, 20_000, 30_000]);
+    assert_eq!(k.stats().sleeps, 3);
+}
+
+#[test]
+fn idle_cycles_are_charged_when_everyone_sleeps() {
+    let mut asm = Asm::new();
+    asm.set_entry_here();
+    sleep(&mut asm, 500_000);
+    exit(&mut asm);
+    let mut k = Kernel::boot(cfg(), asm.finish().unwrap(), &DataLayout::new().finish()).unwrap();
+    assert_eq!(k.run(10_000_000), Outcome::Completed);
+    assert!(
+        k.stats().idle_cycles >= 490_000,
+        "idle: {}",
+        k.stats().idle_cycles
+    );
+    assert!(k.machine().clock() >= 500_000);
+}
+
+#[test]
+fn sleeping_threads_do_not_count_as_deadlock() {
+    let mut asm = Asm::new();
+    asm.set_entry_here();
+    sleep(&mut asm, 1_000);
+    sleep(&mut asm, 1_000);
+    exit(&mut asm);
+    let mut k = Kernel::boot(cfg(), asm.finish().unwrap(), &DataLayout::new().finish()).unwrap();
+    assert_eq!(k.run(10_000_000), Outcome::Completed);
+}
+
+#[test]
+fn sleep_state_is_observable_and_fuel_resumable() {
+    // The sleeper stays observably asleep while another thread keeps the
+    // processor busy (with a runnable thread the clock cannot idle-jump
+    // past the wake-up time prematurely).
+    let mut asm = Asm::new();
+    let to_main = asm.label();
+    asm.j(to_main);
+    let busy = asm.here();
+    {
+        asm.li(Reg::T0, 200_000);
+        let top = asm.bind_new();
+        asm.addi(Reg::T0, Reg::T0, -1);
+        asm.bnez(Reg::T0, top);
+        exit(&mut asm);
+    }
+    asm.bind(to_main);
+    asm.set_entry_here();
+    spawn_at(&mut asm, busy, 0);
+    sleep(&mut asm, 100_000);
+    asm.li(Reg::A0, 1); // the busy child's tid
+    asm.li(Reg::V0, abi::SYS_JOIN as i32);
+    asm.syscall();
+    exit(&mut asm);
+    let mut k = Kernel::boot(cfg(), asm.finish().unwrap(), &DataLayout::new().finish()).unwrap();
+    // Run a few thousand cycles: main has slept, busy is running.
+    assert_eq!(k.run(5_000), Outcome::OutOfFuel);
+    match k.thread_state(ras_kernel::ThreadId(0)) {
+        ThreadState::Sleeping { until } => assert!(*until >= 100_000),
+        other => panic!("expected sleeping, got {other:?}"),
+    }
+    assert_eq!(k.run(u64::MAX), Outcome::Completed);
+}
+
+#[test]
+fn per_thread_cycles_are_attributed() {
+    // One busy child and one brief child: the busy one must accumulate
+    // far more user cycles.
+    let mut asm = Asm::new();
+    let to_main = asm.label();
+    asm.j(to_main);
+    let busy = asm.here();
+    {
+        asm.li(Reg::T0, 20_000);
+        let top = asm.bind_new();
+        asm.addi(Reg::T0, Reg::T0, -1);
+        asm.bnez(Reg::T0, top);
+        exit(&mut asm);
+    }
+    let brief = asm.here();
+    exit(&mut asm);
+    asm.bind(to_main);
+    asm.set_entry_here();
+    spawn_at(&mut asm, busy, 0);
+    join_v0(&mut asm);
+    spawn_at(&mut asm, brief, 0);
+    join_v0(&mut asm);
+    exit(&mut asm);
+    let mut k = Kernel::boot(cfg(), asm.finish().unwrap(), &DataLayout::new().finish()).unwrap();
+    assert_eq!(k.run(10_000_000), Outcome::Completed);
+    let busy_cycles = k.thread_cycles(ras_kernel::ThreadId(1));
+    let brief_cycles = k.thread_cycles(ras_kernel::ThreadId(2));
+    assert!(busy_cycles >= 40_000, "busy: {busy_cycles}");
+    assert!(brief_cycles < 100, "brief: {brief_cycles}");
+    // Sum of per-thread user cycles never exceeds the wall clock.
+    let total: u64 = (0..k.thread_count() as u32)
+        .map(|t| k.thread_cycles(ras_kernel::ThreadId(t)))
+        .sum();
+    assert!(total <= k.machine().clock());
+}

@@ -1,0 +1,154 @@
+//! The event timeline: chronology, causality, and restart bookkeeping.
+
+use ras_isa::{abi, Asm, DataLayout, Reg};
+use ras_kernel::{Event, Kernel, KernelConfig, Outcome, StrategyKind, ThreadId};
+use ras_machine::CpuProfile;
+
+fn cfg(strategy: StrategyKind, quantum: u64) -> KernelConfig {
+    let mut c = KernelConfig::new(CpuProfile::r3000(), strategy);
+    c.quantum = quantum;
+    c.mem_bytes = 1 << 20;
+    c.stack_bytes = 4096;
+    c
+}
+
+/// A two-worker designated fetch-and-add program (from the kernel test
+/// helpers), small enough to inspect its full timeline.
+fn faa_program(counter: u32) -> ras_isa::Program {
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let worker = asm.here();
+    asm.mv(Reg::S0, Reg::A0);
+    let top = asm.bind_new();
+    asm.li(Reg::A1, counter as i32);
+    asm.lw(Reg::V0, Reg::A1, 0);
+    asm.addi(Reg::V0, Reg::V0, 1);
+    asm.landmark();
+    asm.sw(Reg::V0, Reg::A1, 0);
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, top);
+    asm.li(Reg::V0, abi::SYS_EXIT as i32);
+    asm.syscall();
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    for save in [Reg::S1, Reg::S2] {
+        asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+        asm.li(Reg::A0, worker as i32);
+        asm.li(Reg::A1, 200);
+        asm.syscall();
+        asm.mv(save, Reg::V0);
+    }
+    for save in [Reg::S1, Reg::S2] {
+        asm.li(Reg::V0, abi::SYS_JOIN as i32);
+        asm.mv(Reg::A0, save);
+        asm.syscall();
+    }
+    asm.li(Reg::V0, abi::SYS_EXIT as i32);
+    asm.syscall();
+    asm.finish().unwrap()
+}
+
+fn run_with_timeline(strategy: StrategyKind, quantum: u64) -> Kernel {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = faa_program(counter);
+    let mut k = Kernel::boot(cfg(strategy, quantum), program, &data.finish()).unwrap();
+    k.enable_timeline();
+    assert_eq!(k.run(2_000_000_000), Outcome::Completed);
+    k
+}
+
+#[test]
+fn timeline_is_chronological_and_complete() {
+    let k = run_with_timeline(StrategyKind::Designated, 31);
+    let events = k.timeline();
+    assert!(!events.is_empty());
+    for pair in events.windows(2) {
+        assert!(pair[0].clock <= pair[1].clock, "out of order: {pair:?}");
+    }
+    // Every counter category matches the statistics.
+    let count = |f: &dyn Fn(&Event) -> bool| events.iter().filter(|e| f(&e.event)).count() as u64;
+    assert_eq!(count(&|e| matches!(e, Event::Preempt { .. })), k.stats().preemptions);
+    assert_eq!(count(&|e| matches!(e, Event::Restart { .. })), k.stats().ras_restarts);
+    // Main is spawned at boot, before the timeline is enabled, so only
+    // the workers appear.
+    assert_eq!(
+        count(&|e| matches!(e, Event::Spawn { .. })),
+        k.stats().threads_spawned - 1
+    );
+    assert_eq!(count(&|e| matches!(e, Event::Exit { .. })), 3);
+}
+
+#[test]
+fn restarts_roll_backwards_and_follow_preemptions() {
+    let k = run_with_timeline(StrategyKind::Designated, 23);
+    let events = k.timeline();
+    let mut saw_restart = false;
+    for e in events {
+        if let Event::Restart { from, to, .. } = e.event {
+            saw_restart = true;
+            assert!(to < from, "rollback must go backwards: {from} -> {to}");
+            assert!(from - to <= 4, "within one sequence length");
+        }
+    }
+    assert!(saw_restart, "quantum 23 must have forced a restart");
+    // Every Restart is immediately preceded (same clock region) by the
+    // Preempt of the same thread.
+    for (i, e) in events.iter().enumerate() {
+        if let Event::Restart { thread, .. } = e.event {
+            let before = &events[..i];
+            let prev = before
+                .iter()
+                .rev()
+                .find(|p| matches!(p.event, Event::Preempt { .. } | Event::PageFault { .. }));
+            match prev {
+                Some(p) => match p.event {
+                    Event::Preempt { thread: t } | Event::PageFault { thread: t, .. } => {
+                        assert_eq!(t, thread, "restart attributed to the suspended thread")
+                    }
+                    _ => unreachable!(),
+                },
+                None => panic!("restart without a prior suspension"),
+            }
+        }
+    }
+}
+
+#[test]
+fn dispatches_alternate_between_runnable_threads() {
+    let k = run_with_timeline(StrategyKind::Designated, 200);
+    let dispatched: Vec<ThreadId> = k
+        .timeline()
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::Dispatch { thread } => Some(thread),
+            _ => None,
+        })
+        .collect();
+    // Both workers (tids 1 and 2) must appear, interleaved.
+    assert!(dispatched.contains(&ThreadId(1)));
+    assert!(dispatched.contains(&ThreadId(2)));
+}
+
+#[test]
+fn timeline_is_off_by_default_and_idempotent_to_enable() {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = faa_program(counter);
+    let mut k = Kernel::boot(cfg(StrategyKind::Designated, 100), program, &data.finish()).unwrap();
+    assert!(k.timeline().is_empty());
+    k.enable_timeline();
+    k.enable_timeline(); // second call must not clear anything
+    assert_eq!(k.run(2_000_000_000), Outcome::Completed);
+    assert!(!k.timeline().is_empty());
+}
+
+#[test]
+fn emulation_traps_appear_for_kernel_emulation_only() {
+    let k = run_with_timeline(StrategyKind::Designated, 100);
+    assert!(k
+        .timeline()
+        .iter()
+        .all(|e| !matches!(e.event, Event::EmulatedTas { .. })));
+}

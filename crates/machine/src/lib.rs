@@ -1,0 +1,48 @@
+//! Cycle-counting CPU interpreter and per-architecture cost models for the
+//! uniprocessor simulator.
+//!
+//! [`Machine`] executes [`ras_isa::Program`]s one instruction at a time
+//! against a [`RegFile`] and a [`Memory`], charging cycles from a
+//! [`CpuProfile`]. The profiles are calibrated against the eight processor
+//! architectures of Table 4 in *Fast Mutual Exclusion for Uniprocessors*
+//! (plus the MIPS R3000 the rest of the paper measures), so that executing
+//! the paper's actual instruction sequences reproduces the table's
+//! structure: `explicit-registration ≈ designated + linkage` and the
+//! hardware-vs-software crossovers.
+//!
+//! The machine knows nothing about threads: the kernel in `ras-kernel` owns
+//! the register files and drives [`Machine::run`] with cycle deadlines to
+//! model timer preemption.
+//!
+//! # Example
+//!
+//! ```
+//! use ras_isa::{Asm, Reg};
+//! use ras_machine::{CpuProfile, Exit, Machine, RegFile};
+//!
+//! let mut asm = Asm::new();
+//! asm.li(Reg::T0, 21);
+//! asm.add(Reg::V0, Reg::T0, Reg::T0);
+//! asm.halt();
+//! let program = asm.finish()?;
+//!
+//! let mut machine = Machine::new(CpuProfile::r3000(), 4096);
+//! let mut regs = RegFile::new(program.entry());
+//! let exit = machine.run(&program, &mut regs, u64::MAX);
+//! assert_eq!(exit, Exit::Halt);
+//! assert_eq!(regs.get(Reg::V0), 42);
+//! # Ok::<(), ras_isa::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod memory;
+mod profile;
+mod regfile;
+
+pub use crate::machine::{Exit, Fault, Machine, TraceEntry};
+pub use crate::memory::{MemError, Memory, PagingConfig};
+pub use crate::profile::{CostModel, CpuProfile};
+pub use crate::regfile::RegFile;

@@ -1,0 +1,604 @@
+use ras_isa::{CodeAddr, DataAddr, Inst, Opcode, Program, Reg};
+
+use crate::{CpuProfile, MemError, Memory, RegFile};
+
+/// One entry of the execution trace ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle count when the instruction issued.
+    pub clock: u64,
+    /// Its address.
+    pub pc: CodeAddr,
+    /// The instruction itself.
+    pub inst: Inst,
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// The cycle deadline was reached (timer interrupt is pending).
+    Budget,
+    /// A `syscall` instruction executed; the PC has advanced past it and
+    /// the kernel should dispatch on `$v0`.
+    Syscall,
+    /// A `halt` instruction executed.
+    Halt,
+    /// Execution faulted; the PC still addresses the faulting instruction
+    /// so it can be re-executed after the kernel services the fault.
+    Fault(Fault),
+}
+
+/// A processor fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Access to a non-resident page; the kernel pages it in and resumes.
+    PageFault {
+        /// Faulting byte address.
+        addr: DataAddr,
+        /// PC of the faulting instruction.
+        pc: CodeAddr,
+    },
+    /// Unaligned or out-of-range access — a guest bug.
+    BadMemory {
+        /// Faulting byte address.
+        addr: DataAddr,
+        /// PC of the faulting instruction.
+        pc: CodeAddr,
+    },
+    /// The PC ran off the end of the program.
+    BadPc {
+        /// The invalid PC.
+        pc: CodeAddr,
+    },
+    /// An instruction not supported by this CPU profile (e.g. `tas` on the
+    /// R3000, which has no hardware atomics).
+    Illegal {
+        /// PC of the illegal instruction.
+        pc: CodeAddr,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+/// The simulated uniprocessor: data memory, a cycle clock, and (for i860
+/// profiles) the hardware restartable-sequence bit.
+///
+/// Thread register files live in the kernel; the machine executes whichever
+/// one the kernel passes in, making context switches a pure kernel-side
+/// concern, as on real hardware.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    mem: Memory,
+    profile: CpuProfile,
+    clock: u64,
+    /// i860-style restart bit: `Some(pc)` while an atomic sequence begun at
+    /// `pc` is in flight.
+    atomic_from: Option<CodeAddr>,
+    atomic_deadline: u64,
+    /// Retired-instruction counts per opcode class.
+    mix: [u64; Opcode::COUNT],
+    /// Optional ring buffer of recently retired instructions.
+    trace: Option<TraceRing>,
+}
+
+#[derive(Debug, Clone)]
+struct TraceRing {
+    entries: Vec<TraceEntry>,
+    depth: usize,
+    next: usize,
+}
+
+impl Machine {
+    /// Creates a machine with `mem_bytes` of zeroed data memory.
+    pub fn new(profile: CpuProfile, mem_bytes: u32) -> Machine {
+        Machine {
+            mem: Memory::new(mem_bytes),
+            profile,
+            clock: 0,
+            atomic_from: None,
+            atomic_deadline: 0,
+            mix: [0; Opcode::COUNT],
+            trace: None,
+        }
+    }
+
+    /// Enables a ring buffer recording the last `depth` retired
+    /// instructions (for post-mortem debugging of guest code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn enable_trace(&mut self, depth: usize) {
+        assert!(depth > 0, "trace depth must be positive");
+        self.trace = Some(TraceRing {
+            entries: Vec::with_capacity(depth),
+            depth,
+            next: 0,
+        });
+    }
+
+    /// The most recent trace entries, oldest first. Empty unless
+    /// [`Machine::enable_trace`] was called.
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        match &self.trace {
+            None => Vec::new(),
+            Some(ring) => {
+                let mut out = Vec::with_capacity(ring.entries.len());
+                if ring.entries.len() == ring.depth {
+                    out.extend_from_slice(&ring.entries[ring.next..]);
+                }
+                out.extend_from_slice(&ring.entries[..ring.next.min(ring.entries.len())]);
+                out
+            }
+        }
+    }
+
+    /// Retired-instruction counts per opcode class — the instruction mix,
+    /// for profiling which operations a mechanism actually executes.
+    pub fn instruction_mix(&self) -> &[u64; Opcode::COUNT] {
+        &self.mix
+    }
+
+    /// Total retired instructions.
+    pub fn instructions_retired(&self) -> u64 {
+        self.mix.iter().sum()
+    }
+
+    /// The current cycle count.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Elapsed simulated time in microseconds.
+    pub fn elapsed_micros(&self) -> f64 {
+        self.profile.micros(self.clock)
+    }
+
+    /// Advances the clock by `cycles` — used by the kernel to charge trap,
+    /// scheduling, and check costs.
+    pub fn charge(&mut self, cycles: u64) {
+        self.clock += cycles;
+    }
+
+    /// The CPU profile.
+    pub fn profile(&self) -> &CpuProfile {
+        &self.profile
+    }
+
+    /// Data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable data memory (kernel use: loading images, paging).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// If the i860 restart bit is set, the PC of the `begin_atomic` that
+    /// set it. The kernel consults this when suspending a thread.
+    pub fn atomic_restart_pc(&self) -> Option<CodeAddr> {
+        self.atomic_from
+    }
+
+    /// Clears the restart bit (kernel does this after rolling a thread
+    /// back, and on context switch).
+    pub fn clear_atomic_bit(&mut self) {
+        self.atomic_from = None;
+    }
+
+    /// Runs instructions from `regs.pc()` until the clock reaches
+    /// `deadline`, a syscall or halt executes, or a fault occurs.
+    ///
+    /// While the i860 restart bit is set, the deadline is not honored —
+    /// the hardware defers interrupts until the bit clears (next store or
+    /// 32-cycle expiry), exactly as described in §7 of the paper.
+    pub fn run(&mut self, program: &Program, regs: &mut RegFile, deadline: u64) -> Exit {
+        loop {
+            if self.atomic_from.is_some() && self.clock >= self.atomic_deadline {
+                // 32-cycle expiry: the bus lock is dropped automatically.
+                self.atomic_from = None;
+            }
+            if self.clock >= deadline && self.atomic_from.is_none() {
+                return Exit::Budget;
+            }
+            if let Some(exit) = self.step(program, regs) {
+                return exit;
+            }
+        }
+    }
+
+    /// Executes exactly one instruction. Returns `None` when the
+    /// instruction retired normally, or `Some` of `Exit::Syscall`,
+    /// `Exit::Halt`, or `Exit::Fault` on those events. Exposed for
+    /// fine-grained tests.
+    pub fn step(&mut self, program: &Program, regs: &mut RegFile) -> Option<Exit> {
+        let pc = regs.pc();
+        let Some(inst) = program.fetch(pc) else {
+            return Some(Exit::Fault(Fault::BadPc { pc }));
+        };
+        self.mix[inst.opcode().index()] += 1;
+        if let Some(ring) = &mut self.trace {
+            let entry = TraceEntry {
+                clock: self.clock,
+                pc,
+                inst,
+            };
+            if ring.entries.len() < ring.depth {
+                ring.entries.push(entry);
+            } else {
+                ring.entries[ring.next] = entry;
+            }
+            ring.next = (ring.next + 1) % ring.depth;
+        }
+        let cost = *self.profile.cost();
+        match inst {
+            Inst::Li { rd, imm } => {
+                self.clock += u64::from(cost.alu);
+                regs.set(rd, imm as u32);
+                regs.advance();
+            }
+            Inst::Alu { op, rd, rs, rt } => {
+                self.clock += u64::from(cost.alu);
+                let v = op.apply(regs.get(rs), regs.get(rt));
+                regs.set(rd, v);
+                regs.advance();
+            }
+            Inst::AluI { op, rd, rs, imm } => {
+                self.clock += u64::from(cost.alu);
+                let v = op.apply(regs.get(rs), imm as u32);
+                regs.set(rd, v);
+                regs.advance();
+            }
+            Inst::Lw { rd, base, off } => {
+                self.clock += u64::from(cost.load);
+                let addr = regs.get(base).wrapping_add(off as u32);
+                match self.mem.load(addr) {
+                    Ok(v) => {
+                        regs.set(rd, v);
+                        regs.advance();
+                    }
+                    Err(e) => return Some(Exit::Fault(Self::mem_fault(e, addr, pc))),
+                }
+            }
+            Inst::Sw { rs, base, off } => {
+                self.clock += u64::from(cost.store);
+                let addr = regs.get(base).wrapping_add(off as u32);
+                match self.mem.store(addr, regs.get(rs)) {
+                    Ok(()) => {
+                        // A store commits and releases an i860 atomic
+                        // sequence.
+                        self.atomic_from = None;
+                        regs.advance();
+                    }
+                    Err(e) => return Some(Exit::Fault(Self::mem_fault(e, addr, pc))),
+                }
+            }
+            Inst::Branch { cond, rs, rt, target } => {
+                self.clock += u64::from(cost.branch);
+                if cond.holds(regs.get(rs), regs.get(rt)) {
+                    regs.set_pc(target);
+                } else {
+                    regs.advance();
+                }
+            }
+            Inst::J { target } => {
+                self.clock += u64::from(cost.jump);
+                regs.set_pc(target);
+            }
+            Inst::Jal { target } => {
+                self.clock += u64::from(cost.jump + cost.call_extra);
+                regs.set(Reg::RA, pc + 1);
+                regs.set_pc(target);
+            }
+            Inst::Jr { rs } => {
+                self.clock += u64::from(cost.jump);
+                regs.set_pc(regs.get(rs));
+            }
+            Inst::Jalr { rd, rs } => {
+                self.clock += u64::from(cost.jump + cost.call_extra);
+                let target = regs.get(rs);
+                regs.set(rd, pc + 1);
+                regs.set_pc(target);
+            }
+            Inst::Nop | Inst::Landmark => {
+                self.clock += u64::from(cost.nop);
+                regs.advance();
+            }
+            Inst::Syscall => {
+                // The kernel charges trap cost; PC advances past the
+                // syscall so the thread resumes after it.
+                regs.advance();
+                return Some(Exit::Syscall);
+            }
+            Inst::Tas { rd, base } => {
+                if !self.profile.has_interlocked() {
+                    return Some(Exit::Fault(Fault::Illegal {
+                        pc,
+                        reason: "no hardware interlocked instructions on this CPU",
+                    }));
+                }
+                self.clock += u64::from(cost.interlocked);
+                let addr = regs.get(base);
+                let old = match self.mem.load(addr) {
+                    Ok(v) => v,
+                    Err(e) => return Some(Exit::Fault(Self::mem_fault(e, addr, pc))),
+                };
+                if let Err(e) = self.mem.store(addr, 1) {
+                    return Some(Exit::Fault(Self::mem_fault(e, addr, pc)));
+                }
+                self.atomic_from = None;
+                regs.set(rd, old);
+                regs.advance();
+            }
+            Inst::BeginAtomic => {
+                if !self.profile.has_restart_bit() {
+                    return Some(Exit::Fault(Fault::Illegal {
+                        pc,
+                        reason: "no hardware restartable-sequence bit on this CPU",
+                    }));
+                }
+                self.clock += u64::from(cost.alu);
+                self.atomic_from = Some(pc);
+                self.atomic_deadline = self.clock + 32;
+                regs.advance();
+            }
+            Inst::Halt => {
+                self.clock += u64::from(cost.alu);
+                regs.advance();
+                return Some(Exit::Halt);
+            }
+        }
+        None
+    }
+
+    fn mem_fault(e: MemError, addr: DataAddr, pc: CodeAddr) -> Fault {
+        match e {
+            MemError::NotResident { .. } => Fault::PageFault { addr, pc },
+            MemError::Unaligned { .. } | MemError::OutOfRange { .. } => {
+                Fault::BadMemory { addr, pc }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::Asm;
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> (Machine, RegFile, Exit) {
+        let mut asm = Asm::new();
+        build(&mut asm);
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::r3000(), 4096);
+        let mut regs = RegFile::new(program.entry());
+        let exit = machine.run(&program, &mut regs, 1_000_000);
+        (machine, regs, exit)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (_, regs, exit) = run_program(|a| {
+            a.li(Reg::T0, 5);
+            a.addi(Reg::T1, Reg::T0, 7);
+            a.mul(Reg::V0, Reg::T0, Reg::T1);
+            a.halt();
+        });
+        assert_eq!(exit, Exit::Halt);
+        assert_eq!(regs.get(Reg::V0), 60);
+    }
+
+    #[test]
+    fn memory_roundtrip_through_guest_code() {
+        let (machine, regs, exit) = run_program(|a| {
+            a.li(Reg::T0, 0x123);
+            a.li(Reg::A0, 64);
+            a.sw(Reg::T0, Reg::A0, 0);
+            a.lw(Reg::V0, Reg::A0, 0);
+            a.halt();
+        });
+        assert_eq!(exit, Exit::Halt);
+        assert_eq!(regs.get(Reg::V0), 0x123);
+        assert_eq!(machine.mem().load(64).unwrap(), 0x123);
+    }
+
+    #[test]
+    fn branch_loop_counts_down() {
+        let (_, regs, exit) = run_program(|a| {
+            a.li(Reg::T0, 10);
+            a.li(Reg::T1, 0);
+            let top = a.bind_new();
+            a.addi(Reg::T1, Reg::T1, 1);
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, top);
+            a.halt();
+        });
+        assert_eq!(exit, Exit::Halt);
+        assert_eq!(regs.get(Reg::T1), 10);
+    }
+
+    #[test]
+    fn jal_links_and_jr_returns() {
+        let (_, regs, exit) = run_program(|a| {
+            let func = a.label();
+            a.jal(func); // @0
+            a.halt(); // @1
+            a.bind(func);
+            a.li(Reg::V0, 9); // @2
+            a.jr(Reg::RA); // @3
+        });
+        assert_eq!(exit, Exit::Halt);
+        assert_eq!(regs.get(Reg::V0), 9);
+        assert_eq!(regs.get(Reg::RA), 1);
+    }
+
+    #[test]
+    fn syscall_advances_pc_before_exiting() {
+        let (_, regs, exit) = run_program(|a| {
+            a.li(Reg::V0, 1);
+            a.syscall(); // @1
+            a.halt(); // @2
+        });
+        assert_eq!(exit, Exit::Syscall);
+        assert_eq!(regs.pc(), 2, "resume lands after the syscall");
+    }
+
+    #[test]
+    fn budget_exit_leaves_state_resumable() {
+        let mut asm = Asm::new();
+        let top = asm.bind_new();
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.j(top);
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::r3000(), 1024);
+        let mut regs = RegFile::new(0);
+        assert_eq!(machine.run(&program, &mut regs, 10), Exit::Budget);
+        let t0_at_pause = regs.get(Reg::T0);
+        assert!(t0_at_pause > 0);
+        // Resuming continues exactly where we left off.
+        assert_eq!(machine.run(&program, &mut regs, 20), Exit::Budget);
+        assert!(regs.get(Reg::T0) > t0_at_pause);
+    }
+
+    #[test]
+    fn running_off_the_end_is_a_fault() {
+        let (_, _, exit) = run_program(|a| {
+            a.nop();
+        });
+        assert_eq!(exit, Exit::Fault(Fault::BadPc { pc: 1 }));
+    }
+
+    #[test]
+    fn unaligned_store_faults_without_advancing() {
+        let (_, regs, exit) = run_program(|a| {
+            a.li(Reg::A0, 3);
+            a.sw(Reg::T0, Reg::A0, 0);
+            a.halt();
+        });
+        assert_eq!(exit, Exit::Fault(Fault::BadMemory { addr: 3, pc: 1 }));
+        assert_eq!(regs.pc(), 1, "faulting instruction can be re-executed");
+    }
+
+    #[test]
+    fn tas_is_illegal_without_hardware_support() {
+        let (_, _, exit) = run_program(|a| {
+            a.li(Reg::A0, 16);
+            a.tas(Reg::V0, Reg::A0);
+            a.halt();
+        });
+        assert!(matches!(exit, Exit::Fault(Fault::Illegal { pc: 1, .. })));
+    }
+
+    #[test]
+    fn tas_sets_and_returns_old_value() {
+        let mut asm = Asm::new();
+        asm.li(Reg::A0, 16);
+        asm.tas(Reg::V0, Reg::A0);
+        asm.tas(Reg::V1, Reg::A0);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::i486(), 1024);
+        let mut regs = RegFile::new(0);
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        assert_eq!(regs.get(Reg::V0), 0, "first TAS sees unlocked");
+        assert_eq!(regs.get(Reg::V1), 1, "second TAS sees locked");
+        assert_eq!(machine.mem().load(16).unwrap(), 1);
+    }
+
+    #[test]
+    fn page_fault_reports_address_and_pc() {
+        let mut asm = Asm::new();
+        asm.li(Reg::A0, 512);
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::r3000(), 4096);
+        machine.mem_mut().enable_paging(crate::PagingConfig::tiny());
+        let mut regs = RegFile::new(0);
+        let exit = machine.run(&program, &mut regs, u64::MAX);
+        assert_eq!(exit, Exit::Fault(Fault::PageFault { addr: 512, pc: 1 }));
+        // Service the fault and resume: the same instruction re-executes.
+        machine.mem_mut().make_resident(512);
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        assert_eq!(regs.get(Reg::V0), 0);
+    }
+
+    #[test]
+    fn atomic_bit_lifecycle_on_i860() {
+        let mut asm = Asm::new();
+        asm.begin_atomic(); // @0
+        asm.li(Reg::T0, 1);
+        asm.li(Reg::A0, 32);
+        asm.sw(Reg::T0, Reg::A0, 0); // store clears the bit
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::i860(), 1024);
+        let mut regs = RegFile::new(0);
+        // Step through: after begin_atomic the bit is set.
+        machine.step(&program, &mut regs);
+        assert_eq!(machine.atomic_restart_pc(), Some(0));
+        machine.step(&program, &mut regs);
+        machine.step(&program, &mut regs);
+        assert_eq!(machine.atomic_restart_pc(), Some(0));
+        machine.step(&program, &mut regs); // the store
+        assert_eq!(machine.atomic_restart_pc(), None);
+    }
+
+    #[test]
+    fn atomic_bit_defers_the_deadline() {
+        // A sequence that begins atomic and loops briefly: the deadline
+        // cannot interrupt until the 32-cycle expiry clears the bit.
+        let mut asm = Asm::new();
+        asm.begin_atomic();
+        let top = asm.bind_new();
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.j(top);
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::i860(), 1024);
+        let mut regs = RegFile::new(0);
+        let exit = machine.run(&program, &mut regs, 1);
+        assert_eq!(exit, Exit::Budget);
+        assert!(
+            machine.clock() >= 32,
+            "interrupt was deferred to the expiry, clock={}",
+            machine.clock()
+        );
+        assert_eq!(machine.atomic_restart_pc(), None, "bit expired");
+    }
+
+    #[test]
+    fn begin_atomic_is_illegal_without_the_feature() {
+        let (_, _, exit) = run_program(|a| {
+            a.begin_atomic();
+            a.halt();
+        });
+        assert!(matches!(exit, Exit::Fault(Fault::Illegal { pc: 0, .. })));
+    }
+
+    #[test]
+    fn cycle_costs_follow_the_profile() {
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, 1); // alu
+        asm.lw(Reg::T1, Reg::ZERO, 0); // load
+        asm.sw(Reg::T1, Reg::ZERO, 0); // store
+        asm.halt(); // alu
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::cvax(), 1024);
+        let mut regs = RegFile::new(0);
+        machine.run(&program, &mut regs, u64::MAX);
+        let c = *machine.profile().cost();
+        assert_eq!(
+            machine.clock(),
+            u64::from(c.alu + c.load + c.store + c.alu)
+        );
+    }
+
+    #[test]
+    fn charge_advances_clock() {
+        let mut machine = Machine::new(CpuProfile::r3000(), 64);
+        machine.charge(123);
+        assert_eq!(machine.clock(), 123);
+        assert!((machine.elapsed_micros() - 123.0 / 25.0).abs() < 1e-9);
+    }
+}

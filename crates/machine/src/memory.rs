@@ -1,0 +1,292 @@
+use std::fmt;
+
+use ras_isa::DataAddr;
+
+/// Error produced by a data-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The address is not 4-byte aligned.
+    Unaligned {
+        /// The offending byte address.
+        addr: DataAddr,
+    },
+    /// The address lies outside the configured memory size.
+    OutOfRange {
+        /// The offending byte address.
+        addr: DataAddr,
+    },
+    /// The page containing the address is not resident; the kernel must
+    /// service a page fault before the access can complete.
+    NotResident {
+        /// The offending byte address.
+        addr: DataAddr,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unaligned { addr } => write!(f, "unaligned word access at {addr:#x}"),
+            MemError::OutOfRange { addr } => write!(f, "access at {addr:#x} is out of range"),
+            MemError::NotResident { addr } => write!(f, "page fault at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Configuration for the optional demand-paging layer.
+///
+/// When installed, pages start non-resident; the first access to each page
+/// faults to the kernel, which charges an I/O delay and marks it resident.
+/// When more than `max_resident` pages are resident, the kernel evicts in
+/// FIFO order, so long-running programs keep faulting — this is the source
+/// of the "page fault" suspensions discussed in §4.2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagingConfig {
+    /// Page size in bytes (power of two, ≥ 8).
+    pub page_bytes: u32,
+    /// Maximum number of simultaneously resident pages (0 = unlimited).
+    pub max_resident: usize,
+}
+
+impl PagingConfig {
+    /// A small configuration useful in tests: 256-byte pages, 4 resident.
+    pub fn tiny() -> PagingConfig {
+        PagingConfig {
+            page_bytes: 256,
+            max_resident: 4,
+        }
+    }
+}
+
+/// Byte-addressed, word-aligned data memory with an optional residency map.
+///
+/// # Example
+///
+/// ```
+/// use ras_machine::Memory;
+///
+/// let mut mem = Memory::new(1024);
+/// mem.store(16, 7)?;
+/// assert_eq!(mem.load(16)?, 7);
+/// assert!(mem.load(18).is_err()); // unaligned
+/// # Ok::<(), ras_machine::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<u32>,
+    paging: Option<PagingState>,
+}
+
+#[derive(Debug, Clone)]
+struct PagingState {
+    config: PagingConfig,
+    resident: Vec<bool>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `bytes` bytes (rounded up to a word).
+    pub fn new(bytes: u32) -> Memory {
+        Memory {
+            words: vec![0; bytes.div_ceil(4) as usize],
+            paging: None,
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn len_bytes(&self) -> u32 {
+        self.words.len() as u32 * 4
+    }
+
+    /// Installs demand paging; all pages start non-resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page size is not a power of two or is smaller than 8
+    /// bytes.
+    pub fn enable_paging(&mut self, config: PagingConfig) {
+        assert!(
+            config.page_bytes.is_power_of_two() && config.page_bytes >= 8,
+            "bad page size {}",
+            config.page_bytes
+        );
+        let pages = self.len_bytes().div_ceil(config.page_bytes) as usize;
+        self.paging = Some(PagingState {
+            config,
+            resident: vec![false; pages],
+        });
+    }
+
+    /// Whether paging is installed.
+    pub fn paging_enabled(&self) -> bool {
+        self.paging.is_some()
+    }
+
+    /// The page index of a byte address, if paging is enabled.
+    pub fn page_of(&self, addr: DataAddr) -> Option<usize> {
+        self.paging
+            .as_ref()
+            .map(|p| (addr / p.config.page_bytes) as usize)
+    }
+
+    /// Marks the page containing `addr` resident. Returns the page index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if paging is not enabled or `addr` is out of range.
+    pub fn make_resident(&mut self, addr: DataAddr) -> usize {
+        let page = self.page_of(addr).expect("paging not enabled");
+        self.paging.as_mut().unwrap().resident[page] = true;
+        page
+    }
+
+    /// Evicts a page (marks it non-resident). The simulator does not model
+    /// page contents being swapped; residency only controls faulting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if paging is not enabled or the index is out of range.
+    pub fn evict_page(&mut self, page: usize) {
+        self.paging.as_mut().unwrap().resident[page] = false;
+    }
+
+    /// Number of currently resident pages (0 if paging is disabled).
+    pub fn resident_pages(&self) -> usize {
+        self.paging
+            .as_ref()
+            .map_or(0, |p| p.resident.iter().filter(|r| **r).count())
+    }
+
+    /// The paging configuration, if installed.
+    pub fn paging_config(&self) -> Option<PagingConfig> {
+        self.paging.as_ref().map(|p| p.config)
+    }
+
+    fn check(&self, addr: DataAddr) -> Result<usize, MemError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemError::Unaligned { addr });
+        }
+        let idx = (addr / 4) as usize;
+        if idx >= self.words.len() {
+            return Err(MemError::OutOfRange { addr });
+        }
+        if let Some(p) = &self.paging {
+            if !p.resident[(addr / p.config.page_bytes) as usize] {
+                return Err(MemError::NotResident { addr });
+            }
+        }
+        Ok(idx)
+    }
+
+    /// Loads the word at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-range addresses, or with
+    /// [`MemError::NotResident`] when the page must first be faulted in.
+    pub fn load(&self, addr: DataAddr) -> Result<u32, MemError> {
+        self.check(addr).map(|idx| self.words[idx])
+    }
+
+    /// Stores `value` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::load`].
+    pub fn store(&mut self, addr: DataAddr, value: u32) -> Result<(), MemError> {
+        let idx = self.check(addr)?;
+        self.words[idx] = value;
+        Ok(())
+    }
+
+    /// Loads a word ignoring residency (kernel-privileged access, used when
+    /// the kernel inspects or initializes user memory).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-range addresses.
+    pub fn load_kernel(&self, addr: DataAddr) -> Result<u32, MemError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemError::Unaligned { addr });
+        }
+        let idx = (addr / 4) as usize;
+        self.words
+            .get(idx)
+            .copied()
+            .ok_or(MemError::OutOfRange { addr })
+    }
+
+    /// Stores a word ignoring residency (kernel-privileged access).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unaligned or out-of-range addresses.
+    pub fn store_kernel(&mut self, addr: DataAddr, value: u32) -> Result<(), MemError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemError::Unaligned { addr });
+        }
+        let idx = (addr / 4) as usize;
+        let slot = self.words.get_mut(idx).ok_or(MemError::OutOfRange { addr })?;
+        *slot = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut mem = Memory::new(64);
+        mem.store(0, 1).unwrap();
+        mem.store(60, u32::MAX).unwrap();
+        assert_eq!(mem.load(0).unwrap(), 1);
+        assert_eq!(mem.load(60).unwrap(), u32::MAX);
+        assert_eq!(mem.load(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn size_rounds_up_to_word() {
+        assert_eq!(Memory::new(5).len_bytes(), 8);
+        assert_eq!(Memory::new(0).len_bytes(), 0);
+    }
+
+    #[test]
+    fn alignment_and_bounds_are_enforced() {
+        let mut mem = Memory::new(16);
+        assert_eq!(mem.load(2), Err(MemError::Unaligned { addr: 2 }));
+        assert_eq!(mem.store(17, 0), Err(MemError::Unaligned { addr: 17 }));
+        assert_eq!(mem.load(16), Err(MemError::OutOfRange { addr: 16 }));
+        assert_eq!(mem.store(1 << 30, 0), Err(MemError::OutOfRange { addr: 1 << 30 }));
+    }
+
+    #[test]
+    fn paging_faults_until_resident() {
+        let mut mem = Memory::new(1024);
+        mem.enable_paging(PagingConfig {
+            page_bytes: 256,
+            max_resident: 0,
+        });
+        assert_eq!(mem.load(0), Err(MemError::NotResident { addr: 0 }));
+        assert_eq!(mem.page_of(300), Some(1));
+        mem.make_resident(0);
+        assert_eq!(mem.load(0).unwrap(), 0);
+        assert_eq!(mem.load(256), Err(MemError::NotResident { addr: 256 }));
+        assert_eq!(mem.resident_pages(), 1);
+        mem.evict_page(0);
+        assert_eq!(mem.load(0), Err(MemError::NotResident { addr: 0 }));
+    }
+
+    #[test]
+    fn kernel_access_bypasses_residency() {
+        let mut mem = Memory::new(512);
+        mem.enable_paging(PagingConfig::tiny());
+        mem.store_kernel(8, 42).unwrap();
+        assert_eq!(mem.load_kernel(8).unwrap(), 42);
+        assert!(mem.load(8).is_err(), "user access still faults");
+        assert!(mem.load_kernel(3).is_err());
+        assert!(mem.load_kernel(4096).is_err());
+    }
+}

@@ -1,0 +1,483 @@
+use std::fmt;
+
+/// Per-instruction-class cycle costs and kernel-path costs for one
+/// processor architecture.
+///
+/// The instruction-class costs drive [`crate::Machine`]'s cycle accounting;
+/// the kernel-path costs (`syscall_trap` and below) are charged by
+/// `ras-kernel` when it models trap handling, context switching, and the
+/// PC checks of the restartable-atomic-sequence strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Register-register and register-immediate ALU operations, `li`, `mv`.
+    pub alu: u32,
+    /// `lw` (cache-hit load).
+    pub load: u32,
+    /// `sw` (store, assuming a non-stalling write buffer).
+    pub store: u32,
+    /// Conditional branches (taken or not).
+    pub branch: u32,
+    /// `j`, `jal`, `jr`, `jalr`.
+    pub jump: u32,
+    /// `nop` and the landmark no-op.
+    pub nop: u32,
+    /// Extra per-call linkage cost beyond the jump instructions themselves
+    /// (argument marshalling on CISC machines, register-window traffic on
+    /// SPARC). Charged by the machine when executing `jal`/`jalr`.
+    pub call_extra: u32,
+    /// The memory-interlocked Test-And-Set instruction (total cost; the
+    /// paper's §2.1 explains why this is often several times a plain
+    /// access: bus locking, cache bypass, microcoded generality).
+    pub interlocked: u32,
+    /// Kernel trap entry + exit: save/restore state, dispatch, argument
+    /// checks. On the R3000 the paper measures the whole emulated
+    /// Test-And-Set at about 100 instructions (§2.3).
+    pub syscall_trap: u32,
+    /// The body of the kernel-emulated atomic operation itself.
+    pub kernel_emul_body: u32,
+    /// A full context switch (choose next thread, swap register state).
+    pub context_switch: u32,
+    /// The explicit-registration PC range check, "a few tens of cycles"
+    /// added to the suspension path (§3.1).
+    pub ras_check_registered: u32,
+    /// Stage 1 of the designated-sequence check: opcode hash-table probe
+    /// (§3.2). Charged on every suspension.
+    pub designated_stage1: u32,
+    /// Stage 2 of the designated-sequence check: landmark verification.
+    /// The paper reports the whole check adds about 2 µs on a 25 MHz
+    /// R3000 in the common case.
+    pub designated_stage2: u32,
+    /// Kernel-side cost of redirecting a resumed thread through the fixed
+    /// user-level recovery routine (§4.1's user-level detection), beyond
+    /// the guest instructions the routine itself executes.
+    pub user_restart_dispatch: u32,
+    /// Servicing a page fault (I/O latency folded in), used by the paging
+    /// extension.
+    pub page_fault_service: u32,
+}
+
+impl Default for CostModel {
+    /// The R3000-like single-cycle RISC model.
+    fn default() -> CostModel {
+        CostModel {
+            alu: 1,
+            load: 1,
+            store: 1,
+            branch: 1,
+            jump: 1,
+            nop: 1,
+            call_extra: 0,
+            interlocked: 10,
+            syscall_trap: 60,
+            kernel_emul_body: 40,
+            context_switch: 400,
+            ras_check_registered: 20,
+            designated_stage1: 10,
+            designated_stage2: 40,
+            user_restart_dispatch: 30,
+            page_fault_service: 20_000,
+        }
+    }
+}
+
+/// A processor architecture: a clock rate, a cost model, and feature flags.
+///
+/// The presets below are calibrated so that running the paper's actual
+/// Test-And-Set sequences on the simulator lands near the microsecond
+/// figures of Tables 1 and 4; the calibration inputs are period-accurate
+/// clock rates and relative instruction costs (see `DESIGN.md` §5).
+///
+/// # Example
+///
+/// ```
+/// use ras_machine::CpuProfile;
+/// let p = CpuProfile::r3000();
+/// assert_eq!(p.name(), "MIPS R3000");
+/// assert!(!p.has_interlocked());
+/// assert_eq!(p.micros(25), 1.0); // 25 cycles at 25 MHz
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuProfile {
+    name: String,
+    mhz: f64,
+    cost: CostModel,
+    has_interlocked: bool,
+    has_restart_bit: bool,
+}
+
+impl CpuProfile {
+    /// Builds a custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not finite and positive.
+    pub fn custom(
+        name: impl Into<String>,
+        mhz: f64,
+        cost: CostModel,
+        has_interlocked: bool,
+        has_restart_bit: bool,
+    ) -> CpuProfile {
+        assert!(mhz.is_finite() && mhz > 0.0, "clock rate must be positive");
+        CpuProfile {
+            name: name.into(),
+            mhz,
+            cost,
+            has_interlocked,
+            has_restart_bit,
+        }
+    }
+
+    /// The architecture's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Clock rate in MHz.
+    pub fn mhz(&self) -> f64 {
+        self.mhz
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Mutable access to the cost model, for ablation experiments.
+    pub fn cost_mut(&mut self) -> &mut CostModel {
+        &mut self.cost
+    }
+
+    /// Whether the architecture has a hardware interlocked Test-And-Set.
+    pub fn has_interlocked(&self) -> bool {
+        self.has_interlocked
+    }
+
+    /// Whether the architecture has an i860-style restartable-sequence bit.
+    pub fn has_restart_bit(&self) -> bool {
+        self.has_restart_bit
+    }
+
+    /// Converts a cycle count to microseconds at this clock rate.
+    pub fn micros(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.mhz
+    }
+
+    /// MIPS R3000 at 25 MHz — the DECstation 5000/200 the paper measures in
+    /// §5. No hardware atomic operations. The call-linkage cost reflects
+    /// the subroutine linkage overhead the paper blames for the
+    /// branch-vs-inline difference in Table 1.
+    pub fn r3000() -> CpuProfile {
+        CpuProfile::custom(
+            "MIPS R3000",
+            25.0,
+            CostModel {
+                call_extra: 3,
+                ..CostModel::default()
+            },
+            false,
+            false,
+        )
+    }
+
+    /// DEC CVAX (µVAX III class, ~11 MHz). Microcoded CISC: slow memory
+    /// ops, very slow interlocked instructions (BBSSI class).
+    pub fn cvax() -> CpuProfile {
+        CpuProfile::custom(
+            "DEC CVAX",
+            11.1,
+            CostModel {
+                alu: 2,
+                load: 4,
+                store: 3,
+                branch: 3,
+                jump: 3,
+                nop: 2,
+                call_extra: 5,
+                interlocked: 24,
+                syscall_trap: 120,
+                kernel_emul_body: 60,
+                context_switch: 500,
+                ras_check_registered: 24,
+                designated_stage1: 12,
+                designated_stage2: 48,
+                user_restart_dispatch: 36,
+                page_fault_service: 20_000,
+            },
+            true,
+            false,
+        )
+    }
+
+    /// Motorola 68030 at 25 MHz. The TAS instruction is comparatively
+    /// well-implemented, so hardware beats registered software here.
+    pub fn m68030() -> CpuProfile {
+        CpuProfile::custom(
+            "Motorola 68030",
+            25.0,
+            CostModel {
+                alu: 3,
+                load: 7,
+                store: 6,
+                branch: 4,
+                jump: 6,
+                nop: 2,
+                call_extra: 9,
+                interlocked: 16,
+                syscall_trap: 150,
+                kernel_emul_body: 80,
+                context_switch: 600,
+                ras_check_registered: 30,
+                designated_stage1: 14,
+                designated_stage2: 55,
+                user_restart_dispatch: 40,
+                page_fault_service: 20_000,
+            },
+            true,
+            false,
+        )
+    }
+
+    /// Intel 386 at 16 MHz. An "overly rich set of atomic operations"
+    /// (§2.1) with moderate lock-prefix cost.
+    pub fn i386() -> CpuProfile {
+        CpuProfile::custom(
+            "Intel 386",
+            16.0,
+            CostModel {
+                alu: 1,
+                load: 3,
+                store: 2,
+                branch: 2,
+                jump: 4,
+                nop: 1,
+                call_extra: 7,
+                interlocked: 10,
+                syscall_trap: 130,
+                kernel_emul_body: 70,
+                context_switch: 550,
+                ras_check_registered: 26,
+                designated_stage1: 12,
+                designated_stage2: 50,
+                user_restart_dispatch: 36,
+                page_fault_service: 20_000,
+            },
+            true,
+            false,
+        )
+    }
+
+    /// Intel 486 at 33 MHz. Fast core, but the locked bus cycle keeps the
+    /// interlocked form slower than registered software.
+    pub fn i486() -> CpuProfile {
+        CpuProfile::custom(
+            "Intel 486",
+            33.0,
+            CostModel {
+                alu: 1,
+                load: 2,
+                store: 1,
+                branch: 3,
+                jump: 4,
+                nop: 1,
+                call_extra: 6,
+                interlocked: 20,
+                syscall_trap: 100,
+                kernel_emul_body: 50,
+                context_switch: 450,
+                ras_check_registered: 22,
+                designated_stage1: 10,
+                designated_stage2: 45,
+                user_restart_dispatch: 32,
+                page_fault_service: 20_000,
+            },
+            true,
+            false,
+        )
+    }
+
+    /// Intel i860 at 40 MHz. Has the hardware restartable-sequence bit
+    /// discussed in §7 in addition to bus-locked atomics.
+    pub fn i860() -> CpuProfile {
+        CpuProfile::custom(
+            "Intel 860",
+            40.0,
+            CostModel {
+                alu: 1,
+                load: 2,
+                store: 1,
+                branch: 2,
+                jump: 3,
+                nop: 1,
+                call_extra: 5,
+                interlocked: 9,
+                syscall_trap: 90,
+                kernel_emul_body: 45,
+                context_switch: 420,
+                ras_check_registered: 20,
+                designated_stage1: 9,
+                designated_stage2: 40,
+                user_restart_dispatch: 30,
+                page_fault_service: 20_000,
+            },
+            true,
+            true,
+        )
+    }
+
+    /// Motorola 88000 at 25 MHz. `xmem` bypasses the on-chip cache
+    /// ([Motorola 88100 88] in the paper), making hardware atomics costly
+    /// on an otherwise single-cycle RISC.
+    pub fn m88000() -> CpuProfile {
+        CpuProfile::custom(
+            "Motorola 88000",
+            25.0,
+            CostModel {
+                alu: 1,
+                load: 1,
+                store: 1,
+                branch: 1,
+                jump: 1,
+                nop: 1,
+                call_extra: 2,
+                interlocked: 19,
+                syscall_trap: 70,
+                kernel_emul_body: 40,
+                context_switch: 400,
+                ras_check_registered: 20,
+                designated_stage1: 10,
+                designated_stage2: 40,
+                user_restart_dispatch: 30,
+                page_fault_service: 20_000,
+            },
+            true,
+            false,
+        )
+    }
+
+    /// Sun SPARC at 25 MHz. Register windows make calls costlier; `ldstub`
+    /// is a locked bus operation.
+    pub fn sparc() -> CpuProfile {
+        CpuProfile::custom(
+            "Sun SPARC",
+            25.0,
+            CostModel {
+                alu: 1,
+                load: 4,
+                store: 4,
+                branch: 2,
+                jump: 2,
+                nop: 1,
+                call_extra: 7,
+                interlocked: 14,
+                syscall_trap: 110,
+                kernel_emul_body: 55,
+                context_switch: 500,
+                ras_check_registered: 22,
+                designated_stage1: 11,
+                designated_stage2: 44,
+                user_restart_dispatch: 33,
+                page_fault_service: 20_000,
+            },
+            true,
+            false,
+        )
+    }
+
+    /// HP 9000 Series 700 (PA-RISC) at 66 MHz. `ldcw` must address
+    /// uncached memory, so the hardware path is an order of magnitude
+    /// slower than the software sequence.
+    pub fn hp_pa() -> CpuProfile {
+        CpuProfile::custom(
+            "HP 9000/700",
+            66.0,
+            CostModel {
+                alu: 1,
+                load: 1,
+                store: 1,
+                branch: 1,
+                jump: 2,
+                nop: 1,
+                call_extra: 3,
+                interlocked: 59,
+                syscall_trap: 80,
+                kernel_emul_body: 40,
+                context_switch: 380,
+                ras_check_registered: 18,
+                designated_stage1: 9,
+                designated_stage2: 36,
+                user_restart_dispatch: 28,
+                page_fault_service: 20_000,
+            },
+            true,
+            false,
+        )
+    }
+
+    /// All Table 4 architectures, in the paper's row order.
+    pub fn table4_lineup() -> Vec<CpuProfile> {
+        vec![
+            CpuProfile::cvax(),
+            CpuProfile::m68030(),
+            CpuProfile::i386(),
+            CpuProfile::i486(),
+            CpuProfile::i860(),
+            CpuProfile::m88000(),
+            CpuProfile::sparc(),
+            CpuProfile::hp_pa(),
+        ]
+    }
+}
+
+impl fmt::Display for CpuProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {} MHz", self.name, self.mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_conversion() {
+        let p = CpuProfile::r3000();
+        assert!((p.micros(25) - 1.0).abs() < 1e-12);
+        assert!((p.micros(0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r3000_has_no_hardware_atomics() {
+        let p = CpuProfile::r3000();
+        assert!(!p.has_interlocked());
+        assert!(!p.has_restart_bit());
+    }
+
+    #[test]
+    fn i860_has_restart_bit_and_atomics() {
+        let p = CpuProfile::i860();
+        assert!(p.has_interlocked());
+        assert!(p.has_restart_bit());
+    }
+
+    #[test]
+    fn table4_lineup_is_complete_and_hardware_capable() {
+        let lineup = CpuProfile::table4_lineup();
+        assert_eq!(lineup.len(), 8);
+        for p in &lineup {
+            assert!(p.has_interlocked(), "{} must have hardware TAS", p.name());
+            assert!(p.mhz() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn custom_rejects_bad_clock() {
+        CpuProfile::custom("x", 0.0, CostModel::default(), false, false);
+    }
+
+    #[test]
+    fn display_mentions_clock() {
+        assert_eq!(CpuProfile::r3000().to_string(), "MIPS R3000 @ 25 MHz");
+    }
+}

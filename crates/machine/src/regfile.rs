@@ -1,0 +1,122 @@
+use std::fmt;
+
+use ras_isa::{CodeAddr, Reg};
+
+/// A thread's architectural state: 32 general registers and the program
+/// counter.
+///
+/// Register `$zero` reads as zero and ignores writes, as on the MIPS R3000.
+///
+/// # Example
+///
+/// ```
+/// use ras_isa::Reg;
+/// use ras_machine::RegFile;
+///
+/// let mut regs = RegFile::new(0);
+/// regs.set(Reg::A0, 7);
+/// regs.set(Reg::ZERO, 99); // silently ignored
+/// assert_eq!(regs.get(Reg::A0), 7);
+/// assert_eq!(regs.get(Reg::ZERO), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct RegFile {
+    gpr: [u32; 32],
+    pc: CodeAddr,
+}
+
+impl RegFile {
+    /// Creates a register file with all registers zero and the given PC.
+    pub fn new(pc: CodeAddr) -> RegFile {
+        RegFile { gpr: [0; 32], pc }
+    }
+
+    /// Reads a register.
+    pub fn get(&self, r: Reg) -> u32 {
+        self.gpr[r.index()]
+    }
+
+    /// Writes a register; writes to `$zero` are discarded.
+    pub fn set(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.gpr[r.index()] = value;
+        }
+    }
+
+    /// The current program counter (an instruction index).
+    pub fn pc(&self) -> CodeAddr {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: CodeAddr) {
+        self.pc = pc;
+    }
+
+    /// Advances the program counter by one instruction.
+    pub fn advance(&mut self) {
+        self.pc += 1;
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile::new(0)
+    }
+}
+
+impl fmt::Debug for RegFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RegFile {{ pc: {}", self.pc)?;
+        for r in Reg::all() {
+            let v = self.get(r);
+            if v != 0 {
+                write!(f, ", {r}: {v:#x}")?;
+            }
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut regs = RegFile::new(0);
+        regs.set(Reg::ZERO, 0xdead);
+        assert_eq!(regs.get(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn pc_roundtrip_and_advance() {
+        let mut regs = RegFile::new(10);
+        assert_eq!(regs.pc(), 10);
+        regs.advance();
+        assert_eq!(regs.pc(), 11);
+        regs.set_pc(3);
+        assert_eq!(regs.pc(), 3);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut regs = RegFile::default();
+        for r in Reg::all().skip(1) {
+            regs.set(r, r.index() as u32 * 3);
+        }
+        for r in Reg::all().skip(1) {
+            assert_eq!(regs.get(r), r.index() as u32 * 3);
+        }
+    }
+
+    #[test]
+    fn debug_shows_nonzero_registers_only() {
+        let mut regs = RegFile::new(5);
+        regs.set(Reg::V0, 1);
+        let dbg = format!("{regs:?}");
+        assert!(dbg.contains("$v0"));
+        assert!(!dbg.contains("$t9"));
+        assert!(dbg.contains("pc: 5"));
+    }
+}

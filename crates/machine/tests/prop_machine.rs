@@ -1,0 +1,145 @@
+//! Property tests for the CPU interpreter: ALU semantics against a native
+//! oracle, and preemption-transparency of `run`.
+
+use proptest::prelude::*;
+use ras_isa::{AluOp, Asm, Reg};
+use ras_machine::{CpuProfile, Exit, Machine, RegFile};
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+    ]
+}
+
+proptest! {
+    /// A straight-line program of random ALU ops computes exactly what the
+    /// `AluOp::apply` oracle computes.
+    #[test]
+    fn alu_program_matches_oracle(
+        ops in prop::collection::vec((arb_alu_op(), any::<i32>()), 1..40),
+        seed: u32,
+    ) {
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, seed as i32);
+        for (op, imm) in &ops {
+            asm.alui(*op, Reg::T0, Reg::T0, *imm);
+        }
+        asm.halt();
+        let program = asm.finish().unwrap();
+
+        let mut machine = Machine::new(CpuProfile::r3000(), 64);
+        let mut regs = RegFile::new(0);
+        prop_assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+
+        let mut expect = seed;
+        for (op, imm) in &ops {
+            expect = op.apply(expect, *imm as u32);
+        }
+        prop_assert_eq!(regs.get(Reg::T0), expect);
+    }
+
+    /// Chopping execution into arbitrary deadline slices produces exactly
+    /// the same final state and total cycle count as one uninterrupted run
+    /// (no i860 bit involved). This is the property that makes kernel
+    /// preemption transparent to correct (interference-free) programs.
+    #[test]
+    fn run_is_slice_transparent(
+        slices in prop::collection::vec(1u64..50, 1..30),
+        n in 1u32..200,
+    ) {
+        let build = || {
+            let mut asm = Asm::new();
+            asm.li(Reg::T0, n as i32);
+            asm.li(Reg::T1, 0);
+            let top = asm.bind_new();
+            asm.addi(Reg::T1, Reg::T1, 3);
+            asm.addi(Reg::T0, Reg::T0, -1);
+            asm.bnez(Reg::T0, top);
+            asm.halt();
+            asm.finish().unwrap()
+        };
+        let program = build();
+
+        // Uninterrupted run.
+        let mut m1 = Machine::new(CpuProfile::r3000(), 64);
+        let mut r1 = RegFile::new(0);
+        prop_assert_eq!(m1.run(&program, &mut r1, u64::MAX), Exit::Halt);
+
+        // Sliced run: apply each deadline increment in turn, then finish.
+        let mut m2 = Machine::new(CpuProfile::r3000(), 64);
+        let mut r2 = RegFile::new(0);
+        let mut deadline = 0;
+        let mut done = false;
+        for s in slices {
+            deadline += s;
+            match m2.run(&program, &mut r2, deadline) {
+                Exit::Budget => {}
+                Exit::Halt => { done = true; break; }
+                other => prop_assert!(false, "unexpected exit {other:?}"),
+            }
+        }
+        if !done {
+            prop_assert_eq!(m2.run(&program, &mut r2, u64::MAX), Exit::Halt);
+        }
+        prop_assert_eq!(r2.get(Reg::T1), r1.get(Reg::T1));
+        prop_assert_eq!(m2.clock(), m1.clock());
+    }
+
+    /// Stores then loads through guest code round-trip arbitrary values at
+    /// arbitrary aligned addresses.
+    #[test]
+    fn guest_memory_roundtrip(vals in prop::collection::vec((0u32..200, any::<u32>()), 1..20)) {
+        let mut asm = Asm::new();
+        for (slot, v) in &vals {
+            asm.li(Reg::T0, *v as i32);
+            asm.li(Reg::A0, (slot * 4) as i32);
+            asm.sw(Reg::T0, Reg::A0, 0);
+        }
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::r3000(), 1024);
+        let mut regs = RegFile::new(0);
+        prop_assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        // Last write to each slot wins.
+        let mut expect = std::collections::HashMap::new();
+        for (slot, v) in &vals {
+            expect.insert(slot * 4, *v);
+        }
+        for (addr, v) in expect {
+            prop_assert_eq!(machine.mem().load(addr).unwrap(), v);
+        }
+    }
+
+    /// The clock is monotone and total cycles equal the sum of per-class
+    /// costs for straight-line code on any profile.
+    #[test]
+    fn cycle_accounting_is_exact(loads in 0u32..20, stores in 0u32..20, alus in 0u32..20) {
+        for profile in [CpuProfile::r3000(), CpuProfile::cvax(), CpuProfile::sparc()] {
+            let mut asm = Asm::new();
+            for _ in 0..loads { asm.lw(Reg::T0, Reg::ZERO, 0); }
+            for _ in 0..stores { asm.sw(Reg::T0, Reg::ZERO, 0); }
+            for _ in 0..alus { asm.addi(Reg::T1, Reg::T1, 1); }
+            asm.halt();
+            let program = asm.finish().unwrap();
+            let mut machine = Machine::new(profile, 64);
+            let mut regs = RegFile::new(0);
+            machine.run(&program, &mut regs, u64::MAX);
+            let c = *machine.profile().cost();
+            let expect = u64::from(loads) * u64::from(c.load)
+                + u64::from(stores) * u64::from(c.store)
+                + u64::from(alus) * u64::from(c.alu)
+                + u64::from(c.alu); // halt
+            prop_assert_eq!(machine.clock(), expect);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Instruction-mix accounting and the execution trace ring buffer.
+
+use ras_isa::{Asm, Opcode, Reg};
+use ras_machine::{CpuProfile, Exit, Machine, RegFile};
+
+fn counting_program(n: i32) -> ras_isa::Program {
+    let mut asm = Asm::new();
+    asm.li(Reg::T0, n);
+    let top = asm.bind_new();
+    asm.lw(Reg::T1, Reg::ZERO, 0);
+    asm.sw(Reg::T1, Reg::ZERO, 0);
+    asm.addi(Reg::T0, Reg::T0, -1);
+    asm.bnez(Reg::T0, top);
+    asm.halt();
+    asm.finish().unwrap()
+}
+
+#[test]
+fn instruction_mix_counts_every_class_exactly() {
+    let program = counting_program(10);
+    let mut m = Machine::new(CpuProfile::r3000(), 64);
+    let mut regs = RegFile::new(0);
+    assert_eq!(m.run(&program, &mut regs, u64::MAX), Exit::Halt);
+    let mix = m.instruction_mix();
+    assert_eq!(mix[Opcode::Lw.index()], 10);
+    assert_eq!(mix[Opcode::Sw.index()], 10);
+    assert_eq!(mix[Opcode::AluI.index()], 10);
+    assert_eq!(mix[Opcode::Branch.index()], 10);
+    assert_eq!(mix[Opcode::Li.index()], 1);
+    assert_eq!(mix[Opcode::Halt.index()], 1);
+    assert_eq!(m.instructions_retired(), 42);
+}
+
+#[test]
+fn trace_is_empty_unless_enabled() {
+    let program = counting_program(3);
+    let mut m = Machine::new(CpuProfile::r3000(), 64);
+    let mut regs = RegFile::new(0);
+    m.run(&program, &mut regs, u64::MAX);
+    assert!(m.trace().is_empty());
+}
+
+#[test]
+fn trace_keeps_the_last_n_in_order() {
+    let program = counting_program(5);
+    let mut m = Machine::new(CpuProfile::r3000(), 64);
+    m.enable_trace(4);
+    let mut regs = RegFile::new(0);
+    m.run(&program, &mut regs, u64::MAX);
+    let trace = m.trace();
+    assert_eq!(trace.len(), 4);
+    // Chronological order: clocks strictly increase.
+    for pair in trace.windows(2) {
+        assert!(pair[0].clock < pair[1].clock);
+    }
+    // The final entry is the halt.
+    assert_eq!(trace.last().unwrap().inst.opcode(), Opcode::Halt);
+    // The entry before it is the not-taken branch.
+    assert_eq!(trace[2].inst.opcode(), Opcode::Branch);
+}
+
+#[test]
+fn short_runs_fill_partially() {
+    let program = counting_program(1);
+    let mut m = Machine::new(CpuProfile::r3000(), 64);
+    m.enable_trace(100);
+    let mut regs = RegFile::new(0);
+    m.run(&program, &mut regs, u64::MAX);
+    let trace = m.trace();
+    assert_eq!(trace.len() as u64, m.instructions_retired());
+    assert_eq!(trace[0].pc, 0);
+}
+
+#[test]
+#[should_panic(expected = "positive")]
+fn zero_depth_trace_is_rejected() {
+    Machine::new(CpuProfile::r3000(), 64).enable_trace(0);
+}

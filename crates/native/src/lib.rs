@@ -1,0 +1,28 @@
+//! Native-atomics companions to the simulator: the paper's algorithms
+//! implemented with real hardware atomics so they can be exercised (and
+//! benchmarked) on the host as well as on the simulated uniprocessor.
+//!
+//! * [`FastMutex`] — Lamport's fast mutual exclusion (Figure 1) with
+//!   sequentially consistent atomics, usable on a real multiprocessor.
+//! * [`BundledTas`] — the "meta" Test-And-Set packaging of Figure 2.
+//! * [`RestartableU32`] — a modern restartable-sequence analogue in the
+//!   style of Linux `rseq`, the paper's direct descendant: optimistic
+//!   read-compute-commit with restart-on-interference.
+//! * [`PetersonMutex`] / [`DekkerMutex`] — the two-thread
+//!   software-reservation classics §2.2 cites alongside Lamport's
+//!   algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interleave;
+mod lamport;
+mod meta;
+mod restartable;
+mod two_party;
+
+pub use interleave::{run_interleaved, Cpu};
+pub use lamport::{FastMutex, FastMutexGuard, Slot};
+pub use meta::BundledTas;
+pub use restartable::RestartableU32;
+pub use two_party::{DekkerGuard, DekkerMutex, PetersonGuard, PetersonMutex, Side};

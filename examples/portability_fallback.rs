@@ -1,0 +1,55 @@
+//! The §3.1 binary-compatibility story.
+//!
+//! A Mach 3.0 binary built with an explicitly registered restartable
+//! atomic sequence may land on a kernel that does not support
+//! registration. Registration fails, and "in response to the failure, the
+//! thread management system overwrites the restartable atomic sequence
+//! with code that uses a conventional mechanism" — here, kernel-emulated
+//! Test-And-Set. The program keeps working, just slower.
+//!
+//! Run with: `cargo run --example portability_fallback`
+
+use restartable_atomics::workloads::{counter_loop, CounterSpec};
+use restartable_atomics::{run_guest_keeping_kernel, Mechanism, RunOptions, StrategyKind};
+
+fn main() {
+    let spec = CounterSpec {
+        iterations: 5_000,
+        workers: 2,
+        ..Default::default()
+    };
+    let expected = spec.expected_count();
+
+    // On a kernel WITH registration support: fast path.
+    let built = counter_loop(Mechanism::RasRegistered, &spec);
+    let seq = built.registered_seq.expect("registered binary has a window");
+    println!("binary carries a registered sequence at @{}..@{}", seq.start, seq.end());
+    let (fast, kernel) = run_guest_keeping_kernel(&built, &RunOptions::default());
+    let result_addr = built.data.symbol("__ras_register_result").unwrap();
+    println!(
+        "modern kernel  : registration result = {} (0 = ok), {:.0} µs, {} emulation traps",
+        kernel.read_word(result_addr).unwrap() as i32,
+        fast.micros,
+        fast.stats.emulation_traps
+    );
+
+    // On an old kernel WITHOUT support: the loader applies the overwrite.
+    let mut fallback = counter_loop(Mechanism::RasRegistered, &spec);
+    fallback.apply_emulation_fallback();
+    assert_eq!(fallback.strategy, StrategyKind::None);
+    let (slow, kernel) = run_guest_keeping_kernel(&fallback, &RunOptions::default());
+    let counter = kernel
+        .read_word(fallback.data.symbol("counter").unwrap())
+        .unwrap();
+    println!(
+        "legacy kernel  : sequence overwritten -> {} emulation traps, {:.0} µs",
+        slow.stats.emulation_traps, slow.micros
+    );
+    assert_eq!(counter, expected, "fallback must stay correct");
+    assert!(slow.stats.emulation_traps as u32 >= expected);
+
+    println!(
+        "\nsame binary, both kernels, correct on both — at a {:.1}x cost on the old one.",
+        slow.micros / fast.micros
+    );
+}

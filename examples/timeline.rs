@@ -1,0 +1,67 @@
+//! Watch the kernel work: a timestamped event timeline of dispatches,
+//! preemptions, and sequence restarts.
+//!
+//! Runs a short two-worker fetch-and-add workload under a hostile quantum
+//! with the kernel's event timeline enabled, then prints the first
+//! restart episode: the preemption that landed inside a designated
+//! sequence and the rollback that repaired it.
+//!
+//! Run with: `cargo run --example timeline`
+
+use restartable_atomics::workloads::{counter_loop, CounterSpec};
+use restartable_atomics::{Mechanism, Outcome};
+use ras_kernel::Event;
+
+fn main() {
+    let spec = CounterSpec {
+        iterations: 300,
+        workers: 2,
+        ..Default::default()
+    };
+    let built = counter_loop(Mechanism::RasInline, &spec);
+    let mut config = built.kernel_config(restartable_atomics::CpuProfile::r3000());
+    config.quantum = 29;
+    config.jitter = 5;
+    config.seed = 3;
+    config.mem_bytes = 1 << 20;
+    config.stack_bytes = 4096;
+    let mut kernel = built.boot(config).unwrap();
+    kernel.enable_timeline();
+    assert_eq!(kernel.run(u64::MAX), Outcome::Completed);
+
+    // Find the first restart and show the surrounding window.
+    let events = kernel.timeline();
+    let at = events
+        .iter()
+        .position(|e| matches!(e.event, Event::Restart { .. }))
+        .expect("quantum 29 forces restarts");
+    let lo = at.saturating_sub(6);
+    println!("events {lo}..{} of {} total:\n", at + 3, events.len());
+    for e in &events[lo..(at + 3).min(events.len())] {
+        let what = match e.event {
+            Event::Spawn { thread } => format!("spawn     {thread}"),
+            Event::Dispatch { thread } => format!("dispatch  {thread}"),
+            Event::Preempt { thread } => format!("preempt   {thread}"),
+            Event::Yield { thread } => format!("yield     {thread}"),
+            Event::Block { thread } => format!("block     {thread}"),
+            Event::Wake { thread } => format!("wake      {thread}"),
+            Event::Sleep { thread, until } => format!("sleep     {thread} until {until}"),
+            Event::Exit { thread } => format!("exit      {thread}"),
+            Event::Restart { thread, from, to } => {
+                format!("RESTART   {thread}: pc @{from} rolled back to @{to}")
+            }
+            Event::UserRedirect { thread } => format!("redirect  {thread}"),
+            Event::PageFault { thread, addr } => format!("pagefault {thread} @{addr:#x}"),
+            Event::EmulatedTas { thread, addr } => format!("emul-tas  {thread} @{addr:#x}"),
+        };
+        println!("  [{:>8} cyc] {what}", e.clock);
+    }
+    println!(
+        "\ntotals: {} preemptions, {} restarts, counter = {}",
+        kernel.stats().preemptions,
+        kernel.stats().ras_restarts,
+        kernel
+            .read_word(built.data.symbol("counter").unwrap())
+            .unwrap()
+    );
+}

@@ -1,0 +1,46 @@
+//! # restartable-atomics
+//!
+//! A full reproduction of **Bershad, Redell & Ellis, “Fast Mutual
+//! Exclusion for Uniprocessors” (ASPLOS 1992)** in Rust: restartable
+//! atomic sequences and every baseline the paper evaluates, running on a
+//! deterministic simulated uniprocessor, plus native-atomics mirrors of
+//! the algorithms.
+//!
+//! This crate is the front door; it re-exports the workspace:
+//!
+//! * [`ras_isa`] — the MIPS-R3000-like instruction set and assembler.
+//! * [`ras_machine`] — the cycle-counting CPU and per-architecture cost
+//!   models.
+//! * [`ras_kernel`] — the simulated OS: scheduling, syscalls, and the
+//!   atomicity strategies (explicit registration, designated sequences,
+//!   user-level restart, hardware restart bit).
+//! * [`ras_guest`] — guest code generation: Test-And-Set in every flavor,
+//!   Lamport's algorithm, locks, and the paper's workloads.
+//! * [`ras_core`] — the [`Mechanism`]-oriented facade and the
+//!   `experiments` module that regenerates Tables 1–4.
+//! * [`ras_native`] — Lamport's fast mutex and an `rseq`-style
+//!   restartable cell with real atomics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use restartable_atomics::{run_guest, Mechanism, RunOptions};
+//! use restartable_atomics::workloads::{counter_loop, CounterSpec};
+//!
+//! // Three threads, each entering a Test-And-Set critical section 1,000
+//! // times, using inlined restartable atomic sequences.
+//! let spec = CounterSpec { iterations: 1_000, workers: 3, ..Default::default() };
+//! let built = counter_loop(Mechanism::RasInline, &spec);
+//! let report = run_guest(&built, &RunOptions::default());
+//! assert!(report.micros > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ras_core::*;
+pub use ras_guest;
+pub use ras_isa;
+pub use ras_kernel;
+pub use ras_machine;
+pub use ras_native;
