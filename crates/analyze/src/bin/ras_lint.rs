@@ -1,0 +1,148 @@
+//! `ras-lint` — check assembly files for restartability and landmark
+//! violations before running them under preemption.
+//!
+//! ```text
+//! usage: ras-lint [--strict] [--seq START:LEN]... FILE.s [FILE.s...]
+//!
+//!   --strict         exit nonzero on warnings as well as errors
+//!   --seq START:LEN  declare a restartable sequence (instruction
+//!                    addresses) in addition to those detected from
+//!                    landmarks; may be repeated, applies to every file
+//! ```
+//!
+//! Sequences that follow the designated templates are detected
+//! automatically from their landmarks and verified as if declared.
+//! Exit status: 0 clean, 1 findings, 2 usage or read/parse failure.
+
+use std::process::ExitCode;
+
+use ras_analyze::{analyze, explain_landmark};
+use ras_isa::{parse_asm, CodeAddr, Opcode, Program, SeqRange};
+use ras_kernel::DesignatedSet;
+
+struct Options {
+    strict: bool,
+    seqs: Vec<SeqRange>,
+    files: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ras-lint [--strict] [--seq START:LEN]... FILE.s [FILE.s...]");
+    ExitCode::from(2)
+}
+
+fn parse_seq(spec: &str) -> Option<SeqRange> {
+    let (start, len) = spec.split_once(':')?;
+    Some(SeqRange {
+        start: start.trim().parse().ok()?,
+        len: len.trim().parse().ok()?,
+    })
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        strict: false,
+        seqs: Vec::new(),
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strict" => opts.strict = true,
+            "--seq" => {
+                let spec = it.next().ok_or("--seq needs START:LEN")?;
+                opts.seqs
+                    .push(parse_seq(spec).ok_or_else(|| format!("bad --seq spec `{spec}`"))?);
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    Ok(opts)
+}
+
+/// Declares every template-shaped landmark sequence and every `--seq`
+/// range on the parsed program, skipping duplicates.
+fn declare_sequences(program: &mut Program, set: &DesignatedSet, extra: &[SeqRange]) {
+    let mut detected: Vec<SeqRange> = extra.to_vec();
+    for pc in 0..program.len() as CodeAddr {
+        if program.fetch(pc).map(|i| i.opcode()) != Some(Opcode::Landmark) {
+            continue;
+        }
+        if let Some((name, start)) = explain_landmark(program, set, pc) {
+            let len = set
+                .templates()
+                .iter()
+                .find(|t| t.name == name)
+                .map(|t| t.pattern.len() as u32)
+                .unwrap_or(0);
+            detected.push(SeqRange { start, len });
+        }
+    }
+    for range in detected {
+        if !program.seq_ranges().contains(&range) {
+            program.declare_seq(range);
+        }
+    }
+}
+
+fn lint_file(path: &str, opts: &Options, set: &DesignatedSet) -> Result<(usize, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let mut program = parse_asm(&text).map_err(|e| format!("{path}:{}: {}", e.line, e.message))?;
+    declare_sequences(&mut program, set, &opts.seqs);
+
+    let analysis = analyze(&program, set);
+    for d in &analysis.diags {
+        print!("{path}: {}", d.render(&program));
+    }
+    let errors = analysis.errors().count();
+    let warnings = analysis.warnings().count();
+    Ok((errors, warnings))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("ras-lint: {msg}");
+            }
+            return usage();
+        }
+    };
+
+    let set = DesignatedSet::standard();
+    let mut errors = 0;
+    let mut warnings = 0;
+    for file in &opts.files {
+        match lint_file(file, &opts, &set) {
+            Ok((e, w)) => {
+                errors += e;
+                warnings += w;
+            }
+            Err(msg) => {
+                eprintln!("ras-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if errors > 0 || warnings > 0 {
+        eprintln!(
+            "ras-lint: {errors} error(s), {warnings} warning(s) in {} file(s)",
+            opts.files.len()
+        );
+    }
+    if errors > 0 || (opts.strict && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

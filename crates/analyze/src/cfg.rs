@@ -1,0 +1,332 @@
+//! A control-flow graph over a [`Program`]: basic blocks, successor edges,
+//! reachability, and per-block register def/use sets with a liveness
+//! fixed point.
+//!
+//! The graph is intraprocedural in the simplest sense: `jal`/`jalr` are
+//! call sites whose block falls through to the return point, and the call
+//! target (when static) is also recorded as a successor edge so
+//! reachability flows into callees.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ras_isa::{CodeAddr, Inst, Program, Reg};
+
+/// One basic block: a maximal straight-line run of instructions entered
+/// only at its first instruction.
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: CodeAddr,
+    /// Exclusive end address.
+    pub end: CodeAddr,
+    /// Successor block start addresses (fallthrough, branch target, call
+    /// target). Register-indirect jumps contribute no static successors.
+    pub succs: Vec<CodeAddr>,
+    /// Registers written somewhere in the block.
+    pub defs: BTreeSet<Reg>,
+    /// Upward-exposed uses: registers read before any write in the block.
+    pub uses: BTreeSet<Reg>,
+    /// Registers live on entry (filled in by the liveness fixed point).
+    pub live_in: BTreeSet<Reg>,
+    /// Registers live on exit.
+    pub live_out: BTreeSet<Reg>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the block is empty (never true for built graphs).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The control-flow graph of one program.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    by_start: BTreeMap<CodeAddr, usize>,
+    reachable: BTreeSet<CodeAddr>,
+}
+
+impl Cfg {
+    /// Builds the graph: leader discovery, block formation, successor
+    /// edges, reachability from the entry point, and the liveness fixed
+    /// point over the per-block def/use sets.
+    ///
+    /// Reachability roots are the entry point, every named symbol (out-of-
+    /// line functions are invoked by address), and every `li` immediate
+    /// that names a valid code address — the idiom this ISA uses to pass
+    /// thread entry points and recovery targets in registers.
+    pub fn build(program: &Program) -> Cfg {
+        let len = program.len() as CodeAddr;
+        if len == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                by_start: BTreeMap::new(),
+                reachable: BTreeSet::new(),
+            };
+        }
+
+        // Leaders: first instruction, entry, symbols, static transfer
+        // targets, and the instruction after any control transfer.
+        let mut leaders: BTreeSet<CodeAddr> = BTreeSet::new();
+        leaders.insert(0);
+        leaders.insert(program.entry());
+        for (_, addr) in program.symbols() {
+            leaders.insert(addr);
+        }
+        for (pc, inst) in program.code().iter().enumerate() {
+            let pc = pc as CodeAddr;
+            if let Some(target) = inst.branch_target() {
+                if target < len {
+                    leaders.insert(target);
+                }
+            }
+            // Control transfers and `halt` both end a block: nothing
+            // falls through a halt, so what follows starts fresh.
+            if (inst.is_control() || !inst.falls_through()) && pc + 1 < len {
+                leaders.insert(pc + 1);
+            }
+            // Potential indirect targets (thread entries, function
+            // pointers) are passed as li immediates; give each its own
+            // block so it can act as a reachability root.
+            if let Inst::Li { imm, .. } = inst {
+                if *imm >= 0 && (*imm as CodeAddr) < len {
+                    leaders.insert(*imm as CodeAddr);
+                }
+            }
+        }
+        leaders.retain(|&l| l < len);
+
+        // Form blocks between consecutive leaders.
+        let starts: Vec<CodeAddr> = leaders.iter().copied().collect();
+        let mut blocks = Vec::with_capacity(starts.len());
+        let mut by_start = BTreeMap::new();
+        for (i, &start) in starts.iter().enumerate() {
+            let end = starts.get(i + 1).copied().unwrap_or(len);
+            by_start.insert(start, blocks.len());
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+                defs: BTreeSet::new(),
+                uses: BTreeSet::new(),
+                live_in: BTreeSet::new(),
+                live_out: BTreeSet::new(),
+            });
+        }
+
+        // Successor edges and def/use sets.
+        for block in &mut blocks {
+            let last = program.fetch(block.end - 1).expect("block in bounds");
+            if let Some(target) = last.branch_target() {
+                if target < len {
+                    block.succs.push(target);
+                }
+            }
+            if last.falls_through() && block.end < len {
+                block.succs.push(block.end);
+            }
+            for pc in block.start..block.end {
+                let inst = program.fetch(pc).expect("block in bounds");
+                for r in inst.uses() {
+                    if r != Reg::ZERO && !block.defs.contains(&r) {
+                        block.uses.insert(r);
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    if d != Reg::ZERO {
+                        block.defs.insert(d);
+                    }
+                }
+            }
+        }
+
+        // Reachability from the roots.
+        let mut reachable = BTreeSet::new();
+        let mut queue: VecDeque<CodeAddr> = VecDeque::new();
+        let push = |queue: &mut VecDeque<CodeAddr>, addr: CodeAddr| {
+            if addr < len {
+                queue.push_back(addr);
+            }
+        };
+        push(&mut queue, program.entry());
+        for (_, addr) in program.symbols() {
+            push(&mut queue, addr);
+        }
+        for inst in program.code() {
+            if let Inst::Li { imm, .. } = inst {
+                if *imm >= 0 && (*imm as CodeAddr) < len {
+                    push(&mut queue, *imm as CodeAddr);
+                }
+            }
+        }
+        while let Some(addr) = queue.pop_front() {
+            // A root may land mid-block (e.g. an li immediate that is data,
+            // not code); walk from the containing block's start.
+            let Some(&bi) = by_start.get(&addr) else {
+                continue;
+            };
+            let start = blocks[bi].start;
+            if !reachable.insert(start) {
+                continue;
+            }
+            for &s in &blocks[bi].succs {
+                if let Some(&si) = by_start.get(&s) {
+                    let s_start = blocks[si].start;
+                    if !reachable.contains(&s_start) {
+                        queue.push_back(s_start);
+                    }
+                }
+            }
+        }
+
+        let mut cfg = Cfg {
+            blocks,
+            by_start,
+            reachable,
+        };
+        cfg.solve_liveness();
+        cfg
+    }
+
+    /// Backward liveness fixed point:
+    /// `live_out = ∪ live_in(succ)`, `live_in = uses ∪ (live_out − defs)`.
+    fn solve_liveness(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..self.blocks.len()).rev() {
+                let mut out = BTreeSet::new();
+                for &s in &self.blocks[i].succs {
+                    if let Some(&si) = self.by_start.get(&s) {
+                        out.extend(self.blocks[si].live_in.iter().copied());
+                    }
+                }
+                let block = &self.blocks[i];
+                let mut live_in = block.uses.clone();
+                live_in.extend(out.difference(&block.defs).copied());
+                let block = &mut self.blocks[i];
+                if out != block.live_out || live_in != block.live_in {
+                    block.live_out = out;
+                    block.live_in = live_in;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /// All blocks, in address order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing `pc`, if any.
+    pub fn block_of(&self, pc: CodeAddr) -> Option<&BasicBlock> {
+        let (_, &i) = self.by_start.range(..=pc).next_back()?;
+        let b = &self.blocks[i];
+        (pc < b.end).then_some(b)
+    }
+
+    /// Whether the block containing `pc` is reachable from any root.
+    pub fn is_reachable(&self, pc: CodeAddr) -> bool {
+        self.block_of(pc)
+            .is_some_and(|b| self.reachable.contains(&b.start))
+    }
+
+    /// Block start addresses reachable from the roots.
+    pub fn reachable_blocks(&self) -> impl Iterator<Item = CodeAddr> + '_ {
+        self.reachable.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::{Asm, Reg};
+
+    fn loop_program() -> Program {
+        let mut asm = Asm::new();
+        let top = asm.label();
+        asm.li(Reg::T0, 3); // @0  block A
+        asm.bind(top);
+        asm.addi(Reg::T0, Reg::T0, -1); // @1  block B
+        asm.bnez(Reg::T0, top); // @2
+        asm.halt(); // @3  block C
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn blocks_split_at_branches_and_targets() {
+        let p = loop_program();
+        let cfg = Cfg::build(&p);
+        let starts: Vec<CodeAddr> = cfg.blocks().iter().map(|b| b.start).collect();
+        assert_eq!(starts, vec![0, 1, 3]);
+        let b = cfg.block_of(2).unwrap();
+        assert_eq!(b.start, 1);
+        assert_eq!(b.succs, vec![1, 3], "loop back-edge plus fallthrough");
+        assert!(cfg.block_of(99).is_none());
+    }
+
+    #[test]
+    fn reachability_covers_the_loop_and_not_orphans() {
+        let mut asm = Asm::new();
+        asm.j_to(2); // @0: skip over the orphan
+        asm.nop(); // @1: unreachable (no symbol, no target)
+        asm.halt(); // @2
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.is_reachable(0));
+        assert!(!cfg.is_reachable(1));
+        assert!(cfg.is_reachable(2));
+    }
+
+    #[test]
+    fn def_use_and_liveness() {
+        let p = loop_program();
+        let cfg = Cfg::build(&p);
+        let a = cfg.block_of(0).unwrap();
+        assert!(a.defs.contains(&Reg::T0));
+        assert!(a.uses.is_empty(), "t0 is defined before use in block A");
+        let b = cfg.block_of(1).unwrap();
+        assert!(
+            b.uses.contains(&Reg::T0),
+            "the decrement reads t0 before writing it"
+        );
+        assert!(
+            b.live_in.contains(&Reg::T0),
+            "t0 must be live around the loop"
+        );
+        assert!(!a.live_in.contains(&Reg::T0));
+    }
+
+    #[test]
+    fn li_immediates_seed_reachability() {
+        let mut asm = Asm::new();
+        // main: pass @3 as a function pointer, then halt.
+        asm.li(Reg::A0, 3); // @0
+        asm.halt(); // @1
+        asm.nop(); // @2: plain orphan
+        asm.jr(Reg::RA); // @3: "function" only named by the li
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(!cfg.is_reachable(2));
+        assert!(cfg.is_reachable(3), "li-immediate root");
+    }
+
+    #[test]
+    fn calls_record_both_successors() {
+        let mut asm = Asm::new();
+        asm.jal_to(2); // @0
+        asm.halt(); // @1
+        asm.jr(Reg::RA); // @2
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let entry = cfg.block_of(0).unwrap();
+        assert_eq!(entry.succs, vec![2, 1]);
+    }
+}

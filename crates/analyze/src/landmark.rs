@@ -1,0 +1,214 @@
+//! Landmark-safety lints.
+//!
+//! The designated-sequence recognizer is sound only because of a
+//! convention the kernel cannot check at run time: "the landmark is never
+//! emitted under any other circumstance" (§3.2). A landmark that is *not*
+//! part of a template-shaped sequence breaks that convention — a thread
+//! suspended near it may be rolled back to an address that was never the
+//! start of an atomic sequence. This module checks the convention
+//! statically, plus the dual property: that the template set itself cannot
+//! match one instruction stream two different ways.
+
+use ras_isa::{CodeAddr, Opcode, Program};
+use ras_kernel::DesignatedSet;
+
+use crate::diag::{DiagKind, Diagnostic};
+
+/// Explains the landmark at `pc`: the template whose shape surrounds it,
+/// with the sequence start address. `None` when no template fits — the
+/// collision case.
+pub fn explain_landmark(
+    program: &Program,
+    set: &DesignatedSet,
+    pc: CodeAddr,
+) -> Option<(&'static str, CodeAddr)> {
+    for t in set.templates() {
+        let Some(start) = pc.checked_sub(t.landmark as CodeAddr) else {
+            continue;
+        };
+        let fits = t.pattern.iter().enumerate().all(|(k, want)| {
+            program
+                .fetch(start + k as CodeAddr)
+                .is_some_and(|got| got.opcode() == *want)
+        });
+        if fits {
+            return Some((t.name, start));
+        }
+    }
+    None
+}
+
+/// Flags every landmark instruction that no template explains.
+pub fn lint_landmarks(program: &Program, set: &DesignatedSet) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (pc, inst) in program.code().iter().enumerate() {
+        let pc = pc as CodeAddr;
+        if inst.opcode() != Opcode::Landmark {
+            continue;
+        }
+        if explain_landmark(program, set, pc).is_none() {
+            let names: Vec<&str> = set.templates().iter().map(|t| t.name).collect();
+            diags.push(Diagnostic::new(
+                DiagKind::LandmarkCollision,
+                pc,
+                format!(
+                    "landmark at @{pc} sits in none of the designated shapes ({}); \
+                     the kernel could roll a thread suspended nearby back to a \
+                     non-sequence address",
+                    names.join(", ")
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Checks the template set for ambiguity: two templates (or one template
+/// against a shifted copy of itself) that can match overlapping
+/// instruction streams with different sequence starts. If some suspended
+/// PC is interior to both matches, the recognizer has two candidate
+/// rollback addresses and picks one arbitrarily — rolling back to the
+/// wrong one re-executes code the thread never entered through.
+///
+/// Stage 2 matches on opcodes alone, so two templates co-match iff their
+/// shifted patterns agree on every shared position; ambiguity additionally
+/// needs a PC at position > 0 of both patterns.
+pub fn check_template_ambiguity(set: &DesignatedSet) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for a in set.templates() {
+        for b in set.templates() {
+            // `b` starting `d` instructions after `a`; `d = 0` is the
+            // same-start case, where both candidates roll back to the same
+            // address and no harm is possible.
+            for d in 1..a.pattern.len() {
+                let consistent =
+                    b.pattern
+                        .iter()
+                        .enumerate()
+                        .all(|(p, want)| match a.pattern.get(d + p) {
+                            Some(have) => have == want,
+                            None => true, // past a's end: unconstrained
+                        });
+                // Shared interior PC: offset o with o >= 1 (inside a) and
+                // o - d >= 1 (inside b), i.e. d + 1 <= a.len() - 1.
+                let shares_interior = d < a.pattern.len() - 1;
+                if consistent && shares_interior {
+                    diags.push(Diagnostic::new(
+                        DiagKind::AmbiguousTemplates,
+                        0,
+                        format!(
+                            "template `{}` shifted {d} instruction(s) into `{}` matches the \
+                             same stream with a different rollback start; a suspension in \
+                             the overlap restarts at the wrong address",
+                            b.name, a.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::{Asm, Reg};
+    use ras_kernel::SequenceTemplate;
+
+    #[test]
+    fn template_shaped_landmarks_are_explained() {
+        let mut asm = Asm::new();
+        asm.nop();
+        ras_guest::tas::emit_tas_inline(&mut asm);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let set = DesignatedSet::standard();
+        assert_eq!(explain_landmark(&p, &set, 4), Some(("tas", 1)));
+        assert!(lint_landmarks(&p, &set).is_empty());
+    }
+
+    #[test]
+    fn stray_landmark_is_a_collision() {
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, 1);
+        asm.landmark(); // @1: not inside any template shape
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let diags = lint_landmarks(&p, &DesignatedSet::standard());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagKind::LandmarkCollision);
+        assert_eq!(diags[0].addr, 1);
+    }
+
+    #[test]
+    fn moved_landmark_breaks_the_shape() {
+        // lw; landmark; li; bne; sw — the TAS shape with the landmark
+        // hoisted two slots earlier. No template explains it.
+        let mut asm = Asm::new();
+        let out = asm.label();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.landmark(); // @1
+        asm.li(Reg::T0, 1);
+        asm.bnez(Reg::V0, out);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.bind(out);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let diags = lint_landmarks(&p, &DesignatedSet::standard());
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert_eq!(diags[0].kind, DiagKind::LandmarkCollision);
+        assert_eq!(diags[0].addr, 1);
+    }
+
+    #[test]
+    fn standard_set_is_unambiguous() {
+        assert!(check_template_ambiguity(&DesignatedSet::standard()).is_empty());
+    }
+
+    #[test]
+    fn suffix_template_is_flagged_ambiguous() {
+        // B = [landmark; sw] is a suffix of A = [lw; landmark; sw] shifted
+        // by one: the committing store is interior to both, with rollback
+        // starts one instruction apart.
+        let set = DesignatedSet::new(vec![
+            SequenceTemplate {
+                name: "a",
+                pattern: vec![Opcode::Lw, Opcode::Landmark, Opcode::Sw],
+                landmark: 1,
+            },
+            SequenceTemplate {
+                name: "b",
+                pattern: vec![Opcode::Landmark, Opcode::Sw],
+                landmark: 0,
+            },
+        ]);
+        let diags = check_template_ambiguity(&set);
+        assert!(
+            diags.iter().any(|d| d.kind == DiagKind::AmbiguousTemplates),
+            "{diags:#?}"
+        );
+    }
+
+    #[test]
+    fn self_overlapping_template_is_flagged() {
+        // A doubled body matches itself shifted by its period.
+        let set = DesignatedSet::new(vec![SequenceTemplate {
+            name: "doubled",
+            pattern: vec![
+                Opcode::Lw,
+                Opcode::Landmark,
+                Opcode::Sw,
+                Opcode::Lw,
+                Opcode::Landmark,
+                Opcode::Sw,
+            ],
+            landmark: 1,
+        }]);
+        let diags = check_template_ambiguity(&set);
+        assert!(
+            diags.iter().any(|d| d.kind == DiagKind::AmbiguousTemplates),
+            "{diags:#?}"
+        );
+    }
+}

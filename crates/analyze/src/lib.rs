@@ -1,0 +1,145 @@
+//! # ras-analyze — static restartability verification for guest programs
+//!
+//! The paper's mechanisms hinge on properties the kernel *assumes* but
+//! never checks: a registered sequence really is restartable (its sole
+//! side effect is its final store, §3.1), the landmark no-op "is never
+//! emitted under any other circumstance" (§3.2), and the template set
+//! recognizes each sequence exactly one way. This crate checks all of
+//! them ahead of time, over any [`ras_isa::Program`]:
+//!
+//! * [`cfg`] — basic blocks, successors, reachability, and a register
+//!   liveness fixed point; the substrate for the other passes.
+//! * [`verify`] — the restartability verifier proper: every declared
+//!   [`ras_isa::SeqRange`] must commit through a unique final store, keep
+//!   its prefix free of side effects, branch only forward and out, never
+//!   clobber a live-in register, and never be entered mid-sequence.
+//! * [`landmark`] — the landmark-collision lint and the
+//!   template-ambiguity check over a [`ras_kernel::DesignatedSet`].
+//! * [`races`] — the unprotected read-modify-write lint: the paper's
+//!   motivating bug, found statically.
+//!
+//! [`analyze`] runs everything and returns the findings sorted by
+//! address; the `ras-lint` binary wraps it for `.s` files on disk.
+
+pub mod cfg;
+pub mod diag;
+pub mod landmark;
+pub mod races;
+pub mod verify;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use diag::{DiagKind, Diagnostic, Severity};
+pub use landmark::{check_template_ambiguity, explain_landmark, lint_landmarks};
+pub use races::lint_races;
+pub use verify::{restartable_opcode, verify_declared, verify_sequence};
+
+use ras_isa::Program;
+use ras_kernel::DesignatedSet;
+
+/// Everything one analysis run produces.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The control-flow graph built for the passes (kept for callers that
+    /// want reachability or liveness answers alongside the findings).
+    pub cfg: Cfg,
+    /// All findings, sorted by address, errors before warnings at the
+    /// same address.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    /// Whether any finding is an error (a violated mechanism rule, as
+    /// opposed to a suspicious-but-unprovable warning).
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity() == Severity::Error)
+    }
+
+    /// The error findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// The warning findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+    }
+}
+
+/// Runs every pass over `program` against the given designated set.
+pub fn analyze(program: &Program, set: &DesignatedSet) -> Analysis {
+    let cfg = Cfg::build(program);
+    let mut diags = check_template_ambiguity(set);
+    diags.extend(verify_declared(program));
+    diags.extend(lint_landmarks(program, set));
+    diags.extend(lint_races(program, set, &cfg));
+    diags.sort_by_key(|d| (d.addr, d.severity() == Severity::Warning));
+    Analysis { cfg, diags }
+}
+
+/// [`analyze`] against [`DesignatedSet::standard`], the set the kernel
+/// actually runs.
+pub fn analyze_standard(program: &Program) -> Analysis {
+    analyze(program, &DesignatedSet::standard())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::{Asm, Reg, SeqRange};
+
+    #[test]
+    fn clean_designated_program_has_no_findings() {
+        let mut asm = Asm::new();
+        asm.nop();
+        ras_guest::tas::emit_tas_inline(&mut asm);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let a = analyze_standard(&p);
+        assert!(a.diags.is_empty(), "{:#?}", a.diags);
+        assert!(!a.has_errors());
+    }
+
+    #[test]
+    fn findings_are_sorted_and_classified() {
+        let mut asm = Asm::new();
+        // An unprotected RMW (warning, @0)...
+        asm.lw(Reg::T0, Reg::A0, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        // ...and a stray landmark (error, @3).
+        asm.landmark();
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let a = analyze_standard(&p);
+        let kinds: Vec<DiagKind> = a.diags.iter().map(|d| d.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![DiagKind::UnprotectedRmw, DiagKind::LandmarkCollision]
+        );
+        assert!(a.has_errors());
+        assert_eq!(a.errors().count(), 1);
+        assert_eq!(a.warnings().count(), 1);
+    }
+
+    #[test]
+    fn declared_but_broken_sequence_is_an_error() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::T0, Reg::A0, 0);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.syscall(); // inside the declared range: not restartable
+        asm.halt();
+        asm.declare_seq(SeqRange { start: 0, len: 3 });
+        let p = asm.finish().unwrap();
+        let a = analyze_standard(&p);
+        assert!(a.has_errors());
+        assert!(a
+            .diags
+            .iter()
+            .any(|d| d.kind == DiagKind::SideEffectInPrefix));
+        assert!(a.diags.iter().any(|d| d.kind == DiagKind::StoreNotLast));
+    }
+}

@@ -1,0 +1,271 @@
+//! The unprotected read-modify-write lint.
+//!
+//! The paper's motivating bug (§1): on a uniprocessor, `lw; modify; sw`
+//! to a shared word is atomic only until the scheduler preempts between
+//! the load and the store. This pass finds such windows and checks them
+//! against every protection the toolchain knows about:
+//!
+//! * a declared restartable sequence covering the whole window;
+//! * a designated-sequence template match at the committing store
+//!   (landmark + shape — the Taos recognizer would roll it back);
+//! * a preceding `begin_atomic` in the same block (the i860 hardware bit
+//!   holds until the next store).
+//!
+//! Anything else is flagged as a **warning**, not an error: the analysis
+//! cannot see locks, so a mutex-protected counter update looks identical
+//! to a racy one. The warning marks every place a human (or the paper's
+//! authors, auditing Taos) must look.
+
+use std::collections::BTreeMap;
+
+use ras_isa::{CodeAddr, Inst, Program, Reg};
+use ras_kernel::DesignatedSet;
+
+use crate::cfg::Cfg;
+use crate::diag::{DiagKind, Diagnostic};
+
+/// Where a tainted register value came from: a load at `load_pc` of
+/// `mem[base + off]`.
+#[derive(Copy, Clone, Debug)]
+struct Taint {
+    load_pc: CodeAddr,
+    base: Reg,
+    off: i32,
+}
+
+/// Scans every reachable block for naive load-modify-store windows on the
+/// same memory word with no visible protection.
+pub fn lint_races(program: &Program, set: &DesignatedSet, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for block in cfg.blocks() {
+        if !cfg.is_reachable(block.start) {
+            continue;
+        }
+        // Taint per destination register, tracked only within the block:
+        // control transfers (calls included, so lock acquisitions) clear
+        // the state by ending the block.
+        let mut taints: BTreeMap<Reg, Taint> = BTreeMap::new();
+        let mut hardware_bit = false;
+        for pc in block.start..block.end {
+            let Some(inst) = program.fetch(pc) else { break };
+            match inst {
+                Inst::BeginAtomic => hardware_bit = true,
+                Inst::Lw { rd, base, off } => {
+                    // Redefining a register kills taints based on it.
+                    taints.retain(|_, t| t.base != rd);
+                    taints.insert(
+                        rd,
+                        Taint {
+                            load_pc: pc,
+                            base,
+                            off,
+                        },
+                    );
+                }
+                Inst::Alu { rd, rs, rt, .. } => {
+                    let carried = taints.get(&rs).or_else(|| taints.get(&rt)).copied();
+                    taints.retain(|_, t| t.base != rd);
+                    match carried {
+                        Some(t) => {
+                            taints.insert(rd, t);
+                        }
+                        None => {
+                            taints.remove(&rd);
+                        }
+                    }
+                }
+                Inst::AluI { rd, rs, .. } => {
+                    let carried = taints.get(&rs).copied();
+                    taints.retain(|_, t| t.base != rd);
+                    match carried {
+                        Some(t) => {
+                            taints.insert(rd, t);
+                        }
+                        None => {
+                            taints.remove(&rd);
+                        }
+                    }
+                }
+                Inst::Sw { rs, base, off } => {
+                    if let Some(t) = taints.get(&rs).copied() {
+                        if t.base == base
+                            && t.off == off
+                            && !is_protected(program, set, t.load_pc, pc, hardware_bit)
+                        {
+                            diags.push(Diagnostic::new(
+                                DiagKind::UnprotectedRmw,
+                                t.load_pc,
+                                format!(
+                                    "value loaded from ({base}{off:+}) at @{} is stored back at @{pc} \
+                                     with no declared sequence, designated shape, or hardware \
+                                     atomic bit covering the window; preemption in between loses \
+                                     a concurrent update",
+                                    t.load_pc
+                                ),
+                            ));
+                        }
+                    }
+                    // The i860 bit clears at the first store.
+                    hardware_bit = false;
+                }
+                _ => {
+                    if let Some(rd) = inst.def() {
+                        taints.retain(|_, t| t.base != rd);
+                        taints.remove(&rd);
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Whether the `[load_pc, store_pc]` window is covered by some protection
+/// the analysis can see.
+fn is_protected(
+    program: &Program,
+    set: &DesignatedSet,
+    load_pc: CodeAddr,
+    store_pc: CodeAddr,
+    hardware_bit: bool,
+) -> bool {
+    if hardware_bit {
+        return true;
+    }
+    if program
+        .seq_ranges()
+        .iter()
+        .any(|r| r.contains(load_pc) && r.contains(store_pc))
+    {
+        return true;
+    }
+    // The committing store of a designated sequence is interior to the
+    // template match, so stage 2 recognizes it directly.
+    set.stage2(program, store_pc).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::{Asm, Reg, SeqRange};
+
+    fn lint(p: &Program) -> Vec<Diagnostic> {
+        lint_races(p, &DesignatedSet::standard(), &Cfg::build(p))
+    }
+
+    #[test]
+    fn naive_counter_increment_is_flagged() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::T0, Reg::A0, 0); // @0
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let diags = lint(&p);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert_eq!(diags[0].kind, DiagKind::UnprotectedRmw);
+        assert_eq!(diags[0].addr, 0, "anchored at the load");
+    }
+
+    #[test]
+    fn declared_sequence_suppresses_the_warning() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::T0, Reg::A0, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.halt();
+        asm.declare_seq(SeqRange { start: 0, len: 3 });
+        let p = asm.finish().unwrap();
+        assert!(lint(&p).is_empty());
+    }
+
+    #[test]
+    fn designated_shape_suppresses_the_warning() {
+        // The faa template, with no declared range: the landmark itself is
+        // the protection (the Taos kernel would roll the window back).
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.addi(Reg::V0, Reg::V0, 1);
+        asm.landmark();
+        asm.sw(Reg::V0, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert!(lint(&p).is_empty());
+    }
+
+    #[test]
+    fn begin_atomic_suppresses_the_warning() {
+        let mut asm = Asm::new();
+        asm.begin_atomic();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.li(Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        // A second, uncovered window after the bit cleared: flagged.
+        asm.lw(Reg::T1, Reg::A0, 0);
+        asm.sw(Reg::T1, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let diags = lint(&p);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert_eq!(diags[0].addr, 4);
+    }
+
+    #[test]
+    fn different_words_do_not_alias() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::T0, Reg::A0, 0);
+        asm.sw(Reg::T0, Reg::A0, 4); // copy to the next word: not an RMW
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert!(lint(&p).is_empty());
+    }
+
+    #[test]
+    fn redefined_base_kills_the_taint() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::T0, Reg::A0, 0);
+        asm.li(Reg::A0, 64); // a0 now names a different word
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert!(lint(&p).is_empty());
+    }
+
+    #[test]
+    fn calls_between_load_and_store_reset_tracking() {
+        // lw; jal lock; sw — the call may acquire a lock; the block break
+        // clears the taint, so no warning.
+        let mut asm = Asm::new();
+        asm.lw(Reg::T0, Reg::A0, 0); // @0
+        asm.jal_to(4); // @1
+        asm.sw(Reg::T0, Reg::A0, 0); // @2
+        asm.halt(); // @3
+        asm.jr(Reg::RA); // @4 "lock"
+        let p = asm.finish().unwrap();
+        assert!(lint(&p).is_empty());
+    }
+
+    #[test]
+    fn taint_propagates_through_alu() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::T0, Reg::A0, 0);
+        asm.add(Reg::T1, Reg::T0, Reg::T2); // taint flows t0 -> t1
+        asm.sw(Reg::T1, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let diags = lint(&p);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert_eq!(diags[0].kind, DiagKind::UnprotectedRmw);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_linted() {
+        let mut asm = Asm::new();
+        asm.halt(); // @0: entry halts immediately
+        asm.lw(Reg::T0, Reg::A0, 0); // @1..: orphan racy window
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        let p = asm.finish().unwrap();
+        assert!(lint(&p).is_empty());
+    }
+}

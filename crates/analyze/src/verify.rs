@@ -1,0 +1,403 @@
+//! The restartability verifier: proves, per declared sequence, that the
+//! kernel's rollback recovery (set the PC back to the sequence start) is
+//! always safe.
+//!
+//! A suspended thread keeps its full register file; rollback only rewrites
+//! the PC. Re-executing the sequence from the top is therefore safe iff
+//!
+//! 1. the committing store is the **only** store and the **last**
+//!    instruction — the single point at which the sequence takes effect
+//!    (§3 of the paper: "its sole side effect occurs in its final store");
+//! 2. the body contains no other side-effecting or non-restartable
+//!    instruction (syscall, call, indirect jump, interlocked op, halt);
+//! 3. control inside the sequence only moves forward, and every exit
+//!    branch jumps past the committing store (a partial execution that
+//!    leaves early must look like the sequence never ran);
+//! 4. no instruction overwrites a register the sequence reads on entry —
+//!    otherwise the re-execution reads a value the first partial execution
+//!    already replaced;
+//! 5. nothing outside the sequence jumps into its interior, since a thread
+//!    that entered mid-sequence could be rolled back over code it never
+//!    ran.
+
+use std::collections::BTreeSet;
+
+use ras_isa::{CodeAddr, Inst, Opcode, Program, Reg, SeqRange};
+
+use crate::diag::{DiagKind, Diagnostic};
+
+/// Verifies one declared sequence; returns every violation found.
+pub fn verify_sequence(program: &Program, range: SeqRange) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let len = program.len() as CodeAddr;
+    if range.len == 0 || range.start >= len || range.end() > len {
+        diags.push(Diagnostic::new(
+            DiagKind::InvalidRange,
+            range.start.min(len.saturating_sub(1)),
+            format!(
+                "declared sequence [{}..{}) is empty or out of bounds (program has {} instructions)",
+                range.start,
+                range.end(),
+                len
+            ),
+        ));
+        return diags;
+    }
+
+    // Rule 1: exactly one store, and it is the final instruction.
+    let stores: Vec<CodeAddr> = (range.start..range.end())
+        .filter(|&pc| matches!(program.fetch(pc).map(|i| i.opcode()), Some(Opcode::Sw)))
+        .collect();
+    let commit = range.end() - 1;
+    match stores.as_slice() {
+        [] => diags.push(Diagnostic::new(
+            DiagKind::NoCommittingStore,
+            commit,
+            format!(
+                "sequence [{}..{}) contains no store; a restartable sequence commits through exactly one",
+                range.start,
+                range.end()
+            ),
+        )),
+        [only] if *only == commit => {}
+        [only] => diags.push(Diagnostic::new(
+            DiagKind::StoreNotLast,
+            *only,
+            format!(
+                "committing store at @{only} is followed by {} more instruction(s) inside the sequence; \
+                 a suspension after it would repeat the store on restart",
+                commit - only
+            ),
+        )),
+        [_, extra, ..] => diags.push(Diagnostic::new(
+            DiagKind::MultipleStores,
+            *extra,
+            format!(
+                "second store at @{extra}: a rollback past the first store would repeat a memory write"
+            ),
+        )),
+    }
+
+    // Rules 2 and 3: instruction legality and forward-only control.
+    for pc in range.start..range.end() {
+        let Some(inst) = program.fetch(pc) else { break };
+        match inst.opcode() {
+            Opcode::Syscall
+            | Opcode::Jal
+            | Opcode::Jalr
+            | Opcode::Jr
+            | Opcode::J
+            | Opcode::Tas
+            | Opcode::BeginAtomic
+            | Opcode::Halt => diags.push(Diagnostic::new(
+                DiagKind::SideEffectInPrefix,
+                pc,
+                format!(
+                    "`{inst}` inside the sequence is not restartable; \
+                     only loads, register operations, landmarks, and forward exit branches may precede the commit"
+                ),
+            )),
+            Opcode::Branch => {
+                let target = inst.branch_target().expect("branches have targets");
+                if target <= pc {
+                    diags.push(Diagnostic::new(
+                        DiagKind::BackwardBranch,
+                        pc,
+                        format!(
+                            "branch at @{pc} targets @{target}, an earlier address; \
+                             re-executed iterations make the prefix non-idempotent"
+                        ),
+                    ));
+                } else if target < range.end() {
+                    diags.push(Diagnostic::new(
+                        DiagKind::InternalBranch,
+                        pc,
+                        format!(
+                            "branch at @{pc} lands at @{target}, still inside the sequence; \
+                             exit branches must jump past the committing store at @{commit}"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Rule 4: live-in registers are never overwritten. The body is
+    // straight-line (rules 2–3 reject everything else), so a single
+    // forward scan computes exact first-use/first-def order.
+    let mut defined: BTreeSet<Reg> = BTreeSet::new();
+    let mut live_in: BTreeSet<Reg> = BTreeSet::new();
+    for pc in range.start..range.end() {
+        let Some(inst) = program.fetch(pc) else { break };
+        for r in inst.uses() {
+            if r != Reg::ZERO && !defined.contains(&r) {
+                live_in.insert(r);
+            }
+        }
+        if let Some(d) = inst.def() {
+            if d != Reg::ZERO {
+                if live_in.contains(&d) {
+                    diags.push(Diagnostic::new(
+                        DiagKind::LiveInClobbered,
+                        pc,
+                        format!(
+                            "`{inst}` overwrites {d}, which the sequence reads on entry; \
+                             after rollback the re-execution would see the clobbered value"
+                        ),
+                    ));
+                }
+                defined.insert(d);
+            }
+        }
+    }
+
+    // Rule 5: no control transfer from outside targets the interior.
+    for (pc, inst) in program.code().iter().enumerate() {
+        let pc = pc as CodeAddr;
+        if range.contains(pc) {
+            continue;
+        }
+        if let Some(target) = inst.branch_target() {
+            if range.contains(target) && target != range.start {
+                diags.push(Diagnostic::new(
+                    DiagKind::JumpIntoSequence,
+                    pc,
+                    format!(
+                        "`{inst}` at @{pc} enters the sequence [{}..{}) at @{target}, past its first instruction; \
+                         a thread entering here could be rolled back over code it never executed",
+                        range.start,
+                        range.end()
+                    ),
+                ));
+            }
+        }
+    }
+
+    diags
+}
+
+/// Verifies every declared sequence of `program`, plus the pairwise
+/// overlap rule between declarations.
+pub fn verify_declared(program: &Program) -> Vec<Diagnostic> {
+    let ranges = program.seq_ranges();
+    let mut diags = Vec::new();
+    for (i, &a) in ranges.iter().enumerate() {
+        for &b in &ranges[i + 1..] {
+            if a.overlaps(b) {
+                diags.push(Diagnostic::new(
+                    DiagKind::OverlappingRanges,
+                    a.start.max(b.start),
+                    format!(
+                        "sequences [{}..{}) and [{}..{}) overlap; \
+                         a suspension in the overlap has two candidate rollback targets",
+                        a.start,
+                        a.end(),
+                        b.start,
+                        b.end()
+                    ),
+                ));
+            }
+        }
+    }
+    for &r in ranges {
+        diags.extend(verify_sequence(program, r));
+    }
+    diags
+}
+
+/// Whether an instruction may legally appear in a restartable sequence
+/// body (everything the verifier's rule 2 permits).
+pub fn restartable_opcode(inst: &Inst) -> bool {
+    !matches!(
+        inst.opcode(),
+        Opcode::Syscall
+            | Opcode::Jal
+            | Opcode::Jalr
+            | Opcode::Jr
+            | Opcode::J
+            | Opcode::Tas
+            | Opcode::BeginAtomic
+            | Opcode::Halt
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::Asm;
+
+    fn assert_kinds(diags: &[Diagnostic], kinds: &[DiagKind]) {
+        let got: Vec<DiagKind> = diags.iter().map(|d| d.kind).collect();
+        assert_eq!(got, kinds, "diags: {diags:#?}");
+    }
+
+    #[test]
+    fn figure_4_sequence_is_clean() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.li(Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.jr(Reg::RA);
+        asm.declare_seq(SeqRange { start: 0, len: 3 });
+        let p = asm.finish().unwrap();
+        assert_kinds(&verify_declared(&p), &[]);
+    }
+
+    #[test]
+    fn out_of_bounds_and_empty_ranges_are_invalid() {
+        let mut asm = Asm::new();
+        asm.nop();
+        let p = asm.finish().unwrap();
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 0, len: 0 }),
+            &[DiagKind::InvalidRange],
+        );
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 0, len: 5 }),
+            &[DiagKind::InvalidRange],
+        );
+    }
+
+    #[test]
+    fn missing_store_is_reported() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.li(Reg::T0, 1);
+        asm.nop();
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 0, len: 3 }),
+            &[DiagKind::NoCommittingStore],
+        );
+    }
+
+    #[test]
+    fn early_store_is_reported() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.nop();
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 0, len: 3 }),
+            &[DiagKind::StoreNotLast],
+        );
+    }
+
+    #[test]
+    fn double_store_is_reported() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.sw(Reg::T0, Reg::A0, 4);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 0, len: 3 }),
+            &[DiagKind::MultipleStores],
+        );
+    }
+
+    #[test]
+    fn syscall_and_call_in_body_are_side_effects() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.syscall();
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 0, len: 3 }),
+            &[DiagKind::SideEffectInPrefix],
+        );
+    }
+
+    #[test]
+    fn backward_branch_is_reported() {
+        let mut asm = Asm::new();
+        let top = asm.bind_new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.bnez(Reg::V0, top);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 0, len: 3 }),
+            &[DiagKind::BackwardBranch],
+        );
+    }
+
+    #[test]
+    fn internal_branch_is_distinct_from_exit() {
+        // Branch to the store itself (interior) vs past it (exit).
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0); // @0
+        asm.emit(Inst::Branch {
+            cond: ras_isa::Cond::Ne,
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+            target: 2,
+        }); // @1 -> @2: interior
+        asm.sw(Reg::T0, Reg::A0, 0); // @2
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 0, len: 3 }),
+            &[DiagKind::InternalBranch],
+        );
+    }
+
+    #[test]
+    fn live_in_clobber_is_reported() {
+        // lw $a0, ($a0) destroys the base address the re-execution needs.
+        let mut asm = Asm::new();
+        asm.lw(Reg::A0, Reg::A0, 0);
+        asm.sw(Reg::A0, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 0, len: 2 }),
+            &[DiagKind::LiveInClobbered],
+        );
+    }
+
+    #[test]
+    fn jump_into_sequence_is_reported() {
+        let mut asm = Asm::new();
+        asm.j_to(3); // @0: jumps into the middle of the sequence
+        asm.lw(Reg::V0, Reg::A0, 0); // @1
+        asm.li(Reg::T0, 1); // @2
+        asm.sw(Reg::T0, Reg::A0, 0); // @3
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_kinds(
+            &verify_sequence(&p, SeqRange { start: 1, len: 3 }),
+            &[DiagKind::JumpIntoSequence],
+        );
+    }
+
+    #[test]
+    fn overlapping_declarations_are_reported() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.li(Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.halt();
+        asm.declare_seq(SeqRange { start: 0, len: 3 });
+        asm.declare_seq(SeqRange { start: 2, len: 1 });
+        let p = asm.finish().unwrap();
+        let diags = verify_declared(&p);
+        assert!(diags.iter().any(|d| d.kind == DiagKind::OverlappingRanges));
+    }
+
+    #[test]
+    fn restartable_opcode_is_the_rule_2_set() {
+        assert!(restartable_opcode(&Inst::Nop));
+        assert!(restartable_opcode(&Inst::Landmark));
+        assert!(!restartable_opcode(&Inst::Syscall));
+        assert!(!restartable_opcode(&Inst::Halt));
+    }
+}

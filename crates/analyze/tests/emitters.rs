@@ -1,0 +1,102 @@
+//! Cross-crate acceptance: every sequence the `ras-guest` emitters
+//! generate must (a) pass the static restartability verifier with zero
+//! findings and (b) — for the designated shapes — be recognized by the
+//! kernel's two-stage matcher at every interior suspension point, rolling
+//! back to the declared start. This pins the three crates (guest
+//! generators, kernel recognizer, static verifier) to one definition of
+//! "restartable atomic sequence".
+
+use proptest::prelude::*;
+use ras_analyze::analyze;
+use ras_guest::tas;
+use ras_isa::{Asm, SeqRange};
+use ras_kernel::DesignatedSet;
+
+/// Emits a sequence behind `pad` nops, closes the program, and checks
+/// verifier acceptance; for designated shapes, also checks the stage-2
+/// match at every interior pc and the non-match at both boundaries.
+fn accept(name: &str, pad: u32, designated: bool, emit: impl FnOnce(&mut Asm) -> SeqRange) {
+    let mut asm = Asm::new();
+    for _ in 0..pad {
+        asm.nop();
+    }
+    let range = emit(&mut asm);
+    asm.halt();
+    let p = asm.finish().unwrap();
+    assert_eq!(p.seq_ranges(), &[range], "{name}: emitter declares itself");
+
+    let set = DesignatedSet::standard();
+    let analysis = analyze(&p, &set);
+    assert!(
+        analysis.diags.is_empty(),
+        "{name}: expected a clean bill, got {:#?}",
+        analysis.diags
+    );
+
+    if designated {
+        for pc in range.start + 1..range.end() {
+            assert_eq!(
+                set.stage2(&p, pc),
+                Some(range.start),
+                "{name}: interior pc {pc} must roll back to {}",
+                range.start
+            );
+        }
+        assert_eq!(
+            set.stage2(&p, range.start),
+            None,
+            "{name}: nothing executed at the first instruction"
+        );
+        assert_eq!(
+            set.stage2(&p, range.end()),
+            None,
+            "{name}: the sequence is complete past its store"
+        );
+    }
+}
+
+#[test]
+fn registered_tas_is_accepted() {
+    // Registered (Figure 4) sequences have no landmark; the kernel checks
+    // a PC range, so only verifier acceptance applies.
+    accept("tas-registered", 0, false, |asm| {
+        tas::emit_tas_registered(asm).1
+    });
+}
+
+#[test]
+fn inline_tas_is_accepted_and_matched() {
+    accept("tas-inline", 1, true, tas::emit_tas_inline);
+}
+
+#[test]
+fn xchg_is_accepted_and_matched() {
+    accept("xchg", 2, true, tas::emit_xchg_inline);
+}
+
+#[test]
+fn cas_is_accepted_and_matched() {
+    accept("cas", 3, true, tas::emit_cas_inline);
+}
+
+#[test]
+fn faa_is_accepted_and_matched() {
+    accept("faa", 1, true, |asm| tas::emit_faa_inline(asm, 1));
+}
+
+proptest! {
+    #[test]
+    fn faa_verifies_for_any_delta_and_padding(
+        delta in -1000i32..1000,
+        pad in 0u32..8,
+    ) {
+        accept("faa-prop", pad, true, |asm| tas::emit_faa_inline(asm, delta));
+    }
+
+    #[test]
+    fn every_designated_emitter_verifies_at_any_padding(pad in 0u32..16) {
+        accept("tas-prop", pad, true, tas::emit_tas_inline);
+        accept("xchg-prop", pad, true, tas::emit_xchg_inline);
+        accept("cas-prop", pad, true, tas::emit_cas_inline);
+    }
+}

@@ -1,0 +1,138 @@
+//! Mutation coverage for the verifier: start from the emitters' correct
+//! shapes, apply one restartability-breaking mutation each, and demand
+//! that the analysis rejects the mutant with the *right* diagnostic at
+//! the *right* address. A verifier that merely says "bad" would pass a
+//! weaker version of these; pinning (kind, addr) keeps each rule
+//! independently honest.
+
+use ras_analyze::{analyze_standard, DiagKind, Diagnostic};
+use ras_isa::{Asm, CodeAddr, Reg, SeqRange};
+
+fn diags(asm: Asm) -> Vec<Diagnostic> {
+    let p = asm.finish().unwrap();
+    let analysis = analyze_standard(&p);
+    assert!(
+        analysis.has_errors(),
+        "mutant must be rejected, got {:#?}",
+        analysis.diags
+    );
+    analysis.diags
+}
+
+fn assert_has(diags: &[Diagnostic], kind: DiagKind, addr: CodeAddr) {
+    assert!(
+        diags.iter().any(|d| d.kind == kind && d.addr == addr),
+        "expected {kind:?} at @{addr}, got {diags:#?}"
+    );
+}
+
+#[test]
+fn store_swapped_earlier_is_store_not_last() {
+    // Figure 4 with the commit hoisted above the modify step: a suspension
+    // at the nop repeats the store on restart.
+    let mut asm = Asm::new();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.sw(Reg::T0, Reg::A0, 0); // mutated: store moved up
+    asm.nop();
+    asm.jr(Reg::RA);
+    asm.declare_seq(SeqRange { start: 0, len: 3 });
+    assert_has(&diags(asm), DiagKind::StoreNotLast, 1);
+}
+
+#[test]
+fn second_store_is_multiple_stores() {
+    let mut asm = Asm::new();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.li(Reg::T0, 1);
+    asm.sw(Reg::T0, Reg::A0, 4); // mutated: an extra store slipped in
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.jr(Reg::RA);
+    asm.declare_seq(SeqRange { start: 0, len: 4 });
+    assert_has(&diags(asm), DiagKind::MultipleStores, 3);
+}
+
+#[test]
+fn moved_landmark_is_a_collision() {
+    // The inline TAS with its landmark hoisted before the branch: the
+    // shape no longer matches any template, so the landmark violates the
+    // never-emitted-otherwise convention and the kernel would not
+    // recognize (or roll back) the sequence.
+    let mut asm = Asm::new();
+    let out = asm.label();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.li(Reg::T0, 1);
+    asm.landmark(); // mutated: landmark moved one slot early
+    asm.bnez(Reg::V0, out);
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.bind(out);
+    asm.halt();
+    asm.declare_seq(SeqRange { start: 0, len: 5 });
+    assert_has(&diags(asm), DiagKind::LandmarkCollision, 2);
+}
+
+#[test]
+fn retry_loop_inside_the_sequence_is_a_backward_branch() {
+    // A "helpful" optimization that retries the load inside the sequence:
+    // re-executing the prefix is no longer idempotent bookkeeping.
+    let mut asm = Asm::new();
+    let top = asm.bind_new();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.bnez(Reg::V0, top); // mutated: spin until free, inside the range
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.halt();
+    asm.declare_seq(SeqRange { start: 0, len: 3 });
+    assert_has(&diags(asm), DiagKind::BackwardBranch, 1);
+}
+
+#[test]
+fn syscall_in_the_body_is_a_side_effect() {
+    let mut asm = Asm::new();
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.syscall(); // mutated: a trap mid-sequence
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.halt();
+    asm.declare_seq(SeqRange { start: 0, len: 3 });
+    assert_has(&diags(asm), DiagKind::SideEffectInPrefix, 1);
+}
+
+#[test]
+fn clobbered_base_register_is_live_in_clobbered() {
+    // Loading into the base register destroys the address the restarted
+    // execution must re-read.
+    let mut asm = Asm::new();
+    asm.lw(Reg::A0, Reg::A0, 0); // mutated: rd aliases the base
+    asm.sw(Reg::A0, Reg::A0, 0);
+    asm.halt();
+    asm.declare_seq(SeqRange { start: 0, len: 2 });
+    assert_has(&diags(asm), DiagKind::LiveInClobbered, 0);
+}
+
+#[test]
+fn branch_into_the_interior_is_jump_into_sequence() {
+    let mut asm = Asm::new();
+    asm.j_to(3); // mutated: fast path jumps straight to the store
+    asm.lw(Reg::V0, Reg::A0, 0);
+    asm.li(Reg::T0, 1);
+    asm.sw(Reg::T0, Reg::A0, 0);
+    asm.halt();
+    asm.declare_seq(SeqRange { start: 1, len: 3 });
+    assert_has(&diags(asm), DiagKind::JumpIntoSequence, 0);
+}
+
+#[test]
+fn mutation_classes_produce_distinct_located_diagnostics() {
+    // The acceptance bar: at least four mutation classes, each rejected
+    // with its own (kind, addr) pair — no catch-all diagnostic.
+    let expected = [
+        (DiagKind::StoreNotLast, 1),
+        (DiagKind::MultipleStores, 3),
+        (DiagKind::LandmarkCollision, 2),
+        (DiagKind::BackwardBranch, 1),
+        (DiagKind::SideEffectInPrefix, 1),
+        (DiagKind::LiveInClobbered, 0),
+        (DiagKind::JumpIntoSequence, 0),
+    ];
+    let kinds: std::collections::BTreeSet<_> =
+        expected.iter().map(|(k, _)| format!("{k:?}")).collect();
+    assert_eq!(kinds.len(), expected.len(), "every class has its own kind");
+}

@@ -22,9 +22,7 @@ fn bench_table1(c: &mut Criterion) {
         };
         let built = counter_loop(mechanism, &spec);
         let options = RunOptions::default();
-        group.bench_function(mechanism.id(), |b| {
-            b.iter(|| run_guest(&built, &options))
-        });
+        group.bench_function(mechanism.id(), |b| b.iter(|| run_guest(&built, &options)));
     }
     group.finish();
 }

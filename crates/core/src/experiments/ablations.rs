@@ -34,7 +34,11 @@ impl QuantumSweepRow {
 
 /// Sweeps the preemption quantum for a mechanism on the two-worker
 /// counter microbenchmark.
-pub fn quantum_sweep(mechanism: Mechanism, quanta: &[u64], iterations: u32) -> Vec<QuantumSweepRow> {
+pub fn quantum_sweep(
+    mechanism: Mechanism,
+    quanta: &[u64],
+    iterations: u32,
+) -> Vec<QuantumSweepRow> {
     quanta
         .iter()
         .map(|&quantum| {
@@ -61,8 +65,17 @@ pub fn quantum_sweep(mechanism: Mechanism, quanta: &[u64], iterations: u32) -> V
 /// Renders the quantum sweep.
 pub fn render_quantum_sweep(mechanism: Mechanism, rows: &[QuantumSweepRow]) -> String {
     let mut t = AsciiTable::new(
-        &format!("Ablation: restart behavior vs preemption quantum ({})", mechanism.id()),
-        &["Quantum", "Preemptions", "Restarts", "Restart rate", "µs/op"],
+        &format!(
+            "Ablation: restart behavior vs preemption quantum ({})",
+            mechanism.id()
+        ),
+        &[
+            "Quantum",
+            "Preemptions",
+            "Restarts",
+            "Restart rate",
+            "µs/op",
+        ],
     );
     for row in rows {
         t.row(vec![
@@ -215,7 +228,15 @@ pub fn instruction_mix(mechanisms: &[Mechanism], iterations: u32) -> Vec<MixRow>
 pub fn render_instruction_mix(rows: &[MixRow]) -> String {
     let mut t = AsciiTable::new(
         "Ablation: retired instructions per critical section",
-        &["Mechanism", "Loads", "Stores", "Branches", "Landmarks", "Syscalls", "Total"],
+        &[
+            "Mechanism",
+            "Loads",
+            "Stores",
+            "Branches",
+            "Landmarks",
+            "Syscalls",
+            "Total",
+        ],
     );
     for row in rows {
         t.row(vec![
@@ -291,8 +312,16 @@ mod tests {
         assert!(emul.syscalls_per_op >= 0.99);
         // Bundled reservation: "at least three loads and seven stores" to
         // enter and exit — far more memory traffic than RAS.
-        assert!(bundled.loads_per_op >= 3.0, "loads {}", bundled.loads_per_op);
-        assert!(bundled.stores_per_op >= 5.0, "stores {}", bundled.stores_per_op);
+        assert!(
+            bundled.loads_per_op >= 3.0,
+            "loads {}",
+            bundled.loads_per_op
+        );
+        assert!(
+            bundled.stores_per_op >= 5.0,
+            "stores {}",
+            bundled.stores_per_op
+        );
         assert!(bundled.total_per_op > inline.total_per_op * 2.0);
     }
 

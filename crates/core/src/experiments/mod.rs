@@ -9,10 +9,10 @@
 pub mod ablations;
 pub mod figures;
 mod table1;
-mod verify;
 mod table2;
 mod table3;
 mod table4;
+mod verify;
 
 pub use table1::{render_table1, table1, Table1Row, Table1Scale, PAPER_TABLE1};
 pub use table2::{render_table2, table2, Table2Bench, Table2Row, Table2Scale, PAPER_TABLE2};

@@ -55,8 +55,12 @@ pub fn table1(scale: Table1Scale) -> Vec<Table1Row> {
     PAPER_TABLE1
         .iter()
         .map(|&(mechanism, paper_us)| {
-            let measured_us =
-                measure_per_op(mechanism, scale.iterations, CounterBody::LockAndCounter, &options);
+            let measured_us = measure_per_op(
+                mechanism,
+                scale.iterations,
+                CounterBody::LockAndCounter,
+                &options,
+            );
             Table1Row {
                 mechanism,
                 measured_us,

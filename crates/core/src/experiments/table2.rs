@@ -107,8 +107,7 @@ fn run_bench(bench: Table2Bench, mechanism: Mechanism, scale: &Table2Scale) -> f
             };
             options.stack_bytes = 2048;
             options.max_threads = scale.forks as usize + 2;
-            options.mem_bytes =
-                (8 * 1024 * 1024).max(options.stack_bytes * (scale.forks + 8));
+            options.mem_bytes = (8 * 1024 * 1024).max(options.stack_bytes * (scale.forks + 8));
             let report = run_guest(&fork_test(mechanism, &spec), &options);
             report.micros / f64::from(spec.iterations)
         }

@@ -247,7 +247,10 @@ mod tests {
         let get = |a: Table3App| rows.iter().find(|r| r.app == a).unwrap().speedup();
         // Single-threaded clients gain a little; explicitly threaded
         // programs gain 30–50%; proton-64 gains the most (paper: ~1.94x).
-        assert!(get(Table3App::TextFormat) < 1.25, "text-format should gain least");
+        assert!(
+            get(Table3App::TextFormat) < 1.25,
+            "text-format should gain least"
+        );
         assert!(get(Table3App::AfsBench) < 1.4);
         assert!(get(Table3App::Parthenon10) > get(Table3App::TextFormat));
         assert!(get(Table3App::Proton64) > get(Table3App::Parthenon10));

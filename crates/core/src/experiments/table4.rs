@@ -102,10 +102,22 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
     for row in rows {
         t.row(vec![
             row.processor.clone(),
-            format!("{} ({})", fmt_us(row.interlocked_us), fmt_us(row.paper_us[0])),
-            format!("{} ({})", fmt_us(row.registered_us), fmt_us(row.paper_us[1])),
+            format!(
+                "{} ({})",
+                fmt_us(row.interlocked_us),
+                fmt_us(row.paper_us[0])
+            ),
+            format!(
+                "{} ({})",
+                fmt_us(row.registered_us),
+                fmt_us(row.paper_us[1])
+            ),
             format!("{} ({})", fmt_us(row.linkage_us), fmt_us(row.paper_us[2])),
-            format!("{} ({})", fmt_us(row.designated_us), fmt_us(row.paper_us[3])),
+            format!(
+                "{} ({})",
+                fmt_us(row.designated_us),
+                fmt_us(row.paper_us[3])
+            ),
         ]);
     }
     t.to_string()
@@ -158,7 +170,10 @@ mod tests {
             .map(|r| r.processor.as_str())
             .collect();
         for expected in ["DEC CVAX", "Intel 486", "Motorola 88000", "HP 9000/700"] {
-            assert!(wins.contains(&expected), "{expected} should win, wins={wins:?}");
+            assert!(
+                wins.contains(&expected),
+                "{expected} should win, wins={wins:?}"
+            );
         }
         for expected_loss in ["Motorola 68030", "Intel 386", "Intel 860", "Sun SPARC"] {
             assert!(

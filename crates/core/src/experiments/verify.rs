@@ -45,9 +45,12 @@ impl Verification {
 
 impl fmt::Display for Verification {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "reproduction self-check: {}/{} claims hold",
+        writeln!(
+            f,
+            "reproduction self-check: {}/{} claims hold",
             self.claims.iter().filter(|c| c.holds).count(),
-            self.claims.len())?;
+            self.claims.len()
+        )?;
         for c in &self.claims {
             writeln!(
                 f,
@@ -118,6 +121,42 @@ fn claim(table: u8, statement: &str, holds: bool, evidence: String) -> Claim {
 pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
     let mut claims = Vec::new();
 
+    // ---- Static verification (table 0: the §3 invariants) -----------------
+    // These cost no simulation time: they check the code generators and the
+    // kernel's recognizer tables against the restartability rules directly.
+    let set = ras_kernel::DesignatedSet::standard();
+    claims.push(claim(
+        0,
+        "the standard designated-sequence templates are mutually unambiguous",
+        ras_analyze::check_template_ambiguity(&set).is_empty(),
+        format!(
+            "{} templates, no overlapping co-match",
+            set.templates().len()
+        ),
+    ));
+    let spec = ras_guest::workloads::CounterSpec {
+        iterations: 10,
+        workers: 2,
+        body: ras_guest::workloads::CounterBody::LockAndCounter,
+    };
+    let mut dirty = Vec::new();
+    for m in Mechanism::all() {
+        let built = ras_guest::workloads::counter_loop(m, &spec);
+        if ras_analyze::analyze(&built.program, &set).has_errors() {
+            dirty.push(format!("{m}"));
+        }
+    }
+    claims.push(claim(
+        0,
+        "every generated atomicity sequence passes the static restartability verifier",
+        dirty.is_empty(),
+        if dirty.is_empty() {
+            format!("all {} mechanisms verify clean", Mechanism::all().len())
+        } else {
+            format!("errors in: {}", dirty.join(", "))
+        },
+    ));
+
     // ---- Table 1 ----------------------------------------------------------
     let t1 = table1(scale.t1);
     let us = |m: Mechanism| t1.iter().find(|r| r.mechanism == m).unwrap().measured_us;
@@ -130,7 +169,8 @@ pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
     claims.push(claim(
         1,
         "kernel emulation is by far the most expensive approach",
-        t1.iter().all(|r| us(Mechanism::KernelEmulation) >= r.measured_us)
+        t1.iter()
+            .all(|r| us(Mechanism::KernelEmulation) >= r.measured_us)
             && us(Mechanism::KernelEmulation) > 3.0 * us(Mechanism::RasRegistered),
         format!("emulation = {:.2} µs", us(Mechanism::KernelEmulation)),
     ));
@@ -163,7 +203,10 @@ pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
             .collect::<Vec<_>>()
             .join(", "),
     ));
-    let spin = t2.iter().find(|r| r.bench == Table2Bench::Spinlock).unwrap();
+    let spin = t2
+        .iter()
+        .find(|r| r.bench == Table2Bench::Spinlock)
+        .unwrap();
     claims.push(claim(
         2,
         "with RAS, synchronization overhead becomes negligible on spinlocks",
@@ -177,8 +220,7 @@ pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
     claims.push(claim(
         3,
         "threaded applications improve by tens of percent",
-        app(Table3App::Parthenon10).speedup() > 1.15
-            && app(Table3App::Proton64).speedup() > 1.3,
+        app(Table3App::Parthenon10).speedup() > 1.15 && app(Table3App::Proton64).speedup() > 1.3,
         format!(
             "parthenon-10 {:.2}x, proton-64 {:.2}x",
             app(Table3App::Parthenon10).speedup(),
@@ -188,14 +230,14 @@ pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
     claims.push(claim(
         3,
         "single-threaded applications benefit indirectly by a few percent",
-        app(Table3App::TextFormat).speedup() > 1.0
-            && app(Table3App::TextFormat).speedup() < 1.25,
+        app(Table3App::TextFormat).speedup() > 1.0 && app(Table3App::TextFormat).speedup() < 1.25,
         format!("text-format {:.2}x", app(Table3App::TextFormat).speedup()),
     ));
     claims.push(claim(
         3,
         "the likelihood of suspension inside a sequence is extremely small",
-        t3.iter().all(|r| r.restarts * 50 <= r.emulation_traps.max(1)),
+        t3.iter()
+            .all(|r| r.restarts * 50 <= r.emulation_traps.max(1)),
         t3.iter()
             .map(|r| format!("{} {}r/{}t", r.app.label(), r.restarts, r.emulation_traps))
             .collect::<Vec<_>>()
@@ -204,7 +246,8 @@ pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
     claims.push(claim(
         3,
         "thread suspensions occur far less often than atomic operations",
-        t3.iter().all(|r| r.suspensions.0 < r.emulation_traps.max(1)),
+        t3.iter()
+            .all(|r| r.suspensions.0 < r.emulation_traps.max(1)),
         t3.iter()
             .map(|r| format!("{} {}s", r.app.label(), r.suspensions.0))
             .collect::<Vec<_>>()
@@ -232,11 +275,15 @@ pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
         "designated sequences outperform the hardware in all cases (68030 near-tie)",
         t4.iter().all(|r| {
             r.designated_us < r.interlocked_us
-                || (r.processor == "Motorola 68030"
-                    && r.designated_us < r.interlocked_us * 1.3)
+                || (r.processor == "Motorola 68030" && r.designated_us < r.interlocked_us * 1.3)
         }),
         t4.iter()
-            .map(|r| format!("{} {:.2}/{:.2}", r.processor, r.designated_us, r.interlocked_us))
+            .map(|r| {
+                format!(
+                    "{} {:.2}/{:.2}",
+                    r.processor, r.designated_us, r.interlocked_us
+                )
+            })
             .collect::<Vec<_>>()
             .join(", "),
     ));

@@ -87,6 +87,26 @@ pub fn run_guest(built: &BuiltGuest, options: &RunOptions) -> RunReport {
 /// Like [`run_guest`] but also returns the final kernel for inspection
 /// (memory contents, output log).
 pub fn run_guest_keeping_kernel(built: &BuiltGuest, options: &RunOptions) -> (RunReport, Kernel) {
+    // In debug builds, statically verify the guest before booting it. A
+    // broken restartable sequence or stray landmark does not fail loudly
+    // at run time — it silently corrupts shared state on an unlucky
+    // preemption — so catching it here turns a flaky heisenbug into a
+    // deterministic panic with the offending instructions.
+    #[cfg(debug_assertions)]
+    {
+        let analysis = ras_analyze::analyze_standard(&built.program);
+        if analysis.has_errors() {
+            let report: String = analysis
+                .errors()
+                .map(|d| d.render(&built.program))
+                .collect();
+            panic!(
+                "static verification failed for {} guest:\n{report}",
+                built.mechanism
+            );
+        }
+    }
+
     let mut config = built.kernel_config(options.profile.clone());
     config.quantum = options.quantum;
     config.jitter = options.jitter;

@@ -163,7 +163,11 @@ pub fn emit_exit_body(asm: &mut Asm, base: Reg, self_fn: Option<CodeAddr>) {
 /// thread identifier via `self_fn`, matching the paper's accounting that
 /// protocol (a) pays the id/busy-bit computation "on entry and exit to a
 /// critical section." Returns their entry addresses.
-pub fn emit_functions(asm: &mut Asm, max_threads: usize, self_fn: CodeAddr) -> (CodeAddr, CodeAddr) {
+pub fn emit_functions(
+    asm: &mut Asm,
+    max_threads: usize,
+    self_fn: CodeAddr,
+) -> (CodeAddr, CodeAddr) {
     // `$t8` carries the return address across the internal
     // `__cthread_self` call (leaf-function linkage, cheaper than a stack
     // frame — callers already treat `$t8`/`$t9` as clobbered).

@@ -252,8 +252,7 @@ impl GuestBuilder {
                 let table = lamport::alloc_self_table(&mut data, max_threads);
                 let self_fn = lamport::emit_cthread_self(&mut asm, table);
                 let meta = lamport::alloc_lock(&mut data, "__lamport_meta", max_threads);
-                rt.meta_tas_fn =
-                    Some(lamport::emit_meta_tas(&mut asm, meta, max_threads, self_fn));
+                rt.meta_tas_fn = Some(lamport::emit_meta_tas(&mut asm, meta, max_threads, self_fn));
             }
             Mechanism::LamportPerLock => {
                 let table = lamport::alloc_self_table(&mut data, max_threads);
@@ -307,7 +306,10 @@ impl GuestBuilder {
         self.asm.set_entry_here();
         self.asm.bind_symbol("__crt0");
         if self.rt.mechanism == Mechanism::RasRegistered {
-            let seq = self.rt.tas_seq.expect("registered mechanism has a sequence");
+            let seq = self
+                .rt
+                .tas_seq
+                .expect("registered mechanism has a sequence");
             self.asm.li(Reg::V0, abi::SYS_RAS_REGISTER as i32);
             self.asm.li(Reg::A0, seq.start as i32);
             self.asm.li(Reg::A1, seq.len as i32);
@@ -534,10 +536,7 @@ mod tests {
         let main = b.asm().here();
         b.asm().jr(Reg::RA);
         let built = b.finish(main).unwrap();
-        assert!(std::panic::catch_unwind(|| {
-            built.kernel_config(CpuProfile::r3000())
-        })
-        .is_err());
+        assert!(std::panic::catch_unwind(|| { built.kernel_config(CpuProfile::r3000()) }).is_err());
         let _ = built.kernel_config(CpuProfile::i486());
     }
 }

@@ -10,22 +10,7 @@
 
 use ras_isa::{abi, Asm, CodeAddr, Reg};
 
-/// A code range occupied by a restartable atomic sequence:
-/// `[start, start + len)` in instruction addresses.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub struct SeqRange {
-    /// First instruction of the sequence.
-    pub start: CodeAddr,
-    /// Length in instructions.
-    pub len: u32,
-}
-
-impl SeqRange {
-    /// Exclusive end address.
-    pub fn end(self) -> CodeAddr {
-        self.start + self.len
-    }
-}
+pub use ras_isa::SeqRange;
 
 /// Emits the out-of-line registered Test-And-Set function of Figure 4:
 ///
@@ -49,7 +34,12 @@ pub fn emit_tas_registered(asm: &mut Asm) -> (CodeAddr, SeqRange) {
     asm.li(Reg::T0, 1);
     asm.sw(Reg::T0, Reg::A0, 0);
     asm.jr(Reg::RA);
-    (entry, SeqRange { start: entry, len: 3 })
+    let range = SeqRange {
+        start: entry,
+        len: 3,
+    };
+    asm.declare_seq(range);
+    (entry, range)
 }
 
 /// Emits Figure 5's inlined designated Test-And-Set sequence at the
@@ -78,7 +68,9 @@ pub fn emit_tas_inline(asm: &mut Asm) -> SeqRange {
     asm.landmark();
     asm.sw(Reg::T0, Reg::A0, 0);
     asm.bind(out);
-    SeqRange { start, len: 5 }
+    let range = SeqRange { start, len: 5 };
+    asm.declare_seq(range);
+    range
 }
 
 /// Emits a kernel-emulated Test-And-Set (§2.3): a trap that performs the
@@ -120,7 +112,9 @@ pub fn emit_xchg_inline(asm: &mut Asm) -> SeqRange {
     asm.lw(Reg::V0, Reg::A0, 0);
     asm.landmark();
     asm.sw(Reg::A1, Reg::A0, 0);
-    SeqRange { start, len: 3 }
+    let range = SeqRange { start, len: 3 };
+    asm.declare_seq(range);
+    range
 }
 
 /// Emits an inlined designated *compare-and-swap* sequence: if
@@ -137,7 +131,9 @@ pub fn emit_cas_inline(asm: &mut Asm) -> SeqRange {
     asm.landmark();
     asm.sw(Reg::A2, Reg::A0, 0);
     asm.bind(out);
-    SeqRange { start, len: 4 }
+    let range = SeqRange { start, len: 4 };
+    asm.declare_seq(range);
+    range
 }
 
 /// Emits an inlined designated *fetch-and-add* sequence:
@@ -149,7 +145,9 @@ pub fn emit_faa_inline(asm: &mut Asm, delta: i32) -> SeqRange {
     asm.addi(Reg::V0, Reg::V0, delta);
     asm.landmark();
     asm.sw(Reg::V0, Reg::A0, 0);
-    SeqRange { start, len: 4 }
+    let range = SeqRange { start, len: 4 };
+    asm.declare_seq(range);
+    range
 }
 
 /// The 4-instruction replacement used when explicit registration is

@@ -121,7 +121,11 @@ fn fork_test_spawns_the_whole_chain() {
         config.stack_bytes = 2048;
         config.max_threads = spec.iterations as usize + 2;
         let mut kernel = built.boot(config).unwrap();
-        assert_eq!(kernel.run(20_000_000_000), Outcome::Completed, "{mechanism}");
+        assert_eq!(
+            kernel.run(20_000_000_000),
+            Outcome::Completed,
+            "{mechanism}"
+        );
         assert_eq!(
             read(&kernel, &built, "forks_done"),
             spec.iterations,
@@ -159,7 +163,11 @@ fn parthenon_resolves_every_clause() {
     for mechanism in Mechanism::all() {
         let built = workloads::parthenon(mechanism, &spec);
         let kernel = run_hostile(&built, 83, 8);
-        assert_eq!(read(&kernel, &built, "resolved"), spec.clauses, "{mechanism}");
+        assert_eq!(
+            read(&kernel, &built, "resolved"),
+            spec.clauses,
+            "{mechanism}"
+        );
         assert_eq!(
             read(&kernel, &built, "inferences"),
             spec.clauses,
@@ -202,7 +210,11 @@ fn client_server_apps_handle_every_request() {
     for mechanism in Mechanism::all() {
         let built = workloads::text_format(mechanism, &tf);
         let kernel = run_hostile(&built, 131, 11);
-        assert_eq!(read(&kernel, &built, "handled"), tf.requests, "{mechanism} tf");
+        assert_eq!(
+            read(&kernel, &built, "handled"),
+            tf.requests,
+            "{mechanism} tf"
+        );
         assert_eq!(
             read(&kernel, &built, "srv_counter"),
             tf.requests * 2,
@@ -211,7 +223,11 @@ fn client_server_apps_handle_every_request() {
 
         let built = workloads::afs_bench(mechanism, &afs);
         let kernel = run_hostile(&built, 131, 12);
-        assert_eq!(read(&kernel, &built, "handled"), afs.requests, "{mechanism} afs");
+        assert_eq!(
+            read(&kernel, &built, "handled"),
+            afs.requests,
+            "{mechanism} afs"
+        );
         assert_eq!(
             read(&kernel, &built, "srv_counter"),
             afs.requests * 4,
@@ -308,9 +324,15 @@ fn user_level_restart_survives_quanta_shorter_than_the_recovery_routine() {
         config.mem_bytes = 1 << 21;
         config.stack_bytes = 4096;
         let mut kernel = built.boot(config).unwrap();
-        assert_eq!(kernel.run(20_000_000_000), Outcome::Completed, "q={quantum}");
         assert_eq!(
-            kernel.read_word(built.data.symbol("counter").unwrap()).unwrap(),
+            kernel.run(20_000_000_000),
+            Outcome::Completed,
+            "q={quantum}"
+        );
+        assert_eq!(
+            kernel
+                .read_word(built.data.symbol("counter").unwrap())
+                .unwrap(),
             spec.expected_count(),
             "q={quantum}"
         );

@@ -212,7 +212,11 @@ fn treiber_stack_conserves_every_node() {
         let built = treiber_stack(Mechanism::RasInline, &spec);
         let kernel = hostile_run(&built, quantum, seed);
         let read = |s: &str| kernel.read_word(built.data.symbol(s).unwrap()).unwrap();
-        assert_eq!(read("popped_total"), spec.total_nodes(), "quantum={quantum}");
+        assert_eq!(
+            read("popped_total"),
+            spec.total_nodes(),
+            "quantum={quantum}"
+        );
         assert_eq!(read("popped_sum"), spec.expected_sum(), "quantum={quantum}");
         assert_eq!(read("head"), 0, "stack must drain");
         if quantum < 100 {

@@ -2,7 +2,9 @@
 //! preemption, across mechanisms.
 
 use ras_guest::codegen::{emit_exit, emit_join, emit_spawn};
-use ras_guest::{alloc_barrier, alloc_rwlock, alloc_semaphore, emit_sync_extra, GuestBuilder, Mechanism};
+use ras_guest::{
+    alloc_barrier, alloc_rwlock, alloc_semaphore, emit_sync_extra, GuestBuilder, Mechanism,
+};
 use ras_isa::Reg;
 use ras_kernel::Outcome;
 use ras_machine::CpuProfile;
@@ -297,7 +299,11 @@ fn barrier_keeps_workers_in_lockstep() {
         asm.jr(Reg::S3);
         let built = b.finish(main).unwrap();
         let kernel = run(&built, 89, 17);
-        assert_eq!(kernel.read_word(skew).unwrap(), 0, "{mechanism}: lockstep broken");
+        assert_eq!(
+            kernel.read_word(skew).unwrap(),
+            0,
+            "{mechanism}: lockstep broken"
+        );
         assert_eq!(
             kernel.read_word(sum).unwrap(),
             (WORKERS as u32) * ROUNDS as u32

@@ -1,6 +1,6 @@
 use std::collections::BTreeMap;
 
-use crate::{AluOp, AsmError, CodeAddr, Cond, Inst, Program, Reg};
+use crate::{AluOp, AsmError, CodeAddr, Cond, Inst, Program, Reg, SeqRange};
 
 /// A forward- or backward-referenceable code label.
 ///
@@ -44,6 +44,7 @@ pub struct Asm {
     fixups: Vec<(CodeAddr, Label, Fixup)>,
     symbols: BTreeMap<String, CodeAddr>,
     entry: CodeAddr,
+    seqs: Vec<SeqRange>,
 }
 
 impl Asm {
@@ -99,6 +100,16 @@ impl Asm {
     /// Marks the current address as the program entry point (defaults to 0).
     pub fn set_entry_here(&mut self) {
         self.entry = self.here();
+    }
+
+    /// Declares `range` as a restartable atomic sequence. The finished
+    /// [`Program`] exposes all declarations via [`Program::seq_ranges`],
+    /// which is what `ras-analyze`'s restartability verifier walks.
+    ///
+    /// Every sequence emitter declares its own range, so user code only
+    /// calls this when hand-rolling a sequence.
+    pub fn declare_seq(&mut self, range: SeqRange) {
+        self.seqs.push(range);
     }
 
     fn push(&mut self, inst: Inst) -> CodeAddr {
@@ -375,7 +386,7 @@ impl Asm {
                 _ => unreachable!("fixup kind mismatch at @{at}"),
             }
         }
-        Ok(Program::new(self.code, self.symbols, self.entry))
+        Ok(Program::new(self.code, self.symbols, self.entry, self.seqs))
     }
 }
 
@@ -405,7 +416,10 @@ mod tests {
         asm.j(l);
         assert!(matches!(
             asm.finish(),
-            Err(AsmError::UnboundLabel { label: 0, first_use: 0 })
+            Err(AsmError::UnboundLabel {
+                label: 0,
+                first_use: 0
+            })
         ));
     }
 

@@ -157,7 +157,12 @@ pub fn encode_inst(inst: Inst) -> u64 {
         Inst::AluI { op, rd, rs, imm } => pack(2, rd, rs, alu_code(op), imm as u32),
         Inst::Lw { rd, base, off } => pack(3, rd, base, 0, off as u32),
         Inst::Sw { rs, base, off } => pack(4, rs, base, 0, off as u32),
-        Inst::Branch { cond, rs, rt, target } => pack(5, rs, rt, cond_code(cond), target),
+        Inst::Branch {
+            cond,
+            rs,
+            rt,
+            target,
+        } => pack(5, rs, rt, cond_code(cond), target),
         Inst::J { target } => pack(6, z, z, 0, target),
         Inst::Jal { target } => pack(7, z, z, 0, target),
         Inst::Jr { rs } => pack(8, rs, z, 0, 0),
@@ -295,7 +300,7 @@ impl Program {
             let addr = cursor.u32()?;
             symbols.insert(name, addr);
         }
-        Ok(Program::new(code, symbols, entry))
+        Ok(Program::new(code, symbols, entry, Vec::new()))
     }
 }
 
@@ -332,21 +337,56 @@ mod tests {
 
     fn sample_insts() -> Vec<Inst> {
         vec![
-            Inst::Li { rd: Reg::A0, imm: -12345 },
-            Inst::Li { rd: Reg::T0, imm: i32::MAX },
-            Inst::Alu { op: AluOp::Mul, rd: Reg::V0, rs: Reg::T1, rt: Reg::T2 },
-            Inst::AluI { op: AluOp::Sra, rd: Reg::S0, rs: Reg::S1, imm: -7 },
-            Inst::Lw { rd: Reg::V0, base: Reg::A0, off: 2048 },
-            Inst::Sw { rs: Reg::T7, base: Reg::SP, off: -4 },
-            Inst::Branch { cond: Cond::Geu, rs: Reg::T0, rt: Reg::T1, target: 0x00FF_FFFF },
+            Inst::Li {
+                rd: Reg::A0,
+                imm: -12345,
+            },
+            Inst::Li {
+                rd: Reg::T0,
+                imm: i32::MAX,
+            },
+            Inst::Alu {
+                op: AluOp::Mul,
+                rd: Reg::V0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+            Inst::AluI {
+                op: AluOp::Sra,
+                rd: Reg::S0,
+                rs: Reg::S1,
+                imm: -7,
+            },
+            Inst::Lw {
+                rd: Reg::V0,
+                base: Reg::A0,
+                off: 2048,
+            },
+            Inst::Sw {
+                rs: Reg::T7,
+                base: Reg::SP,
+                off: -4,
+            },
+            Inst::Branch {
+                cond: Cond::Geu,
+                rs: Reg::T0,
+                rt: Reg::T1,
+                target: 0x00FF_FFFF,
+            },
             Inst::J { target: 7 },
             Inst::Jal { target: u32::MAX },
             Inst::Jr { rs: Reg::RA },
-            Inst::Jalr { rd: Reg::T9, rs: Reg::T8 },
+            Inst::Jalr {
+                rd: Reg::T9,
+                rs: Reg::T8,
+            },
             Inst::Nop,
             Inst::Landmark,
             Inst::Syscall,
-            Inst::Tas { rd: Reg::V0, base: Reg::A0 },
+            Inst::Tas {
+                rd: Reg::V0,
+                base: Reg::A0,
+            },
             Inst::BeginAtomic,
             Inst::Halt,
         ]
@@ -362,14 +402,20 @@ mod tests {
 
     #[test]
     fn unknown_opcode_is_rejected() {
-        assert_eq!(decode_inst(0xfe), Err(DecodeError::UnknownOpcode { byte: 0xfe }));
+        assert_eq!(
+            decode_inst(0xfe),
+            Err(DecodeError::UnknownOpcode { byte: 0xfe })
+        );
     }
 
     #[test]
     fn bad_register_is_rejected() {
         // opcode 8 = jr with register byte 40.
         let word = 8u64 | (40 << 8);
-        assert_eq!(decode_inst(word), Err(DecodeError::BadRegister { byte: 40 }));
+        assert_eq!(
+            decode_inst(word),
+            Err(DecodeError::BadRegister { byte: 40 })
+        );
     }
 
     #[test]

@@ -31,12 +31,18 @@ impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AsmError::UnboundLabel { label, first_use } => {
-                write!(f, "label #{label} first used at @{first_use} was never bound")
+                write!(
+                    f,
+                    "label #{label} first used at @{first_use} was never bound"
+                )
             }
             AsmError::RebonudLabel { label } => write!(f, "label #{label} bound twice"),
             AsmError::DuplicateSymbol { name } => write!(f, "symbol `{name}` bound twice"),
             AsmError::ProgramTooLarge { len } => {
-                write!(f, "program of {len} instructions exceeds the addressable limit")
+                write!(
+                    f,
+                    "program of {len} instructions exceeds the addressable limit"
+                )
             }
         }
     }

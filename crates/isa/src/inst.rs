@@ -297,6 +297,76 @@ impl Inst {
     pub fn is_store(&self) -> bool {
         matches!(self.opcode(), Opcode::Sw | Opcode::Tas)
     }
+
+    /// The register this instruction writes, if any.
+    ///
+    /// Writes to [`Reg::ZERO`] are reported as written even though the
+    /// hardware discards them; dataflow clients that care should filter.
+    /// `Syscall` is reported as writing `$v0` (every call in [`crate::abi`]
+    /// returns its result there).
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Inst::Li { rd, .. }
+            | Inst::Alu { rd, .. }
+            | Inst::AluI { rd, .. }
+            | Inst::Lw { rd, .. }
+            | Inst::Tas { rd, .. }
+            | Inst::Jalr { rd, .. } => Some(rd),
+            Inst::Jal { .. } => Some(Reg::RA),
+            Inst::Syscall => Some(Reg::V0),
+            Inst::Sw { .. }
+            | Inst::Branch { .. }
+            | Inst::J { .. }
+            | Inst::Jr { .. }
+            | Inst::Nop
+            | Inst::Landmark
+            | Inst::BeginAtomic
+            | Inst::Halt => None,
+        }
+    }
+
+    /// The registers this instruction reads, in operand order.
+    ///
+    /// `Syscall` reads `$v0` (call number) and `$a0..$a3`; individual calls
+    /// use fewer arguments, so this is the conservative superset a static
+    /// analysis needs.
+    pub fn uses(&self) -> Vec<Reg> {
+        match *self {
+            Inst::Li { .. }
+            | Inst::J { .. }
+            | Inst::Jal { .. }
+            | Inst::Nop
+            | Inst::Landmark
+            | Inst::BeginAtomic
+            | Inst::Halt => Vec::new(),
+            Inst::Alu { rs, rt, .. } => vec![rs, rt],
+            Inst::AluI { rs, .. } => vec![rs],
+            Inst::Lw { base, .. } => vec![base],
+            Inst::Sw { rs, base, .. } => vec![rs, base],
+            Inst::Branch { rs, rt, .. } => vec![rs, rt],
+            Inst::Jr { rs } | Inst::Jalr { rs, .. } => vec![rs],
+            Inst::Syscall => vec![Reg::V0, Reg::A0, Reg::A1, Reg::A2, Reg::A3],
+            Inst::Tas { base, .. } => vec![base],
+        }
+    }
+
+    /// The static control-transfer target, if the instruction has one
+    /// (`Branch`, `J`, `Jal`). Register-indirect jumps return `None`.
+    pub fn branch_target(&self) -> Option<CodeAddr> {
+        match *self {
+            Inst::Branch { target, .. } | Inst::J { target } | Inst::Jal { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Whether execution can continue at the next instruction. False for
+    /// the unconditional transfers (`j`, `jr`) and `halt`. Calls (`jal`,
+    /// `jalr`) report true: control returns to the following instruction
+    /// when the callee returns, which is the successor a control-flow
+    /// analysis wants.
+    pub fn falls_through(&self) -> bool {
+        !matches!(self.opcode(), Opcode::J | Opcode::Jr | Opcode::Halt)
+    }
 }
 
 impl fmt::Display for Inst {

@@ -100,7 +100,10 @@ impl DataLayout {
     ///
     /// Panics if `align` is not a power of two or not a multiple of 4.
     pub fn align(&mut self, align: DataAddr) {
-        assert!(align.is_power_of_two() && align >= 4, "bad alignment {align}");
+        assert!(
+            align.is_power_of_two() && align >= 4,
+            "bad alignment {align}"
+        );
         self.cursor = self.cursor.div_ceil(align) * align;
     }
 

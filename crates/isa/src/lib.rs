@@ -47,6 +47,7 @@ mod layout;
 mod parse;
 mod program;
 mod reg;
+mod seq;
 
 pub use asm::{Asm, Label};
 pub use encode::{decode_inst, encode_inst, DecodeError};
@@ -56,6 +57,7 @@ pub use layout::{DataImage, DataLayout};
 pub use parse::{parse_asm, ParseAsmError};
 pub use program::Program;
 pub use reg::Reg;
+pub use seq::SeqRange;
 
 /// A code address: an index into a program's instruction vector.
 pub type CodeAddr = u32;

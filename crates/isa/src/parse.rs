@@ -80,7 +80,9 @@ impl Parser {
         let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
             u32::from_str_radix(hex, 16).map(|v| v as i32).ok()
         } else if let Some(hex) = t.strip_prefix("-0x") {
-            u32::from_str_radix(hex, 16).map(|v| (v as i32).wrapping_neg()).ok()
+            u32::from_str_radix(hex, 16)
+                .map(|v| (v as i32).wrapping_neg())
+                .ok()
         } else {
             t.parse::<i32>().ok()
         };
@@ -95,7 +97,11 @@ impl Parser {
         let close = tok
             .find(')')
             .ok_or_else(|| Self::err(line, format!("missing `)` in `{tok}`")))?;
-        let off = if open == 0 { 0 } else { Self::imm(&tok[..open], line)? };
+        let off = if open == 0 {
+            0
+        } else {
+            Self::imm(&tok[..open], line)?
+        };
         let base = Self::reg(&tok[open + 1..close], line)?;
         Ok((off, base))
     }
@@ -107,7 +113,11 @@ impl Parser {
             addr.parse::<u32>()
                 .map(Target::Absolute)
                 .map_err(|_| Self::err(line, format!("bad address `{t}`")))
-        } else if t.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+        } else if t
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
             Ok(Target::Named(self.label_for(t)))
         } else {
             Err(Self::err(line, format!("bad target `{t}`")))
@@ -153,7 +163,10 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
         if let Some(name) = line.strip_suffix(':') {
             let name = name.trim();
             if !bound.insert(name.to_owned()) {
-                return Err(Parser::err(line_no, format!("label `{name}` defined twice")));
+                return Err(Parser::err(
+                    line_no,
+                    format!("label `{name}` defined twice"),
+                ));
             }
             let l = p.label_for(name);
             p.asm.bind(l);
@@ -182,7 +195,11 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
                 need(2)?;
                 let rd = Parser::reg(ops[0], line_no)?;
                 // `li rd, label` loads a code address.
-                if ops[1].chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+                if ops[1]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                {
                     match p.target(ops[1], line_no)? {
                         Target::Named(l) => {
                             p.asm.li_label(rd, l);
@@ -461,8 +478,20 @@ mod tests {
     #[test]
     fn hex_immediates_and_comments() {
         let p = parse_asm("li $t0, 0x10 // sixteen\nli $t1, -0x2 # minus two\nhalt").unwrap();
-        assert_eq!(p.fetch(0), Some(Inst::Li { rd: crate::Reg::T0, imm: 16 }));
-        assert_eq!(p.fetch(1), Some(Inst::Li { rd: crate::Reg::T1, imm: -2 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Li {
+                rd: crate::Reg::T0,
+                imm: 16
+            })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(Inst::Li {
+                rd: crate::Reg::T1,
+                imm: -2
+            })
+        );
     }
 
     #[test]

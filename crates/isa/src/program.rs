@@ -1,7 +1,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::{CodeAddr, Inst};
+use crate::{CodeAddr, Inst, SeqRange};
 
 /// An assembled program image: the code, its named symbols, and its entry
 /// point.
@@ -16,11 +16,22 @@ pub struct Program {
     code: Vec<Inst>,
     symbols: BTreeMap<String, CodeAddr>,
     entry: CodeAddr,
+    seq_ranges: Vec<SeqRange>,
 }
 
 impl Program {
-    pub(crate) fn new(code: Vec<Inst>, symbols: BTreeMap<String, CodeAddr>, entry: CodeAddr) -> Program {
-        Program { code, symbols, entry }
+    pub(crate) fn new(
+        code: Vec<Inst>,
+        symbols: BTreeMap<String, CodeAddr>,
+        entry: CodeAddr,
+        seq_ranges: Vec<SeqRange>,
+    ) -> Program {
+        Program {
+            code,
+            symbols,
+            entry,
+            seq_ranges,
+        }
     }
 
     /// Number of instructions in the image.
@@ -52,6 +63,25 @@ impl Program {
     /// A view of the whole instruction stream.
     pub fn code(&self) -> &[Inst] {
         &self.code
+    }
+
+    /// The restartable atomic sequences declared while assembling (see
+    /// [`crate::Asm::declare_seq`]), in declaration order.
+    ///
+    /// This is in-memory analysis metadata: it is *not* part of the binary
+    /// image produced by [`Program::to_bytes`], just as real RAS binaries
+    /// carry their sequence ranges out of band (registration calls or
+    /// landmark conventions, §3 of the paper).
+    pub fn seq_ranges(&self) -> &[SeqRange] {
+        &self.seq_ranges
+    }
+
+    /// Declares a restartable sequence on an already-built image. The
+    /// assembler-time path is [`crate::Asm::declare_seq`]; this one serves
+    /// tools that learn ranges out of band — lint command-line flags,
+    /// landmark detection — after parsing or decoding an image.
+    pub fn declare_seq(&mut self, range: SeqRange) {
+        self.seq_ranges.push(range);
     }
 
     /// Looks up a named symbol (function entry, sequence start, …).
@@ -86,6 +116,14 @@ impl Program {
         for (i, slot) in self.code[start..start + len].iter_mut().enumerate() {
             *slot = replacement.get(i).copied().unwrap_or(Inst::Nop);
         }
+        // The rewritten window no longer holds the code any overlapping
+        // declared sequence described; drop those declarations so static
+        // analysis does not verify stale ranges.
+        let window = SeqRange {
+            start: start as CodeAddr,
+            len: len as u32,
+        };
+        self.seq_ranges.retain(|r| !r.overlaps(window));
     }
 
     /// Renders a human-readable listing with addresses and symbols.

@@ -1,0 +1,49 @@
+use crate::CodeAddr;
+
+/// A code range occupied by a restartable atomic sequence:
+/// `[start, start + len)` in instruction addresses.
+///
+/// Emitters declare these on the assembler ([`crate::Asm::declare_seq`]) so
+/// the finished [`crate::Program`] carries its sequence map for static
+/// analysis; the kernel-facing registration path passes the same values to
+/// `SYS_RAS_REGISTER`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SeqRange {
+    /// First instruction of the sequence.
+    pub start: CodeAddr,
+    /// Length in instructions.
+    pub len: u32,
+}
+
+impl SeqRange {
+    /// Exclusive end address.
+    pub fn end(self) -> CodeAddr {
+        self.start + self.len
+    }
+
+    /// Whether `pc` lies within the sequence.
+    pub fn contains(self, pc: CodeAddr) -> bool {
+        pc >= self.start && pc < self.end()
+    }
+
+    /// Whether two ranges share at least one address.
+    pub fn overlaps(self, other: SeqRange) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_contains_overlaps() {
+        let r = SeqRange { start: 4, len: 3 };
+        assert_eq!(r.end(), 7);
+        assert!(r.contains(4) && r.contains(6));
+        assert!(!r.contains(3) && !r.contains(7));
+        assert!(r.overlaps(SeqRange { start: 6, len: 5 }));
+        assert!(!r.overlaps(SeqRange { start: 7, len: 1 }));
+        assert!(!r.overlaps(SeqRange { start: 0, len: 4 }));
+    }
+}

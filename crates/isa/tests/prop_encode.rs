@@ -38,14 +38,28 @@ fn arb_cond() -> impl Strategy<Value = Cond> {
 fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
         (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
-        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs, rt)| Inst::Alu { op, rd, rs, rt }),
-        (arb_alu(), arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(op, rd, rs, imm)| Inst::AluI { op, rd, rs, imm }),
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs, rt)| Inst::Alu {
+            op,
+            rd,
+            rs,
+            rt
+        }),
+        (arb_alu(), arb_reg(), arb_reg(), any::<i32>()).prop_map(|(op, rd, rs, imm)| Inst::AluI {
+            op,
+            rd,
+            rs,
+            imm
+        }),
         (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, off)| Inst::Lw { rd, base, off }),
         (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rs, base, off)| Inst::Sw { rs, base, off }),
-        (arb_cond(), arb_reg(), arb_reg(), any::<u32>())
-            .prop_map(|(cond, rs, rt, target)| Inst::Branch { cond, rs, rt, target }),
+        (arb_cond(), arb_reg(), arb_reg(), any::<u32>()).prop_map(|(cond, rs, rt, target)| {
+            Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            }
+        }),
         any::<u32>().prop_map(|target| Inst::J { target }),
         any::<u32>().prop_map(|target| Inst::Jal { target }),
         arb_reg().prop_map(|rs| Inst::Jr { rs }),

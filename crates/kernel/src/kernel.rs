@@ -96,7 +96,10 @@ impl fmt::Display for BootError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BootError::DataTooLarge { need, have } => {
-                write!(f, "data image needs {need} bytes but only {have} fit below the stacks")
+                write!(
+                    f,
+                    "data image needs {need} bytes but only {have} fit below the stacks"
+                )
             }
             BootError::EmptyProgram => write!(f, "program has no instructions"),
         }
@@ -371,16 +374,26 @@ impl Kernel {
             self.machine.clear_atomic_bit();
             self.stats.ras_restarts += 1;
             self.stats.ras_checks += 1;
-            self.record(Event::Restart { thread: tid, from, to: restart });
+            self.record(Event::Restart {
+                thread: tid,
+                from,
+                to: restart,
+            });
             return;
         }
         let pc = self.threads[tid.0 as usize].regs.pc();
         let cost = *self.machine.profile().cost();
-        let (rollback, cycles) = self.strategy.check(&self.program, pc, &cost, &mut self.stats);
+        let (rollback, cycles) = self
+            .strategy
+            .check(&self.program, pc, &cost, &mut self.stats);
         self.charge_kernel(cycles);
         if let Some(start) = rollback {
             self.threads[tid.0 as usize].regs.set_pc(start);
-            self.record(Event::Restart { thread: tid, from: pc, to: start });
+            self.record(Event::Restart {
+                thread: tid,
+                from: pc,
+                to: start,
+            });
         }
     }
 
@@ -399,7 +412,11 @@ impl Kernel {
                 self.machine.clear_atomic_bit();
                 self.stats.ras_restarts += 1;
                 self.stats.ras_checks += 1;
-                self.record(Event::Restart { thread: tid, from, to: restart });
+                self.record(Event::Restart {
+                    thread: tid,
+                    from,
+                    to: restart,
+                });
             }
         }
         if matches!(self.strategy, Strategy::UserLevel { .. }) {
@@ -530,7 +547,10 @@ impl Kernel {
             }
             abi::SYS_TAS => {
                 self.stats.emulation_traps += 1;
-                self.record(Event::EmulatedTas { thread: tid, addr: a0 });
+                self.record(Event::EmulatedTas {
+                    thread: tid,
+                    addr: a0,
+                });
                 let body = u64::from(self.machine.profile().cost().kernel_emul_body);
                 self.charge_kernel(body);
                 // Interrupts are disabled in the kernel, so the
@@ -618,8 +638,7 @@ impl Kernel {
                         self.record(Event::Block { thread: tid });
                         self.threads[tid.0 as usize].regs.set(Reg::V0, 0);
                         self.suspend(tid);
-                        self.threads[tid.0 as usize].state =
-                            ThreadState::Joining { target };
+                        self.threads[tid.0 as usize].state = ThreadState::Joining { target };
                         self.join_waiters.entry(target).or_default().push(tid);
                         self.current = None;
                     }
@@ -659,7 +678,10 @@ impl Kernel {
                     break;
                 }
                 self.sleepers.pop();
-                if matches!(self.threads[tid.0 as usize].state, ThreadState::Sleeping { .. }) {
+                if matches!(
+                    self.threads[tid.0 as usize].state,
+                    ThreadState::Sleeping { .. }
+                ) {
                     self.threads[tid.0 as usize].state = ThreadState::Ready;
                     self.ready.push_back(tid);
                     self.stats.wakeups += 1;

@@ -74,8 +74,16 @@ impl fmt::Display for KernelStats {
         writeln!(f, "  emulation traps    {:>10}", self.emulation_traps)?;
         writeln!(f, "  ras checks         {:>10}", self.ras_checks)?;
         writeln!(f, "  ras restarts       {:>10}", self.ras_restarts)?;
-        writeln!(f, "  stage-1 hits       {:>10}", self.designated_stage1_hits)?;
-        writeln!(f, "  false alarms       {:>10}", self.designated_false_alarms)?;
+        writeln!(
+            f,
+            "  stage-1 hits       {:>10}",
+            self.designated_stage1_hits
+        )?;
+        writeln!(
+            f,
+            "  false alarms       {:>10}",
+            self.designated_false_alarms
+        )?;
         writeln!(f, "  threads spawned    {:>10}", self.threads_spawned)?;
         write!(f, "  kernel cycles      {:>10}", self.kernel_cycles)
     }

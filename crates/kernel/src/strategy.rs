@@ -282,9 +282,8 @@ impl Strategy {
             Strategy::Registered { range } => {
                 stats.ras_checks += 1;
                 let cycles = u64::from(cost.ras_check_registered);
-                let rollback = range.and_then(|(start, len)| {
-                    (pc > start && pc < start + len).then_some(start)
-                });
+                let rollback = range
+                    .and_then(|(start, len)| (pc > start && pc < start + len).then_some(start));
                 if rollback.is_some() {
                     stats.ras_restarts += 1;
                 }
@@ -486,7 +485,10 @@ mod tests {
         let cost = CostModel::default();
         for strat in [
             Strategy::None,
-            Strategy::UserLevel { recovery_pc: 0, recovery_len: 4 },
+            Strategy::UserLevel {
+                recovery_pc: 0,
+                recovery_len: 4,
+            },
             Strategy::HardwareBit,
         ] {
             let (r, cycles) = strat.check(&program, start + 2, &cost, &mut stats);
@@ -521,8 +523,14 @@ mod tests {
             Strategy::Designated { .. }
         ));
         assert!(matches!(
-            Strategy::from_kind(&StrategyKind::UserLevel { recovery_pc: 9, recovery_len: 7 }),
-            Strategy::UserLevel { recovery_pc: 9, recovery_len: 7 }
+            Strategy::from_kind(&StrategyKind::UserLevel {
+                recovery_pc: 9,
+                recovery_len: 7
+            }),
+            Strategy::UserLevel {
+                recovery_pc: 9,
+                recovery_len: 7
+            }
         ));
         assert!(matches!(
             Strategy::from_kind(&StrategyKind::HardwareBit),

@@ -99,7 +99,9 @@ mod tests {
     fn events_compare_and_debug() {
         let a = TimedEvent {
             clock: 5,
-            event: Event::Dispatch { thread: ThreadId(1) },
+            event: Event::Dispatch {
+                thread: ThreadId(1),
+            },
         };
         let b = a;
         assert_eq!(a, b);

@@ -81,7 +81,11 @@ fn run_counter(
     config.stack_bytes = 4096;
     let mut k = Kernel::boot(config, program, &data.finish()).unwrap();
     assert_eq!(k.run(4_000_000_000), Outcome::Completed);
-    (k.read_word(counter).unwrap(), k.machine().clock(), *k.stats())
+    (
+        k.read_word(counter).unwrap(),
+        k.machine().clock(),
+        *k.stats(),
+    )
 }
 
 proptest! {
@@ -172,14 +176,34 @@ mod matcher_safety {
     fn arb_ordinary_inst(code_len: u32) -> impl Strategy<Value = Inst> {
         prop_oneof![
             (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
-            (arb_reg(), arb_reg(), arb_reg())
-                .prop_map(|(rd, rs, rt)| Inst::Alu { op: AluOp::Add, rd, rs, rt }),
-            (arb_reg(), arb_reg(), any::<i32>())
-                .prop_map(|(rd, rs, imm)| Inst::AluI { op: AluOp::Add, rd, rs, imm }),
-            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, off)| Inst::Lw { rd, base, off }),
-            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rs, base, off)| Inst::Sw { rs, base, off }),
-            (arb_reg(), arb_reg(), 0..code_len)
-                .prop_map(|(rs, rt, target)| Inst::Branch { cond: Cond::Ne, rs, rt, target }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Inst::Alu {
+                op: AluOp::Add,
+                rd,
+                rs,
+                rt
+            }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Inst::AluI {
+                op: AluOp::Add,
+                rd,
+                rs,
+                imm
+            }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, off)| Inst::Lw {
+                rd,
+                base,
+                off
+            }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rs, base, off)| Inst::Sw {
+                rs,
+                base,
+                off
+            }),
+            (arb_reg(), arb_reg(), 0..code_len).prop_map(|(rs, rt, target)| Inst::Branch {
+                cond: Cond::Ne,
+                rs,
+                rt,
+                target
+            }),
             (0..code_len).prop_map(|target| Inst::J { target }),
             arb_reg().prop_map(|rs| Inst::Jr { rs }),
             Just(Inst::Nop),

@@ -69,8 +69,14 @@ fn timeline_is_chronological_and_complete() {
     }
     // Every counter category matches the statistics.
     let count = |f: &dyn Fn(&Event) -> bool| events.iter().filter(|e| f(&e.event)).count() as u64;
-    assert_eq!(count(&|e| matches!(e, Event::Preempt { .. })), k.stats().preemptions);
-    assert_eq!(count(&|e| matches!(e, Event::Restart { .. })), k.stats().ras_restarts);
+    assert_eq!(
+        count(&|e| matches!(e, Event::Preempt { .. })),
+        k.stats().preemptions
+    );
+    assert_eq!(
+        count(&|e| matches!(e, Event::Restart { .. })),
+        k.stats().ras_restarts
+    );
     // Main is spawned at boot, before the timeline is enabled, so only
     // the workers appear.
     assert_eq!(

@@ -274,7 +274,12 @@ impl Machine {
                     Err(e) => return Some(Exit::Fault(Self::mem_fault(e, addr, pc))),
                 }
             }
-            Inst::Branch { cond, rs, rt, target } => {
+            Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
                 self.clock += u64::from(cost.branch);
                 if cond.holds(regs.get(rs), regs.get(rt)) {
                     regs.set_pc(target);
@@ -588,10 +593,7 @@ mod tests {
         let mut regs = RegFile::new(0);
         machine.run(&program, &mut regs, u64::MAX);
         let c = *machine.profile().cost();
-        assert_eq!(
-            machine.clock(),
-            u64::from(c.alu + c.load + c.store + c.alu)
-        );
+        assert_eq!(machine.clock(), u64::from(c.alu + c.load + c.store + c.alu));
     }
 
     #[test]

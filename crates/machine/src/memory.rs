@@ -227,7 +227,10 @@ impl Memory {
             return Err(MemError::Unaligned { addr });
         }
         let idx = (addr / 4) as usize;
-        let slot = self.words.get_mut(idx).ok_or(MemError::OutOfRange { addr })?;
+        let slot = self
+            .words
+            .get_mut(idx)
+            .ok_or(MemError::OutOfRange { addr })?;
         *slot = value;
         Ok(())
     }
@@ -259,7 +262,10 @@ mod tests {
         assert_eq!(mem.load(2), Err(MemError::Unaligned { addr: 2 }));
         assert_eq!(mem.store(17, 0), Err(MemError::Unaligned { addr: 17 }));
         assert_eq!(mem.load(16), Err(MemError::OutOfRange { addr: 16 }));
-        assert_eq!(mem.store(1 << 30, 0), Err(MemError::OutOfRange { addr: 1 << 30 }));
+        assert_eq!(
+            mem.store(1 << 30, 0),
+            Err(MemError::OutOfRange { addr: 1 << 30 })
+        );
     }
 
     #[test]

@@ -83,6 +83,9 @@ impl Cpu {
     }
 }
 
+/// A boxed task body for [`run_interleaved`].
+pub type InterleavedTask<'a> = Box<dyn FnOnce(&Cpu) + Send + 'a>;
+
 /// Runs `tasks` to completion under a seeded deterministic interleaving
 /// and returns the switch trace (the task chosen at each decision).
 ///
@@ -93,7 +96,7 @@ impl Cpu {
 /// # Panics
 ///
 /// Panics if `tasks` is empty or a task panics.
-pub fn run_interleaved<'a>(seed: u64, tasks: Vec<Box<dyn FnOnce(&Cpu) + Send + 'a>>) -> Vec<usize> {
+pub fn run_interleaved(seed: u64, tasks: Vec<InterleavedTask<'_>>) -> Vec<usize> {
     assert!(!tasks.is_empty(), "need at least one task");
     let n = tasks.len();
     let shared = Arc::new(Shared {
@@ -162,7 +165,7 @@ mod tests {
         let mut lost_somewhere = false;
         for seed in 0..8 {
             let counter = AtomicU32::new(0);
-            let tasks: Vec<Box<dyn FnOnce(&Cpu) + Send + '_>> = (0..3)
+            let tasks: Vec<InterleavedTask<'_>> = (0..3)
                 .map(|_| {
                     let counter = &counter;
                     Box::new(move |cpu: &Cpu| racy_increments(counter, cpu, 50))
@@ -181,7 +184,7 @@ mod tests {
     fn same_seed_same_trace() {
         let trace = |seed: u64| {
             let counter = AtomicU32::new(0);
-            let tasks: Vec<Box<dyn FnOnce(&Cpu) + Send + '_>> = (0..4)
+            let tasks: Vec<InterleavedTask<'_>> = (0..4)
                 .map(|_| {
                     let counter = &counter;
                     Box::new(move |cpu: &Cpu| racy_increments(counter, cpu, 20))
@@ -199,7 +202,7 @@ mod tests {
         use crate::RestartableU32;
         for seed in 0..6 {
             let cell = RestartableU32::new(0);
-            let tasks: Vec<Box<dyn FnOnce(&Cpu) + Send + '_>> = (0..3)
+            let tasks: Vec<InterleavedTask<'_>> = (0..3)
                 .map(|_| {
                     let cell = &cell;
                     Box::new(move |cpu: &Cpu| {
@@ -221,7 +224,7 @@ mod tests {
         for seed in 0..6 {
             let m = PetersonMutex::new();
             let counter = AtomicU32::new(0);
-            let tasks: Vec<Box<dyn FnOnce(&Cpu) + Send + '_>> = [Side::Left, Side::Right]
+            let tasks: Vec<InterleavedTask<'_>> = [Side::Left, Side::Right]
                 .into_iter()
                 .map(|side| {
                     let (m, counter) = (&m, &counter);
@@ -245,7 +248,7 @@ mod tests {
     #[test]
     fn single_task_runs_to_completion() {
         let counter = AtomicU32::new(0);
-        let tasks: Vec<Box<dyn FnOnce(&Cpu) + Send + '_>> = vec![Box::new(|cpu: &Cpu| {
+        let tasks: Vec<InterleavedTask<'_>> = vec![Box::new(|cpu: &Cpu| {
             for _ in 0..10 {
                 cpu.preemption_point();
             }

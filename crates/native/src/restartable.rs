@@ -66,12 +66,10 @@ impl RestartableU32 {
             let old = snapshot as u32;
             let seq = snapshot >> 32;
             let new = (seq.wrapping_add(1) << 32) | u64::from(f(old));
-            match self.word.compare_exchange(
-                snapshot,
-                new,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .word
+                .compare_exchange(snapshot, new, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return old,
                 Err(_) => {
                     self.restarts.fetch_add(1, Ordering::Relaxed);

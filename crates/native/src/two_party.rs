@@ -174,7 +174,9 @@ impl Drop for DekkerGuard<'_> {
         let me = self.side.index();
         // Hand the turn to the other side before releasing — Dekker's
         // fairness step.
-        self.mutex.turn.store(self.side.other().index(), Ordering::SeqCst);
+        self.mutex
+            .turn
+            .store(self.side.other().index(), Ordering::SeqCst);
         self.mutex.wants[me].store(false, Ordering::SeqCst);
     }
 }

@@ -10,8 +10,8 @@
 //! Run with: `cargo run --example handwritten_asm`
 
 use ras_isa::{parse_asm, DataLayout};
-use restartable_atomics::{Kernel, KernelConfig, Outcome, StrategyKind};
 use restartable_atomics::CpuProfile;
+use restartable_atomics::{Kernel, KernelConfig, Outcome, StrategyKind};
 
 const PROGRAM: &str = r#"
     # Two workers hammer a counter with designated fetch-and-add.
@@ -54,7 +54,11 @@ const PROGRAM: &str = r#"
 
 fn main() {
     let program = parse_asm(PROGRAM).expect("valid assembly");
-    println!("parsed {} instructions; entry = @{}", program.len(), program.entry());
+    println!(
+        "parsed {} instructions; entry = @{}",
+        program.len(),
+        program.entry()
+    );
 
     let mut data = DataLayout::new();
     data.word("counter", 0);

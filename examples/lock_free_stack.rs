@@ -27,13 +27,17 @@ fn main() {
     };
 
     let (report, kernel) = run_guest_keeping_kernel(&built, &options);
-    let read = |s: &str| {
-        kernel
-            .read_word(built.data.symbol(s).unwrap())
-            .unwrap()
-    };
-    println!("nodes pushed+popped : {} / {}", read("popped_total"), spec.total_nodes());
-    println!("value checksum      : {} (expected {})", read("popped_sum"), spec.expected_sum());
+    let read = |s: &str| kernel.read_word(built.data.symbol(s).unwrap()).unwrap();
+    println!(
+        "nodes pushed+popped : {} / {}",
+        read("popped_total"),
+        spec.total_nodes()
+    );
+    println!(
+        "value checksum      : {} (expected {})",
+        read("popped_sum"),
+        spec.expected_sum()
+    );
     println!("stack head at end   : {} (0 = drained)", read("head"));
     println!("CAS restarts        : {}", report.stats.ras_restarts);
     println!("preemptions         : {}", report.stats.preemptions);

@@ -30,17 +30,17 @@ fn main() {
     for mechanism in [Mechanism::RasInline, Mechanism::RasRegistered] {
         let built = parthenon(mechanism, &spec);
         let (report, kernel) = run_guest_keeping_kernel(&built, &options);
-        let read = |name: &str| {
-            kernel
-                .read_word(built.data.symbol(name).unwrap())
-                .unwrap()
-        };
+        let read = |name: &str| kernel.read_word(built.data.symbol(name).unwrap()).unwrap();
         println!("{mechanism}:");
         println!("  page faults : {}", report.stats.page_faults);
         println!("  evictions   : {}", report.stats.page_evictions);
         println!("  restarts    : {}", report.stats.ras_restarts);
         println!("  resolved    : {} / {}", read("resolved"), spec.clauses);
-        println!("  sum         : {} (expected {})", read("sum"), spec.expected_sum());
+        println!(
+            "  sum         : {} (expected {})",
+            read("sum"),
+            spec.expected_sum()
+        );
         assert_eq!(read("resolved"), spec.clauses);
         assert_eq!(read("sum"), spec.expected_sum());
         assert!(report.stats.page_faults > 10, "paging should be active");

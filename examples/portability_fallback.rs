@@ -22,8 +22,14 @@ fn main() {
 
     // On a kernel WITH registration support: fast path.
     let built = counter_loop(Mechanism::RasRegistered, &spec);
-    let seq = built.registered_seq.expect("registered binary has a window");
-    println!("binary carries a registered sequence at @{}..@{}", seq.start, seq.end());
+    let seq = built
+        .registered_seq
+        .expect("registered binary has a window");
+    println!(
+        "binary carries a registered sequence at @{}..@{}",
+        seq.start,
+        seq.end()
+    );
     let (fast, kernel) = run_guest_keeping_kernel(&built, &RunOptions::default());
     let result_addr = built.data.symbol("__ras_register_result").unwrap();
     println!(

@@ -37,8 +37,10 @@ fn main() {
     let counter = kernel
         .read_word(naked.data.symbol("counter").unwrap())
         .unwrap();
-    println!("no recovery      : counter = {counter:>6} / {expected}  ({} updates LOST)",
-        expected - counter);
+    println!(
+        "no recovery      : counter = {counter:>6} / {expected}  ({} updates LOST)",
+        expected - counter
+    );
     assert!(counter < expected, "the storm should have broken the race");
 
     // 2. In-kernel recovery: designated sequences.

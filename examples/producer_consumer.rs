@@ -10,7 +10,10 @@ use restartable_atomics::{run_guest_keeping_kernel, Mechanism, RunOptions};
 
 fn main() {
     let spec = Proton64Spec { items: 20_000 };
-    println!("transferring {} words through a 16-word buffer\n", spec.items);
+    println!(
+        "transferring {} words through a 16-word buffer\n",
+        spec.items
+    );
 
     let mut results = Vec::new();
     for mechanism in [Mechanism::KernelEmulation, Mechanism::RasRegistered] {
@@ -19,12 +22,22 @@ fn main() {
         let checksum = kernel
             .read_word(built.data.symbol("checksum").expect("symbol"))
             .expect("aligned");
-        assert_eq!(checksum, spec.expected_checksum(), "data corrupted in transit");
+        assert_eq!(
+            checksum,
+            spec.expected_checksum(),
+            "data corrupted in transit"
+        );
         println!("{mechanism}:");
-        println!("  elapsed        : {:.3} ms (simulated)", report.micros / 1000.0);
+        println!(
+            "  elapsed        : {:.3} ms (simulated)",
+            report.micros / 1000.0
+        );
         println!("  emulation traps: {}", report.stats.emulation_traps);
         println!("  restarts       : {}", report.stats.ras_restarts);
-        println!("  blocks/wakeups : {}/{}", report.stats.blocks, report.stats.wakeups);
+        println!(
+            "  blocks/wakeups : {}/{}",
+            report.stats.blocks, report.stats.wakeups
+        );
         println!("  checksum       : {checksum:#010x} (verified)\n");
         results.push(report.micros);
     }

@@ -34,7 +34,10 @@ fn main() {
         .expect("aligned read");
 
     println!("mechanism        : {}", built.mechanism);
-    println!("counter          : {counter} (expected {})", spec.expected_count());
+    println!(
+        "counter          : {counter} (expected {})",
+        spec.expected_count()
+    );
     println!("simulated time   : {:.3} ms", report.micros / 1000.0);
     println!("cycles           : {}", report.cycles);
     println!("preemptions      : {}", report.stats.preemptions);

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --example timeline`
 
+use ras_kernel::Event;
 use restartable_atomics::workloads::{counter_loop, CounterSpec};
 use restartable_atomics::{Mechanism, Outcome};
-use ras_kernel::Event;
 
 fn main() {
     let spec = CounterSpec {

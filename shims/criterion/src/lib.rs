@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and builder surface the `ras-bench` targets use —
+//! [`Criterion`], [`Criterion::benchmark_group`], `bench_function`,
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] — over a
+//! simple wall-clock harness: warm up, run `sample_size` samples, and
+//! print min/mean/max per iteration. No statistics engine, no plots, but
+//! `cargo bench` produces comparable numbers without network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark: warm up, sample, and report.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let cfg = self.criterion;
+
+        // Warm-up: also estimates the per-iteration cost so each sample
+        // can batch enough iterations to be measurable.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut bencher = Bencher::default();
+        while warm_start.elapsed() < cfg.warm_up_time {
+            bencher.iters = 1;
+            f(&mut bencher);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+        let budget = cfg.measurement_time.as_nanos() / cfg.sample_size as u128;
+        let iters_per_sample = (budget / per_iter.max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+
+        let mut samples = Vec::with_capacity(cfg.sample_size);
+        for _ in 0..cfg.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        eprintln!(
+            "{}/{id}: {} ns/iter (min {}, max {}, {} samples x {} iters)",
+            self.name,
+            fmt_ns(mean),
+            fmt_ns(samples[0]),
+            fmt_ns(*samples.last().expect("sample_size >= 2")),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+
+    /// Finishes the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}e6", ns / 1e6)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Per-benchmark timing handle passed to the closure given to
+/// [`BenchmarkGroup::bench_function`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, recording the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// An opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_returns() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.bench_function("noop", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`utils::CachePadded`] is provided — the single item this
+//! workspace uses. See `shims/` for why these stand-ins exist.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Miscellaneous utilities, mirroring `crossbeam::utils`.
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so that two `CachePadded`
+    /// values never share a cache line — the property the native Lamport
+    /// implementation relies on to keep its per-thread flags from
+    /// false-sharing.
+    #[derive(Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Consumes the wrapper, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("CachePadded").field(&self.value).finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn aligned_and_transparent() {
+            let c = CachePadded::new(17u32);
+            assert_eq!(*c, 17);
+            assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+            assert_eq!(c.into_inner(), 17);
+        }
+    }
+}

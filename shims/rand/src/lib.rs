@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace provides
+//! the tiny subset of the `rand` 0.9 API it actually uses as a local path
+//! dependency: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::random_range`] over integer ranges.
+//!
+//! The generator is splitmix64-seeded xoshiro256++, which is more than
+//! adequate for the simulator's preemption-jitter and test-fuzzing needs.
+//! It is deterministic for a given seed, which the kernel's reproducibility
+//! guarantees rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling surface, mirroring the parts of `rand::Rng` in use.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly distributed value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<R: UniformRange>(&mut self, range: R) -> R::Value
+    where
+        Self: Sized,
+    {
+        range.sample_with(&mut || self.next_u64())
+    }
+}
+
+/// Integer ranges that can be sampled uniformly.
+pub trait UniformRange {
+    /// The sampled value type.
+    type Value;
+    /// Draws one value using the provided bit source.
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> Self::Value;
+}
+
+fn uniform_below(next: &mut dyn FnMut() -> u64, span: u64) -> u64 {
+    // Rejection sampling to avoid modulo bias; the retry probability is
+    // negligible for the small spans this workspace samples.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = next();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+impl UniformRange for Range<u64> {
+    type Value = u64;
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> u64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + uniform_below(next, self.end - self.start)
+    }
+}
+
+impl UniformRange for RangeInclusive<u64> {
+    type Value = u64;
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample an empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return next();
+        }
+        lo + uniform_below(next, span + 1)
+    }
+}
+
+impl UniformRange for Range<usize> {
+    type Value = usize;
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> usize {
+        (self.start as u64..self.end as u64).sample_with(next) as usize
+    }
+}
+
+impl UniformRange for Range<u32> {
+    type Value = u32;
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> u32 {
+        (u64::from(self.start)..u64::from(self.end)).sample_with(next) as u32
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic 64-bit generator (xoshiro256++ seeded via
+    /// splitmix64), standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn ranges_are_bounded() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.random_range(0..=50u64);
+            assert!(v <= 50);
+            let v = r.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let v = r.random_range(0usize..7);
+            assert!(v < 7);
+        }
+    }
+
+    #[test]
+    fn inclusive_full_range_does_not_overflow() {
+        let mut r = StdRng::seed_from_u64(4);
+        let _ = r.random_range(0..=u64::MAX);
+    }
+}

@@ -20,6 +20,8 @@
 //!   `experiments` module that regenerates Tables 1–4.
 //! * [`ras_native`] — Lamport's fast mutex and an `rseq`-style
 //!   restartable cell with real atomics.
+//! * [`ras_analyze`] — the static restartability verifier and landmark
+//!   lints behind the `ras-lint` binary.
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ras_analyze;
 pub use ras_core::*;
 pub use ras_guest;
 pub use ras_isa;

@@ -74,7 +74,10 @@ fn optimism_assumption_holds_for_applications() {
         ..RunOptions::default()
     };
     let report = run_guest(&parthenon(Mechanism::RasInline, &spec), &options);
-    assert!(report.stats.preemptions > 50, "the run must span many quanta");
+    assert!(
+        report.stats.preemptions > 50,
+        "the run must span many quanta"
+    );
     assert!(
         report.stats.ras_restarts * 5 <= report.stats.preemptions,
         "restarts ({}) should be a small fraction of preemptions ({})",
@@ -153,7 +156,9 @@ fn fallback_binary_runs_on_all_strategies() {
     assert_eq!(built.strategy, StrategyKind::Registered);
     let (_, kernel) = run_guest_keeping_kernel(&built, &RunOptions::default());
     assert_eq!(
-        kernel.read_word(built.data.symbol("counter").unwrap()).unwrap(),
+        kernel
+            .read_word(built.data.symbol("counter").unwrap())
+            .unwrap(),
         3_000
     );
     // Fallback: emulation on a designated-sequence kernel (which refuses
@@ -167,7 +172,9 @@ fn fallback_binary_runs_on_all_strategies() {
     };
     let (report, kernel) = run_guest_keeping_kernel(&patched, &options);
     assert_eq!(
-        kernel.read_word(patched.data.symbol("counter").unwrap()).unwrap(),
+        kernel
+            .read_word(patched.data.symbol("counter").unwrap())
+            .unwrap(),
         3_000
     );
     assert!(report.stats.emulation_traps >= 3_000);
@@ -190,7 +197,9 @@ fn native_and_simulated_lamport_agree_on_semantics() {
     };
     let (_, kernel) = run_guest_keeping_kernel(&built, &options);
     assert_eq!(
-        kernel.read_word(built.data.symbol("counter").unwrap()).unwrap(),
+        kernel
+            .read_word(built.data.symbol("counter").unwrap())
+            .unwrap(),
         1_500
     );
 
@@ -226,9 +235,111 @@ fn pingpong_synchronization_counts_match_mechanism() {
         &ping_pong(Mechanism::RasRegistered, &spec),
         &RunOptions::default(),
     );
-    assert!(emul.stats.emulation_traps > 1_000, "many TAS traps expected");
+    assert!(
+        emul.stats.emulation_traps > 1_000,
+        "many TAS traps expected"
+    );
     assert_eq!(ras.stats.emulation_traps, 0);
     assert!(ras.micros < emul.micros);
+}
+
+#[test]
+fn static_analyzer_accepts_every_workload_program() {
+    // The ras-lint smoke pass: every program the workload generators can
+    // emit, on every mechanism, must come back from the static analyzer
+    // with zero errors — the same gate `run_guest` enforces in debug
+    // builds, exercised here across the whole generator matrix.
+    use restartable_atomics::ras_analyze::{analyze_standard, Severity};
+    use restartable_atomics::workloads::{
+        afs_bench, fork_test, malloc_stress, mutex_bench, parthenon, spinlock_bench, text_format,
+        treiber_stack, AfsSpec, MallocSpec, ParthenonSpec, StackSpec, TextFormatSpec,
+    };
+
+    let mut checked = 0usize;
+    for mechanism in Mechanism::all() {
+        let counter = CounterSpec {
+            iterations: 10,
+            workers: 2,
+            ..Default::default()
+        };
+        let t2 = Table2Spec { iterations: 10 };
+        let mut builds = vec![
+            ("counter", counter_loop(mechanism, &counter)),
+            (
+                "malloc",
+                malloc_stress(
+                    mechanism,
+                    &MallocSpec {
+                        workers: 2,
+                        rounds: 2,
+                        blocks: 3,
+                    },
+                ),
+            ),
+            ("spinlock", spinlock_bench(mechanism, &t2)),
+            ("mutex", mutex_bench(mechanism, &t2)),
+            ("fork", fork_test(mechanism, &t2)),
+            ("pingpong", ping_pong(mechanism, &t2)),
+            (
+                "parthenon",
+                parthenon(
+                    mechanism,
+                    &ParthenonSpec {
+                        workers: 2,
+                        clauses: 8,
+                        work_iters: 4,
+                    },
+                ),
+            ),
+            ("proton64", proton64(mechanism, &Proton64Spec { items: 16 })),
+            (
+                "text-format",
+                text_format(
+                    mechanism,
+                    &TextFormatSpec {
+                        requests: 2,
+                        client_work: 8,
+                        server_work: 4,
+                    },
+                ),
+            ),
+            (
+                "afs",
+                afs_bench(
+                    mechanism,
+                    &AfsSpec {
+                        requests: 2,
+                        client_work: 8,
+                        server_work: 4,
+                    },
+                ),
+            ),
+        ];
+        if mechanism == Mechanism::RasInline {
+            // The lock-free stack insists on designated CAS sequences.
+            builds.push((
+                "stack",
+                treiber_stack(
+                    mechanism,
+                    &StackSpec {
+                        workers: 2,
+                        nodes_per_worker: 4,
+                    },
+                ),
+            ));
+        }
+        for (name, built) in builds {
+            let analysis = analyze_standard(&built.program);
+            let errors: Vec<_> = analysis
+                .diags
+                .iter()
+                .filter(|d| d.severity() == Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "{name} on {mechanism}: {errors:#?}");
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 10 * Mechanism::all().len() + 1);
 }
 
 #[test]
