@@ -2,9 +2,10 @@
 //! violations before running them under preemption.
 //!
 //! ```text
-//! usage: ras-lint [--strict] [--seq START:LEN]... FILE.s [FILE.s...]
+//! usage: ras-lint [--strict] [--json] [--seq START:LEN]... FILE.s [FILE.s...]
 //!
-//!   --strict         exit nonzero on warnings as well as errors
+//!   --strict         treat warnings as errors for the exit status
+//!   --json           emit diagnostics as JSON (one object per file)
 //!   --seq START:LEN  declare a restartable sequence (instruction
 //!                    addresses) in addition to those detected from
 //!                    landmarks; may be repeated, applies to every file
@@ -12,22 +13,26 @@
 //!
 //! Sequences that follow the designated templates are detected
 //! automatically from their landmarks and verified as if declared.
-//! Exit status: 0 clean, 1 findings, 2 usage or read/parse failure.
+//!
+//! Exit status: `0` clean, `1` errors (or warnings under `--strict`),
+//! `3` warnings only, `2` usage or read/parse failure — so CI can
+//! distinguish "broken" from "merely suspicious".
 
 use std::process::ExitCode;
 
-use ras_analyze::{analyze, explain_landmark};
+use ras_analyze::{analyze, explain_landmark, render_json, Diagnostic, Severity};
 use ras_isa::{parse_asm, CodeAddr, Opcode, Program, SeqRange};
 use ras_kernel::DesignatedSet;
 
 struct Options {
     strict: bool,
+    json: bool,
     seqs: Vec<SeqRange>,
     files: Vec<String>,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: ras-lint [--strict] [--seq START:LEN]... FILE.s [FILE.s...]");
+    eprintln!("usage: ras-lint [--strict] [--json] [--seq START:LEN]... FILE.s [FILE.s...]");
     ExitCode::from(2)
 }
 
@@ -42,6 +47,7 @@ fn parse_seq(spec: &str) -> Option<SeqRange> {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         strict: false,
+        json: false,
         seqs: Vec::new(),
         files: Vec::new(),
     };
@@ -49,6 +55,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--strict" => opts.strict = true,
+            "--json" => opts.json = true,
             "--seq" => {
                 let spec = it.next().ok_or("--seq needs START:LEN")?;
                 opts.seqs
@@ -92,18 +99,18 @@ fn declare_sequences(program: &mut Program, set: &DesignatedSet, extra: &[SeqRan
     }
 }
 
-fn lint_file(path: &str, opts: &Options, set: &DesignatedSet) -> Result<(usize, usize), String> {
+fn lint_file(path: &str, opts: &Options, set: &DesignatedSet) -> Result<Vec<Diagnostic>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
     let mut program = parse_asm(&text).map_err(|e| format!("{path}:{}: {}", e.line, e.message))?;
     declare_sequences(&mut program, set, &opts.seqs);
 
     let analysis = analyze(&program, set);
-    for d in &analysis.diags {
-        print!("{path}: {}", d.render(&program));
+    if !opts.json {
+        for d in &analysis.diags {
+            print!("{path}: {}", d.render(&program));
+        }
     }
-    let errors = analysis.errors().count();
-    let warnings = analysis.warnings().count();
-    Ok((errors, warnings))
+    Ok(analysis.diags)
 }
 
 fn main() -> ExitCode {
@@ -121,11 +128,25 @@ fn main() -> ExitCode {
     let set = DesignatedSet::standard();
     let mut errors = 0;
     let mut warnings = 0;
+    let mut json_entries = Vec::new();
     for file in &opts.files {
         match lint_file(file, &opts, &set) {
-            Ok((e, w)) => {
-                errors += e;
-                warnings += w;
+            Ok(diags) => {
+                errors += diags
+                    .iter()
+                    .filter(|d| d.severity() == Severity::Error)
+                    .count();
+                warnings += diags
+                    .iter()
+                    .filter(|d| d.severity() == Severity::Warning)
+                    .count();
+                if opts.json {
+                    json_entries.push(format!(
+                        "{{\"file\": \"{}\", \"diagnostics\": {}}}",
+                        file.replace('\\', "\\\\").replace('"', "\\\""),
+                        render_json(&diags).replace('\n', "")
+                    ));
+                }
             }
             Err(msg) => {
                 eprintln!("ras-lint: {msg}");
@@ -134,7 +155,9 @@ fn main() -> ExitCode {
         }
     }
 
-    if errors > 0 || warnings > 0 {
+    if opts.json {
+        println!("[{}]", json_entries.join(", "));
+    } else if errors > 0 || warnings > 0 {
         eprintln!(
             "ras-lint: {errors} error(s), {warnings} warning(s) in {} file(s)",
             opts.files.len()
@@ -142,6 +165,8 @@ fn main() -> ExitCode {
     }
     if errors > 0 || (opts.strict && warnings > 0) {
         ExitCode::from(1)
+    } else if warnings > 0 {
+        ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
     }

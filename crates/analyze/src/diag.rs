@@ -1,215 +1,8 @@
-//! Diagnostics: what the analyses report and how findings are rendered
-//! with source context.
+//! Diagnostics — re-exported from the shared [`ras_diag`] crate so the
+//! static verifier and the `ras-model` dynamic checker report findings
+//! through one severity enum and one rendering path.
+//!
+//! Existing callers keep using `ras_analyze::{DiagKind, Diagnostic,
+//! Severity}`; the types are identical.
 
-use std::fmt;
-
-use ras_isa::{CodeAddr, Program};
-
-/// How serious a finding is.
-///
-/// Errors are violations of the restartability rules or of the landmark
-/// convention — running the program under preemption can corrupt state or
-/// roll a thread back to the wrong place. Warnings flag code that is
-/// *suspicious* (a naive read-modify-write window) but that the analysis
-/// cannot prove unprotected, e.g. because a lock is held around it.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Severity {
-    /// Might be fine in context; a human should look.
-    Warning,
-    /// A rule of the atomicity mechanism is violated.
-    Error,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Severity::Warning => write!(f, "warning"),
-            Severity::Error => write!(f, "error"),
-        }
-    }
-}
-
-/// The distinct findings the analyses can produce. Each maps to a stable
-/// code (printed in brackets) so tests and tooling can match on the class
-/// rather than the message text.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub enum DiagKind {
-    /// A declared sequence is empty or extends past the end of the image.
-    InvalidRange,
-    /// Two declared sequences share instructions; a suspension inside the
-    /// overlap has two candidate rollback targets.
-    OverlappingRanges,
-    /// A declared sequence contains no store: there is nothing to commit,
-    /// so the code has no business being a sequence.
-    NoCommittingStore,
-    /// The committing store is not the last instruction of the sequence, so
-    /// a suspension after it would repeat the store's side effect.
-    StoreNotLast,
-    /// More than one store in the sequence: rolling back after the first
-    /// store repeats a memory write.
-    MultipleStores,
-    /// A non-restartable instruction (syscall, call, indirect jump,
-    /// interlocked or hardware-atomic op, halt) sits in the sequence body.
-    SideEffectInPrefix,
-    /// A branch inside the sequence targets an earlier address: re-executed
-    /// loop iterations make the prefix non-idempotent (and the designated
-    /// matcher cannot describe it).
-    BackwardBranch,
-    /// A branch inside the sequence lands on another interior instruction
-    /// instead of exiting past the committing store.
-    InternalBranch,
-    /// An instruction overwrites a register the sequence reads on entry;
-    /// re-execution after rollback would see the clobbered value.
-    LiveInClobbered,
-    /// A control transfer from outside the sequence targets an interior
-    /// instruction; a thread entering mid-sequence can be rolled back over
-    /// code it never executed.
-    JumpIntoSequence,
-    /// A landmark instruction that no designated-sequence template
-    /// explains. The whole two-stage matcher is sound only because "the
-    /// landmark is never emitted under any other circumstance" (§3.2).
-    LandmarkCollision,
-    /// Two templates in a designated set can match overlapping instruction
-    /// streams with different rollback starts.
-    AmbiguousTemplates,
-    /// A load and a store to the same word with no visible protection —
-    /// a naive read-modify-write that preemption can tear.
-    UnprotectedRmw,
-}
-
-impl DiagKind {
-    /// The stable short code printed with the finding.
-    pub fn code(self) -> &'static str {
-        match self {
-            DiagKind::InvalidRange => "invalid-range",
-            DiagKind::OverlappingRanges => "overlapping-ranges",
-            DiagKind::NoCommittingStore => "no-committing-store",
-            DiagKind::StoreNotLast => "store-not-last",
-            DiagKind::MultipleStores => "multiple-stores",
-            DiagKind::SideEffectInPrefix => "side-effect-in-prefix",
-            DiagKind::BackwardBranch => "backward-branch",
-            DiagKind::InternalBranch => "internal-branch",
-            DiagKind::LiveInClobbered => "live-in-clobbered",
-            DiagKind::JumpIntoSequence => "jump-into-sequence",
-            DiagKind::LandmarkCollision => "landmark-collision",
-            DiagKind::AmbiguousTemplates => "ambiguous-templates",
-            DiagKind::UnprotectedRmw => "unprotected-rmw",
-        }
-    }
-
-    /// The severity this kind always carries.
-    pub fn severity(self) -> Severity {
-        match self {
-            DiagKind::UnprotectedRmw => Severity::Warning,
-            _ => Severity::Error,
-        }
-    }
-}
-
-/// One finding, anchored to an instruction address.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// The finding class.
-    pub kind: DiagKind,
-    /// The instruction the finding is about.
-    pub addr: CodeAddr,
-    /// Human-readable explanation with the relevant operands.
-    pub message: String,
-}
-
-impl Diagnostic {
-    /// Creates a finding.
-    pub fn new(kind: DiagKind, addr: CodeAddr, message: impl Into<String>) -> Diagnostic {
-        Diagnostic {
-            kind,
-            addr,
-            message: message.into(),
-        }
-    }
-
-    /// The severity (derived from the kind).
-    pub fn severity(&self) -> Severity {
-        self.kind.severity()
-    }
-
-    /// Renders the finding with a three-instruction window of disassembly
-    /// around its address, the offending line marked.
-    pub fn render(&self, program: &Program) -> String {
-        let mut out = format!(
-            "{}[{}] @{}: {}\n",
-            self.severity(),
-            self.kind.code(),
-            self.addr,
-            self.message
-        );
-        let lo = self.addr.saturating_sub(2);
-        let hi = (self.addr + 3).min(program.len() as CodeAddr);
-        for pc in lo..hi {
-            let Some(inst) = program.fetch(pc) else { break };
-            let marker = if pc == self.addr { ">" } else { " " };
-            out.push_str(&format!("  {marker} @{pc:<6} {inst}\n"));
-        }
-        out
-    }
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}[{}] @{}: {}",
-            self.severity(),
-            self.kind.code(),
-            self.addr,
-            self.message
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ras_isa::{Asm, Reg};
-
-    #[test]
-    fn severities_are_fixed_per_kind() {
-        assert_eq!(DiagKind::UnprotectedRmw.severity(), Severity::Warning);
-        assert_eq!(DiagKind::StoreNotLast.severity(), Severity::Error);
-        assert!(Severity::Error > Severity::Warning);
-    }
-
-    #[test]
-    fn render_marks_the_offending_line() {
-        let mut asm = Asm::new();
-        asm.li(Reg::T0, 1);
-        asm.nop();
-        asm.halt();
-        let p = asm.finish().unwrap();
-        let d = Diagnostic::new(DiagKind::StoreNotLast, 1, "demo");
-        let text = d.render(&p);
-        assert!(text.contains("error[store-not-last] @1: demo"));
-        assert!(text.contains("> @1"));
-        assert!(text.contains("  @0") || text.contains("   @0"));
-    }
-
-    #[test]
-    fn codes_are_unique() {
-        let kinds = [
-            DiagKind::InvalidRange,
-            DiagKind::OverlappingRanges,
-            DiagKind::NoCommittingStore,
-            DiagKind::StoreNotLast,
-            DiagKind::MultipleStores,
-            DiagKind::SideEffectInPrefix,
-            DiagKind::BackwardBranch,
-            DiagKind::InternalBranch,
-            DiagKind::LiveInClobbered,
-            DiagKind::JumpIntoSequence,
-            DiagKind::LandmarkCollision,
-            DiagKind::AmbiguousTemplates,
-            DiagKind::UnprotectedRmw,
-        ];
-        let codes: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.code()).collect();
-        assert_eq!(codes.len(), kinds.len());
-    }
-}
+pub use ras_diag::{json_escape, render_json, DiagKind, Diagnostic, Severity};

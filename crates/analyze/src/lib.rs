@@ -7,7 +7,7 @@
 //! recognizes each sequence exactly one way. This crate checks all of
 //! them ahead of time, over any [`ras_isa::Program`]:
 //!
-//! * [`cfg`] — basic blocks, successors, reachability, and a register
+//! * [`mod@cfg`] — basic blocks, successors, reachability, and a register
 //!   liveness fixed point; the substrate for the other passes.
 //! * [`verify`] — the restartability verifier proper: every declared
 //!   [`ras_isa::SeqRange`] must commit through a unique final store, keep
@@ -28,7 +28,7 @@ pub mod races;
 pub mod verify;
 
 pub use cfg::{BasicBlock, Cfg};
-pub use diag::{DiagKind, Diagnostic, Severity};
+pub use diag::{json_escape, render_json, DiagKind, Diagnostic, Severity};
 pub use landmark::{check_template_ambiguity, explain_landmark, lint_landmarks};
 pub use races::lint_races;
 pub use verify::{restartable_opcode, verify_declared, verify_sequence};

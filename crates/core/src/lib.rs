@@ -32,4 +32,5 @@ pub use ras_kernel::{
     CheckTime, Kernel, KernelConfig, KernelStats, Outcome, StrategyKind, ThreadId,
 };
 pub use ras_machine::{CostModel, CpuProfile, PagingConfig};
+pub use ras_model::{model_check, CheckConfig, CheckReport, ModelTarget};
 pub use run::{run_guest, run_guest_keeping_kernel, RunOptions, RunReport};

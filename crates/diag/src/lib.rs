@@ -1,0 +1,325 @@
+//! Shared diagnostics for the analysis tools: one severity enum, one set of
+//! finding kinds, and one rendering path used by both the static verifier
+//! (`ras-analyze`) and the dynamic model checker (`ras-model`).
+//!
+//! A finding is a [`Diagnostic`]: a [`DiagKind`] (which fixes the
+//! [`Severity`] and a stable short code), an instruction address, and a
+//! human-readable message. Findings can be rendered as plain text with a
+//! disassembly window ([`Diagnostic::render`]) or as JSON objects
+//! ([`Diagnostic::to_json`], [`render_json`]) for programmatic consumers
+//! such as CI and `ras-check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use ras_isa::{CodeAddr, Program};
+
+/// How serious a finding is.
+///
+/// Errors are violations of the restartability rules, of the landmark
+/// convention, or of a verified runtime property — running the program
+/// under preemption can corrupt state or roll a thread back to the wrong
+/// place. Warnings flag code or behavior that is *suspicious* (a naive
+/// read-modify-write window, a schedule that hit the exploration depth
+/// bound) but that the analysis cannot prove broken.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Might be fine in context; a human should look.
+    Warning,
+    /// A rule of the atomicity mechanism is violated.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The distinct findings the analyses can produce. Each maps to a stable
+/// code (printed in brackets) so tests and tooling can match on the class
+/// rather than the message text.
+///
+/// The first group comes from the static passes in `ras-analyze`; the
+/// group starting at [`DiagKind::DataRace`] comes from the dynamic model
+/// checker in `ras-model`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DiagKind {
+    /// A declared sequence is empty or extends past the end of the image.
+    InvalidRange,
+    /// Two declared sequences share instructions; a suspension inside the
+    /// overlap has two candidate rollback targets.
+    OverlappingRanges,
+    /// A declared sequence contains no store: there is nothing to commit,
+    /// so the code has no business being a sequence.
+    NoCommittingStore,
+    /// The committing store is not the last instruction of the sequence, so
+    /// a suspension after it would repeat the store's side effect.
+    StoreNotLast,
+    /// More than one store in the sequence: rolling back after the first
+    /// store repeats a memory write.
+    MultipleStores,
+    /// A non-restartable instruction (syscall, call, indirect jump,
+    /// interlocked or hardware-atomic op, halt) sits in the sequence body.
+    SideEffectInPrefix,
+    /// A branch inside the sequence targets an earlier address: re-executed
+    /// loop iterations make the prefix non-idempotent (and the designated
+    /// matcher cannot describe it).
+    BackwardBranch,
+    /// A branch inside the sequence lands on another interior instruction
+    /// instead of exiting past the committing store.
+    InternalBranch,
+    /// An instruction overwrites a register the sequence reads on entry;
+    /// re-execution after rollback would see the clobbered value.
+    LiveInClobbered,
+    /// A control transfer from outside the sequence targets an interior
+    /// instruction; a thread entering mid-sequence can be rolled back over
+    /// code it never executed.
+    JumpIntoSequence,
+    /// A landmark instruction that no designated-sequence template
+    /// explains. The whole two-stage matcher is sound only because "the
+    /// landmark is never emitted under any other circumstance" (§3.2).
+    LandmarkCollision,
+    /// Two templates in a designated set can match overlapping instruction
+    /// streams with different rollback starts.
+    AmbiguousTemplates,
+    /// A load and a store to the same word with no visible protection —
+    /// a naive read-modify-write that preemption can tear.
+    UnprotectedRmw,
+    /// Two unordered conflicting accesses to the same shared word, found
+    /// by the happens-before race sanitizer during model checking.
+    DataRace,
+    /// Two threads were observed inside the same critical section under
+    /// some explored schedule.
+    MutexViolation,
+    /// A completed schedule lost a counter increment: the final value
+    /// disagrees with the number of operations performed.
+    LostUpdate,
+    /// An explored schedule reached a state where no thread can make
+    /// progress.
+    DeadlockFound,
+    /// Exploration hit its depth bound on a schedule that never revisited
+    /// a state — possibly a livelock, possibly just a bound set too low.
+    LivelockSuspect,
+    /// The guest crashed (bad memory access, illegal instruction, bad PC,
+    /// or an unexpected halt) under some explored schedule.
+    GuestFault,
+}
+
+impl DiagKind {
+    /// Every kind, in declaration order — for exhaustiveness tests.
+    pub fn all() -> [DiagKind; 19] {
+        [
+            DiagKind::InvalidRange,
+            DiagKind::OverlappingRanges,
+            DiagKind::NoCommittingStore,
+            DiagKind::StoreNotLast,
+            DiagKind::MultipleStores,
+            DiagKind::SideEffectInPrefix,
+            DiagKind::BackwardBranch,
+            DiagKind::InternalBranch,
+            DiagKind::LiveInClobbered,
+            DiagKind::JumpIntoSequence,
+            DiagKind::LandmarkCollision,
+            DiagKind::AmbiguousTemplates,
+            DiagKind::UnprotectedRmw,
+            DiagKind::DataRace,
+            DiagKind::MutexViolation,
+            DiagKind::LostUpdate,
+            DiagKind::DeadlockFound,
+            DiagKind::LivelockSuspect,
+            DiagKind::GuestFault,
+        ]
+    }
+
+    /// The stable short code printed with the finding.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagKind::InvalidRange => "invalid-range",
+            DiagKind::OverlappingRanges => "overlapping-ranges",
+            DiagKind::NoCommittingStore => "no-committing-store",
+            DiagKind::StoreNotLast => "store-not-last",
+            DiagKind::MultipleStores => "multiple-stores",
+            DiagKind::SideEffectInPrefix => "side-effect-in-prefix",
+            DiagKind::BackwardBranch => "backward-branch",
+            DiagKind::InternalBranch => "internal-branch",
+            DiagKind::LiveInClobbered => "live-in-clobbered",
+            DiagKind::JumpIntoSequence => "jump-into-sequence",
+            DiagKind::LandmarkCollision => "landmark-collision",
+            DiagKind::AmbiguousTemplates => "ambiguous-templates",
+            DiagKind::UnprotectedRmw => "unprotected-rmw",
+            DiagKind::DataRace => "data-race",
+            DiagKind::MutexViolation => "mutex-violation",
+            DiagKind::LostUpdate => "lost-update",
+            DiagKind::DeadlockFound => "deadlock",
+            DiagKind::LivelockSuspect => "livelock-suspect",
+            DiagKind::GuestFault => "guest-fault",
+        }
+    }
+
+    /// The severity this kind always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagKind::UnprotectedRmw | DiagKind::LivelockSuspect => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One finding, anchored to an instruction address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The finding class.
+    pub kind: DiagKind,
+    /// The instruction the finding is about.
+    pub addr: CodeAddr,
+    /// Human-readable explanation with the relevant operands.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a finding.
+    pub fn new(kind: DiagKind, addr: CodeAddr, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            kind,
+            addr,
+            message: message.into(),
+        }
+    }
+
+    /// The severity (derived from the kind).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+
+    /// Renders the finding with a three-instruction window of disassembly
+    /// around its address, the offending line marked.
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = format!(
+            "{}[{}] @{}: {}\n",
+            self.severity(),
+            self.kind.code(),
+            self.addr,
+            self.message
+        );
+        let lo = self.addr.saturating_sub(2);
+        let hi = (self.addr + 3).min(program.len() as CodeAddr);
+        for pc in lo..hi {
+            let Some(inst) = program.fetch(pc) else { break };
+            let marker = if pc == self.addr { ">" } else { " " };
+            out.push_str(&format!("  {marker} @{pc:<6} {inst}\n"));
+        }
+        out
+    }
+
+    /// Renders the finding as a single JSON object:
+    /// `{"severity":…,"code":…,"addr":…,"message":…}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"addr\":{},\"message\":\"{}\"}}",
+            self.severity(),
+            self.kind.code(),
+            self.addr,
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] @{}: {}",
+            self.severity(),
+            self.kind.code(),
+            self.addr,
+            self.message
+        )
+    }
+}
+
+/// Renders a slice of findings as a JSON array (one object per finding,
+/// in slice order).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::{Asm, Reg};
+
+    #[test]
+    fn severities_are_fixed_per_kind() {
+        assert_eq!(DiagKind::UnprotectedRmw.severity(), Severity::Warning);
+        assert_eq!(DiagKind::LivelockSuspect.severity(), Severity::Warning);
+        assert_eq!(DiagKind::StoreNotLast.severity(), Severity::Error);
+        assert_eq!(DiagKind::DataRace.severity(), Severity::Error);
+        assert_eq!(DiagKind::LostUpdate.severity(), Severity::Error);
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn render_marks_the_offending_line() {
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, 1);
+        asm.nop();
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let d = Diagnostic::new(DiagKind::StoreNotLast, 1, "demo");
+        let text = d.render(&p);
+        assert!(text.contains("error[store-not-last] @1: demo"));
+        assert!(text.contains("> @1"));
+        assert!(text.contains("  @0") || text.contains("   @0"));
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let kinds = DiagKind::all();
+        let codes: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.code()).collect();
+        assert_eq!(codes.len(), kinds.len());
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let d = Diagnostic::new(DiagKind::DataRace, 7, "write of \"x\"\nvs read");
+        let json = d.to_json();
+        assert_eq!(
+            json,
+            "{\"severity\":\"error\",\"code\":\"data-race\",\"addr\":7,\
+             \"message\":\"write of \\\"x\\\"\\nvs read\"}"
+        );
+        let arr = render_json(&[d.clone(), d]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("data-race").count(), 2);
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+    }
+}

@@ -7,6 +7,8 @@
 //!   the §5.2 thread-management benchmarks of Table 2.
 //! * [`treiber_stack`] — a lock-free stack on designated CAS sequences,
 //!   the §4.1 "richer sequences" demonstration.
+//! * [`model_counter`] — the instrumented critical section driven
+//!   exhaustively by the `ras-model` checker.
 //! * [`parthenon`], [`proton64`], [`text_format`], [`afs_bench`] —
 //!   synthetic analogues of the §5.3 applications of Table 3 (the
 //!   originals — a LaTeX run, the Andrew benchmark, the Parthenon theorem
@@ -17,6 +19,7 @@
 mod apps;
 mod counter;
 mod malloc;
+mod model;
 mod stack;
 mod table2;
 
@@ -26,5 +29,6 @@ pub use apps::{
 };
 pub use counter::{counter_loop, CounterBody, CounterSpec};
 pub use malloc::{malloc_stress, MallocSpec};
+pub use model::{model_counter, ModelSpec, TasFlavor};
 pub use stack::{treiber_stack, StackSpec};
 pub use table2::{fork_test, mutex_bench, ping_pong, spinlock_bench, Table2Spec};

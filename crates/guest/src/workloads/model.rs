@@ -1,0 +1,293 @@
+//! The model-checking workload: a small, fully-instrumented critical
+//! section whose safety properties are machine-checkable from final
+//! memory.
+//!
+//! Each worker acquires a lock with a chosen read-modify-write flavor,
+//! then inside the critical section (1) claims ownership by writing its
+//! thread-unique token to `cs_owner`, (2) increments `counter`, (3)
+//! re-reads `cs_owner` and increments `violations` if the token changed —
+//! direct evidence that another thread entered the critical section
+//! concurrently — then (4) clears `cs_owner` and releases the lock.
+//!
+//! `ras-model` drives this program through every preemption point and
+//! checks, per schedule: `violations == 0` (mutual exclusion) and, at
+//! completion, `counter == workers × iterations` (no lost updates). With
+//! the atomicity strategy stripped ([`crate::BuiltGuest::strategy`] set
+//! to `None`), both properties fail within a handful of schedules — the
+//! paper's §2 hazard, exhibited exhaustively rather than statistically.
+
+use ras_isa::Reg;
+
+use crate::codegen::{emit_exit, emit_join, emit_spawn, emit_yield};
+use crate::tas;
+use crate::{BuiltGuest, GuestBuilder, Mechanism};
+
+/// Which read-modify-write primitive guards the critical section.
+///
+/// [`TasFlavor::Tas`] uses the mechanism's native Test-And-Set (or, for
+/// [`Mechanism::LamportPerLock`], its enter/exit protocol). The other
+/// flavors are the richer designated sequences of §4.1 and are only
+/// meaningful under [`Mechanism::RasInline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TasFlavor {
+    /// Test-And-Set (Figure 5 inline, Figure 4 registered, trap, or
+    /// hardware — whatever the mechanism provides).
+    #[default]
+    Tas,
+    /// Compare-and-swap designated sequence (`lw; bne; landmark; sw`).
+    Cas,
+    /// Exchange designated sequence (`lw; landmark; sw`).
+    Xchg,
+    /// Fetch-and-add designated sequence (`lw; addi; landmark; sw`),
+    /// used lock-free directly on the counter: only the lost-update
+    /// property applies.
+    Faa,
+}
+
+impl TasFlavor {
+    /// Every flavor.
+    pub fn all() -> [TasFlavor; 4] {
+        [
+            TasFlavor::Tas,
+            TasFlavor::Cas,
+            TasFlavor::Xchg,
+            TasFlavor::Faa,
+        ]
+    }
+
+    /// Stable identifier for reports and CLI flags.
+    pub fn id(self) -> &'static str {
+        match self {
+            TasFlavor::Tas => "tas",
+            TasFlavor::Cas => "cas",
+            TasFlavor::Xchg => "xchg",
+            TasFlavor::Faa => "faa",
+        }
+    }
+
+    /// Whether `mechanism` can run this flavor.
+    pub fn supported_by(self, mechanism: Mechanism) -> bool {
+        self == TasFlavor::Tas || mechanism == Mechanism::RasInline
+    }
+
+    /// Whether the flavor is lock-free (no mutual-exclusion property).
+    pub fn is_lock_free(self) -> bool {
+        self == TasFlavor::Faa
+    }
+}
+
+impl std::fmt::Display for TasFlavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Parameters for [`model_counter`]. The defaults (two workers, one
+/// critical section each) keep exhaustive exploration tractable while
+/// still containing every two-thread interleaving hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Critical sections per worker.
+    pub iterations: u32,
+    /// Number of worker threads.
+    pub workers: usize,
+}
+
+impl Default for ModelSpec {
+    fn default() -> ModelSpec {
+        ModelSpec {
+            iterations: 1,
+            workers: 2,
+        }
+    }
+}
+
+impl ModelSpec {
+    /// The expected final `counter` value.
+    pub fn expected_count(&self) -> u32 {
+        self.iterations * self.workers as u32
+    }
+}
+
+/// Builds the model-checking workload.
+///
+/// Data symbols: `lock`, `counter`, `cs_owner`, `violations`.
+///
+/// # Panics
+///
+/// Panics on a degenerate spec or a flavor the mechanism does not
+/// support (see [`TasFlavor::supported_by`]).
+pub fn model_counter(mechanism: Mechanism, flavor: TasFlavor, spec: &ModelSpec) -> BuiltGuest {
+    assert!(spec.iterations > 0 && spec.workers > 0, "degenerate spec");
+    assert!(
+        flavor.supported_by(mechanism),
+        "{flavor} requires RasInline, got {mechanism}"
+    );
+    let mut b = GuestBuilder::new(mechanism, spec.workers + 1);
+    let (asm, data, rt) = b.parts();
+    let lock = rt.alloc_raw_lock(data, "lock");
+    let counter = data.word("counter", 0);
+    let cs_owner = data.word("cs_owner", 0);
+    let violations = data.word("violations", 0);
+    let tids = data.array("tids", spec.workers, 0);
+
+    // ---- worker (a0 = iterations) ----------------------------------------
+    let worker = asm.bind_symbol("worker");
+    asm.mv(Reg::S0, Reg::A0);
+    asm.li(Reg::S1, lock as i32);
+    asm.li(Reg::S2, counter as i32);
+    asm.li(Reg::S3, cs_owner as i32);
+    asm.li(Reg::S4, violations as i32);
+    // Thread-unique, nonzero ownership token ($gp holds the thread id).
+    asm.addi(Reg::S5, Reg::GP, 1);
+    let top = asm.bind_new();
+    if flavor == TasFlavor::Faa {
+        // Lock-free: the designated fetch-and-add IS the increment.
+        asm.mv(Reg::A0, Reg::S2);
+        tas::emit_faa_inline(asm, 1);
+    } else {
+        // Acquire.
+        if mechanism == Mechanism::LamportPerLock {
+            asm.mv(Reg::A0, Reg::S1);
+            rt.emit_raw_enter(asm);
+        } else {
+            let acquired = asm.label();
+            let retry = asm.bind_new();
+            asm.mv(Reg::A0, Reg::S1);
+            match flavor {
+                TasFlavor::Tas => rt.emit_tas(asm),
+                TasFlavor::Cas => {
+                    asm.li(Reg::A1, 0);
+                    asm.li(Reg::A2, 1);
+                    tas::emit_cas_inline(asm);
+                }
+                TasFlavor::Xchg => {
+                    asm.li(Reg::A1, 1);
+                    tas::emit_xchg_inline(asm);
+                }
+                TasFlavor::Faa => unreachable!("handled above"),
+            }
+            asm.beqz(Reg::V0, acquired);
+            emit_yield(asm);
+            asm.j(retry);
+            asm.bind(acquired);
+        }
+        // Critical section: claim, increment, recheck.
+        asm.sw(Reg::S5, Reg::S3, 0);
+        asm.lw(Reg::T6, Reg::S2, 0);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::S2, 0);
+        let intact = asm.label();
+        asm.lw(Reg::T7, Reg::S3, 0);
+        asm.beq(Reg::T7, Reg::S5, intact);
+        // Someone else wrote cs_owner while we were "alone" in the
+        // critical section: record the mutual-exclusion violation.
+        asm.lw(Reg::T6, Reg::S4, 0);
+        asm.addi(Reg::T6, Reg::T6, 1);
+        asm.sw(Reg::T6, Reg::S4, 0);
+        asm.bind(intact);
+        asm.sw(Reg::ZERO, Reg::S3, 0);
+        // Release.
+        asm.mv(Reg::A0, Reg::S1);
+        if mechanism == Mechanism::LamportPerLock {
+            rt.emit_raw_exit(asm);
+        } else {
+            rt.emit_clear(asm);
+        }
+    }
+    asm.addi(Reg::S0, Reg::S0, -1);
+    asm.bnez(Reg::S0, top);
+    emit_exit(asm);
+
+    // ---- main --------------------------------------------------------------
+    let main = asm.bind_symbol("main");
+    for w in 0..spec.workers {
+        asm.li(Reg::T0, spec.iterations as i32);
+        emit_spawn(asm, worker, Reg::T0);
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.sw(Reg::V0, Reg::T1, 0);
+    }
+    for w in 0..spec.workers {
+        asm.li(Reg::T1, (tids + 4 * w as u32) as i32);
+        asm.lw(Reg::A0, Reg::T1, 0);
+        emit_join(asm, Reg::A0);
+    }
+    asm.jr(Reg::RA);
+
+    b.finish(main).expect("model workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_machine::CpuProfile;
+
+    #[test]
+    fn model_counter_is_correct_under_the_timer_for_every_config() {
+        let spec = ModelSpec {
+            iterations: 3,
+            workers: 2,
+        };
+        for mechanism in Mechanism::all() {
+            for flavor in TasFlavor::all() {
+                if !flavor.supported_by(mechanism) {
+                    continue;
+                }
+                let built = model_counter(mechanism, flavor, &spec);
+                let profile = if mechanism.supported_by(&CpuProfile::r3000()) {
+                    CpuProfile::r3000()
+                } else {
+                    CpuProfile::i860()
+                };
+                let mut config = built.kernel_config(profile);
+                config.mem_bytes = 64 * 1024;
+                config.stack_bytes = 4096;
+                config.max_threads = 4;
+                config.quantum = 137; // adversarial tiny quantum
+                let mut kernel = built.boot(config).unwrap();
+                assert_eq!(
+                    kernel.run(u64::MAX),
+                    ras_kernel::Outcome::Completed,
+                    "{mechanism}/{flavor}"
+                );
+                let counter = built.data.symbol("counter").unwrap();
+                let violations = built.data.symbol("violations").unwrap();
+                assert_eq!(
+                    kernel.read_word(counter).unwrap(),
+                    spec.expected_count(),
+                    "{mechanism}/{flavor}: lost update"
+                );
+                assert_eq!(
+                    kernel.read_word(violations).unwrap(),
+                    0,
+                    "{mechanism}/{flavor}: mutual exclusion violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stripping_the_strategy_makes_the_model_counter_racy() {
+        // Sanity for the ablation the model checker proves exhaustively:
+        // RasInline with no kernel strategy and a tiny quantum loses
+        // updates under the timer given enough iterations.
+        let spec = ModelSpec {
+            iterations: 2000,
+            workers: 2,
+        };
+        let mut built = model_counter(Mechanism::RasInline, TasFlavor::Tas, &spec);
+        built.strategy = ras_kernel::StrategyKind::None;
+        let mut config = built.kernel_config(CpuProfile::r3000());
+        config.quantum = 61;
+        let mut kernel = built.boot(config).unwrap();
+        assert_eq!(kernel.run(u64::MAX), ras_kernel::Outcome::Completed);
+        let counter = built.data.symbol("counter").unwrap();
+        let violations = built.data.symbol("violations").unwrap();
+        let lost = spec.expected_count() - kernel.read_word(counter).unwrap();
+        let tainted = kernel.read_word(violations).unwrap();
+        assert!(
+            lost > 0 || tainted > 0,
+            "expected the unprotected sequence to misbehave"
+        );
+    }
+}

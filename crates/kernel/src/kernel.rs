@@ -78,6 +78,43 @@ pub enum Outcome {
     OutOfFuel,
 }
 
+/// What a single [`Kernel::step_once`] call did.
+///
+/// Unlike [`Outcome`], this reports progress at instruction granularity:
+/// the model checker in `ras-model` inspects the kernel between steps and
+/// injects preemptions explicitly instead of relying on the timer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A thread was dispatched, or retired one instruction (possibly a
+    /// syscall, handled to completion).
+    Ran {
+        /// The thread that made progress.
+        thread: ThreadId,
+    },
+    /// Nothing runnable; the processor idled until the earliest sleeping
+    /// thread's wake-up time.
+    Idled,
+    /// Every thread exited.
+    Completed,
+    /// A thread executed `halt` directly.
+    Halted {
+        /// The halting thread.
+        thread: ThreadId,
+    },
+    /// No thread is runnable or sleeping but some are blocked.
+    Deadlock {
+        /// The blocked threads.
+        blocked: Vec<ThreadId>,
+    },
+    /// A thread faulted irrecoverably.
+    Fault {
+        /// The faulting thread.
+        thread: ThreadId,
+        /// The fault.
+        fault: Fault,
+    },
+}
+
 /// Error booting a kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BootError {
@@ -330,6 +367,43 @@ impl Kernel {
         }
     }
 
+    /// The currently running thread, if any.
+    pub fn current_thread(&self) -> Option<ThreadId> {
+        self.current
+    }
+
+    /// The ready queue, front (next to dispatch) first.
+    pub fn ready_threads(&self) -> Vec<ThreadId> {
+        self.ready.iter().copied().collect()
+    }
+
+    /// A thread's saved register state (authoritative whenever the thread
+    /// is not running; for the running thread this is also the live state,
+    /// since the machine operates on the TCB's registers in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never allocated.
+    pub fn thread_regs(&self, id: ThreadId) -> &RegFile {
+        &self.threads[id.0 as usize].regs
+    }
+
+    /// One past the last byte of the static data image. Addresses below
+    /// this are shared data; addresses at or above it are thread stacks.
+    pub fn data_end(&self) -> u32 {
+        self.data_end
+    }
+
+    /// The `[bottom, top)` byte range of a thread's stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never allocated.
+    pub fn thread_stack_range(&self, id: ThreadId) -> (DataAddr, DataAddr) {
+        let top = self.threads[id.0 as usize].stack_top;
+        (top.saturating_sub(self.stack_bytes), top)
+    }
+
     // --- thread management --------------------------------------------------
 
     fn spawn_thread(&mut self, entry: CodeAddr, arg: u32) -> Result<ThreadId, ()> {
@@ -557,6 +631,10 @@ impl Kernel {
                 // read-modify-write below is atomic by construction (§2.3).
                 let old = self.machine.mem().load_kernel(a0).unwrap_or(0);
                 let _ = self.machine.mem_mut().store_kernel(a0, 1);
+                // The trap site (the syscall instruction) is one behind
+                // the saved PC.
+                let trap_pc = self.threads[tid.0 as usize].regs.pc().wrapping_sub(1);
+                self.machine.log_kernel_rmw(trap_pc, a0);
                 self.threads[tid.0 as usize].regs.set(Reg::V0, old);
             }
             abi::SYS_RAS_REGISTER => {
@@ -658,6 +736,140 @@ impl Kernel {
         if self.current == Some(tid) && self.machine.clock() >= self.slice_deadline {
             self.timer_preempt(tid);
         }
+    }
+
+    /// Enables the machine's shared-memory access log (see
+    /// [`ras_machine::Machine::enable_access_log`]). The model checker's
+    /// race sanitizer drains it after every step.
+    pub fn enable_access_log(&mut self) {
+        self.machine.enable_access_log();
+    }
+
+    /// Drains the machine's access log.
+    pub fn take_accesses(&mut self) -> Vec<ras_machine::MemAccess> {
+        self.machine.take_accesses()
+    }
+
+    // --- oracle-mode stepping ----------------------------------------------
+
+    /// Advances the system by exactly one scheduling event: a dispatch
+    /// (no instruction executes) or one retired instruction (a syscall is
+    /// handled to completion as part of its instruction).
+    ///
+    /// The preemption timer is neutralized — in oracle mode the caller is
+    /// the only source of preemptions, via [`Kernel::preempt_current`].
+    /// All other kernel behavior (strategy checks, rollbacks, syscalls,
+    /// paging) is identical to [`Kernel::run`].
+    pub fn step_once(&mut self) -> StepOutcome {
+        self.slice_deadline = u64::MAX;
+        if let Some((thread, fault)) = self.pending_fault.take() {
+            return StepOutcome::Fault { thread, fault };
+        }
+        // Deliver due wake-ups from the sleep queue.
+        while let Some(&std::cmp::Reverse((until, tid))) = self.sleepers.peek() {
+            if until > self.machine.clock() {
+                break;
+            }
+            self.sleepers.pop();
+            if matches!(
+                self.threads[tid.0 as usize].state,
+                ThreadState::Sleeping { .. }
+            ) {
+                self.threads[tid.0 as usize].state = ThreadState::Ready;
+                self.ready.push_back(tid);
+                self.stats.wakeups += 1;
+                self.record(Event::Wake { thread: tid });
+            }
+        }
+        let Some(tid) = self.current else {
+            let Some(next) = self.ready.pop_front() else {
+                if self.live == 0 {
+                    return StepOutcome::Completed;
+                }
+                if let Some(&std::cmp::Reverse((until, _))) = self.sleepers.peek() {
+                    let now = self.machine.clock();
+                    if until > now {
+                        self.machine.charge(until - now);
+                        self.stats.idle_cycles += until - now;
+                    }
+                    return StepOutcome::Idled;
+                }
+                let blocked = self
+                    .threads
+                    .iter()
+                    .filter(|t| {
+                        matches!(
+                            t.state,
+                            ThreadState::Blocked { .. } | ThreadState::Joining { .. }
+                        )
+                    })
+                    .map(|t| t.id)
+                    .collect();
+                return StepOutcome::Deadlock { blocked };
+            };
+            self.dispatch(next);
+            // dispatch() re-arms the timer; keep it disarmed.
+            self.slice_deadline = u64::MAX;
+            return StepOutcome::Ran { thread: next };
+        };
+        // Execute exactly one instruction of the current thread.
+        self.machine.poll_atomic_expiry();
+        let before = self.machine.clock();
+        let exit = {
+            let Kernel {
+                machine,
+                program,
+                threads,
+                ..
+            } = self;
+            machine.step(program, &mut threads[tid.0 as usize].regs)
+        };
+        self.threads[tid.0 as usize].user_cycles += self.machine.clock() - before;
+        match exit {
+            // A retired instruction, or (unreachably) a budget stop —
+            // `Machine::step` has no deadline to exhaust.
+            None | Some(Exit::Budget) => StepOutcome::Ran { thread: tid },
+            Some(Exit::Syscall) => {
+                // slice_deadline is u64::MAX, so the end-of-syscall timer
+                // check in handle_syscall never fires here.
+                self.handle_syscall(tid);
+                StepOutcome::Ran { thread: tid }
+            }
+            Some(Exit::Halt) => StepOutcome::Halted { thread: tid },
+            Some(Exit::Fault(Fault::PageFault { addr, .. })) => {
+                self.handle_page_fault(tid, addr);
+                StepOutcome::Ran { thread: tid }
+            }
+            Some(Exit::Fault(fault)) => StepOutcome::Fault { thread: tid, fault },
+        }
+    }
+
+    /// Preempts the currently running thread exactly as a timer tick
+    /// would: the strategy check runs (rolling back or redirecting a
+    /// thread caught inside an atomic sequence) and the thread goes to
+    /// the back of the ready queue. Returns `false` if nothing is
+    /// running.
+    pub fn preempt_current(&mut self) -> bool {
+        let Some(tid) = self.current else {
+            return false;
+        };
+        self.timer_preempt(tid);
+        true
+    }
+
+    /// Moves a ready thread to the front of the ready queue so the next
+    /// dispatch picks it. Returns `false` if a thread is currently
+    /// running or `tid` is not on the ready queue.
+    pub fn schedule_next(&mut self, tid: ThreadId) -> bool {
+        if self.current.is_some() {
+            return false;
+        }
+        let Some(pos) = self.ready.iter().position(|&t| t == tid) else {
+            return false;
+        };
+        let chosen = self.ready.remove(pos).expect("position is in range");
+        self.ready.push_front(chosen);
+        true
     }
 
     // --- main loop -----------------------------------------------------------

@@ -16,13 +16,15 @@
 #![warn(missing_docs)]
 
 mod kernel;
+mod oracle;
 mod sched;
 mod stats;
 mod strategy;
 mod tcb;
 mod timeline;
 
-pub use crate::kernel::{BootError, Kernel, KernelConfig, Outcome};
+pub use crate::kernel::{BootError, Kernel, KernelConfig, Outcome, StepOutcome};
+pub use crate::oracle::{run_with_scheduler, Decision, OracleOutcome, Scheduler};
 pub use crate::sched::PreemptionPolicy;
 pub use crate::stats::KernelStats;
 pub use crate::strategy::{CheckTime, DesignatedSet, SequenceTemplate, Strategy, StrategyKind};

@@ -1,0 +1,333 @@
+//! Oracle-driven scheduling: the preemption timer replaced by an explicit
+//! decision oracle.
+//!
+//! [`Kernel::run`] models a real system — a timer fires every quantum and
+//! the kernel preempts whoever is running. That is one schedule out of
+//! astronomically many. The model checker in `ras-model` needs to drive
+//! the *same* kernel through *chosen* schedules: preempt exactly between
+//! the load and the store of a Test-And-Set sequence, dispatch threads in
+//! an adversarial order, and so on.
+//!
+//! A [`Scheduler`] is consulted before every kernel step and returns a
+//! [`Decision`]. [`run_with_scheduler`] applies the decision and advances
+//! the kernel by one step ([`Kernel::step_once`]), with the timer
+//! neutralized. Everything else — strategy checks, rollbacks, syscalls,
+//! paging — behaves identically to timer-driven execution, so a property
+//! verified under the oracle is a property of the kernel proper.
+
+use ras_machine::Fault;
+
+use crate::{Kernel, StepOutcome, ThreadId};
+
+/// One scheduling decision, applied before a kernel step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Let the current thread keep running; if none is running, dispatch
+    /// the front of the ready queue.
+    Continue,
+    /// Preempt the current thread (timer semantics: strategy check, back
+    /// of the ready queue) and dispatch this ready thread next.
+    Preempt(ThreadId),
+    /// With no thread running, dispatch this ready thread next instead of
+    /// the queue front.
+    Dispatch(ThreadId),
+}
+
+/// A scheduling oracle: decides, before every step, whether to preempt
+/// and who runs next.
+pub trait Scheduler {
+    /// The decision for the next step. Inspect `kernel` freely — current
+    /// thread, ready queue, registers, guest memory.
+    fn decide(&mut self, kernel: &Kernel) -> Decision;
+}
+
+/// Why [`run_with_scheduler`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleOutcome {
+    /// Every thread exited.
+    Completed,
+    /// A thread executed `halt` directly.
+    Halted {
+        /// The halting thread.
+        thread: ThreadId,
+    },
+    /// No thread is runnable or sleeping but some are blocked.
+    Deadlock {
+        /// The blocked threads.
+        blocked: Vec<ThreadId>,
+    },
+    /// A thread faulted irrecoverably.
+    Fault {
+        /// The faulting thread.
+        thread: ThreadId,
+        /// The fault.
+        fault: Fault,
+    },
+    /// The step budget ran out before the system reached a terminal
+    /// state.
+    StepLimit,
+}
+
+/// Runs the kernel under an oracle for at most `max_steps` steps.
+///
+/// Each iteration consults the scheduler, applies its [`Decision`]
+/// (ignoring infeasible ones: preempting when nothing runs, dispatching a
+/// thread that is not ready), then advances by one [`Kernel::step_once`].
+pub fn run_with_scheduler(
+    kernel: &mut Kernel,
+    scheduler: &mut dyn Scheduler,
+    max_steps: u64,
+) -> OracleOutcome {
+    for _ in 0..max_steps {
+        match scheduler.decide(kernel) {
+            Decision::Continue => {}
+            Decision::Preempt(next) => {
+                if kernel.preempt_current() {
+                    kernel.schedule_next(next);
+                }
+            }
+            Decision::Dispatch(next) => {
+                kernel.schedule_next(next);
+            }
+        }
+        match kernel.step_once() {
+            StepOutcome::Ran { .. } | StepOutcome::Idled => {}
+            StepOutcome::Completed => return OracleOutcome::Completed,
+            StepOutcome::Halted { thread } => return OracleOutcome::Halted { thread },
+            StepOutcome::Deadlock { blocked } => return OracleOutcome::Deadlock { blocked },
+            StepOutcome::Fault { thread, fault } => return OracleOutcome::Fault { thread, fault },
+        }
+    }
+    OracleOutcome::StepLimit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kernel, KernelConfig, Outcome, StrategyKind};
+    use ras_isa::{abi, Asm, CodeAddr, DataLayout, Reg};
+    use ras_machine::CpuProfile;
+
+    /// Always lets execution proceed naturally.
+    struct NeverPreempt;
+    impl Scheduler for NeverPreempt {
+        fn decide(&mut self, _kernel: &Kernel) -> Decision {
+            Decision::Continue
+        }
+    }
+
+    /// Preempts the running thread every `period` decisions.
+    struct RoundRobin {
+        period: u64,
+        tick: u64,
+    }
+    impl Scheduler for RoundRobin {
+        fn decide(&mut self, kernel: &Kernel) -> Decision {
+            self.tick += 1;
+            if self.tick.is_multiple_of(self.period) && kernel.current_thread().is_some() {
+                if let Some(&next) = kernel.ready_threads().first() {
+                    return Decision::Preempt(next);
+                }
+            }
+            Decision::Continue
+        }
+    }
+
+    fn small_config(strategy: StrategyKind) -> KernelConfig {
+        let mut config = KernelConfig::new(CpuProfile::r3000(), strategy);
+        config.mem_bytes = 64 * 1024;
+        config.stack_bytes = 4096;
+        config.max_threads = 4;
+        config
+    }
+
+    /// Emits a racy `word[0] += 1` loop of `iters` iterations followed by
+    /// exit. Returns the address of the first emitted instruction.
+    fn emit_racy_loop(asm: &mut Asm, iters: i32) -> CodeAddr {
+        let done = asm.label();
+        let first = asm.li(Reg::A0, iters);
+        let top = asm.bind_new();
+        asm.beqz(Reg::A0, done);
+        asm.lw(Reg::T0, Reg::ZERO, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::ZERO, 0);
+        asm.addi(Reg::A0, Reg::A0, -1);
+        asm.j(top);
+        asm.bind(done);
+        asm.li(Reg::V0, abi::SYS_EXIT as i32);
+        asm.syscall();
+        first
+    }
+
+    #[test]
+    fn step_once_executes_one_instruction_at_a_time() {
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, 7);
+        asm.sw(Reg::T0, Reg::ZERO, 0);
+        asm.li(Reg::V0, abi::SYS_EXIT as i32);
+        asm.syscall();
+        let program = asm.finish().unwrap();
+        let config = small_config(StrategyKind::None);
+        let mut kernel = Kernel::boot(config, program, &DataLayout::new().finish()).unwrap();
+        let t0 = ThreadId(0);
+        // Step 1: dispatch only — the PC has not moved.
+        assert_eq!(kernel.step_once(), StepOutcome::Ran { thread: t0 });
+        assert_eq!(kernel.thread_regs(t0).pc(), 0);
+        // Steps 2..: exactly one instruction each.
+        assert_eq!(kernel.step_once(), StepOutcome::Ran { thread: t0 });
+        assert_eq!(kernel.thread_regs(t0).pc(), 1);
+        assert_eq!(kernel.step_once(), StepOutcome::Ran { thread: t0 });
+        assert_eq!(kernel.read_word(0).unwrap(), 7);
+        assert_eq!(kernel.step_once(), StepOutcome::Ran { thread: t0 }); // li
+        assert_eq!(kernel.step_once(), StepOutcome::Ran { thread: t0 }); // syscall
+        assert_eq!(kernel.step_once(), StepOutcome::Completed);
+    }
+
+    #[test]
+    fn oracle_preemption_exhibits_a_lost_update() {
+        // Main spawns a worker; each adds 1 to word 0 once. The oracle
+        // preempts main between its load and its store, so one update is
+        // lost — the §2 hazard, forced deterministically instead of
+        // awaited statistically.
+        let mut asm = Asm::new();
+        let start = asm.label();
+        asm.j(start);
+        let worker = asm.lw(Reg::T0, Reg::ZERO, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::ZERO, 0);
+        asm.li(Reg::V0, abi::SYS_EXIT as i32);
+        asm.syscall();
+        asm.bind(start);
+        asm.li(Reg::A1, 0);
+        asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+        asm.li(Reg::A0, worker as i32);
+        asm.syscall();
+        asm.lw(Reg::T0, Reg::ZERO, 0);
+        let after_load = asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::ZERO, 0);
+        asm.li(Reg::V0, abi::SYS_EXIT as i32);
+        asm.syscall();
+        let program = asm.finish().unwrap();
+
+        struct PreemptAfterLoad {
+            at: CodeAddr,
+            fired: bool,
+        }
+        impl Scheduler for PreemptAfterLoad {
+            fn decide(&mut self, kernel: &Kernel) -> Decision {
+                if !self.fired && kernel.current_thread() == Some(ThreadId(0)) {
+                    // Main has loaded word 0 when its PC reaches the addi
+                    // that follows its lw.
+                    if kernel.thread_regs(ThreadId(0)).pc() == self.at {
+                        if let Some(&next) = kernel.ready_threads().first() {
+                            self.fired = true;
+                            return Decision::Preempt(next);
+                        }
+                    }
+                }
+                Decision::Continue
+            }
+        }
+
+        let config = small_config(StrategyKind::None);
+        let mut kernel = Kernel::boot(config, program, &DataLayout::new().finish()).unwrap();
+        let mut oracle = PreemptAfterLoad {
+            at: after_load,
+            fired: false,
+        };
+        assert_eq!(
+            run_with_scheduler(&mut kernel, &mut oracle, 10_000),
+            OracleOutcome::Completed
+        );
+        assert!(oracle.fired, "the preemption point was reached");
+        // Two increments ran, but one was lost.
+        assert_eq!(kernel.read_word(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn oracle_and_timer_agree_without_contention() {
+        let mut asm = Asm::new();
+        emit_racy_loop(&mut asm, 10);
+        let program = asm.finish().unwrap();
+        let data = DataLayout::new().finish();
+
+        let mut timered =
+            Kernel::boot(small_config(StrategyKind::None), program.clone(), &data).unwrap();
+        assert_eq!(timered.run(u64::MAX), Outcome::Completed);
+
+        let mut stepped = Kernel::boot(small_config(StrategyKind::None), program, &data).unwrap();
+        assert_eq!(
+            run_with_scheduler(&mut stepped, &mut NeverPreempt, 1_000_000),
+            OracleOutcome::Completed
+        );
+        assert_eq!(timered.read_word(0).unwrap(), 10);
+        assert_eq!(stepped.read_word(0).unwrap(), 10);
+    }
+
+    #[test]
+    fn preempt_current_applies_the_strategy_check() {
+        // A registered sequence: preempting between its load and store
+        // must roll the thread back to the sequence start.
+        let mut asm = Asm::new();
+        let start = asm.label();
+        asm.j(start);
+        let seq = asm.lw(Reg::V0, Reg::A0, 0);
+        let mid = asm.li(Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.li(Reg::V0, abi::SYS_EXIT as i32);
+        asm.syscall();
+        asm.bind(start);
+        asm.li(Reg::A0, seq as i32);
+        asm.li(Reg::A1, 3);
+        asm.li(Reg::V0, abi::SYS_RAS_REGISTER as i32);
+        asm.syscall();
+        asm.li(Reg::A0, 0);
+        asm.j_to(seq);
+        let program = asm.finish().unwrap();
+        let config = small_config(StrategyKind::Registered);
+        let mut kernel = Kernel::boot(config, program, &DataLayout::new().finish()).unwrap();
+        // Step until the main thread sits mid-sequence (on the li after
+        // the lw).
+        for _ in 0..10_000 {
+            if kernel.current_thread() == Some(ThreadId(0))
+                && kernel.thread_regs(ThreadId(0)).pc() == mid
+            {
+                break;
+            }
+            assert!(matches!(kernel.step_once(), StepOutcome::Ran { .. }));
+        }
+        assert_eq!(kernel.thread_regs(ThreadId(0)).pc(), mid);
+        assert!(kernel.preempt_current());
+        // Rolled back to the start of the registered sequence.
+        assert_eq!(kernel.thread_regs(ThreadId(0)).pc(), seq);
+        assert_eq!(kernel.stats().ras_restarts, 1);
+    }
+
+    #[test]
+    fn round_robin_oracle_interleaves_and_completes() {
+        // Main spawns one worker; both run racy 5-iteration increment
+        // loops under a tight round-robin schedule. Lost updates are
+        // possible (and fine); the property is termination with a total
+        // in the feasible range.
+        let mut asm = Asm::new();
+        let start = asm.label();
+        asm.j(start);
+        let worker = emit_racy_loop(&mut asm, 5);
+        asm.bind(start);
+        asm.li(Reg::A1, 0);
+        asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+        asm.li(Reg::A0, worker as i32);
+        asm.syscall();
+        emit_racy_loop(&mut asm, 5);
+        let program = asm.finish().unwrap();
+        let data = DataLayout::new().finish();
+        let mut kernel = Kernel::boot(small_config(StrategyKind::None), program, &data).unwrap();
+        let mut oracle = RoundRobin { period: 3, tick: 0 };
+        assert_eq!(
+            run_with_scheduler(&mut kernel, &mut oracle, 1_000_000),
+            OracleOutcome::Completed
+        );
+        let total = kernel.read_word(0).unwrap();
+        assert!((1..=10).contains(&total), "total={total}");
+    }
+}

@@ -42,7 +42,7 @@ mod memory;
 mod profile;
 mod regfile;
 
-pub use crate::machine::{Exit, Fault, Machine, TraceEntry};
+pub use crate::machine::{AccessKind, Exit, Fault, Machine, MemAccess, TraceEntry};
 pub use crate::memory::{MemError, Memory, PagingConfig};
 pub use crate::profile::{CostModel, CpuProfile};
 pub use crate::regfile::RegFile;

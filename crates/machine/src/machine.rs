@@ -13,6 +13,37 @@ pub struct TraceEntry {
     pub inst: Inst,
 }
 
+/// Classification of one logged data-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A plain word load (`lw`).
+    Load,
+    /// A plain word store (`sw`).
+    Store,
+    /// An atomic read-modify-write: the hardware `tas` instruction or a
+    /// kernel-emulated Test-And-Set performed on the thread's behalf.
+    Rmw,
+}
+
+/// One entry of the optional data-memory access log, recorded as the
+/// access retires. Used by the `ras-model` happens-before race sanitizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// PC of the instruction that performed the access (for a kernel
+    /// emulated RMW, the PC the thread resumes at after the trap).
+    pub pc: CodeAddr,
+    /// The byte address accessed.
+    pub addr: DataAddr,
+    /// What the access did.
+    pub kind: AccessKind,
+    /// Cycle count when the access retired.
+    pub clock: u64,
+    /// Whether the access executed under hardware atomicity: the i860
+    /// restart bit was set, the instruction was a hardware `tas`, or the
+    /// kernel performed the RMW with interrupts disabled.
+    pub atomic: bool,
+}
+
 /// Why [`Machine::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Exit {
@@ -79,6 +110,8 @@ pub struct Machine {
     mix: [u64; Opcode::COUNT],
     /// Optional ring buffer of recently retired instructions.
     trace: Option<TraceRing>,
+    /// Optional log of data-memory accesses (see [`Machine::enable_access_log`]).
+    access_log: Option<Vec<MemAccess>>,
 }
 
 #[derive(Debug, Clone)]
@@ -99,6 +132,70 @@ impl Machine {
             atomic_deadline: 0,
             mix: [0; Opcode::COUNT],
             trace: None,
+            access_log: None,
+        }
+    }
+
+    /// Starts logging every guest data-memory access (loads, stores, and
+    /// atomic read-modify-writes) into an unbounded buffer. Consumers
+    /// should drain it regularly with [`Machine::take_accesses`].
+    pub fn enable_access_log(&mut self) {
+        if self.access_log.is_none() {
+            self.access_log = Some(Vec::new());
+        }
+    }
+
+    /// Whether the access log is enabled.
+    pub fn access_log_enabled(&self) -> bool {
+        self.access_log.is_some()
+    }
+
+    /// Drains and returns the accesses logged since the last call. Empty
+    /// unless [`Machine::enable_access_log`] was called.
+    pub fn take_accesses(&mut self) -> Vec<MemAccess> {
+        match &mut self.access_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Logs an atomic read-modify-write performed *by the kernel* on a
+    /// thread's behalf (the `SYS_TAS` emulation trap of §2.3), so the
+    /// race sanitizer sees kernel-emulated Test-And-Set as the atomic
+    /// access it is.
+    pub fn log_kernel_rmw(&mut self, pc: CodeAddr, addr: DataAddr) {
+        let clock = self.clock;
+        if let Some(log) = &mut self.access_log {
+            log.push(MemAccess {
+                pc,
+                addr,
+                kind: AccessKind::Rmw,
+                clock,
+                atomic: true,
+            });
+        }
+    }
+
+    fn log_access(&mut self, pc: CodeAddr, addr: DataAddr, kind: AccessKind, atomic: bool) {
+        let clock = self.clock;
+        if let Some(log) = &mut self.access_log {
+            log.push(MemAccess {
+                pc,
+                addr,
+                kind,
+                clock,
+                atomic,
+            });
+        }
+    }
+
+    /// Clears the i860 restart bit if its 32-cycle window has expired.
+    /// [`Machine::run`] polls this internally; kernels that drive the
+    /// machine one instruction at a time (the model checker's oracle mode)
+    /// must poll it themselves before each step.
+    pub fn poll_atomic_expiry(&mut self) {
+        if self.atomic_from.is_some() && self.clock >= self.atomic_deadline {
+            self.atomic_from = None;
         }
     }
 
@@ -195,10 +292,8 @@ impl Machine {
     /// 32-cycle expiry), exactly as described in §7 of the paper.
     pub fn run(&mut self, program: &Program, regs: &mut RegFile, deadline: u64) -> Exit {
         loop {
-            if self.atomic_from.is_some() && self.clock >= self.atomic_deadline {
-                // 32-cycle expiry: the bus lock is dropped automatically.
-                self.atomic_from = None;
-            }
+            // 32-cycle expiry: the bus lock is dropped automatically.
+            self.poll_atomic_expiry();
             if self.clock >= deadline && self.atomic_from.is_none() {
                 return Exit::Budget;
             }
@@ -255,6 +350,7 @@ impl Machine {
                 let addr = regs.get(base).wrapping_add(off as u32);
                 match self.mem.load(addr) {
                     Ok(v) => {
+                        self.log_access(pc, addr, AccessKind::Load, self.atomic_from.is_some());
                         regs.set(rd, v);
                         regs.advance();
                     }
@@ -264,11 +360,13 @@ impl Machine {
             Inst::Sw { rs, base, off } => {
                 self.clock += u64::from(cost.store);
                 let addr = regs.get(base).wrapping_add(off as u32);
+                let was_atomic = self.atomic_from.is_some();
                 match self.mem.store(addr, regs.get(rs)) {
                     Ok(()) => {
                         // A store commits and releases an i860 atomic
                         // sequence.
                         self.atomic_from = None;
+                        self.log_access(pc, addr, AccessKind::Store, was_atomic);
                         regs.advance();
                     }
                     Err(e) => return Some(Exit::Fault(Self::mem_fault(e, addr, pc))),
@@ -333,6 +431,7 @@ impl Machine {
                     return Some(Exit::Fault(Self::mem_fault(e, addr, pc)));
                 }
                 self.atomic_from = None;
+                self.log_access(pc, addr, AccessKind::Rmw, true);
                 regs.set(rd, old);
                 regs.advance();
             }
@@ -594,6 +693,60 @@ mod tests {
         machine.run(&program, &mut regs, u64::MAX);
         let c = *machine.profile().cost();
         assert_eq!(machine.clock(), u64::from(c.alu + c.load + c.store + c.alu));
+    }
+
+    #[test]
+    fn access_log_records_loads_stores_and_rmws() {
+        let mut asm = Asm::new();
+        asm.li(Reg::A0, 16);
+        asm.tas(Reg::V0, Reg::A0); // @1: rmw
+        asm.lw(Reg::T0, Reg::A0, 4); // @2: load of 20
+        asm.sw(Reg::T0, Reg::A0, 8); // @3: store of 24
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::i486(), 1024);
+        machine.enable_access_log();
+        let mut regs = RegFile::new(0);
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        let log = machine.take_accesses();
+        let summary: Vec<(CodeAddr, DataAddr, AccessKind, bool)> = log
+            .iter()
+            .map(|a| (a.pc, a.addr, a.kind, a.atomic))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                (1, 16, AccessKind::Rmw, true),
+                (2, 20, AccessKind::Load, false),
+                (3, 24, AccessKind::Store, false),
+            ]
+        );
+        assert!(machine.take_accesses().is_empty(), "drained");
+        // Kernel-side RMW logging.
+        machine.log_kernel_rmw(9, 16);
+        let log = machine.take_accesses();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, AccessKind::Rmw);
+        assert!(log[0].atomic);
+    }
+
+    #[test]
+    fn access_log_marks_i860_atomic_window() {
+        let mut asm = Asm::new();
+        asm.li(Reg::A0, 32);
+        asm.begin_atomic();
+        asm.lw(Reg::V0, Reg::A0, 0); // inside the window
+        asm.li(Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0); // committing store, clears the bit
+        asm.lw(Reg::T1, Reg::A0, 0); // outside the window
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut machine = Machine::new(CpuProfile::i860(), 1024);
+        machine.enable_access_log();
+        let mut regs = RegFile::new(0);
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        let atomics: Vec<bool> = machine.take_accesses().iter().map(|a| a.atomic).collect();
+        assert_eq!(atomics, vec![true, true, false]);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! `ras-check` — exhaustive preemption-point model checker CLI.
+//!
+//! Usage: `ras-check [options]`
+//!
+//! Options:
+//!
+//! * `--bound N` — preemption bound per schedule (default 2)
+//! * `--depth N` — visible-operation depth bound (default 400)
+//! * `--schedules N` — schedule cap per target (default 100000)
+//! * `--workers N` — worker threads in the model workload (default 2)
+//! * `--iterations N` — critical sections per worker (default 1)
+//! * `--target ID` — only check targets whose id contains `ID`
+//!   (repeatable); e.g. `--target ras-inline`
+//! * `--smoke` — quick subset for CI: one software target, one hardware
+//!   target, and the ablation, with a reduced schedule cap
+//! * `--json` — machine-readable output
+//!
+//! Exit codes: `0` every target matched its expectation (safe targets
+//! verified, the ablation refuted), `1` some target did not, `2` usage
+//! error.
+
+use std::process::ExitCode;
+
+use ras_diag::Diagnostic;
+use ras_model::{check_target, CheckConfig, ModelTarget, TargetReport};
+
+struct Options {
+    config: CheckConfig,
+    filters: Vec<String>,
+    smoke: bool,
+    json: bool,
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
+    let mut opts = Options {
+        config: CheckConfig::default(),
+        filters: Vec::new(),
+        smoke: false,
+        json: false,
+    };
+    args.next(); // program name
+    while let Some(arg) = args.next() {
+        let num = |what: &str, args: &mut std::env::Args| -> Result<u64, String> {
+            args.next()
+                .ok_or_else(|| format!("{what} requires a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad value for {what}: {e}"))
+        };
+        match arg.as_str() {
+            "--bound" => opts.config.preemption_bound = num("--bound", &mut args)? as u32,
+            "--depth" => opts.config.max_visible_ops = num("--depth", &mut args)?,
+            "--schedules" => opts.config.max_schedules = num("--schedules", &mut args)?,
+            "--workers" => opts.config.workers = num("--workers", &mut args)? as usize,
+            "--iterations" => opts.config.iterations = num("--iterations", &mut args)? as u32,
+            "--target" => opts
+                .filters
+                .push(args.next().ok_or("--target requires a value")?),
+            "--smoke" => opts.smoke = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ras-check [--bound N] [--depth N] [--schedules N] [--workers N] \
+         [--iterations N] [--target ID]... [--smoke] [--json]"
+    );
+}
+
+fn selected_targets(opts: &Options) -> Vec<ModelTarget> {
+    let mut targets = ModelTarget::all();
+    if opts.smoke {
+        targets.retain(|t| {
+            matches!(
+                t.id().as_str(),
+                "ras-inline+tas" | "hardware-bit+tas" | "ras-inline+tas+none"
+            )
+        });
+    }
+    if !opts.filters.is_empty() {
+        targets.retain(|t| {
+            let id = t.id();
+            opts.filters.iter().any(|f| id.contains(f.as_str()))
+        });
+    }
+    targets
+}
+
+fn print_report(report: &TargetReport) {
+    let verdict = if report.ok() {
+        if report.target.expects_violations() {
+            "refuted (as expected)"
+        } else {
+            "verified"
+        }
+    } else {
+        "UNEXPECTED"
+    };
+    println!(
+        "{:<24} schedules {:>6}  pruned {:>6}  cycles {:>5}  {}",
+        report.target.id(),
+        report.schedules,
+        report.pruned,
+        report.cycles,
+        verdict
+    );
+    if report.hit_schedule_cap {
+        println!("  note: schedule cap hit, exploration incomplete");
+    }
+    if report.livelock_suspects > 0 {
+        println!(
+            "  warning: {} livelock-suspect branch(es) hit the depth bound",
+            report.livelock_suspects
+        );
+    }
+    for race in &report.races {
+        println!("  {race}");
+    }
+    for v in &report.violations {
+        println!("  {} (found after {} schedules)", v.diag, v.found_after);
+        println!("  minimized replayable schedule:");
+        println!("{}", v.schedule.render());
+    }
+}
+
+fn json_escape_list(diags: &[Diagnostic]) -> String {
+    ras_diag::render_json(diags)
+}
+
+fn print_json(reports: &[TargetReport]) {
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        let viol_diags: Vec<Diagnostic> = r.violations.iter().map(|v| v.diag.clone()).collect();
+        out.push_str(&format!(
+            "  {{\"target\": \"{}\", \"ok\": {}, \"expects_violations\": {}, \
+             \"schedules\": {}, \"pruned\": {}, \"cycles\": {}, \
+             \"livelock_suspects\": {}, \"hit_schedule_cap\": {}, \
+             \"violations\": {}, \"races\": {}}}",
+            r.target.id(),
+            r.ok(),
+            r.target.expects_violations(),
+            r.schedules,
+            r.pruned,
+            r.cycles,
+            r.livelock_suspects,
+            r.hit_schedule_cap,
+            json_escape_list(&viol_diags).replace('\n', ""),
+            json_escape_list(&r.races).replace('\n', ""),
+        ));
+        if i + 1 < reports.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    println!("{out}");
+}
+
+fn main() -> ExitCode {
+    let mut opts = match parse_args(std::env::args()) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("ras-check: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    if opts.smoke && opts.config.max_schedules == CheckConfig::default().max_schedules {
+        opts.config.max_schedules = 20_000;
+    }
+    let targets = selected_targets(&opts);
+    if targets.is_empty() {
+        eprintln!("ras-check: no targets match the given filters");
+        return ExitCode::from(2);
+    }
+    let mut reports = Vec::new();
+    for target in targets {
+        reports.push(check_target(target, &opts.config));
+    }
+    if opts.json {
+        print_json(&reports);
+    } else {
+        for r in &reports {
+            print_report(r);
+        }
+        let total: u64 = reports.iter().map(|r| r.schedules).sum();
+        let pruned: u64 = reports.iter().map(|r| r.pruned).sum();
+        println!(
+            "checked {} target(s): {} schedules explored, {} branches pruned by POR",
+            reports.len(),
+            total,
+            pruned
+        );
+    }
+    if reports.iter().all(TargetReport::ok) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,985 @@
+//! The systematic schedule explorer: a stateful depth-first search over
+//! every preemption decision, with sleep-set partial-order reduction and
+//! path-local cycle detection.
+//!
+//! # Decision points and transitions
+//!
+//! Execution between decision points is deterministic: the kernel is
+//! single-stepped (oracle mode, timer neutralized) until the current
+//! thread is about to execute a *visible* operation — a load, store, or
+//! Test-And-Set of shared data (below [`Kernel::data_end`]), or any
+//! system call — or until no thread runs and several are ready. At such a
+//! point the explorer branches:
+//!
+//! * **Continue** — execute the visible operation;
+//! * **Preempt(u)** — deliver a timer interrupt *now* (strategy check,
+//!   rollback, requeue — identical to real preemption) and run ready
+//!   thread `u`; bounded by [`CheckConfig::preemption_bound`];
+//! * **Dispatch(u)** — with nothing running, pick which ready thread goes
+//!   next.
+//!
+//! Register-only instructions and stack traffic are invisible: preempting
+//! between them is indistinguishable (to any safety property over shared
+//! memory) from preempting at the next visible operation, so the visible
+//! boundaries *are* the partial-order reduction of the raw interleaving
+//! space. The paper's hazard windows fall out naturally: the decision
+//! points inside a Test-And-Set sequence are exactly "before the `lw`"
+//! and "before the `sw`".
+//!
+//! # Sleep sets
+//!
+//! On top of the boundary reduction the explorer keeps classic sleep
+//! sets: after fully exploring `Continue` on operation `o` at a decision
+//! point, `o` is put to sleep for the sibling branches; a descendant
+//! `Continue` on the same `(thread, kind, address)` operation is pruned
+//! unless some intervening operation conflicted with `o` (same address,
+//! at least one write — or a system call, which conservatively conflicts
+//! with everything). Pruned branches are counted and reported so the
+//! reduction is observable. A subtlety specific to restartable
+//! sequences: preempting a thread rolls its PC back, so the "same
+//! operation" test uses the post-rollback signature; a rolled-back
+//! sequence re-arrives at its *load*, never at its committing store, so
+//! sleeping store signatures can never be matched incorrectly.
+//!
+//! # Cycles and livelock
+//!
+//! Unfair schedules make spin loops repeat states exactly (the clock is
+//! excluded from the state hash). A decision point whose hash already
+//! appears on the current path is a cycle — the branch is truncated and
+//! counted; a genuine spin under an unfair scheduler is not a safety
+//! violation. Exhausting [`CheckConfig::max_visible_ops`] without a
+//! cycle is reported as a livelock suspect.
+
+use ras_diag::{DiagKind, Diagnostic};
+use ras_guest::workloads::{model_counter, ModelSpec, TasFlavor};
+use ras_guest::{BuiltGuest, Mechanism};
+use ras_isa::{Inst, Reg, SeqRange};
+use ras_kernel::{Decision, Kernel, StepOutcome, StrategyKind, ThreadId, ThreadState};
+use ras_machine::{AccessKind, CpuProfile};
+
+use crate::hb::{Race, RaceDetector};
+use crate::schedule::Schedule;
+
+/// Exploration limits and workload size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Maximum preemptions injected per schedule. Two suffices for every
+    /// two-thread mutual-exclusion hazard (one to interrupt a sequence,
+    /// one to interleave the victim).
+    pub preemption_bound: u32,
+    /// Depth bound: visible operations per schedule before the branch is
+    /// reported as a livelock suspect.
+    pub max_visible_ops: u64,
+    /// Hard cap on explored schedules per target.
+    pub max_schedules: u64,
+    /// Worker threads in the model workload.
+    pub workers: usize,
+    /// Critical sections per worker.
+    pub iterations: u32,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            preemption_bound: 2,
+            max_visible_ops: 400,
+            max_schedules: 100_000,
+            workers: 2,
+            iterations: 1,
+        }
+    }
+}
+
+/// One (mechanism × TAS flavor) configuration to verify, optionally with
+/// the kernel's atomicity strategy stripped (the refutation target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelTarget {
+    /// The synchronization mechanism.
+    pub mechanism: Mechanism,
+    /// The read-modify-write flavor.
+    pub flavor: TasFlavor,
+    /// Run with [`StrategyKind::None`] despite the mechanism requiring
+    /// kernel support — the ablation the checker must refute.
+    pub ablated: bool,
+}
+
+impl ModelTarget {
+    /// Every target: each supported (mechanism × flavor) pair, plus the
+    /// ablated inline sequence.
+    pub fn all() -> Vec<ModelTarget> {
+        let mut targets = Vec::new();
+        for mechanism in Mechanism::all() {
+            for flavor in TasFlavor::all() {
+                if flavor.supported_by(mechanism) {
+                    targets.push(ModelTarget {
+                        mechanism,
+                        flavor,
+                        ablated: false,
+                    });
+                }
+            }
+        }
+        targets.push(ModelTarget {
+            mechanism: Mechanism::RasInline,
+            flavor: TasFlavor::Tas,
+            ablated: true,
+        });
+        targets
+    }
+
+    /// Stable identifier, e.g. `ras-inline+tas` or `ras-inline+tas+none`.
+    pub fn id(&self) -> String {
+        let base = format!("{}+{}", self.mechanism.id(), self.flavor.id());
+        if self.ablated {
+            format!("{base}+none")
+        } else {
+            base
+        }
+    }
+
+    /// The CPU profile the target runs on: the R3000 (the paper's main
+    /// machine) when the mechanism is software-only, the i860 when it
+    /// needs hardware support.
+    pub fn profile(&self) -> CpuProfile {
+        if self.mechanism.supported_by(&CpuProfile::r3000()) {
+            CpuProfile::r3000()
+        } else {
+            CpuProfile::i860()
+        }
+    }
+
+    /// Whether this target is *expected* to violate its properties.
+    pub fn expects_violations(&self) -> bool {
+        self.ablated
+    }
+
+    /// Whether the happens-before race sanitizer applies. Lamport's
+    /// software protocols synchronize through plain loads and stores by
+    /// design, which defeats a happens-before analysis (every execution
+    /// of protocol (a) is "racy" yet correct), so they are exempt.
+    pub fn races_checked(&self) -> bool {
+        !matches!(
+            self.mechanism,
+            Mechanism::LamportPerLock | Mechanism::LamportBundled
+        )
+    }
+
+    /// Whether mutual exclusion is a property of this target (the
+    /// lock-free fetch-and-add flavor has no critical section).
+    pub fn mutex_checked(&self) -> bool {
+        !self.flavor.is_lock_free()
+    }
+}
+
+impl std::fmt::Display for ModelTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+/// A property violation with its minimized, replayable schedule.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong, as a shared diagnostic.
+    pub diag: Diagnostic,
+    /// The minimized schedule that reproduces it.
+    pub schedule: Schedule,
+    /// How many schedules had been explored when it was first found.
+    pub found_after: u64,
+}
+
+/// The verdict for one target.
+#[derive(Debug, Clone)]
+pub struct TargetReport {
+    /// The checked target.
+    pub target: ModelTarget,
+    /// Maximal schedules explored (terminal, cycle-truncated, or
+    /// violation-truncated).
+    pub schedules: u64,
+    /// Branches pruned by the sleep-set reduction.
+    pub pruned: u64,
+    /// Branches truncated as exact state cycles (benign spins under
+    /// unfair schedules).
+    pub cycles: u64,
+    /// Branches that exhausted the depth bound without cycling.
+    pub livelock_suspects: u64,
+    /// The schedule cap was hit; exploration is incomplete.
+    pub hit_schedule_cap: bool,
+    /// Safety violations found (first of each kind, minimized).
+    pub violations: Vec<Violation>,
+    /// Data races found by the happens-before sanitizer.
+    pub races: Vec<Diagnostic>,
+}
+
+impl TargetReport {
+    /// Whether the observed behavior matches the expectation: safe
+    /// targets must have no violations and no races; the ablated target
+    /// must exhibit both the mutual-exclusion violation and the lost
+    /// update.
+    pub fn ok(&self) -> bool {
+        if self.target.expects_violations() {
+            let has = |k: DiagKind| self.violations.iter().any(|v| v.diag.kind == k);
+            has(DiagKind::MutexViolation) && has(DiagKind::LostUpdate)
+        } else {
+            self.violations.is_empty() && self.races.is_empty()
+        }
+    }
+}
+
+/// Safety cap on invisible (register-only) instructions between decision
+/// points; a guest spinning without any shared-memory access or syscall
+/// trips it.
+const INVISIBLE_CAP: u32 = 20_000;
+
+/// Signature of a thread's next visible operation, for independence
+/// reasoning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpSig {
+    /// A classified shared-memory access.
+    Mem {
+        thread: ThreadId,
+        kind: AccessKind,
+        addr: u32,
+    },
+    /// A system call or unclassifiable operation — conservatively
+    /// conflicts with everything.
+    Other,
+}
+
+impl OpSig {
+    fn independent(self, other: OpSig) -> bool {
+        match (self, other) {
+            (
+                OpSig::Mem {
+                    kind: ka, addr: aa, ..
+                },
+                OpSig::Mem {
+                    kind: kb, addr: ab, ..
+                },
+            ) => aa != ab || (ka == AccessKind::Load && kb == AccessKind::Load),
+            _ => false,
+        }
+    }
+}
+
+/// Where deterministic execution stopped.
+enum Point {
+    /// Current thread is about to execute a visible operation.
+    Boundary,
+    /// No thread running, two or more ready: a free dispatch choice.
+    FreeDispatch,
+    /// The branch ended.
+    Terminal(Term),
+}
+
+enum Term {
+    Completed,
+    Deadlock(Vec<ThreadId>),
+    Fault(String),
+    Halted,
+    /// Invisible-instruction cap exhausted.
+    Stalled,
+}
+
+/// The signature of the visible operation the current thread is about to
+/// execute, or `None` if its next instruction is invisible.
+fn current_visible_sig(kernel: &Kernel) -> Option<OpSig> {
+    let t = kernel.current_thread()?;
+    thread_next_sig(kernel, t)
+}
+
+/// Classifies thread `t`'s next instruction against its (authoritative)
+/// saved registers.
+fn thread_next_sig(kernel: &Kernel, t: ThreadId) -> Option<OpSig> {
+    let regs = kernel.thread_regs(t);
+    let inst = kernel.program().fetch(regs.pc())?;
+    let mem = |kind: AccessKind, base: Reg, off: i32| {
+        let addr = regs.get(base).wrapping_add(off as u32);
+        (addr < kernel.data_end()).then_some(OpSig::Mem {
+            thread: t,
+            kind,
+            addr,
+        })
+    };
+    match inst {
+        Inst::Lw { base, off, .. } => mem(AccessKind::Load, base, off),
+        Inst::Sw { base, off, .. } => mem(AccessKind::Store, base, off),
+        Inst::Tas { base, .. } => mem(AccessKind::Rmw, base, 0).or(Some(OpSig::Other)),
+        Inst::Syscall => Some(OpSig::Other),
+        _ => None,
+    }
+}
+
+/// One kernel step with race-sanitizer bookkeeping: dispatch edges,
+/// spawn edges, access-log draining, exit and join-block events.
+fn apply_step(kernel: &mut Kernel, det: &mut Option<RaceDetector>) -> StepOutcome {
+    let was_idle = kernel.current_thread().is_none();
+    let threads_before = kernel.thread_count();
+    let out = kernel.step_once();
+    if let StepOutcome::Ran { thread } = out {
+        if let Some(d) = det.as_mut() {
+            if was_idle {
+                d.on_dispatch(thread);
+            }
+            for child in threads_before..kernel.thread_count() {
+                d.on_spawn(thread, ThreadId(child as u32));
+            }
+            for acc in kernel.take_accesses() {
+                d.on_access(thread, &acc);
+            }
+            match *kernel.thread_state(thread) {
+                ThreadState::Exited => d.on_exit(thread),
+                ThreadState::Joining { target } => d.on_join_block(thread, target),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Steps deterministically (invisible instructions, forced dispatches)
+/// until the next decision point or a terminal state.
+fn advance(kernel: &mut Kernel, det: &mut Option<RaceDetector>) -> Point {
+    for _ in 0..INVISIBLE_CAP {
+        if kernel.current_thread().is_some() {
+            if current_visible_sig(kernel).is_some() {
+                return Point::Boundary;
+            }
+        } else if kernel.ready_threads().len() >= 2 {
+            return Point::FreeDispatch;
+        }
+        match apply_step(kernel, det) {
+            StepOutcome::Ran { .. } | StepOutcome::Idled => {}
+            StepOutcome::Completed => return Point::Terminal(Term::Completed),
+            StepOutcome::Halted { thread } => {
+                return Point::Terminal(Term::Fault(format!("{thread} executed halt")))
+            }
+            StepOutcome::Deadlock { blocked } => return Point::Terminal(Term::Deadlock(blocked)),
+            StepOutcome::Fault { thread, fault } => {
+                return Point::Terminal(Term::Fault(format!("{thread}: {fault:?}")))
+            }
+        }
+    }
+    Point::Terminal(Term::Stalled)
+}
+
+/// FNV-1a hash of the scheduler-relevant state: thread register files and
+/// states, queue order, shared data, and the i860 restart bit. Clocks and
+/// statistics are excluded so spin iterations hash identically.
+fn state_hash(kernel: &Kernel) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for i in 0..kernel.thread_count() {
+        let t = ThreadId(i as u32);
+        let regs = kernel.thread_regs(t);
+        mix(u64::from(regs.pc()));
+        for r in Reg::all() {
+            mix(u64::from(regs.get(r)));
+        }
+        mix(match *kernel.thread_state(t) {
+            ThreadState::Ready => 1,
+            ThreadState::Running => 2,
+            ThreadState::Blocked { addr } => 3 | (u64::from(addr) << 8),
+            ThreadState::Joining { target } => 4 | (u64::from(target.0) << 8),
+            ThreadState::Sleeping { until } => 5 | (until << 8),
+            ThreadState::Exited => 6,
+        });
+    }
+    mix(kernel.current_thread().map_or(u64::MAX, |t| u64::from(t.0)));
+    for t in kernel.ready_threads() {
+        mix(u64::from(t.0) | 0x100);
+    }
+    let mut addr = 0;
+    while addr < kernel.data_end() {
+        mix(u64::from(kernel.read_word(addr).unwrap_or(0)));
+        addr += 4;
+    }
+    mix(kernel
+        .machine()
+        .atomic_restart_pc()
+        .map_or(u64::MAX - 1, u64::from));
+    h
+}
+
+pub(crate) struct Explorer<'a> {
+    config: &'a CheckConfig,
+    target: ModelTarget,
+    built: BuiltGuest,
+    counter_addr: u32,
+    violations_addr: u32,
+    expected_count: u32,
+    schedules: u64,
+    pruned: u64,
+    cycles: u64,
+    livelock_suspects: u64,
+    hit_cap: bool,
+    violations: Vec<Violation>,
+    race_keys: Vec<(u32, u32, u32)>,
+    races: Vec<Diagnostic>,
+}
+
+impl<'a> Explorer<'a> {
+    pub(crate) fn new(target: ModelTarget, config: &'a CheckConfig) -> Explorer<'a> {
+        let spec = ModelSpec {
+            iterations: config.iterations,
+            workers: config.workers,
+        };
+        let mut built = model_counter(target.mechanism, target.flavor, &spec);
+        if target.ablated {
+            built.strategy = StrategyKind::None;
+        }
+        let counter_addr = built.data.symbol("counter").expect("workload symbol");
+        let violations_addr = built.data.symbol("violations").expect("workload symbol");
+        Explorer {
+            config,
+            target,
+            built,
+            counter_addr,
+            violations_addr,
+            expected_count: spec.expected_count(),
+            schedules: 0,
+            pruned: 0,
+            cycles: 0,
+            livelock_suspects: 0,
+            hit_cap: false,
+            violations: Vec::new(),
+            race_keys: Vec::new(),
+            races: Vec::new(),
+        }
+    }
+
+    fn protected_ranges(&self) -> Vec<SeqRange> {
+        // Sequences are only *protected* when the kernel strategy will
+        // actually roll them back; under the None ablation the declared
+        // ranges exist in the binary but guarantee nothing.
+        if matches!(self.built.strategy, StrategyKind::None) {
+            Vec::new()
+        } else {
+            self.built.program.seq_ranges().to_vec()
+        }
+    }
+
+    fn boot(&self, with_log: bool) -> Kernel {
+        let mut kc = self.built.kernel_config(self.target.profile());
+        kc.mem_bytes = 32 * 1024;
+        kc.stack_bytes = 4096;
+        kc.max_threads = self.config.workers + 2;
+        let mut kernel = self.built.boot(kc).expect("model workload boots");
+        if with_log {
+            kernel.enable_access_log();
+        }
+        kernel
+    }
+
+    fn detector(&self) -> Option<RaceDetector> {
+        self.target
+            .races_checked()
+            .then(|| RaceDetector::new(self.protected_ranges(), self.data_end()))
+    }
+
+    fn data_end(&self) -> u32 {
+        self.built.data.len_bytes()
+    }
+
+    /// Runs the exhaustive exploration.
+    pub(crate) fn run(&mut self) {
+        let mut det = self.detector();
+        let mut kernel = self.boot(det.is_some());
+        let point = advance(&mut kernel, &mut det);
+        self.drain_races(&mut det);
+        let mut path = Schedule::default();
+        let mut hashes = Vec::new();
+        match point {
+            Point::Terminal(term) => self.on_terminal(term, &kernel, &path),
+            Point::Boundary | Point::FreeDispatch => {
+                let dispatch = matches!(point, Point::FreeDispatch);
+                self.dfs(
+                    &kernel,
+                    &det,
+                    dispatch,
+                    Vec::new(),
+                    0,
+                    0,
+                    &mut path,
+                    &mut hashes,
+                );
+            }
+        }
+    }
+
+    fn drain_races(&mut self, det: &mut Option<RaceDetector>) {
+        let Some(d) = det.as_mut() else { return };
+        for race in d.take_races() {
+            self.note_race(race);
+        }
+    }
+
+    fn note_race(&mut self, race: Race) {
+        let key = (race.addr, race.prior_pc, race.pc);
+        if self.race_keys.contains(&key) {
+            return;
+        }
+        self.race_keys.push(key);
+        let what = if race.write { "write" } else { "read" };
+        self.races.push(Diagnostic::new(
+            DiagKind::DataRace,
+            race.pc,
+            format!(
+                "unordered {what} of shared word {:#x} (conflicting access at pc {})",
+                race.addr, race.prior_pc
+            ),
+        ));
+    }
+
+    fn violations_word(&self, kernel: &Kernel) -> u32 {
+        kernel.read_word(self.violations_addr).unwrap_or(0)
+    }
+
+    /// The recursive search. `at_dispatch` distinguishes the two decision
+    /// point kinds; `index` numbers decision points along this path.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &mut self,
+        kernel: &Kernel,
+        det: &Option<RaceDetector>,
+        at_dispatch: bool,
+        sleep: Vec<OpSig>,
+        preemptions: u32,
+        index: u64,
+        path: &mut Schedule,
+        hashes: &mut Vec<u64>,
+    ) {
+        if self.hit_cap {
+            return;
+        }
+        if self.schedules >= self.config.max_schedules {
+            self.hit_cap = true;
+            return;
+        }
+        // Mutual exclusion is checked at every decision point: the guest
+        // records violations in a dedicated word the moment its critical
+        // section observes an intruder. The branch is truncated, but its
+        // default continuation is first run out to harvest the companion
+        // lost-update evidence (the same interleaving that breaks mutual
+        // exclusion also drops an increment).
+        if self.target.mutex_checked() && self.violations_word(kernel) > 0 {
+            self.schedules += 1;
+            self.record(
+                DiagKind::MutexViolation,
+                "two threads were inside the critical section simultaneously \
+                 (cs_owner changed under the owner)"
+                    .to_string(),
+                path,
+            );
+            if !self.has_violation(DiagKind::LostUpdate) {
+                if let Some(counter) = self.counter_after_default_run(kernel) {
+                    if counter != self.expected_count {
+                        self.record(
+                            DiagKind::LostUpdate,
+                            format!(
+                                "final counter is {counter}, expected {} — an increment was lost",
+                                self.expected_count
+                            ),
+                            path,
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        if index >= self.config.max_visible_ops {
+            self.schedules += 1;
+            self.livelock_suspects += 1;
+            self.record(
+                DiagKind::LivelockSuspect,
+                format!(
+                    "no terminal state or state cycle within {} visible operations",
+                    self.config.max_visible_ops
+                ),
+                path,
+            );
+            return;
+        }
+        let h = state_hash(kernel);
+        if hashes.contains(&h) {
+            // An exact state repeat on this path: a spin under an unfair
+            // schedule. The suffix explores nothing new.
+            self.schedules += 1;
+            self.cycles += 1;
+            return;
+        }
+        hashes.push(h);
+
+        // Enumerate choices: the default first.
+        let ready = kernel.ready_threads();
+        let mut choices: Vec<(Decision, Option<OpSig>)> = Vec::new();
+        if at_dispatch {
+            for &u in &ready {
+                choices.push((Decision::Dispatch(u), thread_next_sig(kernel, u)));
+            }
+        } else {
+            choices.push((Decision::Continue, current_visible_sig(kernel)));
+            if preemptions < self.config.preemption_bound {
+                for &u in &ready {
+                    choices.push((Decision::Preempt(u), thread_next_sig(kernel, u)));
+                }
+            }
+        }
+
+        let mut done: Vec<OpSig> = Vec::new();
+        for (i, (decision, sig)) in choices.iter().enumerate() {
+            if self.hit_cap {
+                break;
+            }
+            // Sleep-set pruning applies only to Continue: executing a
+            // sleeping operation re-derives an interleaving already
+            // covered (everything since it went to sleep was independent
+            // of it). Preempt/Dispatch branches contain more than their
+            // first operation, so they are never pruned.
+            if matches!(decision, Decision::Continue) {
+                if let Some(s @ OpSig::Mem { .. }) = sig {
+                    if sleep.contains(s) {
+                        self.pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let mut k = kernel.clone();
+            let mut d = det.clone();
+            let mut child_preemptions = preemptions;
+            match decision {
+                Decision::Continue => {
+                    // Execute the visible operation itself.
+                    match apply_step(&mut k, &mut d) {
+                        StepOutcome::Ran { .. } | StepOutcome::Idled => {}
+                        terminal => {
+                            self.drain_races(&mut d);
+                            self.on_step_terminal(terminal, &k, path);
+                            continue;
+                        }
+                    }
+                }
+                Decision::Preempt(u) => {
+                    child_preemptions += 1;
+                    k.preempt_current();
+                    k.schedule_next(*u);
+                    if let terminal @ (StepOutcome::Completed
+                    | StepOutcome::Halted { .. }
+                    | StepOutcome::Deadlock { .. }
+                    | StepOutcome::Fault { .. }) = apply_step(&mut k, &mut d)
+                    {
+                        self.drain_races(&mut d);
+                        self.on_step_terminal(terminal, &k, path);
+                        continue;
+                    }
+                }
+                Decision::Dispatch(u) => {
+                    k.schedule_next(*u);
+                    if let terminal @ (StepOutcome::Completed
+                    | StepOutcome::Halted { .. }
+                    | StepOutcome::Deadlock { .. }
+                    | StepOutcome::Fault { .. }) = apply_step(&mut k, &mut d)
+                    {
+                        self.drain_races(&mut d);
+                        self.on_step_terminal(terminal, &k, path);
+                        continue;
+                    }
+                }
+            }
+            self.drain_races(&mut d);
+            // The sleep set handed to the child: everything still
+            // independent of the operation this branch executes first.
+            let child_sleep: Vec<OpSig> = match (decision, sig) {
+                (Decision::Continue, Some(op)) => sleep
+                    .iter()
+                    .chain(done.iter())
+                    .copied()
+                    .filter(|s| s.independent(*op))
+                    .collect(),
+                (Decision::Continue, None) => Vec::new(),
+                // Preempt/Dispatch execute only thread-private bookkeeping
+                // before the next decision point; the sleep set carries
+                // over and keeps being filtered as operations execute.
+                _ => sleep.iter().chain(done.iter()).copied().collect(),
+            };
+
+            // Record the decision if it deviates from the default
+            // (Continue, or dispatching the queue front).
+            let is_default = i == 0;
+            if !is_default {
+                path.decisions.push((index, *decision));
+            }
+            let point = advance(&mut k, &mut d);
+            self.drain_races(&mut d);
+            match point {
+                Point::Terminal(term) => self.on_terminal(term, &k, path),
+                Point::Boundary => self.dfs(
+                    &k,
+                    &d,
+                    false,
+                    child_sleep,
+                    child_preemptions,
+                    index + 1,
+                    path,
+                    hashes,
+                ),
+                Point::FreeDispatch => self.dfs(
+                    &k,
+                    &d,
+                    true,
+                    child_sleep,
+                    child_preemptions,
+                    index + 1,
+                    path,
+                    hashes,
+                ),
+            }
+            if !is_default {
+                path.decisions.pop();
+            }
+            if matches!(decision, Decision::Continue) {
+                if let Some(s @ OpSig::Mem { .. }) = sig {
+                    done.push(*s);
+                }
+            }
+        }
+        hashes.pop();
+    }
+
+    fn on_step_terminal(&mut self, outcome: StepOutcome, kernel: &Kernel, path: &Schedule) {
+        let term = match outcome {
+            StepOutcome::Completed => Term::Completed,
+            StepOutcome::Halted { thread } => Term::Fault(format!("{thread} executed halt")),
+            StepOutcome::Deadlock { blocked } => Term::Deadlock(blocked),
+            StepOutcome::Fault { thread, fault } => Term::Fault(format!("{thread}: {fault:?}")),
+            StepOutcome::Ran { .. } | StepOutcome::Idled => return,
+        };
+        self.on_terminal(term, kernel, path);
+    }
+
+    fn on_terminal(&mut self, term: Term, kernel: &Kernel, path: &Schedule) {
+        self.schedules += 1;
+        match term {
+            Term::Completed => {
+                if self.target.mutex_checked() && self.violations_word(kernel) > 0 {
+                    self.record(
+                        DiagKind::MutexViolation,
+                        "two threads were inside the critical section simultaneously \
+                         (cs_owner changed under the owner)"
+                            .to_string(),
+                        path,
+                    );
+                }
+                let counter = kernel.read_word(self.counter_addr).unwrap_or(0);
+                if counter != self.expected_count {
+                    self.record(
+                        DiagKind::LostUpdate,
+                        format!(
+                            "final counter is {counter}, expected {} — an increment was lost",
+                            self.expected_count
+                        ),
+                        path,
+                    );
+                }
+            }
+            Term::Deadlock(blocked) => {
+                let list: Vec<String> = blocked.iter().map(|t| t.to_string()).collect();
+                self.record(
+                    DiagKind::DeadlockFound,
+                    format!("no runnable thread; blocked: {}", list.join(", ")),
+                    path,
+                );
+            }
+            Term::Halted => {
+                self.record(
+                    DiagKind::GuestFault,
+                    "guest executed halt outside the kernel".to_string(),
+                    path,
+                );
+            }
+            Term::Fault(message) => {
+                self.record(DiagKind::GuestFault, message, path);
+            }
+            Term::Stalled => {
+                self.livelock_suspects += 1;
+                self.record(
+                    DiagKind::LivelockSuspect,
+                    format!("more than {INVISIBLE_CAP} instructions without a visible operation"),
+                    path,
+                );
+            }
+        }
+    }
+
+    fn has_violation(&self, kind: DiagKind) -> bool {
+        self.violations.iter().any(|v| v.diag.kind == kind)
+    }
+
+    /// Runs the default continuation (no further non-default decisions)
+    /// from `kernel` to its terminal state and returns the final counter,
+    /// or `None` if it does not complete cleanly.
+    fn counter_after_default_run(&self, kernel: &Kernel) -> Option<u32> {
+        let mut k = kernel.clone();
+        let mut det = None;
+        let mut hashes = Vec::new();
+        let mut steps = 0u64;
+        loop {
+            match advance(&mut k, &mut det) {
+                Point::Terminal(Term::Completed) => return k.read_word(self.counter_addr).ok(),
+                Point::Terminal(_) => return None,
+                Point::Boundary | Point::FreeDispatch => {
+                    steps += 1;
+                    if steps > self.config.max_visible_ops.saturating_mul(4) {
+                        return None;
+                    }
+                    let h = state_hash(&k);
+                    if hashes.contains(&h) {
+                        return None;
+                    }
+                    hashes.push(h);
+                    match apply_step(&mut k, &mut det) {
+                        StepOutcome::Ran { .. } | StepOutcome::Idled => {}
+                        StepOutcome::Completed => return k.read_word(self.counter_addr).ok(),
+                        _ => return None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records the first violation of each kind, with a minimized
+    /// replay-verified schedule.
+    fn record(&mut self, kind: DiagKind, message: String, path: &Schedule) {
+        if self.has_violation(kind) {
+            return;
+        }
+        let schedule = self.minimize_schedule(kind, path.clone());
+        self.violations.push(Violation {
+            diag: Diagnostic::new(kind, 0, message),
+            schedule,
+            found_after: self.schedules,
+        });
+    }
+
+    /// Greedy minimization: drop decisions whose removal preserves the
+    /// violation under replay. If even the original schedule does not
+    /// replay (e.g. a livelock suspect that needs the exact exploration
+    /// state), it is returned untouched.
+    fn minimize_schedule(&self, kind: DiagKind, original: Schedule) -> Schedule {
+        if !self.replay(&original).contains(&kind) {
+            return original;
+        }
+        let mut current = original;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let mut i = 0;
+            while i < current.len() {
+                let candidate = current.without(i);
+                if self.replay(&candidate).contains(&kind) {
+                    current = candidate;
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        current
+    }
+
+    /// Deterministically replays a schedule from a fresh boot, applying
+    /// recorded decisions at their decision points and defaults
+    /// everywhere else, and returns every violation kind the terminal
+    /// state exhibits. Public behavior is identical to exploration —
+    /// same kernel, same stepping — minus the search.
+    fn replay(&self, schedule: &Schedule) -> Vec<DiagKind> {
+        let mut kernel = self.boot(false);
+        let mut det = None;
+        let mut hashes = Vec::new();
+        let mut index = 0u64;
+        loop {
+            match advance(&mut kernel, &mut det) {
+                Point::Terminal(term) => return self.terminal_kinds(term, &kernel),
+                Point::Boundary | Point::FreeDispatch => {
+                    if index >= self.config.max_visible_ops.saturating_mul(4) {
+                        return vec![DiagKind::LivelockSuspect];
+                    }
+                    let h = state_hash(&kernel);
+                    if hashes.contains(&h) {
+                        return Vec::new(); // spin cycle under defaults: benign
+                    }
+                    hashes.push(h);
+                    match schedule.decision_at(index) {
+                        Some(Decision::Preempt(u)) => {
+                            if kernel.preempt_current() {
+                                kernel.schedule_next(u);
+                            }
+                        }
+                        Some(Decision::Dispatch(u)) => {
+                            kernel.schedule_next(u);
+                        }
+                        Some(Decision::Continue) | None => {}
+                    }
+                    index += 1;
+                    match apply_step(&mut kernel, &mut det) {
+                        StepOutcome::Ran { .. } | StepOutcome::Idled => {}
+                        StepOutcome::Completed => {
+                            return self.terminal_kinds(Term::Completed, &kernel)
+                        }
+                        StepOutcome::Halted { .. } => {
+                            return self.terminal_kinds(Term::Halted, &kernel)
+                        }
+                        StepOutcome::Deadlock { blocked } => {
+                            return self.terminal_kinds(Term::Deadlock(blocked), &kernel)
+                        }
+                        StepOutcome::Fault { .. } => {
+                            return self.terminal_kinds(Term::Fault(String::new()), &kernel)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The violation kinds a terminal state exhibits.
+    fn terminal_kinds(&self, term: Term, kernel: &Kernel) -> Vec<DiagKind> {
+        match term {
+            Term::Completed => {
+                let mut kinds = Vec::new();
+                if self.target.mutex_checked() && self.violations_word(kernel) > 0 {
+                    kinds.push(DiagKind::MutexViolation);
+                }
+                if kernel.read_word(self.counter_addr).unwrap_or(0) != self.expected_count {
+                    kinds.push(DiagKind::LostUpdate);
+                }
+                kinds
+            }
+            Term::Deadlock(_) => vec![DiagKind::DeadlockFound],
+            Term::Halted | Term::Fault(_) => vec![DiagKind::GuestFault],
+            Term::Stalled => vec![DiagKind::LivelockSuspect],
+        }
+    }
+
+    pub(crate) fn into_report(self) -> TargetReport {
+        TargetReport {
+            target: self.target,
+            schedules: self.schedules,
+            pruned: self.pruned,
+            cycles: self.cycles,
+            livelock_suspects: self.livelock_suspects,
+            hit_schedule_cap: self.hit_cap,
+            violations: self.violations,
+            races: self.races,
+        }
+    }
+}
+
+/// Exhaustively checks one target under `config`.
+pub fn check_target(target: ModelTarget, config: &CheckConfig) -> TargetReport {
+    let mut explorer = Explorer::new(target, config);
+    explorer.run();
+    explorer.into_report()
+}

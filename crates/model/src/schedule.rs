@@ -1,0 +1,130 @@
+//! Replayable schedules: a counterexample is a sparse list of scheduling
+//! decisions, indexed by decision point.
+//!
+//! The explorer numbers decision points consecutively: every boundary
+//! (a thread about to execute a visible operation) and every free
+//! dispatch (no thread running, several ready) is one decision point. A
+//! [`Schedule`] records only the points where the decision deviates from
+//! the default — continue the current thread, or dispatch the front of
+//! the ready queue — so a minimized counterexample reads as exactly the
+//! preemptions that matter: "at decision point 17, preempt in favor of
+//! t2".
+
+use ras_kernel::Decision;
+
+/// A sparse schedule: `(decision point index, decision)`, ascending.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    /// The non-default decisions, in decision-point order.
+    pub decisions: Vec<(u64, Decision)>,
+}
+
+impl Schedule {
+    /// The decision to apply at decision point `index` (`None` = take the
+    /// default).
+    pub fn decision_at(&self, index: u64) -> Option<Decision> {
+        self.decisions
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, d)| *d)
+    }
+
+    /// Number of recorded (non-default) decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the schedule is entirely default.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// A copy with the `i`-th recorded decision removed (for greedy
+    /// minimization).
+    pub fn without(&self, i: usize) -> Schedule {
+        let mut decisions = self.decisions.clone();
+        decisions.remove(i);
+        Schedule { decisions }
+    }
+
+    /// Human-readable one-line-per-decision rendering.
+    pub fn render(&self) -> String {
+        if self.decisions.is_empty() {
+            return "  (default schedule: run to completion, no preemptions)".to_string();
+        }
+        let mut out = String::new();
+        for (idx, decision) in &self.decisions {
+            let line = match decision {
+                Decision::Continue => format!("  @{idx}: continue"),
+                Decision::Preempt(t) => format!("  @{idx}: preempt current thread, run {t}"),
+                Decision::Dispatch(t) => format!("  @{idx}: dispatch {t}"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.pop();
+        out
+    }
+}
+
+/// Greedily minimizes `schedule` under `still_fails`: repeatedly drops
+/// decisions whose removal preserves the violation, until a fixed point.
+/// The predicate is called with candidate schedules and must return
+/// whether the violation still reproduces.
+pub fn minimize(schedule: Schedule, mut still_fails: impl FnMut(&Schedule) -> bool) -> Schedule {
+    let mut current = schedule;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < current.len() {
+            let candidate = current.without(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_kernel::ThreadId;
+
+    #[test]
+    fn decision_lookup_and_render() {
+        let s = Schedule {
+            decisions: vec![
+                (3, Decision::Preempt(ThreadId(2))),
+                (9, Decision::Dispatch(ThreadId(1))),
+            ],
+        };
+        assert_eq!(s.decision_at(3), Some(Decision::Preempt(ThreadId(2))));
+        assert_eq!(s.decision_at(4), None);
+        let text = s.render();
+        assert!(text.contains("@3: preempt"));
+        assert!(text.contains("@9: dispatch t1"));
+    }
+
+    #[test]
+    fn minimize_drops_irrelevant_decisions() {
+        // The "violation" only needs the decision at point 5.
+        let s = Schedule {
+            decisions: vec![
+                (1, Decision::Preempt(ThreadId(1))),
+                (5, Decision::Preempt(ThreadId(2))),
+                (8, Decision::Dispatch(ThreadId(1))),
+            ],
+        };
+        let minimized = minimize(s, |c| c.decision_at(5).is_some());
+        assert_eq!(minimized.len(), 1);
+        assert_eq!(
+            minimized.decision_at(5),
+            Some(Decision::Preempt(ThreadId(2)))
+        );
+    }
+}
