@@ -2,10 +2,42 @@
 //! EXPERIMENTS.md-ready form.
 //!
 //! Run with: `cargo run --release -p ras-bench --bin tables`
+//!
+//! `--verify` checks the paper's claims and exits nonzero on failure;
+//! `--bench-json` measures the harness itself (host wall time per table,
+//! interpreter throughput fast vs instrumented, explorer schedule rate,
+//! end-to-end verify time) and appends the next `BENCH_<n>.json` to the
+//! benchmark trajectory, exiting nonzero if the fast paths drifted from
+//! the instrumented reference in any simulated result.
 
 fn main() {
     let figures = std::env::args().any(|a| a == "--figures");
     let verify = std::env::args().any(|a| a == "--verify");
+    let bench_json = std::env::args().any(|a| a == "--bench-json");
+    if bench_json {
+        match ras_bench::trajectory::measure() {
+            Ok(point) => {
+                let dir = std::env::current_dir().expect("cwd");
+                let index = ras_bench::trajectory::next_index(&dir);
+                let path = dir.join(format!("BENCH_{index}.json"));
+                let json = point.to_json(index);
+                std::fs::write(&path, &json).expect("write trajectory point");
+                print!("{json}");
+                eprintln!(
+                    "wrote {} (verify {:.0} ms, {:.2}x vs baseline; {:.1}M simulated instructions/s fast)",
+                    path.display(),
+                    point.verify_wall_ms,
+                    point.verify_speedup(),
+                    point.fast_ips() / 1e6,
+                );
+                std::process::exit(0);
+            }
+            Err(drift) => {
+                eprintln!("benchmark drift: {drift}");
+                std::process::exit(1);
+            }
+        }
+    }
     if verify {
         let v = ras_core::experiments::verify_reproduction(
             &ras_core::experiments::VerifyScale::default(),

@@ -9,6 +9,8 @@
 
 use criterion::Criterion;
 
+pub mod trajectory;
+
 /// A Criterion instance tuned for simulator-sized benchmarks: each
 /// iteration is a whole simulation run, so a handful of samples suffices.
 pub fn criterion() -> Criterion {

@@ -1,0 +1,289 @@
+//! The persisted benchmark trajectory: one `BENCH_<n>.json` per
+//! measurement pass, recording the harness's own (host) performance
+//! alongside the simulated results it produced — so the repository
+//! carries a history of how fast the reproduction runs, not just what
+//! it reproduces.
+//!
+//! A pass measures three layers and asserts, for each, that the fast
+//! path changed *nothing* about the simulation:
+//!
+//! * **interpreter** — one fixed workload executed twice, on the fast
+//!   loop and on the forced-instrumented loop; simulated cycles and
+//!   retired-instruction counts must be identical, and both host wall
+//!   times (and derived simulated-MIPS rates) are recorded;
+//! * **tables** — host wall time of each of Tables 1–4 at bench scale;
+//! * **explorer** — a full model-check matrix, recording schedules
+//!   explored per second of host time;
+//! * **verification** — the end-to-end `--verify` pass, whose 17 claims
+//!   must all hold, compared against the recorded pre-optimization
+//!   baseline wall time.
+//!
+//! Any drift — a claim failing, or the fast and instrumented loops
+//! disagreeing on a single cycle or instruction — is an [`Err`], which
+//! the `tables --bench-json` entry point turns into a nonzero exit.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ras_core::experiments::{table1, table2, table3, table4, verify_reproduction, VerifyScale};
+use ras_core::{run_guest, RunOptions};
+use ras_guest::workloads::{counter_loop, CounterBody, CounterSpec};
+use ras_guest::Mechanism;
+use ras_machine::CpuProfile;
+
+/// Wall time of the `--verify` pass before the predecoded interpreter
+/// and the move-on-last-branch explorer landed, measured on the same
+/// class of host the trajectory runs on (milliseconds). Kept fixed so
+/// every later `BENCH_<n>.json` reports its speedup against the same
+/// reference point.
+pub const BASELINE_VERIFY_WALL_MS: f64 = 970.0;
+
+/// One measured trajectory point, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct TrajectoryPoint {
+    /// Host wall time per table at bench scale, milliseconds.
+    pub table_wall_ms: [f64; 4],
+    /// Simulated cycles of the interpreter workload (identical on both
+    /// loop variants by assertion).
+    pub simulated_cycles: u64,
+    /// Instructions retired by the interpreter workload.
+    pub instructions_retired: u64,
+    /// Host wall time of the workload on the fast loop, milliseconds.
+    pub fast_wall_ms: f64,
+    /// Host wall time on the forced-instrumented loop, milliseconds.
+    pub instrumented_wall_ms: f64,
+    /// Schedules the model checker explored.
+    pub explorer_schedules: u64,
+    /// Host wall time of the full model-check matrix, milliseconds.
+    pub explorer_wall_ms: f64,
+    /// Host wall time of the full verification pass, milliseconds.
+    pub verify_wall_ms: f64,
+    /// Number of claims the verification checked.
+    pub verify_claims: usize,
+}
+
+impl TrajectoryPoint {
+    /// Simulated instructions per second of host time on the fast loop.
+    pub fn fast_ips(&self) -> f64 {
+        rate(self.instructions_retired, self.fast_wall_ms)
+    }
+
+    /// Simulated instructions per second on the instrumented loop.
+    pub fn instrumented_ips(&self) -> f64 {
+        rate(self.instructions_retired, self.instrumented_wall_ms)
+    }
+
+    /// Explorer schedules per second of host time.
+    pub fn schedules_per_second(&self) -> f64 {
+        rate(self.explorer_schedules, self.explorer_wall_ms)
+    }
+
+    /// Verify-pass speedup against [`BASELINE_VERIFY_WALL_MS`].
+    pub fn verify_speedup(&self) -> f64 {
+        BASELINE_VERIFY_WALL_MS / self.verify_wall_ms.max(1e-9)
+    }
+
+    /// Serializes the point as the `BENCH_<n>.json` document.
+    pub fn to_json(&self, index: u32) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"ras-bench-trajectory-v1\",");
+        let _ = writeln!(s, "  \"index\": {index},");
+        let _ = writeln!(s, "  \"tables\": {{");
+        let _ = writeln!(s, "    \"table1_wall_ms\": {:.3},", self.table_wall_ms[0]);
+        let _ = writeln!(s, "    \"table2_wall_ms\": {:.3},", self.table_wall_ms[1]);
+        let _ = writeln!(s, "    \"table3_wall_ms\": {:.3},", self.table_wall_ms[2]);
+        let _ = writeln!(s, "    \"table4_wall_ms\": {:.3}", self.table_wall_ms[3]);
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"interpreter\": {{");
+        let _ = writeln!(s, "    \"simulated_cycles\": {},", self.simulated_cycles);
+        let _ = writeln!(
+            s,
+            "    \"instructions_retired\": {},",
+            self.instructions_retired
+        );
+        let _ = writeln!(s, "    \"fast_wall_ms\": {:.3},", self.fast_wall_ms);
+        let _ = writeln!(
+            s,
+            "    \"instrumented_wall_ms\": {:.3},",
+            self.instrumented_wall_ms
+        );
+        let _ = writeln!(
+            s,
+            "    \"fast_instructions_per_second\": {:.0},",
+            self.fast_ips()
+        );
+        let _ = writeln!(
+            s,
+            "    \"instrumented_instructions_per_second\": {:.0}",
+            self.instrumented_ips()
+        );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"explorer\": {{");
+        let _ = writeln!(s, "    \"schedules\": {},", self.explorer_schedules);
+        let _ = writeln!(s, "    \"wall_ms\": {:.3},", self.explorer_wall_ms);
+        let _ = writeln!(
+            s,
+            "    \"schedules_per_second\": {:.0}",
+            self.schedules_per_second()
+        );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"verify\": {{");
+        let _ = writeln!(s, "    \"claims\": {},", self.verify_claims);
+        let _ = writeln!(s, "    \"wall_ms\": {:.3},", self.verify_wall_ms);
+        let _ = writeln!(s, "    \"baseline_wall_ms\": {BASELINE_VERIFY_WALL_MS:.1},");
+        let _ = writeln!(
+            s,
+            "    \"speedup_vs_baseline\": {:.2}",
+            self.verify_speedup()
+        );
+        let _ = writeln!(s, "  }}");
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+fn rate(count: u64, wall_ms: f64) -> f64 {
+    count as f64 / (wall_ms.max(1e-9) / 1_000.0)
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1_000.0
+}
+
+/// Runs one full measurement pass at bench scale.
+///
+/// # Errors
+///
+/// Returns a description of the drift if the fast and instrumented
+/// loops disagree on any simulated result, or any verification claim
+/// fails — either means the fast path is no longer semantics-preserving
+/// and the trajectory point must not be recorded.
+pub fn measure() -> Result<TrajectoryPoint, String> {
+    // Interpreter: a single-worker counter loop, long enough to time.
+    let spec = CounterSpec {
+        iterations: 200_000,
+        workers: 1,
+        body: CounterBody::LockAndCounter,
+    };
+    let built = counter_loop(Mechanism::RasInline, &spec);
+    let fast_options = RunOptions::new(CpuProfile::r3000());
+    let mut instrumented_options = RunOptions::new(CpuProfile::r3000());
+    instrumented_options.collect_mix = true;
+
+    let t = Instant::now();
+    let fast = run_guest(&built, &fast_options);
+    let fast_wall_ms = ms(t);
+    let t = Instant::now();
+    let slow = run_guest(&built, &instrumented_options);
+    let instrumented_wall_ms = ms(t);
+    if fast.cycles != slow.cycles || fast.instructions != slow.instructions {
+        return Err(format!(
+            "fast and instrumented loops drifted: cycles {} vs {}, instructions {} vs {}",
+            fast.cycles, slow.cycles, fast.instructions, slow.instructions
+        ));
+    }
+
+    // Tables at bench scale.
+    let t = Instant::now();
+    let _ = table1(crate::scales::table1());
+    let t1 = ms(t);
+    let t = Instant::now();
+    let _ = table2(&crate::scales::table2());
+    let t2 = ms(t);
+    let t = Instant::now();
+    let _ = table3(&crate::scales::table3());
+    let t3 = ms(t);
+    let t = Instant::now();
+    let _ = table4(crate::scales::table4());
+    let t4 = ms(t);
+
+    // Explorer.
+    let t = Instant::now();
+    let mc = ras_model::model_check(&ras_model::CheckConfig::default());
+    let explorer_wall_ms = ms(t);
+    if !mc.ok() {
+        return Err("model-check matrix no longer verifies".to_owned());
+    }
+
+    // End-to-end verification.
+    let t = Instant::now();
+    let verification = verify_reproduction(&VerifyScale::default());
+    let verify_wall_ms = ms(t);
+    if !verification.all_hold() {
+        let failed: Vec<String> = verification
+            .failures()
+            .iter()
+            .map(|c| c.statement.clone())
+            .collect();
+        return Err(format!(
+            "verification drifted; failing claims: {}",
+            failed.join("; ")
+        ));
+    }
+
+    Ok(TrajectoryPoint {
+        table_wall_ms: [t1, t2, t3, t4],
+        simulated_cycles: fast.cycles,
+        instructions_retired: fast.instructions,
+        fast_wall_ms,
+        instrumented_wall_ms,
+        explorer_schedules: mc.total_schedules(),
+        explorer_wall_ms,
+        verify_wall_ms,
+        verify_claims: verification.claims.len(),
+    })
+}
+
+/// The next free `BENCH_<n>.json` index in `dir`.
+pub fn next_index(dir: &std::path::Path) -> u32 {
+    let mut n = 0;
+    while dir.join(format!("BENCH_{n}.json")).exists() {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_document_carries_every_section() {
+        let point = TrajectoryPoint {
+            table_wall_ms: [1.0, 2.0, 3.0, 4.0],
+            simulated_cycles: 1_000,
+            instructions_retired: 500,
+            fast_wall_ms: 10.0,
+            instrumented_wall_ms: 20.0,
+            explorer_schedules: 100,
+            explorer_wall_ms: 50.0,
+            verify_wall_ms: 485.0,
+            verify_claims: 17,
+        };
+        let json = point.to_json(3);
+        for needle in [
+            "\"index\": 3",
+            "\"table4_wall_ms\": 4.000",
+            "\"simulated_cycles\": 1000",
+            "\"fast_instructions_per_second\": 50000",
+            "\"schedules_per_second\": 2000",
+            "\"speedup_vs_baseline\": 2.00",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        assert!((point.verify_speedup() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_index_skips_existing_files() {
+        let dir = std::env::temp_dir().join("ras-bench-trajectory-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_index(&dir), 0);
+        std::fs::write(dir.join("BENCH_0.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_1.json"), "{}").unwrap();
+        assert_eq!(next_index(&dir), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -33,33 +33,32 @@ impl QuantumSweepRow {
 }
 
 /// Sweeps the preemption quantum for a mechanism on the two-worker
-/// counter microbenchmark.
+/// counter microbenchmark. Each quantum is an independent deterministic
+/// cell, so the sweep points fan out across a worker pool and come back
+/// in input order.
 pub fn quantum_sweep(
     mechanism: Mechanism,
     quanta: &[u64],
     iterations: u32,
 ) -> Vec<QuantumSweepRow> {
-    quanta
-        .iter()
-        .map(|&quantum| {
-            let spec = CounterSpec {
-                iterations,
-                workers: 2,
-                ..Default::default()
-            };
-            let mut options = RunOptions::new(CpuProfile::r3000());
-            options.quantum = quantum;
-            options.jitter = 5;
-            options.seed = 11;
-            let report = run_guest(&counter_loop(mechanism, &spec), &options);
-            QuantumSweepRow {
-                quantum,
-                preemptions: report.stats.preemptions,
-                restarts: report.stats.ras_restarts,
-                us_per_op: report.micros / f64::from(iterations * 2),
-            }
-        })
-        .collect()
+    ras_par::parallel_map(quanta, |&quantum| {
+        let spec = CounterSpec {
+            iterations,
+            workers: 2,
+            ..Default::default()
+        };
+        let mut options = RunOptions::new(CpuProfile::r3000());
+        options.quantum = quantum;
+        options.jitter = 5;
+        options.seed = 11;
+        let report = run_guest(&counter_loop(mechanism, &spec), &options);
+        QuantumSweepRow {
+            quantum,
+            preemptions: report.stats.preemptions,
+            restarts: report.stats.ras_restarts,
+            us_per_op: report.micros / f64::from(iterations * 2),
+        }
+    })
 }
 
 /// Renders the quantum sweep.
@@ -205,7 +204,8 @@ pub fn instruction_mix(mechanisms: &[Mechanism], iterations: u32) -> Vec<MixRow>
                 workers: 1,
                 ..Default::default()
             };
-            let options = RunOptions::new(CpuProfile::r3000());
+            let mut options = RunOptions::new(CpuProfile::r3000());
+            options.collect_mix = true;
             let built = counter_loop(mechanism, &spec);
             let (_, kernel) = run_guest_keeping_kernel(&built, &options);
             let mix = kernel.machine().instruction_mix();

@@ -49,25 +49,24 @@ pub const PAPER_TABLE1: [(Mechanism, f64); 5] = [
     (Mechanism::LamportBundled, 1.16),
 ];
 
-/// Runs the Table 1 experiment on the R3000 profile.
+/// Runs the Table 1 experiment on the R3000 profile. Each mechanism is
+/// an independent deterministic cell, so the rows fan out across a
+/// worker pool and come back in paper order.
 pub fn table1(scale: Table1Scale) -> Vec<Table1Row> {
     let options = RunOptions::new(CpuProfile::r3000());
-    PAPER_TABLE1
-        .iter()
-        .map(|&(mechanism, paper_us)| {
-            let measured_us = measure_per_op(
-                mechanism,
-                scale.iterations,
-                CounterBody::LockAndCounter,
-                &options,
-            );
-            Table1Row {
-                mechanism,
-                measured_us,
-                paper_us,
-            }
-        })
-        .collect()
+    ras_par::parallel_map(&PAPER_TABLE1, |&(mechanism, paper_us)| {
+        let measured_us = measure_per_op(
+            mechanism,
+            scale.iterations,
+            CounterBody::LockAndCounter,
+            &options,
+        );
+        Table1Row {
+            mechanism,
+            measured_us,
+            paper_us,
+        }
+    })
 }
 
 /// Measures µs per operation for one mechanism and body, subtracting the
@@ -175,5 +174,30 @@ mod tests {
         for row in &rows {
             assert!(text.contains(row.mechanism.label()));
         }
+    }
+
+    #[test]
+    fn fan_out_matches_a_serial_recomputation_byte_for_byte() {
+        // The production path may run the cells on a worker pool; an
+        // explicitly serial recomputation of the same cells must produce
+        // bit-equal rows and byte-equal rendered output.
+        let scale = Table1Scale { iterations: 2_000 };
+        let rows = table1(scale);
+        let options = RunOptions::new(CpuProfile::r3000());
+        let serial: Vec<Table1Row> = PAPER_TABLE1
+            .iter()
+            .map(|&(mechanism, paper_us)| Table1Row {
+                mechanism,
+                measured_us: measure_per_op(
+                    mechanism,
+                    scale.iterations,
+                    CounterBody::LockAndCounter,
+                    &options,
+                ),
+                paper_us,
+            })
+            .collect();
+        assert_eq!(rows, serial);
+        assert_eq!(render_table1(&rows), render_table1(&serial));
     }
 }

@@ -121,17 +121,16 @@ fn run_bench(bench: Table2Bench, mechanism: Mechanism, scale: &Table2Scale) -> f
     }
 }
 
-/// Runs the Table 2 experiment.
+/// Runs the Table 2 experiment. The four benchmarks are independent
+/// cells, so they fan out across a worker pool and come back in the
+/// paper's row order.
 pub fn table2(scale: &Table2Scale) -> Vec<Table2Row> {
-    PAPER_TABLE2
-        .iter()
-        .map(|&(bench, paper_emul, paper_ras)| Table2Row {
-            bench,
-            emulation_us: run_bench(bench, Mechanism::KernelEmulation, scale),
-            ras_us: run_bench(bench, Mechanism::RasRegistered, scale),
-            paper_us: (paper_emul, paper_ras),
-        })
-        .collect()
+    ras_par::parallel_map(&PAPER_TABLE2, |&(bench, paper_emul, paper_ras)| Table2Row {
+        bench,
+        emulation_us: run_bench(bench, Mechanism::KernelEmulation, scale),
+        ras_us: run_bench(bench, Mechanism::RasRegistered, scale),
+        paper_us: (paper_emul, paper_ras),
+    })
 }
 
 /// Renders the rows in the paper's layout.

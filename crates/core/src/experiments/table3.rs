@@ -157,24 +157,23 @@ fn run_app(app: Table3App, mechanism: Mechanism, scale: &Table3Scale) -> RunRepo
 }
 
 /// Runs the Table 3 experiment: each application under kernel emulation
-/// and under registered restartable atomic sequences.
+/// and under registered restartable atomic sequences. The five
+/// applications are independent cells, so they fan out across a worker
+/// pool and come back in the paper's row order.
 pub fn table3(scale: &Table3Scale) -> Vec<Table3Row> {
-    PAPER_TABLE3
-        .iter()
-        .map(|&(app, paper_emul, paper_ras)| {
-            let emul = run_app(app, Mechanism::KernelEmulation, scale);
-            let ras = run_app(app, Mechanism::RasRegistered, scale);
-            Table3Row {
-                app,
-                elapsed_emul_s: emul.seconds(),
-                elapsed_ras_s: ras.seconds(),
-                emulation_traps: emul.stats.emulation_traps,
-                restarts: ras.stats.ras_restarts,
-                suspensions: (emul.stats.suspensions, ras.stats.suspensions),
-                paper_elapsed_s: (paper_emul, paper_ras),
-            }
-        })
-        .collect()
+    ras_par::parallel_map(&PAPER_TABLE3, |&(app, paper_emul, paper_ras)| {
+        let emul = run_app(app, Mechanism::KernelEmulation, scale);
+        let ras = run_app(app, Mechanism::RasRegistered, scale);
+        Table3Row {
+            app,
+            elapsed_emul_s: emul.seconds(),
+            elapsed_ras_s: ras.seconds(),
+            emulation_traps: emul.stats.emulation_traps,
+            restarts: ras.stats.ras_restarts,
+            suspensions: (emul.stats.suspensions, ras.stats.suspensions),
+            paper_elapsed_s: (paper_emul, paper_ras),
+        }
+    })
 }
 
 /// Renders the rows in the paper's layout.

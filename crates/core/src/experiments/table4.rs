@@ -60,31 +60,32 @@ pub const PAPER_TABLE4: [(&str, [f64; 4]); 8] = [
 /// Runs the Table 4 experiment: the acquire+release microbenchmark (no
 /// counter body) on every architecture profile under each mechanism.
 pub fn table4(scale: Table4Scale) -> Vec<Table4Row> {
-    CpuProfile::table4_lineup()
-        .into_iter()
-        .map(|profile| {
-            let options = RunOptions::new(profile.clone());
-            let measure = |mechanism: Mechanism| {
-                measure_per_op(mechanism, scale.iterations, CounterBody::LockOnly, &options)
-            };
-            let interlocked_us = measure(Mechanism::Interlocked);
-            let registered_us = measure(Mechanism::RasRegistered);
-            let designated_us = measure(Mechanism::RasInline);
-            let paper_us = PAPER_TABLE4
-                .iter()
-                .find(|(name, _)| *name == profile.name())
-                .map(|(_, v)| *v)
-                .expect("profile present in paper table");
-            Table4Row {
-                processor: profile.name().to_owned(),
-                interlocked_us,
-                registered_us,
-                linkage_us: registered_us - designated_us,
-                designated_us,
-                paper_us,
-            }
-        })
-        .collect()
+    // One cell per architecture: each boots its own simulations, so the
+    // eight processors fan out across a worker pool and come back in
+    // lineup order.
+    let lineup = CpuProfile::table4_lineup();
+    ras_par::parallel_map(&lineup, |profile| {
+        let options = RunOptions::new(profile.clone());
+        let measure = |mechanism: Mechanism| {
+            measure_per_op(mechanism, scale.iterations, CounterBody::LockOnly, &options)
+        };
+        let interlocked_us = measure(Mechanism::Interlocked);
+        let registered_us = measure(Mechanism::RasRegistered);
+        let designated_us = measure(Mechanism::RasInline);
+        let paper_us = PAPER_TABLE4
+            .iter()
+            .find(|(name, _)| *name == profile.name())
+            .map(|(_, v)| *v)
+            .expect("profile present in paper table");
+        Table4Row {
+            processor: profile.name().to_owned(),
+            interlocked_us,
+            registered_us,
+            linkage_us: registered_us - designated_us,
+            designated_us,
+            paper_us,
+        }
+    })
 }
 
 /// Renders the rows in the paper's layout, measured beside paper values.

@@ -27,6 +27,9 @@ pub struct RunOptions {
     /// Cycle budget; [`RunReport::outcome`] is
     /// [`Outcome::OutOfFuel`] if exceeded.
     pub fuel: u64,
+    /// Collect the per-opcode instruction mix (forces the machine onto its
+    /// instrumented loop; see [`ras_machine::Machine::enable_mix`]).
+    pub collect_mix: bool,
 }
 
 impl RunOptions {
@@ -43,6 +46,7 @@ impl RunOptions {
             max_threads: 64,
             mem_bytes: 8 * 1024 * 1024,
             fuel: u64::MAX,
+            collect_mix: false,
         }
     }
 }
@@ -62,6 +66,8 @@ pub struct RunReport {
     pub cycles: u64,
     /// Elapsed simulated time in microseconds.
     pub micros: f64,
+    /// Guest instructions retired.
+    pub instructions: u64,
     /// Kernel statistics (Table 3's columns live here).
     pub stats: KernelStats,
 }
@@ -116,6 +122,7 @@ pub fn run_guest_keeping_kernel(built: &BuiltGuest, options: &RunOptions) -> (Ru
     config.stack_bytes = options.stack_bytes;
     config.max_threads = options.max_threads;
     config.mem_bytes = options.mem_bytes;
+    config.collect_mix = options.collect_mix;
     let mut kernel = built.boot(config).expect("guest boots");
     let outcome = kernel.run(options.fuel);
     assert!(
@@ -127,6 +134,7 @@ pub fn run_guest_keeping_kernel(built: &BuiltGuest, options: &RunOptions) -> (Ru
         outcome,
         cycles: kernel.machine().clock(),
         micros: kernel.machine().elapsed_micros(),
+        instructions: kernel.machine().instructions_retired(),
         stats: *kernel.stats(),
     };
     (report, kernel)

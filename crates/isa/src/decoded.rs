@@ -1,0 +1,146 @@
+use crate::{CodeAddr, Inst, Program};
+
+/// A program image flattened for execution: a dense array of predecoded
+/// instructions indexed directly by word offset, with the opcode class of
+/// each instruction precomputed.
+///
+/// [`crate::Program`] is the *linkable* image — it carries symbols,
+/// declared sequence ranges, and supports [`crate::Program::patch`]. The
+/// interpreter wants none of that on its fetch path: it wants one bounds
+/// check and one indexed load per instruction. `DecodedProgram` is built
+/// once (per boot, or after the last patch) and is immutable from then
+/// on, so executors can hold it for the lifetime of a run and kernels can
+/// share one decode between cloned snapshots.
+///
+/// # Example
+///
+/// ```
+/// use ras_isa::{Asm, DecodedProgram, Reg};
+///
+/// let mut asm = Asm::new();
+/// asm.li(Reg::T0, 1);
+/// asm.halt();
+/// let program = asm.finish()?;
+/// let decoded = DecodedProgram::new(&program);
+/// assert_eq!(decoded.len(), 2);
+/// assert_eq!(decoded.fetch(0), Some(program.fetch(0).unwrap()));
+/// assert_eq!(decoded.fetch(2), None);
+/// # Ok::<(), ras_isa::AsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedProgram {
+    code: Box<[Inst]>,
+    /// `Opcode::index()` of each instruction, precomputed so instrumented
+    /// executors can maintain an instruction-mix histogram with a single
+    /// indexed add instead of re-classifying the instruction per retire.
+    opcode_index: Box<[u8]>,
+    entry: CodeAddr,
+}
+
+impl DecodedProgram {
+    /// Flattens `program` into its executable form.
+    pub fn new(program: &Program) -> DecodedProgram {
+        let code: Box<[Inst]> = program.code().into();
+        let opcode_index = code
+            .iter()
+            .map(|inst| inst.opcode().index() as u8)
+            .collect();
+        DecodedProgram {
+            code,
+            opcode_index,
+            entry: program.entry(),
+        }
+    }
+
+    /// Number of instructions in the image.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the image contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The entry-point address carried over from the source program.
+    pub fn entry(&self) -> CodeAddr {
+        self.entry
+    }
+
+    /// Fetches the instruction at `addr`, or `None` past the end.
+    #[inline(always)]
+    pub fn fetch(&self, addr: CodeAddr) -> Option<Inst> {
+        self.code.get(addr as usize).copied()
+    }
+
+    /// The precomputed [`Opcode::index`] of the instruction at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is past the end of the image.
+    #[inline(always)]
+    pub fn opcode_index(&self, addr: CodeAddr) -> usize {
+        usize::from(self.opcode_index[addr as usize])
+    }
+
+    /// The whole predecoded instruction stream.
+    pub fn code(&self) -> &[Inst] {
+        &self.code
+    }
+}
+
+impl From<&Program> for DecodedProgram {
+    fn from(program: &Program) -> DecodedProgram {
+        DecodedProgram::new(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, Opcode, Reg};
+
+    fn sample() -> Program {
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, 42);
+        asm.lw(Reg::T1, Reg::ZERO, 0);
+        asm.halt();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn decode_preserves_every_instruction_and_the_entry() {
+        let p = sample();
+        let d = DecodedProgram::new(&p);
+        assert_eq!(d.len(), p.len());
+        assert!(!d.is_empty());
+        assert_eq!(d.entry(), p.entry());
+        for addr in 0..p.len() as CodeAddr {
+            assert_eq!(d.fetch(addr), p.fetch(addr));
+        }
+        assert_eq!(d.fetch(p.len() as CodeAddr), None);
+        assert_eq!(d.code(), p.code());
+    }
+
+    #[test]
+    fn opcode_indices_match_the_instructions() {
+        let p = sample();
+        let d = DecodedProgram::from(&p);
+        for (addr, inst) in p.code().iter().enumerate() {
+            assert_eq!(
+                d.opcode_index(addr as CodeAddr),
+                inst.opcode().index(),
+                "@{addr}"
+            );
+        }
+        assert_eq!(d.opcode_index(0), Opcode::Li.index());
+    }
+
+    #[test]
+    fn decode_of_empty_program_is_empty() {
+        let p = Asm::new().finish().unwrap();
+        let d = DecodedProgram::new(&p);
+        assert!(d.is_empty());
+        assert_eq!(d.fetch(0), None);
+    }
+}

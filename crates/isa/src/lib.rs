@@ -40,6 +40,7 @@
 
 pub mod abi;
 mod asm;
+mod decoded;
 mod encode;
 mod error;
 mod inst;
@@ -50,6 +51,7 @@ mod reg;
 mod seq;
 
 pub use asm::{Asm, Label};
+pub use decoded::DecodedProgram;
 pub use encode::{decode_inst, encode_inst, DecodeError};
 pub use error::AsmError;
 pub use inst::{AluOp, Cond, Inst, Opcode};

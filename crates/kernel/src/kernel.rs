@@ -1,7 +1,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
-use ras_isa::{abi, CodeAddr, DataAddr, DataImage, Program, Reg};
+use ras_isa::{abi, CodeAddr, DataAddr, DataImage, DecodedProgram, Program, Reg};
 use ras_machine::{CpuProfile, Exit, Fault, Machine, PagingConfig, RegFile};
 
 use crate::{
@@ -33,6 +34,11 @@ pub struct KernelConfig {
     pub stack_bytes: u32,
     /// Maximum number of threads (TCBs are never reclaimed).
     pub max_threads: usize,
+    /// Collect the per-opcode instruction mix. Off by default: the
+    /// histogram adds bookkeeping to the machine's hot loop, so only
+    /// experiments that read [`ras_machine::Machine::instruction_mix`]
+    /// should turn it on.
+    pub collect_mix: bool,
 }
 
 impl KernelConfig {
@@ -50,6 +56,7 @@ impl KernelConfig {
             paging: None,
             stack_bytes: abi::DEFAULT_STACK_BYTES,
             max_threads: 64,
+            collect_mix: false,
         }
     }
 }
@@ -176,7 +183,13 @@ impl std::error::Error for BootError {}
 #[derive(Debug, Clone)]
 pub struct Kernel {
     machine: Machine,
-    program: Program,
+    /// The linkable image (symbols, sequence ranges) — shared so cloning a
+    /// kernel snapshot (the model checker does this per decision point) is
+    /// a reference-count bump, not a code copy.
+    program: Arc<Program>,
+    /// The predecoded execution image the machine actually runs. Built
+    /// once at boot; `Program::patch` only happens pre-boot.
+    decoded: Arc<DecodedProgram>,
     threads: Vec<Tcb>,
     ready: VecDeque<ThreadId>,
     current: Option<ThreadId>,
@@ -220,6 +233,9 @@ impl Kernel {
             return Err(BootError::EmptyProgram);
         }
         let mut machine = Machine::new(config.profile, config.mem_bytes);
+        if config.collect_mix {
+            machine.enable_mix();
+        }
         let stack_region = config.stack_bytes * config.max_threads as u32;
         let have = config.mem_bytes.saturating_sub(stack_region);
         if data.len_bytes() > have {
@@ -239,9 +255,11 @@ impl Kernel {
             machine.mem_mut().enable_paging(paging);
         }
         let policy = PreemptionPolicy::new(config.quantum, config.jitter, config.seed);
+        let decoded = Arc::new(DecodedProgram::new(&program));
         let mut kernel = Kernel {
             machine,
-            program,
+            program: Arc::new(program),
+            decoded,
             threads: Vec::new(),
             ready: VecDeque::new(),
             current: None,
@@ -818,11 +836,11 @@ impl Kernel {
         let exit = {
             let Kernel {
                 machine,
-                program,
+                decoded,
                 threads,
                 ..
             } = self;
-            machine.step(program, &mut threads[tid.0 as usize].regs)
+            machine.step(decoded, &mut threads[tid.0 as usize].regs)
         };
         self.threads[tid.0 as usize].user_cycles += self.machine.clock() - before;
         match exit {
@@ -941,12 +959,12 @@ impl Kernel {
             let exit = {
                 let Kernel {
                     machine,
-                    program,
+                    decoded,
                     threads,
                     ..
                 } = self;
                 let before = machine.clock();
-                let exit = machine.run(program, &mut threads[tid.0 as usize].regs, deadline);
+                let exit = machine.run(decoded, &mut threads[tid.0 as usize].regs, deadline);
                 threads[tid.0 as usize].user_cycles += machine.clock() - before;
                 exit
             };

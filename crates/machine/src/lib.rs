@@ -1,9 +1,8 @@
 //! Cycle-counting CPU interpreter and per-architecture cost models for the
 //! uniprocessor simulator.
 //!
-//! [`Machine`] executes [`ras_isa::Program`]s one instruction at a time
-//! against a [`RegFile`] and a [`Memory`], charging cycles from a
-//! [`CpuProfile`]. The profiles are calibrated against the eight processor
+//! [`Machine`] executes predecoded [`ras_isa::DecodedProgram`]s against a
+//! [`RegFile`] and a [`Memory`], charging cycles from a [`CpuProfile`]. The profiles are calibrated against the eight processor
 //! architectures of Table 4 in *Fast Mutual Exclusion for Uniprocessors*
 //! (plus the MIPS R3000 the rest of the paper measures), so that executing
 //! the paper's actual instruction sequences reproduces the table's
@@ -17,14 +16,14 @@
 //! # Example
 //!
 //! ```
-//! use ras_isa::{Asm, Reg};
+//! use ras_isa::{Asm, DecodedProgram, Reg};
 //! use ras_machine::{CpuProfile, Exit, Machine, RegFile};
 //!
 //! let mut asm = Asm::new();
 //! asm.li(Reg::T0, 21);
 //! asm.add(Reg::V0, Reg::T0, Reg::T0);
 //! asm.halt();
-//! let program = asm.finish()?;
+//! let program = DecodedProgram::new(&asm.finish()?);
 //!
 //! let mut machine = Machine::new(CpuProfile::r3000(), 4096);
 //! let mut regs = RegFile::new(program.entry());

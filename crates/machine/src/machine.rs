@@ -1,6 +1,6 @@
-use ras_isa::{CodeAddr, DataAddr, Inst, Opcode, Program, Reg};
+use ras_isa::{CodeAddr, DataAddr, DecodedProgram, Inst, Opcode, Reg};
 
-use crate::{CpuProfile, MemError, Memory, RegFile};
+use crate::{CostModel, CpuProfile, MemError, Memory, RegFile};
 
 /// One entry of the execution trace ring buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,17 +101,31 @@ pub enum Fault {
 pub struct Machine {
     mem: Memory,
     profile: CpuProfile,
+    /// The profile's cost model, hoisted out of the profile at construction
+    /// so the execution loop reads plain fields instead of copying the
+    /// whole model per retired instruction.
+    cost: CostModel,
+    /// Upper bound on the cycles any single instruction can charge, used to
+    /// amortize the deadline check over straight-line runs.
+    max_inst_cycles: u64,
     clock: u64,
     /// i860-style restart bit: `Some(pc)` while an atomic sequence begun at
     /// `pc` is in flight.
     atomic_from: Option<CodeAddr>,
     atomic_deadline: u64,
-    /// Retired-instruction counts per opcode class.
-    mix: [u64; Opcode::COUNT],
+    /// Total retired instructions (cheap enough to keep always-on).
+    retired: u64,
+    /// Optional retired-instruction counts per opcode class (see
+    /// [`Machine::enable_mix`]).
+    mix: Option<Box<[u64; Opcode::COUNT]>>,
     /// Optional ring buffer of recently retired instructions.
     trace: Option<TraceRing>,
     /// Optional log of data-memory accesses (see [`Machine::enable_access_log`]).
     access_log: Option<Vec<MemAccess>>,
+    /// Forces [`Machine::run`] onto the instrumented loop even with no
+    /// instrumentation enabled — for differential benchmarking of the two
+    /// monomorphized loop variants.
+    force_instrumented: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -124,16 +138,38 @@ struct TraceRing {
 impl Machine {
     /// Creates a machine with `mem_bytes` of zeroed data memory.
     pub fn new(profile: CpuProfile, mem_bytes: u32) -> Machine {
+        let cost = *profile.cost();
         Machine {
             mem: Memory::new(mem_bytes),
             profile,
+            cost,
+            max_inst_cycles: Self::bound_inst_cycles(&cost),
             clock: 0,
             atomic_from: None,
             atomic_deadline: 0,
-            mix: [0; Opcode::COUNT],
+            retired: 0,
+            mix: None,
             trace: None,
             access_log: None,
+            force_instrumented: false,
         }
+    }
+
+    /// The most cycles any single instruction can charge under `cost`. The
+    /// amortized deadline check in [`Machine::run`] relies on this bound:
+    /// as long as `clock + bound <= deadline`, the next instruction cannot
+    /// overshoot the deadline, so no per-instruction check is needed.
+    fn bound_inst_cycles(cost: &CostModel) -> u64 {
+        let singles = [
+            cost.alu,
+            cost.load,
+            cost.store,
+            cost.branch,
+            cost.nop,
+            cost.interlocked,
+        ];
+        let max_single = singles.into_iter().max().unwrap_or(0);
+        u64::from(max_single.max(cost.jump + cost.call_extra)).max(1)
     }
 
     /// Starts logging every guest data-memory access (loads, stores, and
@@ -230,15 +266,49 @@ impl Machine {
         }
     }
 
-    /// Retired-instruction counts per opcode class — the instruction mix,
-    /// for profiling which operations a mechanism actually executes.
-    pub fn instruction_mix(&self) -> &[u64; Opcode::COUNT] {
-        &self.mix
+    /// Starts collecting per-opcode retired-instruction counts. Off by
+    /// default: the histogram puts an extra indexed add on the hot path,
+    /// so experiments that want the mix opt in.
+    pub fn enable_mix(&mut self) {
+        if self.mix.is_none() {
+            self.mix = Some(Box::new([0; Opcode::COUNT]));
+        }
     }
 
-    /// Total retired instructions.
+    /// Whether per-opcode mix collection is enabled.
+    pub fn mix_enabled(&self) -> bool {
+        self.mix.is_some()
+    }
+
+    /// Retired-instruction counts per opcode class — the instruction mix,
+    /// for profiling which operations a mechanism actually executes. All
+    /// zeros unless [`Machine::enable_mix`] was called before the run.
+    pub fn instruction_mix(&self) -> [u64; Opcode::COUNT] {
+        match &self.mix {
+            Some(mix) => **mix,
+            None => [0; Opcode::COUNT],
+        }
+    }
+
+    /// Total retired instructions (always counted, even on the fast loop).
     pub fn instructions_retired(&self) -> u64 {
-        self.mix.iter().sum()
+        self.retired
+    }
+
+    /// Forces [`Machine::run`] onto the instrumented loop variant even
+    /// with no instrumentation enabled. The two monomorphized loops must
+    /// retire identical streams; benchmarks flip this to prove it and to
+    /// measure the spread between them.
+    pub fn set_force_instrumented(&mut self, on: bool) {
+        self.force_instrumented = on;
+    }
+
+    /// Whether [`Machine::run`] will take the instrumented loop variant.
+    pub fn instrumented(&self) -> bool {
+        self.force_instrumented
+            || self.mix.is_some()
+            || self.trace.is_some()
+            || self.access_log.is_some()
     }
 
     /// The current cycle count.
@@ -290,43 +360,113 @@ impl Machine {
     /// While the i860 restart bit is set, the deadline is not honored —
     /// the hardware defers interrupts until the bit clears (next store or
     /// 32-cycle expiry), exactly as described in §7 of the paper.
-    pub fn run(&mut self, program: &Program, regs: &mut RegFile, deadline: u64) -> Exit {
+    ///
+    /// Dispatches to one of two monomorphized loop variants sharing a
+    /// single `execute_one` core: a fast loop with all bookkeeping
+    /// compiled out, taken whenever no instrumentation is enabled, and an
+    /// instrumented loop feeding the mix/trace/access-log collectors. Both
+    /// retire bit-identical architectural state.
+    pub fn run(&mut self, program: &DecodedProgram, regs: &mut RegFile, deadline: u64) -> Exit {
+        if self.instrumented() {
+            self.run_loop::<true>(program, regs, deadline)
+        } else {
+            self.run_loop::<false>(program, regs, deadline)
+        }
+    }
+
+    fn run_loop<const INSTRUMENTED: bool>(
+        &mut self,
+        program: &DecodedProgram,
+        regs: &mut RegFile,
+        deadline: u64,
+    ) -> Exit {
+        let cost = self.cost;
+        let bound = self.max_inst_cycles;
         loop {
             // 32-cycle expiry: the bus lock is dropped automatically.
             self.poll_atomic_expiry();
-            if self.clock >= deadline && self.atomic_from.is_none() {
-                return Exit::Budget;
-            }
-            if let Some(exit) = self.step(program, regs) {
-                return exit;
+            if self.atomic_from.is_none() {
+                // Straight-line batch: while even a worst-case charge lands
+                // at or before the deadline, no per-instruction budget
+                // check is needed. The restart bit stays clear for the
+                // whole batch unless an instruction sets it (which breaks
+                // out), so the expiry poll is a no-op here too.
+                while self.atomic_from.is_none() && self.clock.saturating_add(bound) <= deadline {
+                    if let Some(exit) = self.execute_one::<INSTRUMENTED>(program, regs, &cost) {
+                        return exit;
+                    }
+                }
+                if self.atomic_from.is_none() {
+                    // Careful tail near the deadline: the exact
+                    // per-instruction check of the unamortized loop, so
+                    // `Exit::Budget` fires at precisely the same boundary.
+                    if self.clock >= deadline {
+                        return Exit::Budget;
+                    }
+                    if let Some(exit) = self.execute_one::<INSTRUMENTED>(program, regs, &cost) {
+                        return exit;
+                    }
+                }
+            } else {
+                // Atomic window: interrupts are deferred until the bit
+                // clears, so the deadline is not consulted; expiry is
+                // polled at the top of the loop after every instruction.
+                if let Some(exit) = self.execute_one::<INSTRUMENTED>(program, regs, &cost) {
+                    return exit;
+                }
             }
         }
     }
 
     /// Executes exactly one instruction. Returns `None` when the
     /// instruction retired normally, or `Some` of `Exit::Syscall`,
-    /// `Exit::Halt`, or `Exit::Fault` on those events. Exposed for
-    /// fine-grained tests.
-    pub fn step(&mut self, program: &Program, regs: &mut RegFile) -> Option<Exit> {
+    /// `Exit::Halt`, or `Exit::Fault` on those events. Used by the model
+    /// checker's oracle mode and fine-grained tests; always takes the
+    /// instrumented core so single-stepped runs observe every enabled
+    /// collector.
+    pub fn step(&mut self, program: &DecodedProgram, regs: &mut RegFile) -> Option<Exit> {
+        let cost = self.cost;
+        self.execute_one::<true>(program, regs, &cost)
+    }
+
+    /// The single execution core shared by both [`Machine::run`] loop
+    /// variants and [`Machine::step`], so the fast path cannot drift from
+    /// the instrumented one. With `INSTRUMENTED` false the mix, trace, and
+    /// access-log bookkeeping compiles down to nothing; `cost` is the
+    /// caller-hoisted cost model.
+    #[inline(always)]
+    fn execute_one<const INSTRUMENTED: bool>(
+        &mut self,
+        program: &DecodedProgram,
+        regs: &mut RegFile,
+        cost: &CostModel,
+    ) -> Option<Exit> {
         let pc = regs.pc();
         let Some(inst) = program.fetch(pc) else {
             return Some(Exit::Fault(Fault::BadPc { pc }));
         };
-        self.mix[inst.opcode().index()] += 1;
-        if let Some(ring) = &mut self.trace {
-            let entry = TraceEntry {
-                clock: self.clock,
-                pc,
-                inst,
-            };
-            if ring.entries.len() < ring.depth {
-                ring.entries.push(entry);
-            } else {
-                ring.entries[ring.next] = entry;
+        self.retired += 1;
+        if INSTRUMENTED {
+            if let Some(mix) = &mut self.mix {
+                mix[program.opcode_index(pc)] += 1;
             }
-            ring.next = (ring.next + 1) % ring.depth;
+            if let Some(ring) = &mut self.trace {
+                let entry = TraceEntry {
+                    clock: self.clock,
+                    pc,
+                    inst,
+                };
+                if ring.entries.len() < ring.depth {
+                    ring.entries.push(entry);
+                } else {
+                    ring.entries[ring.next] = entry;
+                }
+                ring.next += 1;
+                if ring.next == ring.depth {
+                    ring.next = 0;
+                }
+            }
         }
-        let cost = *self.profile.cost();
         match inst {
             Inst::Li { rd, imm } => {
                 self.clock += u64::from(cost.alu);
@@ -350,7 +490,9 @@ impl Machine {
                 let addr = regs.get(base).wrapping_add(off as u32);
                 match self.mem.load(addr) {
                     Ok(v) => {
-                        self.log_access(pc, addr, AccessKind::Load, self.atomic_from.is_some());
+                        if INSTRUMENTED {
+                            self.log_access(pc, addr, AccessKind::Load, self.atomic_from.is_some());
+                        }
                         regs.set(rd, v);
                         regs.advance();
                     }
@@ -366,7 +508,9 @@ impl Machine {
                         // A store commits and releases an i860 atomic
                         // sequence.
                         self.atomic_from = None;
-                        self.log_access(pc, addr, AccessKind::Store, was_atomic);
+                        if INSTRUMENTED {
+                            self.log_access(pc, addr, AccessKind::Store, was_atomic);
+                        }
                         regs.advance();
                     }
                     Err(e) => return Some(Exit::Fault(Self::mem_fault(e, addr, pc))),
@@ -431,7 +575,9 @@ impl Machine {
                     return Some(Exit::Fault(Self::mem_fault(e, addr, pc)));
                 }
                 self.atomic_from = None;
-                self.log_access(pc, addr, AccessKind::Rmw, true);
+                if INSTRUMENTED {
+                    self.log_access(pc, addr, AccessKind::Rmw, true);
+                }
                 regs.set(rd, old);
                 regs.advance();
             }
@@ -471,10 +617,14 @@ mod tests {
     use super::*;
     use ras_isa::Asm;
 
-    fn run_program(build: impl FnOnce(&mut Asm)) -> (Machine, RegFile, Exit) {
+    fn assemble(build: impl FnOnce(&mut Asm)) -> DecodedProgram {
         let mut asm = Asm::new();
         build(&mut asm);
-        let program = asm.finish().unwrap();
+        DecodedProgram::new(&asm.finish().unwrap())
+    }
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> (Machine, RegFile, Exit) {
+        let program = assemble(build);
         let mut machine = Machine::new(CpuProfile::r3000(), 4096);
         let mut regs = RegFile::new(program.entry());
         let exit = machine.run(&program, &mut regs, 1_000_000);
@@ -550,11 +700,11 @@ mod tests {
 
     #[test]
     fn budget_exit_leaves_state_resumable() {
-        let mut asm = Asm::new();
-        let top = asm.bind_new();
-        asm.addi(Reg::T0, Reg::T0, 1);
-        asm.j(top);
-        let program = asm.finish().unwrap();
+        let program = assemble(|a| {
+            let top = a.bind_new();
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.j(top);
+        });
         let mut machine = Machine::new(CpuProfile::r3000(), 1024);
         let mut regs = RegFile::new(0);
         assert_eq!(machine.run(&program, &mut regs, 10), Exit::Budget);
@@ -596,12 +746,12 @@ mod tests {
 
     #[test]
     fn tas_sets_and_returns_old_value() {
-        let mut asm = Asm::new();
-        asm.li(Reg::A0, 16);
-        asm.tas(Reg::V0, Reg::A0);
-        asm.tas(Reg::V1, Reg::A0);
-        asm.halt();
-        let program = asm.finish().unwrap();
+        let program = assemble(|a| {
+            a.li(Reg::A0, 16);
+            a.tas(Reg::V0, Reg::A0);
+            a.tas(Reg::V1, Reg::A0);
+            a.halt();
+        });
         let mut machine = Machine::new(CpuProfile::i486(), 1024);
         let mut regs = RegFile::new(0);
         assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
@@ -612,11 +762,11 @@ mod tests {
 
     #[test]
     fn page_fault_reports_address_and_pc() {
-        let mut asm = Asm::new();
-        asm.li(Reg::A0, 512);
-        asm.lw(Reg::V0, Reg::A0, 0);
-        asm.halt();
-        let program = asm.finish().unwrap();
+        let program = assemble(|a| {
+            a.li(Reg::A0, 512);
+            a.lw(Reg::V0, Reg::A0, 0);
+            a.halt();
+        });
         let mut machine = Machine::new(CpuProfile::r3000(), 4096);
         machine.mem_mut().enable_paging(crate::PagingConfig::tiny());
         let mut regs = RegFile::new(0);
@@ -630,13 +780,13 @@ mod tests {
 
     #[test]
     fn atomic_bit_lifecycle_on_i860() {
-        let mut asm = Asm::new();
-        asm.begin_atomic(); // @0
-        asm.li(Reg::T0, 1);
-        asm.li(Reg::A0, 32);
-        asm.sw(Reg::T0, Reg::A0, 0); // store clears the bit
-        asm.halt();
-        let program = asm.finish().unwrap();
+        let program = assemble(|a| {
+            a.begin_atomic(); // @0
+            a.li(Reg::T0, 1);
+            a.li(Reg::A0, 32);
+            a.sw(Reg::T0, Reg::A0, 0); // store clears the bit
+            a.halt();
+        });
         let mut machine = Machine::new(CpuProfile::i860(), 1024);
         let mut regs = RegFile::new(0);
         // Step through: after begin_atomic the bit is set.
@@ -653,12 +803,12 @@ mod tests {
     fn atomic_bit_defers_the_deadline() {
         // A sequence that begins atomic and loops briefly: the deadline
         // cannot interrupt until the 32-cycle expiry clears the bit.
-        let mut asm = Asm::new();
-        asm.begin_atomic();
-        let top = asm.bind_new();
-        asm.addi(Reg::T0, Reg::T0, 1);
-        asm.j(top);
-        let program = asm.finish().unwrap();
+        let program = assemble(|a| {
+            a.begin_atomic();
+            let top = a.bind_new();
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.j(top);
+        });
         let mut machine = Machine::new(CpuProfile::i860(), 1024);
         let mut regs = RegFile::new(0);
         let exit = machine.run(&program, &mut regs, 1);
@@ -682,12 +832,12 @@ mod tests {
 
     #[test]
     fn cycle_costs_follow_the_profile() {
-        let mut asm = Asm::new();
-        asm.li(Reg::T0, 1); // alu
-        asm.lw(Reg::T1, Reg::ZERO, 0); // load
-        asm.sw(Reg::T1, Reg::ZERO, 0); // store
-        asm.halt(); // alu
-        let program = asm.finish().unwrap();
+        let program = assemble(|a| {
+            a.li(Reg::T0, 1); // alu
+            a.lw(Reg::T1, Reg::ZERO, 0); // load
+            a.sw(Reg::T1, Reg::ZERO, 0); // store
+            a.halt(); // alu
+        });
         let mut machine = Machine::new(CpuProfile::cvax(), 1024);
         let mut regs = RegFile::new(0);
         machine.run(&program, &mut regs, u64::MAX);
@@ -697,13 +847,13 @@ mod tests {
 
     #[test]
     fn access_log_records_loads_stores_and_rmws() {
-        let mut asm = Asm::new();
-        asm.li(Reg::A0, 16);
-        asm.tas(Reg::V0, Reg::A0); // @1: rmw
-        asm.lw(Reg::T0, Reg::A0, 4); // @2: load of 20
-        asm.sw(Reg::T0, Reg::A0, 8); // @3: store of 24
-        asm.halt();
-        let program = asm.finish().unwrap();
+        let program = assemble(|a| {
+            a.li(Reg::A0, 16);
+            a.tas(Reg::V0, Reg::A0); // @1: rmw
+            a.lw(Reg::T0, Reg::A0, 4); // @2: load of 20
+            a.sw(Reg::T0, Reg::A0, 8); // @3: store of 24
+            a.halt();
+        });
         let mut machine = Machine::new(CpuProfile::i486(), 1024);
         machine.enable_access_log();
         let mut regs = RegFile::new(0);
@@ -732,15 +882,15 @@ mod tests {
 
     #[test]
     fn access_log_marks_i860_atomic_window() {
-        let mut asm = Asm::new();
-        asm.li(Reg::A0, 32);
-        asm.begin_atomic();
-        asm.lw(Reg::V0, Reg::A0, 0); // inside the window
-        asm.li(Reg::T0, 1);
-        asm.sw(Reg::T0, Reg::A0, 0); // committing store, clears the bit
-        asm.lw(Reg::T1, Reg::A0, 0); // outside the window
-        asm.halt();
-        let program = asm.finish().unwrap();
+        let program = assemble(|a| {
+            a.li(Reg::A0, 32);
+            a.begin_atomic();
+            a.lw(Reg::V0, Reg::A0, 0); // inside the window
+            a.li(Reg::T0, 1);
+            a.sw(Reg::T0, Reg::A0, 0); // committing store, clears the bit
+            a.lw(Reg::T1, Reg::A0, 0); // outside the window
+            a.halt();
+        });
         let mut machine = Machine::new(CpuProfile::i860(), 1024);
         machine.enable_access_log();
         let mut regs = RegFile::new(0);
@@ -755,5 +905,122 @@ mod tests {
         machine.charge(123);
         assert_eq!(machine.clock(), 123);
         assert!((machine.elapsed_micros() - 123.0 / 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preemption_exactly_at_the_deadline_outside_an_atomic_window() {
+        // The amortized batch must not let the clock slip past a deadline
+        // it lands on exactly: once clock >= deadline, Budget fires before
+        // another instruction retires.
+        let program = assemble(|a| {
+            let top = a.bind_new();
+            a.nop();
+            a.j(top);
+        });
+        let mut machine = Machine::new(CpuProfile::r3000(), 64);
+        let mut regs = RegFile::new(0);
+        assert_eq!(machine.run(&program, &mut regs, 10), Exit::Budget);
+        let clock = machine.clock();
+        assert!(clock >= 10);
+        let retired = machine.instructions_retired();
+        // A deadline exactly equal to the current clock makes no progress.
+        assert_eq!(machine.run(&program, &mut regs, clock), Exit::Budget);
+        assert_eq!(machine.clock(), clock);
+        assert_eq!(machine.instructions_retired(), retired);
+        // A deadline one cycle later retires exactly one instruction
+        // (every r3000 instruction costs at least one cycle).
+        assert_eq!(machine.run(&program, &mut regs, clock + 1), Exit::Budget);
+        assert_eq!(machine.instructions_retired(), retired + 1);
+    }
+
+    #[test]
+    fn preemption_exactly_at_the_deadline_inside_an_atomic_window() {
+        // A deadline that comes due exactly while the i860 restart bit is
+        // set stays deferred: the sequence runs through its committing
+        // store, and only then is the (already-passed) deadline honored.
+        let program = assemble(|a| {
+            a.li(Reg::A0, 32); // @0
+            a.begin_atomic(); // @1
+            a.li(Reg::T0, 1); // @2
+            a.sw(Reg::T0, Reg::A0, 0); // @3: clears the bit
+            let top = a.bind_new();
+            a.j(top); // @4: spin forever
+        });
+        let mut machine = Machine::new(CpuProfile::i860(), 1024);
+        let mut regs = RegFile::new(0);
+        machine.step(&program, &mut regs); // li a0
+        machine.step(&program, &mut regs); // begin_atomic
+        assert!(machine.atomic_restart_pc().is_some());
+        let deadline = machine.clock(); // due *now*, inside the window
+        assert_eq!(machine.run(&program, &mut regs, deadline), Exit::Budget);
+        assert_eq!(machine.atomic_restart_pc(), None);
+        assert_eq!(machine.mem().load(32).unwrap(), 1, "store committed");
+        assert_eq!(regs.pc(), 4, "stopped right after the sequence");
+    }
+
+    #[test]
+    fn fast_and_instrumented_loops_retire_identical_streams() {
+        // Chop a mixed workload into tiny quanta and replay it on both
+        // monomorphized loop variants: every (exit, clock, pc, register)
+        // observation must match bit for bit.
+        let program = assemble(|a| {
+            a.li(Reg::A0, 16);
+            a.tas(Reg::V0, Reg::A0);
+            a.li(Reg::T0, 4);
+            let top = a.bind_new();
+            a.sw(Reg::T0, Reg::A0, 4);
+            a.lw(Reg::T1, Reg::A0, 4);
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, top);
+            a.halt();
+        });
+        let replay = |force: bool| {
+            let mut machine = Machine::new(CpuProfile::i486(), 1024);
+            machine.set_force_instrumented(force);
+            assert_eq!(machine.instrumented(), force);
+            let mut regs = RegFile::new(0);
+            let mut observations = Vec::new();
+            loop {
+                let exit = machine.run(&program, &mut regs, machine.clock() + 3);
+                observations.push((exit, machine.clock(), regs.pc(), regs.get(Reg::T1)));
+                if exit != Exit::Budget {
+                    break;
+                }
+            }
+            observations.push((
+                Exit::Halt,
+                machine.instructions_retired(),
+                regs.pc(),
+                machine.mem().load(20).unwrap(),
+            ));
+            observations
+        };
+        assert_eq!(replay(false), replay(true));
+    }
+
+    #[test]
+    fn instruction_mix_is_opt_in_but_retired_count_is_not() {
+        let program = assemble(|a| {
+            a.li(Reg::T0, 1);
+            a.nop();
+            a.halt();
+        });
+        let mut fast = Machine::new(CpuProfile::r3000(), 64);
+        let mut regs = RegFile::new(0);
+        assert_eq!(fast.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        assert_eq!(fast.instructions_retired(), 3);
+        assert_eq!(fast.instruction_mix(), [0; Opcode::COUNT]);
+
+        let mut mixed = Machine::new(CpuProfile::r3000(), 64);
+        mixed.enable_mix();
+        assert!(mixed.mix_enabled());
+        let mut regs = RegFile::new(0);
+        assert_eq!(mixed.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        assert_eq!(mixed.instructions_retired(), 3);
+        let mix = mixed.instruction_mix();
+        assert_eq!(mix[Opcode::Li.index()], 1);
+        assert_eq!(mix[Opcode::Nop.index()], 1);
+        assert_eq!(mix[Opcode::Halt.index()], 1);
+        assert_eq!(mix.iter().sum::<u64>(), 3);
     }
 }

@@ -1,8 +1,9 @@
 //! Property tests for the CPU interpreter: ALU semantics against a native
-//! oracle, and preemption-transparency of `run`.
+//! oracle, preemption-transparency of `run`, and the differential
+//! equivalence of the fast and instrumented loop variants.
 
 use proptest::prelude::*;
-use ras_isa::{AluOp, Asm, Reg};
+use ras_isa::{AluOp, Asm, DecodedProgram, Reg};
 use ras_machine::{CpuProfile, Exit, Machine, RegFile};
 
 fn arb_alu_op() -> impl Strategy<Value = AluOp> {
@@ -35,7 +36,7 @@ proptest! {
             asm.alui(*op, Reg::T0, Reg::T0, *imm);
         }
         asm.halt();
-        let program = asm.finish().unwrap();
+        let program = DecodedProgram::new(&asm.finish().unwrap());
 
         let mut machine = Machine::new(CpuProfile::r3000(), 64);
         let mut regs = RegFile::new(0);
@@ -66,7 +67,7 @@ proptest! {
             asm.addi(Reg::T0, Reg::T0, -1);
             asm.bnez(Reg::T0, top);
             asm.halt();
-            asm.finish().unwrap()
+            DecodedProgram::new(&asm.finish().unwrap())
         };
         let program = build();
 
@@ -106,7 +107,7 @@ proptest! {
             asm.sw(Reg::T0, Reg::A0, 0);
         }
         asm.halt();
-        let program = asm.finish().unwrap();
+        let program = DecodedProgram::new(&asm.finish().unwrap());
         let mut machine = Machine::new(CpuProfile::r3000(), 1024);
         let mut regs = RegFile::new(0);
         prop_assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
@@ -130,7 +131,7 @@ proptest! {
             for _ in 0..stores { asm.sw(Reg::T0, Reg::ZERO, 0); }
             for _ in 0..alus { asm.addi(Reg::T1, Reg::T1, 1); }
             asm.halt();
-            let program = asm.finish().unwrap();
+            let program = DecodedProgram::new(&asm.finish().unwrap());
             let mut machine = Machine::new(profile, 64);
             let mut regs = RegFile::new(0);
             machine.run(&program, &mut regs, u64::MAX);
@@ -140,6 +141,75 @@ proptest! {
                 + u64::from(alus) * u64::from(c.alu)
                 + u64::from(c.alu); // halt
             prop_assert_eq!(machine.clock(), expect);
+        }
+    }
+
+    /// Differential test of the two monomorphized loop variants: replaying
+    /// a random program under random preemption slices on the fast loop
+    /// and on the forced-instrumented loop must observe identical
+    /// (exit, pc, clock, register-file, memory-digest, restart-bit,
+    /// retired-count) streams — on plain profiles, on one with hardware
+    /// TAS, and on the i860 with its restart bit (where some generated
+    /// instructions fault as illegal, which must also match).
+    #[test]
+    fn fast_and_instrumented_loops_are_equivalent(
+        ops in prop::collection::vec((0u8..10, any::<i16>()), 1..60),
+        slices in prop::collection::vec(1u64..8, 1..40),
+    ) {
+        for profile in [CpuProfile::r3000(), CpuProfile::i486(), CpuProfile::i860()] {
+            let program = {
+                let mut asm = Asm::new();
+                let end = asm.label();
+                asm.li(Reg::T2, 16);
+                for (kind, imm) in &ops {
+                    let off = i32::from(*imm) & 0x3c;
+                    let _ = match kind % 10 {
+                        0 => asm.li(Reg::T0, i32::from(*imm)),
+                        1 => asm.addi(Reg::T0, Reg::T0, i32::from(*imm)),
+                        2 => asm.add(Reg::T1, Reg::T0, Reg::T1),
+                        3 => asm.sw(Reg::T0, Reg::ZERO, off),
+                        4 => asm.lw(Reg::T1, Reg::ZERO, off),
+                        5 => asm.bnez(Reg::T0, end),
+                        6 => asm.begin_atomic(),
+                        7 => asm.tas(Reg::V0, Reg::T2),
+                        8 => asm.nop(),
+                        _ => asm.add(Reg::T0, Reg::T1, Reg::T0),
+                    };
+                }
+                asm.bind(end);
+                asm.halt();
+                DecodedProgram::new(&asm.finish().unwrap())
+            };
+            let replay = |force: bool| {
+                let mut machine = Machine::new(profile.clone(), 256);
+                machine.set_force_instrumented(force);
+                let mut regs = RegFile::new(0);
+                let mut stream = Vec::new();
+                let mut deadline = 0;
+                for s in &slices {
+                    deadline += *s;
+                    let exit = machine.run(&program, &mut regs, deadline);
+                    let mut digest = 0u64;
+                    for addr in (0..256u32).step_by(4) {
+                        digest = digest
+                            .wrapping_mul(31)
+                            .wrapping_add(u64::from(machine.mem().load(addr).unwrap()));
+                    }
+                    stream.push((
+                        exit,
+                        machine.clock(),
+                        regs.clone(),
+                        digest,
+                        machine.atomic_restart_pc(),
+                        machine.instructions_retired(),
+                    ));
+                    if exit != Exit::Budget {
+                        break;
+                    }
+                }
+                stream
+            };
+            prop_assert_eq!(replay(false), replay(true));
         }
     }
 }

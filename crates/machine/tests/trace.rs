@@ -1,9 +1,9 @@
 //! Instruction-mix accounting and the execution trace ring buffer.
 
-use ras_isa::{Asm, Opcode, Reg};
+use ras_isa::{Asm, DecodedProgram, Opcode, Reg};
 use ras_machine::{CpuProfile, Exit, Machine, RegFile};
 
-fn counting_program(n: i32) -> ras_isa::Program {
+fn counting_program(n: i32) -> DecodedProgram {
     let mut asm = Asm::new();
     asm.li(Reg::T0, n);
     let top = asm.bind_new();
@@ -12,13 +12,14 @@ fn counting_program(n: i32) -> ras_isa::Program {
     asm.addi(Reg::T0, Reg::T0, -1);
     asm.bnez(Reg::T0, top);
     asm.halt();
-    asm.finish().unwrap()
+    DecodedProgram::new(&asm.finish().unwrap())
 }
 
 #[test]
 fn instruction_mix_counts_every_class_exactly() {
     let program = counting_program(10);
     let mut m = Machine::new(CpuProfile::r3000(), 64);
+    m.enable_mix();
     let mut regs = RegFile::new(0);
     assert_eq!(m.run(&program, &mut regs, u64::MAX), Exit::Halt);
     let mix = m.instruction_mix();

@@ -497,8 +497,8 @@ impl<'a> Explorer<'a> {
             Point::Boundary | Point::FreeDispatch => {
                 let dispatch = matches!(point, Point::FreeDispatch);
                 self.dfs(
-                    &kernel,
-                    &det,
+                    kernel,
+                    det,
                     dispatch,
                     Vec::new(),
                     0,
@@ -540,11 +540,18 @@ impl<'a> Explorer<'a> {
 
     /// The recursive search. `at_dispatch` distinguishes the two decision
     /// point kinds; `index` numbers decision points along this path.
+    ///
+    /// Takes the kernel and detector by value: the final branch out of a
+    /// decision point *moves* the parent state into the child instead of
+    /// copying it. Most decision points deep in the tree offer exactly one
+    /// choice (the preemption budget is spent), so this removes the
+    /// overwhelming majority of kernel snapshots — each of which copies
+    /// the full guest memory image — without changing the search at all.
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &mut self,
-        kernel: &Kernel,
-        det: &Option<RaceDetector>,
+        kernel: Kernel,
+        det: Option<RaceDetector>,
         at_dispatch: bool,
         sleep: Vec<OpSig>,
         preemptions: u32,
@@ -565,7 +572,7 @@ impl<'a> Explorer<'a> {
         // default continuation is first run out to harvest the companion
         // lost-update evidence (the same interleaving that breaks mutual
         // exclusion also drops an increment).
-        if self.target.mutex_checked() && self.violations_word(kernel) > 0 {
+        if self.target.mutex_checked() && self.violations_word(&kernel) > 0 {
             self.schedules += 1;
             self.record(
                 DiagKind::MutexViolation,
@@ -575,7 +582,7 @@ impl<'a> Explorer<'a> {
                 path,
             );
             if !self.has_violation(DiagKind::LostUpdate) {
-                if let Some(counter) = self.counter_after_default_run(kernel) {
+                if let Some(counter) = self.counter_after_default_run(&kernel) {
                     if counter != self.expected_count {
                         self.record(
                             DiagKind::LostUpdate,
@@ -603,7 +610,7 @@ impl<'a> Explorer<'a> {
             );
             return;
         }
-        let h = state_hash(kernel);
+        let h = state_hash(&kernel);
         if hashes.contains(&h) {
             // An exact state repeat on this path: a spin under an unfair
             // schedule. The suffix explores nothing new.
@@ -618,18 +625,25 @@ impl<'a> Explorer<'a> {
         let mut choices: Vec<(Decision, Option<OpSig>)> = Vec::new();
         if at_dispatch {
             for &u in &ready {
-                choices.push((Decision::Dispatch(u), thread_next_sig(kernel, u)));
+                choices.push((Decision::Dispatch(u), thread_next_sig(&kernel, u)));
             }
         } else {
-            choices.push((Decision::Continue, current_visible_sig(kernel)));
+            choices.push((Decision::Continue, current_visible_sig(&kernel)));
             if preemptions < self.config.preemption_bound {
                 for &u in &ready {
-                    choices.push((Decision::Preempt(u), thread_next_sig(kernel, u)));
+                    choices.push((Decision::Preempt(u), thread_next_sig(&kernel, u)));
                 }
             }
         }
 
         let mut done: Vec<OpSig> = Vec::new();
+        // The parent snapshot. Every branch but the last starts from a
+        // clone; the last branch consumes it outright — no sibling will
+        // need it again, and the clone (dominated by the guest memory
+        // image) is by far the most expensive operation per decision
+        // point.
+        let last = choices.len().saturating_sub(1);
+        let mut parent = Some((kernel, det));
         for (i, (decision, sig)) in choices.iter().enumerate() {
             if self.hit_cap {
                 break;
@@ -647,8 +661,14 @@ impl<'a> Explorer<'a> {
                     }
                 }
             }
-            let mut k = kernel.clone();
-            let mut d = det.clone();
+            let (mut k, mut d) = if i == last {
+                parent
+                    .take()
+                    .expect("parent state unconsumed until the last branch")
+            } else {
+                let (pk, pd) = parent.as_ref().expect("parent state present for siblings");
+                (pk.clone(), pd.clone())
+            };
             let mut child_preemptions = preemptions;
             match decision {
                 Decision::Continue => {
@@ -717,8 +737,8 @@ impl<'a> Explorer<'a> {
             match point {
                 Point::Terminal(term) => self.on_terminal(term, &k, path),
                 Point::Boundary => self.dfs(
-                    &k,
-                    &d,
+                    k,
+                    d,
                     false,
                     child_sleep,
                     child_preemptions,
@@ -727,8 +747,8 @@ impl<'a> Explorer<'a> {
                     hashes,
                 ),
                 Point::FreeDispatch => self.dfs(
-                    &k,
-                    &d,
+                    k,
+                    d,
                     true,
                     child_sleep,
                     child_preemptions,

@@ -69,11 +69,15 @@ impl CheckReport {
 }
 
 /// Checks every target in [`ModelTarget::all`] under `config`.
+///
+/// Targets are independent explorations (each boots its own kernel and
+/// owns its own search state), so they fan out across a worker pool;
+/// [`ras_par::parallel_map`] returns them in [`ModelTarget::all`] order,
+/// keeping the report — including its aggregate schedule and prune
+/// counts — byte-identical to a serial run.
 pub fn model_check(config: &CheckConfig) -> CheckReport {
+    let targets = ModelTarget::all();
     CheckReport {
-        targets: ModelTarget::all()
-            .into_iter()
-            .map(|t| check_target(t, config))
-            .collect(),
+        targets: ras_par::parallel_map(&targets, |&t| check_target(t, config)),
     }
 }

@@ -78,9 +78,28 @@ fn safe_matrix_verifies_clean_with_observable_pruning() {
     }
 }
 
+/// The fan-out over targets must be invisible: [`model_check`] (which
+/// may run targets on a worker pool) reports, target for target, exactly
+/// what serial [`check_target`] calls report, in [`ModelTarget::all`]
+/// order.
+#[test]
+fn target_fan_out_matches_serial_checks_exactly() {
+    let config = CheckConfig::default();
+    let report = model_check(&config);
+    let targets = ModelTarget::all();
+    assert_eq!(report.targets.len(), targets.len());
+    for (got, want) in report.targets.iter().zip(&targets) {
+        assert_eq!(got.target, *want, "target order must be stable");
+        assert_eq!(report_fingerprint(got), fingerprint(*want, &config));
+    }
+}
+
 /// A compact, order-insensitive fingerprint of an exploration.
 fn fingerprint(target: ModelTarget, config: &CheckConfig) -> String {
-    let r = check_target(target, config);
+    report_fingerprint(&check_target(target, config))
+}
+
+fn report_fingerprint(r: &ras_model::TargetReport) -> String {
     let mut out = format!(
         "schedules={} pruned={} cycles={} livelock={} cap={}",
         r.schedules, r.pruned, r.cycles, r.livelock_suspects, r.hit_schedule_cap

@@ -1,0 +1,134 @@
+//! `ras-par` — deterministic fork-join fan-out for independent
+//! experiment cells.
+//!
+//! Every experiment in this workspace is a grid of *cells* — one
+//! mechanism of Table 1, one architecture of Table 4, one target of the
+//! model checker — and every cell is a self-contained deterministic
+//! simulation: it boots its own kernel, owns its own machine, and shares
+//! nothing with its siblings. That makes the grid embarrassingly
+//! parallel, but only if the fan-out preserves two properties the
+//! harness relies on:
+//!
+//! * **per-cell determinism** — a cell computes exactly what it would
+//!   have computed serially (guaranteed here trivially: the closure runs
+//!   unchanged, once, on one item);
+//! * **stable output ordering** — results come back in input order, not
+//!   completion order, so rendered tables and claim evidence are
+//!   byte-identical to a serial run regardless of worker count.
+//!
+//! [`parallel_map`] provides exactly that: input order in, input order
+//! out, workers pulling cells from a shared index. The worker count
+//! comes from [`worker_count`] — the `RAS_THREADS` environment variable
+//! when set, otherwise [`std::thread::available_parallelism`] — and a
+//! count of one (or a single-cell grid) degrades to a plain serial map
+//! on the calling thread, with no threads spawned at all.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of workers a fan-out will use for `items` cells: the
+/// smaller of the available parallelism and the cell count.
+///
+/// `RAS_THREADS` overrides the detected parallelism (values `0` and `1`
+/// both mean "serial"), which is how the byte-identity tests and CI pin
+/// the harness to a deterministic single-worker configuration — and how
+/// a user can keep the harness off N-1 of their cores.
+pub fn worker_count(items: usize) -> usize {
+    let configured = match std::env::var("RAS_THREADS") {
+        Ok(v) => v.parse::<usize>().ok().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    configured.min(items).max(1)
+}
+
+/// Maps `f` over `items` on a pool of [`worker_count`] threads,
+/// returning results in input order.
+///
+/// Cells are claimed from a shared atomic cursor, so an expensive cell
+/// does not leave a whole stripe idle; each result lands in the slot of
+/// its input index, so the output `Vec` is ordered exactly as a serial
+/// `items.iter().map(f).collect()` — the property the table renderers
+/// and verification claims depend on.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the panic is propagated when the
+/// worker threads join).
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell computed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_order_matches_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        // Uneven per-cell cost so completion order differs from input
+        // order whenever more than one worker runs.
+        let out = parallel_map(&items, |&n| {
+            let spin = (n * 2_654_435_761) % 1_000;
+            let mut acc = n;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            (n, acc)
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, (n, _)) in out.iter().enumerate() {
+            assert_eq!(*n, items[i]);
+        }
+    }
+
+    #[test]
+    fn matches_a_serial_map_exactly() {
+        let items: Vec<i32> = (-40..40).collect();
+        let f = |&n: &i32| n.wrapping_mul(n).wrapping_sub(7);
+        let serial: Vec<i32> = items.iter().map(f).collect();
+        assert_eq!(parallel_map(&items, f), serial);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let none: Vec<u8> = Vec::new();
+        assert!(parallel_map(&none, |&b| b).is_empty());
+        assert_eq!(parallel_map(&[9u8], |&b| b + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_the_cell_count() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(64) >= 1);
+        assert!(worker_count(2) <= 2);
+    }
+}
