@@ -4,6 +4,9 @@
 //! Run with: `cargo run --release -p ras-bench --bin tables`
 //!
 //! `--verify` checks the paper's claims and exits nonzero on failure;
+//! `--metrics` prints the observability layer's rollback table (quantum
+//! expiries, preemptions inside sequences, rollbacks and wasted cycles
+//! per mechanism on a contended realistic workload);
 //! `--bench-json` measures the harness itself (host wall time per table,
 //! interpreter throughput fast vs instrumented, explorer schedule rate,
 //! end-to-end verify time) and appends the next `BENCH_<n>.json` to the
@@ -14,6 +17,13 @@ fn main() {
     let figures = std::env::args().any(|a| a == "--figures");
     let verify = std::env::args().any(|a| a == "--verify");
     let bench_json = std::env::args().any(|a| a == "--bench-json");
+    let metrics = std::env::args().any(|a| a == "--metrics");
+    if metrics {
+        let rows =
+            ras_core::experiments::rollback_table(&ras_core::experiments::RollbackScale::default());
+        println!("{}", ras_core::experiments::render_rollback_table(&rows));
+        std::process::exit(0);
+    }
     if bench_json {
         match ras_bench::trajectory::measure() {
             Ok(point) => {

@@ -14,7 +14,7 @@
 //! * **tables** — host wall time of each of Tables 1–4 at bench scale;
 //! * **explorer** — a full model-check matrix, recording schedules
 //!   explored per second of host time;
-//! * **verification** — the end-to-end `--verify` pass, whose 17 claims
+//! * **verification** — the end-to-end `--verify` pass, whose 18 claims
 //!   must all hold, compared against the recorded pre-optimization
 //!   baseline wall time.
 //!
@@ -235,13 +235,28 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
     })
 }
 
-/// The next free `BENCH_<n>.json` index in `dir`.
+/// The next `BENCH_<n>.json` index in `dir`: one past the highest index
+/// present. Deliberately max+1 rather than first-gap — if an old point
+/// was deleted from the middle of the trajectory, the next pass must
+/// append after the newest measurement, not rewrite history inside it.
 pub fn next_index(dir: &std::path::Path) -> u32 {
-    let mut n = 0;
-    while dir.join(format!("BENCH_{n}.json")).exists() {
-        n += 1;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut next = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(index) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("BENCH_"))
+            .and_then(|n| n.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        next = next.max(index + 1);
     }
-    n
+    next
 }
 
 #[cfg(test)]
@@ -259,7 +274,7 @@ mod tests {
             explorer_schedules: 100,
             explorer_wall_ms: 50.0,
             verify_wall_ms: 485.0,
-            verify_claims: 17,
+            verify_claims: 18,
         };
         let json = point.to_json(3);
         for needle in [
@@ -284,6 +299,21 @@ mod tests {
         std::fs::write(dir.join("BENCH_0.json"), "{}").unwrap();
         std::fs::write(dir.join("BENCH_1.json"), "{}").unwrap();
         assert_eq!(next_index(&dir), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn next_index_is_max_plus_one_across_gaps() {
+        let dir = std::env::temp_dir().join("ras-bench-trajectory-gap-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A deleted middle point must not be refilled: the trajectory
+        // only ever appends after its newest measurement.
+        std::fs::write(dir.join("BENCH_0.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_2.json"), "{}").unwrap();
+        std::fs::write(dir.join("not-a-point.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_x.json"), "{}").unwrap();
+        assert_eq!(next_index(&dir), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

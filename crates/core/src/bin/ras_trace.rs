@@ -1,0 +1,234 @@
+//! `ras-trace` — run a (mechanism × workload) pair with full event
+//! recording and export the result as a Perfetto-loadable Chrome trace or
+//! a compact text report.
+//!
+//! Usage: `ras-trace [options]`
+//!
+//! Options:
+//!
+//! * `--mechanism ID` — one of the `Mechanism` ids, e.g. `ras-registered`,
+//!   `ras-inline`, `kernel-emulation` (default `ras-registered`)
+//! * `--workload NAME` — `counter`, `counter-work`, `lock-only`,
+//!   `spinlock`, or `mutex` (default `counter`)
+//! * `--iterations N` — operations per worker (default 2000)
+//! * `--workers N` — worker threads for the counter workloads (default 2)
+//! * `--spin N` — busy-work per critical section for `counter-work`
+//!   (default 400)
+//! * `--quantum N` — preemption quantum in cycles (default 25000, small
+//!   enough that a short run still shows context switches)
+//! * `--format FMT` — `perfetto` (Chrome trace-event JSON, load it at
+//!   `ui.perfetto.dev`) or `text` (metrics + hot spots; default `perfetto`)
+//! * `--out PATH` — write to a file instead of stdout
+//! * `--check` — validate the generated trace against the trace-event
+//!   schema and print a one-line summary instead of the trace itself
+//!
+//! Exit codes: `0` success, `1` validation failed, `2` usage error.
+
+use std::process::ExitCode;
+
+use ras_core::{run_guest_keeping_kernel, Mechanism, Observe, RunOptions};
+use ras_guest::workloads::{
+    counter_loop, mutex_bench, spinlock_bench, CounterBody, CounterSpec, Table2Spec,
+};
+use ras_guest::BuiltGuest;
+use ras_machine::CpuProfile;
+use ras_obs::{chrome_trace, render_hotspots, symbolized_profile, validate_chrome_trace};
+
+struct Options {
+    mechanism: Mechanism,
+    workload: String,
+    iterations: u32,
+    workers: usize,
+    spin: u32,
+    quantum: u64,
+    format: String,
+    out: Option<String>,
+    check: bool,
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
+    let mut opts = Options {
+        mechanism: Mechanism::RasRegistered,
+        workload: "counter".to_owned(),
+        iterations: 2_000,
+        workers: 2,
+        spin: 400,
+        quantum: 25_000,
+        format: "perfetto".to_owned(),
+        out: None,
+        check: false,
+    };
+    args.next(); // program name
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--mechanism" => {
+                let id = value("--mechanism")?;
+                opts.mechanism = Mechanism::all()
+                    .into_iter()
+                    .find(|m| m.id() == id)
+                    .ok_or_else(|| {
+                        let ids: Vec<&str> = Mechanism::all().iter().map(|m| m.id()).collect();
+                        format!("unknown mechanism `{id}` (one of: {})", ids.join(", "))
+                    })?;
+            }
+            "--workload" => opts.workload = value("--workload")?,
+            "--iterations" => {
+                opts.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?;
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--spin" => {
+                opts.spin = value("--spin")?
+                    .parse()
+                    .map_err(|e| format!("--spin: {e}"))?;
+            }
+            "--quantum" => {
+                opts.quantum = value("--quantum")?
+                    .parse()
+                    .map_err(|e| format!("--quantum: {e}"))?;
+            }
+            "--format" => {
+                let f = value("--format")?;
+                if f != "perfetto" && f != "text" {
+                    return Err(format!("--format must be perfetto or text, got `{f}`"));
+                }
+                opts.format = f;
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            "--check" => opts.check = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The least exotic CPU able to run the mechanism: the DECstation's R3000
+/// when possible, otherwise a processor with the required hardware.
+fn pick_profile(mechanism: Mechanism) -> CpuProfile {
+    for profile in [CpuProfile::r3000(), CpuProfile::i486(), CpuProfile::i860()] {
+        if mechanism.supported_by(&profile) {
+            return profile;
+        }
+    }
+    unreachable!("every mechanism runs on at least one profile");
+}
+
+fn build_workload(opts: &Options) -> Result<BuiltGuest, String> {
+    let counter_spec = |body: CounterBody| CounterSpec {
+        iterations: opts.iterations,
+        workers: opts.workers,
+        body,
+    };
+    let table2_spec = Table2Spec {
+        iterations: opts.iterations,
+    };
+    Ok(match opts.workload.as_str() {
+        "counter" => counter_loop(opts.mechanism, &counter_spec(CounterBody::LockAndCounter)),
+        "counter-work" => counter_loop(
+            opts.mechanism,
+            &counter_spec(CounterBody::LockCounterAndWork { spin: opts.spin }),
+        ),
+        "lock-only" => counter_loop(opts.mechanism, &counter_spec(CounterBody::LockOnly)),
+        "spinlock" => spinlock_bench(opts.mechanism, &table2_spec),
+        "mutex" => mutex_bench(opts.mechanism, &table2_spec),
+        other => {
+            return Err(format!(
+                "unknown workload `{other}` (one of: counter, counter-work, \
+                 lock-only, spinlock, mutex)"
+            ))
+        }
+    })
+}
+
+fn emit(path: Option<&str>, content: &str) -> Result<(), String> {
+    match path {
+        Some(p) => std::fs::write(p, content).map_err(|e| format!("writing {p}: {e}")),
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ras-trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let built = match build_workload(&opts) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("ras-trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let profile = pick_profile(opts.mechanism);
+    let mhz = profile.mhz();
+    let run_options = RunOptions {
+        quantum: opts.quantum,
+        observe: Observe::Events,
+        pc_profile: opts.format == "text",
+        ..RunOptions::new(profile.clone())
+    };
+    let (report, mut kernel) = run_guest_keeping_kernel(&built, &run_options);
+    let recording = kernel.take_recording().expect("events mode records");
+
+    match opts.format.as_str() {
+        "perfetto" => {
+            let name = format!("{} / {}", opts.mechanism.id(), opts.workload);
+            let trace = chrome_trace(recording.events(), mhz, &name);
+            if opts.check {
+                match validate_chrome_trace(&trace) {
+                    Ok(summary) => {
+                        println!(
+                            "ok: {} events, {} slices, {} instants, {} tracks",
+                            summary.events, summary.slices, summary.instants, summary.tracks
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("ras-trace: invalid trace: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            if let Err(e) = emit(opts.out.as_deref(), &trace) {
+                eprintln!("ras-trace: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        _ => {
+            let mut text = String::new();
+            text.push_str(&format!(
+                "ras-trace: {} / {} on {} ({} cycles, {:.1} µs simulated)\n\n",
+                opts.mechanism.id(),
+                opts.workload,
+                profile.name(),
+                report.cycles,
+                report.micros
+            ));
+            text.push_str(&recording.metrics().render());
+            let hotspots = symbolized_profile(&built.program, kernel.pc_cycles());
+            if !hotspots.is_empty() {
+                text.push('\n');
+                text.push_str(&render_hotspots(&hotspots));
+            }
+            if let Err(e) = emit(opts.out.as_deref(), &text) {
+                eprintln!("ras-trace: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

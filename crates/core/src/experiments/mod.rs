@@ -8,12 +8,16 @@
 
 pub mod ablations;
 pub mod figures;
+mod rollbacks;
 mod table1;
 mod table2;
 mod table3;
 mod table4;
 mod verify;
 
+pub use rollbacks::{
+    render_rollback_table, rollback_table, RollbackRow, RollbackScale, ROLLBACK_MECHANISMS,
+};
 pub use table1::{render_table1, table1, Table1Row, Table1Scale, PAPER_TABLE1};
 pub use table2::{render_table2, table2, Table2Bench, Table2Row, Table2Scale, PAPER_TABLE2};
 pub use table3::{render_table3, table3, Table3App, Table3Row, Table3Scale, PAPER_TABLE3};

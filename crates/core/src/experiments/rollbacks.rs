@@ -1,0 +1,165 @@
+//! Rollback-rate table: the observability layer's per-mechanism view of
+//! §5.2's optimism argument.
+//!
+//! The paper justifies restartable sequences by noting that suspensions
+//! rarely land inside an atomic sequence, so rollback work is negligible.
+//! This table measures that directly for every software mechanism on the
+//! same realistic workload (a locked counter surrounded by non-critical
+//! spin work): quantum expiries, how many landed inside a sequence, the
+//! resulting rollbacks, and the cycles re-executed because of them.
+
+use ras_guest::workloads::{counter_loop, CounterBody, CounterSpec};
+use ras_guest::Mechanism;
+use ras_machine::CpuProfile;
+use ras_obs::Metrics;
+
+use crate::report::AsciiTable;
+use crate::{run_guest, Observe, RunOptions};
+
+/// Scale knob for [`rollback_table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollbackScale {
+    /// Counter iterations per worker.
+    pub iterations: u32,
+    /// Worker threads sharing the counter.
+    pub workers: usize,
+    /// Non-critical spin work per iteration, in loop turns.
+    pub spin: u32,
+    /// Scheduler quantum in cycles.
+    pub quantum: u64,
+}
+
+impl Default for RollbackScale {
+    fn default() -> RollbackScale {
+        RollbackScale {
+            iterations: 6_000,
+            workers: 2,
+            spin: 400,
+            quantum: 25_000,
+        }
+    }
+}
+
+/// One row of the rollback table.
+#[derive(Debug, Clone)]
+pub struct RollbackRow {
+    /// The software mechanism measured.
+    pub mechanism: Mechanism,
+    /// The full metrics aggregate for the run.
+    pub metrics: Metrics,
+}
+
+/// The mechanisms the table covers: every software mechanism from
+/// Table 1, in the paper's order.
+pub const ROLLBACK_MECHANISMS: [Mechanism; 5] = [
+    Mechanism::RasRegistered,
+    Mechanism::RasInline,
+    Mechanism::KernelEmulation,
+    Mechanism::LamportPerLock,
+    Mechanism::LamportBundled,
+];
+
+/// Runs the contended counter workload under every software mechanism
+/// with metrics-only recording and returns one row per mechanism.
+pub fn rollback_table(scale: &RollbackScale) -> Vec<RollbackRow> {
+    let spec = CounterSpec {
+        iterations: scale.iterations,
+        workers: scale.workers,
+        body: CounterBody::LockCounterAndWork { spin: scale.spin },
+    };
+    let options = RunOptions {
+        quantum: scale.quantum,
+        observe: Observe::Metrics,
+        ..RunOptions::new(CpuProfile::r3000())
+    };
+    ras_par::parallel_map(&ROLLBACK_MECHANISMS, |&mechanism| {
+        let report = run_guest(&counter_loop(mechanism, &spec), &options);
+        RollbackRow {
+            mechanism,
+            metrics: report.metrics.expect("metrics mode records metrics"),
+        }
+    })
+}
+
+/// Renders the rows as a paper-style ASCII table.
+pub fn render_rollback_table(rows: &[RollbackRow]) -> String {
+    let mut t = AsciiTable::new(
+        "Rollback metrics: contended counter with non-critical work (2 workers)",
+        &[
+            "Software Mechanism",
+            "Quanta",
+            "In-seq",
+            "Rollbacks",
+            "/100 quanta",
+            "Wasted cyc",
+        ],
+    );
+    for row in rows {
+        let m = &row.metrics;
+        t.row(vec![
+            row.mechanism.label().to_owned(),
+            m.quantum_expiries.to_string(),
+            m.preemptions_inside_sequence.to_string(),
+            m.rollbacks.to_string(),
+            format!("{:.3}", m.rollbacks_per_100_quanta()),
+            m.wasted_cycles.to_string(),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Vec<RollbackRow> {
+        rollback_table(&RollbackScale {
+            iterations: 1_500,
+            workers: 2,
+            spin: 100,
+            quantum: 5_000,
+        })
+    }
+
+    #[test]
+    fn every_mechanism_sees_preemption_and_only_ras_rolls_back() {
+        let rows = quick();
+        assert_eq!(rows.len(), ROLLBACK_MECHANISMS.len());
+        for row in &rows {
+            assert!(
+                row.metrics.quantum_expiries > 0,
+                "{}: no quantum ever expired",
+                row.mechanism
+            );
+            let is_ras = matches!(
+                row.mechanism,
+                Mechanism::RasRegistered | Mechanism::RasInline
+            );
+            if !is_ras {
+                assert_eq!(
+                    row.metrics.rollbacks, 0,
+                    "{}: non-RAS mechanism reported rollbacks",
+                    row.mechanism
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wasted_cycles_move_with_rollbacks() {
+        for row in quick() {
+            if row.metrics.rollbacks == 0 {
+                assert_eq!(row.metrics.wasted_cycles, 0, "{}", row.mechanism);
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_contains_every_mechanism() {
+        let rows = quick();
+        let text = render_rollback_table(&rows);
+        for row in &rows {
+            assert!(text.contains(row.mechanism.label()));
+        }
+    }
+}

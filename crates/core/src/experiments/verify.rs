@@ -201,6 +201,38 @@ pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
         }),
     ));
 
+    // ---- Observability (§5.2: suspensions inside sequences are rare) ------
+    // The paper's case for optimism rests on atomic sequences being a tiny
+    // fraction of real execution. Measure it directly: a Mach-style
+    // registered sequence surrounded by realistic non-critical work must
+    // roll back less than once per hundred quantum expiries.
+    {
+        let spec = ras_guest::workloads::CounterSpec {
+            iterations: 6_000,
+            workers: 2,
+            body: ras_guest::workloads::CounterBody::LockCounterAndWork { spin: 400 },
+        };
+        let built = ras_guest::workloads::counter_loop(Mechanism::RasRegistered, &spec);
+        let options = crate::RunOptions {
+            quantum: 25_000,
+            observe: crate::Observe::Metrics,
+            ..Default::default()
+        };
+        let report = crate::run_guest(&built, &options);
+        let metrics = report.metrics.expect("metrics mode records metrics");
+        let rate = metrics.rollbacks_per_100_quanta();
+        claims.push(claim(
+            0,
+            "a registered sequence amid realistic work rolls back less than \
+             once per 100 quanta",
+            metrics.quantum_expiries > 0 && rate < 1.0,
+            format!(
+                "{} rollbacks over {} quantum expiries = {:.3} per 100",
+                metrics.rollbacks, metrics.quantum_expiries, rate
+            ),
+        ));
+    }
+
     // ---- Table 1 ----------------------------------------------------------
     let t1 = table1(scale.t1);
     let us = |m: Mechanism| t1.iter().find(|r| r.mechanism == m).unwrap().measured_us;

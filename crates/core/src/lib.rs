@@ -33,4 +33,4 @@ pub use ras_kernel::{
 };
 pub use ras_machine::{CostModel, CpuProfile, PagingConfig};
 pub use ras_model::{model_check, CheckConfig, CheckReport, ModelTarget};
-pub use run::{run_guest, run_guest_keeping_kernel, RunOptions, RunReport};
+pub use run::{run_guest, run_guest_keeping_kernel, Observe, RunOptions, RunReport};

@@ -1,6 +1,20 @@
 use ras_guest::BuiltGuest;
 use ras_kernel::{CheckTime, Kernel, KernelStats, Outcome};
 use ras_machine::{CpuProfile, PagingConfig};
+use ras_obs::Metrics;
+
+/// What the kernel's observability layer records during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Observe {
+    /// Record nothing — the zero-overhead default.
+    #[default]
+    Off,
+    /// Aggregate rollback/lock/scheduling counters only.
+    Metrics,
+    /// Counters plus the full timestamped event stream (what the
+    /// Perfetto exporter consumes). Unbounded memory for long runs.
+    Events,
+}
 
 /// Options for executing a built guest on the simulator.
 #[derive(Debug, Clone)]
@@ -30,6 +44,11 @@ pub struct RunOptions {
     /// Collect the per-opcode instruction mix (forces the machine onto its
     /// instrumented loop; see [`ras_machine::Machine::enable_mix`]).
     pub collect_mix: bool,
+    /// Structured observability recording (see [`Observe`]).
+    pub observe: Observe,
+    /// Accumulate the per-PC cycle histogram (forces the machine onto its
+    /// instrumented loop; see [`ras_machine::Machine::enable_pc_profile`]).
+    pub pc_profile: bool,
 }
 
 impl RunOptions {
@@ -47,6 +66,8 @@ impl RunOptions {
             mem_bytes: 8 * 1024 * 1024,
             fuel: u64::MAX,
             collect_mix: false,
+            observe: Observe::Off,
+            pc_profile: false,
         }
     }
 }
@@ -70,6 +91,9 @@ pub struct RunReport {
     pub instructions: u64,
     /// Kernel statistics (Table 3's columns live here).
     pub stats: KernelStats,
+    /// Observability metrics, present when [`RunOptions::observe`] was
+    /// not [`Observe::Off`].
+    pub metrics: Option<Metrics>,
 }
 
 impl RunReport {
@@ -124,6 +148,14 @@ pub fn run_guest_keeping_kernel(built: &BuiltGuest, options: &RunOptions) -> (Ru
     config.mem_bytes = options.mem_bytes;
     config.collect_mix = options.collect_mix;
     let mut kernel = built.boot(config).expect("guest boots");
+    match options.observe {
+        Observe::Off => {}
+        Observe::Metrics => kernel.enable_recording(false),
+        Observe::Events => kernel.enable_recording(true),
+    }
+    if options.pc_profile {
+        kernel.enable_pc_profile();
+    }
     let outcome = kernel.run(options.fuel);
     assert!(
         matches!(outcome, Outcome::Completed),
@@ -136,6 +168,7 @@ pub fn run_guest_keeping_kernel(built: &BuiltGuest, options: &RunOptions) -> (Ru
         micros: kernel.machine().elapsed_micros(),
         instructions: kernel.machine().instructions_retired(),
         stats: *kernel.stats(),
+        metrics: kernel.recording().map(|r| r.metrics().clone()),
     };
     (report, kernel)
 }

@@ -27,6 +27,15 @@ pub enum CounterBody {
     /// Nothing — the calibration run whose time is subtracted, as the
     /// paper subtracts its loop overhead.
     Empty,
+    /// The Table 1 body followed by `spin` iterations of private busy
+    /// work outside the critical section. This models a realistic
+    /// application where atomic sequences are a small fraction of
+    /// execution, so a quantum expiry rarely lands inside one — the
+    /// regime the paper's §5.2 "thread_fork test" argues is typical.
+    LockCounterAndWork {
+        /// Busy-loop iterations per critical section.
+        spin: u32,
+    },
 }
 
 /// Parameters for [`counter_loop`].
@@ -54,7 +63,9 @@ impl CounterSpec {
     /// The expected final counter value.
     pub fn expected_count(&self) -> u32 {
         match self.body {
-            CounterBody::LockAndCounter => self.iterations * self.workers as u32,
+            CounterBody::LockAndCounter | CounterBody::LockCounterAndWork { .. } => {
+                self.iterations * self.workers as u32
+            }
             CounterBody::LockOnly | CounterBody::Empty => 0,
         }
     }
@@ -97,6 +108,23 @@ pub fn counter_loop(mechanism: Mechanism, spec: &CounterSpec) -> BuiltGuest {
             asm.sw(Reg::T6, Reg::S2, 0);
             asm.mv(Reg::A0, Reg::S1);
             rt.emit_raw_exit(asm);
+        }
+        CounterBody::LockCounterAndWork { spin } => {
+            asm.mv(Reg::A0, Reg::S1);
+            rt.emit_raw_enter(asm);
+            asm.lw(Reg::T6, Reg::S2, 0);
+            asm.addi(Reg::T6, Reg::T6, 1);
+            asm.sw(Reg::T6, Reg::S2, 0);
+            asm.mv(Reg::A0, Reg::S1);
+            rt.emit_raw_exit(asm);
+            // Private, lock-free padding: dilutes the atomic sections so
+            // preemptions overwhelmingly land in ordinary code.
+            if spin > 0 {
+                asm.li(Reg::T5, spin as i32);
+                let work = asm.bind_new();
+                asm.addi(Reg::T5, Reg::T5, -1);
+                asm.bnez(Reg::T5, work);
+            }
         }
         CounterBody::LockOnly => {
             // The Table 4 measurement: the bare Test-And-Set fast path and

@@ -73,7 +73,8 @@ impl DecodedProgram {
         self.code.get(addr as usize).copied()
     }
 
-    /// The precomputed [`Opcode::index`] of the instruction at `addr`.
+    /// The precomputed [`Opcode::index`](crate::Opcode::index) of the
+    /// instruction at `addr`.
     ///
     /// # Panics
     ///

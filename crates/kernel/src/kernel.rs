@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use ras_isa::{abi, CodeAddr, DataAddr, DataImage, DecodedProgram, Program, Reg};
 use ras_machine::{CpuProfile, Exit, Fault, Machine, PagingConfig, RegFile};
+use ras_obs::{ObsEvent, Recorder, Recording, SwitchReason};
 
 use crate::{
     CheckTime, Event, KernelStats, PreemptionPolicy, Strategy, StrategyKind, Tcb, ThreadId,
@@ -211,6 +212,11 @@ pub struct Kernel {
     page_fifo: VecDeque<usize>,
     max_resident: usize,
     timeline: Option<Vec<TimedEvent>>,
+    /// Structured observability recording ([`ras_obs`]). Boxed so the
+    /// disabled case costs one pointer in the TCB-dense kernel struct and
+    /// a snapshot clone (the model checker's per-decision copy) stays
+    /// cheap. `None` means every emit site is a single branch.
+    recording: Option<Box<Recording>>,
     /// A fault detected inside a kernel path (e.g. user stack overflow
     /// during a redirect), delivered at the top of the run loop.
     pending_fault: Option<(ThreadId, Fault)>,
@@ -280,6 +286,7 @@ impl Kernel {
             page_fifo: VecDeque::new(),
             max_resident,
             timeline: None,
+            recording: None,
             pending_fault: None,
         };
         let entry = kernel.program.entry();
@@ -358,6 +365,12 @@ impl Kernel {
     pub fn enable_timeline(&mut self) {
         if self.timeline.is_none() {
             self.timeline = Some(Vec::new());
+            // Threads spawned before this point (at minimum the main
+            // thread, created during boot) produced no Spawn events; the
+            // Boot marker tells consumers how many they missed.
+            self.record(Event::Boot {
+                threads: self.threads.len() as u32,
+            });
         }
     }
 
@@ -372,6 +385,97 @@ impl Kernel {
             log.push(TimedEvent {
                 clock: self.machine.clock(),
                 event,
+            });
+        }
+    }
+
+    /// Starts structured observability recording (see [`ras_obs`]).
+    /// Metrics are always aggregated; the full event stream (needed for
+    /// Perfetto export) is kept only when `capture_events` is true.
+    /// Idempotent: a second call never discards an active recording.
+    pub fn enable_recording(&mut self, capture_events: bool) {
+        if self.recording.is_none() {
+            self.recording = Some(Box::new(Recording::new(capture_events)));
+            self.emit(ObsEvent::Boot {
+                threads: self.threads.len() as u32,
+            });
+        }
+    }
+
+    /// The active recording, if [`Kernel::enable_recording`] was called.
+    pub fn recording(&self) -> Option<&Recording> {
+        self.recording.as_deref()
+    }
+
+    /// Stops recording and returns everything captured so far.
+    pub fn take_recording(&mut self) -> Option<Recording> {
+        self.recording.take().map(|boxed| *boxed)
+    }
+
+    /// Enables the machine's per-PC cycle histogram (see
+    /// [`ras_machine::Machine::enable_pc_profile`]).
+    pub fn enable_pc_profile(&mut self) {
+        self.machine.enable_pc_profile();
+    }
+
+    /// Cycles retired per PC (empty unless
+    /// [`Kernel::enable_pc_profile`] was called).
+    pub fn pc_cycles(&self) -> &[u64] {
+        self.machine.pc_cycles()
+    }
+
+    fn emit(&mut self, event: ObsEvent) {
+        if let Some(rec) = &mut self.recording {
+            rec.record(self.machine.clock(), &event);
+        }
+    }
+
+    /// Whether `tid`'s saved PC lies strictly inside an atomic sequence —
+    /// i.e. a suspension right now would interrupt partially-executed
+    /// atomic work. The first instruction of a sequence is excluded: a
+    /// thread parked exactly at the start has done no atomic work yet.
+    fn pc_inside_sequence(&self, tid: ThreadId) -> bool {
+        if self.machine.atomic_restart_pc().is_some() {
+            return true;
+        }
+        let pc = self.threads[tid.0 as usize].regs.pc();
+        if let Some((start, len)) = self.registered_range() {
+            return pc > start && pc < start + len;
+        }
+        self.program
+            .seq_ranges()
+            .iter()
+            .any(|r| r.contains(pc) && pc != r.start)
+    }
+
+    /// Straight-line cycle estimate of the work a rollback discards: the
+    /// cost of every instruction in `[to, from)`. Sequences are loop-free
+    /// by construction (ras-analyze verifies this), so the straight-line
+    /// sum is exact for the common case of forward-only bodies.
+    fn reexec_cycles(&self, from: CodeAddr, to: CodeAddr) -> u64 {
+        let cost = *self.machine.profile().cost();
+        (to..from)
+            .filter_map(|pc| self.decoded.fetch(pc))
+            .map(|inst| cost.inst_cycles(&inst))
+            .sum()
+    }
+
+    /// Records a sequence rollback on both channels: the kernel timeline
+    /// and, when recording, an [`ObsEvent::Rollback`] with the wasted
+    /// re-execution cycles attributed.
+    fn record_restart(&mut self, tid: ThreadId, from: CodeAddr, to: CodeAddr) {
+        self.record(Event::Restart {
+            thread: tid,
+            from,
+            to,
+        });
+        if self.recording.is_some() {
+            let wasted = self.reexec_cycles(from, to);
+            self.emit(ObsEvent::Rollback {
+                thread: tid.0,
+                from,
+                to,
+                wasted_cycles: wasted,
             });
         }
     }
@@ -446,6 +550,7 @@ impl Kernel {
         self.live += 1;
         self.stats.threads_spawned += 1;
         self.record(Event::Spawn { thread: id });
+        self.emit(ObsEvent::Spawn { thread: id.0 });
         Ok(id)
     }
 
@@ -466,11 +571,7 @@ impl Kernel {
             self.machine.clear_atomic_bit();
             self.stats.ras_restarts += 1;
             self.stats.ras_checks += 1;
-            self.record(Event::Restart {
-                thread: tid,
-                from,
-                to: restart,
-            });
+            self.record_restart(tid, from, restart);
             return;
         }
         let pc = self.threads[tid.0 as usize].regs.pc();
@@ -481,11 +582,7 @@ impl Kernel {
         self.charge_kernel(cycles);
         if let Some(start) = rollback {
             self.threads[tid.0 as usize].regs.set_pc(start);
-            self.record(Event::Restart {
-                thread: tid,
-                from: pc,
-                to: start,
-            });
+            self.record_restart(tid, pc, start);
         }
     }
 
@@ -504,11 +601,7 @@ impl Kernel {
                 self.machine.clear_atomic_bit();
                 self.stats.ras_restarts += 1;
                 self.stats.ras_checks += 1;
-                self.record(Event::Restart {
-                    thread: tid,
-                    from,
-                    to: restart,
-                });
+                self.record_restart(tid, from, restart);
             }
         }
         if matches!(self.strategy, Strategy::UserLevel { .. }) {
@@ -544,6 +637,7 @@ impl Kernel {
                     self.charge_kernel(dispatch_cost);
                     self.stats.user_restart_redirects += 1;
                     self.record(Event::UserRedirect { thread: tid });
+                    self.emit(ObsEvent::UserRedirect { thread: tid.0 });
                     let tcb = &mut self.threads[tid.0 as usize];
                     let sp = tcb.regs.get(Reg::SP).wrapping_sub(4);
                     tcb.regs.set(Reg::SP, sp);
@@ -560,6 +654,7 @@ impl Kernel {
         self.current = Some(tid);
         self.last_running = Some(tid);
         self.record(Event::Dispatch { thread: tid });
+        self.emit(ObsEvent::Dispatch { thread: tid.0 });
         // The timer slice starts when the thread reaches user level, so a
         // quantum buys actual user execution even when kernel overhead
         // (context switch, checks) exceeds it.
@@ -569,6 +664,16 @@ impl Kernel {
     fn timer_preempt(&mut self, tid: ThreadId) {
         self.stats.preemptions += 1;
         self.record(Event::Preempt { thread: tid });
+        // Capture "inside a sequence?" before the suspension check rolls
+        // the PC back — after it, the evidence is gone.
+        if self.recording.is_some() {
+            let inside = self.pc_inside_sequence(tid);
+            self.emit(ObsEvent::SwitchOut {
+                thread: tid.0,
+                reason: SwitchReason::Quantum,
+                inside_sequence: inside,
+            });
+        }
         self.suspend(tid);
         self.threads[tid.0 as usize].state = ThreadState::Ready;
         self.ready.push_back(tid);
@@ -578,6 +683,10 @@ impl Kernel {
     fn handle_page_fault(&mut self, tid: ThreadId, addr: DataAddr) {
         self.stats.page_faults += 1;
         self.record(Event::PageFault { thread: tid, addr });
+        self.emit(ObsEvent::PageFault {
+            thread: tid.0,
+            addr,
+        });
         let service = u64::from(self.machine.profile().cost().page_fault_service);
         self.charge_kernel(service);
         let page = self.machine.mem_mut().make_resident(addr);
@@ -591,6 +700,14 @@ impl Kernel {
         // addresses the faulting instruction. If that lies inside a
         // restartable sequence the whole sequence re-executes — this is
         // the "page fault" row of the event ordering discussed in §4.2.
+        if self.recording.is_some() {
+            let inside = self.pc_inside_sequence(tid);
+            self.emit(ObsEvent::SwitchOut {
+                thread: tid.0,
+                reason: SwitchReason::PageFault,
+                inside_sequence: inside,
+            });
+        }
         self.suspend(tid);
         self.threads[tid.0 as usize].state = ThreadState::Ready;
         self.ready.push_back(tid);
@@ -607,9 +724,15 @@ impl Kernel {
             let regs = &self.threads[tid.0 as usize].regs;
             (regs.get(Reg::V0), regs.get(Reg::A0), regs.get(Reg::A1))
         };
+        self.emit(ObsEvent::Syscall { thread: tid.0, num });
         match num {
             abi::SYS_EXIT => {
                 self.record(Event::Exit { thread: tid });
+                self.emit(ObsEvent::SwitchOut {
+                    thread: tid.0,
+                    reason: SwitchReason::Exit,
+                    inside_sequence: false,
+                });
                 self.threads[tid.0 as usize].state = ThreadState::Exited;
                 self.live -= 1;
                 self.current = None;
@@ -619,12 +742,21 @@ impl Kernel {
                         self.ready.push_back(j);
                         self.stats.wakeups += 1;
                         self.record(Event::Wake { thread: j });
+                        self.emit(ObsEvent::Wake { thread: j.0 });
                     }
                 }
             }
             abi::SYS_YIELD => {
                 self.stats.yields += 1;
                 self.record(Event::Yield { thread: tid });
+                if self.recording.is_some() {
+                    let inside = self.pc_inside_sequence(tid);
+                    self.emit(ObsEvent::SwitchOut {
+                        thread: tid.0,
+                        reason: SwitchReason::Yield,
+                        inside_sequence: inside,
+                    });
+                }
                 self.suspend(tid);
                 self.threads[tid.0 as usize].state = ThreadState::Ready;
                 self.ready.push_back(tid);
@@ -652,7 +784,12 @@ impl Kernel {
                 // The trap site (the syscall instruction) is one behind
                 // the saved PC.
                 let trap_pc = self.threads[tid.0 as usize].regs.pc().wrapping_sub(1);
-                self.machine.log_kernel_rmw(trap_pc, a0);
+                self.machine.log_kernel_rmw(trap_pc, a0, old);
+                self.emit(ObsEvent::LockAttempt {
+                    thread: tid.0,
+                    addr: a0,
+                    acquired: old == 0,
+                });
                 self.threads[tid.0 as usize].regs.set(Reg::V0, old);
             }
             abi::SYS_RAS_REGISTER => {
@@ -669,6 +806,13 @@ impl Kernel {
                         abi::ERR_UNSUPPORTED
                     }
                 };
+                if result == 0 {
+                    self.emit(ObsEvent::SeqRegister {
+                        thread: tid.0,
+                        start: a0,
+                        len: a1,
+                    });
+                }
                 self.threads[tid.0 as usize].regs.set(Reg::V0, result);
             }
             abi::SYS_WAIT => {
@@ -676,6 +820,14 @@ impl Kernel {
                 if val == a1 {
                     self.stats.blocks += 1;
                     self.record(Event::Block { thread: tid });
+                    if self.recording.is_some() {
+                        let inside = self.pc_inside_sequence(tid);
+                        self.emit(ObsEvent::SwitchOut {
+                            thread: tid.0,
+                            reason: SwitchReason::Block,
+                            inside_sequence: inside,
+                        });
+                    }
                     self.threads[tid.0 as usize].regs.set(Reg::V0, 0);
                     self.suspend(tid);
                     self.threads[tid.0 as usize].state = ThreadState::Blocked { addr: a0 };
@@ -699,6 +851,7 @@ impl Kernel {
                     self.ready.push_back(w);
                     self.stats.wakeups += 1;
                     self.record(Event::Wake { thread: w });
+                    self.emit(ObsEvent::Wake { thread: w.0 });
                 }
                 self.threads[tid.0 as usize].regs.set(Reg::V0, woken);
             }
@@ -713,6 +866,14 @@ impl Kernel {
                 self.stats.sleeps += 1;
                 let until = self.machine.clock().saturating_add(u64::from(a0));
                 self.record(Event::Sleep { thread: tid, until });
+                if self.recording.is_some() {
+                    let inside = self.pc_inside_sequence(tid);
+                    self.emit(ObsEvent::SwitchOut {
+                        thread: tid.0,
+                        reason: SwitchReason::Sleep,
+                        inside_sequence: inside,
+                    });
+                }
                 self.threads[tid.0 as usize].regs.set(Reg::V0, 0);
                 self.suspend(tid);
                 self.threads[tid.0 as usize].state = ThreadState::Sleeping { until };
@@ -732,6 +893,14 @@ impl Kernel {
                     None => {
                         self.stats.blocks += 1;
                         self.record(Event::Block { thread: tid });
+                        if self.recording.is_some() {
+                            let inside = self.pc_inside_sequence(tid);
+                            self.emit(ObsEvent::SwitchOut {
+                                thread: tid.0,
+                                reason: SwitchReason::Block,
+                                inside_sequence: inside,
+                            });
+                        }
                         self.threads[tid.0 as usize].regs.set(Reg::V0, 0);
                         self.suspend(tid);
                         self.threads[tid.0 as usize].state = ThreadState::Joining { target };
@@ -797,6 +966,7 @@ impl Kernel {
                 self.ready.push_back(tid);
                 self.stats.wakeups += 1;
                 self.record(Event::Wake { thread: tid });
+                self.emit(ObsEvent::Wake { thread: tid.0 });
             }
         }
         let Some(tid) = self.current else {
@@ -809,6 +979,9 @@ impl Kernel {
                     if until > now {
                         self.machine.charge(until - now);
                         self.stats.idle_cycles += until - now;
+                        self.emit(ObsEvent::Idle {
+                            cycles: until - now,
+                        });
                     }
                     return StepOutcome::Idled;
                 }
@@ -932,6 +1105,9 @@ impl Kernel {
                             if until > now {
                                 self.machine.charge(until - now);
                                 self.stats.idle_cycles += until - now;
+                                self.emit(ObsEvent::Idle {
+                                    cycles: until - now,
+                                });
                             }
                             continue;
                         }

@@ -10,6 +10,15 @@ use crate::ThreadId;
 /// One kernel event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
+    /// A synthetic marker emitted when the timeline is enabled, carrying
+    /// the number of threads that already existed. The kernel spawns the
+    /// main thread during `boot`, before any caller can enable the
+    /// timeline, so without this marker those initial threads would be
+    /// silently invisible to timeline consumers.
+    Boot {
+        /// Threads alive when the timeline was enabled.
+        threads: u32,
+    },
     /// A thread was created.
     Spawn {
         /// The new thread.

@@ -151,6 +151,36 @@ fn timeline_is_off_by_default_and_idempotent_to_enable() {
 }
 
 #[test]
+fn enabling_the_timeline_emits_a_boot_marker() {
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let program = faa_program(counter);
+    let mut k = Kernel::boot(cfg(StrategyKind::Designated, 100), program, &data.finish()).unwrap();
+    k.enable_timeline();
+    // The main thread was spawned during boot, before the timeline
+    // existed; the marker accounts for it.
+    assert_eq!(
+        k.timeline().first().map(|e| e.event),
+        Some(Event::Boot { threads: 1 })
+    );
+    k.enable_timeline(); // must not emit a second marker
+    assert_eq!(k.run(2_000_000_000), Outcome::Completed);
+    let boots = k
+        .timeline()
+        .iter()
+        .filter(|e| matches!(e.event, Event::Boot { .. }))
+        .count();
+    assert_eq!(boots, 1);
+    // Boot threads + Spawn events now cover every thread ever created.
+    let spawns = k
+        .timeline()
+        .iter()
+        .filter(|e| matches!(e.event, Event::Spawn { .. }))
+        .count() as u64;
+    assert_eq!(1 + spawns, k.stats().threads_spawned);
+}
+
+#[test]
 fn emulation_traps_appear_for_kernel_emulation_only() {
     let k = run_with_timeline(StrategyKind::Designated, 100);
     assert!(k

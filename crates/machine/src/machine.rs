@@ -42,6 +42,11 @@ pub struct MemAccess {
     /// restart bit was set, the instruction was a hardware `tas`, or the
     /// kernel performed the RMW with interrupts disabled.
     pub atomic: bool,
+    /// The data value: the word a load observed, the word a store wrote,
+    /// or — for a read-modify-write — the *old* word the RMW read. Lets
+    /// observers reconstruct value transitions (e.g. lock hold and
+    /// contention intervals in `ras-obs`).
+    pub value: u32,
 }
 
 /// Why [`Machine::run`] returned.
@@ -122,6 +127,9 @@ pub struct Machine {
     trace: Option<TraceRing>,
     /// Optional log of data-memory accesses (see [`Machine::enable_access_log`]).
     access_log: Option<Vec<MemAccess>>,
+    /// Optional per-PC cycle histogram (see [`Machine::enable_pc_profile`]),
+    /// grown on demand to cover the highest PC executed.
+    pc_cycles: Option<Vec<u64>>,
     /// Forces [`Machine::run`] onto the instrumented loop even with no
     /// instrumentation enabled — for differential benchmarking of the two
     /// monomorphized loop variants.
@@ -151,6 +159,7 @@ impl Machine {
             mix: None,
             trace: None,
             access_log: None,
+            pc_cycles: None,
             force_instrumented: false,
         }
     }
@@ -198,8 +207,9 @@ impl Machine {
     /// Logs an atomic read-modify-write performed *by the kernel* on a
     /// thread's behalf (the `SYS_TAS` emulation trap of §2.3), so the
     /// race sanitizer sees kernel-emulated Test-And-Set as the atomic
-    /// access it is.
-    pub fn log_kernel_rmw(&mut self, pc: CodeAddr, addr: DataAddr) {
+    /// access it is. `old` is the lock word the kernel read before
+    /// writing 1.
+    pub fn log_kernel_rmw(&mut self, pc: CodeAddr, addr: DataAddr, old: u32) {
         let clock = self.clock;
         if let Some(log) = &mut self.access_log {
             log.push(MemAccess {
@@ -208,11 +218,19 @@ impl Machine {
                 kind: AccessKind::Rmw,
                 clock,
                 atomic: true,
+                value: old,
             });
         }
     }
 
-    fn log_access(&mut self, pc: CodeAddr, addr: DataAddr, kind: AccessKind, atomic: bool) {
+    fn log_access(
+        &mut self,
+        pc: CodeAddr,
+        addr: DataAddr,
+        kind: AccessKind,
+        atomic: bool,
+        value: u32,
+    ) {
         let clock = self.clock;
         if let Some(log) = &mut self.access_log {
             log.push(MemAccess {
@@ -221,6 +239,7 @@ impl Machine {
                 kind,
                 clock,
                 atomic,
+                value,
             });
         }
     }
@@ -309,6 +328,30 @@ impl Machine {
             || self.mix.is_some()
             || self.trace.is_some()
             || self.access_log.is_some()
+            || self.pc_cycles.is_some()
+    }
+
+    /// Starts accumulating a per-PC cycle histogram: every retired
+    /// instruction adds the cycles it charged to its PC's bucket. Like
+    /// the other collectors this forces the instrumented loop; the fast
+    /// loop is untouched. Symbolize the result with
+    /// `ras_obs::symbolized_profile`.
+    pub fn enable_pc_profile(&mut self) {
+        if self.pc_cycles.is_none() {
+            self.pc_cycles = Some(Vec::new());
+        }
+    }
+
+    /// Whether the per-PC cycle histogram is enabled.
+    pub fn pc_profile_enabled(&self) -> bool {
+        self.pc_cycles.is_some()
+    }
+
+    /// The per-PC cycle histogram, indexed by PC (shorter than the
+    /// program if the tail never executed). Empty unless
+    /// [`Machine::enable_pc_profile`] was called before the run.
+    pub fn pc_cycles(&self) -> &[u64] {
+        self.pc_cycles.as_deref().unwrap_or(&[])
     }
 
     /// The current cycle count.
@@ -392,7 +435,7 @@ impl Machine {
                 // whole batch unless an instruction sets it (which breaks
                 // out), so the expiry poll is a no-op here too.
                 while self.atomic_from.is_none() && self.clock.saturating_add(bound) <= deadline {
-                    if let Some(exit) = self.execute_one::<INSTRUMENTED>(program, regs, &cost) {
+                    if let Some(exit) = self.execute_counted::<INSTRUMENTED>(program, regs, &cost) {
                         return exit;
                     }
                 }
@@ -403,7 +446,7 @@ impl Machine {
                     if self.clock >= deadline {
                         return Exit::Budget;
                     }
-                    if let Some(exit) = self.execute_one::<INSTRUMENTED>(program, regs, &cost) {
+                    if let Some(exit) = self.execute_counted::<INSTRUMENTED>(program, regs, &cost) {
                         return exit;
                     }
                 }
@@ -411,7 +454,7 @@ impl Machine {
                 // Atomic window: interrupts are deferred until the bit
                 // clears, so the deadline is not consulted; expiry is
                 // polled at the top of the loop after every instruction.
-                if let Some(exit) = self.execute_one::<INSTRUMENTED>(program, regs, &cost) {
+                if let Some(exit) = self.execute_counted::<INSTRUMENTED>(program, regs, &cost) {
                     return exit;
                 }
             }
@@ -426,7 +469,36 @@ impl Machine {
     /// collector.
     pub fn step(&mut self, program: &DecodedProgram, regs: &mut RegFile) -> Option<Exit> {
         let cost = self.cost;
-        self.execute_one::<true>(program, regs, &cost)
+        self.execute_counted::<true>(program, regs, &cost)
+    }
+
+    /// Wraps [`Machine::execute_one`] with the per-PC cycle histogram.
+    /// On the fast path (`INSTRUMENTED` false) this delegates directly
+    /// and compiles to the same code as calling `execute_one`; on the
+    /// instrumented path it measures the clock delta each instruction
+    /// charged and accumulates it into that PC's bucket.
+    #[inline(always)]
+    fn execute_counted<const INSTRUMENTED: bool>(
+        &mut self,
+        program: &DecodedProgram,
+        regs: &mut RegFile,
+        cost: &CostModel,
+    ) -> Option<Exit> {
+        if !INSTRUMENTED || self.pc_cycles.is_none() {
+            return self.execute_one::<INSTRUMENTED>(program, regs, cost);
+        }
+        let pc = regs.pc();
+        let before = self.clock;
+        let exit = self.execute_one::<INSTRUMENTED>(program, regs, cost);
+        let charged = self.clock - before;
+        if let Some(hist) = &mut self.pc_cycles {
+            let i = pc as usize;
+            if i >= hist.len() {
+                hist.resize(i + 1, 0);
+            }
+            hist[i] += charged;
+        }
+        exit
     }
 
     /// The single execution core shared by both [`Machine::run`] loop
@@ -491,7 +563,13 @@ impl Machine {
                 match self.mem.load(addr) {
                     Ok(v) => {
                         if INSTRUMENTED {
-                            self.log_access(pc, addr, AccessKind::Load, self.atomic_from.is_some());
+                            self.log_access(
+                                pc,
+                                addr,
+                                AccessKind::Load,
+                                self.atomic_from.is_some(),
+                                v,
+                            );
                         }
                         regs.set(rd, v);
                         regs.advance();
@@ -503,13 +581,14 @@ impl Machine {
                 self.clock += u64::from(cost.store);
                 let addr = regs.get(base).wrapping_add(off as u32);
                 let was_atomic = self.atomic_from.is_some();
-                match self.mem.store(addr, regs.get(rs)) {
+                let value = regs.get(rs);
+                match self.mem.store(addr, value) {
                     Ok(()) => {
                         // A store commits and releases an i860 atomic
                         // sequence.
                         self.atomic_from = None;
                         if INSTRUMENTED {
-                            self.log_access(pc, addr, AccessKind::Store, was_atomic);
+                            self.log_access(pc, addr, AccessKind::Store, was_atomic, value);
                         }
                         regs.advance();
                     }
@@ -576,7 +655,7 @@ impl Machine {
                 }
                 self.atomic_from = None;
                 if INSTRUMENTED {
-                    self.log_access(pc, addr, AccessKind::Rmw, true);
+                    self.log_access(pc, addr, AccessKind::Rmw, true, old);
                 }
                 regs.set(rd, old);
                 regs.advance();
@@ -873,11 +952,75 @@ mod tests {
         );
         assert!(machine.take_accesses().is_empty(), "drained");
         // Kernel-side RMW logging.
-        machine.log_kernel_rmw(9, 16);
+        machine.log_kernel_rmw(9, 16, 1);
         let log = machine.take_accesses();
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].kind, AccessKind::Rmw);
         assert!(log[0].atomic);
+        assert_eq!(log[0].value, 1);
+    }
+
+    #[test]
+    fn access_log_carries_observed_values() {
+        let program = assemble(|a| {
+            a.li(Reg::A0, 16);
+            a.tas(Reg::V0, Reg::A0); // rmw: old value 0
+            a.tas(Reg::V1, Reg::A0); // rmw: old value 1
+            a.lw(Reg::T0, Reg::A0, 0); // load observes 1
+            a.li(Reg::T1, 0);
+            a.sw(Reg::T1, Reg::A0, 0); // store writes 0
+            a.halt();
+        });
+        let mut machine = Machine::new(CpuProfile::i486(), 1024);
+        machine.enable_access_log();
+        let mut regs = RegFile::new(0);
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        let values: Vec<(AccessKind, u32)> = machine
+            .take_accesses()
+            .iter()
+            .map(|a| (a.kind, a.value))
+            .collect();
+        assert_eq!(
+            values,
+            vec![
+                (AccessKind::Rmw, 0),
+                (AccessKind::Rmw, 1),
+                (AccessKind::Load, 1),
+                (AccessKind::Store, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn pc_profile_accumulates_cycles_per_pc() {
+        let program = assemble(|a| {
+            a.li(Reg::T0, 3); // @0: alu
+            let top = a.bind_new();
+            a.addi(Reg::T0, Reg::T0, -1); // @1: alu, 3 times
+            a.bnez(Reg::T0, top); // @2: branch, 3 times
+            a.halt(); // @3
+        });
+        let mut machine = Machine::new(CpuProfile::r3000(), 64);
+        assert!(!machine.pc_profile_enabled());
+        machine.enable_pc_profile();
+        assert!(machine.pc_profile_enabled());
+        assert!(machine.instrumented(), "pc profile forces instrumentation");
+        let mut regs = RegFile::new(0);
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        let hist = machine.pc_cycles();
+        let c = *machine.profile().cost();
+        assert_eq!(hist[0], u64::from(c.alu));
+        assert_eq!(hist[1], 3 * u64::from(c.alu));
+        assert_eq!(hist[2], 3 * u64::from(c.branch));
+        assert_eq!(hist[3], u64::from(c.alu));
+        assert_eq!(hist.iter().sum::<u64>(), machine.clock());
+        // The histogram's sum matches the cost model's static account.
+        let static_cost: u64 = (0..4u32)
+            .map(|pc| c.inst_cycles(&program.fetch(pc).unwrap()))
+            .sum();
+        assert_eq!(static_cost, hist[0] + hist[1] / 3 + hist[2] / 3 + hist[3]);
+        // Disabled machines report an empty histogram.
+        assert!(Machine::new(CpuProfile::r3000(), 64).pc_cycles().is_empty());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 use std::fmt;
 
+use ras_isa::Inst;
+
 /// Per-instruction-class cycle costs and kernel-path costs for one
 /// processor architecture.
 ///
@@ -54,6 +56,32 @@ pub struct CostModel {
     /// Servicing a page fault (I/O latency folded in), used by the paging
     /// extension.
     pub page_fault_service: u32,
+}
+
+impl CostModel {
+    /// The cycles [`crate::Machine`] charges for executing `inst` —
+    /// mirrors the execution core's accounting, so callers (e.g. the
+    /// kernel's wasted-cycle attribution for rollbacks) can cost an
+    /// instruction without executing it. `syscall` is zero here because
+    /// its cost is the kernel's `syscall_trap`, charged at the trap.
+    pub fn inst_cycles(&self, inst: &Inst) -> u64 {
+        let cycles = match inst {
+            Inst::Li { .. }
+            | Inst::Alu { .. }
+            | Inst::AluI { .. }
+            | Inst::BeginAtomic
+            | Inst::Halt => self.alu,
+            Inst::Lw { .. } => self.load,
+            Inst::Sw { .. } => self.store,
+            Inst::Branch { .. } => self.branch,
+            Inst::J { .. } | Inst::Jr { .. } => self.jump,
+            Inst::Jal { .. } | Inst::Jalr { .. } => self.jump + self.call_extra,
+            Inst::Nop | Inst::Landmark => self.nop,
+            Inst::Tas { .. } => self.interlocked,
+            Inst::Syscall => 0,
+        };
+        u64::from(cycles)
+    }
 }
 
 impl Default for CostModel {

@@ -14,6 +14,10 @@
 //! * `--smoke` — quick subset for CI: one software target, one hardware
 //!   target, and the ablation, with a reduced schedule cap
 //! * `--json` — machine-readable output
+//! * `--trace-out PATH` — replay the first counterexample found and write
+//!   it as a Chrome/Perfetto trace (load at `ui.perfetto.dev`); for an
+//!   expected ablation refutation this shows the exact preemption that
+//!   loses the update
 //!
 //! Exit codes: `0` every target matched its expectation (safe targets
 //! verified, the ablation refuted), `1` some target did not, `2` usage
@@ -29,6 +33,7 @@ struct Options {
     filters: Vec<String>,
     smoke: bool,
     json: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
@@ -37,6 +42,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         filters: Vec::new(),
         smoke: false,
         json: false,
+        trace_out: None,
     };
     args.next(); // program name
     while let Some(arg) = args.next() {
@@ -57,6 +63,9 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                 .push(args.next().ok_or("--target requires a value")?),
             "--smoke" => opts.smoke = true,
             "--json" => opts.json = true,
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().ok_or("--trace-out requires a value")?);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
         }
@@ -67,7 +76,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: ras-check [--bound N] [--depth N] [--schedules N] [--workers N] \
-         [--iterations N] [--target ID]... [--smoke] [--json]"
+         [--iterations N] [--target ID]... [--smoke] [--json] [--trace-out PATH]"
     );
 }
 
@@ -197,6 +206,26 @@ fn main() -> ExitCode {
             total,
             pruned
         );
+    }
+    if let Some(path) = &opts.trace_out {
+        let found = reports.iter().find_map(|r| {
+            r.violations
+                .first()
+                .map(|v| (r.target, v.diag.kind.code(), &v.schedule))
+        });
+        match found {
+            Some((target, code, schedule)) => {
+                let (events, mhz) = ras_model::counterexample_trace(target, &opts.config, schedule);
+                let name = format!("{} counterexample: {}", target.id(), code);
+                let trace = ras_obs::chrome_trace(&events, mhz, &name);
+                if let Err(e) = std::fs::write(path, trace) {
+                    eprintln!("ras-check: writing {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("ras-check: counterexample trace written to {path}");
+            }
+            None => eprintln!("ras-check: no counterexample found, {path} not written"),
+        }
     }
     if reports.iter().all(TargetReport::ok) {
         ExitCode::SUCCESS

@@ -1003,3 +1003,53 @@ pub fn check_target(target: ModelTarget, config: &CheckConfig) -> TargetReport {
     explorer.run();
     explorer.into_report()
 }
+
+/// Replays a counterexample schedule from a fresh boot with full event
+/// recording and returns the captured timeline plus the target CPU's
+/// clock rate in MHz (what [`ras_obs::chrome_trace`] needs to convert
+/// cycles to microseconds). Stepping is identical to exploration, so the
+/// trace shows exactly the interleaving the violation needs — every
+/// dispatch, forced preemption, and rollback as timestamped events.
+pub fn counterexample_trace(
+    target: ModelTarget,
+    config: &CheckConfig,
+    schedule: &Schedule,
+) -> (Vec<ras_obs::TimedObsEvent>, f64) {
+    let mhz = target.profile().mhz();
+    let explorer = Explorer::new(target, config);
+    let mut kernel = explorer.boot(false);
+    kernel.enable_recording(true);
+    let mut det = None;
+    let mut index = 0u64;
+    loop {
+        match advance(&mut kernel, &mut det) {
+            Point::Terminal(_) => break,
+            Point::Boundary | Point::FreeDispatch => {
+                if index >= config.max_visible_ops.saturating_mul(4) {
+                    break;
+                }
+                match schedule.decision_at(index) {
+                    Some(Decision::Preempt(u)) => {
+                        if kernel.preempt_current() {
+                            kernel.schedule_next(u);
+                        }
+                    }
+                    Some(Decision::Dispatch(u)) => {
+                        kernel.schedule_next(u);
+                    }
+                    Some(Decision::Continue) | None => {}
+                }
+                index += 1;
+                match apply_step(&mut kernel, &mut det) {
+                    StepOutcome::Ran { .. } | StepOutcome::Idled => {}
+                    _ => break,
+                }
+            }
+        }
+    }
+    let events = kernel
+        .take_recording()
+        .map(ras_obs::Recording::into_events)
+        .unwrap_or_default();
+    (events, mhz)
+}

@@ -259,6 +259,7 @@ mod tests {
             kind,
             clock: 0,
             atomic,
+            value: 0,
         }
     }
 

@@ -39,7 +39,9 @@ pub mod explore;
 pub mod hb;
 pub mod schedule;
 
-pub use explore::{check_target, CheckConfig, ModelTarget, TargetReport, Violation};
+pub use explore::{
+    check_target, counterexample_trace, CheckConfig, ModelTarget, TargetReport, Violation,
+};
 pub use hb::{Race, RaceDetector};
 pub use schedule::{minimize, Schedule};
 

@@ -1,0 +1,195 @@
+//! The structured event vocabulary the kernel emits.
+//!
+//! Thread identities are raw `u32`s rather than `ras_kernel::ThreadId`:
+//! the kernel depends on this crate, not the other way around, so the
+//! event layer stays reusable by anything that schedules threads.
+
+/// Why a thread was switched off the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// The preemption timer expired.
+    Quantum,
+    /// The thread yielded voluntarily (`SYS_YIELD`).
+    Yield,
+    /// The thread blocked on a futex word or a join.
+    Block,
+    /// The thread went to sleep until a deadline.
+    Sleep,
+    /// A page fault suspended the thread mid-instruction.
+    PageFault,
+    /// The thread exited.
+    Exit,
+}
+
+impl SwitchReason {
+    /// A short lowercase label, used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwitchReason::Quantum => "quantum",
+            SwitchReason::Yield => "yield",
+            SwitchReason::Block => "block",
+            SwitchReason::Sleep => "sleep",
+            SwitchReason::PageFault => "page-fault",
+            SwitchReason::Exit => "exit",
+        }
+    }
+}
+
+/// One structured observability event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// Recording was enabled; `threads` threads already existed (at
+    /// minimum the main thread, spawned at kernel boot before any
+    /// recorder can be attached).
+    Boot {
+        /// Threads alive when recording started.
+        threads: u32,
+    },
+    /// A thread was created.
+    Spawn {
+        /// The new thread.
+        thread: u32,
+    },
+    /// A thread was given the processor.
+    Dispatch {
+        /// The thread.
+        thread: u32,
+    },
+    /// A thread was switched off the processor.
+    SwitchOut {
+        /// The thread.
+        thread: u32,
+        /// Why it stopped running.
+        reason: SwitchReason,
+        /// Whether its PC was inside a restartable atomic sequence at
+        /// suspension time — the quantity the paper argues is almost
+        /// always false.
+        inside_sequence: bool,
+    },
+    /// A restartable atomic sequence was rolled back.
+    Rollback {
+        /// The suspended thread.
+        thread: u32,
+        /// PC at suspension.
+        from: u32,
+        /// Sequence start it was rolled back to.
+        to: u32,
+        /// Straight-line cycle cost of the instructions in `[to, from)`
+        /// that must re-execute — the work the rollback wasted.
+        wasted_cycles: u64,
+    },
+    /// The thread was redirected through the user-level recovery routine.
+    UserRedirect {
+        /// The thread.
+        thread: u32,
+    },
+    /// A system call trapped into the kernel.
+    Syscall {
+        /// The calling thread.
+        thread: u32,
+        /// The syscall number (`ras_isa::abi::SYS_*`).
+        num: u32,
+    },
+    /// A kernel-emulated Test-And-Set probed a lock word.
+    LockAttempt {
+        /// The calling thread.
+        thread: u32,
+        /// The lock word address.
+        addr: u32,
+        /// Whether the probe saw the lock free (old value zero).
+        acquired: bool,
+    },
+    /// A restartable sequence range was registered (`SYS_RAS_REGISTER`).
+    SeqRegister {
+        /// The registering thread.
+        thread: u32,
+        /// First PC of the sequence.
+        start: u32,
+        /// Length in instructions.
+        len: u32,
+    },
+    /// A blocked or sleeping thread became ready.
+    Wake {
+        /// The thread.
+        thread: u32,
+    },
+    /// A page fault was serviced.
+    PageFault {
+        /// The faulting thread.
+        thread: u32,
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// The processor idled with nothing runnable.
+    Idle {
+        /// Idle cycles (the event is emitted when the idle period ends).
+        cycles: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The thread the event concerns, if it concerns one.
+    pub fn thread(&self) -> Option<u32> {
+        match *self {
+            ObsEvent::Boot { .. } | ObsEvent::Idle { .. } => None,
+            ObsEvent::Spawn { thread }
+            | ObsEvent::Dispatch { thread }
+            | ObsEvent::SwitchOut { thread, .. }
+            | ObsEvent::Rollback { thread, .. }
+            | ObsEvent::UserRedirect { thread }
+            | ObsEvent::Syscall { thread, .. }
+            | ObsEvent::LockAttempt { thread, .. }
+            | ObsEvent::SeqRegister { thread, .. }
+            | ObsEvent::Wake { thread }
+            | ObsEvent::PageFault { thread, .. } => Some(thread),
+        }
+    }
+}
+
+/// An event with the machine clock at which it occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedObsEvent {
+    /// Machine cycles at the event.
+    pub clock: u64,
+    /// What happened.
+    pub event: ObsEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_attribution() {
+        assert_eq!(ObsEvent::Boot { threads: 1 }.thread(), None);
+        assert_eq!(ObsEvent::Idle { cycles: 5 }.thread(), None);
+        assert_eq!(ObsEvent::Dispatch { thread: 3 }.thread(), Some(3));
+        assert_eq!(
+            ObsEvent::Rollback {
+                thread: 2,
+                from: 9,
+                to: 5,
+                wasted_cycles: 4
+            }
+            .thread(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn switch_reason_labels_are_distinct() {
+        let all = [
+            SwitchReason::Quantum,
+            SwitchReason::Yield,
+            SwitchReason::Block,
+            SwitchReason::Sleep,
+            SwitchReason::PageFault,
+            SwitchReason::Exit,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Observability for the restartable-atomic-sequence reproduction.
+//!
+//! The paper's central empirical claim is that preemption inside a
+//! restartable atomic sequence is *rare*, so optimistic rollback is nearly
+//! free. This crate turns that claim into something measurable: a
+//! structured event layer the kernel emits through the [`Recorder`] trait
+//! (context switches, rollbacks with wasted-cycle attribution, syscalls,
+//! lock acquire/contend, quantum expiries), aggregated into per-thread and
+//! global [`Metrics`], plus exporters — Chrome/Perfetto trace-event JSON
+//! ([`chrome_trace`]) and a compact text report ([`Metrics::render`]).
+//!
+//! The layer is zero-cost when disabled: the kernel holds an
+//! `Option<Box<Recording>>` and every emission site is a single
+//! `is_some` branch on the cold scheduling path; the machine's hot
+//! interpreter loop is never touched.
+//!
+//! Two further profiles complement the event stream:
+//!
+//! * [`lock_profile`] reconstructs lock hold and contention time from the
+//!   machine's data-access log by replaying the lock word's value
+//!   transitions — mechanism-agnostic, so it works for optimistic RAS
+//!   sequences whose release is an ordinary store the kernel never sees;
+//! * [`symbolized_profile`] buckets the machine's per-PC cycle histogram
+//!   back through program labels into a hot-path profile.
+//!
+//! Everything here is deterministic: same run, same events, same JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod lockprof;
+mod metrics;
+mod perfetto;
+mod profile;
+mod recorder;
+
+pub use crate::event::{ObsEvent, SwitchReason, TimedObsEvent};
+pub use crate::json::{parse_json, Json};
+pub use crate::lockprof::{lock_profile, LockProfile};
+pub use crate::metrics::{Metrics, ThreadMetrics};
+pub use crate::perfetto::{chrome_trace, validate_chrome_trace, TraceSummary};
+pub use crate::profile::{render_hotspots, symbolized_profile, HotSpot};
+pub use crate::recorder::{Recorder, Recording};

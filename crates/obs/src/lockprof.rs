@@ -1,0 +1,150 @@
+//! Lock hold/contention profiling from the machine's data-access log.
+//!
+//! Most of the paper's mechanisms release a lock with an ordinary store
+//! the kernel never observes, so event-level accounting cannot measure
+//! hold time. The access log can: every load, store, and RMW of the lock
+//! word carries the value it saw or wrote, and replaying those value
+//! transitions reconstructs the lock's life cycle for *any* mechanism —
+//! optimistic RAS sequences, hardware Test-And-Set, and the kernel
+//! emulation alike.
+
+use ras_machine::{AccessKind, MemAccess};
+
+/// Aggregate lock statistics for one lock word.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockProfile {
+    /// Successful acquisitions (an RMW that saw zero, or a nonzero store).
+    pub acquisitions: u64,
+    /// Releases (a store of zero).
+    pub releases: u64,
+    /// Contended probes: an RMW that saw the lock held, or a load that
+    /// observed a nonzero word.
+    pub contended_probes: u64,
+    /// Total cycles the lock was held (acquire to release).
+    pub hold_cycles: u64,
+    /// The longest single hold.
+    pub max_hold_cycles: u64,
+    /// Cycles from the first contended probe of a streak to the acquire
+    /// that ended it.
+    pub contention_cycles: u64,
+}
+
+/// Replays the accesses to `lock_addr` and reconstructs the lock's hold
+/// and contention profile. Accesses to other addresses are ignored, so
+/// the whole access log can be passed directly.
+pub fn lock_profile(accesses: &[MemAccess], lock_addr: u32) -> LockProfile {
+    let mut p = LockProfile::default();
+    let mut held_since: Option<u64> = None;
+    let mut contending_since: Option<u64> = None;
+    let acquire = |p: &mut LockProfile,
+                   held_since: &mut Option<u64>,
+                   contending_since: &mut Option<u64>,
+                   clock: u64| {
+        p.acquisitions += 1;
+        if let Some(since) = contending_since.take() {
+            p.contention_cycles += clock.saturating_sub(since);
+        }
+        *held_since = Some(clock);
+    };
+    for a in accesses.iter().filter(|a| a.addr == lock_addr) {
+        match a.kind {
+            AccessKind::Rmw => {
+                // The logged value of an RMW is the *old* word.
+                if a.value == 0 {
+                    acquire(&mut p, &mut held_since, &mut contending_since, a.clock);
+                } else {
+                    p.contended_probes += 1;
+                    contending_since.get_or_insert(a.clock);
+                }
+            }
+            AccessKind::Load => {
+                // The optimistic probe of a RAS or Lamport sequence: a
+                // nonzero observation means someone else holds the lock.
+                if a.value != 0 {
+                    p.contended_probes += 1;
+                    contending_since.get_or_insert(a.clock);
+                }
+            }
+            AccessKind::Store => {
+                if a.value == 0 {
+                    p.releases += 1;
+                    if let Some(since) = held_since.take() {
+                        let hold = a.clock.saturating_sub(since);
+                        p.hold_cycles += hold;
+                        p.max_hold_cycles = p.max_hold_cycles.max(hold);
+                    }
+                } else {
+                    // The committing store of an optimistic sequence.
+                    acquire(&mut p, &mut held_since, &mut contending_since, a.clock);
+                }
+            }
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(clock: u64, kind: AccessKind, value: u32) -> MemAccess {
+        MemAccess {
+            pc: 0,
+            addr: 64,
+            kind,
+            clock,
+            atomic: kind == AccessKind::Rmw,
+            value,
+        }
+    }
+
+    #[test]
+    fn tas_style_lifecycle() {
+        // acquire (old 0) at 10, contended probes at 20/30, release at 40,
+        // acquire at 50, release at 55.
+        let log = vec![
+            acc(10, AccessKind::Rmw, 0),
+            acc(20, AccessKind::Rmw, 1),
+            acc(30, AccessKind::Rmw, 1),
+            acc(40, AccessKind::Store, 0),
+            acc(50, AccessKind::Rmw, 0),
+            acc(55, AccessKind::Store, 0),
+        ];
+        let p = lock_profile(&log, 64);
+        assert_eq!(p.acquisitions, 2);
+        assert_eq!(p.releases, 2);
+        assert_eq!(p.contended_probes, 2);
+        assert_eq!(p.hold_cycles, 30 + 5);
+        assert_eq!(p.max_hold_cycles, 30);
+        assert_eq!(p.contention_cycles, 50 - 20);
+    }
+
+    #[test]
+    fn ras_style_lifecycle_with_optimistic_loads() {
+        // load sees 0 (free), store 1 commits the acquire, load by the
+        // other thread sees 1 (contended), store 0 releases.
+        let log = vec![
+            acc(5, AccessKind::Load, 0),
+            acc(8, AccessKind::Store, 1),
+            acc(12, AccessKind::Load, 1),
+            acc(20, AccessKind::Store, 0),
+            acc(22, AccessKind::Load, 0),
+            acc(25, AccessKind::Store, 1),
+            acc(31, AccessKind::Store, 0),
+        ];
+        let p = lock_profile(&log, 64);
+        assert_eq!(p.acquisitions, 2);
+        assert_eq!(p.releases, 2);
+        assert_eq!(p.contended_probes, 1);
+        assert_eq!(p.hold_cycles, 12 + 6);
+        assert_eq!(p.contention_cycles, 25 - 12);
+    }
+
+    #[test]
+    fn other_addresses_are_ignored() {
+        let mut other = acc(10, AccessKind::Rmw, 0);
+        other.addr = 128;
+        let p = lock_profile(&[other], 64);
+        assert_eq!(p, LockProfile::default());
+    }
+}

@@ -1,0 +1,411 @@
+//! Aggregated counters derived from the event stream.
+
+use std::fmt::Write as _;
+
+use crate::{ObsEvent, SwitchReason};
+
+/// Global and per-thread counters aggregated from the event stream.
+///
+/// Built incrementally by [`Metrics::apply`]; the [`crate::Recording`]
+/// recorder feeds it automatically. All cycle figures are simulated
+/// machine cycles.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Threads created while recording (the boot marker's pre-existing
+    /// threads are not counted here).
+    pub spawns: u64,
+    /// Dispatches (a thread given the processor).
+    pub dispatches: u64,
+    /// Dispatches that actually switched threads.
+    pub context_switches: u64,
+    /// Timer-quantum expiries (involuntary preemptions).
+    pub quantum_expiries: u64,
+    /// Suspensions whose PC lay inside a restartable atomic sequence —
+    /// the paper's "rare event".
+    pub preemptions_inside_sequence: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Straight-line cycles of rolled-back work that had to re-execute.
+    pub wasted_cycles: u64,
+    /// Syscall traps.
+    pub syscalls: u64,
+    /// Kernel-emulated Test-And-Set probes.
+    pub lock_attempts: u64,
+    /// Probes that found the lock held.
+    pub lock_contended_attempts: u64,
+    /// Cycles threads spent spinning between the first contended probe of
+    /// a streak and the acquire that ended it.
+    pub lock_contention_cycles: u64,
+    /// Sequence registrations.
+    pub registrations: u64,
+    /// User-level recovery redirects.
+    pub user_redirects: u64,
+    /// Page faults serviced.
+    pub page_faults: u64,
+    /// Wake-ups delivered.
+    pub wakeups: u64,
+    /// Cycles the processor idled with nothing runnable.
+    pub idle_cycles: u64,
+    /// Cycles threads spent dispatched (user code plus the kernel work
+    /// charged while they ran).
+    pub run_cycles: u64,
+    threads: Vec<ThreadMetrics>,
+    last_dispatched: Option<u32>,
+}
+
+/// Per-thread slice of [`Metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct ThreadMetrics {
+    /// The thread id.
+    pub thread: u32,
+    /// Dispatches of this thread.
+    pub dispatches: u64,
+    /// Quantum expiries that hit this thread.
+    pub quantum_expiries: u64,
+    /// Rollbacks of this thread.
+    pub rollbacks: u64,
+    /// Wasted re-execution cycles attributed to this thread.
+    pub wasted_cycles: u64,
+    /// Syscalls this thread made.
+    pub syscalls: u64,
+    /// Cycles this thread spent dispatched.
+    pub run_cycles: u64,
+    dispatched_at: Option<u64>,
+    contending_since: Option<u64>,
+}
+
+impl Metrics {
+    /// Folds one event into the counters.
+    pub fn apply(&mut self, clock: u64, event: &ObsEvent) {
+        match *event {
+            ObsEvent::Boot { .. } => {}
+            ObsEvent::Spawn { thread } => {
+                self.spawns += 1;
+                self.thread_mut(thread);
+            }
+            ObsEvent::Dispatch { thread } => {
+                self.dispatches += 1;
+                if self.last_dispatched != Some(thread) {
+                    self.context_switches += 1;
+                }
+                self.last_dispatched = Some(thread);
+                let t = self.thread_mut(thread);
+                t.dispatches += 1;
+                t.dispatched_at = Some(clock);
+            }
+            ObsEvent::SwitchOut {
+                thread,
+                reason,
+                inside_sequence,
+            } => {
+                if reason == SwitchReason::Quantum {
+                    self.quantum_expiries += 1;
+                }
+                if inside_sequence {
+                    self.preemptions_inside_sequence += 1;
+                }
+                let t = self.thread_mut(thread);
+                if reason == SwitchReason::Quantum {
+                    t.quantum_expiries += 1;
+                }
+                if let Some(at) = t.dispatched_at.take() {
+                    let ran = clock.saturating_sub(at);
+                    t.run_cycles += ran;
+                    self.run_cycles += ran;
+                }
+            }
+            ObsEvent::Rollback {
+                thread,
+                wasted_cycles,
+                ..
+            } => {
+                self.rollbacks += 1;
+                self.wasted_cycles += wasted_cycles;
+                let t = self.thread_mut(thread);
+                t.rollbacks += 1;
+                t.wasted_cycles += wasted_cycles;
+            }
+            ObsEvent::UserRedirect { .. } => self.user_redirects += 1,
+            ObsEvent::Syscall { thread, .. } => {
+                self.syscalls += 1;
+                self.thread_mut(thread).syscalls += 1;
+            }
+            ObsEvent::LockAttempt {
+                thread, acquired, ..
+            } => {
+                self.lock_attempts += 1;
+                if !acquired {
+                    self.lock_contended_attempts += 1;
+                }
+                let t = self.thread_mut(thread);
+                let streak_start = if acquired {
+                    t.contending_since.take()
+                } else {
+                    t.contending_since.get_or_insert(clock);
+                    None
+                };
+                if let Some(since) = streak_start {
+                    self.lock_contention_cycles += clock.saturating_sub(since);
+                }
+            }
+            ObsEvent::SeqRegister { .. } => self.registrations += 1,
+            ObsEvent::Wake { .. } => self.wakeups += 1,
+            ObsEvent::PageFault { .. } => self.page_faults += 1,
+            ObsEvent::Idle { cycles } => self.idle_cycles += cycles,
+        }
+    }
+
+    /// Per-thread counters, in thread-id order (threads the stream never
+    /// mentioned are absent).
+    pub fn threads(&self) -> &[ThreadMetrics] {
+        &self.threads
+    }
+
+    /// One thread's counters, if the stream mentioned it.
+    pub fn thread(&self, id: u32) -> Option<&ThreadMetrics> {
+        self.threads.iter().find(|t| t.thread == id)
+    }
+
+    /// Rollbacks per hundred quantum expiries — the paper's "restarts are
+    /// rare" claim as a number. Zero when no quantum ever expired.
+    pub fn rollbacks_per_100_quanta(&self) -> f64 {
+        if self.quantum_expiries == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 * 100.0 / self.quantum_expiries as f64
+        }
+    }
+
+    /// The compact text report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "observability metrics");
+        let mut line = |k: &str, v: String| {
+            let _ = writeln!(s, "  {k:<28} {v}");
+        };
+        line("dispatches", self.dispatches.to_string());
+        line("context switches", self.context_switches.to_string());
+        line("quantum expiries", self.quantum_expiries.to_string());
+        line(
+            "preemptions inside sequence",
+            self.preemptions_inside_sequence.to_string(),
+        );
+        line(
+            "rollbacks",
+            format!(
+                "{} ({:.2} per 100 quanta)",
+                self.rollbacks,
+                self.rollbacks_per_100_quanta()
+            ),
+        );
+        line("wasted rollback cycles", self.wasted_cycles.to_string());
+        line("syscalls", self.syscalls.to_string());
+        line(
+            "lock attempts",
+            format!(
+                "{} ({} contended, {} contention cycles)",
+                self.lock_attempts, self.lock_contended_attempts, self.lock_contention_cycles
+            ),
+        );
+        line("sequence registrations", self.registrations.to_string());
+        line("user-level redirects", self.user_redirects.to_string());
+        line("page faults", self.page_faults.to_string());
+        line("wakeups", self.wakeups.to_string());
+        line("run cycles", self.run_cycles.to_string());
+        line("idle cycles", self.idle_cycles.to_string());
+        let _ = writeln!(s, "per-thread");
+        for t in &self.threads {
+            let _ = writeln!(
+                s,
+                "  t{}: dispatches={} quanta={} rollbacks={} wasted={} syscalls={} run_cycles={}",
+                t.thread,
+                t.dispatches,
+                t.quantum_expiries,
+                t.rollbacks,
+                t.wasted_cycles,
+                t.syscalls,
+                t.run_cycles
+            );
+        }
+        s
+    }
+
+    fn thread_mut(&mut self, id: u32) -> &mut ThreadMetrics {
+        match self.threads.iter().position(|t| t.thread == id) {
+            Some(i) => &mut self.threads[i],
+            None => {
+                self.threads.push(ThreadMetrics {
+                    thread: id,
+                    ..ThreadMetrics::default()
+                });
+                self.threads.sort_by_key(|t| t.thread);
+                let i = self
+                    .threads
+                    .iter()
+                    .position(|t| t.thread == id)
+                    .expect("just inserted");
+                &mut self.threads[i]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(metrics: &mut Metrics, events: &[(u64, ObsEvent)]) {
+        for (clock, e) in events {
+            metrics.apply(*clock, e);
+        }
+    }
+
+    #[test]
+    fn run_cycles_and_context_switches() {
+        let mut m = Metrics::default();
+        feed(
+            &mut m,
+            &[
+                (0, ObsEvent::Dispatch { thread: 0 }),
+                (
+                    100,
+                    ObsEvent::SwitchOut {
+                        thread: 0,
+                        reason: SwitchReason::Quantum,
+                        inside_sequence: false,
+                    },
+                ),
+                (110, ObsEvent::Dispatch { thread: 1 }),
+                (
+                    200,
+                    ObsEvent::SwitchOut {
+                        thread: 1,
+                        reason: SwitchReason::Exit,
+                        inside_sequence: false,
+                    },
+                ),
+                (210, ObsEvent::Dispatch { thread: 0 }),
+                (
+                    300,
+                    ObsEvent::SwitchOut {
+                        thread: 0,
+                        reason: SwitchReason::Exit,
+                        inside_sequence: false,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(m.dispatches, 3);
+        assert_eq!(m.context_switches, 3);
+        assert_eq!(m.quantum_expiries, 1);
+        assert_eq!(m.run_cycles, 100 + 90 + 90);
+        assert_eq!(m.thread(0).unwrap().run_cycles, 190);
+        assert_eq!(m.thread(1).unwrap().run_cycles, 90);
+        assert_eq!(m.thread(0).unwrap().quantum_expiries, 1);
+    }
+
+    #[test]
+    fn redispatch_of_the_same_thread_is_not_a_context_switch() {
+        let mut m = Metrics::default();
+        feed(
+            &mut m,
+            &[
+                (0, ObsEvent::Dispatch { thread: 2 }),
+                (
+                    10,
+                    ObsEvent::SwitchOut {
+                        thread: 2,
+                        reason: SwitchReason::Quantum,
+                        inside_sequence: false,
+                    },
+                ),
+                (12, ObsEvent::Dispatch { thread: 2 }),
+            ],
+        );
+        assert_eq!(m.dispatches, 2);
+        assert_eq!(m.context_switches, 1);
+    }
+
+    #[test]
+    fn rollback_rate_per_100_quanta() {
+        let mut m = Metrics::default();
+        assert_eq!(m.rollbacks_per_100_quanta(), 0.0);
+        for clock in 0..200u64 {
+            m.apply(
+                clock,
+                &ObsEvent::SwitchOut {
+                    thread: 0,
+                    reason: SwitchReason::Quantum,
+                    inside_sequence: false,
+                },
+            );
+        }
+        m.apply(
+            201,
+            &ObsEvent::Rollback {
+                thread: 0,
+                from: 9,
+                to: 5,
+                wasted_cycles: 4,
+            },
+        );
+        assert!((m.rollbacks_per_100_quanta() - 0.5).abs() < 1e-12);
+        assert_eq!(m.wasted_cycles, 4);
+    }
+
+    #[test]
+    fn lock_contention_window_spans_failed_probes() {
+        let mut m = Metrics::default();
+        feed(
+            &mut m,
+            &[
+                (
+                    10,
+                    ObsEvent::LockAttempt {
+                        thread: 1,
+                        addr: 64,
+                        acquired: false,
+                    },
+                ),
+                (
+                    20,
+                    ObsEvent::LockAttempt {
+                        thread: 1,
+                        addr: 64,
+                        acquired: false,
+                    },
+                ),
+                (
+                    45,
+                    ObsEvent::LockAttempt {
+                        thread: 1,
+                        addr: 64,
+                        acquired: true,
+                    },
+                ),
+                (
+                    50,
+                    ObsEvent::LockAttempt {
+                        thread: 2,
+                        addr: 64,
+                        acquired: true,
+                    },
+                ),
+            ],
+        );
+        assert_eq!(m.lock_attempts, 4);
+        assert_eq!(m.lock_contended_attempts, 2);
+        assert_eq!(m.lock_contention_cycles, 35);
+    }
+
+    #[test]
+    fn render_mentions_the_headline_counters() {
+        let mut m = Metrics::default();
+        m.apply(0, &ObsEvent::Dispatch { thread: 0 });
+        let text = m.render();
+        assert!(text.contains("rollbacks"));
+        assert!(text.contains("quantum expiries"));
+        assert!(text.contains("per-thread"));
+        assert!(text.contains("t0:"));
+    }
+}

@@ -1,0 +1,412 @@
+//! Chrome/Perfetto trace-event JSON export and schema validation.
+//!
+//! The exporter writes the classic Chrome trace-event format (the
+//! `{"traceEvents": [...]}` JSON Perfetto's UI and `chrome://tracing`
+//! both load): one track per thread, a `B`/`E` slice per scheduling
+//! interval, instants for rollbacks, lock probes, syscalls, and faults,
+//! and an `X` complete-event track for processor idle time. Timestamps
+//! are microseconds of simulated time (cycles divided by the clock rate).
+//!
+//! [`validate_chrome_trace`] re-reads the output with this crate's own
+//! JSON parser and checks the structural schema — required fields per
+//! phase, balanced `B`/`E` nesting per track — so tests and CI can gate
+//! on well-formedness without external tools.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{Json, ObsEvent, TimedObsEvent};
+
+/// The synthetic track id used for processor-idle slices.
+pub const IDLE_TID: u32 = 999_999;
+
+const PID: u32 = 1;
+
+/// Serializes a recorded event stream as Chrome trace-event JSON.
+///
+/// `cycles_per_us` converts the machine clock to trace timestamps — pass
+/// the CPU profile's MHz (cycles per microsecond). `process_name` labels
+/// the process track, e.g. `"ras-registered × counter"`.
+pub fn chrome_trace(events: &[TimedObsEvent], cycles_per_us: f64, process_name: &str) -> String {
+    let ts = |clock: u64| clock as f64 / cycles_per_us.max(1e-9);
+    let mut out: Vec<String> = Vec::new();
+    out.push(format!(
+        r#"{{"name":"process_name","ph":"M","pid":{PID},"tid":0,"args":{{"name":"{}"}}}}"#,
+        escape(process_name)
+    ));
+    let mut named: HashMap<u32, ()> = HashMap::new();
+    let mut open: HashMap<u32, bool> = HashMap::new();
+    let mut last_clock = 0u64;
+    let mut name_thread = |out: &mut Vec<String>, tid: u32| {
+        if named.insert(tid, ()).is_none() {
+            let label = if tid == IDLE_TID {
+                "idle".to_owned()
+            } else {
+                format!("thread {tid}")
+            };
+            out.push(format!(
+                r#"{{"name":"thread_name","ph":"M","pid":{PID},"tid":{tid},"args":{{"name":"{label}"}}}}"#
+            ));
+        }
+    };
+    for e in events {
+        last_clock = last_clock.max(e.clock);
+        let t = ts(e.clock);
+        if let Some(tid) = e.event.thread() {
+            name_thread(&mut out, tid);
+        }
+        match e.event {
+            ObsEvent::Boot { threads } => {
+                out.push(format!(
+                    r#"{{"name":"boot","ph":"i","s":"p","ts":{t:.3},"pid":{PID},"tid":0,"args":{{"threads":{threads}}}}}"#
+                ));
+            }
+            ObsEvent::Spawn { thread } => {
+                out.push(instant(t, thread, "spawn", ""));
+            }
+            ObsEvent::Dispatch { thread } => {
+                // Defensive: close a still-open slice rather than nesting.
+                if open.insert(thread, true) == Some(true) {
+                    out.push(slice_end(t, thread, ""));
+                }
+                out.push(format!(
+                    r#"{{"name":"running","ph":"B","ts":{t:.3},"pid":{PID},"tid":{thread}}}"#
+                ));
+            }
+            ObsEvent::SwitchOut {
+                thread,
+                reason,
+                inside_sequence,
+            } => {
+                if open.insert(thread, false) == Some(true) {
+                    let args = format!(
+                        r#""reason":"{}","inside_sequence":{inside_sequence}"#,
+                        reason.label()
+                    );
+                    out.push(slice_end(t, thread, &args));
+                }
+            }
+            ObsEvent::Rollback {
+                thread,
+                from,
+                to,
+                wasted_cycles,
+            } => {
+                out.push(instant(
+                    t,
+                    thread,
+                    "rollback",
+                    &format!(r#""from":{from},"to":{to},"wasted_cycles":{wasted_cycles}"#),
+                ));
+            }
+            ObsEvent::UserRedirect { thread } => {
+                out.push(instant(t, thread, "user-redirect", ""));
+            }
+            ObsEvent::Syscall { thread, num } => {
+                out.push(instant(t, thread, "syscall", &format!(r#""num":{num}"#)));
+            }
+            ObsEvent::LockAttempt {
+                thread,
+                addr,
+                acquired,
+            } => {
+                out.push(instant(
+                    t,
+                    thread,
+                    "tas",
+                    &format!(r#""addr":{addr},"acquired":{acquired}"#),
+                ));
+            }
+            ObsEvent::SeqRegister { thread, start, len } => {
+                out.push(instant(
+                    t,
+                    thread,
+                    "ras-register",
+                    &format!(r#""start":{start},"len":{len}"#),
+                ));
+            }
+            ObsEvent::Wake { thread } => {
+                out.push(instant(t, thread, "wake", ""));
+            }
+            ObsEvent::PageFault { thread, addr } => {
+                out.push(instant(
+                    t,
+                    thread,
+                    "page-fault",
+                    &format!(r#""addr":{addr}"#),
+                ));
+            }
+            ObsEvent::Idle { cycles } => {
+                name_thread(&mut out, IDLE_TID);
+                let start = ts(e.clock.saturating_sub(cycles));
+                let dur = ts(e.clock) - start;
+                out.push(format!(
+                    r#"{{"name":"idle","ph":"X","ts":{start:.3},"dur":{dur:.3},"pid":{PID},"tid":{IDLE_TID}}}"#
+                ));
+            }
+        }
+    }
+    // Close any slice still open at the end of the recording so the
+    // B/E nesting balances.
+    let t = ts(last_clock);
+    let mut dangling: Vec<u32> = open
+        .into_iter()
+        .filter_map(|(tid, is_open)| is_open.then_some(tid))
+        .collect();
+    dangling.sort_unstable();
+    for tid in dangling {
+        out.push(slice_end(t, tid, r#""reason":"end-of-recording""#));
+    }
+    let mut s = String::from("{\"traceEvents\":[\n");
+    for (i, line) in out.iter().enumerate() {
+        let _ = write!(s, "{line}");
+        let _ = writeln!(s, "{}", if i + 1 < out.len() { "," } else { "" });
+    }
+    s.push_str("]}\n");
+    s
+}
+
+fn instant(ts: f64, tid: u32, name: &str, args: &str) -> String {
+    let args = if args.is_empty() {
+        String::new()
+    } else {
+        format!(r#","args":{{{args}}}"#)
+    };
+    format!(r#"{{"name":"{name}","ph":"i","s":"t","ts":{ts:.3},"pid":{PID},"tid":{tid}{args}}}"#)
+}
+
+fn slice_end(ts: f64, tid: u32, args: &str) -> String {
+    let args = if args.is_empty() {
+        String::new()
+    } else {
+        format!(r#","args":{{{args}}}"#)
+    };
+    format!(r#"{{"name":"running","ph":"E","ts":{ts:.3},"pid":{PID},"tid":{tid}{args}}}"#)
+}
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total trace events.
+    pub events: usize,
+    /// Completed `B`/`E` slice pairs.
+    pub slices: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Distinct `(pid, tid)` tracks seen.
+    pub tracks: usize,
+}
+
+/// Parses `text` as Chrome trace-event JSON and checks the structural
+/// schema: a `traceEvents` array whose entries carry the fields their
+/// phase requires, with `B`/`E` slices balanced per track.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation (or JSON syntax
+/// error).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    let mut depth: HashMap<(u64, u64), i64> = HashMap::new();
+    let mut slices = 0usize;
+    let mut instants = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        e.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let pid = e
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing pid"))? as u64;
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as u64;
+        if ph != "M" {
+            let ts = e
+                .get("ts")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: missing ts"))?;
+            if !ts.is_finite() || ts < 0.0 {
+                return Err(format!("event {i}: bad ts {ts}"));
+            }
+        }
+        match ph {
+            "M" => {}
+            "B" => *depth.entry((pid, tid)).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry((pid, tid)).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!("event {i}: E without matching B on tid {tid}"));
+                }
+                slices += 1;
+            }
+            "i" | "I" => instants += 1,
+            "X" => {
+                e.get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without dur"))?;
+                slices += 1;
+            }
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    if let Some(((_, tid), d)) = depth.iter().find(|(_, &d)| d != 0) {
+        return Err(format!("unbalanced slices on tid {tid}: depth {d}"));
+    }
+    Ok(TraceSummary {
+        events: events.len(),
+        slices,
+        instants,
+        tracks: depth.len(),
+    })
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    crate::parse_json(text).map_err(|e| format!("invalid JSON: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwitchReason;
+
+    fn sample_events() -> Vec<TimedObsEvent> {
+        let ev = |clock, event| TimedObsEvent { clock, event };
+        vec![
+            ev(0, ObsEvent::Boot { threads: 1 }),
+            ev(5, ObsEvent::Spawn { thread: 1 }),
+            ev(10, ObsEvent::Dispatch { thread: 1 }),
+            ev(
+                20,
+                ObsEvent::SeqRegister {
+                    thread: 1,
+                    start: 4,
+                    len: 3,
+                },
+            ),
+            ev(
+                40,
+                ObsEvent::SwitchOut {
+                    thread: 1,
+                    reason: SwitchReason::Quantum,
+                    inside_sequence: true,
+                },
+            ),
+            ev(
+                40,
+                ObsEvent::Rollback {
+                    thread: 1,
+                    from: 6,
+                    to: 4,
+                    wasted_cycles: 2,
+                },
+            ),
+            ev(45, ObsEvent::Dispatch { thread: 0 }),
+            ev(
+                60,
+                ObsEvent::LockAttempt {
+                    thread: 0,
+                    addr: 64,
+                    acquired: true,
+                },
+            ),
+            ev(
+                70,
+                ObsEvent::SwitchOut {
+                    thread: 0,
+                    reason: SwitchReason::Exit,
+                    inside_sequence: false,
+                },
+            ),
+            ev(90, ObsEvent::Idle { cycles: 20 }),
+        ]
+    }
+
+    #[test]
+    fn export_validates_against_the_schema() {
+        let json = chrome_trace(&sample_events(), 25.0, "test × counter");
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.slices, 3, "two B/E pairs and one idle X");
+        assert!(summary.instants >= 4);
+        assert!(json.contains("\"rollback\""));
+        assert!(json.contains("\"wasted_cycles\":2"));
+        assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn dangling_slices_are_closed() {
+        let events = vec![TimedObsEvent {
+            clock: 10,
+            event: ObsEvent::Dispatch { thread: 0 },
+        }];
+        let json = chrome_trace(&events, 25.0, "p");
+        validate_chrome_trace(&json).unwrap();
+        assert!(json.contains("end-of-recording"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let events = vec![TimedObsEvent {
+            clock: 50,
+            event: ObsEvent::Spawn { thread: 0 },
+        }];
+        let json = chrome_trace(&events, 25.0, "p");
+        assert!(
+            json.contains("\"ts\":2.000"),
+            "50 cycles at 25 MHz is 2 µs: {json}"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_broken_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents": 3}"#).is_err());
+        // E without B.
+        let bad = r#"{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Unbalanced B.
+        let bad = r#"{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Missing ts.
+        let bad = r#"{"traceEvents":[{"name":"x","ph":"i","pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Unknown phase.
+        let bad = r#"{"traceEvents":[{"name":"x","ph":"Q","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn process_name_is_escaped() {
+        let json = chrome_trace(&[], 25.0, "a\"b\\c");
+        validate_chrome_trace(&json).unwrap();
+        assert!(json.contains(r#"a\"b\\c"#));
+    }
+}

@@ -1,0 +1,109 @@
+//! Symbolized hot-path profiles from the machine's per-PC cycle histogram.
+
+use std::fmt::Write as _;
+
+use ras_isa::Program;
+
+/// One bucket of the symbolized profile: a program label and the cycles
+/// spent at or after it (up to the next label).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotSpot {
+    /// The label name, or `"(unlabeled)"` for cycles before the first
+    /// label.
+    pub symbol: String,
+    /// First PC of the bucket.
+    pub start: u32,
+    /// Cycles attributed to the bucket.
+    pub cycles: u64,
+}
+
+/// Buckets a per-PC cycle histogram (see
+/// `ras_machine::Machine::pc_cycles`) through `program`'s labels: each PC
+/// is attributed to the nearest label at or below it. Returns buckets
+/// sorted by cycles, hottest first; empty buckets are dropped.
+pub fn symbolized_profile(program: &Program, pc_cycles: &[u64]) -> Vec<HotSpot> {
+    let mut labels: Vec<(u32, &str)> = program.symbols().map(|(name, addr)| (addr, name)).collect();
+    labels.sort_unstable();
+    let mut spots: Vec<HotSpot> = Vec::new();
+    for (pc, &cycles) in pc_cycles.iter().enumerate() {
+        if cycles == 0 {
+            continue;
+        }
+        let pc = pc as u32;
+        let (start, symbol) = match labels.iter().rev().find(|&&(addr, _)| addr <= pc) {
+            Some(&(addr, name)) => (addr, name),
+            None => (0, "(unlabeled)"),
+        };
+        match spots.iter_mut().find(|s| s.start == start) {
+            Some(spot) => spot.cycles += cycles,
+            None => spots.push(HotSpot {
+                symbol: symbol.to_owned(),
+                start,
+                cycles,
+            }),
+        }
+    }
+    spots.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.start.cmp(&b.start)));
+    spots
+}
+
+/// Renders the profile as a text table, one line per bucket with its
+/// share of the total.
+pub fn render_hotspots(spots: &[HotSpot]) -> String {
+    let total: u64 = spots.iter().map(|s| s.cycles).sum();
+    let mut s = String::new();
+    let _ = writeln!(s, "hot paths (cycles by label)");
+    for spot in spots {
+        let share = if total == 0 {
+            0.0
+        } else {
+            spot.cycles as f64 * 100.0 / total as f64
+        };
+        let _ = writeln!(
+            s,
+            "  {:<24} @{:<6} {:>12} cycles  {share:5.1}%",
+            spot.symbol, spot.start, spot.cycles
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::{Asm, Reg};
+
+    #[test]
+    fn cycles_bucket_to_the_nearest_label_below() {
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, 1); // @0, before any label
+        asm.bind_symbol("alpha"); // @1
+        asm.nop(); // @1
+        asm.nop(); // @2
+        asm.bind_symbol("beta"); // @3
+        asm.nop(); // @3
+        asm.halt(); // @4
+        let program = asm.finish().unwrap();
+        let pc_cycles = [5u64, 10, 20, 40, 0];
+        let spots = symbolized_profile(&program, &pc_cycles);
+        assert_eq!(spots.len(), 3);
+        assert_eq!(spots[0].symbol, "beta");
+        assert_eq!(spots[0].cycles, 40);
+        assert_eq!(spots[1].symbol, "alpha");
+        assert_eq!(spots[1].cycles, 30);
+        assert_eq!(spots[2].symbol, "(unlabeled)");
+        assert_eq!(spots[2].cycles, 5);
+        let text = render_hotspots(&spots);
+        assert!(text.contains("beta"));
+        assert!(text.contains("53.3%"));
+    }
+
+    #[test]
+    fn empty_histogram_yields_no_spots() {
+        let mut asm = Asm::new();
+        asm.halt();
+        let program = asm.finish().unwrap();
+        assert!(symbolized_profile(&program, &[0, 0]).is_empty());
+        assert_eq!(render_hotspots(&[]), "hot paths (cycles by label)\n");
+    }
+}

@@ -39,6 +39,7 @@ fn main() {
     println!("events {lo}..{} of {} total:\n", at + 3, events.len());
     for e in &events[lo..(at + 3).min(events.len())] {
         let what = match e.event {
+            Event::Boot { threads } => format!("boot      {threads} thread(s)"),
             Event::Spawn { thread } => format!("spawn     {thread}"),
             Event::Dispatch { thread } => format!("dispatch  {thread}"),
             Event::Preempt { thread } => format!("preempt   {thread}"),

@@ -47,3 +47,4 @@ pub use ras_isa;
 pub use ras_kernel;
 pub use ras_machine;
 pub use ras_native;
+pub use ras_obs;

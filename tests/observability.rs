@@ -1,0 +1,62 @@
+//! End-to-end observability: the same path `ras-trace --format perfetto`
+//! takes, driven through the public facade, with the export validated
+//! against the Chrome trace-event schema.
+
+use restartable_atomics::ras_obs::{chrome_trace, validate_chrome_trace, ObsEvent};
+use restartable_atomics::workloads::{counter_loop, CounterBody, CounterSpec};
+use restartable_atomics::{
+    run_guest_keeping_kernel, CpuProfile, Mechanism, Observe, Outcome, RunOptions,
+};
+
+fn record_counter(mechanism: Mechanism) -> (restartable_atomics::ras_obs::Recording, f64) {
+    let spec = CounterSpec {
+        iterations: 2_000,
+        workers: 2,
+        body: CounterBody::LockAndCounter,
+    };
+    let built = counter_loop(mechanism, &spec);
+    let profile = CpuProfile::r3000();
+    let mhz = profile.mhz();
+    let options = RunOptions {
+        observe: Observe::Events,
+        ..RunOptions::new(profile)
+    };
+    let (report, mut kernel) = run_guest_keeping_kernel(&built, &options);
+    assert_eq!(report.outcome, Outcome::Completed);
+    (kernel.take_recording().expect("events recorded"), mhz)
+}
+
+#[test]
+fn perfetto_export_validates_against_the_trace_event_schema() {
+    let (recording, mhz) = record_counter(Mechanism::RasRegistered);
+    let json = chrome_trace(recording.events(), mhz, "ras-registered / counter");
+    let summary = validate_chrome_trace(&json).expect("schema-valid trace");
+    // Two workers plus main: occupancy slices on several tracks, and at
+    // least the boot/registration instants.
+    assert!(summary.tracks >= 3, "tracks = {}", summary.tracks);
+    assert!(summary.slices > 0, "no occupancy slices");
+    assert!(summary.instants > 0, "no instant events");
+    // Metadata and B/E pairs mean more trace events than recorded ones.
+    assert!(summary.events > recording.events().len() / 2);
+}
+
+#[test]
+fn recorded_timeline_reconciles_with_run_statistics() {
+    let (recording, _) = record_counter(Mechanism::RasRegistered);
+    let metrics = recording.metrics();
+    let rollbacks = recording
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, ObsEvent::Rollback { .. }))
+        .count() as u64;
+    assert_eq!(metrics.rollbacks, rollbacks);
+    assert!(matches!(
+        recording.events().first().map(|e| &e.event),
+        Some(ObsEvent::Boot { .. })
+    ));
+    let mut last = 0;
+    for e in recording.events() {
+        assert!(e.clock >= last, "events out of chronological order");
+        last = e.clock;
+    }
+}
