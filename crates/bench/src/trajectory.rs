@@ -38,6 +38,13 @@ use ras_machine::CpuProfile;
 /// reference point.
 pub const BASELINE_VERIFY_WALL_MS: f64 = 970.0;
 
+/// Explorer throughput of the pre-checkpoint-engine pass (`BENCH_1`):
+/// schedules explored per second of host time with clone-per-branch
+/// snapshots and full-scan state hashing. The drift gate refuses to
+/// record a trajectory point whose explorer is slower than this — the
+/// checkpoint engine must never regress below the baseline it replaced.
+pub const BASELINE_EXPLORER_SCHEDULES_PER_SECOND: f64 = 83_278.0;
+
 /// One measured trajectory point, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct TrajectoryPoint {
@@ -56,6 +63,14 @@ pub struct TrajectoryPoint {
     pub explorer_schedules: u64,
     /// Host wall time of the full model-check matrix, milliseconds.
     pub explorer_wall_ms: f64,
+    /// Branch snapshots the explorer took (undo-log checkpoints).
+    pub explorer_checkpoints: u64,
+    /// Undo-log entries the explorer's restores replayed.
+    pub explorer_undo_replayed: u64,
+    /// Bytes the explorer copied into branch snapshots.
+    pub explorer_snapshot_bytes: u64,
+    /// On-path states the explorer's hash set deduplicated.
+    pub explorer_states_deduped: u64,
     /// Host wall time of the full verification pass, milliseconds.
     pub verify_wall_ms: f64,
     /// Number of claims the verification checked.
@@ -81,6 +96,12 @@ impl TrajectoryPoint {
     /// Verify-pass speedup against [`BASELINE_VERIFY_WALL_MS`].
     pub fn verify_speedup(&self) -> f64 {
         BASELINE_VERIFY_WALL_MS / self.verify_wall_ms.max(1e-9)
+    }
+
+    /// Explorer-throughput speedup against
+    /// [`BASELINE_EXPLORER_SCHEDULES_PER_SECOND`].
+    pub fn explorer_speedup(&self) -> f64 {
+        self.schedules_per_second() / BASELINE_EXPLORER_SCHEDULES_PER_SECOND
     }
 
     /// Serializes the point as the `BENCH_<n>.json` document.
@@ -124,8 +145,33 @@ impl TrajectoryPoint {
         let _ = writeln!(s, "    \"wall_ms\": {:.3},", self.explorer_wall_ms);
         let _ = writeln!(
             s,
-            "    \"schedules_per_second\": {:.0}",
+            "    \"schedules_per_second\": {:.0},",
             self.schedules_per_second()
+        );
+        let _ = writeln!(
+            s,
+            "    \"baseline_schedules_per_second\": {BASELINE_EXPLORER_SCHEDULES_PER_SECOND:.0},"
+        );
+        let _ = writeln!(
+            s,
+            "    \"speedup_vs_baseline\": {:.2},",
+            self.explorer_speedup()
+        );
+        let _ = writeln!(s, "    \"checkpoints\": {},", self.explorer_checkpoints);
+        let _ = writeln!(
+            s,
+            "    \"undo_entries_replayed\": {},",
+            self.explorer_undo_replayed
+        );
+        let _ = writeln!(
+            s,
+            "    \"snapshot_bytes\": {},",
+            self.explorer_snapshot_bytes
+        );
+        let _ = writeln!(
+            s,
+            "    \"states_deduped\": {}",
+            self.explorer_states_deduped
         );
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"verify\": {{");
@@ -160,6 +206,26 @@ fn ms(from: Instant) -> f64 {
 /// fails — either means the fast path is no longer semantics-preserving
 /// and the trajectory point must not be recorded.
 pub fn measure() -> Result<TrajectoryPoint, String> {
+    // Explorer first, on a pristine heap: the tables and the verifier
+    // allocate and free hundreds of kernels, and running the explorer
+    // after them costs it a measurable constant (allocator arenas and
+    // caches polluted by unrelated phases) that the standalone
+    // `ras-check` binary never pays. Each phase times only its own
+    // work, so phase order is otherwise free to choose.
+    let t = Instant::now();
+    let mc = ras_model::model_check(&ras_model::CheckConfig::default());
+    let explorer_wall_ms = ms(t);
+    if !mc.ok() {
+        return Err("model-check matrix no longer verifies".to_owned());
+    }
+    let explorer_rate = rate(mc.total_schedules(), explorer_wall_ms);
+    if explorer_rate < BASELINE_EXPLORER_SCHEDULES_PER_SECOND {
+        return Err(format!(
+            "explorer drifted below the pre-checkpoint baseline: \
+             {explorer_rate:.0} schedules/s vs {BASELINE_EXPLORER_SCHEDULES_PER_SECOND:.0}"
+        ));
+    }
+
     // Interpreter: a single-worker counter loop, long enough to time.
     let spec = CounterSpec {
         iterations: 200_000,
@@ -198,14 +264,6 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
     let _ = table4(crate::scales::table4());
     let t4 = ms(t);
 
-    // Explorer.
-    let t = Instant::now();
-    let mc = ras_model::model_check(&ras_model::CheckConfig::default());
-    let explorer_wall_ms = ms(t);
-    if !mc.ok() {
-        return Err("model-check matrix no longer verifies".to_owned());
-    }
-
     // End-to-end verification.
     let t = Instant::now();
     let verification = verify_reproduction(&VerifyScale::default());
@@ -230,6 +288,10 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
         instrumented_wall_ms,
         explorer_schedules: mc.total_schedules(),
         explorer_wall_ms,
+        explorer_checkpoints: mc.targets.iter().map(|t| t.checkpoints).sum(),
+        explorer_undo_replayed: mc.targets.iter().map(|t| t.undo_replayed).sum(),
+        explorer_snapshot_bytes: mc.targets.iter().map(|t| t.snapshot_bytes).sum(),
+        explorer_states_deduped: mc.targets.iter().map(|t| t.states_deduped).sum(),
         verify_wall_ms,
         verify_claims: verification.claims.len(),
     })
@@ -273,6 +335,10 @@ mod tests {
             instrumented_wall_ms: 20.0,
             explorer_schedules: 100,
             explorer_wall_ms: 50.0,
+            explorer_checkpoints: 40,
+            explorer_undo_replayed: 900,
+            explorer_snapshot_bytes: 65_536,
+            explorer_states_deduped: 7,
             verify_wall_ms: 485.0,
             verify_claims: 18,
         };
@@ -282,7 +348,12 @@ mod tests {
             "\"table4_wall_ms\": 4.000",
             "\"simulated_cycles\": 1000",
             "\"fast_instructions_per_second\": 50000",
-            "\"schedules_per_second\": 2000",
+            "\"schedules_per_second\": 2000,",
+            "\"baseline_schedules_per_second\": 83278",
+            "\"checkpoints\": 40",
+            "\"undo_entries_replayed\": 900",
+            "\"snapshot_bytes\": 65536",
+            "\"states_deduped\": 7",
             "\"speedup_vs_baseline\": 2.00",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");

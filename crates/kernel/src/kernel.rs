@@ -222,6 +222,59 @@ pub struct Kernel {
     pending_fault: Option<(ThreadId, Fault)>,
 }
 
+/// A lightweight kernel checkpoint: everything [`Kernel::restore`]
+/// rewinds *by value* — thread control blocks, queues, scheduler and
+/// strategy state, statistics — plus a machine checkpoint whose undo-log
+/// mark rewinds guest memory in O(stores since the checkpoint).
+///
+/// The by-value part is tiny (a few TCBs and queue entries); the guest
+/// memory image, which dominates a full [`Kernel::clone`], is never
+/// copied. This is what lets the model checker's DFS rewind a sibling
+/// branch for the cost of the writes the branch made.
+///
+/// Append-only observational state (timeline, obs recording, the
+/// machine's mix/trace/profile collectors) is not rewound: it describes
+/// what was executed, and the explorer runs with it disabled.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    machine: ras_machine::MachineCheckpoint,
+    threads: Vec<Tcb>,
+    ready: VecDeque<ThreadId>,
+    current: Option<ThreadId>,
+    last_running: Option<ThreadId>,
+    /// The one piece of mutable strategy state: the Mach-style explicit
+    /// registration (`SYS_RAS_REGISTER` replaces it). `None` also for
+    /// strategies without a registration slot.
+    registered_range: Option<(CodeAddr, u32)>,
+    policy: PreemptionPolicy,
+    slice_deadline: u64,
+    waiters: HashMap<DataAddr, VecDeque<ThreadId>>,
+    join_waiters: HashMap<ThreadId, Vec<ThreadId>>,
+    sleepers: std::collections::BinaryHeap<std::cmp::Reverse<(u64, ThreadId)>>,
+    stats: KernelStats,
+    output_len: usize,
+    live: usize,
+    page_fifo: VecDeque<usize>,
+    pending_fault: Option<(ThreadId, Fault)>,
+}
+
+impl Checkpoint {
+    /// Approximate bytes this checkpoint copied by value — what the
+    /// explorer's `snapshot_bytes` counter accumulates, for comparing
+    /// checkpointing against full kernel clones.
+    pub fn approx_bytes(&self) -> u64 {
+        let tcbs = self.threads.len() * std::mem::size_of::<Tcb>();
+        let queues = (self.ready.len()
+            + self.sleepers.len()
+            + self.page_fifo.len()
+            + self.waiters.values().map(VecDeque::len).sum::<usize>()
+            + self.join_waiters.values().map(Vec::len).sum::<usize>())
+            * std::mem::size_of::<ThreadId>();
+        let fixed = std::mem::size_of::<Checkpoint>();
+        (tcbs + queues + fixed) as u64
+    }
+}
+
 impl Kernel {
     /// Boots a kernel: installs the data image, configures paging and the
     /// timer, and creates the main thread at the program's entry point.
@@ -497,6 +550,16 @@ impl Kernel {
     /// The ready queue, front (next to dispatch) first.
     pub fn ready_threads(&self) -> Vec<ThreadId> {
         self.ready.iter().copied().collect()
+    }
+
+    /// The number of ready threads, without materialising the queue.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Iterates the ready queue in dispatch order without allocating.
+    pub fn ready_iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.ready.iter().copied()
     }
 
     /// A thread's saved register state (authoritative whenever the thread
@@ -935,6 +998,129 @@ impl Kernel {
     /// Drains the machine's access log.
     pub fn take_accesses(&mut self) -> Vec<ras_machine::MemAccess> {
         self.machine.take_accesses()
+    }
+
+    /// Visits and clears the machine's access log without reallocating
+    /// (see [`ras_machine::Machine::drain_accesses`]).
+    pub fn drain_accesses(&mut self, f: impl FnMut(&ras_machine::MemAccess)) {
+        self.machine.drain_accesses(f);
+    }
+
+    // --- checkpoint/restore -------------------------------------------------
+
+    /// Enables cheap checkpoint/restore: turns on the machine's dirty
+    /// tracking (undo log + incremental fingerprint) over the shared data
+    /// image (`[0, data_end)`). Stores above `data_end` (thread stacks)
+    /// are still undone on restore; only the fingerprint is scoped to the
+    /// shared data, matching what the model checker's state hash covers.
+    ///
+    /// Dirty tracking routes execution through the machine's instrumented
+    /// loop; the fast loop stays untouched for kernels that never call
+    /// this.
+    pub fn enable_checkpoints(&mut self) {
+        let limit = self.data_end;
+        self.machine.mem_mut().enable_dirty(limit);
+    }
+
+    /// Whether [`Kernel::enable_checkpoints`] was called.
+    pub fn checkpoints_enabled(&self) -> bool {
+        self.machine.mem().dirty_enabled()
+    }
+
+    /// The running incremental fingerprint of the shared data image, if
+    /// checkpoints are enabled. Identical, by construction, to
+    /// `self.machine().mem().fingerprint_scan(self.data_end())`.
+    pub fn memory_fingerprint(&self) -> Option<u64> {
+        self.machine.mem().fingerprint()
+    }
+
+    /// Takes a checkpoint. O(threads + queue entries); guest memory is
+    /// covered by the undo-log mark inside, not copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Kernel::enable_checkpoints`] was called.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            machine: self.machine.checkpoint(),
+            threads: self.threads.clone(),
+            ready: self.ready.clone(),
+            current: self.current,
+            last_running: self.last_running,
+            registered_range: match &self.strategy {
+                Strategy::Registered { range } => *range,
+                _ => None,
+            },
+            policy: self.policy.clone(),
+            slice_deadline: self.slice_deadline,
+            waiters: self.waiters.clone(),
+            join_waiters: self.join_waiters.clone(),
+            sleepers: self.sleepers.clone(),
+            stats: self.stats,
+            output_len: self.output.len(),
+            live: self.live,
+            page_fifo: self.page_fifo.clone(),
+            pending_fault: self.pending_fault,
+        }
+    }
+
+    /// [`Kernel::checkpoint`] into an existing checkpoint, reusing its
+    /// buffers (TCB vector, queues, waiter maps). Semantically identical
+    /// to `*cp = self.checkpoint()`; callers taking a checkpoint per
+    /// explored branch recycle a scratch per tree depth so the steady
+    /// state allocates nothing.
+    pub fn checkpoint_into(&self, cp: &mut Checkpoint) {
+        cp.machine = self.machine.checkpoint();
+        cp.threads.clone_from(&self.threads);
+        cp.ready.clone_from(&self.ready);
+        cp.current = self.current;
+        cp.last_running = self.last_running;
+        cp.registered_range = match &self.strategy {
+            Strategy::Registered { range } => *range,
+            _ => None,
+        };
+        cp.policy.clone_from(&self.policy);
+        cp.slice_deadline = self.slice_deadline;
+        cp.waiters.clone_from(&self.waiters);
+        cp.join_waiters.clone_from(&self.join_waiters);
+        cp.sleepers.clone_from(&self.sleepers);
+        cp.stats = self.stats;
+        cp.output_len = self.output.len();
+        cp.live = self.live;
+        cp.page_fifo.clone_from(&self.page_fifo);
+        cp.pending_fault = self.pending_fault;
+    }
+
+    /// Rewinds to a checkpoint taken on this kernel: memory via the undo
+    /// log, everything else by value. Returns the number of undo entries
+    /// replayed. The checkpoint may be restored repeatedly, and
+    /// checkpoints nest — restoring an outer checkpoint after an inner
+    /// one is taken simply rewinds further.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint was taken on a different kernel or this
+    /// kernel has already been rewound past it.
+    pub fn restore(&mut self, cp: &Checkpoint) -> u64 {
+        let replayed = self.machine.restore(&cp.machine);
+        self.threads.clone_from(&cp.threads);
+        self.ready.clone_from(&cp.ready);
+        self.current = cp.current;
+        self.last_running = cp.last_running;
+        if let Strategy::Registered { range } = &mut self.strategy {
+            *range = cp.registered_range;
+        }
+        self.policy.clone_from(&cp.policy);
+        self.slice_deadline = cp.slice_deadline;
+        self.waiters.clone_from(&cp.waiters);
+        self.join_waiters.clone_from(&cp.join_waiters);
+        self.sleepers.clone_from(&cp.sleepers);
+        self.stats = cp.stats;
+        self.output.truncate(cp.output_len);
+        self.live = cp.live;
+        self.page_fifo.clone_from(&cp.page_fifo);
+        self.pending_fault = cp.pending_fault;
+        replayed
     }
 
     // --- oracle-mode stepping ----------------------------------------------

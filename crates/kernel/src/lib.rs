@@ -23,7 +23,7 @@ mod strategy;
 mod tcb;
 mod timeline;
 
-pub use crate::kernel::{BootError, Kernel, KernelConfig, Outcome, StepOutcome};
+pub use crate::kernel::{BootError, Checkpoint, Kernel, KernelConfig, Outcome, StepOutcome};
 pub use crate::oracle::{run_with_scheduler, Decision, OracleOutcome, Scheduler};
 pub use crate::sched::PreemptionPolicy;
 pub use crate::stats::KernelStats;

@@ -1,0 +1,314 @@
+//! Checkpoint/restore correctness: `Kernel::restore` must rewind every
+//! observable bit of state — guest memory (via the undo log), the
+//! incremental fingerprint, registers, scheduler queues, statistics —
+//! after stores, kernel-emulated Test-And-Set, sequence rollbacks,
+//! faults, and page faults.
+
+use ras_isa::{abi, Asm, DataLayout, Reg, SeqRange};
+use ras_kernel::{Kernel, KernelConfig, StepOutcome, StrategyKind};
+use ras_machine::{CpuProfile, PagingConfig};
+
+fn cfg(strategy: StrategyKind) -> KernelConfig {
+    let mut c = KernelConfig::new(CpuProfile::r3000(), strategy);
+    c.quantum = 10_000;
+    c.jitter = 0;
+    c.mem_bytes = 64 * 1024;
+    c.stack_bytes = 4096;
+    c.max_threads = 4;
+    c
+}
+
+/// Every piece of kernel state `restore` promises to rewind, rendered
+/// into one comparable string (registers, thread states, queues via
+/// ready order, clock, stats, shared memory words, fingerprint).
+fn digest(k: &Kernel) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "clock={}", k.machine().clock()).unwrap();
+    writeln!(s, "retired={}", k.machine().instructions_retired()).unwrap();
+    writeln!(s, "current={:?}", k.current_thread()).unwrap();
+    writeln!(s, "ready={:?}", k.ready_threads()).unwrap();
+    writeln!(s, "stats={:?}", k.stats()).unwrap();
+    writeln!(s, "registered={:?}", k.registered_range()).unwrap();
+    writeln!(s, "resident={}", k.machine().mem().resident_pages()).unwrap();
+    writeln!(s, "output={:?}", k.output()).unwrap();
+    for i in 0..k.thread_count() {
+        let t = ras_kernel::ThreadId(i as u32);
+        let regs = k.thread_regs(t);
+        write!(
+            s,
+            "t{i} pc={} state={:?} regs=",
+            regs.pc(),
+            k.thread_state(t)
+        )
+        .unwrap();
+        for r in ras_isa::Reg::all() {
+            write!(s, "{},", regs.get(r)).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    let mut addr = 0;
+    while addr < k.data_end() {
+        write!(s, "{:x},", k.read_word(addr).unwrap_or(0)).unwrap();
+        addr += 4;
+    }
+    writeln!(s, "fp={:?}", k.memory_fingerprint()).unwrap();
+    s
+}
+
+fn assert_fingerprint_consistent(k: &Kernel) {
+    let data_end = k.data_end();
+    assert_eq!(
+        k.memory_fingerprint().unwrap(),
+        k.machine().mem().fingerprint_scan(data_end),
+        "incremental fingerprint drifted from a fresh scan"
+    );
+}
+
+fn exit(asm: &mut Asm) {
+    asm.li(Reg::V0, abi::SYS_EXIT as i32);
+    asm.syscall();
+}
+
+#[test]
+fn restore_rewinds_plain_stores_exactly() {
+    let mut data = DataLayout::new();
+    let a = data.word("a", 5);
+    let b = data.word("b", 0);
+    let mut asm = Asm::new();
+    asm.li(Reg::T0, a as i32);
+    asm.li(Reg::T1, 77);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    asm.li(Reg::T0, b as i32);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    k.enable_checkpoints();
+    // Step past the first li so the checkpoint is mid-execution.
+    assert!(matches!(k.step_once(), StepOutcome::Ran { .. }));
+    assert!(matches!(k.step_once(), StepOutcome::Ran { .. }));
+    let cp = k.checkpoint();
+    let before = digest(&k);
+    while matches!(k.step_once(), StepOutcome::Ran { .. } | StepOutcome::Idled) {}
+    assert_eq!(k.read_word(a).unwrap(), 77);
+    assert_eq!(k.read_word(b).unwrap(), 77);
+    let replayed = k.restore(&cp);
+    assert!(replayed >= 2, "both stores must rewind, got {replayed}");
+    assert_eq!(k.read_word(a).unwrap(), 5);
+    assert_eq!(k.read_word(b).unwrap(), 0);
+    assert_eq!(digest(&k), before);
+    assert_fingerprint_consistent(&k);
+    // The restored kernel replays to the identical terminal state.
+    while matches!(k.step_once(), StepOutcome::Ran { .. } | StepOutcome::Idled) {}
+    assert_eq!(k.read_word(a).unwrap(), 77);
+    assert_eq!(k.read_word(b).unwrap(), 77);
+}
+
+#[test]
+fn restore_rewinds_kernel_emulated_tas() {
+    let mut data = DataLayout::new();
+    let lock = data.word("lock", 0);
+    let mut asm = Asm::new();
+    asm.li(Reg::V0, abi::SYS_TAS as i32);
+    asm.li(Reg::A0, lock as i32);
+    asm.syscall();
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    k.enable_checkpoints();
+    let cp = k.checkpoint();
+    let before = digest(&k);
+    let fp0 = k.memory_fingerprint().unwrap();
+    for _ in 0..8 {
+        k.step_once();
+    }
+    assert_eq!(k.read_word(lock).unwrap(), 1, "emulated tas wrote the lock");
+    assert!(k.stats().emulation_traps >= 1);
+    let replayed = k.restore(&cp);
+    assert!(
+        replayed >= 1,
+        "the store_kernel write must be in the undo log"
+    );
+    assert_eq!(k.read_word(lock).unwrap(), 0);
+    assert_eq!(k.memory_fingerprint().unwrap(), fp0);
+    assert_eq!(digest(&k), before);
+    assert_fingerprint_consistent(&k);
+}
+
+#[test]
+fn restore_rewinds_a_sequence_rollback() {
+    // An explicitly registered lw/addi/sw sequence; preempting between
+    // the lw and the sw rolls the PC back to the sequence start.
+    let mut data = DataLayout::new();
+    let counter = data.word("counter", 0);
+    let mut asm = Asm::new();
+    let to_main = asm.label();
+    asm.j(to_main);
+    let seq_start = asm.here();
+    asm.li(Reg::A1, counter as i32);
+    asm.lw(Reg::V1, Reg::A1, 0);
+    asm.addi(Reg::V1, Reg::V1, 1);
+    asm.sw(Reg::V1, Reg::A1, 0);
+    let seq_end = asm.here();
+    exit(&mut asm);
+    asm.bind(to_main);
+    asm.set_entry_here();
+    asm.li(Reg::V0, abi::SYS_RAS_REGISTER as i32);
+    asm.li(Reg::A0, seq_start as i32);
+    asm.li(Reg::A1, (seq_end - seq_start) as i32);
+    asm.syscall();
+    asm.li(Reg::T0, seq_start as i32);
+    asm.jr(Reg::T0);
+    let mut program = asm.finish().unwrap();
+    program.declare_seq(SeqRange {
+        start: seq_start,
+        len: seq_end - seq_start,
+    });
+    let mut k = Kernel::boot(cfg(StrategyKind::Registered), program, &data.finish()).unwrap();
+    k.enable_checkpoints();
+    // Run until the thread has executed the sequence's lw and addi (PC at
+    // the committing sw) — squarely inside the registered range.
+    while k.thread_regs(ras_kernel::ThreadId(0)).pc() != seq_end - 1 {
+        assert!(matches!(k.step_once(), StepOutcome::Ran { .. }));
+    }
+    assert_eq!(k.registered_range(), Some((seq_start, seq_end - seq_start)));
+    let cp = k.checkpoint();
+    let before = digest(&k);
+    assert!(k.preempt_current(), "a thread was running");
+    assert_eq!(
+        k.thread_regs(ras_kernel::ThreadId(0)).pc(),
+        seq_start,
+        "preemption inside the sequence must roll the PC back to its start"
+    );
+    k.restore(&cp);
+    assert_eq!(digest(&k), before);
+    assert_fingerprint_consistent(&k);
+    // Replay from the restored point runs to completion with the counter
+    // incremented exactly once.
+    while matches!(k.step_once(), StepOutcome::Ran { .. } | StepOutcome::Idled) {}
+    assert_eq!(k.read_word(counter).unwrap(), 1);
+}
+
+#[test]
+fn restore_rewinds_a_fault() {
+    let mut data = DataLayout::new();
+    data.word("pad", 9);
+    let mut asm = Asm::new();
+    asm.li(Reg::T0, 2); // unaligned address
+    asm.li(Reg::T1, 1);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    k.enable_checkpoints();
+    let cp = k.checkpoint();
+    let before = digest(&k);
+    let fault = loop {
+        match k.step_once() {
+            StepOutcome::Fault { fault, .. } => break fault,
+            StepOutcome::Ran { .. } | StepOutcome::Idled => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    };
+    k.restore(&cp);
+    assert_eq!(digest(&k), before);
+    assert_fingerprint_consistent(&k);
+    // The identical fault reproduces from the restored state.
+    let again = loop {
+        match k.step_once() {
+            StepOutcome::Fault { fault, .. } => break fault,
+            StepOutcome::Ran { .. } | StepOutcome::Idled => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    };
+    assert_eq!(format!("{fault:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn restore_rewinds_page_residency_and_fifo() {
+    let mut data = DataLayout::new();
+    let a = data.word("a", 1);
+    let mut asm = Asm::new();
+    asm.li(Reg::T0, a as i32);
+    asm.lw(Reg::T1, Reg::T0, 0);
+    exit(&mut asm);
+    let mut c = cfg(StrategyKind::None);
+    c.paging = Some(PagingConfig {
+        page_bytes: 256,
+        max_resident: 2,
+    });
+    let mut k = Kernel::boot(c, asm.finish().unwrap(), &data.finish()).unwrap();
+    k.enable_checkpoints();
+    let cp = k.checkpoint();
+    let before = digest(&k);
+    while matches!(k.step_once(), StepOutcome::Ran { .. } | StepOutcome::Idled) {}
+    assert!(
+        k.stats().page_faults >= 1,
+        "first access faults the page in"
+    );
+    assert!(k.machine().mem().resident_pages() >= 1);
+    k.restore(&cp);
+    assert_eq!(k.machine().mem().resident_pages(), 0);
+    assert_eq!(digest(&k), before);
+    assert_fingerprint_consistent(&k);
+}
+
+#[test]
+fn checkpoints_nest_and_restore_repeatedly() {
+    let mut data = DataLayout::new();
+    let a = data.word("a", 0);
+    let mut asm = Asm::new();
+    asm.li(Reg::T0, a as i32);
+    asm.li(Reg::T1, 1);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    asm.li(Reg::T1, 2);
+    asm.sw(Reg::T1, Reg::T0, 0);
+    exit(&mut asm);
+    let mut k = Kernel::boot(
+        cfg(StrategyKind::None),
+        asm.finish().unwrap(),
+        &data.finish(),
+    )
+    .unwrap();
+    k.enable_checkpoints();
+    let outer = k.checkpoint();
+    let outer_digest = digest(&k);
+    for _ in 0..4 {
+        k.step_once();
+    }
+    assert_eq!(k.read_word(a).unwrap(), 1);
+    let inner = k.checkpoint();
+    let inner_digest = digest(&k);
+    for _ in 0..2 {
+        k.step_once();
+    }
+    assert_eq!(k.read_word(a).unwrap(), 2);
+    k.restore(&inner);
+    assert_eq!(digest(&k), inner_digest);
+    // Restoring the same checkpoint twice is fine.
+    k.restore(&inner);
+    assert_eq!(digest(&k), inner_digest);
+    k.restore(&outer);
+    assert_eq!(digest(&k), outer_digest);
+    assert_fingerprint_consistent(&k);
+    assert!(cp_size_is_small(&outer));
+}
+
+/// The checkpoint's by-value footprint must stay far below a full kernel
+/// clone (which copies the 64 KiB guest image).
+fn cp_size_is_small(cp: &ras_kernel::Checkpoint) -> bool {
+    cp.approx_bytes() < 8 * 1024
+}

@@ -41,7 +41,9 @@ mod memory;
 mod profile;
 mod regfile;
 
-pub use crate::machine::{AccessKind, Exit, Fault, Machine, MemAccess, TraceEntry};
-pub use crate::memory::{MemError, Memory, PagingConfig};
+pub use crate::machine::{
+    AccessKind, Exit, Fault, Machine, MachineCheckpoint, MemAccess, TraceEntry,
+};
+pub use crate::memory::{word_mix, MemError, Memory, PagingConfig};
 pub use crate::profile::{CostModel, CpuProfile};
 pub use crate::regfile::RegFile;

@@ -143,6 +143,21 @@ struct TraceRing {
     next: usize,
 }
 
+/// A machine-side checkpoint: the execution scalars
+/// [`Machine::restore`] rewinds by value, plus the undo-log mark memory
+/// rewinds to and a residency snapshot when paging is enabled. Created
+/// by [`Machine::checkpoint`]; sized in O(1) except under paging.
+#[derive(Debug, Clone)]
+pub struct MachineCheckpoint {
+    clock: u64,
+    atomic_from: Option<CodeAddr>,
+    atomic_deadline: u64,
+    retired: u64,
+    undo_mark: usize,
+    access_log_len: usize,
+    resident: Option<Vec<bool>>,
+}
+
 impl Machine {
     /// Creates a machine with `mem_bytes` of zeroed data memory.
     pub fn new(profile: CpuProfile, mem_bytes: u32) -> Machine {
@@ -201,6 +216,19 @@ impl Machine {
         match &mut self.access_log {
             Some(log) => std::mem::take(log),
             None => Vec::new(),
+        }
+    }
+
+    /// Visits and clears the accesses logged since the last drain without
+    /// giving up the log's buffer — the allocation-free counterpart of
+    /// [`Machine::take_accesses`] for callers that drain after every
+    /// instruction.
+    pub fn drain_accesses(&mut self, mut f: impl FnMut(&MemAccess)) {
+        if let Some(log) = &mut self.access_log {
+            for acc in log.iter() {
+                f(acc);
+            }
+            log.clear();
         }
     }
 
@@ -323,12 +351,16 @@ impl Machine {
     }
 
     /// Whether [`Machine::run`] will take the instrumented loop variant.
+    /// Dirty tracking counts as instrumentation: the undo log and
+    /// incremental fingerprint are fed by the instrumented loop's tracked
+    /// stores, so the fast loop stays byte-for-byte untouched.
     pub fn instrumented(&self) -> bool {
         self.force_instrumented
             || self.mix.is_some()
             || self.trace.is_some()
             || self.access_log.is_some()
             || self.pc_cycles.is_some()
+            || self.mem.dirty_enabled()
     }
 
     /// Starts accumulating a per-PC cycle histogram: every retired
@@ -395,6 +427,58 @@ impl Machine {
     /// back, and on context switch).
     pub fn clear_atomic_bit(&mut self) {
         self.atomic_from = None;
+    }
+
+    /// Takes a machine checkpoint: the execution scalars by value plus
+    /// the current undo-log mark, so [`Machine::restore`] rewinds memory
+    /// in O(stores since the checkpoint) instead of copying the image.
+    /// Requires dirty tracking ([`Memory::enable_dirty`]) so tracked
+    /// stores since the checkpoint can be undone.
+    ///
+    /// Observational collectors (mix, trace, per-PC cycles) are *not*
+    /// part of a checkpoint: they describe what was executed, not where
+    /// execution can resume, and no restored consumer reads them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dirty tracking is not enabled.
+    pub fn checkpoint(&self) -> MachineCheckpoint {
+        assert!(
+            self.mem.dirty_enabled(),
+            "machine checkpoints need dirty tracking (Memory::enable_dirty)"
+        );
+        MachineCheckpoint {
+            clock: self.clock,
+            atomic_from: self.atomic_from,
+            atomic_deadline: self.atomic_deadline,
+            retired: self.retired,
+            undo_mark: self.mem.undo_len(),
+            access_log_len: self.access_log.as_ref().map_or(0, Vec::len),
+            resident: self.mem.residency(),
+        }
+    }
+
+    /// Rewinds to a checkpoint taken on this machine: pops the undo log
+    /// back to the checkpoint's mark (restoring memory words and the
+    /// incremental fingerprint exactly), restores the execution scalars,
+    /// truncates the access log, and restores page residency. Returns the
+    /// number of undo entries replayed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint is from a machine state this machine has
+    /// already rewound past (its undo mark exceeds the log length).
+    pub fn restore(&mut self, cp: &MachineCheckpoint) -> u64 {
+        let replayed = self.mem.rewind_undo(cp.undo_mark);
+        self.clock = cp.clock;
+        self.atomic_from = cp.atomic_from;
+        self.atomic_deadline = cp.atomic_deadline;
+        self.retired = cp.retired;
+        if let Some(log) = &mut self.access_log {
+            log.truncate(cp.access_log_len);
+        }
+        self.mem.restore_residency(&cp.resident);
+        replayed
     }
 
     /// Runs instructions from `regs.pc()` until the clock reaches
@@ -582,7 +666,12 @@ impl Machine {
                 let addr = regs.get(base).wrapping_add(off as u32);
                 let was_atomic = self.atomic_from.is_some();
                 let value = regs.get(rs);
-                match self.mem.store(addr, value) {
+                let stored = if INSTRUMENTED {
+                    self.mem.store_tracked(addr, value)
+                } else {
+                    self.mem.store(addr, value)
+                };
+                match stored {
                     Ok(()) => {
                         // A store commits and releases an i860 atomic
                         // sequence.
@@ -650,7 +739,12 @@ impl Machine {
                     Ok(v) => v,
                     Err(e) => return Some(Exit::Fault(Self::mem_fault(e, addr, pc))),
                 };
-                if let Err(e) = self.mem.store(addr, 1) {
+                let stored = if INSTRUMENTED {
+                    self.mem.store_tracked(addr, 1)
+                } else {
+                    self.mem.store(addr, 1)
+                };
+                if let Err(e) = stored {
                     return Some(Exit::Fault(Self::mem_fault(e, addr, pc)));
                 }
                 self.atomic_from = None;
@@ -1165,5 +1259,44 @@ mod tests {
         assert_eq!(mix[Opcode::Nop.index()], 1);
         assert_eq!(mix[Opcode::Halt.index()], 1);
         assert_eq!(mix.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn checkpoint_restore_rewinds_scalars_memory_and_fingerprint() {
+        let program = assemble(|asm| {
+            asm.li(Reg::T0, 16);
+            asm.li(Reg::T1, 7);
+            asm.sw(Reg::T1, Reg::T0, 0);
+            asm.tas(Reg::T2, Reg::T0);
+            asm.halt();
+        });
+        let mut machine = Machine::new(CpuProfile::i486(), 256);
+        machine.mem_mut().enable_dirty(64);
+        assert!(
+            machine.instrumented(),
+            "dirty tracking forces instrumentation"
+        );
+        let mut regs = RegFile::new(program.entry());
+        let cp = machine.checkpoint();
+        let fp0 = machine.mem().fingerprint().unwrap();
+        let regs0 = regs.clone();
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        assert_eq!(machine.mem().load(16).unwrap(), 1, "tas wrote last");
+        assert!(machine.clock() > 0);
+        let replayed = machine.restore(&cp);
+        assert_eq!(replayed, 2, "sw and tas each logged one undo entry");
+        assert_eq!(machine.mem().load(16).unwrap(), 0);
+        assert_eq!(machine.mem().fingerprint().unwrap(), fp0);
+        assert_eq!(
+            machine.mem().fingerprint().unwrap(),
+            machine.mem().fingerprint_scan(64)
+        );
+        assert_eq!(machine.clock(), 0);
+        assert_eq!(machine.instructions_retired(), 0);
+        // Registers are the caller's to restore; rerunning from the saved
+        // file retires the identical stream.
+        regs = regs0;
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        assert_eq!(machine.mem().load(16).unwrap(), 1);
     }
 }

@@ -77,6 +77,7 @@ impl PagingConfig {
 pub struct Memory {
     words: Vec<u32>,
     paging: Option<PagingState>,
+    dirty: Option<DirtyState>,
 }
 
 #[derive(Debug, Clone)]
@@ -85,12 +86,36 @@ struct PagingState {
     resident: Vec<bool>,
 }
 
+/// Write tracking for cheap checkpoint/restore: an undo log of
+/// `(addr, old word)` entries plus a running XOR-fold fingerprint of the
+/// words below `fp_limit`, maintained incrementally on every tracked
+/// store. The fold is order-independent (XOR of a per-word mix), so a
+/// store updates it in O(1): `fp ^= mix(addr, old) ^ mix(addr, new)`.
+#[derive(Debug, Clone)]
+struct DirtyState {
+    undo: Vec<(DataAddr, u32)>,
+    fingerprint: u64,
+    fp_limit: DataAddr,
+}
+
+/// Mixes one `(addr, value)` word pair into a 64-bit token (a
+/// splitmix64-style finalizer), the per-word term of the XOR-fold
+/// fingerprint. Public so callers comparing an incremental fingerprint
+/// against a fresh scan use the same algebra by construction.
+pub fn word_mix(addr: DataAddr, value: u32) -> u64 {
+    let mut z = ((u64::from(addr) << 32) | u64::from(value)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl Memory {
     /// Creates a zeroed memory of `bytes` bytes (rounded up to a word).
     pub fn new(bytes: u32) -> Memory {
         Memory {
             words: vec![0; bytes.div_ceil(4) as usize],
             paging: None,
+            dirty: None,
         }
     }
 
@@ -219,6 +244,12 @@ impl Memory {
 
     /// Stores a word ignoring residency (kernel-privileged access).
     ///
+    /// When dirty tracking is enabled the store is recorded in the undo
+    /// log like any other — the kernel's own writes (emulated
+    /// Test-And-Set, user-redirect stack pushes) must rewind too. This is
+    /// off the machine's fast loop, so the tracking branch costs nothing
+    /// where it matters.
+    ///
     /// # Errors
     ///
     /// Fails on unaligned or out-of-range addresses.
@@ -227,12 +258,149 @@ impl Memory {
             return Err(MemError::Unaligned { addr });
         }
         let idx = (addr / 4) as usize;
+        if self.dirty.is_some() {
+            self.track(addr, idx, value);
+        }
         let slot = self
             .words
             .get_mut(idx)
             .ok_or(MemError::OutOfRange { addr })?;
         *slot = value;
         Ok(())
+    }
+
+    // --- dirty tracking (undo log + incremental fingerprint) ---------------
+
+    /// Starts tracking stores: every subsequent tracked write appends an
+    /// `(addr, old word)` undo entry and updates the running fingerprint
+    /// of the words below `fp_limit` (rounded down to a word boundary).
+    /// The initial fingerprint is computed here with one full scan; from
+    /// then on it is maintained in O(1) per store.
+    ///
+    /// Only [`Memory::store_tracked`] and [`Memory::store_kernel`]
+    /// participate — the untracked [`Memory::store`] keeps the fast
+    /// interpreter loop untouched, so callers that enable tracking must
+    /// route user stores through the tracked path (the machine's
+    /// instrumented loop does).
+    pub fn enable_dirty(&mut self, fp_limit: DataAddr) {
+        let fingerprint = self.fingerprint_scan(fp_limit);
+        self.dirty = Some(DirtyState {
+            undo: Vec::new(),
+            fingerprint,
+            fp_limit,
+        });
+    }
+
+    /// Whether dirty tracking is enabled.
+    pub fn dirty_enabled(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// The running incremental fingerprint, if tracking is enabled.
+    /// Always equal to [`Memory::fingerprint_scan`] of the limit passed
+    /// to [`Memory::enable_dirty`].
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.dirty.as_ref().map(|d| d.fingerprint)
+    }
+
+    /// XOR-fold fingerprint of the words strictly below `limit`, computed
+    /// by scanning — the reference for the incremental value, and the
+    /// fallback for callers without tracking enabled.
+    pub fn fingerprint_scan(&self, limit: DataAddr) -> u64 {
+        let n = ((limit / 4) as usize).min(self.words.len());
+        let mut fp = 0u64;
+        for (idx, &word) in self.words[..n].iter().enumerate() {
+            fp ^= word_mix(idx as DataAddr * 4, word);
+        }
+        fp
+    }
+
+    /// Number of undo entries recorded since tracking was enabled (or the
+    /// last rewind past this point). A checkpoint is just this mark.
+    pub fn undo_len(&self) -> usize {
+        self.dirty.as_ref().map_or(0, |d| d.undo.len())
+    }
+
+    /// Rewinds the undo log back to `mark`, restoring every word written
+    /// since (newest first) and reverse-updating the fingerprint. Returns
+    /// the number of entries replayed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dirty tracking is not enabled or `mark` exceeds the
+    /// current log length.
+    pub fn rewind_undo(&mut self, mark: usize) -> u64 {
+        let d = self.dirty.as_mut().expect("dirty tracking enabled");
+        assert!(mark <= d.undo.len(), "undo mark from a future checkpoint");
+        let replayed = (d.undo.len() - mark) as u64;
+        while d.undo.len() > mark {
+            let (addr, old) = d.undo.pop().expect("len checked");
+            let idx = (addr / 4) as usize;
+            let new = self.words[idx];
+            if addr < d.fp_limit {
+                d.fingerprint ^= word_mix(addr, new) ^ word_mix(addr, old);
+            }
+            self.words[idx] = old;
+        }
+        replayed
+    }
+
+    /// Stores `value` at `addr` with dirty tracking (when enabled). Same
+    /// access rules as [`Memory::store`]; this is the store the machine's
+    /// instrumented loop uses, leaving the fast loop's untracked
+    /// [`Memory::store`] untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::load`].
+    pub fn store_tracked(&mut self, addr: DataAddr, value: u32) -> Result<(), MemError> {
+        let idx = self.check(addr)?;
+        if self.dirty.is_some() {
+            self.track(addr, idx, value);
+        }
+        self.words[idx] = value;
+        Ok(())
+    }
+
+    /// Records the undo entry and fingerprint delta for writing `value`
+    /// over `words[idx]`. No-op when the write would not change the word
+    /// (rewinding a same-value store restores the same value, and the
+    /// fingerprint delta is zero).
+    fn track(&mut self, addr: DataAddr, idx: usize, value: u32) {
+        let Some(&old) = self.words.get(idx) else {
+            return; // out-of-range store fails; nothing to track
+        };
+        if old == value {
+            return;
+        }
+        let d = self.dirty.as_mut().expect("caller checked");
+        d.undo.push((addr, old));
+        if addr < d.fp_limit {
+            d.fingerprint ^= word_mix(addr, old) ^ word_mix(addr, value);
+        }
+    }
+
+    /// Snapshot of the residency map, for checkpointing under paging
+    /// (`None` when paging is disabled — the common case costs nothing).
+    pub fn residency(&self) -> Option<Vec<bool>> {
+        self.paging.as_ref().map(|p| p.resident.clone())
+    }
+
+    /// Restores a residency snapshot taken by [`Memory::residency`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the paging configuration
+    /// (present iff paging is enabled, same page count).
+    pub fn restore_residency(&mut self, snapshot: &Option<Vec<bool>>) {
+        match (&mut self.paging, snapshot) {
+            (None, None) => {}
+            (Some(p), Some(resident)) => {
+                assert_eq!(p.resident.len(), resident.len(), "page count changed");
+                p.resident.copy_from_slice(resident);
+            }
+            _ => panic!("residency snapshot does not match paging configuration"),
+        }
     }
 }
 
@@ -283,6 +451,58 @@ mod tests {
         assert_eq!(mem.resident_pages(), 1);
         mem.evict_page(0);
         assert_eq!(mem.load(0), Err(MemError::NotResident { addr: 0 }));
+    }
+
+    #[test]
+    fn undo_rewind_restores_words_and_fingerprint() {
+        let mut mem = Memory::new(64);
+        mem.store(0, 11).unwrap();
+        mem.enable_dirty(32);
+        let fp0 = mem.fingerprint().unwrap();
+        assert_eq!(fp0, mem.fingerprint_scan(32));
+        let mark = mem.undo_len();
+        mem.store_tracked(0, 99).unwrap();
+        mem.store_tracked(4, 1).unwrap();
+        mem.store_kernel(8, 2).unwrap();
+        mem.store_tracked(40, 7).unwrap(); // above fp_limit: logged, not folded
+        assert_eq!(mem.undo_len(), mark + 4);
+        assert_eq!(mem.fingerprint().unwrap(), mem.fingerprint_scan(32));
+        assert_ne!(mem.fingerprint().unwrap(), fp0);
+        assert_eq!(mem.rewind_undo(mark), 4);
+        assert_eq!(mem.load(0).unwrap(), 11);
+        assert_eq!(mem.load(4).unwrap(), 0);
+        assert_eq!(mem.load(8).unwrap(), 0);
+        assert_eq!(mem.load(40).unwrap(), 0);
+        assert_eq!(mem.fingerprint().unwrap(), fp0);
+    }
+
+    #[test]
+    fn same_value_stores_cost_no_undo_entries() {
+        let mut mem = Memory::new(64);
+        mem.enable_dirty(64);
+        mem.store_tracked(0, 0).unwrap();
+        mem.store_kernel(4, 0).unwrap();
+        assert_eq!(mem.undo_len(), 0);
+        mem.store_tracked(0, 5).unwrap();
+        mem.store_tracked(0, 5).unwrap();
+        assert_eq!(mem.undo_len(), 1);
+    }
+
+    #[test]
+    fn nested_rewinds_unwind_in_checkpoint_order() {
+        let mut mem = Memory::new(32);
+        mem.enable_dirty(32);
+        let outer = mem.undo_len();
+        mem.store_tracked(0, 1).unwrap();
+        let inner = mem.undo_len();
+        mem.store_tracked(0, 2).unwrap();
+        mem.store_tracked(4, 3).unwrap();
+        assert_eq!(mem.rewind_undo(inner), 2);
+        assert_eq!(mem.load(0).unwrap(), 1);
+        assert_eq!(mem.load(4).unwrap(), 0);
+        assert_eq!(mem.rewind_undo(outer), 1);
+        assert_eq!(mem.load(0).unwrap(), 0);
+        assert_eq!(mem.fingerprint().unwrap(), mem.fingerprint_scan(32));
     }
 
     #[test]

@@ -36,6 +36,13 @@ impl RegFile {
         self.gpr[r.index()]
     }
 
+    /// The whole general-purpose register bank, `r0` first. For bulk
+    /// consumers (state hashing) that would otherwise pay 32 indexed
+    /// [`RegFile::get`] calls.
+    pub fn gprs(&self) -> &[u32; 32] {
+        &self.gpr
+    }
+
     /// Writes a register; writes to `$zero` are discarded.
     pub fn set(&mut self, r: Reg, value: u32) {
         if !r.is_zero() {

@@ -117,6 +117,10 @@ fn print_report(report: &TargetReport) {
         report.cycles,
         verdict
     );
+    println!(
+        "  checkpoints {}  undo entries replayed {}  snapshot bytes {}  states deduped {}",
+        report.checkpoints, report.undo_replayed, report.snapshot_bytes, report.states_deduped
+    );
     if report.hit_schedule_cap {
         println!("  note: schedule cap hit, exploration incomplete");
     }
@@ -148,6 +152,8 @@ fn print_json(reports: &[TargetReport]) {
             "  {{\"target\": \"{}\", \"ok\": {}, \"expects_violations\": {}, \
              \"schedules\": {}, \"pruned\": {}, \"cycles\": {}, \
              \"livelock_suspects\": {}, \"hit_schedule_cap\": {}, \
+             \"checkpoints\": {}, \"undo_replayed\": {}, \
+             \"snapshot_bytes\": {}, \"states_deduped\": {}, \
              \"violations\": {}, \"races\": {}}}",
             r.target.id(),
             r.ok(),
@@ -157,6 +163,10 @@ fn print_json(reports: &[TargetReport]) {
             r.cycles,
             r.livelock_suspects,
             r.hit_schedule_cap,
+            r.checkpoints,
+            r.undo_replayed,
+            r.snapshot_bytes,
+            r.states_deduped,
             json_escape_list(&viol_diags).replace('\n', ""),
             json_escape_list(&r.races).replace('\n', ""),
         ));
@@ -206,6 +216,13 @@ fn main() -> ExitCode {
             total,
             pruned
         );
+        let counters = ras_obs::CheckpointCounters {
+            checkpoints: reports.iter().map(|r| r.checkpoints).sum(),
+            undo_replayed: reports.iter().map(|r| r.undo_replayed).sum(),
+            snapshot_bytes: reports.iter().map(|r| r.snapshot_bytes).sum(),
+            states_deduped: reports.iter().map(|r| r.states_deduped).sum(),
+        };
+        print!("{}", counters.render());
     }
     if let Some(path) = &opts.trace_out {
         let found = reports.iter().find_map(|r| {

@@ -54,10 +54,11 @@ use ras_diag::{DiagKind, Diagnostic};
 use ras_guest::workloads::{model_counter, ModelSpec, TasFlavor};
 use ras_guest::{BuiltGuest, Mechanism};
 use ras_isa::{Inst, Reg, SeqRange};
-use ras_kernel::{Decision, Kernel, StepOutcome, StrategyKind, ThreadId, ThreadState};
+use ras_kernel::{Checkpoint, Decision, Kernel, StepOutcome, StrategyKind, ThreadId, ThreadState};
 use ras_machine::{AccessKind, CpuProfile};
 
 use crate::hb::{Race, RaceDetector};
+use crate::pathset::PathSet;
 use crate::schedule::Schedule;
 
 /// Exploration limits and workload size.
@@ -76,6 +77,16 @@ pub struct CheckConfig {
     pub workers: usize,
     /// Critical sections per worker.
     pub iterations: u32,
+    /// Rewind sibling branches through the kernel's undo-log checkpoints
+    /// instead of cloning the kernel per branch. Off, the explorer clones
+    /// (the pre-checkpoint behavior); results are identical either way —
+    /// the differential tests assert it.
+    pub checkpoints: bool,
+    /// Decision-point depth at which [`check_target_split`] hands
+    /// disjoint subtrees to worker threads; `0` disables splitting.
+    /// Purely a parallelism knob: merged reports are byte-identical to a
+    /// sequential search.
+    pub split_depth: u32,
 }
 
 impl Default for CheckConfig {
@@ -86,6 +97,8 @@ impl Default for CheckConfig {
             max_schedules: 100_000,
             workers: 2,
             iterations: 1,
+            checkpoints: true,
+            split_depth: 3,
         }
     }
 }
@@ -209,6 +222,18 @@ pub struct TargetReport {
     pub violations: Vec<Violation>,
     /// Data races found by the happens-before sanitizer.
     pub races: Vec<Diagnostic>,
+    /// Checkpoints taken (or kernel clones, when checkpoints are off) to
+    /// snapshot sibling branches.
+    pub checkpoints: u64,
+    /// Undo-log entries replayed by checkpoint restores.
+    pub undo_replayed: u64,
+    /// Bytes snapshotted for sibling branches: undo-log checkpoint
+    /// footprints, or full kernel-clone footprints when checkpoints are
+    /// off.
+    pub snapshot_bytes: u64,
+    /// On-path states deduplicated by the exact-state hash set, across
+    /// exploration, replay, and minimization.
+    pub states_deduped: u64,
 }
 
 impl TargetReport {
@@ -324,9 +349,7 @@ fn apply_step(kernel: &mut Kernel, det: &mut Option<RaceDetector>) -> StepOutcom
             for child in threads_before..kernel.thread_count() {
                 d.on_spawn(thread, ThreadId(child as u32));
             }
-            for acc in kernel.take_accesses() {
-                d.on_access(thread, &acc);
-            }
+            kernel.drain_accesses(|acc| d.on_access(thread, acc));
             match *kernel.thread_state(thread) {
                 ThreadState::Exited => d.on_exit(thread),
                 ThreadState::Joining { target } => d.on_join_block(thread, target),
@@ -345,7 +368,7 @@ fn advance(kernel: &mut Kernel, det: &mut Option<RaceDetector>) -> Point {
             if current_visible_sig(kernel).is_some() {
                 return Point::Boundary;
             }
-        } else if kernel.ready_threads().len() >= 2 {
+        } else if kernel.ready_len() >= 2 {
             return Point::FreeDispatch;
         }
         match apply_step(kernel, det) {
@@ -363,9 +386,31 @@ fn advance(kernel: &mut Kernel, det: &mut Option<RaceDetector>) -> Point {
     Point::Terminal(Term::Stalled)
 }
 
+/// Discriminant and payload words for hashing a [`ThreadState`]. The two
+/// words are mixed separately — the previous packing (`payload << 8`)
+/// silently dropped the payload's top 8 bits, so `Sleeping` deadlines
+/// differing only there (e.g. `1 << 56` vs `0`) hashed identically and
+/// could fuse distinct states into a phantom cycle.
+fn thread_state_words(state: &ThreadState) -> (u64, u64) {
+    match *state {
+        ThreadState::Ready => (1, 0),
+        ThreadState::Running => (2, 0),
+        ThreadState::Blocked { addr } => (3, u64::from(addr)),
+        ThreadState::Joining { target } => (4, u64::from(target.0)),
+        ThreadState::Sleeping { until } => (5, until),
+        ThreadState::Exited => (6, 0),
+    }
+}
+
 /// FNV-1a hash of the scheduler-relevant state: thread register files and
 /// states, queue order, shared data, and the i860 restart bit. Clocks and
 /// statistics are excluded so spin iterations hash identically.
+///
+/// The shared-data term folds in the machine's running memory
+/// fingerprint when dirty tracking is on — O(1) instead of a scan per
+/// decision point. With tracking off the same fingerprint is recomputed
+/// by scanning, so hashes are identical across the two modes by
+/// construction (same XOR-fold over the same words).
 fn state_hash(kernel: &Kernel) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |v: u64| {
@@ -376,32 +421,77 @@ fn state_hash(kernel: &Kernel) -> u64 {
         let t = ThreadId(i as u32);
         let regs = kernel.thread_regs(t);
         mix(u64::from(regs.pc()));
-        for r in Reg::all() {
-            mix(u64::from(regs.get(r)));
+        for &g in regs.gprs() {
+            mix(u64::from(g));
         }
-        mix(match *kernel.thread_state(t) {
-            ThreadState::Ready => 1,
-            ThreadState::Running => 2,
-            ThreadState::Blocked { addr } => 3 | (u64::from(addr) << 8),
-            ThreadState::Joining { target } => 4 | (u64::from(target.0) << 8),
-            ThreadState::Sleeping { until } => 5 | (until << 8),
-            ThreadState::Exited => 6,
-        });
+        let (discriminant, payload) = thread_state_words(kernel.thread_state(t));
+        mix(discriminant);
+        mix(payload);
     }
     mix(kernel.current_thread().map_or(u64::MAX, |t| u64::from(t.0)));
-    for t in kernel.ready_threads() {
+    for t in kernel.ready_iter() {
         mix(u64::from(t.0) | 0x100);
     }
-    let mut addr = 0;
-    while addr < kernel.data_end() {
-        mix(u64::from(kernel.read_word(addr).unwrap_or(0)));
-        addr += 4;
-    }
+    let data_end = kernel.data_end();
+    mix(kernel
+        .memory_fingerprint()
+        .unwrap_or_else(|| kernel.machine().mem().fingerprint_scan(data_end)));
     mix(kernel
         .machine()
         .atomic_restart_pc()
         .map_or(u64::MAX - 1, u64::from));
     h
+}
+
+/// A pending DFS subtree, frozen at a decision point of depth
+/// [`CheckConfig::split_depth`] during the sequential prefix expansion —
+/// everything `dfs` needs to resume from exactly that node in a fresh
+/// explorer (on any worker thread).
+struct SubtreeTask {
+    kernel: Kernel,
+    det: Option<RaceDetector>,
+    at_dispatch: bool,
+    sleep: Vec<OpSig>,
+    preemptions: u32,
+    index: u64,
+    path: Schedule,
+    hashes: PathSet,
+}
+
+/// Where the sequential expansion stood when a subtree was spawned, so
+/// the merge can splice subtree results back into DFS order: a task with
+/// mark `m` sits after the expansion's first `m.schedules` terminals
+/// (and first `m.violations_len` violations, `m.races_len` races) and
+/// before all later ones.
+#[derive(Debug, Clone, Copy)]
+struct UnitMark {
+    schedules: u64,
+    violations_len: usize,
+    races_len: usize,
+}
+
+/// Everything a subtree exploration produced, with violation
+/// `found_after` counts and race keys still local to the subtree; the
+/// merge re-bases them into global DFS order.
+struct SubtreeOutcome {
+    schedules: u64,
+    pruned: u64,
+    cycles: u64,
+    livelock_suspects: u64,
+    hit_cap: bool,
+    violations: Vec<Violation>,
+    race_keys: Vec<(u32, u32, u32)>,
+    races: Vec<Diagnostic>,
+    checkpoints: u64,
+    undo_replayed: u64,
+    snapshot_bytes: u64,
+    states_deduped: u64,
+}
+
+/// Approximate footprint of a full kernel clone — the snapshot cost when
+/// checkpoints are off, dominated by the guest memory image.
+fn kernel_clone_bytes(kernel: &Kernel) -> u64 {
+    u64::from(kernel.machine().mem().len_bytes()) + std::mem::size_of::<Kernel>() as u64
 }
 
 pub(crate) struct Explorer<'a> {
@@ -419,6 +509,29 @@ pub(crate) struct Explorer<'a> {
     violations: Vec<Violation>,
     race_keys: Vec<(u32, u32, u32)>,
     races: Vec<Diagnostic>,
+    /// Snapshot siblings via undo-log checkpoints instead of clones.
+    use_checkpoints: bool,
+    /// When set, `dfs` stops at decision points of this depth and
+    /// freezes them as [`SubtreeTask`]s instead of exploring them.
+    spawn_at: Option<u64>,
+    tasks: Vec<SubtreeTask>,
+    marks: Vec<UnitMark>,
+    checkpoints: u64,
+    undo_replayed: u64,
+    snapshot_bytes: u64,
+    states_deduped: u64,
+    /// Recycled race-detector scratch snapshots, roughly one per DFS
+    /// depth. [`RaceDetector::snapshot_into`] refills a pooled scratch
+    /// in place, so interior decision points stop paying the detector's
+    /// ~50 small allocations per sibling branch.
+    det_pool: Vec<RaceDetector>,
+    /// Recycled kernel checkpoints, same lifecycle as `det_pool`
+    /// (see [`Kernel::checkpoint_into`]).
+    cp_pool: Vec<Checkpoint>,
+    /// Recycled choice-enumeration buffers (one live per DFS depth).
+    choice_pool: Vec<Vec<(Decision, Option<OpSig>)>>,
+    /// Recycled sleep-set and done-set buffers.
+    sig_pool: Vec<Vec<OpSig>>,
 }
 
 impl<'a> Explorer<'a> {
@@ -448,6 +561,40 @@ impl<'a> Explorer<'a> {
             violations: Vec::new(),
             race_keys: Vec::new(),
             races: Vec::new(),
+            use_checkpoints: config.checkpoints,
+            spawn_at: None,
+            tasks: Vec::new(),
+            marks: Vec::new(),
+            checkpoints: 0,
+            undo_replayed: 0,
+            snapshot_bytes: 0,
+            states_deduped: 0,
+            det_pool: Vec::new(),
+            cp_pool: Vec::new(),
+            choice_pool: Vec::new(),
+            sig_pool: Vec::new(),
+        }
+    }
+
+    /// Snapshots the detector into a pooled scratch (allocation-reusing
+    /// equivalent of `det.clone()` on the checkpointed branch path).
+    fn save_detector(&mut self, det: &Option<RaceDetector>) -> Option<RaceDetector> {
+        det.as_ref().map(|d| {
+            let mut scratch = self
+                .det_pool
+                .pop()
+                .unwrap_or_else(|| RaceDetector::new(Vec::new(), 0));
+            d.snapshot_into(&mut scratch);
+            scratch
+        })
+    }
+
+    /// Restores a [`Explorer::save_detector`] snapshot, returning the
+    /// displaced (mutated) detector to the pool for reuse.
+    fn restore_detector(&mut self, det: &mut Option<RaceDetector>, saved: Option<RaceDetector>) {
+        if let (Some(d), Some(mut s)) = (det.as_mut(), saved) {
+            std::mem::swap(d, &mut s);
+            self.det_pool.push(s);
         }
     }
 
@@ -488,17 +635,20 @@ impl<'a> Explorer<'a> {
     pub(crate) fn run(&mut self) {
         let mut det = self.detector();
         let mut kernel = self.boot(det.is_some());
+        if self.use_checkpoints {
+            kernel.enable_checkpoints();
+        }
         let point = advance(&mut kernel, &mut det);
         self.drain_races(&mut det);
         let mut path = Schedule::default();
-        let mut hashes = Vec::new();
+        let mut hashes = PathSet::new();
         match point {
             Point::Terminal(term) => self.on_terminal(term, &kernel, &path),
             Point::Boundary | Point::FreeDispatch => {
                 let dispatch = matches!(point, Point::FreeDispatch);
                 self.dfs(
-                    kernel,
-                    det,
+                    &mut kernel,
+                    &mut det,
                     dispatch,
                     Vec::new(),
                     0,
@@ -541,24 +691,53 @@ impl<'a> Explorer<'a> {
     /// The recursive search. `at_dispatch` distinguishes the two decision
     /// point kinds; `index` numbers decision points along this path.
     ///
-    /// Takes the kernel and detector by value: the final branch out of a
-    /// decision point *moves* the parent state into the child instead of
-    /// copying it. Most decision points deep in the tree offer exactly one
-    /// choice (the preemption budget is spent), so this removes the
-    /// overwhelming majority of kernel snapshots — each of which copies
-    /// the full guest memory image — without changing the search at all.
+    /// The kernel is threaded through by mutable reference: each branch
+    /// runs in place and is rewound afterwards — through the undo-log
+    /// checkpoint when checkpoints are on (O(stores since the decision
+    /// point)), through a saved clone otherwise. The final branch out of
+    /// a decision point skips the rewind entirely: no sibling will need
+    /// the parent state again, and whatever the branch leaves behind is
+    /// rewound by an ancestor's restore (undo marks only decrease up the
+    /// tree). Most decision points deep in the tree offer exactly one
+    /// choice (the preemption budget is spent), so most nodes snapshot
+    /// nothing at all.
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &mut self,
-        kernel: Kernel,
-        det: Option<RaceDetector>,
+        kernel: &mut Kernel,
+        det: &mut Option<RaceDetector>,
         at_dispatch: bool,
-        sleep: Vec<OpSig>,
+        mut sleep: Vec<OpSig>,
         preemptions: u32,
         index: u64,
         path: &mut Schedule,
-        hashes: &mut Vec<u64>,
+        hashes: &mut PathSet,
     ) {
+        // Root-splitting: during the sequential prefix expansion, nodes
+        // at the spawn depth are frozen as subtree tasks for the worker
+        // pool instead of being explored. This check must come first —
+        // the subtree explorer re-runs this node from scratch, and every
+        // check below (cap, violation, cycle) must fire exactly once.
+        if let Some(depth) = self.spawn_at {
+            if index >= depth {
+                self.marks.push(UnitMark {
+                    schedules: self.schedules,
+                    violations_len: self.violations.len(),
+                    races_len: self.races.len(),
+                });
+                self.tasks.push(SubtreeTask {
+                    kernel: kernel.clone(),
+                    det: det.clone(),
+                    at_dispatch,
+                    sleep,
+                    preemptions,
+                    index,
+                    path: path.clone(),
+                    hashes: hashes.clone(),
+                });
+                return;
+            }
+        }
         if self.hit_cap {
             return;
         }
@@ -572,7 +751,7 @@ impl<'a> Explorer<'a> {
         // default continuation is first run out to harvest the companion
         // lost-update evidence (the same interleaving that breaks mutual
         // exclusion also drops an increment).
-        if self.target.mutex_checked() && self.violations_word(&kernel) > 0 {
+        if self.target.mutex_checked() && self.violations_word(kernel) > 0 {
             self.schedules += 1;
             self.record(
                 DiagKind::MutexViolation,
@@ -582,7 +761,7 @@ impl<'a> Explorer<'a> {
                 path,
             );
             if !self.has_violation(DiagKind::LostUpdate) {
-                if let Some(counter) = self.counter_after_default_run(&kernel) {
+                if let Some(counter) = self.counter_after_default_run(kernel) {
                     if counter != self.expected_count {
                         self.record(
                             DiagKind::LostUpdate,
@@ -610,40 +789,46 @@ impl<'a> Explorer<'a> {
             );
             return;
         }
-        let h = state_hash(&kernel);
-        if hashes.contains(&h) {
+        let h = state_hash(kernel);
+        if hashes.contains(h) {
             // An exact state repeat on this path: a spin under an unfair
             // schedule. The suffix explores nothing new.
             self.schedules += 1;
             self.cycles += 1;
+            self.states_deduped += 1;
+            sleep.clear();
+            self.sig_pool.push(sleep);
             return;
         }
-        hashes.push(h);
+        hashes.insert(h);
 
-        // Enumerate choices: the default first.
-        let ready = kernel.ready_threads();
-        let mut choices: Vec<(Decision, Option<OpSig>)> = Vec::new();
+        // Enumerate choices: the default first. The choice and sleep-set
+        // buffers come from per-depth recycling pools — a decision point
+        // is visited once per path through its ancestors, so fresh
+        // allocations here add up to most of the explorer's heap
+        // traffic.
+        let mut choices = self.choice_pool.pop().unwrap_or_default();
         if at_dispatch {
-            for &u in &ready {
-                choices.push((Decision::Dispatch(u), thread_next_sig(&kernel, u)));
+            for u in kernel.ready_iter() {
+                choices.push((Decision::Dispatch(u), thread_next_sig(kernel, u)));
             }
         } else {
-            choices.push((Decision::Continue, current_visible_sig(&kernel)));
+            choices.push((Decision::Continue, current_visible_sig(kernel)));
             if preemptions < self.config.preemption_bound {
-                for &u in &ready {
-                    choices.push((Decision::Preempt(u), thread_next_sig(&kernel, u)));
+                for u in kernel.ready_iter() {
+                    choices.push((Decision::Preempt(u), thread_next_sig(kernel, u)));
                 }
             }
         }
 
-        let mut done: Vec<OpSig> = Vec::new();
-        // The parent snapshot. Every branch but the last starts from a
-        // clone; the last branch consumes it outright — no sibling will
-        // need it again, and the clone (dominated by the guest memory
-        // image) is by far the most expensive operation per decision
-        // point.
+        let mut done = self.sig_pool.pop().unwrap_or_default();
+        // Every branch but the last snapshots the parent state and rewinds
+        // to it afterwards; the last branch runs in place and leaves its
+        // wake for an ancestor's rewind. The snapshot is an undo-log
+        // checkpoint (cheap: registers, queues, an undo mark) when
+        // checkpoints are on, a full kernel clone (dominated by the guest
+        // memory image) when off.
         let last = choices.len().saturating_sub(1);
-        let mut parent = Some((kernel, det));
         for (i, (decision, sig)) in choices.iter().enumerate() {
             if self.hit_cap {
                 break;
@@ -661,104 +846,67 @@ impl<'a> Explorer<'a> {
                     }
                 }
             }
-            let (mut k, mut d) = if i == last {
-                parent
-                    .take()
-                    .expect("parent state unconsumed until the last branch")
+            if i == last {
+                self.branch(
+                    kernel,
+                    det,
+                    *decision,
+                    *sig,
+                    &sleep,
+                    &done,
+                    preemptions,
+                    index,
+                    i == 0,
+                    path,
+                    hashes,
+                );
+            } else if self.use_checkpoints {
+                let cp = match self.cp_pool.pop() {
+                    Some(mut cp) => {
+                        kernel.checkpoint_into(&mut cp);
+                        cp
+                    }
+                    None => kernel.checkpoint(),
+                };
+                let det0 = self.save_detector(det);
+                self.checkpoints += 1;
+                self.snapshot_bytes += cp.approx_bytes();
+                self.branch(
+                    kernel,
+                    det,
+                    *decision,
+                    *sig,
+                    &sleep,
+                    &done,
+                    preemptions,
+                    index,
+                    i == 0,
+                    path,
+                    hashes,
+                );
+                self.undo_replayed += kernel.restore(&cp);
+                self.cp_pool.push(cp);
+                self.restore_detector(det, det0);
             } else {
-                let (pk, pd) = parent.as_ref().expect("parent state present for siblings");
-                (pk.clone(), pd.clone())
-            };
-            let mut child_preemptions = preemptions;
-            match decision {
-                Decision::Continue => {
-                    // Execute the visible operation itself.
-                    match apply_step(&mut k, &mut d) {
-                        StepOutcome::Ran { .. } | StepOutcome::Idled => {}
-                        terminal => {
-                            self.drain_races(&mut d);
-                            self.on_step_terminal(terminal, &k, path);
-                            continue;
-                        }
-                    }
-                }
-                Decision::Preempt(u) => {
-                    child_preemptions += 1;
-                    k.preempt_current();
-                    k.schedule_next(*u);
-                    if let terminal @ (StepOutcome::Completed
-                    | StepOutcome::Halted { .. }
-                    | StepOutcome::Deadlock { .. }
-                    | StepOutcome::Fault { .. }) = apply_step(&mut k, &mut d)
-                    {
-                        self.drain_races(&mut d);
-                        self.on_step_terminal(terminal, &k, path);
-                        continue;
-                    }
-                }
-                Decision::Dispatch(u) => {
-                    k.schedule_next(*u);
-                    if let terminal @ (StepOutcome::Completed
-                    | StepOutcome::Halted { .. }
-                    | StepOutcome::Deadlock { .. }
-                    | StepOutcome::Fault { .. }) = apply_step(&mut k, &mut d)
-                    {
-                        self.drain_races(&mut d);
-                        self.on_step_terminal(terminal, &k, path);
-                        continue;
-                    }
-                }
-            }
-            self.drain_races(&mut d);
-            // The sleep set handed to the child: everything still
-            // independent of the operation this branch executes first.
-            let child_sleep: Vec<OpSig> = match (decision, sig) {
-                (Decision::Continue, Some(op)) => sleep
-                    .iter()
-                    .chain(done.iter())
-                    .copied()
-                    .filter(|s| s.independent(*op))
-                    .collect(),
-                (Decision::Continue, None) => Vec::new(),
-                // Preempt/Dispatch execute only thread-private bookkeeping
-                // before the next decision point; the sleep set carries
-                // over and keeps being filtered as operations execute.
-                _ => sleep.iter().chain(done.iter()).copied().collect(),
-            };
-
-            // Record the decision if it deviates from the default
-            // (Continue, or dispatching the queue front).
-            let is_default = i == 0;
-            if !is_default {
-                path.decisions.push((index, *decision));
-            }
-            let point = advance(&mut k, &mut d);
-            self.drain_races(&mut d);
-            match point {
-                Point::Terminal(term) => self.on_terminal(term, &k, path),
-                Point::Boundary => self.dfs(
-                    k,
-                    d,
-                    false,
-                    child_sleep,
-                    child_preemptions,
-                    index + 1,
+                let kernel0 = kernel.clone();
+                let det0 = det.clone();
+                self.checkpoints += 1;
+                self.snapshot_bytes += kernel_clone_bytes(&kernel0);
+                self.branch(
+                    kernel,
+                    det,
+                    *decision,
+                    *sig,
+                    &sleep,
+                    &done,
+                    preemptions,
+                    index,
+                    i == 0,
                     path,
                     hashes,
-                ),
-                Point::FreeDispatch => self.dfs(
-                    k,
-                    d,
-                    true,
-                    child_sleep,
-                    child_preemptions,
-                    index + 1,
-                    path,
-                    hashes,
-                ),
-            }
-            if !is_default {
-                path.decisions.pop();
+                );
+                *kernel = kernel0;
+                *det = det0;
             }
             if matches!(decision, Decision::Continue) {
                 if let Some(s @ OpSig::Mem { .. }) = sig {
@@ -766,7 +914,130 @@ impl<'a> Explorer<'a> {
                 }
             }
         }
-        hashes.pop();
+        hashes.remove(h);
+        choices.clear();
+        self.choice_pool.push(choices);
+        done.clear();
+        self.sig_pool.push(done);
+        sleep.clear();
+        self.sig_pool.push(sleep);
+    }
+
+    /// One branch out of a decision point, run in place on `kernel`:
+    /// applies the decision, advances to the next decision point, and
+    /// recurses. The caller is responsible for rewinding `kernel`
+    /// afterwards (or not, for the last sibling).
+    #[allow(clippy::too_many_arguments)]
+    fn branch(
+        &mut self,
+        kernel: &mut Kernel,
+        det: &mut Option<RaceDetector>,
+        decision: Decision,
+        sig: Option<OpSig>,
+        sleep: &[OpSig],
+        done: &[OpSig],
+        preemptions: u32,
+        index: u64,
+        is_default: bool,
+        path: &mut Schedule,
+        hashes: &mut PathSet,
+    ) {
+        let mut child_preemptions = preemptions;
+        match decision {
+            Decision::Continue => {
+                // Execute the visible operation itself.
+                match apply_step(kernel, det) {
+                    StepOutcome::Ran { .. } | StepOutcome::Idled => {}
+                    terminal => {
+                        self.drain_races(det);
+                        self.on_step_terminal(terminal, kernel, path);
+                        return;
+                    }
+                }
+            }
+            Decision::Preempt(u) => {
+                child_preemptions += 1;
+                kernel.preempt_current();
+                kernel.schedule_next(u);
+                if let terminal @ (StepOutcome::Completed
+                | StepOutcome::Halted { .. }
+                | StepOutcome::Deadlock { .. }
+                | StepOutcome::Fault { .. }) = apply_step(kernel, det)
+                {
+                    self.drain_races(det);
+                    self.on_step_terminal(terminal, kernel, path);
+                    return;
+                }
+            }
+            Decision::Dispatch(u) => {
+                kernel.schedule_next(u);
+                if let terminal @ (StepOutcome::Completed
+                | StepOutcome::Halted { .. }
+                | StepOutcome::Deadlock { .. }
+                | StepOutcome::Fault { .. }) = apply_step(kernel, det)
+                {
+                    self.drain_races(det);
+                    self.on_step_terminal(terminal, kernel, path);
+                    return;
+                }
+            }
+        }
+        self.drain_races(det);
+        // The sleep set handed to the child: everything still
+        // independent of the operation this branch executes first.
+        let mut child_sleep = self.sig_pool.pop().unwrap_or_default();
+        match (decision, sig) {
+            (Decision::Continue, Some(op)) => child_sleep.extend(
+                sleep
+                    .iter()
+                    .chain(done.iter())
+                    .copied()
+                    .filter(|s| s.independent(op)),
+            ),
+            (Decision::Continue, None) => {}
+            // Preempt/Dispatch execute only thread-private bookkeeping
+            // before the next decision point; the sleep set carries
+            // over and keeps being filtered as operations execute.
+            _ => child_sleep.extend(sleep.iter().chain(done.iter()).copied()),
+        }
+
+        // Record the decision if it deviates from the default
+        // (Continue, or dispatching the queue front).
+        if !is_default {
+            path.decisions.push((index, decision));
+        }
+        let point = advance(kernel, det);
+        self.drain_races(det);
+        match point {
+            Point::Terminal(term) => {
+                child_sleep.clear();
+                self.sig_pool.push(child_sleep);
+                self.on_terminal(term, kernel, path);
+            }
+            Point::Boundary => self.dfs(
+                kernel,
+                det,
+                false,
+                child_sleep,
+                child_preemptions,
+                index + 1,
+                path,
+                hashes,
+            ),
+            Point::FreeDispatch => self.dfs(
+                kernel,
+                det,
+                true,
+                child_sleep,
+                child_preemptions,
+                index + 1,
+                path,
+                hashes,
+            ),
+        }
+        if !is_default {
+            path.decisions.pop();
+        }
     }
 
     fn on_step_terminal(&mut self, outcome: StepOutcome, kernel: &Kernel, path: &Schedule) {
@@ -841,10 +1112,10 @@ impl<'a> Explorer<'a> {
     /// Runs the default continuation (no further non-default decisions)
     /// from `kernel` to its terminal state and returns the final counter,
     /// or `None` if it does not complete cleanly.
-    fn counter_after_default_run(&self, kernel: &Kernel) -> Option<u32> {
+    fn counter_after_default_run(&mut self, kernel: &Kernel) -> Option<u32> {
         let mut k = kernel.clone();
         let mut det = None;
-        let mut hashes = Vec::new();
+        let mut hashes = PathSet::new();
         let mut steps = 0u64;
         loop {
             match advance(&mut k, &mut det) {
@@ -856,10 +1127,11 @@ impl<'a> Explorer<'a> {
                         return None;
                     }
                     let h = state_hash(&k);
-                    if hashes.contains(&h) {
+                    if hashes.contains(h) {
+                        self.states_deduped += 1;
                         return None;
                     }
-                    hashes.push(h);
+                    hashes.insert(h);
                     match apply_step(&mut k, &mut det) {
                         StepOutcome::Ran { .. } | StepOutcome::Idled => {}
                         StepOutcome::Completed => return k.read_word(self.counter_addr).ok(),
@@ -888,7 +1160,7 @@ impl<'a> Explorer<'a> {
     /// violation under replay. If even the original schedule does not
     /// replay (e.g. a livelock suspect that needs the exact exploration
     /// state), it is returned untouched.
-    fn minimize_schedule(&self, kind: DiagKind, original: Schedule) -> Schedule {
+    fn minimize_schedule(&mut self, kind: DiagKind, original: Schedule) -> Schedule {
         if !self.replay(&original).contains(&kind) {
             return original;
         }
@@ -915,10 +1187,10 @@ impl<'a> Explorer<'a> {
     /// everywhere else, and returns every violation kind the terminal
     /// state exhibits. Public behavior is identical to exploration —
     /// same kernel, same stepping — minus the search.
-    fn replay(&self, schedule: &Schedule) -> Vec<DiagKind> {
+    fn replay(&mut self, schedule: &Schedule) -> Vec<DiagKind> {
         let mut kernel = self.boot(false);
         let mut det = None;
-        let mut hashes = Vec::new();
+        let mut hashes = PathSet::new();
         let mut index = 0u64;
         loop {
             match advance(&mut kernel, &mut det) {
@@ -928,10 +1200,11 @@ impl<'a> Explorer<'a> {
                         return vec![DiagKind::LivelockSuspect];
                     }
                     let h = state_hash(&kernel);
-                    if hashes.contains(&h) {
+                    if hashes.contains(h) {
+                        self.states_deduped += 1;
                         return Vec::new(); // spin cycle under defaults: benign
                     }
-                    hashes.push(h);
+                    hashes.insert(h);
                     match schedule.decision_at(index) {
                         Some(Decision::Preempt(u)) => {
                             if kernel.preempt_current() {
@@ -993,7 +1266,159 @@ impl<'a> Explorer<'a> {
             hit_schedule_cap: self.hit_cap,
             violations: self.violations,
             races: self.races,
+            checkpoints: self.checkpoints,
+            undo_replayed: self.undo_replayed,
+            snapshot_bytes: self.snapshot_bytes,
+            states_deduped: self.states_deduped,
         }
+    }
+
+    /// Resumes the search from a frozen subtree task and packages the
+    /// results for the merge. Run on a *fresh* explorer (same target and
+    /// config), typically on a worker thread.
+    fn run_subtree(mut self, task: SubtreeTask) -> SubtreeOutcome {
+        let SubtreeTask {
+            mut kernel,
+            mut det,
+            at_dispatch,
+            sleep,
+            preemptions,
+            index,
+            mut path,
+            mut hashes,
+        } = task;
+        self.dfs(
+            &mut kernel,
+            &mut det,
+            at_dispatch,
+            sleep,
+            preemptions,
+            index,
+            &mut path,
+            &mut hashes,
+        );
+        SubtreeOutcome {
+            schedules: self.schedules,
+            pruned: self.pruned,
+            cycles: self.cycles,
+            livelock_suspects: self.livelock_suspects,
+            hit_cap: self.hit_cap,
+            violations: self.violations,
+            race_keys: self.race_keys,
+            races: self.races,
+            checkpoints: self.checkpoints,
+            undo_replayed: self.undo_replayed,
+            snapshot_bytes: self.snapshot_bytes,
+            states_deduped: self.states_deduped,
+        }
+    }
+}
+
+/// The sequential prefix expansion of a split search: runs the DFS down
+/// to [`CheckConfig::split_depth`], freezing each node at that depth as a
+/// [`SubtreeTask`]. Returns the expansion explorer (holding the shallow
+/// terminals, violations, and counters found on the way) plus the frozen
+/// tasks and their spawn-order marks.
+fn expand(
+    target: ModelTarget,
+    config: &CheckConfig,
+) -> (Explorer<'_>, Vec<SubtreeTask>, Vec<UnitMark>) {
+    let mut explorer = Explorer::new(target, config);
+    explorer.spawn_at = Some(u64::from(config.split_depth));
+    explorer.run();
+    let tasks = std::mem::take(&mut explorer.tasks);
+    let marks = std::mem::take(&mut explorer.marks);
+    (explorer, tasks, marks)
+}
+
+/// Splices subtree outcomes back into the expansion's DFS order,
+/// reproducing exactly what one sequential search would have reported:
+/// totals are sums; violations keep only the first of each kind *in
+/// global DFS order* with `found_after` re-based to the global schedule
+/// numbering; races dedup by site key in the same order.
+fn merge(
+    expansion: Explorer<'_>,
+    marks: &[UnitMark],
+    outcomes: Vec<SubtreeOutcome>,
+) -> TargetReport {
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut race_keys: Vec<(u32, u32, u32)> = Vec::new();
+    let mut races: Vec<Diagnostic> = Vec::new();
+    let push_violation = |violations: &mut Vec<Violation>, v: Violation| {
+        if !violations.iter().any(|seen| seen.diag.kind == v.diag.kind) {
+            violations.push(v);
+        }
+    };
+    let mut push_race = |races: &mut Vec<Diagnostic>, key: (u32, u32, u32), race: Diagnostic| {
+        if !race_keys.contains(&key) {
+            race_keys.push(key);
+            races.push(race);
+        }
+    };
+
+    // Global DFS order interleaves expansion events and subtrees: the
+    // task with mark `m` sits after the expansion's first `m` terminals
+    // and before all later ones, so walk the expansion's violation/race
+    // lists in lockstep with the task list. `sub_schedules` accumulates
+    // the schedule counts of already-merged subtrees — the re-basing
+    // offset for every later event.
+    let mut sub_schedules = 0u64;
+    let mut vi = 0;
+    let mut ri = 0;
+    for (mark, outcome) in marks.iter().zip(&outcomes) {
+        while vi < mark.violations_len {
+            let mut v = expansion.violations[vi].clone();
+            v.found_after += sub_schedules;
+            push_violation(&mut violations, v);
+            vi += 1;
+        }
+        while ri < mark.races_len {
+            push_race(
+                &mut races,
+                expansion.race_keys[ri],
+                expansion.races[ri].clone(),
+            );
+            ri += 1;
+        }
+        for v in &outcome.violations {
+            let mut v = v.clone();
+            v.found_after += mark.schedules + sub_schedules;
+            push_violation(&mut violations, v);
+        }
+        for (key, race) in outcome.race_keys.iter().zip(&outcome.races) {
+            push_race(&mut races, *key, race.clone());
+        }
+        sub_schedules += outcome.schedules;
+    }
+    while vi < expansion.violations.len() {
+        let mut v = expansion.violations[vi].clone();
+        v.found_after += sub_schedules;
+        push_violation(&mut violations, v);
+        vi += 1;
+    }
+    while ri < expansion.races.len() {
+        push_race(
+            &mut races,
+            expansion.race_keys[ri],
+            expansion.races[ri].clone(),
+        );
+        ri += 1;
+    }
+
+    let sum = |f: fn(&SubtreeOutcome) -> u64| outcomes.iter().map(f).sum::<u64>();
+    TargetReport {
+        target: expansion.target,
+        schedules: expansion.schedules + sum(|o| o.schedules),
+        pruned: expansion.pruned + sum(|o| o.pruned),
+        cycles: expansion.cycles + sum(|o| o.cycles),
+        livelock_suspects: expansion.livelock_suspects + sum(|o| o.livelock_suspects),
+        hit_schedule_cap: false,
+        violations,
+        races,
+        checkpoints: expansion.checkpoints + sum(|o| o.checkpoints),
+        undo_replayed: expansion.undo_replayed + sum(|o| o.undo_replayed),
+        snapshot_bytes: expansion.snapshot_bytes + sum(|o| o.snapshot_bytes),
+        states_deduped: expansion.states_deduped + sum(|o| o.states_deduped),
     }
 }
 
@@ -1002,6 +1427,85 @@ pub fn check_target(target: ModelTarget, config: &CheckConfig) -> TargetReport {
     let mut explorer = Explorer::new(target, config);
     explorer.run();
     explorer.into_report()
+}
+
+/// [`check_target`] with deterministic root-splitting: the first
+/// [`CheckConfig::split_depth`] decision levels are expanded
+/// sequentially, then the disjoint subtrees hanging off them fan out
+/// across `workers` threads and their results are merged back in DFS
+/// order. The report is byte-identical to a sequential [`check_target`]
+/// for any worker count — splitting is invisible to everything but wall
+/// time.
+///
+/// Whenever the schedule cap interferes (a subtree alone or the merged
+/// total reaching [`CheckConfig::max_schedules`] — a cap hit mid-search
+/// truncates in a split-dependent way), the function falls back to one
+/// full sequential search, preserving exactness.
+pub fn check_target_split(
+    target: ModelTarget,
+    config: &CheckConfig,
+    workers: usize,
+) -> TargetReport {
+    if config.split_depth == 0 || workers <= 1 {
+        return check_target(target, config);
+    }
+    let (expansion, tasks, marks) = expand(target, config);
+    if expansion.hit_cap {
+        return check_target(target, config);
+    }
+    let outcomes = ras_par::parallel_map_owned_with(workers, tasks, |task| {
+        Explorer::new(target, config).run_subtree(task)
+    });
+    let total = expansion.schedules + outcomes.iter().map(|o| o.schedules).sum::<u64>();
+    if outcomes.iter().any(|o| o.hit_cap) || total >= config.max_schedules {
+        return check_target(target, config);
+    }
+    merge(expansion, &marks, outcomes)
+}
+
+/// Checks many targets with one shared worker pool: expansions run
+/// sequentially (they are shallow), then every frozen subtree of every
+/// target fans out over a single `workers`-wide pool, and each target's
+/// results merge back in DFS order. Reports are byte-identical to
+/// sequential [`check_target`] runs in the given order.
+pub fn check_targets_split(
+    targets: &[ModelTarget],
+    config: &CheckConfig,
+    workers: usize,
+) -> Vec<TargetReport> {
+    if config.split_depth == 0 || workers <= 1 {
+        return targets.iter().map(|&t| check_target(t, config)).collect();
+    }
+    let mut expansions = Vec::new();
+    let mut flat: Vec<(usize, SubtreeTask)> = Vec::new();
+    for (i, &target) in targets.iter().enumerate() {
+        let (expansion, tasks, marks) = expand(target, config);
+        flat.extend(tasks.into_iter().map(|task| (i, task)));
+        expansions.push((expansion, marks));
+    }
+    let outcomes = ras_par::parallel_map_owned_with(workers, flat, |(i, task)| {
+        (i, Explorer::new(targets[i], config).run_subtree(task))
+    });
+    let mut per_target: Vec<Vec<SubtreeOutcome>> = targets.iter().map(|_| Vec::new()).collect();
+    for (i, outcome) in outcomes {
+        per_target[i].push(outcome);
+    }
+    expansions
+        .into_iter()
+        .zip(per_target)
+        .zip(targets)
+        .map(|(((expansion, marks), outcomes), &target)| {
+            let total = expansion.schedules + outcomes.iter().map(|o| o.schedules).sum::<u64>();
+            if expansion.hit_cap
+                || outcomes.iter().any(|o| o.hit_cap)
+                || total >= config.max_schedules
+            {
+                check_target(target, config)
+            } else {
+                merge(expansion, &marks, outcomes)
+            }
+        })
+        .collect()
 }
 
 /// Replays a counterexample schedule from a fresh boot with full event
@@ -1052,4 +1556,55 @@ pub fn counterexample_trace(
         .map(ras_obs::Recording::into_events)
         .unwrap_or_default();
     (events, mhz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread_state_words;
+    use ras_kernel::ThreadState;
+
+    /// The regression the split hashing fixes: the old packing
+    /// `5 | (until << 8)` shifted the deadline's top 8 bits out of the
+    /// word, so deadlines `1 << 56` and `0` hashed identically.
+    #[test]
+    fn sleeping_deadlines_differing_in_top_bits_do_not_alias() {
+        let old_packing = |until: u64| 5 | (until << 8);
+        assert_eq!(
+            old_packing(1 << 56),
+            old_packing(0),
+            "the old packing really did alias these deadlines"
+        );
+        let deadlines = [0u64, 1, 1 << 8, 1 << 55, 1 << 56, (1 << 56) | 1, u64::MAX];
+        for (i, &a) in deadlines.iter().enumerate() {
+            for &b in &deadlines[i + 1..] {
+                assert_ne!(
+                    thread_state_words(&ThreadState::Sleeping { until: a }),
+                    thread_state_words(&ThreadState::Sleeping { until: b }),
+                    "deadlines {a:#x} and {b:#x} must hash distinctly"
+                );
+            }
+        }
+    }
+
+    /// Distinct state variants never share (discriminant, payload) words,
+    /// even when payloads collide numerically.
+    #[test]
+    fn thread_state_discriminants_are_disjoint() {
+        use ras_kernel::ThreadId;
+        let states = [
+            ThreadState::Ready,
+            ThreadState::Running,
+            ThreadState::Blocked { addr: 7 },
+            ThreadState::Joining {
+                target: ThreadId(7),
+            },
+            ThreadState::Sleeping { until: 7 },
+            ThreadState::Exited,
+        ];
+        for (i, a) in states.iter().enumerate() {
+            for b in &states[i + 1..] {
+                assert_ne!(thread_state_words(a), thread_state_words(b));
+            }
+        }
+    }
 }

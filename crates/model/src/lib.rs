@@ -37,12 +37,15 @@
 
 pub mod explore;
 pub mod hb;
+pub mod pathset;
 pub mod schedule;
 
 pub use explore::{
-    check_target, counterexample_trace, CheckConfig, ModelTarget, TargetReport, Violation,
+    check_target, check_target_split, check_targets_split, counterexample_trace, CheckConfig,
+    ModelTarget, TargetReport, Violation,
 };
 pub use hb::{Race, RaceDetector};
+pub use pathset::PathSet;
 pub use schedule::{minimize, Schedule};
 
 /// The verdict for the whole target matrix.
@@ -72,14 +75,22 @@ impl CheckReport {
 
 /// Checks every target in [`ModelTarget::all`] under `config`.
 ///
-/// Targets are independent explorations (each boots its own kernel and
-/// owns its own search state), so they fan out across a worker pool;
-/// [`ras_par::parallel_map`] returns them in [`ModelTarget::all`] order,
-/// keeping the report — including its aggregate schedule and prune
-/// counts — byte-identical to a serial run.
+/// With more than one worker available and [`CheckConfig::split_depth`]
+/// nonzero, every target's search tree is root-split: shallow prefixes
+/// expand sequentially, then the disjoint subtrees of *all* targets fan
+/// out over one worker pool and merge back in depth-first order
+/// ([`check_targets_split`]). On a single worker the targets run
+/// directly, still in [`ModelTarget::all`] order. Either way the report
+/// — aggregate counts, violations, minimized schedules, races — is
+/// byte-identical to serial [`check_target`] runs; parallelism is only
+/// visible as wall time.
 pub fn model_check(config: &CheckConfig) -> CheckReport {
     let targets = ModelTarget::all();
-    CheckReport {
-        targets: ras_par::parallel_map(&targets, |&t| check_target(t, config)),
-    }
+    let workers = ras_par::available_workers();
+    let targets = if workers <= 1 || config.split_depth == 0 {
+        ras_par::parallel_map(&targets, |&t| check_target(t, config))
+    } else {
+        check_targets_split(&targets, config, workers)
+    };
+    CheckReport { targets }
 }

@@ -1,0 +1,180 @@
+//! Differential tests for the checkpoint engine and the deterministic
+//! root-splitting: undo-log rewinding, incremental hashing, and subtree
+//! fan-out are *performance* features — every observable search result
+//! (schedule counts, pruning, cycle truncations, violations with their
+//! minimized replayable schedules, races) must be byte-identical to the
+//! clone-per-branch sequential search they replace.
+
+use proptest::prelude::*;
+use ras_guest::workloads::TasFlavor;
+use ras_guest::Mechanism;
+use ras_model::{
+    check_target, check_target_split, check_targets_split, CheckConfig, ModelTarget, TargetReport,
+};
+
+/// Everything observable about an exploration except the checkpoint
+/// counters (which legitimately differ between snapshotting strategies):
+/// counts, cap state, every violation with its exact minimized schedule
+/// and discovery index, every race diagnostic, in order.
+fn fingerprint(r: &TargetReport) -> String {
+    let mut out = format!(
+        "schedules={} pruned={} cycles={} livelock={} cap={}",
+        r.schedules, r.pruned, r.cycles, r.livelock_suspects, r.hit_schedule_cap
+    );
+    for v in &r.violations {
+        out.push_str(&format!(
+            " {}@{}:{:?}",
+            v.diag.kind.code(),
+            v.found_after,
+            v.schedule.decisions
+        ));
+    }
+    for race in &r.races {
+        out.push_str(&format!(" {race}"));
+    }
+    out
+}
+
+fn with_checkpoints(on: bool) -> CheckConfig {
+    CheckConfig {
+        checkpoints: on,
+        ..CheckConfig::default()
+    }
+}
+
+/// The tentpole equivalence: for every target in the matrix, rewinding
+/// sibling branches through the undo log explores exactly the schedules
+/// that cloning the kernel explored.
+#[test]
+fn checkpointed_search_matches_cloning_search_on_every_target() {
+    for target in ModelTarget::all() {
+        let cloned = check_target(target, &with_checkpoints(false));
+        let checkpointed = check_target(target, &with_checkpoints(true));
+        assert_eq!(
+            fingerprint(&cloned),
+            fingerprint(&checkpointed),
+            "checkpoint rewinding changed the search on {target}"
+        );
+        assert!(
+            checkpointed.undo_replayed > 0 || checkpointed.checkpoints == 0,
+            "{target}: checkpoints were taken but nothing was ever rewound"
+        );
+        assert!(
+            cloned.snapshot_bytes > checkpointed.snapshot_bytes,
+            "{target}: undo-log snapshots ({} bytes) must be smaller than \
+             kernel clones ({} bytes)",
+            checkpointed.snapshot_bytes,
+            cloned.snapshot_bytes
+        );
+    }
+}
+
+/// Root-splitting is invisible: for any worker count, the merged report
+/// equals the sequential one — same totals, same violations at the same
+/// global discovery indices, same minimized schedules, same races.
+#[test]
+fn split_search_is_byte_identical_to_sequential_for_any_worker_count() {
+    let config = CheckConfig::default();
+    for target in [
+        ModelTarget {
+            mechanism: Mechanism::RasInline,
+            flavor: TasFlavor::Tas,
+            ablated: false,
+        },
+        // The ablated target exercises the violation/race re-basing:
+        // subtrees find violations locally and the merge must restore
+        // global first-of-kind selection and `found_after` numbering.
+        ModelTarget {
+            mechanism: Mechanism::RasInline,
+            flavor: TasFlavor::Tas,
+            ablated: true,
+        },
+    ] {
+        let sequential = fingerprint(&check_target(target, &config));
+        for workers in [2, 3, 8] {
+            let split = check_target_split(target, &config, workers);
+            assert_eq!(
+                sequential,
+                fingerprint(&split),
+                "{target} with {workers} workers diverged from sequential"
+            );
+        }
+    }
+}
+
+/// The whole-matrix fan-out (shared worker pool across targets) matches
+/// serial per-target runs, target for target, in order.
+#[test]
+fn matrix_split_matches_serial_target_runs() {
+    let config = CheckConfig::default();
+    let targets = ModelTarget::all();
+    let split = check_targets_split(&targets, &config, 2);
+    assert_eq!(split.len(), targets.len());
+    for (report, &target) in split.iter().zip(&targets) {
+        assert_eq!(report.target, target, "target order must be stable");
+        assert_eq!(
+            fingerprint(report),
+            fingerprint(&check_target(target, &config)),
+            "{target} diverged under the shared-pool split"
+        );
+    }
+}
+
+/// Deeper split points move work between the expansion and the subtrees;
+/// none of it may show in the report.
+#[test]
+fn split_depth_is_unobservable() {
+    let target = ModelTarget {
+        mechanism: Mechanism::RasInline,
+        flavor: TasFlavor::Tas,
+        ablated: true,
+    };
+    let sequential = fingerprint(&check_target(target, &CheckConfig::default()));
+    for depth in [1, 2, 5, 9] {
+        let config = CheckConfig {
+            split_depth: depth,
+            ..CheckConfig::default()
+        };
+        assert_eq!(
+            sequential,
+            fingerprint(&check_target_split(target, &config, 2)),
+            "split depth {depth} changed the search"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Differential exploration across the whole configuration lattice:
+    /// any target, preemption bound, and snapshotting strategy — the
+    /// checkpointed and cloning searches agree, and so does the split
+    /// search on top of whichever strategy was drawn.
+    #[test]
+    fn checkpoints_and_splitting_never_change_a_search(
+        target_index in 0usize..12,
+        bound in 1u32..=2,
+        checkpoints in any::<bool>(),
+        workers in 2usize..=4,
+    ) {
+        let targets = ModelTarget::all();
+        let target = targets[target_index % targets.len()];
+        let base = CheckConfig {
+            preemption_bound: bound,
+            checkpoints,
+            ..CheckConfig::default()
+        };
+        let flipped = CheckConfig { checkpoints: !checkpoints, ..base.clone() };
+        let reference = fingerprint(&check_target(target, &base));
+        prop_assert_eq!(
+            &reference,
+            &fingerprint(&check_target(target, &flipped)),
+            "snapshotting strategy changed the search on {}", target
+        );
+        prop_assert_eq!(
+            &reference,
+            &fingerprint(&check_target_split(target, &base, workers)),
+            "root-splitting changed the search on {}", target
+        );
+    }
+}

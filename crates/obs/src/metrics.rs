@@ -230,6 +230,14 @@ impl Metrics {
         s
     }
 
+    /// One more section appended to [`Metrics::render`]-style reports:
+    /// the model checker's checkpoint-engine counters, when a search ran.
+    pub fn render_with_checkpoints(&self, cp: &CheckpointCounters) -> String {
+        let mut s = self.render();
+        s.push_str(&cp.render());
+        s
+    }
+
     fn thread_mut(&mut self, id: u32) -> &mut ThreadMetrics {
         match self.threads.iter().position(|t| t.thread == id) {
             Some(i) => &mut self.threads[i],
@@ -250,9 +258,65 @@ impl Metrics {
     }
 }
 
+/// The model checker's checkpoint-engine counters, in the same shape the
+/// other observability counters use so tools can render them alongside
+/// [`Metrics`]. These come from the explorer's report (not the event
+/// stream — snapshotting is a host-side search mechanism, invisible to
+/// the simulated machine), so this is a plain carrier with a renderer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointCounters {
+    /// Snapshots taken for sibling branches (undo-log checkpoints, or
+    /// kernel clones when checkpointing is off).
+    pub checkpoints: u64,
+    /// Undo-log entries replayed by restores.
+    pub undo_replayed: u64,
+    /// Bytes copied into snapshots.
+    pub snapshot_bytes: u64,
+    /// On-path states deduplicated by the exact-state hash set.
+    pub states_deduped: u64,
+}
+
+impl CheckpointCounters {
+    /// The compact text section, matching [`Metrics::render`]'s layout.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "checkpoint engine");
+        let mut line = |k: &str, v: String| {
+            let _ = writeln!(s, "  {k:<28} {v}");
+        };
+        line("checkpoints", self.checkpoints.to_string());
+        line("undo entries replayed", self.undo_replayed.to_string());
+        line("snapshot bytes", self.snapshot_bytes.to_string());
+        line("states deduped", self.states_deduped.to_string());
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checkpoint_counters_render_every_field() {
+        let cp = CheckpointCounters {
+            checkpoints: 4,
+            undo_replayed: 17,
+            snapshot_bytes: 2048,
+            states_deduped: 3,
+        };
+        let text = Metrics::default().render_with_checkpoints(&cp);
+        for needle in [
+            "checkpoint engine",
+            "checkpoints",
+            "undo entries replayed",
+            "snapshot bytes",
+            "states deduped",
+            "2048",
+            "17",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
 
     fn feed(metrics: &mut Metrics, events: &[(u64, ObsEvent)]) {
         for (clock, e) in events {

@@ -34,11 +34,19 @@ use std::sync::Mutex;
 /// the harness to a deterministic single-worker configuration — and how
 /// a user can keep the harness off N-1 of their cores.
 pub fn worker_count(items: usize) -> usize {
-    let configured = match std::env::var("RAS_THREADS") {
+    available_workers().min(items).max(1)
+}
+
+/// The configured parallelism before clamping to a cell count: the
+/// `RAS_THREADS` environment variable when set, otherwise
+/// [`std::thread::available_parallelism`]. Callers that split work
+/// dynamically (the model checker's subtree fan-out) consult this to
+/// decide whether splitting is worth doing at all.
+pub fn available_workers() -> usize {
+    match std::env::var("RAS_THREADS") {
         Ok(v) => v.parse::<usize>().ok().unwrap_or(1).max(1),
         Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
-    };
-    configured.min(items).max(1)
+    }
 }
 
 /// Maps `f` over `items` on a pool of [`worker_count`] threads,
@@ -71,6 +79,74 @@ where
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell computed")
+        })
+        .collect()
+}
+
+/// Like [`parallel_map`] but consumes the items, handing each cell to
+/// the closure by value — for work units that carry owned state (the
+/// model checker's subtree tasks own a kernel snapshot each).
+///
+/// Uses [`worker_count`] workers; see [`parallel_map_owned_with`] to pin
+/// the count explicitly.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item.
+pub fn parallel_map_owned<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = worker_count(items.len());
+    parallel_map_owned_with(workers, items, f)
+}
+
+/// [`parallel_map_owned`] with an explicit worker count, ignoring
+/// `RAS_THREADS` and the detected parallelism. The byte-identity tests
+/// use this to force a genuinely threaded fan-out without mutating
+/// process-global environment state.
+///
+/// A count of one (or zero) degrades to a serial map on the calling
+/// thread.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item.
+pub fn parallel_map_owned_with<T, U, F>(workers: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let slots: Vec<Mutex<Option<U>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(cells.len()) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let item = cell
+                    .lock()
+                    .expect("input cell poisoned")
+                    .take()
+                    .expect("each cell claimed once");
                 let result = f(item);
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
@@ -130,5 +206,19 @@ mod tests {
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(64) >= 1);
         assert!(worker_count(2) <= 2);
+        assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    fn owned_map_matches_a_serial_map_for_any_worker_count() {
+        let f = |s: String| format!("{s}!");
+        let serial: Vec<String> = (0..37).map(|n| f(n.to_string())).collect();
+        for workers in [0, 1, 2, 3, 8] {
+            let items: Vec<String> = (0..37).map(|n| n.to_string()).collect();
+            assert_eq!(parallel_map_owned_with(workers, items, f), serial);
+        }
+        let items: Vec<String> = (0..37).map(|n| n.to_string()).collect();
+        assert_eq!(parallel_map_owned(items, f), serial);
+        assert!(parallel_map_owned_with(4, Vec::<u8>::new(), |b| b).is_empty());
     }
 }
