@@ -1,0 +1,402 @@
+//! A forward abstract-interpretation engine over the [`Cfg`]: a
+//! join-semilattice trait, per-instruction transfer functions with
+//! edge-sensitive refinement, and a deterministic worklist fixpoint.
+//!
+//! The engine is deliberately small: a domain supplies a fact type (the
+//! lattice element), a transfer function (the effect of one instruction),
+//! and an optional refinement applied along outgoing control edges (how a
+//! taken branch narrows what is known — the hook that lets a lockset
+//! analysis observe "the Test-And-Set returned zero on this path").
+//! Everything else — block walking, join-until-stable, and the
+//! deterministic replay used to extract observations once the facts have
+//! converged — lives here and is shared by every client pass.
+//!
+//! Facts are kept per *block entry*; instruction-level facts are
+//! recomputed on demand by replaying the block from its entry fact, which
+//! keeps memory proportional to the block count while giving clients
+//! instruction-granularity answers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ras_isa::{CodeAddr, Inst, Program};
+
+use crate::cfg::Cfg;
+
+/// A join-semilattice: facts merge at control-flow joins via least upper
+/// bound. The engine only terminates for lattices of finite height (every
+/// chain of strictly-growing joins is finite), which all clients here
+/// satisfy: register lattices are flat and lock sets are bounded by the
+/// words a program names.
+pub trait JoinSemiLattice: Clone {
+    /// In-place least upper bound; returns `true` iff `self` changed.
+    fn join_from(&mut self, other: &Self) -> bool;
+}
+
+/// How control reaches a successor — the context a domain may refine on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Edge {
+    /// Fall-through or an unconditional jump: nothing learned.
+    Step,
+    /// A conditional branch, taken.
+    Taken,
+    /// A conditional branch, not taken.
+    NotTaken,
+    /// Into a callee via `jal` (the only statically-resolvable call).
+    Call,
+    /// Past a call site, to the instruction the callee returns to. The
+    /// callee's entry address is carried so domains can apply per-function
+    /// summaries (known runtime functions) or a conservative clobber.
+    Return {
+        /// Entry address of the callee, when statically known.
+        callee: Option<CodeAddr>,
+    },
+}
+
+/// One client analysis: the lattice plus its transfer/refine functions.
+///
+/// Methods take `&self` and must be pure — the engine calls them an
+/// unspecified number of times during the fixpoint and again during
+/// replay, and correctness of the final facts depends on the answers
+/// never changing.
+pub trait AbsDomain {
+    /// The lattice element tracked at each program point.
+    type Fact: JoinSemiLattice;
+
+    /// Applies one instruction's effect to `fact` (the state *before* the
+    /// instruction becomes the state after). Returning `false` cuts the
+    /// flow: nothing propagates past `pc` — the hook for thread-exit
+    /// syscalls, which fall through syntactically but never dynamically.
+    fn transfer(&self, pc: CodeAddr, inst: &Inst, fact: &mut Self::Fact) -> bool;
+
+    /// Refines the post-instruction fact along one outgoing edge.
+    fn refine(&self, pc: CodeAddr, inst: &Inst, edge: Edge, fact: &mut Self::Fact) {
+        let _ = (pc, inst, edge, fact);
+    }
+
+    /// Whether facts propagate along `edge` at all. An interprocedural
+    /// domain returns `false` for [`Edge::Call`] to keep callee entry
+    /// facts from being polluted by every caller (callees get their own
+    /// fixpoint instances with fresh entry facts instead); the effect of
+    /// the call is then applied on the matching [`Edge::Return`].
+    fn follows_edge(&self, edge: Edge) -> bool {
+        let _ = edge;
+        true
+    }
+}
+
+/// The outgoing edges of a block's last instruction, paired with the
+/// successor each leads to. This is the single place successor-edge kinds
+/// are decided; the fixpoint and every replaying client share it.
+pub fn out_edges(program: &Program, cfg: &Cfg, block_start: CodeAddr) -> Vec<(CodeAddr, Edge)> {
+    let Some(block) = cfg.block_of(block_start) else {
+        return Vec::new();
+    };
+    let last_pc = block.end - 1;
+    let Some(last) = program.fetch(last_pc) else {
+        return Vec::new();
+    };
+    let mut edges = Vec::new();
+    for &succ in &block.succs {
+        let edge = match last {
+            Inst::Branch { target, .. } => {
+                if succ == target && succ != block.end {
+                    Edge::Taken
+                } else if succ == block.end && succ != target {
+                    Edge::NotTaken
+                } else {
+                    // Degenerate branch to its own fall-through: both
+                    // outcomes land here; nothing is learned.
+                    Edge::Step
+                }
+            }
+            Inst::Jal { target } => {
+                if succ == target {
+                    Edge::Call
+                } else {
+                    Edge::Return {
+                        callee: Some(target),
+                    }
+                }
+            }
+            Inst::Jalr { .. } => Edge::Return { callee: None },
+            _ => Edge::Step,
+        };
+        edges.push((succ, edge));
+    }
+    edges
+}
+
+/// The stabilized facts of one fixpoint run: a fact per reachable block
+/// entry. Blocks never reached from the roots have no fact.
+pub struct Solution<D: AbsDomain> {
+    entry: BTreeMap<CodeAddr, D::Fact>,
+}
+
+impl<D: AbsDomain> Solution<D> {
+    /// The fact at a block's entry, if the block was reached.
+    pub fn entry_fact(&self, block_start: CodeAddr) -> Option<&D::Fact> {
+        self.entry.get(&block_start)
+    }
+
+    /// Block starts that were reached, in address order.
+    pub fn reached_blocks(&self) -> impl Iterator<Item = CodeAddr> + '_ {
+        self.entry.keys().copied()
+    }
+
+    /// Replays every reached block in address order, invoking `on_inst`
+    /// with the fact *before* each instruction, then `on_edge` for each
+    /// outgoing edge with the refined post-block fact. Deterministic: the
+    /// iteration order depends only on the program.
+    pub fn replay(
+        &self,
+        program: &Program,
+        cfg: &Cfg,
+        domain: &D,
+        mut on_inst: impl FnMut(CodeAddr, &Inst, &D::Fact),
+        mut on_edge: impl FnMut(CodeAddr, &Inst, Edge, &D::Fact, &D::Fact),
+    ) {
+        for (&start, entry_fact) in &self.entry {
+            let Some(block) = cfg.block_of(start) else {
+                continue;
+            };
+            let mut fact = entry_fact.clone();
+            let mut cut = false;
+            for pc in block.start..block.end {
+                let Some(inst) = program.fetch(pc) else { break };
+                on_inst(pc, &inst, &fact);
+                if !domain.transfer(pc, &inst, &mut fact) {
+                    cut = true;
+                    break;
+                }
+            }
+            if cut {
+                continue;
+            }
+            let last_pc = block.end - 1;
+            let Some(last) = program.fetch(last_pc) else {
+                continue;
+            };
+            for (_, edge) in out_edges(program, cfg, start) {
+                if !domain.follows_edge(edge) {
+                    continue;
+                }
+                let mut refined = fact.clone();
+                domain.refine(last_pc, &last, edge, &mut refined);
+                on_edge(last_pc, &last, edge, &fact, &refined);
+            }
+        }
+    }
+}
+
+/// Runs the forward worklist fixpoint from the given roots.
+///
+/// Each root is a code address (snapped to its containing block) seeded
+/// with an initial fact. Facts are joined at block entries; a block is
+/// re-walked whenever its entry fact grows. The worklist is an ordered
+/// set, so the iteration order — and therefore the (unique) fixpoint —
+/// is deterministic.
+pub fn forward<D: AbsDomain>(
+    program: &Program,
+    cfg: &Cfg,
+    domain: &D,
+    roots: &[(CodeAddr, D::Fact)],
+) -> Solution<D> {
+    let mut entry: BTreeMap<CodeAddr, D::Fact> = BTreeMap::new();
+    let mut worklist: BTreeSet<CodeAddr> = BTreeSet::new();
+
+    for (addr, fact) in roots {
+        let Some(block) = cfg.block_of(*addr) else {
+            continue;
+        };
+        let start = block.start;
+        let changed = match entry.get_mut(&start) {
+            Some(existing) => existing.join_from(fact),
+            None => {
+                entry.insert(start, fact.clone());
+                true
+            }
+        };
+        if changed {
+            worklist.insert(start);
+        }
+    }
+
+    while let Some(&start) = worklist.iter().next() {
+        worklist.remove(&start);
+        let Some(block) = cfg.block_of(start) else {
+            continue;
+        };
+        let mut fact = entry
+            .get(&start)
+            .expect("worklist entries always have facts")
+            .clone();
+        let mut cut = false;
+        for pc in block.start..block.end {
+            let Some(inst) = program.fetch(pc) else {
+                cut = true;
+                break;
+            };
+            if !domain.transfer(pc, &inst, &mut fact) {
+                cut = true;
+                break;
+            }
+        }
+        if cut {
+            continue;
+        }
+        let last_pc = block.end - 1;
+        let Some(last) = program.fetch(last_pc) else {
+            continue;
+        };
+        for (succ, edge) in out_edges(program, cfg, start) {
+            if !domain.follows_edge(edge) {
+                continue;
+            }
+            let Some(succ_block) = cfg.block_of(succ) else {
+                continue;
+            };
+            let succ_start = succ_block.start;
+            let mut refined = fact.clone();
+            domain.refine(last_pc, &last, edge, &mut refined);
+            let changed = match entry.get_mut(&succ_start) {
+                Some(existing) => existing.join_from(&refined),
+                None => {
+                    entry.insert(succ_start, refined);
+                    true
+                }
+            };
+            if changed {
+                worklist.insert(succ_start);
+            }
+        }
+    }
+
+    Solution { entry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::{Asm, Reg};
+
+    /// A flat constant domain over a single register's sign, tiny enough
+    /// to exercise joins, refinement, and cuts.
+    #[derive(Clone, PartialEq, Debug)]
+    enum Sign {
+        Bottomless, // unknown
+        Zero,
+        NonZero,
+    }
+
+    impl JoinSemiLattice for Sign {
+        fn join_from(&mut self, other: &Self) -> bool {
+            if self == other || *self == Sign::Bottomless {
+                return false;
+            }
+            *self = Sign::Bottomless;
+            true
+        }
+    }
+
+    struct SignOfV0;
+
+    impl AbsDomain for SignOfV0 {
+        type Fact = Sign;
+        fn transfer(&self, _pc: CodeAddr, inst: &Inst, fact: &mut Sign) -> bool {
+            if let Inst::Li { rd, imm } = *inst {
+                if rd == Reg::V0 {
+                    *fact = if imm == 0 { Sign::Zero } else { Sign::NonZero };
+                }
+            }
+            !matches!(inst, Inst::Halt)
+        }
+        fn refine(&self, _pc: CodeAddr, inst: &Inst, edge: Edge, fact: &mut Sign) {
+            if let Some(t) = ras_isa::idiom::zero_test(inst) {
+                if t.reg == Reg::V0 {
+                    let zero_edge = (edge == Edge::Taken) == t.zero_when_taken;
+                    if zero_edge && matches!(edge, Edge::Taken | Edge::NotTaken) {
+                        *fact = Sign::Zero;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_joins_and_refines() {
+        // v0 := 1; beqz v0, zero_path (statically dead but explored);
+        // fallthrough keeps NonZero, taken edge refines to Zero.
+        let mut asm = Asm::new();
+        let zero_path = asm.label();
+        asm.li(Reg::V0, 1); // @0
+        asm.beqz(Reg::V0, zero_path); // @1
+        asm.nop(); // @2: not-taken side
+        asm.bind(zero_path);
+        asm.nop(); // @3: taken side joins with fallthrough
+        asm.halt(); // @4
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let sol = forward(&p, &cfg, &SignOfV0, &[(0, Sign::Bottomless)]);
+        // Entry of @2 (not-taken): still NonZero.
+        assert_eq!(sol.entry_fact(2), Some(&Sign::NonZero));
+        // Entry of @3: join of refined-Zero (taken) and NonZero
+        // (fallthrough from @2) = unknown.
+        assert_eq!(sol.entry_fact(3), Some(&Sign::Bottomless));
+    }
+
+    #[test]
+    fn cuts_stop_propagation() {
+        let mut asm = Asm::new();
+        asm.li(Reg::V0, 0); // @0
+        asm.halt(); // @1: cut — nothing flows past
+        asm.li(Reg::V0, 1); // @2: unreached from the root
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let sol = forward(&p, &cfg, &SignOfV0, &[(0, Sign::Bottomless)]);
+        assert!(sol.entry_fact(0).is_some());
+        assert_eq!(sol.entry_fact(2), None, "halt cut the only path in");
+    }
+
+    #[test]
+    fn replay_visits_in_address_order_with_entry_facts() {
+        let mut asm = Asm::new();
+        let out = asm.label();
+        asm.li(Reg::V0, 7);
+        asm.beqz(Reg::V0, out);
+        asm.nop();
+        asm.bind(out);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let sol = forward(&p, &cfg, &SignOfV0, &[(0, Sign::Bottomless)]);
+        let mut pcs = Vec::new();
+        let mut edges = Vec::new();
+        sol.replay(
+            &p,
+            &cfg,
+            &SignOfV0,
+            |pc, _, _| pcs.push(pc),
+            |pc, _, edge, _, _| edges.push((pc, edge)),
+        );
+        let mut sorted = pcs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pcs, sorted, "deterministic address order");
+        assert!(edges.contains(&(1, Edge::Taken)));
+        assert!(edges.contains(&(1, Edge::NotTaken)));
+    }
+
+    #[test]
+    fn loops_reach_a_fixed_point() {
+        let mut asm = Asm::new();
+        let top = asm.bind_new();
+        asm.li(Reg::V0, 1); // loop body keeps redefining v0
+        asm.bnez(Reg::V0, top);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        // Terminates (finite lattice) and the back-edge join is stable.
+        let sol = forward(&p, &cfg, &SignOfV0, &[(0, Sign::Bottomless)]);
+        assert_eq!(sol.entry_fact(0), Some(&Sign::Bottomless));
+    }
+}

@@ -2,10 +2,16 @@
 //! violations before running them under preemption.
 //!
 //! ```text
-//! usage: ras-lint [--strict] [--json] [--seq START:LEN]... FILE.s [FILE.s...]
+//! usage: ras-lint [--strict] [--json] [--infer] [--workloads]
+//!                 [--seq START:LEN]... [FILE.s...]
 //!
 //!   --strict         treat warnings as errors for the exit status
-//!   --json           emit diagnostics as JSON (one object per file)
+//!   --json           emit diagnostics as JSON (one object per target)
+//!   --infer          also propose restartable sequences: the widest
+//!                    load→modify→store windows the verifier accepts
+//!   --workloads      lint every bundled guest workload under every
+//!                    mechanism (targets named workload://NAME/MECH),
+//!                    in addition to any files given
 //!   --seq START:LEN  declare a restartable sequence (instruction
 //!                    addresses) in addition to those detected from
 //!                    landmarks; may be repeated, applies to every file
@@ -14,25 +20,53 @@
 //! Sequences that follow the designated templates are detected
 //! automatically from their landmarks and verified as if declared.
 //!
+//! Output is deterministic: targets in argument order (workloads in
+//! their fixed enumeration order after the files), findings sorted by
+//! address, proposals sorted by start — byte-identical across runs, so
+//! the JSON can be diffed against a golden file in CI.
+//!
 //! Exit status: `0` clean, `1` errors (or warnings under `--strict`),
 //! `3` warnings only, `2` usage or read/parse failure — so CI can
 //! distinguish "broken" from "merely suspicious".
 
 use std::process::ExitCode;
 
-use ras_analyze::{analyze, explain_landmark, render_json, Diagnostic, Severity};
+use ras_analyze::{
+    analyze, bundled_workloads, explain_landmark, infer_sequences, render_json, Diagnostic,
+    InferredSeq, Severity,
+};
 use ras_isa::{parse_asm, CodeAddr, Opcode, Program, SeqRange};
 use ras_kernel::DesignatedSet;
 
 struct Options {
     strict: bool,
     json: bool,
+    infer: bool,
+    workloads: bool,
     seqs: Vec<SeqRange>,
     files: Vec<String>,
 }
 
+/// One thing to lint: a parsed file or a bundled workload.
+struct Target {
+    name: String,
+    program: Program,
+}
+
+impl From<ras_analyze::WorkloadTarget> for Target {
+    fn from(t: ras_analyze::WorkloadTarget) -> Target {
+        Target {
+            name: t.name,
+            program: t.program,
+        }
+    }
+}
+
 fn usage() -> ExitCode {
-    eprintln!("usage: ras-lint [--strict] [--json] [--seq START:LEN]... FILE.s [FILE.s...]");
+    eprintln!(
+        "usage: ras-lint [--strict] [--json] [--infer] [--workloads] \
+         [--seq START:LEN]... [FILE.s...]"
+    );
     ExitCode::from(2)
 }
 
@@ -48,6 +82,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         strict: false,
         json: false,
+        infer: false,
+        workloads: false,
         seqs: Vec::new(),
         files: Vec::new(),
     };
@@ -56,6 +92,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--strict" => opts.strict = true,
             "--json" => opts.json = true,
+            "--infer" => opts.infer = true,
+            "--workloads" => opts.workloads = true,
             "--seq" => {
                 let spec = it.next().ok_or("--seq needs START:LEN")?;
                 opts.seqs
@@ -68,8 +106,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             file => opts.files.push(file.to_string()),
         }
     }
-    if opts.files.is_empty() {
-        return Err("no input files".to_string());
+    if opts.files.is_empty() && !opts.workloads {
+        return Err("no input files (or --workloads)".to_string());
     }
     Ok(opts)
 }
@@ -99,18 +137,27 @@ fn declare_sequences(program: &mut Program, set: &DesignatedSet, extra: &[SeqRan
     }
 }
 
-fn lint_file(path: &str, opts: &Options, set: &DesignatedSet) -> Result<Vec<Diagnostic>, String> {
+fn load_file(path: &str, opts: &Options, set: &DesignatedSet) -> Result<Target, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
     let mut program = parse_asm(&text).map_err(|e| format!("{path}:{}: {}", e.line, e.message))?;
     declare_sequences(&mut program, set, &opts.seqs);
+    Ok(Target {
+        name: path.to_string(),
+        program,
+    })
+}
 
-    let analysis = analyze(&program, set);
-    if !opts.json {
-        for d in &analysis.diags {
-            print!("{path}: {}", d.render(&program));
-        }
-    }
-    Ok(analysis.diags)
+fn inferred_json(inferred: &[InferredSeq]) -> String {
+    let items: Vec<String> = inferred
+        .iter()
+        .map(|i| {
+            format!(
+                "{{\"start\":{},\"len\":{},\"already_declared\":{}}}",
+                i.range.start, i.range.len, i.already_declared
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
 }
 
 fn main() -> ExitCode {
@@ -126,31 +173,67 @@ fn main() -> ExitCode {
     };
 
     let set = DesignatedSet::standard();
-    let mut errors = 0;
-    let mut warnings = 0;
-    let mut json_entries = Vec::new();
+    let mut targets = Vec::new();
     for file in &opts.files {
-        match lint_file(file, &opts, &set) {
-            Ok(diags) => {
-                errors += diags
-                    .iter()
-                    .filter(|d| d.severity() == Severity::Error)
-                    .count();
-                warnings += diags
-                    .iter()
-                    .filter(|d| d.severity() == Severity::Warning)
-                    .count();
-                if opts.json {
-                    json_entries.push(format!(
-                        "{{\"file\": \"{}\", \"diagnostics\": {}}}",
-                        file.replace('\\', "\\\\").replace('"', "\\\""),
-                        render_json(&diags).replace('\n', "")
-                    ));
-                }
-            }
+        match load_file(file, &opts, &set) {
+            Ok(t) => targets.push(t),
             Err(msg) => {
                 eprintln!("ras-lint: {msg}");
                 return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.workloads {
+        targets.extend(bundled_workloads().into_iter().map(Target::from));
+    }
+
+    let mut errors = 0;
+    let mut warnings = 0;
+    let mut json_entries = Vec::new();
+    for t in &targets {
+        let analysis = analyze(&t.program, &set);
+        let diags: &[Diagnostic] = &analysis.diags;
+        let inferred = if opts.infer {
+            infer_sequences(&t.program)
+        } else {
+            Vec::new()
+        };
+        errors += diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count();
+        warnings += diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count();
+        if opts.json {
+            let mut entry = format!(
+                "{{\"file\": \"{}\", \"diagnostics\": {}",
+                t.name.replace('\\', "\\\\").replace('"', "\\\""),
+                render_json(diags).replace('\n', "")
+            );
+            if opts.infer {
+                entry.push_str(&format!(", \"inferred\": {}", inferred_json(&inferred)));
+            }
+            entry.push('}');
+            json_entries.push(entry);
+        } else {
+            for d in diags {
+                print!("{}: {}", t.name, d.render(&t.program));
+            }
+            for i in &inferred {
+                println!(
+                    "{}: inferred sequence [@{}..@{}), {} instruction(s){}",
+                    t.name,
+                    i.range.start,
+                    i.range.end(),
+                    i.range.len,
+                    if i.already_declared {
+                        " (already declared)"
+                    } else {
+                        ""
+                    }
+                );
             }
         }
     }
@@ -159,8 +242,8 @@ fn main() -> ExitCode {
         println!("[{}]", json_entries.join(", "));
     } else if errors > 0 || warnings > 0 {
         eprintln!(
-            "ras-lint: {errors} error(s), {warnings} warning(s) in {} file(s)",
-            opts.files.len()
+            "ras-lint: {errors} error(s), {warnings} warning(s) in {} target(s)",
+            targets.len()
         );
     }
     if errors > 0 || (opts.strict && warnings > 0) {

@@ -1,0 +1,229 @@
+//! Sequence inference — discovering restartable windows instead of
+//! verifying declared ones.
+//!
+//! §3.1 gives the rules a restartable atomic sequence must obey; the
+//! [`crate::verify`] pass checks them for *declared* ranges. This pass
+//! inverts the question: given a bare program, which load→modify→store
+//! windows *could* be declared? For every store it scans backward for a
+//! load of the same word and proposes the widest candidate range that
+//! the restartability verifier accepts unchanged — so every proposal is,
+//! by construction, a legal `SYS_RAS_REGISTER` argument.
+//!
+//! Ranges the programmer already declared come back marked
+//! [`InferredSeq::already_declared`]; on the bundled guest workloads the
+//! inference reproduces each hand-declared [`SeqRange`] exactly (the
+//! cross-validation tests pin this down).
+
+use ras_isa::{Inst, Program, SeqRange};
+
+use crate::verify::verify_sequence;
+
+/// How far back from a committing store the opening load may sit, in
+/// instructions. Matches the dynamic recognizer's small-window
+/// assumption: real TAS bodies are 3–5 instructions, and a wider net
+/// only proposes windows no kernel template would ever match.
+pub const LOOKBACK: u32 = 16;
+
+/// One proposed restartable sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InferredSeq {
+    /// The window, phrased exactly as a declaration would be.
+    pub range: SeqRange,
+    /// Whether the program already declares this exact range.
+    pub already_declared: bool,
+}
+
+/// Proposes restartable sequences for every load→modify→store window in
+/// `program`, sorted by start address.
+///
+/// For each store `sw rs, off(base)` at `S`, candidate ranges
+/// `[L..S]` are formed from each earlier `lw rd, off(base)` within
+/// [`LOOKBACK`] instructions — widest first, so the proposal is maximal
+/// — and the first candidate that [`verify_sequence`] accepts with no
+/// findings wins. A candidate that overlaps a declared range without
+/// matching it, or an already-accepted proposal, is skipped: the
+/// declaration is the authority on its own window, and two proposals
+/// must not hand the kernel two rollback targets for one suspension.
+pub fn infer_sequences(program: &Program) -> Vec<InferredSeq> {
+    let declared = program.seq_ranges();
+    let mut found: Vec<InferredSeq> = Vec::new();
+    for pc in 0..program.code().len() as u32 {
+        let Some(Inst::Sw { base, off, .. }) = program.fetch(pc) else {
+            continue;
+        };
+        let lo = pc.saturating_sub(LOOKBACK);
+        for load_pc in lo..pc {
+            let opens = matches!(
+                program.fetch(load_pc),
+                Some(Inst::Lw {
+                    base: b, off: o, ..
+                }) if b == base && o == off
+            );
+            if !opens {
+                continue;
+            }
+            let range = SeqRange {
+                start: load_pc,
+                len: pc - load_pc + 1,
+            };
+            let conflicts = declared.iter().any(|&d| d.overlaps(range) && d != range)
+                || found.iter().any(|i| i.range.overlaps(range));
+            if conflicts || !verify_sequence(program, range).is_empty() {
+                continue;
+            }
+            found.push(InferredSeq {
+                range,
+                already_declared: declared.contains(&range),
+            });
+            break;
+        }
+    }
+    found.sort_by_key(|i| (i.range.start, i.range.len));
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::{Asm, Reg};
+
+    fn infer(p: &Program) -> Vec<InferredSeq> {
+        infer_sequences(p)
+    }
+
+    #[test]
+    fn figure_4_window_is_rediscovered() {
+        // lw; li; sw with no declaration: the proposal is the exact
+        // Figure 4 range.
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.li(Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.jr(Reg::RA);
+        let p = asm.finish().unwrap();
+        let got = infer(&p);
+        assert_eq!(
+            got,
+            vec![InferredSeq {
+                range: SeqRange { start: 0, len: 3 },
+                already_declared: false,
+            }]
+        );
+    }
+
+    #[test]
+    fn declared_ranges_come_back_marked() {
+        let mut asm = Asm::new();
+        asm.nop();
+        let declared = ras_guest::tas::emit_tas_inline(&mut asm);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let got = infer(&p);
+        assert_eq!(got.len(), 1, "{got:#?}");
+        assert_eq!(got[0].range, declared);
+        assert!(got[0].already_declared);
+    }
+
+    #[test]
+    fn every_hand_written_tas_shape_is_reproduced_exactly() {
+        // One program holding all five emitters' shapes; inference must
+        // return each declared range verbatim and nothing else.
+        let mut asm = Asm::new();
+        asm.halt();
+        let mut declared = Vec::new();
+        let (_, r) = ras_guest::tas::emit_tas_registered(&mut asm);
+        declared.push(r);
+        asm.jr(Reg::RA);
+        declared.push(ras_guest::tas::emit_tas_inline(&mut asm));
+        asm.jr(Reg::RA);
+        declared.push(ras_guest::tas::emit_xchg_inline(&mut asm));
+        asm.jr(Reg::RA);
+        declared.push(ras_guest::tas::emit_cas_inline(&mut asm));
+        asm.jr(Reg::RA);
+        declared.push(ras_guest::tas::emit_faa_inline(&mut asm, 1));
+        asm.jr(Reg::RA);
+        let p = asm.finish().unwrap();
+        let got = infer(&p);
+        let mut want: Vec<SeqRange> = declared.clone();
+        want.sort_by_key(|r| r.start);
+        assert_eq!(
+            got.iter().map(|i| i.range).collect::<Vec<_>>(),
+            want,
+            "{got:#?}"
+        );
+        assert!(got.iter().all(|i| i.already_declared), "{got:#?}");
+    }
+
+    #[test]
+    fn side_effect_in_the_window_blocks_the_proposal() {
+        // lw; syscall; sw — rule 2 forbids the syscall, so no candidate
+        // verifies and nothing is proposed.
+        let mut asm = Asm::new();
+        asm.lw(Reg::T0, Reg::A0, 0);
+        asm.syscall();
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert!(infer(&p).is_empty());
+    }
+
+    #[test]
+    fn back_to_back_windows_split_at_the_stores() {
+        // Two adjacent increments: the widest candidate for the second
+        // store reaches the first load but contains two stores, so the
+        // oracle rejects it and the proposal narrows to its own window.
+        let mut asm = Asm::new();
+        asm.lw(Reg::T0, Reg::A0, 0); // @0
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::A0, 0); // @2
+        asm.lw(Reg::T1, Reg::A0, 0); // @3
+        asm.addi(Reg::T1, Reg::T1, 1);
+        asm.sw(Reg::T1, Reg::A0, 0); // @5
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let ranges: Vec<SeqRange> = infer(&p).iter().map(|i| i.range).collect();
+        assert_eq!(
+            ranges,
+            vec![SeqRange { start: 0, len: 3 }, SeqRange { start: 3, len: 3 },]
+        );
+    }
+
+    #[test]
+    fn a_jump_into_the_interior_blocks_the_proposal() {
+        // Rule 5: a branch target inside the window means a thread can
+        // enter mid-sequence, where a rollback would replay too much.
+        let mut asm = Asm::new();
+        let mid = asm.label();
+        asm.lw(Reg::T0, Reg::A0, 0); // @0
+        asm.bind(mid);
+        asm.addi(Reg::T0, Reg::T0, 1); // @1: jump target inside
+        asm.sw(Reg::T0, Reg::A0, 0); // @2
+        asm.beqz(Reg::T1, mid); // @3: jumps into [0..3)
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert!(infer(&p).is_empty(), "{:#?}", infer(&p));
+    }
+
+    #[test]
+    fn candidates_overlapping_a_declaration_defer_to_it() {
+        // The program declares [1..4); a second store at @5 reuses the
+        // same base and would widen back across the declared window.
+        // The proposal must stop at the declaration's edge.
+        let mut asm = Asm::new();
+        asm.nop(); // @0
+        asm.lw(Reg::T0, Reg::A0, 0); // @1 ─┐ declared
+        asm.addi(Reg::T0, Reg::T0, 1); // @2  │
+        asm.sw(Reg::T0, Reg::A0, 0); // @3 ─┘
+        asm.lw(Reg::T1, Reg::A0, 0); // @4
+        asm.sw(Reg::T1, Reg::A0, 0); // @5
+        asm.halt();
+        asm.declare_seq(SeqRange { start: 1, len: 3 });
+        let p = asm.finish().unwrap();
+        let got = infer(&p);
+        assert_eq!(got.len(), 2, "{got:#?}");
+        assert_eq!(got[0].range, SeqRange { start: 1, len: 3 });
+        assert!(got[0].already_declared);
+        assert_eq!(got[1].range, SeqRange { start: 4, len: 2 });
+        assert!(!got[1].already_declared);
+    }
+}

@@ -15,22 +15,38 @@
 //!   clobber a live-in register, and never be entered mid-sequence.
 //! * [`landmark`] — the landmark-collision lint and the
 //!   template-ambiguity check over a [`ras_kernel::DesignatedSet`].
-//! * [`races`] — the unprotected read-modify-write lint: the paper's
-//!   motivating bug, found statically.
+//! * [`mod@absint`] — a forward abstract-interpretation engine (worklist
+//!   fixpoint over a join-semilattice) shared by the dataflow passes.
+//! * [`mod@lockset`] — which locks are provably held where, per-word
+//!   race/protection verdicts, and lock-discipline lints (double acquire,
+//!   release-while-not-held, leak at thread exit, inconsistent order).
+//! * [`mod@infer`] — sequence inference: the widest load→modify→store
+//!   windows the restartability verifier accepts, proposed as declarable
+//!   [`ras_isa::SeqRange`]s (`ras-lint --infer`).
+//! * [`races`] — the read-modify-write lint: the paper's motivating bug,
+//!   found statically and classified three ways (protected / proven racy
+//!   / unknown) using the lockset verdicts.
 //!
 //! [`analyze`] runs everything and returns the findings sorted by
 //! address; the `ras-lint` binary wraps it for `.s` files on disk.
 
+pub mod absint;
 pub mod cfg;
 pub mod diag;
+pub mod infer;
 pub mod landmark;
+pub mod lockset;
 pub mod races;
+pub mod sweep;
 pub mod verify;
 
 pub use cfg::{BasicBlock, Cfg};
 pub use diag::{json_escape, render_json, DiagKind, Diagnostic, Severity};
+pub use infer::{infer_sequences, InferredSeq};
 pub use landmark::{check_template_ambiguity, explain_landmark, lint_landmarks};
-pub use races::lint_races;
+pub use lockset::{lockset, LocksetAnalysis, LocksetConfig, WordVerdict};
+pub use races::{lint_races, rmw_diags};
+pub use sweep::{bundled_workloads, WorkloadTarget};
 pub use verify::{restartable_opcode, verify_declared, verify_sequence};
 
 use ras_isa::Program;
@@ -45,6 +61,10 @@ pub struct Analysis {
     /// All findings, sorted by address, errors before warnings at the
     /// same address.
     pub diags: Vec<Diagnostic>,
+    /// The lockset run behind the race verdicts: per-word conclusions,
+    /// observed read-modify-write windows, and whether race proofs were
+    /// enabled. Its diagnostics are already merged into [`Self::diags`].
+    pub lockset: LocksetAnalysis,
 }
 
 impl Analysis {
@@ -72,12 +92,19 @@ impl Analysis {
 /// Runs every pass over `program` against the given designated set.
 pub fn analyze(program: &Program, set: &DesignatedSet) -> Analysis {
     let cfg = Cfg::build(program);
+    let config = LocksetConfig::standard(program, set);
+    let ls = lockset::lockset(program, &cfg, &config);
     let mut diags = check_template_ambiguity(set);
     diags.extend(verify_declared(program));
     diags.extend(lint_landmarks(program, set));
-    diags.extend(lint_races(program, set, &cfg));
-    diags.sort_by_key(|d| (d.addr, d.severity() == Severity::Warning));
-    Analysis { cfg, diags }
+    diags.extend(rmw_diags(program, set, &ls));
+    diags.extend(ls.diags.iter().cloned());
+    diags.sort_by_key(|d| (d.addr, d.severity() == Severity::Warning, d.kind.code()));
+    Analysis {
+        cfg,
+        diags,
+        lockset: ls,
+    }
 }
 
 /// [`analyze`] against [`DesignatedSet::standard`], the set the kernel

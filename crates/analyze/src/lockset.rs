@@ -1,0 +1,1637 @@
+//! Lockset analysis: which locks are provably held at every program
+//! point, and what that implies per shared word.
+//!
+//! This is an abstract interpretation over the [`crate::absint`] engine.
+//! The domain tracks, per register, a flat value lattice rich enough to
+//! recognize the lock idioms `ras-guest` emits — constants (lock
+//! addresses arrive via `li`), the stack pointer, and *Test-And-Set
+//! results*: the old value of a lock word produced by any of the paper's
+//! atomic mechanisms (a registered or designated restartable sequence, the
+//! kernel-emulated `SYS_TAS` trap, the interlocked `tas` instruction, or
+//! an `begin_atomic` hardware window, §2–§4). Alongside registers it
+//! tracks *must*-held locks (intersection at joins) and *may*-held locks
+//! (union), plus the hardware-atomic window bit and the load→store taints
+//! the read-modify-write lint consumes.
+//!
+//! A lock acquisition is the zero edge of a branch testing a Test-And-Set
+//! result: the "old value was zero, the lock is now mine" outcome of
+//! Figure 5's `if (!tas(lock)) …`. A release is `sw $zero` back to the
+//! lock word. Runtime entry points that encapsulate these idioms
+//! (`__mutex_acquire`, `__lamport_enter`, …) are summarized by name at
+//! call-return edges.
+//!
+//! Interprocedural strategy: call edges are *not* followed. Each thread
+//! root (the program entry and every statically-discovered `SYS_SPAWN`
+//! target) gets its own fixpoint instance, as does every other symbol
+//! (library functions, analyzed with opaque arguments) — keeping one
+//! caller's facts from polluting another's. Word verdicts are computed
+//! from the thread-root instances only; library instances still feed the
+//! lint passes.
+//!
+//! The per-word verdicts mirror the dynamic detector in `ras-model`
+//! exactly (the cross-validation tests in this crate hold the two to
+//! equality): a word with any atomic access is [`WordVerdict::Sync`]; a
+//! word whose every access shares a must-held lock is
+//! [`WordVerdict::Protected`]; a word touched by concurrent thread roots
+//! with no possible lock anywhere is [`WordVerdict::Racy`] — provably a
+//! data race; anything in between stays [`WordVerdict::Unknown`].
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use ras_isa::{abi, idiom, AluOp, CodeAddr, Cond, DataAddr, Inst, Program, Reg, SeqRange};
+use ras_kernel::DesignatedSet;
+
+use crate::absint::{self, AbsDomain, Edge, JoinSemiLattice, Solution};
+use crate::cfg::Cfg;
+use crate::diag::{DiagKind, Diagnostic};
+
+/// Lock tokens are word addresses; acquisitions whose lock address is not
+/// statically resolvable get a synthetic token in a disjoint namespace,
+/// tagged with this bit and keyed by the acquisition site.
+const SYM_LOCK_BIT: u32 = 1 << 31;
+
+/// Forward-scan bound for the committing store of a hardware-bit atomic
+/// window (the `begin_atomic` sequences are all a handful of
+/// instructions).
+const HW_WINDOW_SCAN: u32 = 8;
+
+/// Guest functions implementing Lamport's reservation protocols (§2.2).
+/// Their interior accesses look like unsynchronized races but are exactly
+/// the protocol's point — the dynamic detector exempts them the same way.
+const PROTOCOL_FNS: [&str; 4] = [
+    "__lamport_enter",
+    "__lamport_exit",
+    "__meta_tas",
+    "__cthread_self",
+];
+
+/// Registers a callee may clobber under the o32-style convention the
+/// guest runtime follows (`$at`, `$v0`-`$v1`, `$a0`-`$a3`, `$t0`-`$t9`,
+/// `$ra`).
+const CALLER_SAVED: [Reg; 17] = [
+    Reg::AT,
+    Reg::V0,
+    Reg::V1,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::T4,
+    Reg::T5,
+    Reg::T6,
+    Reg::T7,
+    Reg::T8,
+    Reg::T9,
+];
+
+/// One point of the per-register value lattice.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unknown.
+    Top,
+    /// A known constant (lock and data addresses arrive this way).
+    Const(i32),
+    /// Derived from the stack pointer: a thread-private address.
+    StackPtr,
+    /// The old value of a lock word read by an atomic Test-And-Set; the
+    /// token identifies which lock (`SYM_LOCK_BIT | site`).
+    TasResult(u32),
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            self
+        } else {
+            AbsVal::Top
+        }
+    }
+}
+
+/// A load whose value is still live in a register: the front half of a
+/// potential read-modify-write window.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Taint {
+    /// Address of the load.
+    pub load_pc: CodeAddr,
+    /// Base register of the load.
+    pub base: Reg,
+    /// Byte offset of the load.
+    pub off: i32,
+}
+
+/// The dataflow fact: register values, held-lock sets, the hardware
+/// window bit, and value taints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LockFact {
+    regs: [AbsVal; 32],
+    /// Locks held on *every* path reaching this point.
+    must: BTreeSet<u32>,
+    /// Locks held on *some* path reaching this point.
+    may: BTreeSet<u32>,
+    /// Inside an uncommitted `begin_atomic` hardware window.
+    window: bool,
+    taints: [Option<Taint>; 32],
+}
+
+impl LockFact {
+    fn fresh() -> LockFact {
+        let mut regs = [AbsVal::Top; 32];
+        regs[Reg::ZERO.index()] = AbsVal::Const(0);
+        regs[Reg::SP.index()] = AbsVal::StackPtr;
+        LockFact {
+            regs,
+            must: BTreeSet::new(),
+            may: BTreeSet::new(),
+            window: false,
+            taints: [None; 32],
+        }
+    }
+
+    /// The must-held lock set (exposed for clients of the replay).
+    pub fn must_locks(&self) -> &BTreeSet<u32> {
+        &self.must
+    }
+
+    /// The may-held lock set.
+    pub fn may_locks(&self) -> &BTreeSet<u32> {
+        &self.may
+    }
+}
+
+impl JoinSemiLattice for LockFact {
+    fn join_from(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for i in 0..32 {
+            let j = self.regs[i].join(other.regs[i]);
+            if j != self.regs[i] {
+                self.regs[i] = j;
+                changed = true;
+            }
+            if self.taints[i] != other.taints[i] && self.taints[i].is_some() {
+                self.taints[i] = None;
+                changed = true;
+            }
+        }
+        let n = self.must.len();
+        self.must.retain(|l| other.must.contains(l));
+        changed |= self.must.len() != n;
+        for &l in &other.may {
+            changed |= self.may.insert(l);
+        }
+        if self.window && !other.window {
+            self.window = false;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// How a known callee affects the caller's fact at the return edge.
+enum CallKind {
+    /// An out-of-line Test-And-Set on the word at `$a0` (the registered
+    /// sequence of Figure 4, or the Lamport meta-TAS). `atomic` is false
+    /// when the body has no protection (the rollback ablation), in which
+    /// case the window is an ordinary racy read-modify-write.
+    Tas { atomic: bool },
+    /// Acquires the lock identified by `$a0`.
+    Acquire,
+    /// Releases the lock identified by `$a0`.
+    Release,
+    /// A runtime service that neither acquires nor releases caller-visible
+    /// locks.
+    Neutral,
+    /// Anything else: assume the worst (drops all must-locks).
+    Unknown,
+}
+
+/// Configuration for one lockset run.
+#[derive(Clone, Debug, Default)]
+pub struct LocksetConfig {
+    /// Code ranges whose execution is effectively atomic: declared or
+    /// registered restartable sequences plus recognized designated
+    /// shapes. Must match what the kernel will actually protect — under
+    /// the rollback ablation this is empty even though the binary still
+    /// declares ranges, exactly as `ras-model` treats it.
+    pub protected: Vec<SeqRange>,
+    /// Exclusive upper bound of shared data; accesses at or above it
+    /// (stacks) are ignored, mirroring the dynamic detector. `None`
+    /// disables the bound.
+    pub data_end: Option<DataAddr>,
+}
+
+impl LocksetConfig {
+    /// The configuration matching what `ras-model` checks for a built
+    /// guest: declared sequences gated on the kernel strategy (under the
+    /// `None` ablation the ranges exist in the binary but protect
+    /// nothing), with accesses beyond the static data segment (stacks)
+    /// ignored.
+    pub fn for_guest(built: &ras_guest::BuiltGuest) -> LocksetConfig {
+        let protected = if matches!(built.strategy, ras_kernel::StrategyKind::None) {
+            Vec::new()
+        } else {
+            built.program.seq_ranges().to_vec()
+        };
+        LocksetConfig {
+            protected,
+            data_end: Some(built.data.len_bytes()),
+        }
+    }
+
+    /// The standard configuration for a standalone program: every
+    /// declared sequence plus every designated shape `set` recognizes.
+    pub fn standard(program: &Program, set: &DesignatedSet) -> LocksetConfig {
+        let mut protected = program.seq_ranges().to_vec();
+        for pc in 0..program.len() as CodeAddr {
+            if matches!(program.fetch(pc), Some(Inst::Sw { .. })) {
+                if let Some(start) = set.stage2(program, pc) {
+                    let r = SeqRange {
+                        start,
+                        len: pc - start + 1,
+                    };
+                    if !protected.contains(&r) {
+                        protected.push(r);
+                    }
+                }
+            }
+        }
+        LocksetConfig {
+            protected,
+            data_end: None,
+        }
+    }
+}
+
+/// The abstract domain. Pure; shared by the fixpoint and every replay.
+pub struct LocksetDomain<'a> {
+    program: &'a Program,
+    protected: &'a [SeqRange],
+    /// Symbols sorted by address, for callee summaries and function
+    /// regions.
+    syms: Vec<(CodeAddr, &'a str)>,
+}
+
+impl<'a> LocksetDomain<'a> {
+    /// Builds the domain for `program` under `config`.
+    pub fn new(program: &'a Program, config: &'a LocksetConfig) -> LocksetDomain<'a> {
+        let mut syms: Vec<(CodeAddr, &str)> =
+            program.symbols().map(|(name, addr)| (addr, name)).collect();
+        syms.sort_unstable();
+        LocksetDomain {
+            program,
+            protected: &config.protected,
+            syms,
+        }
+    }
+
+    fn eval(&self, fact: &LockFact, reg: Reg) -> AbsVal {
+        fact.regs[reg.index()]
+    }
+
+    fn set_reg(&self, fact: &mut LockFact, rd: Reg, val: AbsVal) {
+        if rd.is_zero() {
+            return;
+        }
+        fact.regs[rd.index()] = val;
+        fact.taints[rd.index()] = None;
+        // A redefined base register ends every window addressed through it.
+        for t in fact.taints.iter_mut() {
+            if t.is_some_and(|t| t.base == rd) {
+                *t = None;
+            }
+        }
+    }
+
+    /// The word address `off(base)` denotes, when statically known.
+    fn word_addr(&self, fact: &LockFact, base: Reg, off: i32) -> Option<DataAddr> {
+        match self.eval(fact, base) {
+            AbsVal::Const(c) => DataAddr::try_from(c.wrapping_add(off)).ok(),
+            _ => None,
+        }
+    }
+
+    fn on_stack(&self, fact: &LockFact, base: Reg) -> bool {
+        self.eval(fact, base) == AbsVal::StackPtr
+    }
+
+    fn in_protected(&self, pc: CodeAddr) -> Option<SeqRange> {
+        self.protected.iter().copied().find(|r| r.contains(pc))
+    }
+
+    /// Whether an access at `pc` under `fact` is atomic — mirrors the
+    /// dynamic detector's rule (atomic instruction, or inside a protected
+    /// sequence, or inside a hardware window).
+    fn atomic_at(&self, fact: &LockFact, pc: CodeAddr) -> bool {
+        fact.window || self.in_protected(pc).is_some()
+    }
+
+    /// The lock token for an acquisition of the word at `addr`, or a
+    /// site-keyed symbolic token when the address is unknown.
+    fn token(&self, addr: Option<DataAddr>, site: CodeAddr) -> u32 {
+        match addr {
+            Some(a) if a & SYM_LOCK_BIT == 0 => a,
+            _ => SYM_LOCK_BIT | site,
+        }
+    }
+
+    /// The symbol bound exactly at `addr`.
+    fn symbol_at(&self, addr: CodeAddr) -> Option<&'a str> {
+        self.syms
+            .binary_search_by_key(&addr, |&(a, _)| a)
+            .ok()
+            .map(|i| self.syms[i].1)
+    }
+
+    /// The symbol whose region (from its address to the next symbol)
+    /// contains `pc`.
+    fn region_of(&self, pc: CodeAddr) -> Option<&'a str> {
+        match self.syms.binary_search_by_key(&pc, |&(a, _)| a) {
+            Ok(i) => Some(self.syms[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.syms[i - 1].1),
+        }
+    }
+
+    /// Whether `pc` is inside a Lamport protocol function, whose interior
+    /// accesses the detectors exempt.
+    fn exempt(&self, pc: CodeAddr) -> bool {
+        self.region_of(pc)
+            .is_some_and(|n| PROTOCOL_FNS.contains(&n))
+    }
+
+    /// Whether the function at `addr` is the kernel-emulation
+    /// Test-And-Set — `li $v0, SYS_TAS; syscall` — which traps into the
+    /// kernel and is therefore atomic without any rollback window.
+    fn is_kernel_tas_body(&self, addr: CodeAddr) -> bool {
+        matches!(
+            (self.program.fetch(addr), self.program.fetch(addr + 1)),
+            (Some(Inst::Li { rd, imm }), Some(Inst::Syscall))
+                if rd == Reg::V0 && imm == abi::SYS_TAS as i32
+        )
+    }
+
+    fn classify_call(&self, callee: Option<CodeAddr>) -> CallKind {
+        let Some(addr) = callee else {
+            return CallKind::Unknown;
+        };
+        let Some(name) = self.symbol_at(addr) else {
+            return CallKind::Unknown;
+        };
+        match name {
+            // The out-of-line Test-And-Set is only atomic when the kernel
+            // will actually roll its window back — gone under ablation —
+            // or when the §3.1 fallback overwrote the body with the
+            // kernel-emulation trap, which is atomic under any strategy.
+            "__tas_registered" => CallKind::Tas {
+                atomic: self.in_protected(addr).is_some() || self.is_kernel_tas_body(addr),
+            },
+            "__meta_tas" => CallKind::Tas { atomic: true },
+            "__mutex_acquire" | "__lamport_enter" | "__rw_write_lock" | "__rw_read_lock" => {
+                CallKind::Acquire
+            }
+            "__mutex_release" | "__lamport_exit" | "__rw_write_unlock" | "__rw_read_unlock" => {
+                CallKind::Release
+            }
+            "__cv_wait" | "__cv_signal" | "__cv_broadcast" | "__sem_p" | "__sem_v"
+            | "__barrier_wait" | "__cthread_self" => CallKind::Neutral,
+            _ => CallKind::Unknown,
+        }
+    }
+
+    /// The zero-test a branch performs, syntactic (`$zero` comparand) or
+    /// through the value lattice (a comparand known to be zero). Returns
+    /// the tested register and whether the taken edge is the zero edge.
+    fn branch_zero_test(&self, inst: &Inst, fact: &LockFact) -> Option<(Reg, bool)> {
+        if let Some(t) = idiom::zero_test(inst) {
+            return Some((t.reg, t.zero_when_taken));
+        }
+        let Inst::Branch { cond, rs, rt, .. } = *inst else {
+            return None;
+        };
+        let reg = if self.eval(fact, rs) == AbsVal::Const(0) && !rt.is_zero() {
+            rt
+        } else if self.eval(fact, rt) == AbsVal::Const(0) && !rs.is_zero() {
+            rs
+        } else {
+            return None;
+        };
+        match cond {
+            Cond::Eq => Some((reg, true)),
+            Cond::Ne => Some((reg, false)),
+            _ => None,
+        }
+    }
+
+    /// The acquisition a zero-edge of this branch performs, if its tested
+    /// register holds a Test-And-Set result.
+    fn edge_acquire(&self, inst: &Inst, edge: Edge, fact: &LockFact) -> Option<u32> {
+        let (reg, zero_when_taken) = self.branch_zero_test(inst, fact)?;
+        let zero_edge = match edge {
+            Edge::Taken => zero_when_taken,
+            Edge::NotTaken => !zero_when_taken,
+            _ => return None,
+        };
+        match (zero_edge, self.eval(fact, reg)) {
+            (true, AbsVal::TasResult(tok)) => Some(tok),
+            _ => None,
+        }
+    }
+
+    fn clobber_caller_saved(&self, fact: &mut LockFact) {
+        for r in CALLER_SAVED {
+            self.set_reg(fact, r, AbsVal::Top);
+        }
+        self.set_reg(fact, Reg::RA, AbsVal::Top);
+    }
+
+    fn fold(&self, op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match op {
+            // `mv` is `or rd, rs, $zero`; adding zero must likewise
+            // preserve the operand exactly (including Test-And-Set
+            // results and stack derivation).
+            AluOp::Add | AluOp::Or | AluOp::Xor if b == Const(0) => a,
+            AluOp::Add | AluOp::Or | AluOp::Xor if a == Const(0) => b,
+            AluOp::Add => match (a, b) {
+                (Const(x), Const(y)) => Const(x.wrapping_add(y)),
+                (StackPtr, Const(_)) | (Const(_), StackPtr) => StackPtr,
+                _ => Top,
+            },
+            AluOp::Sub => match (a, b) {
+                (Const(x), Const(y)) => Const(x.wrapping_sub(y)),
+                (StackPtr, Const(_)) => StackPtr,
+                _ => Top,
+            },
+            AluOp::And => match (a, b) {
+                (Const(x), Const(y)) => Const(x & y),
+                _ => Top,
+            },
+            AluOp::Or => match (a, b) {
+                (Const(x), Const(y)) => Const(x | y),
+                _ => Top,
+            },
+            AluOp::Xor => match (a, b) {
+                (Const(x), Const(y)) => Const(x ^ y),
+                _ => Top,
+            },
+            _ => Top,
+        }
+    }
+
+    /// The value a read-modify-write window's committing store writes
+    /// back. A definition of the stored register *inside* the window wins
+    /// (the inline TAS performs `li $t0, 1` between its load and store);
+    /// only when the window leaves the register untouched does the fact
+    /// at the load decide. Deciding from the interior keeps the transfer
+    /// monotone: the fact at the load can sit at `Const(0)` on an early
+    /// fixpoint visit (a spin-exit refinement) and widen later, and a
+    /// fact-dependent answer there would leak a stale non-TAS `Top` into
+    /// successor joins that no final path justifies.
+    fn window_stored_value(&self, fact: &LockFact, w: &idiom::RmwWindow) -> AbsVal {
+        let mut val = None;
+        for pc in w.load_pc + 1..w.store_pc {
+            let Some(inst) = self.program.fetch(pc) else {
+                break;
+            };
+            if inst.def() == Some(w.stored) {
+                val = Some(match inst {
+                    Inst::Li { imm, .. } => AbsVal::Const(imm),
+                    _ => AbsVal::Top,
+                });
+            }
+        }
+        val.unwrap_or_else(|| self.eval(fact, w.stored))
+    }
+
+    /// The syscall number at a `syscall` under `fact` (constant `$v0`).
+    fn syscall_number(&self, fact: &LockFact) -> Option<u32> {
+        match self.eval(fact, Reg::V0) {
+            AbsVal::Const(n) => u32::try_from(n).ok(),
+            _ => None,
+        }
+    }
+}
+
+impl AbsDomain for LocksetDomain<'_> {
+    type Fact = LockFact;
+
+    fn transfer(&self, pc: CodeAddr, inst: &Inst, fact: &mut LockFact) -> bool {
+        match *inst {
+            Inst::Li { rd, imm } => self.set_reg(fact, rd, AbsVal::Const(imm)),
+            Inst::Alu { op, rd, rs, rt } => {
+                let val = self.fold(op, self.eval(fact, rs), self.eval(fact, rt));
+                let taint = fact.taints[rs.index()].or(fact.taints[rt.index()]);
+                self.set_reg(fact, rd, val);
+                if !rd.is_zero() {
+                    fact.taints[rd.index()] = taint;
+                }
+            }
+            Inst::AluI { op, rd, rs, imm } => {
+                let val = self.fold(op, self.eval(fact, rs), AbsVal::Const(imm));
+                let taint = fact.taints[rs.index()];
+                self.set_reg(fact, rd, val);
+                if !rd.is_zero() {
+                    fact.taints[rd.index()] = taint;
+                }
+            }
+            Inst::Lw { rd, base, off } => {
+                let mut val = AbsVal::Top;
+                // A load opening an atomic read-modify-write window over
+                // one word yields the word's old value while the new one
+                // is committed — a Test-And-Set result (Figures 4 and 5).
+                if self.atomic_at(fact, pc) {
+                    let limit = match self.in_protected(pc) {
+                        Some(r) => r.end(),
+                        None => pc + HW_WINDOW_SCAN,
+                    };
+                    if let Some(w) = idiom::rmw_window(self.program.code(), pc, limit) {
+                        // `sw $zero` back is a clear, not a set.
+                        if self.window_stored_value(fact, &w) != AbsVal::Const(0) {
+                            let addr = self.word_addr(fact, base, off);
+                            val = AbsVal::TasResult(self.token(addr, pc));
+                        }
+                    }
+                }
+                self.set_reg(fact, rd, val);
+                if !rd.is_zero() {
+                    fact.taints[rd.index()] = Some(Taint {
+                        load_pc: pc,
+                        base,
+                        off,
+                    });
+                }
+            }
+            Inst::Sw { rs, base, off } => {
+                // The first committing store closes a hardware window.
+                fact.window = false;
+                if rs.is_zero() {
+                    if let Some(w) = self.word_addr(fact, base, off) {
+                        fact.must.remove(&w);
+                        fact.may.remove(&w);
+                    }
+                }
+            }
+            Inst::Tas { rd, base } => {
+                let addr = self.word_addr(fact, base, 0);
+                let tok = self.token(addr, pc);
+                self.set_reg(fact, rd, AbsVal::TasResult(tok));
+            }
+            Inst::Syscall => match self.syscall_number(fact) {
+                Some(abi::SYS_EXIT) => return false,
+                Some(abi::SYS_TAS) => {
+                    let addr = self.word_addr(fact, Reg::A0, 0);
+                    let tok = self.token(addr, pc);
+                    self.set_reg(fact, Reg::V0, AbsVal::TasResult(tok));
+                }
+                _ => self.set_reg(fact, Reg::V0, AbsVal::Top),
+            },
+            Inst::Jal { .. } => self.set_reg(fact, Reg::RA, AbsVal::Top),
+            Inst::Jalr { rd, .. } => self.set_reg(fact, rd, AbsVal::Top),
+            Inst::BeginAtomic => fact.window = true,
+            Inst::Branch { .. }
+            | Inst::J { .. }
+            | Inst::Jr { .. }
+            | Inst::Nop
+            | Inst::Landmark
+            | Inst::Halt => {}
+        }
+        true
+    }
+
+    fn refine(&self, pc: CodeAddr, inst: &Inst, edge: Edge, fact: &mut LockFact) {
+        match edge {
+            Edge::Taken | Edge::NotTaken => {
+                if let Some(tok) = self.edge_acquire(inst, edge, fact) {
+                    // Keep the TasResult: the outer retry loop re-tests
+                    // the same register after interior joins dissolve the
+                    // interior acquisition.
+                    fact.must.insert(tok);
+                    fact.may.insert(tok);
+                } else if let Some((reg, zwt)) = self.branch_zero_test(inst, fact) {
+                    let zero_edge = (edge == Edge::Taken) == zwt;
+                    if zero_edge && !matches!(self.eval(fact, reg), AbsVal::TasResult(_)) {
+                        self.set_reg(fact, reg, AbsVal::Const(0));
+                    }
+                }
+            }
+            Edge::Return { callee } => {
+                let a0_addr = self.word_addr(fact, Reg::A0, 0);
+                let a0 = self.eval(fact, Reg::A0);
+                let kind = self.classify_call(callee);
+                self.clobber_caller_saved(fact);
+                // The TAS emitters and lock entry/exit helpers follow the
+                // runtime convention "`$a0` (the lock address) is
+                // preserved" — losing it on a spin-retry back edge would
+                // degrade the acquire token to a symbolic one and break
+                // the must-lock join for every later critical section.
+                if matches!(
+                    kind,
+                    CallKind::Tas { .. } | CallKind::Acquire | CallKind::Release
+                ) {
+                    self.set_reg(fact, Reg::A0, a0);
+                }
+                match kind {
+                    CallKind::Tas { atomic } => {
+                        if atomic {
+                            let tok = self.token(a0_addr, pc);
+                            self.set_reg(fact, Reg::V0, AbsVal::TasResult(tok));
+                        }
+                    }
+                    CallKind::Acquire => {
+                        let tok = self.token(a0_addr, pc);
+                        fact.must.insert(tok);
+                        fact.may.insert(tok);
+                    }
+                    CallKind::Release => {
+                        if let Some(w) = a0_addr {
+                            fact.must.remove(&w);
+                            fact.may.remove(&w);
+                        } else {
+                            // Unknown lock released: drop every
+                            // acquisition we cannot name.
+                            fact.must.retain(|t| t & SYM_LOCK_BIT == 0);
+                        }
+                    }
+                    CallKind::Neutral => {}
+                    CallKind::Unknown => {
+                        fact.must.clear();
+                        fact.window = false;
+                    }
+                }
+            }
+            Edge::Step | Edge::Call => {}
+        }
+    }
+
+    fn follows_edge(&self, edge: Edge) -> bool {
+        edge != Edge::Call
+    }
+}
+
+/// What the analysis concluded about one shared data word.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WordVerdict {
+    /// At least one access is atomic: the word is a synchronization
+    /// object (a lock word, a designated-sequence operand). Mirrors the
+    /// dynamic detector's sticky sync classification.
+    Sync,
+    /// Only one thread ever touches it.
+    ThreadLocal,
+    /// Every access holds the contained lock word (the token).
+    Protected(u32),
+    /// Concurrent thread roots access it, at least one writes, and no
+    /// lock can be held at the conflicting accesses: a proven data race.
+    Racy,
+    /// Nothing could be proven either way.
+    Unknown,
+}
+
+/// A read-modify-write window observed with its protection context; the
+/// race lint turns these into three-way verdicts.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WindowObs {
+    /// Address of the opening load.
+    pub load_pc: CodeAddr,
+    /// Address of the committing store.
+    pub store_pc: CodeAddr,
+    /// The word, when statically resolved.
+    pub word: Option<DataAddr>,
+    /// The store executes inside an uncommitted `begin_atomic` window.
+    pub hw_window: bool,
+    /// Some lock is provably held across the whole window.
+    pub lock_protected: bool,
+}
+
+/// One shared-memory access from a thread root, with its lock context.
+#[derive(Clone, Debug)]
+struct Access {
+    word: DataAddr,
+    pc: CodeAddr,
+    write: bool,
+    atomic: bool,
+    exempt: bool,
+    /// From a thread-root instance (verdict-eligible). Library-instance
+    /// accesses still participate: they can establish `Sync` and they
+    /// poison `Protected`/`ThreadLocal` claims, but never prove a race
+    /// (their lock context is the opaque fresh fact).
+    eligible: bool,
+    root: CodeAddr,
+    may: BTreeSet<u32>,
+    must: BTreeSet<u32>,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum RootKind {
+    /// The program entry: the initial thread.
+    Entry,
+    /// A `SYS_SPAWN` target.
+    Spawn,
+    /// A symbol or otherwise-uncovered code, analyzed with opaque
+    /// arguments; feeds the lints but not the word verdicts.
+    Lib,
+}
+
+struct Instance<'a> {
+    root: CodeAddr,
+    kind: RootKind,
+    /// Distinct spawn sites (an upper bound on "spawned once").
+    mult: usize,
+    sol: Solution<LocksetDomain<'a>>,
+}
+
+/// Everything one lockset run produces.
+#[derive(Clone, Debug)]
+pub struct LocksetAnalysis {
+    /// Per-word conclusions, over every statically-resolved shared word.
+    pub verdicts: BTreeMap<DataAddr, WordVerdict>,
+    /// Read-modify-write windows with protection context, deduplicated
+    /// across instances (any instance proving protection wins).
+    pub windows: Vec<WindowObs>,
+    /// Lock-discipline findings (double acquire, release while not held,
+    /// leak on thread exit, inconsistent acquisition order) plus a
+    /// [`DiagKind::DataRace`] error per [`WordVerdict::Racy`] word.
+    pub diags: Vec<Diagnostic>,
+    /// Whether Racy verdicts were enabled: false when a thread root
+    /// stores through a statically-unresolved pointer, which could alias
+    /// anything and makes race proofs unsound.
+    pub reliable: bool,
+}
+
+impl LocksetAnalysis {
+    /// Words proven to be data races, ascending.
+    pub fn racy_words(&self) -> Vec<DataAddr> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| matches!(v, WordVerdict::Racy))
+            .map(|(&w, _)| w)
+            .collect()
+    }
+
+    /// Words proven race-free by lock discipline or thread locality
+    /// (synchronization words themselves are excluded: a `Sync` verdict
+    /// is not a race-freedom proof for accesses before the first atomic
+    /// one).
+    pub fn protected_words(&self) -> Vec<DataAddr> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| matches!(v, WordVerdict::Protected(_) | WordVerdict::ThreadLocal))
+            .map(|(&w, _)| w)
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Harvest {
+    accesses: Vec<Access>,
+    /// (load, store) → observation; protection ORs across instances.
+    windows: BTreeMap<(CodeAddr, CodeAddr), WindowObs>,
+    /// (site, token) → already held on some path.
+    acquires: BTreeMap<(CodeAddr, u32), bool>,
+    /// (site, token) → possibly held on some path.
+    releases: BTreeMap<(CodeAddr, u32), bool>,
+    /// Thread-exit site → must-held locks there.
+    exits: BTreeMap<CodeAddr, BTreeSet<u32>>,
+    /// Nesting order: (outer, inner) → first site observed.
+    pairs: BTreeMap<(u32, u32), CodeAddr>,
+    /// Words named as the address of a `SYS_WAIT` or `SYS_WAKE`: the
+    /// kernel orders the waiter after the waker through the scheduler, so
+    /// the word is a synchronization object (a completion flag), not
+    /// shared data.
+    kernel_sync: BTreeSet<DataAddr>,
+    /// A thread root stored through an unresolved pointer.
+    unresolved_store: bool,
+}
+
+fn harvest_instance<'a>(
+    program: &Program,
+    cfg: &Cfg,
+    domain: &LocksetDomain<'a>,
+    inst: &Instance<'a>,
+    config: &LocksetConfig,
+    out: &mut Harvest,
+) {
+    let eligible = inst.kind != RootKind::Lib;
+    // Pass 1: the must-set at every load, so windows whose store sits in
+    // an earlier-addressed block (reached by a back edge) still find it.
+    let loads_must = RefCell::new(BTreeMap::<CodeAddr, BTreeSet<u32>>::new());
+    inst.sol.replay(
+        program,
+        cfg,
+        domain,
+        |pc, i, fact| {
+            if matches!(i, Inst::Lw { .. }) {
+                loads_must.borrow_mut().insert(pc, fact.must.clone());
+            }
+        },
+        |_, _, _, _, _| {},
+    );
+    let loads_must = loads_must.into_inner();
+
+    let in_bounds = |w: DataAddr| config.data_end.is_none_or(|end| w < end);
+    let out = RefCell::new(out);
+    let record =
+        |word: Option<DataAddr>, pc: CodeAddr, write: bool, atomic: bool, fact: &LockFact| {
+            let Some(word) = word else { return };
+            if !in_bounds(word) {
+                return;
+            }
+            out.borrow_mut().accesses.push(Access {
+                word,
+                pc,
+                write,
+                atomic,
+                exempt: domain.exempt(pc),
+                eligible,
+                root: inst.root,
+                may: fact.may.clone(),
+                must: fact.must.clone(),
+            });
+        };
+
+    inst.sol.replay(
+        program,
+        cfg,
+        domain,
+        |pc, i, fact| match *i {
+            Inst::Lw { base, off, .. } if !domain.on_stack(fact, base) => {
+                let word = domain.word_addr(fact, base, off);
+                record(word, pc, false, domain.atomic_at(fact, pc), fact);
+            }
+            Inst::Sw { rs, base, off } => {
+                let word = domain.word_addr(fact, base, off);
+                let atomic = domain.atomic_at(fact, pc);
+                if !domain.on_stack(fact, base) {
+                    record(word, pc, true, atomic, fact);
+                    if eligible && word.is_none() && !atomic && !domain.exempt(pc) {
+                        out.borrow_mut().unresolved_store = true;
+                    }
+                }
+                if rs.is_zero() {
+                    if let Some(w) = word {
+                        *out.borrow_mut().releases.entry((pc, w)).or_insert(false) |=
+                            fact.may.contains(&w);
+                    }
+                } else if let Some(t) = fact.taints[rs.index()] {
+                    if t.base == base && t.off == off {
+                        let lock_protected = loads_must
+                            .get(&t.load_pc)
+                            .is_some_and(|m| m.intersection(&fact.must).next().is_some());
+                        let mut o = out.borrow_mut();
+                        let w = o.windows.entry((t.load_pc, pc)).or_insert(WindowObs {
+                            load_pc: t.load_pc,
+                            store_pc: pc,
+                            word,
+                            hw_window: false,
+                            lock_protected: false,
+                        });
+                        w.hw_window |= fact.window;
+                        w.lock_protected |= lock_protected;
+                        if w.word.is_none() {
+                            w.word = word;
+                        }
+                    }
+                }
+            }
+            Inst::Tas { base, .. } => {
+                let word = domain.word_addr(fact, base, 0);
+                record(word, pc, true, true, fact);
+            }
+            Inst::Syscall => match domain.syscall_number(fact) {
+                Some(abi::SYS_TAS) => {
+                    let word = domain.word_addr(fact, Reg::A0, 0);
+                    record(word, pc, true, true, fact);
+                }
+                Some(abi::SYS_EXIT) if !fact.must.is_empty() => {
+                    out.borrow_mut()
+                        .exits
+                        .entry(pc)
+                        .or_default()
+                        .extend(fact.must.iter().copied());
+                }
+                Some(abi::SYS_WAIT) | Some(abi::SYS_WAKE) => {
+                    if let Some(w) = domain.word_addr(fact, Reg::A0, 0) {
+                        if in_bounds(w) {
+                            out.borrow_mut().kernel_sync.insert(w);
+                        }
+                    }
+                }
+                _ => {}
+            },
+            Inst::Halt if !fact.must.is_empty() => {
+                out.borrow_mut()
+                    .exits
+                    .entry(pc)
+                    .or_default()
+                    .extend(fact.must.iter().copied());
+            }
+            _ => {}
+        },
+        |pc, i, edge, fact, _refined| {
+            let note_acquire = |tok: u32, fact: &LockFact| {
+                let mut o = out.borrow_mut();
+                *o.acquires.entry((pc, tok)).or_insert(false) |= fact.must.contains(&tok);
+                for &outer in &fact.must {
+                    if outer != tok {
+                        o.pairs.entry((outer, tok)).or_insert(pc);
+                    }
+                }
+            };
+            match edge {
+                Edge::Taken | Edge::NotTaken => {
+                    if let Some(tok) = domain.edge_acquire(i, edge, fact) {
+                        note_acquire(tok, fact);
+                    }
+                }
+                Edge::Return { callee } => {
+                    let a0_addr = domain.word_addr(fact, Reg::A0, 0);
+                    match domain.classify_call(callee) {
+                        CallKind::Tas { atomic } => {
+                            // The callee performs the whole load→store
+                            // window on the word at `$a0`; surface it as
+                            // an access pair here, where the address is
+                            // known.
+                            if let Some(w) = a0_addr {
+                                record(Some(w), pc, true, atomic, fact);
+                            }
+                        }
+                        CallKind::Acquire => {
+                            // The callee read-modify-writes the lock word
+                            // atomically (its own TAS or reservation).
+                            record(a0_addr, pc, true, true, fact);
+                            note_acquire(domain.token(a0_addr, pc), fact);
+                        }
+                        CallKind::Release => {
+                            record(a0_addr, pc, true, true, fact);
+                            if let Some(w) = a0_addr {
+                                let mut o = out.borrow_mut();
+                                *o.releases.entry((pc, w)).or_insert(false) |=
+                                    fact.may.contains(&w);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        },
+    );
+}
+
+/// Runs the lockset analysis over `program`.
+pub fn lockset(program: &Program, cfg: &Cfg, config: &LocksetConfig) -> LocksetAnalysis {
+    let domain = LocksetDomain::new(program, config);
+
+    // Discover thread roots: the entry, then SYS_SPAWN targets to a fixed
+    // point (spawn sites live in `main`, itself reached through a call).
+    let mut spawns: BTreeMap<CodeAddr, BTreeSet<CodeAddr>> = BTreeMap::new();
+    let mut instances: Vec<Instance<'_>>;
+    loop {
+        instances = build_instances(program, cfg, &domain, &spawns);
+        let mut found: BTreeMap<CodeAddr, BTreeSet<CodeAddr>> = BTreeMap::new();
+        for inst in &instances {
+            collect_spawns(program, cfg, &domain, inst, &mut found);
+        }
+        if found == spawns {
+            break;
+        }
+        spawns = found;
+    }
+
+    let mut harvest = Harvest::default();
+    for inst in &instances {
+        harvest_instance(program, cfg, &domain, inst, config, &mut harvest);
+    }
+
+    let mult: BTreeMap<CodeAddr, usize> = instances
+        .iter()
+        .filter(|i| i.kind != RootKind::Lib)
+        .map(|i| (i.root, i.mult))
+        .collect();
+
+    let reliable = !harvest.unresolved_store;
+    let verdicts = word_verdicts(&harvest.accesses, &harvest.kernel_sync, &mult, reliable);
+    let diags = discipline_diags(&harvest, &verdicts);
+
+    LocksetAnalysis {
+        verdicts,
+        windows: harvest.windows.into_values().collect(),
+        diags,
+        reliable,
+    }
+}
+
+fn build_instances<'a>(
+    program: &Program,
+    cfg: &Cfg,
+    domain: &LocksetDomain<'a>,
+    spawns: &BTreeMap<CodeAddr, BTreeSet<CodeAddr>>,
+) -> Vec<Instance<'a>> {
+    let mut instances = Vec::new();
+    let mut thread_roots = BTreeSet::new();
+    let entry = program.entry();
+    thread_roots.insert(entry);
+    instances.push(Instance {
+        root: entry,
+        kind: RootKind::Entry,
+        mult: 1,
+        sol: absint::forward(program, cfg, domain, &[(entry, LockFact::fresh())]),
+    });
+    for (&target, sites) in spawns {
+        if !thread_roots.insert(target) {
+            continue;
+        }
+        instances.push(Instance {
+            root: target,
+            kind: RootKind::Spawn,
+            mult: sites.len().max(1),
+            sol: absint::forward(program, cfg, domain, &[(target, LockFact::fresh())]),
+        });
+    }
+    // Library instances: every symbol not already a thread root, analyzed
+    // with opaque arguments.
+    for &(addr, _) in &domain.syms {
+        if thread_roots.contains(&addr) {
+            continue;
+        }
+        instances.push(Instance {
+            root: addr,
+            kind: RootKind::Lib,
+            mult: 1,
+            sol: absint::forward(program, cfg, domain, &[(addr, LockFact::fresh())]),
+        });
+    }
+    // Orphan coverage: reachable blocks served by no instance (code only
+    // reached through computed jumps) still get linted.
+    loop {
+        let covered: BTreeSet<CodeAddr> = instances
+            .iter()
+            .flat_map(|i| i.sol.reached_blocks())
+            .collect();
+        let Some(orphan) = cfg.reachable_blocks().find(|s| !covered.contains(s)) else {
+            break;
+        };
+        instances.push(Instance {
+            root: orphan,
+            kind: RootKind::Lib,
+            mult: 1,
+            sol: absint::forward(program, cfg, domain, &[(orphan, LockFact::fresh())]),
+        });
+    }
+    instances
+}
+
+fn collect_spawns<'a>(
+    program: &Program,
+    cfg: &Cfg,
+    domain: &LocksetDomain<'a>,
+    inst: &Instance<'a>,
+    found: &mut BTreeMap<CodeAddr, BTreeSet<CodeAddr>>,
+) {
+    let found = RefCell::new(found);
+    inst.sol.replay(
+        program,
+        cfg,
+        domain,
+        |pc, i, fact| {
+            if matches!(i, Inst::Syscall) && domain.syscall_number(fact) == Some(abi::SYS_SPAWN) {
+                if let AbsVal::Const(t) = domain.eval(fact, Reg::A0) {
+                    if let Ok(t) = CodeAddr::try_from(t) {
+                        if (t as usize) < program.len() {
+                            found.borrow_mut().entry(t).or_default().insert(pc);
+                        }
+                    }
+                }
+            }
+        },
+        |_, _, _, _, _| {},
+    );
+}
+
+fn word_verdicts(
+    accesses: &[Access],
+    kernel_sync: &BTreeSet<DataAddr>,
+    mult: &BTreeMap<CodeAddr, usize>,
+    reliable: bool,
+) -> BTreeMap<DataAddr, WordVerdict> {
+    let mut by_word: BTreeMap<DataAddr, Vec<&Access>> = BTreeMap::new();
+    for a in accesses {
+        by_word.entry(a.word).or_default().push(a);
+    }
+    let mut verdicts = BTreeMap::new();
+    for (word, accs) in by_word {
+        let elig: Vec<&Access> = accs.iter().filter(|a| a.eligible).copied().collect();
+        let verdict = if accs.iter().any(|a| a.atomic) || kernel_sync.contains(&word) {
+            WordVerdict::Sync
+        } else if elig.is_empty() {
+            // Only library code names this word with a resolved address;
+            // no thread-root context to judge it in.
+            WordVerdict::Unknown
+        } else {
+            // Accesses from library instances run in an opaque lock
+            // context: they cannot support a race-freedom claim, only
+            // undermine one.
+            let no_lib_access = accs.iter().all(|a| a.eligible || a.exempt);
+            let roots: BTreeSet<CodeAddr> = elig.iter().map(|a| a.root).collect();
+            let single =
+                roots.len() == 1 && roots.iter().all(|r| mult.get(r).copied().unwrap_or(1) <= 1);
+            // A lock every access agrees on, concrete tokens only:
+            // symbolic tokens name "the lock acquired at site S", which
+            // different dynamic locks can share.
+            let mut common: Option<BTreeSet<u32>> = None;
+            for a in &elig {
+                let concrete: BTreeSet<u32> = a
+                    .must
+                    .iter()
+                    .copied()
+                    .filter(|t| t & SYM_LOCK_BIT == 0)
+                    .collect();
+                common = Some(match common {
+                    None => concrete,
+                    Some(c) => c.intersection(&concrete).copied().collect(),
+                });
+            }
+            let common = common.unwrap_or_default();
+            if single && no_lib_access {
+                WordVerdict::ThreadLocal
+            } else if no_lib_access && !common.is_empty() {
+                WordVerdict::Protected(*common.iter().next().expect("nonempty"))
+            } else if reliable && has_race(&elig, mult) {
+                WordVerdict::Racy
+            } else {
+                WordVerdict::Unknown
+            }
+        };
+        verdicts.insert(word, verdict);
+    }
+    verdicts
+}
+
+fn has_race(accs: &[&Access], mult: &BTreeMap<CodeAddr, usize>) -> bool {
+    let candidates: Vec<&&Access> = accs.iter().filter(|a| !a.exempt && !a.atomic).collect();
+    for (i, a) in candidates.iter().enumerate() {
+        for b in &candidates[i..] {
+            if !a.write && !b.write {
+                continue;
+            }
+            let concurrent = a.root != b.root || mult.get(&a.root).copied().unwrap_or(1) > 1;
+            if !concurrent {
+                continue;
+            }
+            if a.may.intersection(&b.may).next().is_none() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn fmt_token(tok: u32) -> String {
+    if tok & SYM_LOCK_BIT == 0 {
+        format!("0x{tok:x}")
+    } else {
+        format!("acquired at @{}", tok & !SYM_LOCK_BIT)
+    }
+}
+
+fn discipline_diags(
+    harvest: &Harvest,
+    verdicts: &BTreeMap<DataAddr, WordVerdict>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let acquired: BTreeSet<u32> = harvest.acquires.keys().map(|&(_, t)| t).collect();
+
+    for (&(pc, tok), &held) in &harvest.acquires {
+        if held {
+            diags.push(Diagnostic::new(
+                DiagKind::DoubleAcquire,
+                pc,
+                format!(
+                    "lock {} is acquired again at @{pc} while already held; \
+                     the inner acquisition can never succeed and the outer \
+                     one is never released on this path",
+                    fmt_token(tok)
+                ),
+            ));
+        }
+    }
+    for (&(pc, word), &may_held) in &harvest.releases {
+        if acquired.contains(&word) && !may_held {
+            diags.push(Diagnostic::new(
+                DiagKind::ReleaseNotHeld,
+                pc,
+                format!(
+                    "lock 0x{word:x} is released at @{pc} on a path where it \
+                     was never acquired; a concurrent holder's critical \
+                     section is silently broken open"
+                ),
+            ));
+        }
+    }
+    for (&pc, locks) in &harvest.exits {
+        let names: Vec<String> = locks.iter().map(|&t| fmt_token(t)).collect();
+        diags.push(Diagnostic::new(
+            DiagKind::LockLeak,
+            pc,
+            format!(
+                "thread exits at @{pc} still holding {}; no other thread \
+                 can ever enter the critical section again",
+                names.join(", ")
+            ),
+        ));
+    }
+    for (&(a, b), &pc) in &harvest.pairs {
+        if a < b && harvest.pairs.contains_key(&(b, a)) {
+            diags.push(Diagnostic::new(
+                DiagKind::LockOrderInversion,
+                pc,
+                format!(
+                    "locks {} and {} are acquired in both orders; two \
+                     threads interleaving the two orders deadlock",
+                    fmt_token(a),
+                    fmt_token(b)
+                ),
+            ));
+        }
+    }
+    for (&word, v) in verdicts {
+        if matches!(v, WordVerdict::Racy) {
+            // Anchor at the first write to the word (falling back to the
+            // first access): the store is where the update gets lost.
+            let site = harvest
+                .accesses
+                .iter()
+                .filter(|a| a.word == word)
+                .map(|a| (!a.write, a.pc))
+                .min()
+                .map(|(_, pc)| pc)
+                .unwrap_or(0);
+            diags.push(Diagnostic::new(
+                DiagKind::DataRace,
+                site,
+                format!(
+                    "word 0x{word:x} is accessed by concurrent threads with \
+                     no common lock and no atomic mechanism; updates can be \
+                     lost under preemption"
+                ),
+            ));
+        }
+    }
+    diags.sort_by(|a, b| (a.addr, a.kind.code()).cmp(&(b.addr, b.kind.code())));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_guest::workloads::{model_counter, ModelSpec, TasFlavor};
+    use ras_guest::{BuiltGuest, Mechanism};
+    use ras_isa::Asm;
+    use ras_kernel::StrategyKind;
+
+    fn run(built: &BuiltGuest) -> LocksetAnalysis {
+        let cfg = Cfg::build(&built.program);
+        let config = LocksetConfig::for_guest(built);
+        lockset(&built.program, &cfg, &config)
+    }
+
+    fn spec() -> ModelSpec {
+        ModelSpec {
+            iterations: 2,
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn safe_counter_proves_cs_words_protected_by_the_lock() {
+        for mechanism in Mechanism::all() {
+            for flavor in TasFlavor::all() {
+                if !flavor.supported_by(mechanism) {
+                    continue;
+                }
+                let built = model_counter(mechanism, flavor, &spec());
+                let a = run(&built);
+                let lock = built.data.symbol("lock").unwrap();
+                let label = format!("{mechanism:?}/{flavor:?}");
+                assert!(a.racy_words().is_empty(), "{label}: {:#?}", a.verdicts);
+                assert!(a.diags.is_empty(), "{label}: {:#?}", a.diags);
+                if flavor == TasFlavor::Faa {
+                    // Lock-free: the counter itself is the atomic object.
+                    let counter = built.data.symbol("counter").unwrap();
+                    assert_eq!(
+                        a.verdicts.get(&counter),
+                        Some(&WordVerdict::Sync),
+                        "{label}"
+                    );
+                    continue;
+                }
+                assert_eq!(a.verdicts.get(&lock), Some(&WordVerdict::Sync), "{label}");
+                for word in ["counter", "cs_owner", "violations"] {
+                    let addr = built.data.symbol(word).unwrap();
+                    assert_eq!(
+                        a.verdicts.get(&addr),
+                        Some(&WordVerdict::Protected(lock)),
+                        "{label}: {word}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ablated_counter_is_provably_racy_on_every_shared_word() {
+        // The rollback ablation: the binary still declares its sequences
+        // but the kernel strategy will not restart them — the paper's
+        // motivating lost-update bug, statically.
+        let mut built = model_counter(Mechanism::RasInline, TasFlavor::Tas, &spec());
+        built.strategy = StrategyKind::None;
+        let a = run(&built);
+        assert!(a.reliable);
+        let expect: Vec<DataAddr> = ["lock", "counter", "cs_owner", "violations"]
+            .iter()
+            .map(|w| built.data.symbol(w).unwrap())
+            .collect();
+        assert_eq!(a.racy_words(), expect, "{:#?}", a.verdicts);
+        let race_diags = a
+            .diags
+            .iter()
+            .filter(|d| d.kind == DiagKind::DataRace)
+            .count();
+        assert_eq!(race_diags, expect.len());
+        assert!(a.protected_words().is_empty(), "{:#?}", a.verdicts);
+    }
+
+    /// A hand-built two-thread program: spawn one worker, both threads
+    /// bump a shared word under a kernel-emulated TAS lock.
+    fn spawn_guarded(bump_locked: bool) -> Program {
+        let mut asm = Asm::new();
+        let lock = 0x0;
+        let shared = 0x4;
+        // Entry: spawn the worker, run the same body, exit.
+        let worker = asm.label();
+        asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+        asm.li_label(Reg::A0, worker);
+        asm.syscall();
+        asm.j(worker);
+        asm.bind(worker);
+        if bump_locked {
+            let acquired = asm.label();
+            let retry = asm.bind_new();
+            asm.li(Reg::A0, lock);
+            asm.li(Reg::V0, abi::SYS_TAS as i32);
+            asm.syscall();
+            asm.beqz(Reg::V0, acquired);
+            asm.j(retry);
+            asm.bind(acquired);
+        }
+        asm.li(Reg::T1, shared);
+        asm.lw(Reg::T0, Reg::T1, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::T1, 0);
+        if bump_locked {
+            asm.li(Reg::A0, lock);
+            asm.sw(Reg::ZERO, Reg::A0, 0);
+        }
+        asm.li(Reg::V0, abi::SYS_EXIT as i32);
+        asm.syscall();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn spawn_discovery_finds_the_race_and_the_lock_fixes_it() {
+        let racy = spawn_guarded(false);
+        let cfg = Cfg::build(&racy);
+        let a = lockset(&racy, &cfg, &LocksetConfig::default());
+        assert_eq!(a.racy_words(), vec![0x4], "{:#?}", a.verdicts);
+        assert!(a.diags.iter().any(|d| d.kind == DiagKind::DataRace));
+
+        let safe = spawn_guarded(true);
+        let cfg = Cfg::build(&safe);
+        let a = lockset(&safe, &cfg, &LocksetConfig::default());
+        assert!(a.racy_words().is_empty(), "{:#?}", a.verdicts);
+        assert_eq!(a.verdicts.get(&0x4), Some(&WordVerdict::Protected(0x0)));
+        assert!(a.diags.is_empty(), "{:#?}", a.diags);
+    }
+
+    #[test]
+    fn spin_exit_refinement_does_not_defeat_inline_tas_recognition() {
+        // A counted busy-wait leaves its counter refined to `Const(0)` on
+        // the exit edge, and the inline TAS that follows reuses the same
+        // register as its stored value — setting it with `li $t0, 1`
+        // *inside* the window. An early fixpoint visit therefore sees
+        // `$t0 = 0` at the load; if the sw-$zero-is-a-clear check read
+        // the fact there, recognition would fail once, and the stale
+        // non-TAS `Top` joined into the acquire branch's entry could
+        // never be un-joined (the malloc-stress worker hits exactly this
+        // shape). The stored value must come from the window interior.
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, 3); // @0
+        let spin = asm.bind_new(); // @1
+        asm.addi(Reg::T0, Reg::T0, -1);
+        asm.bnez(Reg::T0, spin); // @2: exit edge refines $t0 to 0
+        asm.li(Reg::A0, 0x0); // @3: the lock
+        let retry = asm.bind_new(); // @4: inline TAS, declared below
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.li(Reg::T0, 1); // @5: the stored value, set in-window
+        let busy = asm.label();
+        asm.bnez(Reg::V0, busy); // @6
+        asm.landmark(); // @7
+        asm.sw(Reg::T0, Reg::A0, 0); // @8
+        asm.bind(busy);
+        let cs = asm.label();
+        asm.beqz(Reg::V0, cs); // @9: the acquire edge
+        asm.li(Reg::V0, abi::SYS_YIELD as i32);
+        asm.syscall();
+        asm.j(retry);
+        asm.bind(cs);
+        asm.li(Reg::T1, 0x8); // @13: critical-section increment
+        asm.lw(Reg::T2, Reg::T1, 0); // @14
+        asm.addi(Reg::T2, Reg::T2, 1);
+        asm.sw(Reg::T2, Reg::T1, 0); // @16
+        asm.sw(Reg::ZERO, Reg::A0, 0); // release
+        asm.halt();
+        asm.declare_seq(SeqRange { start: 4, len: 5 });
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let config = LocksetConfig::standard(&p, &DesignatedSet::standard());
+        let a = lockset(&p, &cfg, &config);
+        let window = a
+            .windows
+            .iter()
+            .find(|w| w.load_pc == 14)
+            .expect("the critical-section window is observed");
+        assert!(
+            window.lock_protected,
+            "the TAS acquired through the spin-refined register must \
+             still protect the window: {:#?}",
+            a.windows
+        );
+        assert_eq!(a.verdicts.get(&0x0), Some(&WordVerdict::Sync));
+    }
+
+    #[test]
+    fn double_acquire_is_reported() {
+        let mut asm = Asm::new();
+        let acquired = asm.label();
+        asm.li(Reg::A0, 0x0);
+        asm.li(Reg::V0, abi::SYS_TAS as i32);
+        asm.syscall();
+        asm.beqz(Reg::V0, acquired);
+        asm.halt();
+        asm.bind(acquired);
+        // Acquire the same lock again while holding it.
+        let inner = asm.label();
+        asm.li(Reg::V0, abi::SYS_TAS as i32);
+        asm.syscall();
+        asm.beqz(Reg::V0, inner);
+        asm.halt();
+        asm.bind(inner);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let a = lockset(&p, &cfg, &LocksetConfig::default());
+        assert!(
+            a.diags.iter().any(|d| d.kind == DiagKind::DoubleAcquire),
+            "{:#?}",
+            a.diags
+        );
+    }
+
+    #[test]
+    fn release_on_an_unacquired_path_is_reported() {
+        let mut asm = Asm::new();
+        let acquired = asm.label();
+        let out = asm.label();
+        asm.li(Reg::A0, 0x0);
+        asm.li(Reg::V0, abi::SYS_TAS as i32);
+        asm.syscall();
+        asm.beqz(Reg::V0, acquired);
+        // Failure path: releases a lock it never got.
+        asm.sw(Reg::ZERO, Reg::A0, 0);
+        asm.j(out);
+        asm.bind(acquired);
+        asm.bind(out);
+        asm.sw(Reg::ZERO, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let a = lockset(&p, &cfg, &LocksetConfig::default());
+        let kinds: Vec<DiagKind> = a.diags.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DiagKind::ReleaseNotHeld), "{:#?}", a.diags);
+    }
+
+    #[test]
+    fn lock_leaked_at_thread_exit_is_reported() {
+        let mut asm = Asm::new();
+        let acquired = asm.label();
+        asm.li(Reg::A0, 0x0);
+        asm.li(Reg::V0, abi::SYS_TAS as i32);
+        asm.syscall();
+        asm.beqz(Reg::V0, acquired);
+        asm.halt();
+        asm.bind(acquired);
+        asm.li(Reg::V0, abi::SYS_EXIT as i32);
+        asm.syscall(); // exits still holding the lock
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let a = lockset(&p, &cfg, &LocksetConfig::default());
+        assert!(
+            a.diags.iter().any(|d| d.kind == DiagKind::LockLeak),
+            "{:#?}",
+            a.diags
+        );
+    }
+
+    #[test]
+    fn inconsistent_lock_order_is_reported() {
+        // Two locks taken A-then-B on one path and B-then-A on another.
+        let mut asm = Asm::new();
+        let take = |asm: &mut Asm, lock: i32| {
+            let got = asm.label();
+            asm.li(Reg::A0, lock);
+            asm.li(Reg::V0, abi::SYS_TAS as i32);
+            asm.syscall();
+            asm.beqz(Reg::V0, got);
+            asm.halt();
+            asm.bind(got);
+        };
+        let second = asm.label();
+        let join = asm.label();
+        asm.li(Reg::T0, 1);
+        asm.beqz(Reg::T0, second);
+        take(&mut asm, 0x0);
+        take(&mut asm, 0x4);
+        asm.sw(Reg::ZERO, Reg::A0, 0);
+        asm.li(Reg::A0, 0x0);
+        asm.sw(Reg::ZERO, Reg::A0, 0);
+        asm.j(join);
+        asm.bind(second);
+        take(&mut asm, 0x4);
+        take(&mut asm, 0x0);
+        asm.sw(Reg::ZERO, Reg::A0, 0);
+        asm.li(Reg::A0, 0x4);
+        asm.sw(Reg::ZERO, Reg::A0, 0);
+        asm.bind(join);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let a = lockset(&p, &cfg, &LocksetConfig::default());
+        assert!(
+            a.diags
+                .iter()
+                .any(|d| d.kind == DiagKind::LockOrderInversion),
+            "{:#?}",
+            a.diags
+        );
+    }
+
+    #[test]
+    fn unresolved_stores_disable_race_proofs() {
+        // A store through an opaque pointer could alias anything: no
+        // Racy verdict may survive it.
+        let mut asm = Asm::new();
+        let worker = asm.label();
+        asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+        asm.li_label(Reg::A0, worker);
+        asm.syscall();
+        asm.bind(worker);
+        asm.sw(Reg::T0, Reg::T1, 0); // T1 is Top: unresolved store
+        asm.li(Reg::T1, 0x8);
+        asm.lw(Reg::T0, Reg::T1, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::T1, 0);
+        asm.li(Reg::V0, abi::SYS_EXIT as i32);
+        asm.syscall();
+        let p = asm.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let a = lockset(&p, &cfg, &LocksetConfig::default());
+        assert!(!a.reliable);
+        assert!(a.racy_words().is_empty(), "{:#?}", a.verdicts);
+    }
+
+    #[test]
+    fn emulation_fallback_binary_stays_race_free() {
+        // §3.1's fallback story: a registered-RAS binary whose sequence
+        // body is overwritten with the kernel-emulation trap must still
+        // analyze clean — the patch drops the declared range, but the
+        // `li $v0, SYS_TAS; syscall` body is atomic through the kernel
+        // on any strategy, so `__tas_registered` calls stay atomic.
+        let spec = ras_guest::workloads::CounterSpec {
+            iterations: 10,
+            workers: 2,
+            body: ras_guest::workloads::CounterBody::LockAndCounter,
+        };
+        let mut built =
+            ras_guest::workloads::counter_loop(ras_guest::Mechanism::RasRegistered, &spec);
+        built.apply_emulation_fallback();
+        assert!(built.program.seq_ranges().is_empty());
+        let a = crate::analyze_standard(&built.program);
+        assert!(!a.has_errors(), "{:#?}", a.errors().collect::<Vec<_>>());
+        let lock = built.data.symbol("lock").unwrap();
+        assert_eq!(a.lockset.verdicts.get(&lock), Some(&WordVerdict::Sync));
+    }
+}

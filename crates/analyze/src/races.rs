@@ -1,153 +1,114 @@
-//! The unprotected read-modify-write lint.
+//! The read-modify-write race lint, three ways.
 //!
 //! The paper's motivating bug (§1): on a uniprocessor, `lw; modify; sw`
 //! to a shared word is atomic only until the scheduler preempts between
-//! the load and the store. This pass finds such windows and checks them
-//! against every protection the toolchain knows about:
+//! the load and the store. The [`crate::lockset()`] pass discovers every
+//! such window along with its protection context; this pass turns each
+//! one into a verdict:
 //!
-//! * a declared restartable sequence covering the whole window;
-//! * a designated-sequence template match at the committing store
-//!   (landmark + shape — the Taos recognizer would roll it back);
-//! * a preceding `begin_atomic` in the same block (the i860 hardware bit
-//!   holds until the next store).
-//!
-//! Anything else is flagged as a **warning**, not an error: the analysis
-//! cannot see locks, so a mutex-protected counter update looks identical
-//! to a racy one. The warning marks every place a human (or the paper's
-//! authors, auditing Taos) must look.
+//! * **silent** — the window is covered by a declared restartable
+//!   sequence, a designated-sequence template match at the committing
+//!   store (landmark + shape — the Taos recognizer would roll it back),
+//!   an uncommitted `begin_atomic` hardware window (tracked across block
+//!   boundaries through the dataflow facts), or a lock provably held
+//!   from the load through the store;
+//! * **error** ([`DiagKind::RacyRmw`]) — the window's word is proven
+//!   [`WordVerdict::Racy`]: concurrent threads reach it with no possible
+//!   common lock, so the lost update is not a maybe;
+//! * **warning** ([`DiagKind::UnprotectedRmw`]) — everything in between:
+//!   the analysis can prove neither protection nor a race, and a human
+//!   must look.
 
-use std::collections::BTreeMap;
-
-use ras_isa::{CodeAddr, Inst, Program, Reg};
+use ras_isa::{CodeAddr, Inst, Program};
 use ras_kernel::DesignatedSet;
 
 use crate::cfg::Cfg;
 use crate::diag::{DiagKind, Diagnostic};
+use crate::lockset::{lockset, LocksetAnalysis, LocksetConfig, WordVerdict};
 
-/// Where a tainted register value came from: a load at `load_pc` of
-/// `mem[base + off]`.
-#[derive(Copy, Clone, Debug)]
-struct Taint {
-    load_pc: CodeAddr,
-    base: Reg,
-    off: i32,
+/// Whether `pc` falls in a sync-runtime-internal region: code between a
+/// `__`-prefixed symbol and the next symbol. The `ras-guest` runtime
+/// names every helper it emits this way (`__mutex_acquire`,
+/// `__cv_signal`, `__lamport_enter`, …); those bodies are the trusted
+/// implementation of the mechanism — a condition variable's sequence
+/// bump runs under the caller's mutex by documented convention — and the
+/// unprovable-window *warning* is aimed at user code. Proven races
+/// ([`DiagKind::RacyRmw`]) are never exempted.
+fn runtime_internal(program: &Program, pc: CodeAddr) -> bool {
+    program
+        .symbols()
+        .filter(|&(_, addr)| addr <= pc)
+        .max_by_key(|&(_, addr)| addr)
+        .is_some_and(|(name, _)| name.starts_with("__"))
 }
 
-/// Scans every reachable block for naive load-modify-store windows on the
-/// same memory word with no visible protection.
-pub fn lint_races(program: &Program, set: &DesignatedSet, cfg: &Cfg) -> Vec<Diagnostic> {
+/// Classifies every read-modify-write window `ls` observed. `set` is the
+/// designated-template set the kernel will match at runtime.
+pub fn rmw_diags(program: &Program, set: &DesignatedSet, ls: &LocksetAnalysis) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    for block in cfg.blocks() {
-        if !cfg.is_reachable(block.start) {
+    for w in &ls.windows {
+        let declared = program
+            .seq_ranges()
+            .iter()
+            .any(|r| r.contains(w.load_pc) && r.contains(w.store_pc));
+        if declared || set.stage2(program, w.store_pc).is_some() || w.hw_window || w.lock_protected
+        {
             continue;
         }
-        // Taint per destination register, tracked only within the block:
-        // control transfers (calls included, so lock acquisitions) clear
-        // the state by ending the block.
-        let mut taints: BTreeMap<Reg, Taint> = BTreeMap::new();
-        let mut hardware_bit = false;
-        for pc in block.start..block.end {
-            let Some(inst) = program.fetch(pc) else { break };
-            match inst {
-                Inst::BeginAtomic => hardware_bit = true,
-                Inst::Lw { rd, base, off } => {
-                    // Redefining a register kills taints based on it.
-                    taints.retain(|_, t| t.base != rd);
-                    taints.insert(
-                        rd,
-                        Taint {
-                            load_pc: pc,
-                            base,
-                            off,
-                        },
-                    );
-                }
-                Inst::Alu { rd, rs, rt, .. } => {
-                    let carried = taints.get(&rs).or_else(|| taints.get(&rt)).copied();
-                    taints.retain(|_, t| t.base != rd);
-                    match carried {
-                        Some(t) => {
-                            taints.insert(rd, t);
-                        }
-                        None => {
-                            taints.remove(&rd);
-                        }
-                    }
-                }
-                Inst::AluI { rd, rs, .. } => {
-                    let carried = taints.get(&rs).copied();
-                    taints.retain(|_, t| t.base != rd);
-                    match carried {
-                        Some(t) => {
-                            taints.insert(rd, t);
-                        }
-                        None => {
-                            taints.remove(&rd);
-                        }
-                    }
-                }
-                Inst::Sw { rs, base, off } => {
-                    if let Some(t) = taints.get(&rs).copied() {
-                        if t.base == base
-                            && t.off == off
-                            && !is_protected(program, set, t.load_pc, pc, hardware_bit)
-                        {
-                            diags.push(Diagnostic::new(
-                                DiagKind::UnprotectedRmw,
-                                t.load_pc,
-                                format!(
-                                    "value loaded from ({base}{off:+}) at @{} is stored back at @{pc} \
-                                     with no declared sequence, designated shape, or hardware \
-                                     atomic bit covering the window; preemption in between loses \
-                                     a concurrent update",
-                                    t.load_pc
-                                ),
-                            ));
-                        }
-                    }
-                    // The i860 bit clears at the first store.
-                    hardware_bit = false;
-                }
-                _ => {
-                    if let Some(rd) = inst.def() {
-                        taints.retain(|_, t| t.base != rd);
-                        taints.remove(&rd);
-                    }
-                }
+        let Some(Inst::Lw { base, off, .. }) = program.fetch(w.load_pc) else {
+            continue;
+        };
+        let proven_racy = w
+            .word
+            .is_some_and(|word| ls.verdicts.get(&word) == Some(&WordVerdict::Racy));
+        if proven_racy {
+            let word = w.word.expect("racy windows have a resolved word");
+            diags.push(Diagnostic::new(
+                DiagKind::RacyRmw,
+                w.load_pc,
+                format!(
+                    "read-modify-write race on shared word 0x{word:x}: loaded at \
+                     @{} and stored back at @{}, and concurrent threads reach \
+                     this word holding no common lock; a preemption inside the \
+                     window loses an update",
+                    w.load_pc, w.store_pc
+                ),
+            ));
+        } else {
+            if runtime_internal(program, w.load_pc) {
+                continue;
             }
+            diags.push(Diagnostic::new(
+                DiagKind::UnprotectedRmw,
+                w.load_pc,
+                format!(
+                    "value loaded from ({base}{off:+}) at @{} is stored back at @{} \
+                     with no declared sequence, designated shape, or hardware \
+                     atomic bit covering the window; preemption in between loses \
+                     a concurrent update",
+                    w.load_pc, w.store_pc
+                ),
+            ));
         }
     }
+    diags.sort_by_key(|d| d.addr);
     diags
 }
 
-/// Whether the `[load_pc, store_pc]` window is covered by some protection
-/// the analysis can see.
-fn is_protected(
-    program: &Program,
-    set: &DesignatedSet,
-    load_pc: CodeAddr,
-    store_pc: CodeAddr,
-    hardware_bit: bool,
-) -> bool {
-    if hardware_bit {
-        return true;
-    }
-    if program
-        .seq_ranges()
-        .iter()
-        .any(|r| r.contains(load_pc) && r.contains(store_pc))
-    {
-        return true;
-    }
-    // The committing store of a designated sequence is interior to the
-    // template match, so stage 2 recognizes it directly.
-    set.stage2(program, store_pc).is_some()
+/// Runs the lockset analysis under the standard configuration and lints
+/// the windows it finds. Callers that want the lock-discipline findings
+/// and word verdicts too should run [`lockset`] once and use
+/// [`rmw_diags`] directly (as [`crate::analyze`] does).
+pub fn lint_races(program: &Program, set: &DesignatedSet, cfg: &Cfg) -> Vec<Diagnostic> {
+    let config = LocksetConfig::standard(program, set);
+    let ls = lockset(program, cfg, &config);
+    rmw_diags(program, set, &ls)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ras_isa::{Asm, Reg, SeqRange};
+    use ras_isa::{abi, Asm, Reg, SeqRange};
 
     fn lint(p: &Program) -> Vec<Diagnostic> {
         lint_races(p, &DesignatedSet::standard(), &Cfg::build(p))
@@ -198,8 +159,8 @@ mod tests {
         let mut asm = Asm::new();
         asm.begin_atomic();
         asm.lw(Reg::V0, Reg::A0, 0);
-        asm.li(Reg::T0, 1);
-        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.addi(Reg::V0, Reg::V0, 1);
+        asm.sw(Reg::V0, Reg::A0, 0);
         // A second, uncovered window after the bit cleared: flagged.
         asm.lw(Reg::T1, Reg::A0, 0);
         asm.sw(Reg::T1, Reg::A0, 0);
@@ -208,6 +169,68 @@ mod tests {
         let diags = lint(&p);
         assert_eq!(diags.len(), 1, "{diags:#?}");
         assert_eq!(diags[0].addr, 4);
+    }
+
+    #[test]
+    fn begin_atomic_covers_windows_across_block_boundaries() {
+        // The hardware bit holds until the next store, *through* control
+        // flow: a branch between `begin_atomic` and the window must not
+        // lose it. (A block-local scan would flag this.)
+        let mut asm = Asm::new();
+        let go = asm.label();
+        asm.begin_atomic(); // @0
+        asm.beqz(Reg::T5, go); // @1: block boundary inside the window
+        asm.bind(go);
+        asm.lw(Reg::V0, Reg::A0, 0); // @2
+        asm.addi(Reg::V0, Reg::V0, 1);
+        asm.sw(Reg::V0, Reg::A0, 0); // @4: first store clears the bit
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert!(lint(&p).is_empty(), "{:#?}", lint(&p));
+    }
+
+    #[test]
+    fn lock_held_across_the_window_suppresses_the_warning() {
+        // Acquire a kernel-emulated TAS lock, then an otherwise-naive
+        // increment: the lockset proves the window protected.
+        let mut asm = Asm::new();
+        let acquired = asm.label();
+        asm.li(Reg::A0, 0x0);
+        asm.li(Reg::V0, abi::SYS_TAS as i32);
+        asm.syscall();
+        asm.beqz(Reg::V0, acquired);
+        asm.halt();
+        asm.bind(acquired);
+        asm.li(Reg::T1, 0x8);
+        asm.lw(Reg::T0, Reg::T1, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::T1, 0);
+        asm.sw(Reg::ZERO, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert!(lint(&p).is_empty(), "{:#?}", lint(&p));
+    }
+
+    #[test]
+    fn proven_concurrent_window_is_an_error_not_a_warning() {
+        // Two threads (spawn discovery) increment a shared word with no
+        // lock anywhere: the window upgrades to a RacyRmw error.
+        let mut asm = Asm::new();
+        let worker = asm.label();
+        asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+        asm.li_label(Reg::A0, worker);
+        asm.syscall();
+        asm.bind(worker);
+        asm.li(Reg::T1, 0x4);
+        asm.lw(Reg::T0, Reg::T1, 0);
+        asm.addi(Reg::T0, Reg::T0, 1);
+        asm.sw(Reg::T0, Reg::T1, 0);
+        asm.li(Reg::V0, abi::SYS_EXIT as i32);
+        asm.syscall();
+        let p = asm.finish().unwrap();
+        let diags = lint(&p);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert_eq!(diags[0].kind, DiagKind::RacyRmw);
     }
 
     #[test]
@@ -233,8 +256,8 @@ mod tests {
 
     #[test]
     fn calls_between_load_and_store_reset_tracking() {
-        // lw; jal lock; sw — the call may acquire a lock; the block break
-        // clears the taint, so no warning.
+        // lw; jal lock; sw — the call clobbers the caller-saved taint, so
+        // no warning (and an acquire-summarized callee would protect it).
         let mut asm = Asm::new();
         asm.lw(Reg::T0, Reg::A0, 0); // @0
         asm.jal_to(4); // @1

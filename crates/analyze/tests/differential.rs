@@ -1,0 +1,145 @@
+//! Static↔dynamic cross-validation: the lockset pass's race verdicts
+//! against the model checker's happens-before sanitizer, over every
+//! race-checked bundled model target.
+//!
+//! The two analyses must agree exactly:
+//!
+//! * **no false positives** — a word the lockset proves `Racy` is
+//!   witnessed by the sanitizer in some explored schedule;
+//! * **no false negatives** — a word the sanitizer reports raced is
+//!   `Racy` statically;
+//! * **no contradiction** — no statically-`Protected` word ever appears
+//!   in a dynamic race report.
+//!
+//! The Lamport mechanisms are exempt on both sides for the same reason
+//! ([`ModelTarget::races_checked`]): their protocols synchronize through
+//! plain loads and stores, which a happens-before analysis cannot see.
+
+use ras_analyze::{lockset, Cfg, LocksetAnalysis, LocksetConfig};
+use ras_guest::workloads::{model_counter, ModelSpec};
+use ras_guest::BuiltGuest;
+use ras_kernel::StrategyKind;
+use ras_model::{race_report, CheckConfig, ModelTarget};
+
+/// The exploration depth. Bound 3 is the shallowest at which the ablated
+/// target's dynamic race set saturates to every shared word the static
+/// pass names (at bound 2 the `violations` tally is only reached by one
+/// thread in any explored schedule), and no target hits the schedule cap.
+fn config() -> CheckConfig {
+    CheckConfig {
+        preemption_bound: 3,
+        ..CheckConfig::default()
+    }
+}
+
+/// Rebuilds exactly the guest [`race_report`] explores for `target`.
+fn build(target: ModelTarget, config: &CheckConfig) -> BuiltGuest {
+    let spec = ModelSpec {
+        iterations: config.iterations,
+        workers: config.workers,
+    };
+    let mut built = model_counter(target.mechanism, target.flavor, &spec);
+    if target.ablated {
+        built.strategy = StrategyKind::None;
+    }
+    built
+}
+
+fn analyze(built: &BuiltGuest) -> LocksetAnalysis {
+    let cfg = Cfg::build(&built.program);
+    let config = LocksetConfig::for_guest(built);
+    lockset(&built.program, &cfg, &config)
+}
+
+#[test]
+fn static_and_dynamic_race_sets_agree_on_every_target() {
+    let config = config();
+    for target in ModelTarget::all() {
+        if !target.races_checked() {
+            continue;
+        }
+        let built = build(target, &config);
+        let a = analyze(&built);
+        let report = race_report(target, &config);
+        assert!(
+            !report.hit_schedule_cap,
+            "{target}: capped exploration cannot certify a race set"
+        );
+        assert!(
+            a.reliable,
+            "{target}: the static pass must resolve every store to certify"
+        );
+        assert_eq!(
+            a.racy_words(),
+            report.raced_words(),
+            "{target}: static racy words vs dynamically witnessed words \
+             (verdicts: {:#?})",
+            a.verdicts
+        );
+    }
+}
+
+#[test]
+fn no_statically_protected_word_is_ever_dynamically_raced() {
+    let config = config();
+    for target in ModelTarget::all() {
+        if !target.races_checked() {
+            continue;
+        }
+        let built = build(target, &config);
+        let a = analyze(&built);
+        let report = race_report(target, &config);
+        for word in a.protected_words() {
+            assert!(
+                !report.raced_words().contains(&word),
+                "{target}: word 0x{word:x} is statically protected yet \
+                 raced in an explored schedule"
+            );
+        }
+    }
+}
+
+#[test]
+fn ablated_target_races_exactly_the_words_the_lockset_names() {
+    // The refutation target, pinned concretely: stripping the kernel
+    // strategy makes every shared word — lock, counter, cs_owner,
+    // violations — racy, and both analyses name precisely those.
+    let config = config();
+    let target = *ModelTarget::all()
+        .iter()
+        .find(|t| t.ablated)
+        .expect("the ablation is bundled");
+    let built = build(target, &config);
+    let expect: Vec<u32> = ["lock", "counter", "cs_owner", "violations"]
+        .iter()
+        .map(|w| built.data.symbol(w).expect("workload symbol"))
+        .collect();
+    let a = analyze(&built);
+    let report = race_report(target, &config);
+    assert_eq!(a.racy_words(), expect);
+    assert_eq!(report.raced_words(), expect);
+    assert!(
+        report.protected.is_empty(),
+        "the ablation strips rollback: nothing is protected dynamically"
+    );
+}
+
+#[test]
+fn safe_targets_report_no_races_on_either_side() {
+    let config = config();
+    for target in ModelTarget::all() {
+        if !target.races_checked() || target.ablated {
+            continue;
+        }
+        let built = build(target, &config);
+        let a = analyze(&built);
+        let report = race_report(target, &config);
+        assert!(a.racy_words().is_empty(), "{target}: {:#?}", a.verdicts);
+        assert!(report.races.is_empty(), "{target}: {:?}", report.races);
+        assert_eq!(
+            report.protected,
+            built.program.seq_ranges().to_vec(),
+            "{target}: the detector protects exactly the declared ranges"
+        );
+    }
+}

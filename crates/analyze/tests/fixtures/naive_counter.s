@@ -1,0 +1,9 @@
+# A deliberately naive shared-counter increment: the paper's motivating
+# lost-update window (§1), as a parseable fixture for the golden test.
+.entry main
+main:
+  li   $a0, 0x40
+  lw   $t0, 0($a0)      # @1: opens the window — flagged, and inferable
+  addi $t0, $t0, 1
+  sw   $t0, 0($a0)      # @3: commits it
+  halt

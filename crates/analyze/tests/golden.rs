@@ -1,0 +1,47 @@
+//! Golden-file test for `ras-lint --json`: the JSON report is a CI
+//! artifact, so its bytes must be deterministic — targets in argument
+//! order, findings sorted by address, proposals sorted by start. Any
+//! intentional format change regenerates the goldens with the command
+//! each file names.
+
+use std::process::Command;
+
+fn run_lint(args: &[&str]) -> (String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ras-lint"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("ras-lint runs");
+    let code = out.status.code().expect("exit code");
+    (String::from_utf8(out.stdout).expect("utf-8 output"), code)
+}
+
+#[test]
+fn json_report_matches_the_golden_file() {
+    // ras-lint --json --infer tests/fixtures/naive_counter.s
+    let (stdout, code) = run_lint(&["--json", "--infer", "tests/fixtures/naive_counter.s"]);
+    assert_eq!(stdout, include_str!("golden/naive_counter.json"));
+    assert_eq!(code, 3, "one warning, no errors");
+}
+
+#[test]
+fn json_report_with_declared_sequence_matches_the_golden_file() {
+    // ras-lint --json --infer --seq 1:3 tests/fixtures/naive_counter.s
+    let (stdout, code) = run_lint(&[
+        "--json",
+        "--infer",
+        "--seq",
+        "1:3",
+        "tests/fixtures/naive_counter.s",
+    ]);
+    assert_eq!(stdout, include_str!("golden/naive_counter_declared.json"));
+    assert_eq!(code, 0, "the declared range silences the window");
+}
+
+#[test]
+fn json_report_is_byte_identical_across_runs() {
+    let args = ["--json", "--infer", "tests/fixtures/naive_counter.s"];
+    let (first, _) = run_lint(&args);
+    let (second, _) = run_lint(&args);
+    assert_eq!(first, second);
+}

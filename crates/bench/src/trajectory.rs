@@ -14,7 +14,7 @@
 //! * **tables** — host wall time of each of Tables 1–4 at bench scale;
 //! * **explorer** — a full model-check matrix, recording schedules
 //!   explored per second of host time;
-//! * **verification** — the end-to-end `--verify` pass, whose 18 claims
+//! * **verification** — the end-to-end `--verify` pass, whose 21 claims
 //!   must all hold, compared against the recorded pre-optimization
 //!   baseline wall time.
 //!
@@ -75,6 +75,14 @@ pub struct TrajectoryPoint {
     pub verify_wall_ms: f64,
     /// Number of claims the verification checked.
     pub verify_claims: usize,
+    /// Bundled workload programs the static analyzer swept.
+    pub analyze_targets: usize,
+    /// Findings (all severities) across the sweep — errors abort the
+    /// pass before a point is recorded, so these are warnings at most.
+    pub analyze_findings: usize,
+    /// Host wall time of the full static-analysis sweep (every pass of
+    /// `ras-analyze` plus sequence inference per target), milliseconds.
+    pub analyze_wall_ms: f64,
 }
 
 impl TrajectoryPoint {
@@ -91,6 +99,11 @@ impl TrajectoryPoint {
     /// Explorer schedules per second of host time.
     pub fn schedules_per_second(&self) -> f64 {
         rate(self.explorer_schedules, self.explorer_wall_ms)
+    }
+
+    /// Static-analysis targets swept per second of host time.
+    pub fn analyze_targets_per_second(&self) -> f64 {
+        rate(self.analyze_targets as u64, self.analyze_wall_ms)
     }
 
     /// Verify-pass speedup against [`BASELINE_VERIFY_WALL_MS`].
@@ -172,6 +185,16 @@ impl TrajectoryPoint {
             s,
             "    \"states_deduped\": {}",
             self.explorer_states_deduped
+        );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"static_analysis\": {{");
+        let _ = writeln!(s, "    \"targets\": {},", self.analyze_targets);
+        let _ = writeln!(s, "    \"findings\": {},", self.analyze_findings);
+        let _ = writeln!(s, "    \"wall_ms\": {:.3},", self.analyze_wall_ms);
+        let _ = writeln!(
+            s,
+            "    \"targets_per_second\": {:.0}",
+            self.analyze_targets_per_second()
         );
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"verify\": {{");
@@ -264,6 +287,29 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
     let _ = table4(crate::scales::table4());
     let t4 = ms(t);
 
+    // Static analysis: the full ras-lint sweep — every pass over every
+    // bundled workload, plus sequence inference. Errors mean the
+    // analyzer or a workload regressed; either way the point must not
+    // be recorded.
+    let t = Instant::now();
+    let set = ras_kernel::DesignatedSet::standard();
+    let sweep = ras_analyze::bundled_workloads();
+    let analyze_targets = sweep.len();
+    let mut analyze_findings = 0usize;
+    for target in &sweep {
+        let analysis = ras_analyze::analyze(&target.program, &set);
+        if analysis.has_errors() {
+            return Err(format!(
+                "static analysis reports errors in {}: {:?}",
+                target.name,
+                analysis.errors().collect::<Vec<_>>()
+            ));
+        }
+        analyze_findings += analysis.diags.len();
+        let _ = ras_analyze::infer_sequences(&target.program);
+    }
+    let analyze_wall_ms = ms(t);
+
     // End-to-end verification.
     let t = Instant::now();
     let verification = verify_reproduction(&VerifyScale::default());
@@ -294,6 +340,9 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
         explorer_states_deduped: mc.targets.iter().map(|t| t.states_deduped).sum(),
         verify_wall_ms,
         verify_claims: verification.claims.len(),
+        analyze_targets,
+        analyze_findings,
+        analyze_wall_ms,
     })
 }
 
@@ -340,7 +389,10 @@ mod tests {
             explorer_snapshot_bytes: 65_536,
             explorer_states_deduped: 7,
             verify_wall_ms: 485.0,
-            verify_claims: 18,
+            verify_claims: 21,
+            analyze_targets: 92,
+            analyze_findings: 0,
+            analyze_wall_ms: 460.0,
         };
         let json = point.to_json(3);
         for needle in [
@@ -355,6 +407,10 @@ mod tests {
             "\"snapshot_bytes\": 65536",
             "\"states_deduped\": 7",
             "\"speedup_vs_baseline\": 2.00",
+            "\"static_analysis\": {",
+            "\"targets\": 92",
+            "\"findings\": 0",
+            "\"targets_per_second\": 200",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

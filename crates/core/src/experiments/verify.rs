@@ -157,6 +157,89 @@ pub fn verify_reproduction(scale: &VerifyScale) -> Verification {
         },
     ));
 
+    // ---- Dataflow analysis (table 0: lockset verdicts, DESIGN.md §13) -----
+    // The lockset abstract interpretation must find nothing to prove racy
+    // in any bundled workload, and sequence inference must reproduce every
+    // hand-declared restartable range exactly — the tool can name the
+    // declarations the guest authors wrote by hand.
+    {
+        let sweep = ras_analyze::bundled_workloads();
+        let mut racy = Vec::new();
+        let mut misinferred = Vec::new();
+        for t in &sweep {
+            if ras_analyze::analyze(&t.program, &set).has_errors() {
+                racy.push(t.name.clone());
+            }
+            let inferred: Vec<_> = ras_analyze::infer_sequences(&t.program)
+                .iter()
+                .filter(|i| i.already_declared)
+                .map(|i| i.range)
+                .collect();
+            let mut declared = t.program.seq_ranges().to_vec();
+            declared.sort_by_key(|r| r.start);
+            if inferred != declared {
+                misinferred.push(t.name.clone());
+            }
+        }
+        claims.push(claim(
+            0,
+            "no bundled workload has a statically provable race under any mechanism",
+            racy.is_empty(),
+            if racy.is_empty() {
+                format!("{} targets sweep clean", sweep.len())
+            } else {
+                format!("racy: {}", racy.join(", "))
+            },
+        ));
+        claims.push(claim(
+            0,
+            "sequence inference reproduces every hand-declared restartable range",
+            misinferred.is_empty(),
+            if misinferred.is_empty() {
+                format!("declared ranges recovered across {} targets", sweep.len())
+            } else {
+                format!("mismatch in: {}", misinferred.join(", "))
+            },
+        ));
+    }
+    {
+        // Cross-validate the static verdict against the model checker on the
+        // ablated target: the words the lockset proves racy must be exactly
+        // the words the exhaustive search races (no false positives, none
+        // missed). Bound 3 saturates the ablated race set without hitting
+        // the schedule cap.
+        let config = ras_model::CheckConfig {
+            preemption_bound: 3,
+            ..Default::default()
+        };
+        let target = *ras_model::ModelTarget::all()
+            .iter()
+            .find(|t| t.ablated)
+            .expect("the matrix includes an ablated target");
+        let report = ras_model::race_report(target, &config);
+        let spec = ras_guest::workloads::ModelSpec {
+            iterations: config.iterations,
+            workers: config.workers,
+        };
+        let mut built = ras_guest::workloads::model_counter(target.mechanism, target.flavor, &spec);
+        built.strategy = ras_kernel::StrategyKind::None;
+        let cfg = ras_analyze::Cfg::build(&built.program);
+        let ls_config = ras_analyze::LocksetConfig::for_guest(&built);
+        let ls = ras_analyze::lockset(&built.program, &cfg, &ls_config);
+        let statics = ls.racy_words();
+        let dynamic = report.raced_words();
+        claims.push(claim(
+            0,
+            "the lockset analysis and the model checker name exactly the same \
+             racy words on the ablated sequence",
+            !dynamic.is_empty() && statics == dynamic && !report.hit_schedule_cap,
+            format!(
+                "static {statics:x?} vs dynamic {dynamic:x?} over {} schedules",
+                report.schedules
+            ),
+        ));
+    }
+
     // ---- Model checking (table 0: the safety claims, exhaustively) --------
     // The timer experiments above *sample* interleavings; the model checker
     // enumerates them. Every (mechanism × flavor) target must hold its

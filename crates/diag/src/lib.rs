@@ -91,6 +91,26 @@ pub enum DiagKind {
     /// A load and a store to the same word with no visible protection —
     /// a naive read-modify-write that preemption can tear.
     UnprotectedRmw,
+    /// A read-modify-write window the lockset analysis *proved* racy:
+    /// concurrently-running threads reach conflicting plain accesses to
+    /// the same word with no common lock, atomic sequence, or hardware
+    /// window — the paper's §2 lost-update hazard, as a verdict rather
+    /// than a suspicion.
+    RacyRmw,
+    /// A lock is acquired on a path where the analysis proves it is
+    /// already held; the re-acquire can never succeed and the thread
+    /// spins against itself.
+    DoubleAcquire,
+    /// A release-shaped store (clearing a known lock word) on a path
+    /// where the lock cannot be held; the clear hands the lock to a
+    /// thread that never owned it.
+    ReleaseNotHeld,
+    /// A thread-exit path on which a lock is still provably held; no
+    /// other thread can ever acquire it again.
+    LockLeak,
+    /// Two locks are nested in both orders somewhere in the program —
+    /// the classic deadlock recipe, flagged at the second acquisition.
+    LockOrderInversion,
     /// Two unordered conflicting accesses to the same shared word, found
     /// by the happens-before race sanitizer during model checking.
     DataRace,
@@ -113,7 +133,7 @@ pub enum DiagKind {
 
 impl DiagKind {
     /// Every kind, in declaration order — for exhaustiveness tests.
-    pub fn all() -> [DiagKind; 19] {
+    pub fn all() -> [DiagKind; 24] {
         [
             DiagKind::InvalidRange,
             DiagKind::OverlappingRanges,
@@ -128,6 +148,11 @@ impl DiagKind {
             DiagKind::LandmarkCollision,
             DiagKind::AmbiguousTemplates,
             DiagKind::UnprotectedRmw,
+            DiagKind::RacyRmw,
+            DiagKind::DoubleAcquire,
+            DiagKind::ReleaseNotHeld,
+            DiagKind::LockLeak,
+            DiagKind::LockOrderInversion,
             DiagKind::DataRace,
             DiagKind::MutexViolation,
             DiagKind::LostUpdate,
@@ -153,6 +178,11 @@ impl DiagKind {
             DiagKind::LandmarkCollision => "landmark-collision",
             DiagKind::AmbiguousTemplates => "ambiguous-templates",
             DiagKind::UnprotectedRmw => "unprotected-rmw",
+            DiagKind::RacyRmw => "racy-rmw",
+            DiagKind::DoubleAcquire => "double-acquire",
+            DiagKind::ReleaseNotHeld => "release-not-held",
+            DiagKind::LockLeak => "lock-leak",
+            DiagKind::LockOrderInversion => "lock-order-inversion",
             DiagKind::DataRace => "data-race",
             DiagKind::MutexViolation => "mutex-violation",
             DiagKind::LostUpdate => "lost-update",
@@ -165,7 +195,10 @@ impl DiagKind {
     /// The severity this kind always carries.
     pub fn severity(self) -> Severity {
         match self {
-            DiagKind::UnprotectedRmw | DiagKind::LivelockSuspect => Severity::Warning,
+            DiagKind::UnprotectedRmw
+            | DiagKind::LivelockSuspect
+            | DiagKind::LockLeak
+            | DiagKind::LockOrderInversion => Severity::Warning,
             _ => Severity::Error,
         }
     }

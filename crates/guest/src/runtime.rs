@@ -463,6 +463,49 @@ mod tests {
     }
 
     #[test]
+    fn lock_entry_and_exit_points_carry_their_analyzer_symbols() {
+        // The static lockset pass (`ras-analyze`) summarizes calls into
+        // the runtime *by symbol name*: `__mutex_acquire` must-acquires
+        // the lock in `$a0`, `__mutex_release` releases it,
+        // `__tas_registered` / `__meta_tas` return Test-And-Set results,
+        // `__lamport_enter`/`__lamport_exit` bracket protocol (a)'s
+        // critical sections, and any `__`-prefixed region is trusted
+        // runtime interior (its unprovable windows are not warned about).
+        // Renaming or unbinding any of these silently blinds the
+        // analysis, so the binding is a cross-crate contract, not a
+        // debugging nicety.
+        for mechanism in Mechanism::all() {
+            let mut b = GuestBuilder::new(mechanism, 4);
+            let rt = b.rt().clone();
+            let main = b.asm().here();
+            b.asm().jr(Reg::RA);
+            let built = b.finish(main).unwrap();
+            let sym = |name: &str| built.program.symbol(name);
+            assert_eq!(
+                sym("__mutex_acquire"),
+                Some(rt.mutex_acquire_fn),
+                "{mechanism}"
+            );
+            assert_eq!(
+                sym("__mutex_release"),
+                Some(rt.mutex_release_fn),
+                "{mechanism}"
+            );
+            assert_eq!(sym("__cv_wait"), Some(rt.cv_wait_fn), "{mechanism}");
+            assert_eq!(sym("__cv_signal"), Some(rt.cv_signal_fn), "{mechanism}");
+            assert_eq!(
+                sym("__cv_broadcast"),
+                Some(rt.cv_broadcast_fn),
+                "{mechanism}"
+            );
+            assert_eq!(sym("__tas_registered"), rt.tas_fn, "{mechanism}");
+            assert_eq!(sym("__meta_tas"), rt.meta_tas_fn, "{mechanism}");
+            assert_eq!(sym("__lamport_enter"), rt.lamport_enter, "{mechanism}");
+            assert_eq!(sym("__lamport_exit"), rt.lamport_exit, "{mechanism}");
+        }
+    }
+
+    #[test]
     fn registered_mechanism_records_its_window() {
         let mut b = GuestBuilder::new(Mechanism::RasRegistered, 2);
         let main = b.asm().here();

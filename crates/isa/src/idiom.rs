@@ -1,0 +1,268 @@
+//! Decoded lock-idiom metadata: the instruction shapes the guest runtime
+//! uses to acquire and release locks, recognized at the ISA layer so
+//! static analyses (`ras-analyze`) and the guest codegen agree on what a
+//! Test-And-Set, a zero-test, and a release look like.
+//!
+//! Everything here is purely syntactic — no dataflow. Where an idiom
+//! depends on a register's *value* (a lock address reaching `$a0`, a
+//! syscall number reaching `$v0` through a join), a dataflow client
+//! refines these answers; these helpers cover the directly-decodable
+//! core every emitter in `ras-guest` produces.
+
+use crate::abi;
+use crate::{CodeAddr, Cond, Inst, Opcode, Reg};
+
+/// A conditional branch testing one register against zero (`beqz`/`bnez`
+/// shapes: one comparand is `$zero`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ZeroTest {
+    /// The register being tested.
+    pub reg: Reg,
+    /// `true` if the *taken* edge is the `reg == 0` outcome (i.e. the
+    /// branch is `beqz`); `false` if the fall-through edge is.
+    pub zero_when_taken: bool,
+}
+
+/// Decodes a branch comparing `reg` against the hardwired zero register.
+///
+/// This is the acquire decision of every TAS-based lock: the old value of
+/// the lock word is zero-tested, and the zero edge is the "was free, now
+/// mine" path.
+pub fn zero_test(inst: &Inst) -> Option<ZeroTest> {
+    let Inst::Branch { cond, rs, rt, .. } = *inst else {
+        return None;
+    };
+    let reg = match (rs.is_zero(), rt.is_zero()) {
+        (false, true) => rs,
+        (true, false) => rt,
+        _ => return None,
+    };
+    match cond {
+        Cond::Eq => Some(ZeroTest {
+            reg,
+            zero_when_taken: true,
+        }),
+        Cond::Ne => Some(ZeroTest {
+            reg,
+            zero_when_taken: false,
+        }),
+        _ => None,
+    }
+}
+
+/// Decodes a release-shaped store: `sw $zero, off(base)` — the atomic
+/// clear of Figure 3, the only way any mechanism releases a raw lock.
+/// Returns the addressing pair.
+pub fn release_store(inst: &Inst) -> Option<(Reg, i32)> {
+    match *inst {
+        Inst::Sw { rs, base, off } if rs.is_zero() => Some((base, off)),
+        _ => None,
+    }
+}
+
+/// The syscall number statically visible at the `syscall` at `pc`: walks
+/// backward over instructions that neither write `$v0` nor transfer
+/// control, looking for the `li $v0, N` every `ras-guest` call sequence
+/// emits. Returns `None` when the number is set indirectly (a dataflow
+/// client can still resolve those through constant propagation).
+pub fn static_syscall_number(code: &[Inst], pc: CodeAddr) -> Option<i32> {
+    if code.get(pc as usize)?.opcode() != Opcode::Syscall {
+        return None;
+    }
+    let mut at = pc;
+    for _ in 0..8 {
+        at = at.checked_sub(1)?;
+        let inst = code.get(at as usize)?;
+        if let Inst::Li { rd, imm } = *inst {
+            if rd == Reg::V0 {
+                return Some(imm);
+            }
+            continue;
+        }
+        if inst.def() == Some(Reg::V0) || inst.is_control() {
+            return None;
+        }
+    }
+    None
+}
+
+/// Whether the statically-visible syscall at `pc` is the kernel-emulated
+/// Test-And-Set trap (§2.3).
+pub fn is_tas_syscall(code: &[Inst], pc: CodeAddr) -> bool {
+    static_syscall_number(code, pc) == Some(abi::SYS_TAS as i32)
+}
+
+/// A load→store window over one memory word — the body shape shared by
+/// every software Test-And-Set and designated read-modify-write sequence
+/// (Figures 4 and 5, and the xchg/cas/faa sequences of §4.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RmwWindow {
+    /// Address of the load.
+    pub load_pc: CodeAddr,
+    /// Address of the committing store.
+    pub store_pc: CodeAddr,
+    /// Base register of both accesses.
+    pub base: Reg,
+    /// Byte offset of both accesses.
+    pub off: i32,
+    /// The register the store writes back (the "set" value).
+    pub stored: Reg,
+}
+
+/// From a load at `load_pc`, scans forward (strictly below `limit`) for a
+/// store back to the *same* addressing pair, with the base register intact
+/// in between — the committing store of a TAS-shaped window. Interior
+/// branches are skipped (the inline TAS and CAS shapes branch out before
+/// their store); calls, syscalls, other stores to the same base, and any
+/// redefinition of the base end the scan.
+pub fn rmw_window(code: &[Inst], load_pc: CodeAddr, limit: CodeAddr) -> Option<RmwWindow> {
+    let Inst::Lw { base, off, .. } = *code.get(load_pc as usize)? else {
+        return None;
+    };
+    let limit = limit.min(code.len() as CodeAddr);
+    for pc in load_pc + 1..limit {
+        let inst = code.get(pc as usize)?;
+        match *inst {
+            Inst::Sw {
+                rs,
+                base: sb,
+                off: so,
+            } => {
+                if sb == base && so == off {
+                    return Some(RmwWindow {
+                        load_pc,
+                        store_pc: pc,
+                        base,
+                        off,
+                        stored: rs,
+                    });
+                }
+                return None;
+            }
+            Inst::Syscall | Inst::Tas { .. } | Inst::BeginAtomic | Inst::Halt => return None,
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Jr { .. } | Inst::J { .. } => return None,
+            _ => {
+                if inst.def() == Some(base) {
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asm;
+
+    #[test]
+    fn zero_tests_decode_both_polarities() {
+        let mut asm = Asm::new();
+        let out = asm.label();
+        asm.beqz(Reg::V0, out);
+        asm.bnez(Reg::T0, out);
+        asm.blt(Reg::V0, Reg::ZERO, out);
+        asm.beq(Reg::T1, Reg::T2, out);
+        asm.bind(out);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(
+            zero_test(&p.fetch(0).unwrap()),
+            Some(ZeroTest {
+                reg: Reg::V0,
+                zero_when_taken: true
+            })
+        );
+        assert_eq!(
+            zero_test(&p.fetch(1).unwrap()),
+            Some(ZeroTest {
+                reg: Reg::T0,
+                zero_when_taken: false
+            })
+        );
+        assert_eq!(
+            zero_test(&p.fetch(2).unwrap()),
+            None,
+            "blt is not a zero test"
+        );
+        assert_eq!(zero_test(&p.fetch(3).unwrap()), None, "two live comparands");
+    }
+
+    #[test]
+    fn release_store_requires_the_zero_register() {
+        let clear = Inst::Sw {
+            rs: Reg::ZERO,
+            base: Reg::A0,
+            off: 4,
+        };
+        assert_eq!(release_store(&clear), Some((Reg::A0, 4)));
+        let set = Inst::Sw {
+            rs: Reg::T0,
+            base: Reg::A0,
+            off: 4,
+        };
+        assert_eq!(release_store(&set), None);
+    }
+
+    #[test]
+    fn syscall_numbers_scan_past_argument_setup() {
+        // The spawn sequence loads the number first, then arguments.
+        let mut asm = Asm::new();
+        asm.li(Reg::V0, abi::SYS_SPAWN as i32);
+        asm.li(Reg::A0, 9);
+        asm.syscall();
+        asm.li(Reg::V0, abi::SYS_TAS as i32);
+        asm.syscall();
+        asm.mv(Reg::V0, Reg::T0); // number comes from a register: opaque
+        asm.syscall();
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(
+            static_syscall_number(p.code(), 2),
+            Some(abi::SYS_SPAWN as i32)
+        );
+        assert!(is_tas_syscall(p.code(), 4));
+        assert_eq!(static_syscall_number(p.code(), 6), None);
+        assert_eq!(static_syscall_number(p.code(), 0), None, "not a syscall");
+    }
+
+    #[test]
+    fn rmw_windows_match_the_tas_shapes() {
+        // Figure 5's inline TAS: lw; li; bnez; landmark; sw.
+        let mut asm = Asm::new();
+        let out = asm.label();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.li(Reg::T0, 1);
+        asm.bnez(Reg::V0, out);
+        asm.landmark();
+        asm.sw(Reg::T0, Reg::A0, 0);
+        asm.bind(out);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let w = rmw_window(p.code(), 0, p.len() as CodeAddr).unwrap();
+        assert_eq!(
+            (w.store_pc, w.base, w.off, w.stored),
+            (4, Reg::A0, 0, Reg::T0)
+        );
+    }
+
+    #[test]
+    fn rmw_windows_stop_at_base_redefinition_and_calls() {
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.li(Reg::A0, 64); // base redefined: different word
+        asm.sw(Reg::V0, Reg::A0, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(rmw_window(p.code(), 0, p.len() as CodeAddr), None);
+
+        let mut asm = Asm::new();
+        asm.lw(Reg::V0, Reg::A0, 0);
+        asm.jal_to(3);
+        asm.sw(Reg::V0, Reg::A0, 0);
+        asm.jr(Reg::RA);
+        let p = asm.finish().unwrap();
+        assert_eq!(rmw_window(p.code(), 0, p.len() as CodeAddr), None);
+    }
+}

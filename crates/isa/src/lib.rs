@@ -43,6 +43,7 @@ mod asm;
 mod decoded;
 mod encode;
 mod error;
+pub mod idiom;
 mod inst;
 mod layout;
 mod parse;

@@ -509,6 +509,14 @@ pub(crate) struct Explorer<'a> {
     violations: Vec<Violation>,
     race_keys: Vec<(u32, u32, u32)>,
     races: Vec<Diagnostic>,
+    /// Truncate a branch at the first decision point where the guest has
+    /// already recorded a mutual-exclusion violation (the default: the
+    /// suffix proves nothing more about safety). [`race_report`] turns
+    /// this off — the violating suffixes are exactly where the ablated
+    /// target's late-shared words (the `violations` tally itself) get
+    /// their conflicting accesses, and the happens-before sanitizer must
+    /// see them to witness every statically racy word.
+    stop_on_violation: bool,
     /// Snapshot siblings via undo-log checkpoints instead of clones.
     use_checkpoints: bool,
     /// When set, `dfs` stops at decision points of this depth and
@@ -561,6 +569,7 @@ impl<'a> Explorer<'a> {
             violations: Vec::new(),
             race_keys: Vec::new(),
             races: Vec::new(),
+            stop_on_violation: true,
             use_checkpoints: config.checkpoints,
             spawn_at: None,
             tasks: Vec::new(),
@@ -751,7 +760,8 @@ impl<'a> Explorer<'a> {
         // default continuation is first run out to harvest the companion
         // lost-update evidence (the same interleaving that breaks mutual
         // exclusion also drops an increment).
-        if self.target.mutex_checked() && self.violations_word(kernel) > 0 {
+        if self.stop_on_violation && self.target.mutex_checked() && self.violations_word(kernel) > 0
+        {
             self.schedules += 1;
             self.record(
                 DiagKind::MutexViolation,
@@ -1427,6 +1437,76 @@ pub fn check_target(target: ModelTarget, config: &CheckConfig) -> TargetReport {
     let mut explorer = Explorer::new(target, config);
     explorer.run();
     explorer.into_report()
+}
+
+/// One deduplicated race site found by the happens-before sanitizer:
+/// two unordered conflicting plain accesses to `addr`, the earlier at
+/// `prior_pc`, the later at `pc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RaceSite {
+    /// The shared data word both accesses touched.
+    pub addr: u32,
+    /// PC of the earlier access of the unordered pair.
+    pub prior_pc: u32,
+    /// PC of the access that completed the race.
+    pub pc: u32,
+}
+
+/// The happens-before sanitizer's view of one target, exported for the
+/// static↔dynamic differential harness in `ras-analyze`'s test suite.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// The explored target.
+    pub target: ModelTarget,
+    /// Maximal schedules explored.
+    pub schedules: u64,
+    /// The schedule cap was hit; the race set may be incomplete.
+    pub hit_schedule_cap: bool,
+    /// Every distinct race site, in discovery (DFS) order.
+    pub races: Vec<RaceSite>,
+    /// The restartable ranges the detector treated as protected (empty
+    /// under the rollback ablation): accesses from these pcs classify
+    /// their words as synchronization, never as race participants — the
+    /// dynamic mirror of the static lockset's `Sync` verdict.
+    pub protected: Vec<SeqRange>,
+}
+
+impl RaceReport {
+    /// The distinct shared words involved in at least one race, sorted.
+    pub fn raced_words(&self) -> Vec<u32> {
+        let mut words: Vec<u32> = self.races.iter().map(|r| r.addr).collect();
+        words.sort_unstable();
+        words.dedup();
+        words
+    }
+}
+
+/// Explores `target` purely for its race set and returns every race site
+/// the happens-before sanitizer found.
+///
+/// Unlike [`check_target`], branches are *not* truncated at the first
+/// recorded mutual-exclusion violation: on the ablated target the
+/// post-violation suffixes are where the guest's violation tally becomes
+/// a second-thread-shared word, and cutting them would hide exactly the
+/// races the static lockset pass predicts. On safe targets the two
+/// entry points explore identical trees (the violation word never
+/// rises), so their race sets agree by construction.
+pub fn race_report(target: ModelTarget, config: &CheckConfig) -> RaceReport {
+    let mut explorer = Explorer::new(target, config);
+    explorer.stop_on_violation = false;
+    explorer.run();
+    let races = explorer
+        .race_keys
+        .iter()
+        .map(|&(addr, prior_pc, pc)| RaceSite { addr, prior_pc, pc })
+        .collect();
+    RaceReport {
+        target,
+        schedules: explorer.schedules,
+        hit_schedule_cap: explorer.hit_cap,
+        races,
+        protected: explorer.protected_ranges(),
+    }
 }
 
 /// [`check_target`] with deterministic root-splitting: the first

@@ -41,8 +41,8 @@ pub mod pathset;
 pub mod schedule;
 
 pub use explore::{
-    check_target, check_target_split, check_targets_split, counterexample_trace, CheckConfig,
-    ModelTarget, TargetReport, Violation,
+    check_target, check_target_split, check_targets_split, counterexample_trace, race_report,
+    CheckConfig, ModelTarget, RaceReport, RaceSite, TargetReport, Violation,
 };
 pub use hb::{Race, RaceDetector};
 pub use pathset::PathSet;
