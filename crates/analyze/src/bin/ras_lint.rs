@@ -20,6 +20,11 @@
 //! Sequences that follow the designated templates are detected
 //! automatically from their landmarks and verified as if declared.
 //!
+//! Every target's report states the atomicity strategy its image
+//! carries — declared restartable sequences (`ras`), rseq descriptors
+//! (`rseq`), both, or `none` — as a header line in text mode and as the
+//! `strategy`/`sequences`/`rseq_descriptors` fields in `--json`.
+//!
 //! Output is deterministic: targets in argument order (workloads in
 //! their fixed enumeration order after the files), findings sorted by
 //! address, proposals sorted by start — byte-identical across runs, so
@@ -147,6 +152,21 @@ fn load_file(path: &str, opts: &Options, set: &DesignatedSet) -> Result<Target, 
     })
 }
 
+/// Which atomicity machinery the target's image carries — the mode the
+/// verifier families run in: declared restartable sequences (`ras`),
+/// published rseq descriptors (`rseq`), both, or neither.
+fn strategy_of(program: &Program) -> &'static str {
+    match (
+        !program.seq_ranges().is_empty(),
+        !program.rseq_descs().is_empty(),
+    ) {
+        (true, true) => "ras+rseq",
+        (true, false) => "ras",
+        (false, true) => "rseq",
+        (false, false) => "none",
+    }
+}
+
 fn inferred_json(inferred: &[InferredSeq]) -> String {
     let items: Vec<String> = inferred
         .iter()
@@ -206,10 +226,15 @@ fn main() -> ExitCode {
             .iter()
             .filter(|d| d.severity() == Severity::Warning)
             .count();
+        let strategy = strategy_of(&t.program);
         if opts.json {
             let mut entry = format!(
-                "{{\"file\": \"{}\", \"diagnostics\": {}",
+                "{{\"file\": \"{}\", \"strategy\": \"{}\", \"sequences\": {}, \
+                 \"rseq_descriptors\": {}, \"diagnostics\": {}",
                 t.name.replace('\\', "\\\\").replace('"', "\\\""),
+                strategy,
+                t.program.seq_ranges().len(),
+                t.program.rseq_descs().len(),
                 render_json(diags).replace('\n', "")
             );
             if opts.infer {
@@ -218,6 +243,13 @@ fn main() -> ExitCode {
             entry.push('}');
             json_entries.push(entry);
         } else {
+            println!(
+                "{}: strategy {} ({} declared sequence(s), {} rseq descriptor(s))",
+                t.name,
+                strategy,
+                t.program.seq_ranges().len(),
+                t.program.rseq_descs().len()
+            );
             for d in diags {
                 print!("{}: {}", t.name, d.render(&t.program));
             }

@@ -26,10 +26,16 @@
 //! * [`races`] — the read-modify-write lint: the paper's motivating bug,
 //!   found statically and classified three ways (protected / proven racy
 //!   / unknown) using the lockset verdicts.
+//! * [`mod@abort_safety`] — the rseq abort-handler safety verifier:
+//!   window shape per descriptor, plus a dataflow walk from every
+//!   `abort_ip` proving the handler performs no visible side effects,
+//!   touches no lock-protected words, and never re-enters a window
+//!   without republishing its descriptor.
 //!
 //! [`analyze`] runs everything and returns the findings sorted by
 //! address; the `ras-lint` binary wraps it for `.s` files on disk.
 
+pub mod abort_safety;
 pub mod absint;
 pub mod cfg;
 pub mod diag;
@@ -40,6 +46,7 @@ pub mod races;
 pub mod sweep;
 pub mod verify;
 
+pub use abort_safety::abort_safety;
 pub use cfg::{BasicBlock, Cfg};
 pub use diag::{json_escape, render_json, DiagKind, Diagnostic, Severity};
 pub use infer::{infer_sequences, InferredSeq};
@@ -98,6 +105,7 @@ pub fn analyze(program: &Program, set: &DesignatedSet) -> Analysis {
     diags.extend(verify_declared(program));
     diags.extend(lint_landmarks(program, set));
     diags.extend(rmw_diags(program, set, &ls));
+    diags.extend(abort_safety::abort_safety(program, &cfg, &ls));
     diags.extend(ls.diags.iter().cloned());
     diags.sort_by_key(|d| (d.addr, d.severity() == Severity::Warning, d.kind.code()));
     Analysis {

@@ -390,6 +390,15 @@ impl<'a> LocksetDomain<'a> {
             "__tas_registered" => CallKind::Tas {
                 atomic: self.in_protected(addr).is_some() || self.is_kernel_tas_body(addr),
             },
+            // The rseq TAS is atomic when its descriptor window is in the
+            // protected set (dual-declared, and the strategy honors it);
+            // under the `None` ablation the window aborts nothing.
+            "__rseq_tas" => CallKind::Tas {
+                atomic: self.program.rseq_descs().iter().any(|d| {
+                    self.region_of(d.start_ip) == Some(name)
+                        && self.in_protected(d.start_ip).is_some()
+                }),
+            },
             "__meta_tas" => CallKind::Tas { atomic: true },
             "__mutex_acquire" | "__lamport_enter" | "__rw_write_lock" | "__rw_read_lock" => {
                 CallKind::Acquire

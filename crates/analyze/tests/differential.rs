@@ -16,10 +16,10 @@
 //! plain loads and stores, which a happens-before analysis cannot see.
 
 use ras_analyze::{lockset, Cfg, LocksetAnalysis, LocksetConfig};
-use ras_guest::workloads::{model_counter, ModelSpec};
-use ras_guest::BuiltGuest;
+use ras_guest::workloads::{model_counter, ModelSpec, TasFlavor};
+use ras_guest::{BuiltGuest, Mechanism};
 use ras_kernel::StrategyKind;
-use ras_model::{race_report, CheckConfig, ModelTarget};
+use ras_model::{check_target, race_report, CheckConfig, ModelTarget};
 
 /// The exploration depth. Bound 3 is the shallowest at which the ablated
 /// target's dynamic race set saturates to every shared word the static
@@ -121,6 +121,47 @@ fn ablated_target_races_exactly_the_words_the_lockset_names() {
     assert!(
         report.protected.is_empty(),
         "the ablation strips rollback: nothing is protected dynamically"
+    );
+}
+
+/// Static↔dynamic agreement for the abort-safety verdict itself: the
+/// full static pipeline proves the bundled rseq guest's abort handler
+/// safe (no `rseq-*` finding of any severity), and the model checker's
+/// exhaustive search — which provably drives preemptions into the
+/// published window and through that very handler — finds no violation,
+/// no race, and no livelock on the same binary.
+#[test]
+fn static_abort_safety_verdict_agrees_with_exhaustive_abort_exploration() {
+    let config = config();
+    let target = ModelTarget {
+        mechanism: Mechanism::Rseq,
+        flavor: TasFlavor::Tas,
+        ablated: false,
+    };
+    let built = build(target, &config);
+
+    let analysis = ras_analyze::analyze_standard(&built.program);
+    let rseq_findings: Vec<_> = analysis
+        .diags
+        .iter()
+        .filter(|d| d.kind.code().starts_with("rseq-"))
+        .collect();
+    assert!(
+        rseq_findings.is_empty(),
+        "the bundled rseq guest must verify abort-safe statically: {rseq_findings:#?}"
+    );
+    assert!(
+        !built.program.rseq_descs().is_empty(),
+        "the verdict must not be vacuous — the guest publishes a descriptor"
+    );
+
+    let report = check_target(target, &config);
+    assert!(report.ok(), "{:#?}", report.violations);
+    assert!(!report.hit_schedule_cap);
+    assert_eq!(report.livelock_suspects, 0);
+    assert!(
+        report.rseq_aborts > 0,
+        "the dynamic half must actually exercise the abort handler"
     );
 }
 

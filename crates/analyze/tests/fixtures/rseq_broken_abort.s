@@ -1,0 +1,22 @@
+# The same rseq test-and-set as rseq_tas.s, except the abort handler
+# performs a visible store *before* republishing the descriptor. An
+# abort lands here with the descriptor already consumed, so a second
+# preemption inside the handler replays that store — it is not
+# restart-safe, and the abort-safety pass must flag it as an error.
+.entry main
+.rseq win 3 abort 0x50
+main:
+  li   $a0, 0x40        # @0 lock address
+retry:
+  li   $t0, 0x60        # @1 registered rseq area slot
+  li   $v0, 0x50        # @2 descriptor address
+  sw   $v0, 0($t0)      # @3 publish
+win:
+  lw   $v0, 0($a0)      # @4 observe the lock
+  li   $t2, 1           # @5
+  sw   $t2, 0($a0)      # @6 commit: take the lock
+  jr   $ra              # @7 return the observed value
+abort:
+  li   $t3, 1           # @8
+  sw   $t3, 0($a0)      # @9 BROKEN: side effect before republication
+  j    retry            # @10

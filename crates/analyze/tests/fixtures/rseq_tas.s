@@ -1,0 +1,20 @@
+# A well-formed rseq test-and-set: the retry path publishes the
+# descriptor (stores its address 0x50 into the registered area slot),
+# the three-instruction window commits through its final store, and the
+# abort handler's only act is to jump back to the publishing retry
+# path. The abort-safety pass must prove this clean.
+.entry main
+.rseq win 3 abort 0x50
+main:
+  li   $a0, 0x40        # @0 lock address
+retry:
+  li   $t0, 0x60        # @1 registered rseq area slot
+  li   $v0, 0x50        # @2 descriptor address
+  sw   $v0, 0($t0)      # @3 publish
+win:
+  lw   $v0, 0($a0)      # @4 observe the lock
+  li   $t2, 1           # @5
+  sw   $t2, 0($a0)      # @6 commit: take the lock
+  jr   $ra              # @7 return the observed value
+abort:
+  j    retry            # @8 republish and retry — nothing else

@@ -38,6 +38,32 @@ fn json_report_with_declared_sequence_matches_the_golden_file() {
     assert_eq!(code, 0, "the declared range silences the window");
 }
 
+/// The well-formed bundled-style rseq section is proven abort-safe: the
+/// report names the `rseq` strategy, counts the descriptor, and carries
+/// no diagnostics.
+#[test]
+fn clean_rseq_fixture_is_proven_abort_safe() {
+    // ras-lint --json tests/fixtures/rseq_tas.s
+    let (stdout, code) = run_lint(&["--json", "tests/fixtures/rseq_tas.s"]);
+    assert_eq!(stdout, include_str!("golden/rseq_tas.json"));
+    assert_eq!(code, 0, "the clean abort handler verifies");
+}
+
+/// The deliberately broken abort handler — a visible store before the
+/// descriptor republication — is flagged as an error, pinned byte for
+/// byte.
+#[test]
+fn broken_abort_handler_is_flagged_as_an_error() {
+    // ras-lint --json tests/fixtures/rseq_broken_abort.s
+    let (stdout, code) = run_lint(&["--json", "tests/fixtures/rseq_broken_abort.s"]);
+    assert_eq!(stdout, include_str!("golden/rseq_broken_abort.json"));
+    assert!(
+        stdout.contains("\"code\":\"rseq-handler-side-effect\""),
+        "{stdout}"
+    );
+    assert_eq!(code, 1, "an abort-safety error must fail the lint");
+}
+
 #[test]
 fn json_report_is_byte_identical_across_runs() {
     let args = ["--json", "--infer", "tests/fixtures/naive_counter.s"];

@@ -6,7 +6,9 @@
 //! `--verify` checks the paper's claims and exits nonzero on failure;
 //! `--metrics` prints the observability layer's rollback table (quantum
 //! expiries, preemptions inside sequences, rollbacks and wasted cycles
-//! per mechanism on a contended realistic workload);
+//! per mechanism on a contended realistic workload) followed by the
+//! recovery head-to-head (RAS restart vs rseq abort vs kernel
+//! emulation on one workload);
 //! `--bench-json` measures the harness itself (host wall time per table,
 //! interpreter throughput fast vs instrumented, explorer schedule rate,
 //! end-to-end verify time) and appends the next `BENCH_<n>.json` to the
@@ -22,6 +24,9 @@ fn main() {
         let rows =
             ras_core::experiments::rollback_table(&ras_core::experiments::RollbackScale::default());
         println!("{}", ras_core::experiments::render_rollback_table(&rows));
+        let rows =
+            ras_core::experiments::head_to_head(&ras_core::experiments::HeadToHeadScale::default());
+        println!("{}", ras_core::experiments::render_head_to_head(&rows));
         std::process::exit(0);
     }
     if bench_json {

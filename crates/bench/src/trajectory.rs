@@ -14,6 +14,9 @@
 //! * **tables** — host wall time of each of Tables 1–4 at bench scale;
 //! * **explorer** — a full model-check matrix, recording schedules
 //!   explored per second of host time;
+//! * **rseq** — the recovery head-to-head under a hostile quantum,
+//!   recording rseq aborts per hundred quanta beside the RAS rollback
+//!   rate; each strategy must recover only by its own means;
 //! * **verification** — the end-to-end `--verify` pass, whose 21 claims
 //!   must all hold, compared against the recorded pre-optimization
 //!   baseline wall time.
@@ -25,7 +28,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ras_core::experiments::{table1, table2, table3, table4, verify_reproduction, VerifyScale};
+use ras_core::experiments::{
+    head_to_head, table1, table2, table3, table4, verify_reproduction, HeadToHeadScale, VerifyScale,
+};
 use ras_core::{run_guest, RunOptions};
 use ras_guest::workloads::{counter_loop, CounterBody, CounterSpec};
 use ras_guest::Mechanism;
@@ -83,6 +88,16 @@ pub struct TrajectoryPoint {
     /// Host wall time of the full static-analysis sweep (every pass of
     /// `ras-analyze` plus sequence inference per target), milliseconds.
     pub analyze_wall_ms: f64,
+    /// RAS rollbacks in the head-to-head recovery pass.
+    pub ras_rollbacks: u64,
+    /// Quantum expiries of the head-to-head RAS run.
+    pub ras_quantum_expiries: u64,
+    /// rseq abort dispatches in the head-to-head recovery pass.
+    pub rseq_aborts: u64,
+    /// Quantum expiries of the head-to-head rseq run.
+    pub rseq_quantum_expiries: u64,
+    /// Host wall time of the head-to-head recovery pass, milliseconds.
+    pub headtohead_wall_ms: f64,
 }
 
 impl TrajectoryPoint {
@@ -115,6 +130,19 @@ impl TrajectoryPoint {
     /// [`BASELINE_EXPLORER_SCHEDULES_PER_SECOND`].
     pub fn explorer_speedup(&self) -> f64 {
         self.schedules_per_second() / BASELINE_EXPLORER_SCHEDULES_PER_SECOND
+    }
+
+    /// RAS rollbacks per hundred quantum expiries in the head-to-head
+    /// pass.
+    pub fn ras_rollbacks_per_100_quanta(&self) -> f64 {
+        per_100(self.ras_rollbacks, self.ras_quantum_expiries)
+    }
+
+    /// rseq abort dispatches per hundred quantum expiries in the
+    /// head-to-head pass — the rate to read against
+    /// [`TrajectoryPoint::ras_rollbacks_per_100_quanta`].
+    pub fn rseq_aborts_per_100_quanta(&self) -> f64 {
+        per_100(self.rseq_aborts, self.rseq_quantum_expiries)
     }
 
     /// Serializes the point as the `BENCH_<n>.json` document.
@@ -197,6 +225,31 @@ impl TrajectoryPoint {
             self.analyze_targets_per_second()
         );
         let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"rseq\": {{");
+        let _ = writeln!(s, "    \"aborts\": {},", self.rseq_aborts);
+        let _ = writeln!(
+            s,
+            "    \"quantum_expiries\": {},",
+            self.rseq_quantum_expiries
+        );
+        let _ = writeln!(
+            s,
+            "    \"aborts_per_100_quanta\": {:.3},",
+            self.rseq_aborts_per_100_quanta()
+        );
+        let _ = writeln!(s, "    \"ras_rollbacks\": {},", self.ras_rollbacks);
+        let _ = writeln!(
+            s,
+            "    \"ras_quantum_expiries\": {},",
+            self.ras_quantum_expiries
+        );
+        let _ = writeln!(
+            s,
+            "    \"ras_rollbacks_per_100_quanta\": {:.3},",
+            self.ras_rollbacks_per_100_quanta()
+        );
+        let _ = writeln!(s, "    \"wall_ms\": {:.3}", self.headtohead_wall_ms);
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"verify\": {{");
         let _ = writeln!(s, "    \"claims\": {},", self.verify_claims);
         let _ = writeln!(s, "    \"wall_ms\": {:.3},", self.verify_wall_ms);
@@ -214,6 +267,14 @@ impl TrajectoryPoint {
 
 fn rate(count: u64, wall_ms: f64) -> f64 {
     count as f64 / (wall_ms.max(1e-9) / 1_000.0)
+}
+
+fn per_100(events: u64, quanta: u64) -> f64 {
+    if quanta == 0 {
+        0.0
+    } else {
+        events as f64 * 100.0 / quanta as f64
+    }
 }
 
 fn ms(from: Instant) -> f64 {
@@ -310,6 +371,40 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
     }
     let analyze_wall_ms = ms(t);
 
+    // Head-to-head recovery pass: RAS restart against rseq abort on
+    // the same contended counter, under a quantum hostile enough that
+    // preemptions deterministically land inside the critical windows.
+    // Either strategy recovering by the other's means — or never
+    // recovering at all — is drift.
+    let t = Instant::now();
+    let rows = head_to_head(&HeadToHeadScale {
+        iterations: 1_500,
+        workers: 2,
+        spin: 100,
+        quantum: 503,
+    });
+    let headtohead_wall_ms = ms(t);
+    let recovery_row = |mechanism: Mechanism| {
+        rows.iter()
+            .find(|r| r.mechanism == mechanism)
+            .expect("head-to-head covers the mechanism")
+    };
+    let ras = recovery_row(Mechanism::RasInline);
+    let rseq = recovery_row(Mechanism::Rseq);
+    if ras.metrics.rseq_aborts != 0 || rseq.metrics.rollbacks != 0 {
+        return Err(format!(
+            "head-to-head recovery paths cross-contaminated: RAS saw {} rseq abort(s), \
+             rseq saw {} rollback(s)",
+            ras.metrics.rseq_aborts, rseq.metrics.rollbacks
+        ));
+    }
+    if ras.metrics.rollbacks == 0 || rseq.metrics.rseq_aborts == 0 {
+        return Err(format!(
+            "head-to-head quantum no longer exercises recovery: {} rollback(s), {} abort(s)",
+            ras.metrics.rollbacks, rseq.metrics.rseq_aborts
+        ));
+    }
+
     // End-to-end verification.
     let t = Instant::now();
     let verification = verify_reproduction(&VerifyScale::default());
@@ -343,6 +438,11 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
         analyze_targets,
         analyze_findings,
         analyze_wall_ms,
+        ras_rollbacks: ras.metrics.rollbacks,
+        ras_quantum_expiries: ras.metrics.quantum_expiries,
+        rseq_aborts: rseq.metrics.rseq_aborts,
+        rseq_quantum_expiries: rseq.metrics.quantum_expiries,
+        headtohead_wall_ms,
     })
 }
 
@@ -393,6 +493,11 @@ mod tests {
             analyze_targets: 92,
             analyze_findings: 0,
             analyze_wall_ms: 460.0,
+            ras_rollbacks: 426,
+            ras_quantum_expiries: 1_284,
+            rseq_aborts: 45,
+            rseq_quantum_expiries: 1_342,
+            headtohead_wall_ms: 12.5,
         };
         let json = point.to_json(3);
         for needle in [
@@ -411,6 +516,11 @@ mod tests {
             "\"targets\": 92",
             "\"findings\": 0",
             "\"targets_per_second\": 200",
+            "\"rseq\": {",
+            "\"aborts\": 45",
+            "\"aborts_per_100_quanta\": 3.353",
+            "\"ras_rollbacks\": 426",
+            "\"ras_rollbacks_per_100_quanta\": 33.178",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -1,0 +1,230 @@
+//! Head-to-head recovery-cost table: the paper's restartable atomic
+//! sequence against the rseq-style abort protocol and the pessimistic
+//! kernel-emulation baseline, on one workload.
+//!
+//! The three strategies price the same hazard differently. RAS rolls an
+//! interrupted sequence back to its start and re-executes it; rseq
+//! redirects an interrupted window to its abort handler, which
+//! republishes and retries; kernel emulation never gets interrupted at
+//! all because every Test-And-Set traps into the kernel up front. The
+//! table runs the identical contended counter under all three and puts
+//! the recovery events (rollbacks, aborts, emulation traps), their rate
+//! per hundred quanta, and the cycles they discard side by side — the
+//! optimistic strategies pay a rare recovery, the pessimistic one pays
+//! on every acquire.
+
+use ras_guest::workloads::{counter_loop, CounterBody, CounterSpec};
+use ras_guest::Mechanism;
+use ras_machine::CpuProfile;
+use ras_obs::Metrics;
+
+use crate::report::AsciiTable;
+use crate::{run_guest, Observe, RunOptions};
+
+/// Scale knob for [`head_to_head`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadToHeadScale {
+    /// Counter iterations per worker.
+    pub iterations: u32,
+    /// Worker threads sharing the counter.
+    pub workers: usize,
+    /// Non-critical spin work per iteration, in loop turns.
+    pub spin: u32,
+    /// Scheduler quantum in cycles.
+    pub quantum: u64,
+}
+
+impl Default for HeadToHeadScale {
+    fn default() -> HeadToHeadScale {
+        HeadToHeadScale {
+            iterations: 6_000,
+            workers: 2,
+            spin: 400,
+            quantum: 25_000,
+        }
+    }
+}
+
+/// The three strategies compared, optimistic first.
+pub const HEAD_TO_HEAD_MECHANISMS: [Mechanism; 3] = [
+    Mechanism::RasInline,
+    Mechanism::Rseq,
+    Mechanism::KernelEmulation,
+];
+
+/// One row of the head-to-head table.
+#[derive(Debug, Clone)]
+pub struct HeadToHeadRow {
+    /// The mechanism measured.
+    pub mechanism: Mechanism,
+    /// Total machine cycles for the run.
+    pub cycles: u64,
+    /// Kernel-emulated Test-And-Set traps (the pessimistic strategy's
+    /// per-acquire cost; zero for the optimistic strategies).
+    pub emulation_traps: u64,
+    /// The full metrics aggregate for the run.
+    pub metrics: Metrics,
+}
+
+impl HeadToHeadRow {
+    /// Recovery events: RAS rollbacks plus rseq abort dispatches.
+    pub fn recovery_events(&self) -> u64 {
+        self.metrics.rollbacks + self.metrics.rseq_aborts
+    }
+
+    /// Recovery events per hundred quantum expiries.
+    pub fn recovery_per_100_quanta(&self) -> f64 {
+        if self.metrics.quantum_expiries == 0 {
+            0.0
+        } else {
+            self.recovery_events() as f64 * 100.0 / self.metrics.quantum_expiries as f64
+        }
+    }
+
+    /// Straight-line cycles discarded by recovery: rolled-back work plus
+    /// aborted window work.
+    pub fn discarded_cycles(&self) -> u64 {
+        self.metrics.wasted_cycles + self.metrics.rseq_wasted_cycles
+    }
+}
+
+/// Runs the contended counter under each strategy and returns one row
+/// per mechanism, in [`HEAD_TO_HEAD_MECHANISMS`] order.
+pub fn head_to_head(scale: &HeadToHeadScale) -> Vec<HeadToHeadRow> {
+    let spec = CounterSpec {
+        iterations: scale.iterations,
+        workers: scale.workers,
+        body: CounterBody::LockCounterAndWork { spin: scale.spin },
+    };
+    let options = RunOptions {
+        quantum: scale.quantum,
+        observe: Observe::Metrics,
+        ..RunOptions::new(CpuProfile::r3000())
+    };
+    ras_par::parallel_map(&HEAD_TO_HEAD_MECHANISMS, |&mechanism| {
+        let report = run_guest(&counter_loop(mechanism, &spec), &options);
+        HeadToHeadRow {
+            mechanism,
+            cycles: report.cycles,
+            emulation_traps: report.stats.emulation_traps,
+            metrics: report.metrics.expect("metrics mode records metrics"),
+        }
+    })
+}
+
+/// Renders the rows as a paper-style ASCII table.
+pub fn render_head_to_head(rows: &[HeadToHeadRow]) -> String {
+    let mut t = AsciiTable::new(
+        "Recovery head-to-head: RAS restart vs rseq abort vs kernel emulation",
+        &[
+            "Strategy",
+            "Cycles",
+            "Quanta",
+            "Rollbacks",
+            "Aborts",
+            "Emul traps",
+            "Recov/100 quanta",
+            "Discarded cyc",
+        ],
+    );
+    for row in rows {
+        let m = &row.metrics;
+        t.row(vec![
+            row.mechanism.label().to_owned(),
+            row.cycles.to_string(),
+            m.quantum_expiries.to_string(),
+            m.rollbacks.to_string(),
+            m.rseq_aborts.to_string(),
+            row.emulation_traps.to_string(),
+            format!("{:.3}", row.recovery_per_100_quanta()),
+            row.discarded_cycles().to_string(),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Quantum 503 is deliberately hostile: preemptions sweep through the
+    // critical windows, so the run deterministically produces both RAS
+    // rollbacks and rseq aborts.
+    fn quick() -> Vec<HeadToHeadRow> {
+        head_to_head(&HeadToHeadScale {
+            iterations: 1_500,
+            workers: 2,
+            spin: 100,
+            quantum: 503,
+        })
+    }
+
+    #[test]
+    fn each_strategy_pays_only_its_own_recovery_cost() {
+        let rows = quick();
+        assert_eq!(rows.len(), HEAD_TO_HEAD_MECHANISMS.len());
+        for row in &rows {
+            assert!(
+                row.metrics.quantum_expiries > 0,
+                "{}: no quantum ever expired",
+                row.mechanism
+            );
+            match row.mechanism {
+                Mechanism::RasInline => {
+                    assert!(
+                        row.metrics.rollbacks > 0,
+                        "the hostile quantum forces rollbacks"
+                    );
+                    assert_eq!(row.metrics.rseq_aborts, 0);
+                    assert_eq!(row.emulation_traps, 0);
+                }
+                Mechanism::Rseq => {
+                    assert!(
+                        row.metrics.rseq_aborts > 0,
+                        "the hostile quantum forces aborts"
+                    );
+                    assert_eq!(row.metrics.rollbacks, 0);
+                    assert_eq!(row.emulation_traps, 0);
+                }
+                Mechanism::KernelEmulation => {
+                    assert_eq!(row.metrics.rollbacks, 0);
+                    assert_eq!(row.metrics.rseq_aborts, 0);
+                    assert!(
+                        row.emulation_traps > 0,
+                        "every acquire must trap under emulation"
+                    );
+                }
+                other => panic!("unexpected mechanism {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn optimistic_strategies_beat_the_trap_on_total_cycles() {
+        // The paper's core claim, §5: at realistic quanta the optimistic
+        // strategies' rare recovery is cheaper than trapping per acquire.
+        let rows = head_to_head(&HeadToHeadScale {
+            iterations: 1_500,
+            workers: 2,
+            spin: 100,
+            quantum: 25_000,
+        });
+        let cycles = |m: Mechanism| {
+            rows.iter()
+                .find(|r| r.mechanism == m)
+                .expect("row present")
+                .cycles
+        };
+        assert!(cycles(Mechanism::RasInline) < cycles(Mechanism::KernelEmulation));
+        assert!(cycles(Mechanism::Rseq) < cycles(Mechanism::KernelEmulation));
+    }
+
+    #[test]
+    fn rendering_contains_every_strategy() {
+        let rows = quick();
+        let text = render_head_to_head(&rows);
+        for row in &rows {
+            assert!(text.contains(row.mechanism.label()));
+        }
+    }
+}

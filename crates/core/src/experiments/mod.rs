@@ -8,6 +8,7 @@
 
 pub mod ablations;
 pub mod figures;
+mod headtohead;
 mod rollbacks;
 mod table1;
 mod table2;
@@ -15,6 +16,9 @@ mod table3;
 mod table4;
 mod verify;
 
+pub use headtohead::{
+    head_to_head, render_head_to_head, HeadToHeadRow, HeadToHeadScale, HEAD_TO_HEAD_MECHANISMS,
+};
 pub use rollbacks::{
     render_rollback_table, rollback_table, RollbackRow, RollbackScale, ROLLBACK_MECHANISMS,
 };

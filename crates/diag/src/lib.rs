@@ -129,11 +129,57 @@ pub enum DiagKind {
     /// The guest crashed (bad memory access, illegal instruction, bad PC,
     /// or an unexpected halt) under some explored schedule.
     GuestFault,
+    /// An rseq descriptor's window is empty-by-construction or extends
+    /// past the end of the code image.
+    RseqWindowOutOfBounds,
+    /// An rseq descriptor's `post_commit_offset` is zero: the window
+    /// contains no instructions, so the descriptor protects nothing.
+    RseqEmptyWindow,
+    /// The last instruction of an rseq window (the commit point) is not a
+    /// plain store — there is no single visible effect for the abort
+    /// protocol to make atomic.
+    RseqCommitNotStore,
+    /// A store before the commit point of an rseq window: an abort after
+    /// it leaves the side effect behind with no rollback.
+    RseqSideEffectBeforeCommit,
+    /// A syscall inside an rseq window; the kernel boundary is itself a
+    /// preemption point and its effects cannot be aborted.
+    RseqSyscallInWindow,
+    /// A call (or indirect jump) inside an rseq window; the callee runs
+    /// outside the descriptor's declared bounds.
+    RseqCallInWindow,
+    /// A branch inside an rseq window that is backward or lands on another
+    /// interior instruction: every early exit must jump forward past the
+    /// commit point.
+    RseqBranchInWindow,
+    /// `abort_ip` lies inside the window it handles; dispatching the
+    /// abort would land back in the aborted region.
+    RseqAbortInsideWindow,
+    /// The abort handler is reachable by normal control flow (fallthrough
+    /// or a jump from outside the window) rather than only via kernel
+    /// abort dispatch.
+    RseqAbortReachable,
+    /// Two rseq windows share instructions; a preemption in the overlap
+    /// has two candidate abort handlers.
+    RseqOverlappingWindows,
+    /// A path from the abort handler re-enters the window without first
+    /// republishing the descriptor; a second preemption there would not
+    /// be detected.
+    RseqStaleRetry,
+    /// The abort handler performs a visible side effect (an unresolvable
+    /// store or a call) before re-entering the window or exiting.
+    RseqHandlerSideEffect,
+    /// The abort handler reads or writes a word the lockset analysis
+    /// proved lock-protected — the abort path runs without the lock.
+    RseqHandlerTouchesProtected,
+    /// The abort handler makes a syscall other than `rseq`
+    /// re-registration or a clean thread exit.
+    RseqHandlerSyscall,
 }
 
 impl DiagKind {
     /// Every kind, in declaration order — for exhaustiveness tests.
-    pub fn all() -> [DiagKind; 24] {
+    pub fn all() -> [DiagKind; 38] {
         [
             DiagKind::InvalidRange,
             DiagKind::OverlappingRanges,
@@ -159,6 +205,20 @@ impl DiagKind {
             DiagKind::DeadlockFound,
             DiagKind::LivelockSuspect,
             DiagKind::GuestFault,
+            DiagKind::RseqWindowOutOfBounds,
+            DiagKind::RseqEmptyWindow,
+            DiagKind::RseqCommitNotStore,
+            DiagKind::RseqSideEffectBeforeCommit,
+            DiagKind::RseqSyscallInWindow,
+            DiagKind::RseqCallInWindow,
+            DiagKind::RseqBranchInWindow,
+            DiagKind::RseqAbortInsideWindow,
+            DiagKind::RseqAbortReachable,
+            DiagKind::RseqOverlappingWindows,
+            DiagKind::RseqStaleRetry,
+            DiagKind::RseqHandlerSideEffect,
+            DiagKind::RseqHandlerTouchesProtected,
+            DiagKind::RseqHandlerSyscall,
         ]
     }
 
@@ -189,6 +249,20 @@ impl DiagKind {
             DiagKind::DeadlockFound => "deadlock",
             DiagKind::LivelockSuspect => "livelock-suspect",
             DiagKind::GuestFault => "guest-fault",
+            DiagKind::RseqWindowOutOfBounds => "rseq-window-out-of-bounds",
+            DiagKind::RseqEmptyWindow => "rseq-empty-window",
+            DiagKind::RseqCommitNotStore => "rseq-commit-not-store",
+            DiagKind::RseqSideEffectBeforeCommit => "rseq-side-effect-before-commit",
+            DiagKind::RseqSyscallInWindow => "rseq-syscall-in-window",
+            DiagKind::RseqCallInWindow => "rseq-call-in-window",
+            DiagKind::RseqBranchInWindow => "rseq-branch-in-window",
+            DiagKind::RseqAbortInsideWindow => "rseq-abort-inside-window",
+            DiagKind::RseqAbortReachable => "rseq-abort-reachable",
+            DiagKind::RseqOverlappingWindows => "rseq-overlapping-windows",
+            DiagKind::RseqStaleRetry => "rseq-stale-retry",
+            DiagKind::RseqHandlerSideEffect => "rseq-handler-side-effect",
+            DiagKind::RseqHandlerTouchesProtected => "rseq-handler-touches-protected",
+            DiagKind::RseqHandlerSyscall => "rseq-handler-syscall",
         }
     }
 

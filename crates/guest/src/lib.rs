@@ -34,6 +34,7 @@ pub mod codegen;
 pub mod lamport;
 mod lock;
 mod mechanism;
+pub mod rseq;
 mod runtime;
 pub mod sync_extra;
 pub mod tas;

@@ -16,6 +16,7 @@ use ras_machine::CpuProfile;
 /// | [`Mechanism::LamportBundled`] | §2.2 protocol (b), Figure 2 | none |
 /// | [`Mechanism::UserLevelRestart`] | §4.1 | user-level redirect |
 /// | [`Mechanism::HardwareBit`] | §7 (i860) | hardware restart bit |
+/// | [`Mechanism::Rseq`] | modern descendant (Linux `rseq`) | rseq abort dispatch |
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Mechanism {
     /// Out-of-line restartable atomic sequence, explicitly registered with
@@ -40,11 +41,17 @@ pub enum Mechanism {
     UserLevelRestart,
     /// The i860's `begin_atomic` processor-status bit.
     HardwareBit,
+    /// Linux-`rseq`-style restartable sequences with abort handlers: each
+    /// thread registers an rseq area with the kernel (`SYS_RSEQ`),
+    /// publishes a critical-section descriptor before entering the window,
+    /// and is redirected to the descriptor's abort handler — not the
+    /// window top — when preempted inside it.
+    Rseq,
 }
 
 impl Mechanism {
     /// All mechanisms, in presentation order.
-    pub fn all() -> [Mechanism; 8] {
+    pub fn all() -> [Mechanism; 9] {
         [
             Mechanism::RasRegistered,
             Mechanism::RasInline,
@@ -54,6 +61,7 @@ impl Mechanism {
             Mechanism::LamportBundled,
             Mechanism::UserLevelRestart,
             Mechanism::HardwareBit,
+            Mechanism::Rseq,
         ]
     }
 
@@ -80,6 +88,7 @@ impl Mechanism {
             Mechanism::LamportBundled => "lamport-b",
             Mechanism::UserLevelRestart => "user-level",
             Mechanism::HardwareBit => "hardware-bit",
+            Mechanism::Rseq => "rseq",
         }
     }
 
@@ -94,6 +103,7 @@ impl Mechanism {
             Mechanism::LamportBundled => "Software-reservation (b)",
             Mechanism::UserLevelRestart => "User-Level Restart",
             Mechanism::HardwareBit => "Hardware Restart Bit (i860)",
+            Mechanism::Rseq => "Restartable Sequences (abort handler)",
         }
     }
 
@@ -106,6 +116,7 @@ impl Mechanism {
                 | Mechanism::RasInline
                 | Mechanism::UserLevelRestart
                 | Mechanism::HardwareBit
+                | Mechanism::Rseq
         )
     }
 
@@ -127,6 +138,7 @@ impl Mechanism {
             Mechanism::RasRegistered => StrategyKind::Registered,
             Mechanism::RasInline => StrategyKind::Designated,
             Mechanism::HardwareBit => StrategyKind::HardwareBit,
+            Mechanism::Rseq => StrategyKind::Rseq,
             Mechanism::UserLevelRestart
             | Mechanism::KernelEmulation
             | Mechanism::Interlocked
@@ -175,6 +187,7 @@ mod tests {
 
     #[test]
     fn optimism_classification_matches_the_paper() {
+        assert!(Mechanism::Rseq.is_optimistic());
         assert!(Mechanism::RasInline.is_optimistic());
         assert!(Mechanism::UserLevelRestart.is_optimistic());
         assert!(!Mechanism::KernelEmulation.is_optimistic());

@@ -7,13 +7,16 @@
 //! registration when required (§3.1) and calls `main`, and — for the
 //! user-level restart mechanism — the recovery routine of §4.1.
 
-use ras_isa::{abi, Asm, AsmError, CodeAddr, DataAddr, DataImage, DataLayout, Program, Reg};
+use ras_isa::{
+    abi, Asm, AsmError, CodeAddr, DataAddr, DataImage, DataLayout, Program, Reg, RseqCs,
+};
 use ras_kernel::{BootError, Kernel, KernelConfig, StrategyKind};
 use ras_machine::CpuProfile;
 
 use crate::codegen::emit_yield;
 use crate::lamport;
 use crate::lock;
+use crate::rseq;
 use crate::tas::{self, SeqRange};
 use crate::Mechanism;
 
@@ -36,6 +39,8 @@ pub struct SyncRuntime {
     pub(crate) meta_tas_fn: Option<CodeAddr>,
     pub(crate) lamport_enter: Option<CodeAddr>,
     pub(crate) lamport_exit: Option<CodeAddr>,
+    pub(crate) rseq_fn: Option<CodeAddr>,
+    pub(crate) rseq_desc: Option<RseqCs>,
     pub(crate) mutex_acquire_fn: CodeAddr,
     pub(crate) mutex_release_fn: CodeAddr,
     pub(crate) cv_wait_fn: CodeAddr,
@@ -109,6 +114,9 @@ impl SyncRuntime {
             Mechanism::LamportBundled => {
                 asm.jal_to(self.meta_tas_fn.expect("meta tas emitted"));
             }
+            Mechanism::Rseq => {
+                asm.jal_to(self.rseq_fn.expect("rseq tas emitted"));
+            }
             Mechanism::LamportPerLock => {
                 panic!("protocol (a) has no Test-And-Set; use emit_raw_enter")
             }
@@ -178,6 +186,12 @@ impl SyncRuntime {
         self.tas_seq
     }
 
+    /// The rseq critical-section descriptor of `__rseq_tas`, when the
+    /// mechanism is [`Mechanism::Rseq`].
+    pub fn rseq_desc(&self) -> Option<RseqCs> {
+        self.rseq_desc
+    }
+
     /// Entry address of `__mutex_acquire` (for custom emitters that call
     /// it directly rather than through [`SyncRuntime::emit_mutex_acquire`]).
     pub fn mutex_acquire_addr(&self) -> CodeAddr {
@@ -232,6 +246,8 @@ impl GuestBuilder {
             meta_tas_fn: None,
             lamport_enter: None,
             lamport_exit: None,
+            rseq_fn: None,
+            rseq_desc: None,
             mutex_acquire_fn: 0,
             mutex_release_fn: 0,
             cv_wait_fn: 0,
@@ -260,6 +276,11 @@ impl GuestBuilder {
                 let (enter, exit) = lamport::emit_functions(&mut asm, max_threads, self_fn);
                 rt.lamport_enter = Some(enter);
                 rt.lamport_exit = Some(exit);
+            }
+            Mechanism::Rseq => {
+                let t = rseq::emit_rseq_tas(&mut asm, &mut data, max_threads);
+                rt.rseq_fn = Some(t.entry);
+                rt.rseq_desc = Some(t.desc);
             }
             Mechanism::RasInline
             | Mechanism::KernelEmulation
@@ -502,6 +523,7 @@ mod tests {
             assert_eq!(sym("__meta_tas"), rt.meta_tas_fn, "{mechanism}");
             assert_eq!(sym("__lamport_enter"), rt.lamport_enter, "{mechanism}");
             assert_eq!(sym("__lamport_exit"), rt.lamport_exit, "{mechanism}");
+            assert_eq!(sym("__rseq_tas"), rt.rseq_fn, "{mechanism}");
         }
     }
 

@@ -87,6 +87,26 @@ fn optimistic_mechanisms_actually_restart() {
 }
 
 #[test]
+fn rseq_mechanism_registers_once_per_thread_and_aborts_under_pressure() {
+    let spec = workloads::CounterSpec {
+        iterations: 500,
+        workers: 3,
+        body: workloads::CounterBody::LockAndCounter,
+    };
+    let built = workloads::counter_loop(Mechanism::Rseq, &spec);
+    let kernel = run_hostile(&built, 13, 9);
+    assert_eq!(read(&kernel, &built, "counter"), spec.expected_count());
+    // Lazy registration: exactly one SYS_RSEQ per thread that took a lock.
+    assert_eq!(kernel.stats().rseq_registrations, spec.workers as u64);
+    assert!(
+        kernel.stats().rseq_aborts > 0,
+        "no aborts under quantum 13 — the schedule is not hostile"
+    );
+    // Aborts jump forward to the handler, never backward into the window.
+    assert_eq!(kernel.stats().ras_restarts, 0);
+}
+
+#[test]
 fn spinlock_and_mutex_benches_complete_exactly() {
     let spec = workloads::Table2Spec { iterations: 400 };
     for mechanism in Mechanism::all() {

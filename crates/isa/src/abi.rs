@@ -71,6 +71,19 @@ pub const SYS_JOIN: u32 = 9;
 /// made ready again once the machine clock has advanced that far.
 pub const SYS_SLEEP: u32 = 10;
 
+/// Register (or unregister) the calling thread's rseq area. `a0` = byte
+/// address of the thread's rseq area word (which the guest later fills
+/// with a published `RseqCs` descriptor address, or zero), `a1` = flags
+/// ([`RSEQ_UNREGISTER`]). Returns 0 on success, [`ERR_BUSY`] on a second
+/// registration or an unregistration with none active, and
+/// [`ERR_UNSUPPORTED`] when the kernel does not run the rseq strategy —
+/// mirroring Linux's `rseq(2)` `EBUSY`/`ENOSYS` contract.
+pub const SYS_RSEQ: u32 = 11;
+
+/// `SYS_RSEQ` flag bit: tear down the calling thread's registration
+/// instead of establishing one.
+pub const RSEQ_UNREGISTER: u32 = 1 << 0;
+
 /// Error: requested facility is not supported by this kernel.
 pub const ERR_UNSUPPORTED: u32 = u32::MAX; // -1
 
@@ -79,6 +92,10 @@ pub const ERR_NOMEM: u32 = u32::MAX - 1; // -2
 
 /// Error: no such thread.
 pub const ERR_NO_THREAD: u32 = u32::MAX - 2; // -3
+
+/// Error: the resource is already (or not) registered — `SYS_RSEQ`'s
+/// double-register / spurious-unregister result.
+pub const ERR_BUSY: u32 = u32::MAX - 3; // -4
 
 /// Default per-thread stack size, in bytes.
 pub const DEFAULT_STACK_BYTES: u32 = 64 * 1024;
@@ -97,6 +114,7 @@ pub fn syscall_name(number: u32) -> &'static str {
         SYS_PRINT => "print",
         SYS_JOIN => "join",
         SYS_SLEEP => "sleep",
+        SYS_RSEQ => "rseq",
         _ => "unknown",
     }
 }
@@ -119,6 +137,7 @@ mod tests {
             SYS_PRINT,
             SYS_JOIN,
             SYS_SLEEP,
+            SYS_RSEQ,
         ];
         for (i, a) in nums.iter().enumerate() {
             for b in &nums[i + 1..] {
@@ -139,6 +158,8 @@ mod tests {
     fn error_codes_do_not_collide_with_results() {
         assert!(ERR_UNSUPPORTED > ERR_NOMEM);
         assert!(ERR_NOMEM > ERR_NO_THREAD);
+        assert!(ERR_NO_THREAD > ERR_BUSY);
+        assert!(ERR_BUSY > 0xFFFF_0000);
         // All error codes are in the top page of the address space, far from
         // any valid thread id or lock value.
         assert!(ERR_NO_THREAD > 0xFFFF_0000);

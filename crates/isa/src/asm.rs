@@ -1,6 +1,6 @@
 use std::collections::BTreeMap;
 
-use crate::{AluOp, AsmError, CodeAddr, Cond, Inst, Program, Reg, SeqRange};
+use crate::{AluOp, AsmError, CodeAddr, Cond, Inst, Program, Reg, RseqCs, SeqRange};
 
 /// A forward- or backward-referenceable code label.
 ///
@@ -45,6 +45,7 @@ pub struct Asm {
     symbols: BTreeMap<String, CodeAddr>,
     entry: CodeAddr,
     seqs: Vec<SeqRange>,
+    rseqs: Vec<RseqCs>,
 }
 
 impl Asm {
@@ -110,6 +111,16 @@ impl Asm {
     /// calls this when hand-rolling a sequence.
     pub fn declare_seq(&mut self, range: SeqRange) {
         self.seqs.push(range);
+    }
+
+    /// Declares `desc` as an rseq critical-section descriptor. The
+    /// finished [`Program`] exposes all declarations via
+    /// [`Program::rseq_descs`], which is what `ras-analyze`'s
+    /// abort-safety pass verifies. Like [`Asm::declare_seq`], this is
+    /// analysis metadata — the kernel reads only the descriptor's data
+    /// words.
+    pub fn declare_rseq(&mut self, desc: RseqCs) {
+        self.rseqs.push(desc);
     }
 
     fn push(&mut self, inst: Inst) -> CodeAddr {
@@ -386,7 +397,13 @@ impl Asm {
                 _ => unreachable!("fixup kind mismatch at @{at}"),
             }
         }
-        Ok(Program::new(self.code, self.symbols, self.entry, self.seqs))
+        Ok(Program::new(
+            self.code,
+            self.symbols,
+            self.entry,
+            self.seqs,
+            self.rseqs,
+        ))
     }
 }
 

@@ -300,7 +300,7 @@ impl Program {
             let addr = cursor.u32()?;
             symbols.insert(name, addr);
         }
-        Ok(Program::new(code, symbols, entry, Vec::new()))
+        Ok(Program::new(code, symbols, entry, Vec::new(), Vec::new()))
     }
 }
 

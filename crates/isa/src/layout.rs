@@ -93,6 +93,29 @@ impl DataLayout {
         addr
     }
 
+    /// Overwrites the initial value of an already-allocated word.
+    ///
+    /// This supports two-phase construction: allocate placeholder words
+    /// first (so code being assembled can refer to their addresses), then
+    /// patch in values that are only known after assembly — e.g. an rseq
+    /// descriptor's code addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unaligned or was never allocated.
+    pub fn set_word(&mut self, addr: DataAddr, value: u32) {
+        assert_eq!(addr % 4, 0, "set_word address {addr:#x} is unaligned");
+        assert!(
+            addr < self.cursor,
+            "set_word address {addr:#x} was never allocated (cursor {:#x})",
+            self.cursor
+        );
+        self.init.retain(|&(a, _)| a != addr);
+        if value != 0 {
+            self.init.push((addr, value));
+        }
+    }
+
     /// Advances the cursor so the next allocation is aligned to `align`
     /// bytes (a power of two).
     ///
@@ -207,6 +230,25 @@ mod tests {
         let mut d = DataLayout::new();
         d.word("a", 0);
         d.word("a", 1);
+    }
+
+    #[test]
+    fn set_word_patches_allocated_slots() {
+        let mut d = DataLayout::new();
+        d.word("a", 7);
+        let arr = d.array("arr", 4, 0);
+        d.set_word(arr + 8, 99);
+        d.set_word(0, 0); // clear `a`
+        let img = d.finish();
+        assert_eq!(img.initializers(), &[(arr + 8, 99)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never allocated")]
+    fn set_word_rejects_unallocated_address() {
+        let mut d = DataLayout::new();
+        d.word("a", 0);
+        d.set_word(4, 1);
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod layout;
 mod parse;
 mod program;
 mod reg;
+mod rseq;
 mod seq;
 
 pub use asm::{Asm, Label};
@@ -60,6 +61,7 @@ pub use layout::{DataImage, DataLayout};
 pub use parse::{parse_asm, ParseAsmError};
 pub use program::Program;
 pub use reg::Reg;
+pub use rseq::{RseqCs, RSEQ_CS_NO_RESTART_ON_PREEMPT, RSEQ_CS_WORDS};
 pub use seq::SeqRange;
 
 /// A code address: an index into a program's instruction vector.

@@ -7,6 +7,12 @@
 //! ```text
 //! # comment                      ; also "//"
 //! .entry main                    ; optional entry point (label or @addr)
+//! .rseq win 3 abort 64           ; rseq descriptor: window start (label
+//!                                ; or @addr), length in instructions,
+//!                                ; abort handler (label or @addr), and
+//!                                ; the descriptor's data address; an
+//!                                ; optional trailing `norestart` sets
+//!                                ; RSEQ_CS_NO_RESTART_ON_PREEMPT
 //! main:                          ; label / symbol
 //!   li    $t0, 10
 //! loop:
@@ -26,7 +32,9 @@
 
 use std::fmt;
 
-use crate::{AluOp, Asm, Cond, Label, Program, Reg};
+use crate::{
+    AluOp, Asm, CodeAddr, Cond, Label, Program, Reg, RseqCs, RSEQ_CS_NO_RESTART_ON_PREEMPT,
+};
 
 /// Error parsing assembly text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,6 +151,16 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
         entry: None,
     };
     let mut bound: std::collections::HashSet<String> = std::collections::HashSet::new();
+    // `.rseq` directives, resolved against symbols once assembly is done.
+    struct RseqSpec {
+        start: String,
+        len: u32,
+        abort: String,
+        cs_addr: u32,
+        flags: u32,
+        line: usize,
+    }
+    let mut rseqs: Vec<RseqSpec> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let mut line = raw;
@@ -158,6 +176,32 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
         }
         if let Some(rest) = line.strip_prefix(".entry") {
             p.entry = Some(rest.trim().to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".rseq") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            let flags = match toks.len() {
+                4 => 0,
+                5 if toks[4] == "norestart" => RSEQ_CS_NO_RESTART_ON_PREEMPT,
+                _ => {
+                    return Err(Parser::err(
+                        line_no,
+                        ".rseq wants START LEN ABORT CS_ADDR [norestart]",
+                    ))
+                }
+            };
+            let len = toks[1]
+                .parse::<u32>()
+                .map_err(|_| Parser::err(line_no, format!("bad .rseq length `{}`", toks[1])))?;
+            let cs_addr = Parser::imm(toks[3], line_no)? as u32;
+            rseqs.push(RseqSpec {
+                start: toks[0].to_owned(),
+                len,
+                abort: toks[2].to_owned(),
+                cs_addr,
+                flags,
+                line: line_no,
+            });
             continue;
         }
         if let Some(name) = line.strip_suffix(':') {
@@ -339,7 +383,7 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
     let program = asm
         .finish()
         .map_err(|e| Parser::err(0, format!("unresolved reference: {e}")))?;
-    let program = match entry {
+    let mut program = match entry {
         None => program,
         Some(name) => {
             let addr = if let Some(at) = name.strip_prefix('@') {
@@ -353,6 +397,26 @@ pub fn parse_asm(text: &str) -> Result<Program, ParseAsmError> {
             program.with_entry(addr)
         }
     };
+    for spec in rseqs {
+        let resolve = |what: &str, name: &str| -> Result<CodeAddr, ParseAsmError> {
+            if let Some(at) = name.strip_prefix('@') {
+                at.parse::<u32>()
+                    .map_err(|_| Parser::err(spec.line, format!("bad .rseq {what} `{name}`")))
+            } else {
+                program.symbol(name).ok_or_else(|| {
+                    Parser::err(spec.line, format!(".rseq {what} label `{name}` not found"))
+                })
+            }
+        };
+        let desc = RseqCs {
+            start_ip: resolve("start", &spec.start)?,
+            post_commit_offset: spec.len,
+            abort_ip: resolve("abort", &spec.abort)?,
+            flags: spec.flags,
+            cs_addr: spec.cs_addr,
+        };
+        program.declare_rseq(desc);
+    }
     Ok(program)
 }
 
@@ -498,5 +562,45 @@ mod tests {
     fn entry_can_be_absolute() {
         let p = parse_asm(".entry @1\nnop\nhalt").unwrap();
         assert_eq!(p.entry(), 1);
+    }
+
+    #[test]
+    fn rseq_directive_declares_a_descriptor() {
+        let text = r#"
+            .rseq win 3 handler 64
+            .rseq @1 2 @4 128 norestart
+            win:
+                lw   $v0, 0($a0)
+                li   $t2, 1
+                sw   $t2, 0($a0)
+                jr   $ra
+            handler:
+                j    win
+        "#;
+        let p = parse_asm(text).unwrap();
+        assert_eq!(
+            p.rseq_descs(),
+            &[
+                crate::RseqCs {
+                    start_ip: 0,
+                    post_commit_offset: 3,
+                    abort_ip: 4,
+                    flags: 0,
+                    cs_addr: 64,
+                },
+                crate::RseqCs {
+                    start_ip: 1,
+                    post_commit_offset: 2,
+                    abort_ip: 4,
+                    flags: crate::RSEQ_CS_NO_RESTART_ON_PREEMPT,
+                    cs_addr: 128,
+                },
+            ]
+        );
+
+        let e = parse_asm(".rseq win 3 handler").unwrap_err();
+        assert!(e.message.contains(".rseq wants"));
+        let e = parse_asm(".rseq nowhere 3 @0 64\nnop").unwrap_err();
+        assert!(e.message.contains("not found"));
     }
 }

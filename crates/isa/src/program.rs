@@ -1,7 +1,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::{CodeAddr, Inst, SeqRange};
+use crate::{CodeAddr, Inst, RseqCs, SeqRange};
 
 /// An assembled program image: the code, its named symbols, and its entry
 /// point.
@@ -17,6 +17,7 @@ pub struct Program {
     symbols: BTreeMap<String, CodeAddr>,
     entry: CodeAddr,
     seq_ranges: Vec<SeqRange>,
+    rseq_descs: Vec<RseqCs>,
 }
 
 impl Program {
@@ -25,12 +26,14 @@ impl Program {
         symbols: BTreeMap<String, CodeAddr>,
         entry: CodeAddr,
         seq_ranges: Vec<SeqRange>,
+        rseq_descs: Vec<RseqCs>,
     ) -> Program {
         Program {
             code,
             symbols,
             entry,
             seq_ranges,
+            rseq_descs,
         }
     }
 
@@ -84,6 +87,22 @@ impl Program {
         self.seq_ranges.push(range);
     }
 
+    /// The rseq critical-section descriptors declared while assembling
+    /// (see [`crate::Asm::declare_rseq`]), in declaration order.
+    ///
+    /// Like [`Program::seq_ranges`] this is in-memory analysis metadata;
+    /// the runtime contract is carried by the descriptor's four data words
+    /// and the per-thread registration syscall.
+    pub fn rseq_descs(&self) -> &[RseqCs] {
+        &self.rseq_descs
+    }
+
+    /// Declares an rseq descriptor on an already-built image, for tools
+    /// that learn descriptors out of band.
+    pub fn declare_rseq(&mut self, desc: RseqCs) {
+        self.rseq_descs.push(desc);
+    }
+
     /// Looks up a named symbol (function entry, sequence start, …).
     pub fn symbol(&self, name: &str) -> Option<CodeAddr> {
         self.symbols.get(name).copied()
@@ -124,6 +143,7 @@ impl Program {
             len: len as u32,
         };
         self.seq_ranges.retain(|r| !r.overlaps(window));
+        self.rseq_descs.retain(|d| !d.window().overlaps(window));
     }
 
     /// Renders a human-readable listing with addresses and symbols.

@@ -2,7 +2,10 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use ras_isa::{abi, CodeAddr, DataAddr, DataImage, DecodedProgram, Program, Reg};
+use ras_isa::{
+    abi, CodeAddr, DataAddr, DataImage, DecodedProgram, Program, Reg, RseqCs,
+    RSEQ_CS_NO_RESTART_ON_PREEMPT,
+};
 use ras_machine::{CpuProfile, Exit, Fault, Machine, PagingConfig, RegFile};
 use ras_obs::{ObsEvent, Recorder, Recording, SwitchReason};
 
@@ -637,6 +640,10 @@ impl Kernel {
             self.record_restart(tid, from, restart);
             return;
         }
+        if matches!(self.strategy, Strategy::Rseq) {
+            self.apply_rseq_check(tid);
+            return;
+        }
         let pc = self.threads[tid.0 as usize].regs.pc();
         let cost = *self.machine.profile().cost();
         let (rollback, cycles) = self
@@ -647,6 +654,74 @@ impl Kernel {
             self.threads[tid.0 as usize].regs.set_pc(start);
             self.record_restart(tid, pc, start);
         }
+    }
+
+    /// The rseq strategy's preemption-time fixup, mirroring Linux's
+    /// `rseq_ip_fixup`: load the suspended thread's published descriptor
+    /// and, if its PC lies inside the critical-section window, redirect it
+    /// to the descriptor's abort handler. The window is half-open
+    /// `[start_ip, start_ip + post_commit_offset)`: a thread suspended
+    /// exactly at the post-commit PC has committed and is left alone.
+    ///
+    /// This lives on the kernel (not [`Strategy::check`]) because it needs
+    /// the thread's TCB registration and guest memory.
+    fn apply_rseq_check(&mut self, tid: ThreadId) {
+        let Some(area) = self.threads[tid.0 as usize].rseq_area else {
+            return;
+        };
+        self.stats.rseq_checks += 1;
+        let cost = *self.machine.profile().cost();
+        self.charge_kernel(u64::from(cost.rseq_check));
+        let cs_addr = self.machine.mem().load_kernel(area).unwrap_or(0);
+        if cs_addr == 0 {
+            return;
+        }
+        let word = |k: u32| self.machine.mem().load_kernel(cs_addr + 4 * k).unwrap_or(0);
+        let desc = RseqCs {
+            start_ip: word(0),
+            post_commit_offset: word(1),
+            abort_ip: word(2),
+            flags: word(3),
+            cs_addr,
+        };
+        let pc = self.threads[tid.0 as usize].regs.pc();
+        if !desc.contains(pc) {
+            // Outside the window with a descriptor still published: the
+            // section committed (or was never entered). Clear the stale
+            // pointer lazily, as Linux does, so it cannot abort a later
+            // unrelated suspension at a reused address.
+            let _ = self.machine.mem_mut().store_kernel(area, 0);
+            return;
+        }
+        if desc.flags & RSEQ_CS_NO_RESTART_ON_PREEMPT != 0 {
+            return;
+        }
+        self.threads[tid.0 as usize].regs.set_pc(desc.abort_ip);
+        let _ = self.machine.mem_mut().store_kernel(area, 0);
+        self.stats.rseq_aborts += 1;
+        self.record(Event::RseqAbort {
+            thread: tid,
+            from: pc,
+            abort_ip: desc.abort_ip,
+        });
+        if self.recording.is_some() {
+            // The work thrown away is the executed window prefix
+            // `[start_ip, pc)`; `record_restart`'s `(to..from)` framing
+            // does not fit a forward jump to the handler.
+            let wasted = self.reexec_cycles(pc, desc.start_ip);
+            self.emit(ObsEvent::RseqAbort {
+                thread: tid.0,
+                from: pc,
+                abort_ip: desc.abort_ip,
+                wasted_cycles: wasted,
+            });
+        }
+    }
+
+    /// The suspended thread's registered rseq area address, if any — the
+    /// model checker folds this into its state hash.
+    pub fn thread_rseq_area(&self, id: ThreadId) -> Option<DataAddr> {
+        self.threads[id.0 as usize].rseq_area
     }
 
     /// Bookkeeping common to every involuntary or voluntary suspension.
@@ -876,6 +951,30 @@ impl Kernel {
                         len: a1,
                     });
                 }
+                self.threads[tid.0 as usize].regs.set(Reg::V0, result);
+            }
+            abi::SYS_RSEQ => {
+                let result = if !matches!(self.strategy, Strategy::Rseq) {
+                    self.stats.registrations_refused += 1;
+                    abi::ERR_UNSUPPORTED
+                } else if a1 & abi::RSEQ_UNREGISTER != 0 {
+                    match self.threads[tid.0 as usize].rseq_area.take() {
+                        Some(_) => 0,
+                        None => abi::ERR_BUSY,
+                    }
+                } else if self.threads[tid.0 as usize].rseq_area.is_some() {
+                    // Linux returns EBUSY on a second registration; one
+                    // area word per thread.
+                    abi::ERR_BUSY
+                } else {
+                    self.threads[tid.0 as usize].rseq_area = Some(a0);
+                    self.stats.rseq_registrations += 1;
+                    self.emit(ObsEvent::RseqRegister {
+                        thread: tid.0,
+                        area: a0,
+                    });
+                    0
+                };
                 self.threads[tid.0 as usize].regs.set(Reg::V0, result);
             }
             abi::SYS_WAIT => {

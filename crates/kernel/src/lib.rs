@@ -3,11 +3,12 @@
 //! the restartable-atomic-sequence machinery of *Fast Mutual Exclusion for
 //! Uniprocessors* (Bershad, Redell & Ellis, ASPLOS 1992).
 //!
-//! The kernel supports five atomicity strategies (see [`StrategyKind`]):
+//! The kernel supports six atomicity strategies (see [`StrategyKind`]):
 //! none, Mach-style explicit registration, Taos-style designated sequences,
-//! user-level detection and restart, and the i860 hardware restart bit. It
-//! also always offers kernel-emulated Test-And-Set via
-//! [`ras_isa::abi::SYS_TAS`], the paper's pessimistic baseline.
+//! user-level detection and restart, the i860 hardware restart bit, and
+//! Linux-`rseq`-style abort handlers. It also always offers
+//! kernel-emulated Test-And-Set via [`ras_isa::abi::SYS_TAS`], the paper's
+//! pessimistic baseline.
 //!
 //! Everything is deterministic given the configuration: same program, same
 //! quantum, same seed — same cycle-exact execution.

@@ -44,6 +44,13 @@ pub struct KernelStats {
     pub registrations_refused: u64,
     /// Threads redirected through the user-level recovery routine (§4.1).
     pub user_restart_redirects: u64,
+    /// Successful rseq area registrations (`SYS_RSEQ`).
+    pub rseq_registrations: u64,
+    /// rseq descriptor checks performed at preemption time.
+    pub rseq_checks: u64,
+    /// Preemptions that landed inside a published rseq window and were
+    /// redirected to the descriptor's abort handler.
+    pub rseq_aborts: u64,
     /// Threads created.
     pub threads_spawned: u64,
     /// Cycles spent in kernel paths (traps, checks, switches, emulation).
@@ -84,6 +91,8 @@ impl fmt::Display for KernelStats {
             "  false alarms       {:>10}",
             self.designated_false_alarms
         )?;
+        writeln!(f, "  rseq checks        {:>10}", self.rseq_checks)?;
+        writeln!(f, "  rseq aborts        {:>10}", self.rseq_aborts)?;
         writeln!(f, "  threads spawned    {:>10}", self.threads_spawned)?;
         write!(f, "  kernel cycles      {:>10}", self.kernel_cycles)
     }

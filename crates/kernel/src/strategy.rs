@@ -66,6 +66,14 @@ pub enum StrategyKind {
     },
     /// i860-style hardware restart bit (§7).
     HardwareBit,
+    /// Linux-`rseq`-style abort handlers: threads register a per-thread
+    /// area word (`SYS_RSEQ`) and publish critical-section descriptors
+    /// into it; a preemption inside a published window redirects the
+    /// thread to the descriptor's abort handler instead of restarting
+    /// from the top. The per-thread state lives in the TCB and guest
+    /// memory, so the check itself is performed by the kernel (see
+    /// `Kernel::apply_rseq_check`), not here.
+    Rseq,
 }
 
 /// One designated-sequence shape: the opcode skeleton the compiler emits,
@@ -241,6 +249,8 @@ pub enum Strategy {
     },
     /// i860 hardware bit.
     HardwareBit,
+    /// rseq abort handlers; see [`StrategyKind::Rseq`].
+    Rseq,
 }
 
 impl Strategy {
@@ -260,6 +270,7 @@ impl Strategy {
                 recovery_len: *recovery_len,
             },
             StrategyKind::HardwareBit => Strategy::HardwareBit,
+            StrategyKind::Rseq => Strategy::Rseq,
         }
     }
 
@@ -278,7 +289,13 @@ impl Strategy {
         stats: &mut KernelStats,
     ) -> (Option<CodeAddr>, u64) {
         match self {
-            Strategy::None | Strategy::UserLevel { .. } | Strategy::HardwareBit => (None, 0),
+            // The rseq check needs the suspended thread's TCB and guest
+            // memory (the published descriptor), which this signature does
+            // not carry; the kernel dispatches it separately.
+            Strategy::None
+            | Strategy::UserLevel { .. }
+            | Strategy::HardwareBit
+            | Strategy::Rseq => (None, 0),
             Strategy::Registered { range } => {
                 stats.ras_checks += 1;
                 let cycles = u64::from(cost.ras_check_registered);
@@ -490,6 +507,7 @@ mod tests {
                 recovery_len: 4,
             },
             Strategy::HardwareBit,
+            Strategy::Rseq,
         ] {
             let (r, cycles) = strat.check(&program, start + 2, &cost, &mut stats);
             assert_eq!(r, None);
@@ -535,6 +553,10 @@ mod tests {
         assert!(matches!(
             Strategy::from_kind(&StrategyKind::HardwareBit),
             Strategy::HardwareBit
+        ));
+        assert!(matches!(
+            Strategy::from_kind(&StrategyKind::Rseq),
+            Strategy::Rseq
         ));
     }
 }

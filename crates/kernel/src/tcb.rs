@@ -64,6 +64,11 @@ pub struct Tcb {
     pub needs_user_restart: bool,
     /// User-mode cycles this thread has executed.
     pub user_cycles: u64,
+    /// Byte address of the thread's registered rseq area word, if the
+    /// thread has registered one (`SYS_RSEQ`). The area word holds the
+    /// address of the currently published critical-section descriptor, or
+    /// zero when none is active.
+    pub rseq_area: Option<DataAddr>,
 }
 
 impl Tcb {
@@ -76,6 +81,7 @@ impl Tcb {
             stack_top,
             needs_user_restart: false,
             user_cycles: 0,
+            rseq_area: None,
         }
     }
 
@@ -102,6 +108,7 @@ mod tests {
         assert_eq!(t.regs.pc(), 7);
         assert_eq!(t.stack_top, 4096);
         assert!(!t.needs_user_restart);
+        assert_eq!(t.rseq_area, None);
     }
 
     #[test]

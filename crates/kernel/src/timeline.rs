@@ -70,6 +70,16 @@ pub enum Event {
         /// Sequence start it was rolled back to.
         to: CodeAddr,
     },
+    /// A preemption inside a published rseq critical section redirected
+    /// the thread to its descriptor's abort handler.
+    RseqAbort {
+        /// The aborted thread.
+        thread: ThreadId,
+        /// PC at preemption.
+        from: CodeAddr,
+        /// The abort handler it was redirected to.
+        abort_ip: CodeAddr,
+    },
     /// The thread was redirected through the user-level recovery routine.
     UserRedirect {
         /// The thread.

@@ -42,6 +42,12 @@ pub struct CostModel {
     /// The explicit-registration PC range check, "a few tens of cycles"
     /// added to the suspension path (§3.1).
     pub ras_check_registered: u32,
+    /// The rseq strategy's preemption-time check: read the preempted
+    /// thread's registered area word, load the published descriptor's four
+    /// words, and compare the PC against the window. Slightly more than
+    /// `ras_check_registered` because the descriptor is fetched from the
+    /// guest's own memory, as Linux's `rseq_ip_fixup` does.
+    pub rseq_check: u32,
     /// Stage 1 of the designated-sequence check: opcode hash-table probe
     /// (§3.2). Charged on every suspension.
     pub designated_stage1: u32,
@@ -100,6 +106,7 @@ impl Default for CostModel {
             kernel_emul_body: 40,
             context_switch: 400,
             ras_check_registered: 20,
+            rseq_check: 26,
             designated_stage1: 10,
             designated_stage2: 40,
             user_restart_dispatch: 30,
@@ -227,6 +234,7 @@ impl CpuProfile {
                 kernel_emul_body: 60,
                 context_switch: 500,
                 ras_check_registered: 24,
+                rseq_check: 40,
                 designated_stage1: 12,
                 designated_stage2: 48,
                 user_restart_dispatch: 36,
@@ -256,6 +264,7 @@ impl CpuProfile {
                 kernel_emul_body: 80,
                 context_switch: 600,
                 ras_check_registered: 30,
+                rseq_check: 58,
                 designated_stage1: 14,
                 designated_stage2: 55,
                 user_restart_dispatch: 40,
@@ -285,6 +294,7 @@ impl CpuProfile {
                 kernel_emul_body: 70,
                 context_switch: 550,
                 ras_check_registered: 26,
+                rseq_check: 38,
                 designated_stage1: 12,
                 designated_stage2: 50,
                 user_restart_dispatch: 36,
@@ -314,6 +324,7 @@ impl CpuProfile {
                 kernel_emul_body: 50,
                 context_switch: 450,
                 ras_check_registered: 22,
+                rseq_check: 30,
                 designated_stage1: 10,
                 designated_stage2: 45,
                 user_restart_dispatch: 32,
@@ -343,6 +354,7 @@ impl CpuProfile {
                 kernel_emul_body: 45,
                 context_switch: 420,
                 ras_check_registered: 20,
+                rseq_check: 28,
                 designated_stage1: 9,
                 designated_stage2: 40,
                 user_restart_dispatch: 30,
@@ -373,6 +385,7 @@ impl CpuProfile {
                 kernel_emul_body: 40,
                 context_switch: 400,
                 ras_check_registered: 20,
+                rseq_check: 26,
                 designated_stage1: 10,
                 designated_stage2: 40,
                 user_restart_dispatch: 30,
@@ -402,6 +415,7 @@ impl CpuProfile {
                 kernel_emul_body: 55,
                 context_switch: 500,
                 ras_check_registered: 22,
+                rseq_check: 34,
                 designated_stage1: 11,
                 designated_stage2: 44,
                 user_restart_dispatch: 33,
@@ -432,6 +446,7 @@ impl CpuProfile {
                 kernel_emul_body: 40,
                 context_switch: 380,
                 ras_check_registered: 18,
+                rseq_check: 24,
                 designated_stage1: 9,
                 designated_stage2: 36,
                 user_restart_dispatch: 28,

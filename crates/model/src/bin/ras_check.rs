@@ -12,7 +12,8 @@
 //! * `--target ID` — only check targets whose id contains `ID`
 //!   (repeatable); e.g. `--target ras-inline`
 //! * `--smoke` — quick subset for CI: one software target, one hardware
-//!   target, and the ablation, with a reduced schedule cap
+//!   target, the rseq target, and the ablation, with a reduced schedule
+//!   cap
 //! * `--json` — machine-readable output
 //! * `--trace-out PATH` — replay the first counterexample found and write
 //!   it as a Chrome/Perfetto trace (load at `ui.perfetto.dev`); for an
@@ -86,7 +87,7 @@ fn selected_targets(opts: &Options) -> Vec<ModelTarget> {
         targets.retain(|t| {
             matches!(
                 t.id().as_str(),
-                "ras-inline+tas" | "hardware-bit+tas" | "ras-inline+tas+none"
+                "ras-inline+tas" | "hardware-bit+tas" | "rseq+tas" | "ras-inline+tas+none"
             )
         });
     }
@@ -121,6 +122,12 @@ fn print_report(report: &TargetReport) {
         "  checkpoints {}  undo entries replayed {}  snapshot bytes {}  states deduped {}",
         report.checkpoints, report.undo_replayed, report.snapshot_bytes, report.states_deduped
     );
+    if report.rseq_aborts > 0 {
+        println!(
+            "  rseq aborts dispatched during exploration: {}",
+            report.rseq_aborts
+        );
+    }
     if report.hit_schedule_cap {
         println!("  note: schedule cap hit, exploration incomplete");
     }
@@ -154,7 +161,7 @@ fn print_json(reports: &[TargetReport]) {
              \"livelock_suspects\": {}, \"hit_schedule_cap\": {}, \
              \"checkpoints\": {}, \"undo_replayed\": {}, \
              \"snapshot_bytes\": {}, \"states_deduped\": {}, \
-             \"violations\": {}, \"races\": {}}}",
+             \"rseq_aborts\": {}, \"violations\": {}, \"races\": {}}}",
             r.target.id(),
             r.ok(),
             r.target.expects_violations(),
@@ -167,6 +174,7 @@ fn print_json(reports: &[TargetReport]) {
             r.undo_replayed,
             r.snapshot_bytes,
             r.states_deduped,
+            r.rseq_aborts,
             json_escape_list(&viol_diags).replace('\n', ""),
             json_escape_list(&r.races).replace('\n', ""),
         ));

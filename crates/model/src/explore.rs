@@ -39,7 +39,9 @@
 //! sequences: preempting a thread rolls its PC back, so the "same
 //! operation" test uses the post-rollback signature; a rolled-back
 //! sequence re-arrives at its *load*, never at its committing store, so
-//! sleeping store signatures can never be matched incorrectly.
+//! sleeping store signatures can never be matched incorrectly. The same
+//! argument covers rseq: an aborted window is redirected to its abort
+//! handler, which republishes and re-enters at the window's load.
 //!
 //! # Cycles and livelock
 //!
@@ -234,6 +236,10 @@ pub struct TargetReport {
     /// On-path states deduplicated by the exact-state hash set, across
     /// exploration, replay, and minimization.
     pub states_deduped: u64,
+    /// rseq abort dispatches triggered by explored `Preempt` decisions —
+    /// nonzero exactly when the search drove preemptions into published
+    /// rseq windows and exercised the abort handlers.
+    pub rseq_aborts: u64,
 }
 
 impl TargetReport {
@@ -427,6 +433,11 @@ fn state_hash(kernel: &Kernel) -> u64 {
         let (discriminant, payload) = thread_state_words(kernel.thread_state(t));
         mix(discriminant);
         mix(payload);
+        // rseq registration is kernel-side per-thread state: two states
+        // identical in registers and memory but differing in whether a
+        // thread has a registered area behave differently at the next
+        // preemption, so they must not fuse into one hash.
+        mix(kernel.thread_rseq_area(t).map_or(u64::MAX, u64::from));
     }
     mix(kernel.current_thread().map_or(u64::MAX, |t| u64::from(t.0)));
     for t in kernel.ready_iter() {
@@ -486,6 +497,7 @@ struct SubtreeOutcome {
     undo_replayed: u64,
     snapshot_bytes: u64,
     states_deduped: u64,
+    rseq_aborts: u64,
 }
 
 /// Approximate footprint of a full kernel clone — the snapshot cost when
@@ -528,6 +540,7 @@ pub(crate) struct Explorer<'a> {
     undo_replayed: u64,
     snapshot_bytes: u64,
     states_deduped: u64,
+    rseq_aborts: u64,
     /// Recycled race-detector scratch snapshots, roughly one per DFS
     /// depth. [`RaceDetector::snapshot_into`] refills a pooled scratch
     /// in place, so interior decision points stop paying the detector's
@@ -578,6 +591,7 @@ impl<'a> Explorer<'a> {
             undo_replayed: 0,
             snapshot_bytes: 0,
             states_deduped: 0,
+            rseq_aborts: 0,
             det_pool: Vec::new(),
             cp_pool: Vec::new(),
             choice_pool: Vec::new(),
@@ -967,7 +981,13 @@ impl<'a> Explorer<'a> {
             }
             Decision::Preempt(u) => {
                 child_preemptions += 1;
+                // Preemption is the only abort trigger under the oracle
+                // (the timer is neutralized); sampling the stat delta
+                // around it counts abort dispatches exactly once per
+                // explored branch, immune to checkpoint rewinds.
+                let aborts_before = kernel.stats().rseq_aborts;
                 kernel.preempt_current();
+                self.rseq_aborts += kernel.stats().rseq_aborts - aborts_before;
                 kernel.schedule_next(u);
                 if let terminal @ (StepOutcome::Completed
                 | StepOutcome::Halted { .. }
@@ -1280,6 +1300,7 @@ impl<'a> Explorer<'a> {
             undo_replayed: self.undo_replayed,
             snapshot_bytes: self.snapshot_bytes,
             states_deduped: self.states_deduped,
+            rseq_aborts: self.rseq_aborts,
         }
     }
 
@@ -1320,6 +1341,7 @@ impl<'a> Explorer<'a> {
             undo_replayed: self.undo_replayed,
             snapshot_bytes: self.snapshot_bytes,
             states_deduped: self.states_deduped,
+            rseq_aborts: self.rseq_aborts,
         }
     }
 }
@@ -1429,6 +1451,7 @@ fn merge(
         undo_replayed: expansion.undo_replayed + sum(|o| o.undo_replayed),
         snapshot_bytes: expansion.snapshot_bytes + sum(|o| o.snapshot_bytes),
         states_deduped: expansion.states_deduped + sum(|o| o.states_deduped),
+        rseq_aborts: expansion.rseq_aborts + sum(|o| o.rseq_aborts),
     }
 }
 

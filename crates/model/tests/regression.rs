@@ -66,7 +66,7 @@ fn safe_matrix_verifies_clean_with_observable_pruning() {
     let config = CheckConfig::default();
     let report = model_check(&config);
     assert!(report.ok(), "matrix must verify: {:#?}", report.targets);
-    assert_eq!(report.targets.len(), 12, "11 safe targets + the ablation");
+    assert_eq!(report.targets.len(), 13, "12 safe targets + the ablation");
     for t in &report.targets {
         assert!(!t.hit_schedule_cap, "{} hit the schedule cap", t.target);
         assert!(t.schedules > 0);
@@ -76,6 +76,30 @@ fn safe_matrix_verifies_clean_with_observable_pruning() {
             assert!(t.races.is_empty(), "{} has races", t.target);
         }
     }
+}
+
+/// The rseq target is not verified vacuously: under the default
+/// preemption bound the search must drive preemptions into published
+/// rseq windows and through the abort handlers — and still find no
+/// violation, no race, and no livelock. This is the dynamic half of the
+/// static abort-safety verdict on the same emitter.
+#[test]
+fn rseq_exploration_exercises_abort_handlers_and_verifies_clean() {
+    let target = ModelTarget {
+        mechanism: Mechanism::Rseq,
+        flavor: TasFlavor::Tas,
+        ablated: false,
+    };
+    let report = check_target(target, &CheckConfig::default());
+    assert!(report.ok(), "{:#?}", report.violations);
+    assert!(!report.hit_schedule_cap);
+    assert!(report.races.is_empty(), "{:?}", report.races);
+    assert_eq!(report.livelock_suspects, 0);
+    assert!(
+        report.rseq_aborts > 0,
+        "exhaustive exploration never dispatched an abort handler — \
+         the rseq window was not exercised"
+    );
 }
 
 /// The fan-out over targets must be invisible: [`model_check`] (which

@@ -108,6 +108,26 @@ pub enum ObsEvent {
         /// Length in instructions.
         len: u32,
     },
+    /// A thread registered its rseq area (`SYS_RSEQ`).
+    RseqRegister {
+        /// The registering thread.
+        thread: u32,
+        /// Byte address of the thread's rseq area word.
+        area: u32,
+    },
+    /// A preemption landed inside a published rseq critical section and
+    /// the thread was redirected to the descriptor's abort handler.
+    RseqAbort {
+        /// The aborted thread.
+        thread: u32,
+        /// PC at preemption.
+        from: u32,
+        /// The abort handler it was redirected to.
+        abort_ip: u32,
+        /// Straight-line cycle cost of the window instructions executed
+        /// before the abort — the work the abort threw away.
+        wasted_cycles: u64,
+    },
     /// A blocked or sleeping thread became ready.
     Wake {
         /// The thread.
@@ -140,6 +160,8 @@ impl ObsEvent {
             | ObsEvent::Syscall { thread, .. }
             | ObsEvent::LockAttempt { thread, .. }
             | ObsEvent::SeqRegister { thread, .. }
+            | ObsEvent::RseqRegister { thread, .. }
+            | ObsEvent::RseqAbort { thread, .. }
             | ObsEvent::Wake { thread }
             | ObsEvent::PageFault { thread, .. } => Some(thread),
         }

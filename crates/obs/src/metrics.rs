@@ -38,6 +38,12 @@ pub struct Metrics {
     pub lock_contention_cycles: u64,
     /// Sequence registrations.
     pub registrations: u64,
+    /// rseq area registrations (`SYS_RSEQ`).
+    pub rseq_registrations: u64,
+    /// rseq critical sections aborted to their handler on preemption.
+    pub rseq_aborts: u64,
+    /// Straight-line cycles of rseq window work discarded by aborts.
+    pub rseq_wasted_cycles: u64,
     /// User-level recovery redirects.
     pub user_redirects: u64,
     /// Page faults serviced.
@@ -149,6 +155,18 @@ impl Metrics {
                 }
             }
             ObsEvent::SeqRegister { .. } => self.registrations += 1,
+            ObsEvent::RseqRegister { .. } => self.rseq_registrations += 1,
+            ObsEvent::RseqAbort {
+                thread,
+                wasted_cycles,
+                ..
+            } => {
+                self.rseq_aborts += 1;
+                self.rseq_wasted_cycles += wasted_cycles;
+                let t = self.thread_mut(thread);
+                t.rollbacks += 1;
+                t.wasted_cycles += wasted_cycles;
+            }
             ObsEvent::Wake { .. } => self.wakeups += 1,
             ObsEvent::PageFault { .. } => self.page_faults += 1,
             ObsEvent::Idle { cycles } => self.idle_cycles += cycles,
@@ -173,6 +191,17 @@ impl Metrics {
             0.0
         } else {
             self.rollbacks as f64 * 100.0 / self.quantum_expiries as f64
+        }
+    }
+
+    /// rseq aborts per hundred quantum expiries — the abort-handler
+    /// counterpart of [`Metrics::rollbacks_per_100_quanta`]. Zero when no
+    /// quantum ever expired.
+    pub fn aborts_per_100_quanta(&self) -> f64 {
+        if self.quantum_expiries == 0 {
+            0.0
+        } else {
+            self.rseq_aborts as f64 * 100.0 / self.quantum_expiries as f64
         }
     }
 
@@ -208,6 +237,16 @@ impl Metrics {
             ),
         );
         line("sequence registrations", self.registrations.to_string());
+        line("rseq registrations", self.rseq_registrations.to_string());
+        line(
+            "rseq aborts",
+            format!(
+                "{} ({:.2} per 100 quanta)",
+                self.rseq_aborts,
+                self.aborts_per_100_quanta()
+            ),
+        );
+        line("wasted abort cycles", self.rseq_wasted_cycles.to_string());
         line("user-level redirects", self.user_redirects.to_string());
         line("page faults", self.page_faults.to_string());
         line("wakeups", self.wakeups.to_string());
@@ -415,6 +454,45 @@ mod tests {
         );
         assert!((m.rollbacks_per_100_quanta() - 0.5).abs() < 1e-12);
         assert_eq!(m.wasted_cycles, 4);
+    }
+
+    #[test]
+    fn rseq_abort_rate_per_100_quanta() {
+        let mut m = Metrics::default();
+        assert_eq!(m.aborts_per_100_quanta(), 0.0);
+        for clock in 0..200u64 {
+            m.apply(
+                clock,
+                &ObsEvent::SwitchOut {
+                    thread: 0,
+                    reason: SwitchReason::Quantum,
+                    inside_sequence: false,
+                },
+            );
+        }
+        m.apply(
+            100,
+            &ObsEvent::RseqRegister {
+                thread: 0,
+                area: 64,
+            },
+        );
+        m.apply(
+            201,
+            &ObsEvent::RseqAbort {
+                thread: 0,
+                from: 11,
+                abort_ip: 20,
+                wasted_cycles: 2,
+            },
+        );
+        assert!((m.aborts_per_100_quanta() - 0.5).abs() < 1e-12);
+        assert_eq!(m.rseq_registrations, 1);
+        assert_eq!(m.rseq_wasted_cycles, 2);
+        assert_eq!(m.thread(0).unwrap().wasted_cycles, 2);
+        let text = m.render();
+        assert!(text.contains("rseq aborts"));
+        assert!(text.contains("rseq registrations"));
     }
 
     #[test]

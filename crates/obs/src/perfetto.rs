@@ -125,6 +125,29 @@ pub fn chrome_trace(events: &[TimedObsEvent], cycles_per_us: f64, process_name: 
                     &format!(r#""start":{start},"len":{len}"#),
                 ));
             }
+            ObsEvent::RseqRegister { thread, area } => {
+                out.push(instant(
+                    t,
+                    thread,
+                    "rseq-register",
+                    &format!(r#""area":{area}"#),
+                ));
+            }
+            ObsEvent::RseqAbort {
+                thread,
+                from,
+                abort_ip,
+                wasted_cycles,
+            } => {
+                out.push(instant(
+                    t,
+                    thread,
+                    "rseq-abort",
+                    &format!(
+                        r#""from":{from},"abort_ip":{abort_ip},"wasted_cycles":{wasted_cycles}"#
+                    ),
+                ));
+            }
             ObsEvent::Wake { thread } => {
                 out.push(instant(t, thread, "wake", ""));
             }
@@ -328,6 +351,22 @@ mod tests {
                     wasted_cycles: 2,
                 },
             ),
+            ev(
+                42,
+                ObsEvent::RseqRegister {
+                    thread: 1,
+                    area: 96,
+                },
+            ),
+            ev(
+                43,
+                ObsEvent::RseqAbort {
+                    thread: 1,
+                    from: 11,
+                    abort_ip: 20,
+                    wasted_cycles: 3,
+                },
+            ),
             ev(45, ObsEvent::Dispatch { thread: 0 }),
             ev(
                 60,
@@ -357,6 +396,9 @@ mod tests {
         assert!(summary.instants >= 4);
         assert!(json.contains("\"rollback\""));
         assert!(json.contains("\"wasted_cycles\":2"));
+        assert!(json.contains("\"rseq-abort\""));
+        assert!(json.contains("\"abort_ip\":20"));
+        assert!(json.contains("\"rseq-register\""));
         assert!(json.contains("thread_name"));
     }
 

@@ -51,6 +51,11 @@ fn main() {
             Event::Restart { thread, from, to } => {
                 format!("RESTART   {thread}: pc @{from} rolled back to @{to}")
             }
+            Event::RseqAbort {
+                thread,
+                from,
+                abort_ip,
+            } => format!("RSEQ-ABRT {thread}: pc @{from} redirected to @{abort_ip}"),
             Event::UserRedirect { thread } => format!("redirect  {thread}"),
             Event::PageFault { thread, addr } => format!("pagefault {thread} @{addr:#x}"),
             Event::EmulatedTas { thread, addr } => format!("emul-tas  {thread} @{addr:#x}"),
