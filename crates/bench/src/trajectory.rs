@@ -34,7 +34,8 @@ use ras_core::experiments::{
 use ras_core::{run_guest, RunOptions};
 use ras_guest::workloads::{counter_loop, CounterBody, CounterSpec};
 use ras_guest::Mechanism;
-use ras_machine::CpuProfile;
+use ras_isa::Opcode;
+use ras_machine::{CpuProfile, EngineKind};
 
 /// Wall time of the `--verify` pass before the predecoded interpreter
 /// and the move-on-last-branch explorer landed, measured on the same
@@ -50,6 +51,19 @@ pub const BASELINE_VERIFY_WALL_MS: f64 = 970.0;
 /// checkpoint engine must never regress below the baseline it replaced.
 pub const BASELINE_EXPLORER_SCHEDULES_PER_SECOND: f64 = 83_278.0;
 
+/// Fast-loop throughput of the pre-translation pass (`BENCH_4`):
+/// simulated instructions per second of host time on the predecoded
+/// interpreter's fast loop. The translation tier's drift gate refuses to
+/// record a trajectory point whose translated engine is not at least
+/// [`TRANSLATION_SPEEDUP_GATE`] times this — threaded-code compilation
+/// must clear a real bar over the dispatch loop it bypasses, on the same
+/// benchmark program.
+pub const BASELINE_FAST_LOOP_IPS: f64 = 340_891_070.0;
+
+/// Minimum acceptable `translated instructions/s ÷`
+/// [`BASELINE_FAST_LOOP_IPS`] ratio.
+pub const TRANSLATION_SPEEDUP_GATE: f64 = 2.0;
+
 /// One measured trajectory point, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct TrajectoryPoint {
@@ -64,6 +78,24 @@ pub struct TrajectoryPoint {
     pub fast_wall_ms: f64,
     /// Host wall time on the forced-instrumented loop, milliseconds.
     pub instrumented_wall_ms: f64,
+    /// Host wall time of the same workload on the translated engine,
+    /// milliseconds (identical simulated results by assertion).
+    pub translated_wall_ms: f64,
+    /// Per-opcode retirement counts of the benchmark program, indexed by
+    /// [`Opcode`]'s dense code — what makes instr/s numbers comparable
+    /// across `BENCH_<n>` files when the workload changes.
+    pub opcode_mix: [u64; Opcode::COUNT],
+    /// Trace heads the translation tier compiled during the workload.
+    pub translation_blocks_compiled: u64,
+    /// Compiled-trace entries from the translated run.
+    pub translation_block_entries: u64,
+    /// Deoptimizations back to the interpreter during the translated run.
+    pub translation_deopts: u64,
+    /// Instructions the translated run retired inside compiled traces.
+    pub translation_translated_instructions: u64,
+    /// Instructions the translated run retired on the interpreter
+    /// fallback (cold code, deopt tails, end-of-slice fitting).
+    pub translation_interpreted_instructions: u64,
     /// Schedules the model checker explored.
     pub explorer_schedules: u64,
     /// Host wall time of the full model-check matrix, milliseconds.
@@ -109,6 +141,16 @@ impl TrajectoryPoint {
     /// Simulated instructions per second on the instrumented loop.
     pub fn instrumented_ips(&self) -> f64 {
         rate(self.instructions_retired, self.instrumented_wall_ms)
+    }
+
+    /// Simulated instructions per second on the translated engine.
+    pub fn translated_ips(&self) -> f64 {
+        rate(self.instructions_retired, self.translated_wall_ms)
+    }
+
+    /// Translated-engine speedup against [`BASELINE_FAST_LOOP_IPS`].
+    pub fn translated_speedup(&self) -> f64 {
+        self.translated_ips() / BASELINE_FAST_LOOP_IPS
     }
 
     /// Explorer schedules per second of host time.
@@ -177,8 +219,52 @@ impl TrajectoryPoint {
         );
         let _ = writeln!(
             s,
-            "    \"instrumented_instructions_per_second\": {:.0}",
+            "    \"instrumented_instructions_per_second\": {:.0},",
             self.instrumented_ips()
+        );
+        let _ = writeln!(s, "    \"opcode_mix\": {{");
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            let sep = if i + 1 < Opcode::COUNT { "," } else { "" };
+            let _ = writeln!(s, "      \"{}\": {}{sep}", op.name(), self.opcode_mix[i]);
+        }
+        let _ = writeln!(s, "    }}");
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"translation\": {{");
+        let _ = writeln!(s, "    \"wall_ms\": {:.3},", self.translated_wall_ms);
+        let _ = writeln!(
+            s,
+            "    \"translated_instructions_per_second\": {:.0},",
+            self.translated_ips()
+        );
+        let _ = writeln!(
+            s,
+            "    \"baseline_fast_instructions_per_second\": {BASELINE_FAST_LOOP_IPS:.0},"
+        );
+        let _ = writeln!(
+            s,
+            "    \"speedup_vs_baseline\": {:.2},",
+            self.translated_speedup()
+        );
+        let _ = writeln!(
+            s,
+            "    \"blocks_compiled\": {},",
+            self.translation_blocks_compiled
+        );
+        let _ = writeln!(
+            s,
+            "    \"block_entries\": {},",
+            self.translation_block_entries
+        );
+        let _ = writeln!(s, "    \"deopts\": {},", self.translation_deopts);
+        let _ = writeln!(
+            s,
+            "    \"translated_instructions\": {},",
+            self.translation_translated_instructions
+        );
+        let _ = writeln!(
+            s,
+            "    \"interpreted_instructions\": {}",
+            self.translation_interpreted_instructions
         );
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"explorer\": {{");
@@ -321,6 +407,9 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
     let mut instrumented_options = RunOptions::new(CpuProfile::r3000());
     instrumented_options.collect_mix = true;
 
+    let mut translated_options = RunOptions::new(CpuProfile::r3000());
+    translated_options.engine = EngineKind::Translated;
+
     let t = Instant::now();
     let fast = run_guest(&built, &fast_options);
     let fast_wall_ms = ms(t);
@@ -331,6 +420,40 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
         return Err(format!(
             "fast and instrumented loops drifted: cycles {} vs {}, instructions {} vs {}",
             fast.cycles, slow.cycles, fast.instructions, slow.instructions
+        ));
+    }
+    // One untimed warmup: the explorer phase above just released a
+    // large heap, and the first run after it pays soft page faults
+    // re-touching that memory — roughly 2x on the translated engine,
+    // whose cache allocations (closures, op vectors) are what land in
+    // the cold pages. The timed run below measures steady state. The
+    // fast/instrumented passes stay unwarmed so their numbers remain
+    // comparable with earlier BENCH_<n> files measured that way.
+    let warmup = run_guest(&built, &translated_options);
+    if fast.cycles != warmup.cycles || fast.instructions != warmup.instructions {
+        return Err(format!(
+            "fast and translated engines drifted: cycles {} vs {}, instructions {} vs {}",
+            fast.cycles, warmup.cycles, fast.instructions, warmup.instructions
+        ));
+    }
+    let t = Instant::now();
+    let translated = run_guest(&built, &translated_options);
+    let translated_wall_ms = ms(t);
+    if fast.cycles != translated.cycles || fast.instructions != translated.instructions {
+        return Err(format!(
+            "fast and translated engines drifted: cycles {} vs {}, instructions {} vs {}",
+            fast.cycles, translated.cycles, fast.instructions, translated.instructions
+        ));
+    }
+    let translation = translated
+        .translation
+        .expect("translated run reports counters");
+    let translated_ips = rate(fast.instructions, translated_wall_ms);
+    if translated_ips < TRANSLATION_SPEEDUP_GATE * BASELINE_FAST_LOOP_IPS {
+        return Err(format!(
+            "translation tier drifted below its gate: {translated_ips:.0} instructions/s \
+             is under {TRANSLATION_SPEEDUP_GATE}x the fast-loop baseline \
+             {BASELINE_FAST_LOOP_IPS:.0}"
         ));
     }
 
@@ -427,6 +550,13 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
         instructions_retired: fast.instructions,
         fast_wall_ms,
         instrumented_wall_ms,
+        translated_wall_ms,
+        opcode_mix: slow.mix.expect("instrumented run collects the mix"),
+        translation_blocks_compiled: translation.blocks_compiled,
+        translation_block_entries: translation.block_entries,
+        translation_deopts: translation.deopts,
+        translation_translated_instructions: translation.translated_instructions,
+        translation_interpreted_instructions: translation.interpreted_instructions,
         explorer_schedules: mc.total_schedules(),
         explorer_wall_ms,
         explorer_checkpoints: mc.targets.iter().map(|t| t.checkpoints).sum(),
@@ -482,6 +612,18 @@ mod tests {
             instructions_retired: 500,
             fast_wall_ms: 10.0,
             instrumented_wall_ms: 20.0,
+            translated_wall_ms: 5.0,
+            opcode_mix: {
+                let mut mix = [0u64; Opcode::COUNT];
+                mix[Opcode::Lw.index()] = 120;
+                mix[Opcode::Sw.index()] = 80;
+                mix
+            },
+            translation_blocks_compiled: 6,
+            translation_block_entries: 250,
+            translation_deopts: 12,
+            translation_translated_instructions: 480,
+            translation_interpreted_instructions: 20,
             explorer_schedules: 100,
             explorer_wall_ms: 50.0,
             explorer_checkpoints: 40,
@@ -502,6 +644,18 @@ mod tests {
         let json = point.to_json(3);
         for needle in [
             "\"index\": 3",
+            "\"opcode_mix\": {",
+            "\"lw\": 120",
+            "\"sw\": 80",
+            "\"nop\": 0",
+            "\"translation\": {",
+            "\"translated_instructions_per_second\": 100000",
+            "\"baseline_fast_instructions_per_second\": 340891070",
+            "\"blocks_compiled\": 6",
+            "\"block_entries\": 250",
+            "\"deopts\": 12",
+            "\"translated_instructions\": 480",
+            "\"interpreted_instructions\": 20",
             "\"table4_wall_ms\": 4.000",
             "\"simulated_cycles\": 1000",
             "\"fast_instructions_per_second\": 50000",

@@ -1,0 +1,48 @@
+//! A/B of the two engines on the trajectory benchmark workload (the
+//! single-worker RAS-inline lock-and-counter loop), printing the
+//! translation tier's counters — handy when the `--bench-json` gate
+//! moves.
+//!
+//! Run with: `cargo run --release -p ras-core --example engine_workload_perf`
+
+use std::time::Instant;
+
+use ras_core::{run_guest, Mechanism, RunOptions};
+use ras_guest::workloads::{counter_loop, CounterBody, CounterSpec};
+use ras_machine::{CpuProfile, EngineKind};
+
+fn main() {
+    let spec = CounterSpec {
+        iterations: 200_000,
+        workers: 1,
+        body: CounterBody::LockAndCounter,
+    };
+    let built = counter_loop(Mechanism::RasInline, &spec);
+
+    let fast = RunOptions::new(CpuProfile::r3000());
+    let mut translated = RunOptions::new(CpuProfile::r3000());
+    translated.engine = EngineKind::Translated;
+
+    let t = Instant::now();
+    let a = run_guest(&built, &fast);
+    let fast_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let b = run_guest(&built, &translated);
+    let translated_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    let fast_ips = a.instructions as f64 / (fast_ms / 1e3);
+    let translated_ips = b.instructions as f64 / (translated_ms / 1e3);
+    println!(
+        "fast       {fast_ms:8.1} ms  {:.1}M instr/s",
+        fast_ips / 1e6
+    );
+    println!(
+        "translated {translated_ms:8.1} ms  {:.1}M instr/s  ({:.2}x)",
+        translated_ips / 1e6,
+        translated_ips / fast_ips
+    );
+    let stats = b.translation.expect("translated run reports counters");
+    print!("{}", stats.render());
+}

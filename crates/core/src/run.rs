@@ -1,7 +1,8 @@
 use ras_guest::BuiltGuest;
+use ras_isa::Opcode;
 use ras_kernel::{CheckTime, Kernel, KernelStats, Outcome};
-use ras_machine::{CpuProfile, PagingConfig};
-use ras_obs::Metrics;
+use ras_machine::{CpuProfile, EngineKind, PagingConfig};
+use ras_obs::{Metrics, TranslationCounters};
 
 /// What the kernel's observability layer records during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +50,12 @@ pub struct RunOptions {
     /// Accumulate the per-PC cycle histogram (forces the machine onto its
     /// instrumented loop; see [`ras_machine::Machine::enable_pc_profile`]).
     pub pc_profile: bool,
+    /// Which execution engine drives guest timeslices (see
+    /// [`ras_machine::EngineKind`]). Instrumented options (`collect_mix`,
+    /// `pc_profile`, event observation) win over the translated engine:
+    /// the machine deoptimizes wholesale so collectors see every
+    /// instruction.
+    pub engine: EngineKind,
 }
 
 impl RunOptions {
@@ -68,6 +75,7 @@ impl RunOptions {
             collect_mix: false,
             observe: Observe::Off,
             pc_profile: false,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -94,6 +102,12 @@ pub struct RunReport {
     /// Observability metrics, present when [`RunOptions::observe`] was
     /// not [`Observe::Off`].
     pub metrics: Option<Metrics>,
+    /// Per-opcode retirement counts indexed by [`Opcode`]'s dense code,
+    /// present when [`RunOptions::collect_mix`] was set.
+    pub mix: Option<[u64; Opcode::COUNT]>,
+    /// Translation-tier counters, present when [`RunOptions::engine`] was
+    /// [`EngineKind::Translated`].
+    pub translation: Option<TranslationCounters>,
 }
 
 impl RunReport {
@@ -147,6 +161,7 @@ pub fn run_guest_keeping_kernel(built: &BuiltGuest, options: &RunOptions) -> (Ru
     config.max_threads = options.max_threads;
     config.mem_bytes = options.mem_bytes;
     config.collect_mix = options.collect_mix;
+    config.engine = options.engine;
     let mut kernel = built.boot(config).expect("guest boots");
     match options.observe {
         Observe::Off => {}
@@ -169,6 +184,10 @@ pub fn run_guest_keeping_kernel(built: &BuiltGuest, options: &RunOptions) -> (Ru
         instructions: kernel.machine().instructions_retired(),
         stats: *kernel.stats(),
         metrics: kernel.recording().map(|r| r.metrics().clone()),
+        mix: options
+            .collect_mix
+            .then(|| kernel.machine().instruction_mix()),
+        translation: kernel.translation_stats().map(TranslationCounters::from),
     };
     (report, kernel)
 }

@@ -1,0 +1,281 @@
+//! Basic-block discovery over a [`DecodedProgram`] — the control-flow
+//! skeleton the translation tier in `ras-machine` compiles from.
+//!
+//! A *leader* is any instruction address where control can enter from
+//! somewhere other than the preceding instruction: the program entry,
+//! every static branch/jump/call target, the instruction after any
+//! control transfer (the return point of a `jal`, the fall-through of a
+//! branch), the instruction after a `syscall`, `halt`, or
+//! `begin_atomic` (execution resumes there after the kernel handles the
+//! event), and any *extra* leaders the caller supplies — the kernel
+//! passes declared restartable-sequence boundaries, because rollback
+//! can resume a thread at a sequence start that nothing jumps to.
+//!
+//! Blocks partition the whole image: every address belongs to exactly
+//! one block, blocks are in address order, and a block ends at the next
+//! leader or after a terminator (control transfer, `syscall`, `halt`,
+//! `begin_atomic`). Register-indirect jump targets (`jr`, `jalr`)
+//! cannot be enumerated statically; a runtime target that is not a
+//! leader simply lands mid-block, which executors must treat as
+//! untranslated (the interpreter handles it exactly).
+
+use crate::{CodeAddr, DecodedProgram, Inst, Opcode};
+
+/// One basic block: a maximal straight-line run of instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Address of the block's first instruction (a leader).
+    pub start: CodeAddr,
+    /// Number of instructions in the block (always at least 1).
+    pub len: u32,
+}
+
+impl BasicBlock {
+    /// One past the block's last instruction.
+    pub fn end(&self) -> CodeAddr {
+        self.start + self.len
+    }
+
+    /// Whether `pc` is inside the block.
+    pub fn contains(&self, pc: CodeAddr) -> bool {
+        self.start <= pc && pc < self.end()
+    }
+}
+
+/// The basic-block partition of a program, with an O(1) address-to-block
+/// index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMap {
+    blocks: Vec<BasicBlock>,
+    /// `index_of[pc]` is the id of the block containing `pc`.
+    index_of: Box<[u32]>,
+}
+
+/// Whether `inst` always ends a basic block: control transfers plus the
+/// three instructions that hand control to the kernel or change the
+/// machine's atomicity state.
+fn is_terminator(inst: &Inst) -> bool {
+    inst.is_control()
+        || matches!(
+            inst.opcode(),
+            Opcode::Syscall | Opcode::Halt | Opcode::BeginAtomic
+        )
+}
+
+impl BlockMap {
+    /// Partitions `program` into basic blocks. `extra_leaders` adds
+    /// caller-known entry points (e.g. restartable-sequence starts and
+    /// ends, which kernel rollback can resume at); out-of-range entries
+    /// are ignored.
+    pub fn new(program: &DecodedProgram, extra_leaders: &[CodeAddr]) -> BlockMap {
+        let n = program.len();
+        if n == 0 {
+            return BlockMap {
+                blocks: Vec::new(),
+                index_of: Box::new([]),
+            };
+        }
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        if (program.entry() as usize) < n {
+            leader[program.entry() as usize] = true;
+        }
+        for &pc in extra_leaders {
+            if (pc as usize) < n {
+                leader[pc as usize] = true;
+            }
+        }
+        for (pc, inst) in program.code().iter().enumerate() {
+            if let Some(target) = inst.branch_target() {
+                if (target as usize) < n {
+                    leader[target as usize] = true;
+                }
+            }
+            if is_terminator(inst) && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut index_of = vec![0u32; n];
+        let mut start = 0usize;
+        for pc in 0..n {
+            index_of[pc] = blocks.len() as u32;
+            let ends = is_terminator(&program.code()[pc]) || pc + 1 == n || leader[pc + 1];
+            if ends {
+                blocks.push(BasicBlock {
+                    start: start as CodeAddr,
+                    len: (pc + 1 - start) as u32,
+                });
+                start = pc + 1;
+            }
+        }
+        BlockMap {
+            blocks,
+            index_of: index_of.into_boxed_slice(),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the map has no blocks (empty program).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// All blocks, in address order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: u32) -> BasicBlock {
+        self.blocks[id as usize]
+    }
+
+    /// The id of the block containing `pc`, or `None` past the end.
+    #[inline(always)]
+    pub fn containing(&self, pc: CodeAddr) -> Option<u32> {
+        self.index_of.get(pc as usize).copied()
+    }
+
+    /// The id of the block *starting* at `pc`, or `None` if `pc` is
+    /// mid-block or past the end. This is the executor's dispatch
+    /// lookup: only a block entered at its leader may run translated.
+    #[inline(always)]
+    pub fn leader_at(&self, pc: CodeAddr) -> Option<u32> {
+        let id = *self.index_of.get(pc as usize)?;
+        (self.blocks[id as usize].start == pc).then_some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, Reg};
+
+    fn decode(build: impl FnOnce(&mut Asm)) -> DecodedProgram {
+        let mut asm = Asm::new();
+        build(&mut asm);
+        DecodedProgram::new(&asm.finish().unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = decode(|a| {
+            a.li(Reg::T0, 1);
+            a.addi(Reg::T0, Reg::T0, 2);
+            a.halt();
+        });
+        let m = BlockMap::new(&p, &[]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.block(0), BasicBlock { start: 0, len: 3 });
+        assert_eq!(m.leader_at(0), Some(0));
+        assert_eq!(m.leader_at(1), None, "mid-block");
+        assert_eq!(m.containing(2), Some(0));
+        assert_eq!(m.containing(3), None);
+    }
+
+    #[test]
+    fn branch_target_and_fallthrough_are_leaders() {
+        let p = decode(|a| {
+            a.li(Reg::T0, 3); // @0
+            let top = a.bind_new(); // @1 (target)
+            a.addi(Reg::T0, Reg::T0, -1); // @1
+            a.bnez(Reg::T0, top); // @2 terminator
+            a.halt(); // @3 fallthrough leader
+        });
+        let m = BlockMap::new(&p, &[]);
+        let starts: Vec<_> = m.blocks().iter().map(|b| b.start).collect();
+        assert_eq!(starts, vec![0, 1, 3]);
+        assert!(m.block(1).contains(2));
+        assert_eq!(m.leader_at(3), Some(2));
+    }
+
+    #[test]
+    fn call_return_point_is_a_leader() {
+        let p = decode(|a| {
+            let func = a.label();
+            a.jal(func); // @0
+            a.halt(); // @1 — return point
+            a.bind(func);
+            a.li(Reg::V0, 9); // @2
+            a.jr(Reg::RA); // @3
+        });
+        let m = BlockMap::new(&p, &[]);
+        let starts: Vec<_> = m.blocks().iter().map(|b| b.start).collect();
+        assert_eq!(starts, vec![0, 1, 2]);
+        assert_eq!(m.block(2), BasicBlock { start: 2, len: 2 });
+    }
+
+    #[test]
+    fn syscall_and_begin_atomic_end_blocks() {
+        let p = decode(|a| {
+            a.li(Reg::V0, 1); // @0
+            a.syscall(); // @1
+            a.begin_atomic(); // @2
+            a.nop(); // @3
+            a.halt(); // @4
+        });
+        let m = BlockMap::new(&p, &[]);
+        let starts: Vec<_> = m.blocks().iter().map(|b| b.start).collect();
+        assert_eq!(starts, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn extra_leaders_split_blocks() {
+        let p = decode(|a| {
+            a.nop(); // @0
+            a.nop(); // @1 — sequence start the kernel can resume at
+            a.nop(); // @2
+            a.halt(); // @3
+        });
+        let plain = BlockMap::new(&p, &[]);
+        assert_eq!(plain.len(), 1);
+        let split = BlockMap::new(&p, &[1, 99]);
+        let starts: Vec<_> = split.blocks().iter().map(|b| b.start).collect();
+        assert_eq!(starts, vec![0, 1], "out-of-range extra leader ignored");
+        assert_eq!(split.leader_at(1), Some(1));
+    }
+
+    #[test]
+    fn blocks_partition_the_image() {
+        let p = decode(|a| {
+            let func = a.label();
+            a.li(Reg::T0, 2);
+            let top = a.bind_new();
+            a.jal(func);
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, top);
+            a.halt();
+            a.bind(func);
+            a.jr(Reg::RA);
+        });
+        let m = BlockMap::new(&p, &[]);
+        let mut covered = 0u32;
+        for (id, b) in m.blocks().iter().enumerate() {
+            assert_eq!(b.start, covered, "blocks are contiguous");
+            assert!(b.len >= 1);
+            for pc in b.start..b.end() {
+                assert_eq!(m.containing(pc), Some(id as u32));
+            }
+            covered = b.end();
+        }
+        assert_eq!(covered as usize, p.len());
+    }
+
+    #[test]
+    fn empty_program_has_no_blocks() {
+        let p = DecodedProgram::new(&Asm::new().finish().unwrap());
+        let m = BlockMap::new(&p, &[]);
+        assert!(m.is_empty());
+        assert_eq!(m.leader_at(0), None);
+        assert_eq!(m.containing(0), None);
+    }
+}

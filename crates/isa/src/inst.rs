@@ -99,6 +99,21 @@ impl Cond {
         }
     }
 
+    /// The opposite condition: `c.negated().holds(a, b) == !c.holds(a, b)`
+    /// for every operand pair. The condition set is closed under
+    /// negation, which lets a trace compiler store a branch's side-exit
+    /// condition directly instead of a negate flag.
+    pub fn negated(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+
     /// Evaluates the condition on two register values.
     pub fn holds(self, a: u32, b: u32) -> bool {
         match self {
@@ -256,9 +271,52 @@ impl Opcode {
     /// Total number of opcode classes; handy for table sizing.
     pub const COUNT: usize = 16;
 
+    /// Every opcode class, in dense-index order.
+    pub const ALL: [Opcode; Opcode::COUNT] = [
+        Opcode::Li,
+        Opcode::Alu,
+        Opcode::AluI,
+        Opcode::Lw,
+        Opcode::Sw,
+        Opcode::Branch,
+        Opcode::J,
+        Opcode::Jal,
+        Opcode::Jr,
+        Opcode::Jalr,
+        Opcode::Nop,
+        Opcode::Landmark,
+        Opcode::Syscall,
+        Opcode::Tas,
+        Opcode::BeginAtomic,
+        Opcode::Halt,
+    ];
+
     /// Dense index of this opcode, `0..COUNT`.
     pub fn index(self) -> usize {
         self as usize
+    }
+
+    /// Stable lowercase mnemonic, used as a key in machine-readable
+    /// reports (benchmark JSON, mix tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Li => "li",
+            Opcode::Alu => "alu",
+            Opcode::AluI => "alui",
+            Opcode::Lw => "lw",
+            Opcode::Sw => "sw",
+            Opcode::Branch => "branch",
+            Opcode::J => "j",
+            Opcode::Jal => "jal",
+            Opcode::Jr => "jr",
+            Opcode::Jalr => "jalr",
+            Opcode::Nop => "nop",
+            Opcode::Landmark => "landmark",
+            Opcode::Syscall => "syscall",
+            Opcode::Tas => "tas",
+            Opcode::BeginAtomic => "begin_atomic",
+            Opcode::Halt => "halt",
+        }
     }
 }
 

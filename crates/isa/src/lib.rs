@@ -40,6 +40,7 @@
 
 pub mod abi;
 mod asm;
+mod blocks;
 mod decoded;
 mod encode;
 mod error;
@@ -53,6 +54,7 @@ mod rseq;
 mod seq;
 
 pub use asm::{Asm, Label};
+pub use blocks::{BasicBlock, BlockMap};
 pub use decoded::DecodedProgram;
 pub use encode::{decode_inst, encode_inst, DecodeError};
 pub use error::AsmError;

@@ -6,7 +6,10 @@ use ras_isa::{
     abi, CodeAddr, DataAddr, DataImage, DecodedProgram, Program, Reg, RseqCs,
     RSEQ_CS_NO_RESTART_ON_PREEMPT,
 };
-use ras_machine::{CpuProfile, Exit, Fault, Machine, PagingConfig, RegFile};
+use ras_machine::{
+    CpuProfile, EngineKind, Exit, Fault, Machine, PagingConfig, RegFile, TranslationCache,
+    TranslationStats,
+};
 use ras_obs::{ObsEvent, Recorder, Recording, SwitchReason};
 
 use crate::{
@@ -43,6 +46,13 @@ pub struct KernelConfig {
     /// experiments that read [`ras_machine::Machine::instruction_mix`]
     /// should turn it on.
     pub collect_mix: bool,
+    /// Which execution engine drives guest timeslices. The translated
+    /// engine compiles hot traces into host closures (see
+    /// [`ras_machine::TranslationCache`]) and is architecturally
+    /// indistinguishable from the interpreter; the kernel builds the
+    /// cache once at boot and shares it across every thread, since all
+    /// threads execute the same program image.
+    pub engine: EngineKind,
 }
 
 impl KernelConfig {
@@ -61,6 +71,7 @@ impl KernelConfig {
             stack_bytes: abi::DEFAULT_STACK_BYTES,
             max_threads: 64,
             collect_mix: false,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -223,6 +234,13 @@ pub struct Kernel {
     /// A fault detected inside a kernel path (e.g. user stack overflow
     /// during a redirect), delivered at the top of the run loop.
     pending_fault: Option<(ThreadId, Fault)>,
+    /// The translation cache when the kernel was booted with
+    /// [`EngineKind::Translated`]; `None` runs the plain interpreter.
+    /// Derived state: rebuilt from the program at boot, shared across
+    /// threads, and deliberately absent from [`Checkpoint`] — rewinding
+    /// guest state never invalidates compiled code, and heat counters
+    /// are observational, like the timeline.
+    translation: Option<TranslationCache>,
 }
 
 /// A lightweight kernel checkpoint: everything [`Kernel::restore`]
@@ -294,7 +312,7 @@ impl Kernel {
         if program.is_empty() {
             return Err(BootError::EmptyProgram);
         }
-        let mut machine = Machine::new(config.profile, config.mem_bytes);
+        let mut machine = Machine::new(config.profile.clone(), config.mem_bytes);
         if config.collect_mix {
             machine.enable_mix();
         }
@@ -318,6 +336,26 @@ impl Kernel {
         }
         let policy = PreemptionPolicy::new(config.quantum, config.jitter, config.seed);
         let decoded = Arc::new(DecodedProgram::new(&program));
+        let translation = match config.engine {
+            EngineKind::Interpreter => None,
+            EngineKind::Translated => {
+                // Rollback and abort targets become extra block leaders:
+                // a thread restarted at a sequence head (or landing on an
+                // rseq abort handler) resumes straight into compiled code
+                // instead of interpreting its way to the next leader.
+                let mut extra: Vec<CodeAddr> = Vec::new();
+                for r in program.seq_ranges() {
+                    extra.push(r.start);
+                    extra.push(r.end());
+                }
+                for d in program.rseq_descs() {
+                    extra.push(d.start_ip);
+                    extra.push(d.post_commit_ip());
+                    extra.push(d.abort_ip);
+                }
+                Some(TranslationCache::new(&decoded, &config.profile, &extra))
+            }
+        };
         let mut kernel = Kernel {
             machine,
             program: Arc::new(program),
@@ -344,6 +382,7 @@ impl Kernel {
             timeline: None,
             recording: None,
             pending_fault: None,
+            translation,
         };
         let entry = kernel.program.entry();
         kernel
@@ -367,6 +406,21 @@ impl Kernel {
     /// Accumulated statistics.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+
+    /// The execution engine this kernel was booted with.
+    pub fn engine(&self) -> EngineKind {
+        if self.translation.is_some() {
+            EngineKind::Translated
+        } else {
+            EngineKind::Interpreter
+        }
+    }
+
+    /// Translation-tier statistics, or `None` under the interpreter
+    /// engine.
+    pub fn translation_stats(&self) -> Option<TranslationStats> {
+        self.translation.as_ref().map(|c| c.stats())
     }
 
     /// Values logged by guest `SYS_PRINT` calls.
@@ -1232,6 +1286,14 @@ impl Kernel {
     /// the only source of preemptions, via [`Kernel::preempt_current`].
     /// All other kernel behavior (strategy checks, rollbacks, syscalls,
     /// paging) is identical to [`Kernel::run`].
+    ///
+    /// Oracle stepping always runs the exact interpreter regardless of
+    /// the configured engine: observing the machine between individual
+    /// instructions is precisely the deopt contract's "observable
+    /// semantics" case, so instruction-granular stepping is a standing
+    /// deoptimization point. Since the engines are architecturally
+    /// indistinguishable, every result derived here (model-checking
+    /// verdicts included) is engine-independent by construction.
     pub fn step_once(&mut self) -> StepOutcome {
         self.slice_deadline = u64::MAX;
         if let Some((thread, fault)) = self.pending_fault.take() {
@@ -1422,10 +1484,15 @@ impl Kernel {
                     machine,
                     decoded,
                     threads,
+                    translation,
                     ..
                 } = self;
                 let before = machine.clock();
-                let exit = machine.run(decoded, &mut threads[tid.0 as usize].regs, deadline);
+                let regs = &mut threads[tid.0 as usize].regs;
+                let exit = match translation {
+                    Some(cache) => machine.run_translated(decoded, cache, regs, deadline),
+                    None => machine.run(decoded, regs, deadline),
+                };
                 threads[tid.0 as usize].user_cycles += machine.clock() - before;
                 exit
             };

@@ -3,7 +3,7 @@
 
 use ras_isa::{abi, Asm, DataLayout, Reg};
 use ras_kernel::{CheckTime, Kernel, KernelConfig, Outcome, StrategyKind, ThreadState};
-use ras_machine::{CpuProfile, PagingConfig};
+use ras_machine::{CpuProfile, EngineKind, PagingConfig};
 
 const N: i32 = 400;
 
@@ -180,6 +180,52 @@ fn designated_sequences_repair_the_same_race() {
     let stats = k.stats();
     assert!(stats.ras_restarts > 0, "tiny quantum must force restarts");
     assert!(stats.ras_checks >= stats.suspensions);
+}
+
+#[test]
+fn translated_engine_repairs_the_race_identically() {
+    // Same workload under both engines at two quanta. The tiny quantum
+    // makes every preemption land mid-trace and Designated rollbacks
+    // rewind PCs into compiled code — there the fit check correctly
+    // deopts whole slices to the interpreter (a 23-cycle slice can never
+    // fit a superblock), which must be invisible. The roomy quantum lets
+    // compiled traces actually run, so the same equality then covers the
+    // translated executor itself, and we assert it dominated.
+    let run = |engine: EngineKind, quantum: u64| {
+        let mut data = DataLayout::new();
+        let counter = data.word("counter", 0);
+        let program = faa_program(counter);
+        let mut config = cfg(StrategyKind::Designated, quantum);
+        config.engine = engine;
+        let mut k = Kernel::boot(config, program, &data.finish()).unwrap();
+        assert_eq!(k.run(500_000_000), Outcome::Completed);
+        assert_eq!(k.engine(), engine);
+        (
+            k.read_word(counter).unwrap(),
+            k.machine().clock(),
+            *k.stats(),
+            k.translation_stats(),
+        )
+    };
+    for quantum in [23, 5_000] {
+        let (count_i, clock_i, stats_i, none) = run(EngineKind::Interpreter, quantum);
+        let (count_t, clock_t, stats_t, trans) = run(EngineKind::Translated, quantum);
+        assert!(none.is_none());
+        assert_eq!(count_i, 2 * N as u32);
+        assert_eq!(count_t, count_i);
+        assert_eq!(clock_t, clock_i, "quantum {quantum}");
+        assert_eq!(stats_t, stats_i, "quantum {quantum}");
+        let ts = trans.expect("translated kernel reports stats");
+        assert!(ts.blocks_compiled > 0, "hot loop must compile");
+        if quantum == 23 {
+            assert!(stats_t.ras_restarts > 0, "tiny quantum must force restarts");
+        } else {
+            assert!(
+                ts.translated_instructions > ts.interpreted_instructions,
+                "most work should run translated: {ts:?}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use ras_isa::{abi, AluOp, Asm, DataLayout, Program, Reg};
 use ras_kernel::{CheckTime, Kernel, KernelConfig, Outcome, StrategyKind};
-use ras_machine::CpuProfile;
+use ras_machine::{CpuProfile, EngineKind};
 
 const N: i32 = 120;
 
@@ -69,6 +69,27 @@ fn run_counter(
     seed: u64,
     workers: usize,
 ) -> (u32, u64, ras_kernel::KernelStats) {
+    run_counter_on(
+        strategy,
+        check_time,
+        quantum,
+        jitter,
+        seed,
+        workers,
+        EngineKind::Interpreter,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_counter_on(
+    strategy: StrategyKind,
+    check_time: CheckTime,
+    quantum: u64,
+    jitter: u64,
+    seed: u64,
+    workers: usize,
+    engine: EngineKind,
+) -> (u32, u64, ras_kernel::KernelStats) {
     let mut data = DataLayout::new();
     let counter = data.word("counter", 0);
     let program = faa_program(counter, workers);
@@ -79,6 +100,7 @@ fn run_counter(
     config.check_time = check_time;
     config.mem_bytes = 1 << 20;
     config.stack_bytes = 4096;
+    config.engine = engine;
     let mut k = Kernel::boot(config, program, &data.finish()).unwrap();
     assert_eq!(k.run(4_000_000_000), Outcome::Completed);
     (
@@ -143,6 +165,33 @@ proptest! {
         );
         prop_assert_eq!(a.1, b.1);
         prop_assert_eq!(a.2, b.2);
+    }
+
+    /// The translated engine is kernel-observably identical to the
+    /// interpreter: same final count, same total clock, same statistics
+    /// (preemption counts, RAS checks, RAS restarts) for any quantum,
+    /// jitter, seed, worker count, and recovery strategy. Small quanta
+    /// make preemptions — and, under `Designated`, sequence rollbacks —
+    /// land mid-trace constantly, so this pins the deopt contract at the
+    /// kernel level, RAS restarts included.
+    #[test]
+    fn engines_agree_for_all_schedules(
+        quantum in 5u64..300,
+        jitter in 0u64..20,
+        seed: u64,
+        workers in 1usize..5,
+        designated: bool,
+    ) {
+        let strategy = if designated { StrategyKind::Designated } else { StrategyKind::None };
+        let a = run_counter_on(
+            strategy.clone(), CheckTime::OnSuspend, quantum, jitter, seed, workers,
+            EngineKind::Interpreter,
+        );
+        let b = run_counter_on(
+            strategy, CheckTime::OnSuspend, quantum, jitter, seed, workers,
+            EngineKind::Translated,
+        );
+        prop_assert_eq!(a, b);
     }
 
     /// Check placement (suspend vs resume) never changes the result, only

@@ -1,0 +1,56 @@
+//! Quick A/B of the interpreter vs the translation tier on a hot
+//! counter loop: `cargo run --release -p ras-machine --example engine_perf`.
+
+use std::time::Instant;
+
+use ras_isa::{Asm, DecodedProgram, Reg};
+use ras_machine::{CpuProfile, Machine, RegFile, TranslationCache};
+
+fn counter_loop(iters: i32) -> DecodedProgram {
+    let mut a = Asm::new();
+    a.li(Reg::S0, iters);
+    a.li(Reg::S1, 64);
+    let top = a.bind_new();
+    a.lw(Reg::T0, Reg::S1, 0);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.sw(Reg::T0, Reg::S1, 0);
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.bnez(Reg::S0, top);
+    a.halt();
+    DecodedProgram::new(&a.finish().unwrap())
+}
+
+fn main() {
+    let p = counter_loop(20_000_000);
+    let profile = CpuProfile::r3000();
+
+    let mut m = Machine::new(profile.clone(), 4096);
+    let mut regs = RegFile::new(p.entry());
+    let t0 = Instant::now();
+    let exit = m.run(&p, &mut regs, u64::MAX);
+    let interp = t0.elapsed();
+    let retired = m.instructions_retired();
+    println!(
+        "interp:     {exit:?} {retired} inst in {:.1} ms = {:.1}M inst/s",
+        interp.as_secs_f64() * 1e3,
+        retired as f64 / interp.as_secs_f64() / 1e6
+    );
+
+    let mut m = Machine::new(profile.clone(), 4096);
+    let mut regs = RegFile::new(p.entry());
+    let mut cache = TranslationCache::new(&p, &profile, &[]);
+    let t0 = Instant::now();
+    let exit = m.run_translated(&p, &mut cache, &mut regs, u64::MAX);
+    let translated = t0.elapsed();
+    let retired = m.instructions_retired();
+    println!(
+        "translated: {exit:?} {retired} inst in {:.1} ms = {:.1}M inst/s",
+        translated.as_secs_f64() * 1e3,
+        retired as f64 / translated.as_secs_f64() / 1e6
+    );
+    println!(
+        "speedup: {:.2}x; stats: {:?}",
+        interp.as_secs_f64() / translated.as_secs_f64(),
+        cache.stats()
+    );
+}

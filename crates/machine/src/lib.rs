@@ -40,6 +40,7 @@ mod machine;
 mod memory;
 mod profile;
 mod regfile;
+mod translate;
 
 pub use crate::machine::{
     AccessKind, Exit, Fault, Machine, MachineCheckpoint, MemAccess, TraceEntry,
@@ -47,3 +48,6 @@ pub use crate::machine::{
 pub use crate::memory::{word_mix, MemError, Memory, PagingConfig};
 pub use crate::profile::{CostModel, CpuProfile};
 pub use crate::regfile::RegFile;
+pub use crate::translate::{
+    BlockExit, DeoptReason, EngineKind, TranslationCache, TranslationStats, NO_BLOCK,
+};

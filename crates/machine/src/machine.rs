@@ -104,22 +104,22 @@ pub enum Fault {
 /// concern, as on real hardware.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    mem: Memory,
+    pub(crate) mem: Memory,
     profile: CpuProfile,
     /// The profile's cost model, hoisted out of the profile at construction
     /// so the execution loop reads plain fields instead of copying the
     /// whole model per retired instruction.
-    cost: CostModel,
+    pub(crate) cost: CostModel,
     /// Upper bound on the cycles any single instruction can charge, used to
     /// amortize the deadline check over straight-line runs.
     max_inst_cycles: u64,
-    clock: u64,
+    pub(crate) clock: u64,
     /// i860-style restart bit: `Some(pc)` while an atomic sequence begun at
     /// `pc` is in flight.
-    atomic_from: Option<CodeAddr>,
+    pub(crate) atomic_from: Option<CodeAddr>,
     atomic_deadline: u64,
     /// Total retired instructions (cheap enough to keep always-on).
-    retired: u64,
+    pub(crate) retired: u64,
     /// Optional retired-instruction counts per opcode class (see
     /// [`Machine::enable_mix`]).
     mix: Option<Box<[u64; Opcode::COUNT]>>,
@@ -562,7 +562,7 @@ impl Machine {
     /// instrumented path it measures the clock delta each instruction
     /// charged and accumulates it into that PC's bucket.
     #[inline(always)]
-    fn execute_counted<const INSTRUMENTED: bool>(
+    pub(crate) fn execute_counted<const INSTRUMENTED: bool>(
         &mut self,
         program: &DecodedProgram,
         regs: &mut RegFile,
@@ -775,7 +775,7 @@ impl Machine {
         None
     }
 
-    fn mem_fault(e: MemError, addr: DataAddr, pc: CodeAddr) -> Fault {
+    pub(crate) fn mem_fault(e: MemError, addr: DataAddr, pc: CodeAddr) -> Fault {
         match e {
             MemError::NotResident { .. } => Fault::PageFault { addr, pc },
             MemError::Unaligned { .. } | MemError::OutOfRange { .. } => {

@@ -225,6 +225,23 @@ impl Memory {
         Ok(())
     }
 
+    /// Replaces the word at `addr` with `f` of its current value,
+    /// returning the new value — a load-modify-store round trip with a
+    /// single alignment/range/residency check, for callers (the
+    /// translation tier's fused read-modify-write op) that would
+    /// otherwise pay [`Memory::load`] and [`Memory::store`] back to
+    /// back on the same address.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::load`].
+    pub fn update(&mut self, addr: DataAddr, f: impl FnOnce(u32) -> u32) -> Result<u32, MemError> {
+        let idx = self.check(addr)?;
+        let v = f(self.words[idx]);
+        self.words[idx] = v;
+        Ok(v)
+    }
+
     /// Loads a word ignoring residency (kernel-privileged access, used when
     /// the kernel inspects or initializes user memory).
     ///

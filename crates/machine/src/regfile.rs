@@ -50,6 +50,23 @@ impl RegFile {
         }
     }
 
+    /// Reads a register by raw index. The translation tier compiles
+    /// register numbers down to `u8` operands; reading `$zero` (index 0)
+    /// is fine because nothing ever writes it.
+    #[inline(always)]
+    pub(crate) fn get_raw(&self, idx: u8) -> u32 {
+        self.gpr[usize::from(idx)]
+    }
+
+    /// Writes a register by raw index, skipping the `$zero` guard. The
+    /// translator never emits a write to index 0 (such writes compile to
+    /// ghosts), which keeps the hardwired-zero contract without a branch.
+    #[inline(always)]
+    pub(crate) fn set_raw(&mut self, idx: u8, value: u32) {
+        debug_assert_ne!(idx, 0, "translated code must not write $zero");
+        self.gpr[usize::from(idx)] = value;
+    }
+
     /// The current program counter (an instruction index).
     pub fn pc(&self) -> CodeAddr {
         self.pc

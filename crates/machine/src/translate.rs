@@ -1,0 +1,1624 @@
+//! The threaded-code translation tier: hot guest traces compiled into
+//! straight-line host closures, with exact deoptimization back to the
+//! interpreter.
+//!
+//! # How it works
+//!
+//! Block discovery comes from [`ras_isa::BlockMap`]. Each basic-block
+//! leader is a potential *trace head*: once the dispatcher has entered a
+//! leader [`hot-threshold`](TranslationCache::hot_threshold) times, the
+//! translator walks forward from it — across fall-throughs, direct
+//! jumps and calls, and through conditional branches along a predicted
+//! direction (backward = taken, forward = fall-through, the classic
+//! loop heuristic) — building one *superblock* of micro-ops. The whole
+//! trace becomes a single boxed `Fn(&mut Machine, &mut RegFile) ->
+//! BlockExit` closure. Traces are chained by successor block id, so a
+//! loop whose body is one trace re-enters itself without ever returning
+//! to a dispatch table.
+//!
+//! # The exactness contract
+//!
+//! Translated execution must be indistinguishable from the interpreter
+//! at every point the kernel can observe a thread: the clock, retired
+//! count, registers, memory, and restart bit must match exactly at
+//! every [`Exit`] and at every quantum boundary. The tier gets this
+//! from four rules:
+//!
+//! 1. **Worst-case fit check.** A trace only runs when its full static
+//!    cycle cost fits inside the deadline
+//!    (`clock + trace.cycles <= deadline`); otherwise the dispatcher
+//!    falls back to the interpreter's exact per-instruction loop for
+//!    the tail of the quantum. `Exit::Budget` therefore fires at
+//!    precisely the interpreter's boundary.
+//! 2. **Prefix-sum fixups.** Side exits (mispredicted branches) and
+//!    memory faults carry precomputed prefix cycle/retire sums, so a
+//!    trace that stops after `k` instructions charges exactly what the
+//!    interpreter would have — including the faulting instruction,
+//!    which the interpreter charges *before* touching memory.
+//! 3. **Deopt at observable instructions.** `syscall`, `halt`,
+//!    `begin_atomic` (the i860 restart bit), and `tas` on profiles
+//!    without hardware interlock end trace construction; the closure
+//!    hands the pc back and the interpreter executes the instruction
+//!    itself. While the restart bit is set, everything runs
+//!    interpreted, so the 32-cycle expiry and store-clears-bit rules
+//!    are literally the interpreter's own.
+//! 4. **Instrumented mode wins.** Any enabled collector (mix, trace
+//!    ring, access log, PC profile, dirty tracking) routes the whole
+//!    call to [`Machine::run`]'s instrumented loop.
+//!
+//! Software restartable sequences (the paper's §3 mechanisms and the
+//! rseq ABI) need *no* deopt: the kernel only inspects a thread's pc at
+//! suspension, and every suspension happens at an interpreter-exact
+//! boundary, so traces may freely cross sequence boundaries. Only the
+//! i860 restart *bit* is machine state, and `begin_atomic` deopts.
+//!
+//! # Cache invalidation
+//!
+//! Guest code is Harvard-style here (instructions live in a
+//! [`DecodedProgram`], not in data memory), so stores cannot modify
+//! code at runtime and no store-time invalidation check is needed. For
+//! hosts that patch code between runs, [`TranslationCache::invalidate`]
+//! drops every trace whose source range covers a patched pc, and
+//! [`TranslationCache::matches`] fingerprints the program so a stale
+//! cache is rejected rather than silently applied.
+
+use std::fmt;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
+
+use ras_isa::{AluOp, BlockMap, CodeAddr, Cond, DecodedProgram, Inst, Reg};
+
+use crate::machine::{Exit, Fault, Machine};
+use crate::memory::MemError;
+use crate::profile::{CostModel, CpuProfile};
+use crate::regfile::RegFile;
+
+/// Which execution engine a kernel (or any other driver of
+/// [`Machine::run`]) should use for guest code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// The predecoded interpreter ([`Machine::run`]): the reference
+    /// engine, always exact.
+    #[default]
+    Interpreter,
+    /// The threaded-code translation tier
+    /// ([`Machine::run_translated`]): compiles hot traces to host
+    /// closures, deoptimizing to the interpreter at every observable
+    /// point. Architecturally indistinguishable from the interpreter.
+    Translated,
+}
+
+impl EngineKind {
+    /// Parses a command-line spelling (`interp`/`interpreter` or
+    /// `translated`).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "interp" | "interpreter" => Some(EngineKind::Interpreter),
+            "translated" => Some(EngineKind::Translated),
+            _ => None,
+        }
+    }
+
+    /// The canonical command-line spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Interpreter => "interp",
+            EngineKind::Translated => "translated",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a trace handed control back to the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeoptReason {
+    /// `begin_atomic`: the i860 restart bit is machine-observable
+    /// state, so the whole hardware sequence runs interpreted.
+    Sequence,
+    /// `syscall`: the kernel takes over.
+    Syscall,
+    /// `halt`.
+    Halt,
+    /// An instruction the profile cannot execute (`tas` without
+    /// hardware interlock); the interpreter raises the exact fault.
+    Unsupported,
+}
+
+/// What a compiled trace did with control, returned by its closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockExit {
+    /// The trace ran to an edge whose successor trace head is already
+    /// known: the carried block id, or [`NO_BLOCK`] if the next pc is
+    /// not a leader (the dispatcher falls back to the interpreter).
+    Next(u32),
+    /// The trace ended at an indirect jump; the pc is set and the
+    /// dispatcher must look the successor up.
+    Lookup,
+    /// The trace stopped at a deoptimization point; the pc names the
+    /// uncompiled instruction for the interpreter to execute.
+    Interp,
+    /// A memory access faulted `k` instructions in; clock, retired
+    /// count, and pc have been fixed up to the interpreter-exact state.
+    Fault(Fault),
+}
+
+/// Sentinel successor id in [`BlockExit::Next`]: the next pc is not a
+/// block leader, so there is nothing to chain to.
+pub const NO_BLOCK: u32 = u32::MAX;
+
+/// Heat value marking a head whose trace cannot be compiled (its first
+/// instruction is a deopt point); the dispatcher stops trying.
+const DEAD: u32 = u32::MAX;
+
+/// Maximum source instructions in one trace. Bounds compile time and
+/// the worst-case cycle charge a single fit check must absorb; the
+/// bound is only consulted between instructions, so correctness never
+/// depends on it. Generous enough that a loop body unrolls many times,
+/// amortizing the per-entry dispatch cost.
+const TRACE_CAP: u32 = 512;
+
+/// Default entry count at which a trace head is compiled.
+const DEFAULT_HOT_THRESHOLD: u32 = 8;
+
+/// One straight-line micro-op. Register numbers are raw `u8` indices;
+/// the translator never emits a write to index 0 (`$zero`), so the
+/// executor skips the hardwired-zero guard. ALU and branch semantics
+/// are carried as [`AluOp`]/[`Cond`] payloads whose `apply`/`holds`
+/// inline into the executor's match — direct dispatch, no indirect
+/// calls.
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    /// `rd <- imm`.
+    Li { rd: u8, imm: u32 },
+    /// `rd <- rs op rt`.
+    Alu { op: AluOp, rd: u8, rs: u8, rt: u8 },
+    /// `rd <- rs op imm`.
+    AluI { op: AluOp, rd: u8, rs: u8, imm: u32 },
+    /// `rd <- mem[rs + off]`; `info` indexes the fault fixup table.
+    Lw {
+        rd: u8,
+        base: u8,
+        off: u32,
+        info: u32,
+    },
+    /// A load whose destination is `$zero`: the access (and its
+    /// faults) still happen, the value is discarded.
+    LwZ { base: u8, off: u32, info: u32 },
+    /// `mem[base + off] <- rs`.
+    Sw {
+        rs: u8,
+        base: u8,
+        off: u32,
+        info: u32,
+    },
+    /// Fused read-modify-write: `rd <- mem[base + off] op imm;
+    /// mem[base + off] <- rd` — the `lw; alui; sw` triple (same
+    /// register, same address) the paper's counter fast paths are made
+    /// of. One address computation and one residency/alignment check:
+    /// if the load succeeds, the store to the same word cannot fault,
+    /// so the load's fixup (`info`) is the only one needed.
+    Rmw {
+        op: AluOp,
+        rd: u8,
+        base: u8,
+        off: u32,
+        imm: u32,
+        info: u32,
+    },
+    /// Hardware test-and-set; `rd` 0 means the old value is discarded.
+    Tas { rd: u8, base: u8, info: u32 },
+    /// `rd <- value` — the link half of an inlined `jal`.
+    Link { rd: u8, value: u32 },
+    /// Guarded return of an inlined call: the walk followed a `jal`
+    /// into the callee and predicted its `jr` returns to the pc after
+    /// the call. When `rs` holds `predict` execution simply continues
+    /// inline; otherwise the jump was a genuine indirect transfer and
+    /// the trace exits through the fixup at `info` with the dynamic
+    /// target as the new pc ([`BlockExit::Lookup`]).
+    RetGuard { rs: u8, predict: u32, info: u32 },
+    /// Side exit of a predicted branch: leave the trace when `cond`
+    /// holds on `(rs, rt)` (the branch's own condition for a
+    /// predicted-fall-through branch, its negation for a
+    /// predicted-taken one); `info` indexes the exit fixup table.
+    ExitIf {
+        cond: Cond,
+        rs: u8,
+        rt: u8,
+        info: u32,
+    },
+    /// Fused `alui` + side exit: `rd <- rs op imm`, then leave the
+    /// trace when `cond` holds on `(rd, rt)` — the decrement-and-loop
+    /// idiom at the bottom of every counted loop.
+    AluIExit {
+        op: AluOp,
+        rd: u8,
+        rs: u8,
+        imm: u32,
+        cond: Cond,
+        rt: u8,
+        info: u32,
+    },
+}
+
+/// Fixup for a memory op that may fault `k` instructions into a trace:
+/// prefix sums *include* the faulting instruction, because the
+/// interpreter charges and retires it before touching memory.
+#[derive(Clone, Copy)]
+struct MemInfo {
+    pc: CodeAddr,
+    prefix_cycles: u64,
+    prefix_retired: u32,
+}
+
+/// Fixup for a branch side exit: where execution continues, the
+/// successor trace head if that pc is a leader, and the prefix sums up
+/// to and including the branch. A [`Op::RetGuard`] exit reuses the
+/// prefix sums but ignores `pc`/`next` — its continuation is dynamic.
+#[derive(Clone, Copy)]
+struct ExitInfo {
+    pc: CodeAddr,
+    next: u32,
+    prefix_cycles: u64,
+    prefix_retired: u32,
+}
+
+/// How a trace ends when every micro-op ran (no side exit, no fault).
+#[derive(Clone, Copy)]
+enum Term {
+    /// Continue at `pc`, whose trace head (if any) is `next`.
+    Next { pc: CodeAddr, next: u32 },
+    /// Indirect jump through `rs`, optionally linking `link_value`
+    /// into `link_rd` first (`jalr`); 0 means no link (`jr`).
+    Indirect {
+        link_rd: u8,
+        link_value: u32,
+        rs: u8,
+    },
+    /// Deopt: the interpreter must execute the instruction at `pc`.
+    Interp { pc: CodeAddr },
+}
+
+/// The compiled form of a trace: a host closure that mutates machine
+/// state directly and reports how control left the trace.
+type TraceBody = Box<dyn Fn(&mut Machine, &mut RegFile) -> BlockExit + Send + Sync>;
+
+/// One compiled trace: its closure plus the metadata the dispatcher's
+/// fit check and the cache's invalidation sweep need.
+pub(crate) struct CompiledBlock {
+    /// Worst-case cycles the closure can charge (the full-trace sum;
+    /// side exits charge less). The dispatcher's deadline fit check
+    /// uses this to keep `Exit::Budget` exact.
+    cycles: u64,
+    /// Why the trace deopts at its end, if it ends at a deopt point.
+    deopt: Option<DeoptReason>,
+    /// Ids of every basic block this trace compiled instructions from,
+    /// for invalidation.
+    covers: Box<[u32]>,
+    /// The trace body. Returns only after updating clock, retired
+    /// count, and pc to interpreter-exact values.
+    body: TraceBody,
+}
+
+impl fmt::Debug for CompiledBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledBlock")
+            .field("cycles", &self.cycles)
+            .field("deopt", &self.deopt)
+            .field("covers", &self.covers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Counters describing what the translation tier did: how much code it
+/// compiled, how work split between translated and interpreted
+/// execution, and why every deoptimization happened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct TranslationStats {
+    /// Basic blocks discovered in the program (trace-head candidates).
+    pub blocks_discovered: u64,
+    /// Traces compiled to closures.
+    pub blocks_compiled: u64,
+    /// Compiled traces dropped by [`TranslationCache::invalidate`].
+    pub invalidations: u64,
+    /// Compiled-trace entries (chained entries count individually).
+    pub block_entries: u64,
+    /// Instructions retired inside compiled traces.
+    pub translated_instructions: u64,
+    /// Cycles charged inside compiled traces.
+    pub translated_cycles: u64,
+    /// Instructions retired by the interpreter while the translated
+    /// engine was driving (deopt windows, quantum tails, cold code).
+    pub interpreted_instructions: u64,
+    /// Cycles charged by the interpreter while the translated engine
+    /// was driving.
+    pub interpreted_cycles: u64,
+    /// Chain breaks at a `begin_atomic` (hardware sequence entry).
+    pub deopt_sequence: u64,
+    /// Chain breaks at a `syscall`.
+    pub deopt_syscall: u64,
+    /// Chain breaks at a `halt`.
+    pub deopt_halt: u64,
+    /// Chain breaks at an instruction the profile cannot execute.
+    pub deopt_unsupported: u64,
+    /// Traces that ended early on a memory fault.
+    pub deopt_fault: u64,
+    /// Chain breaks because the next trace's worst-case cycles did not
+    /// fit before the deadline (quantum tail).
+    pub deopt_deadline: u64,
+    /// Chain breaks at a leader whose trace is not compiled yet.
+    pub deopt_cold: u64,
+    /// Whole calls routed to the instrumented interpreter loop.
+    pub deopt_instrumented: u64,
+}
+
+impl TranslationStats {
+    /// Total deoptimizations across every reason.
+    pub fn deopts(&self) -> u64 {
+        self.deopt_sequence
+            + self.deopt_syscall
+            + self.deopt_halt
+            + self.deopt_unsupported
+            + self.deopt_fault
+            + self.deopt_deadline
+            + self.deopt_cold
+            + self.deopt_instrumented
+    }
+}
+
+/// Per-program translation state: the block map, heat counters, and
+/// compiled traces. Built once per program by the kernel (or a test)
+/// and threaded into every [`Machine::run_translated`] call.
+///
+/// Cloning is cheap-ish: compiled traces are shared via [`Arc`], so a
+/// forked kernel (the model checker's checkpoint replay) reuses them.
+#[derive(Clone)]
+pub struct TranslationCache {
+    map: BlockMap,
+    bodies: Vec<Option<Arc<CompiledBlock>>>,
+    heat: Vec<u32>,
+    threshold: u32,
+    cost: CostModel,
+    has_interlocked: bool,
+    code_len: usize,
+    fingerprint: u64,
+    stats: TranslationStats,
+}
+
+impl fmt::Debug for TranslationCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TranslationCache")
+            .field("blocks", &self.map.len())
+            .field("compiled", &self.compiled())
+            .field("threshold", &self.threshold)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+fn code_fingerprint(program: &DecodedProgram) -> u64 {
+    let mut h = DefaultHasher::new();
+    program.entry().hash(&mut h);
+    program.code().hash(&mut h);
+    h.finish()
+}
+
+impl TranslationCache {
+    /// Builds an empty cache for `program` under `profile`'s cost model.
+    /// `extra_leaders` adds entry points static discovery cannot see —
+    /// kernels pass declared restartable-sequence boundaries, where
+    /// rollback can resume a thread.
+    pub fn new(
+        program: &DecodedProgram,
+        profile: &CpuProfile,
+        extra_leaders: &[CodeAddr],
+    ) -> TranslationCache {
+        let map = BlockMap::new(program, extra_leaders);
+        let n = map.len();
+        TranslationCache {
+            map,
+            bodies: vec![None; n],
+            heat: vec![0; n],
+            threshold: DEFAULT_HOT_THRESHOLD.min(DEAD - 1),
+            cost: *profile.cost(),
+            has_interlocked: profile.has_interlocked(),
+            code_len: program.len(),
+            fingerprint: code_fingerprint(program),
+            stats: TranslationStats {
+                blocks_discovered: n as u64,
+                ..TranslationStats::default()
+            },
+        }
+    }
+
+    /// Sets the entry count at which a trace head compiles (clamped to
+    /// at least 1). Tests use 1 to force immediate compilation.
+    pub fn with_threshold(mut self, threshold: u32) -> TranslationCache {
+        self.threshold = threshold.clamp(1, DEAD - 1);
+        self
+    }
+
+    /// The entry count at which a trace head compiles.
+    pub fn hot_threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Basic blocks discovered (trace-head candidates).
+    pub fn blocks(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Traces currently compiled.
+    pub fn compiled(&self) -> usize {
+        self.bodies.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> TranslationStats {
+        self.stats
+    }
+
+    /// Whether this cache was built from exactly this program (length
+    /// and content fingerprint). The dispatcher debug-asserts it;
+    /// long-lived hosts should check it before reusing a cache.
+    pub fn matches(&self, program: &DecodedProgram) -> bool {
+        self.code_len == program.len() && self.fingerprint == code_fingerprint(program)
+    }
+
+    /// Drops every compiled trace that included the instruction at
+    /// `pc` — the hook a host that patches code between runs must call,
+    /// since traces span many blocks. Heat is reset so the patched
+    /// region can recompile. Returns the number of traces dropped.
+    pub fn invalidate(&mut self, pc: CodeAddr) -> usize {
+        let Some(target) = self.map.containing(pc) else {
+            return 0;
+        };
+        let mut dropped = 0;
+        for i in 0..self.bodies.len() {
+            let hit = matches!(&self.bodies[i], Some(cb) if cb.covers.contains(&target));
+            if hit {
+                self.bodies[i] = None;
+                self.heat[i] = 0;
+                dropped += 1;
+            }
+        }
+        self.heat[target as usize] = 0;
+        self.stats.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Drops every compiled trace and resets all heat.
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut dropped = 0;
+        for i in 0..self.bodies.len() {
+            if self.bodies[i].take().is_some() {
+                dropped += 1;
+            }
+            self.heat[i] = 0;
+        }
+        self.stats.invalidations += dropped as u64;
+        dropped
+    }
+
+    #[inline(always)]
+    fn body(&self, id: u32) -> Option<&CompiledBlock> {
+        self.bodies[id as usize].as_deref()
+    }
+
+    /// Whether the dispatcher should bother handing control back for
+    /// this head: compiled already, or still cold but compilable.
+    #[inline(always)]
+    fn runnable(&self, id: u32) -> bool {
+        self.bodies[id as usize].is_some() || self.heat[id as usize] != DEAD
+    }
+
+    /// Records one entry at a cold head and compiles its trace once the
+    /// threshold is reached. Heads whose trace cannot be compiled (the
+    /// first instruction is a deopt point) are marked dead.
+    fn heat(&mut self, id: u32, program: &DecodedProgram) {
+        let i = id as usize;
+        if self.bodies[i].is_some() || self.heat[i] == DEAD {
+            return;
+        }
+        self.heat[i] = (self.heat[i] + 1).min(DEAD - 1);
+        if self.heat[i] >= self.threshold {
+            match compile_trace(
+                program,
+                &self.map,
+                id,
+                &self.cost,
+                self.has_interlocked,
+                TRACE_CAP,
+            ) {
+                Some(cb) => {
+                    self.stats.blocks_compiled += 1;
+                    self.bodies[i] = Some(Arc::new(cb));
+                }
+                None => self.heat[i] = DEAD,
+            }
+        }
+    }
+}
+
+fn reg8(r: Reg) -> u8 {
+    r.index() as u8
+}
+
+/// The trace head id for `pc`, or [`NO_BLOCK`] if `pc` is mid-block or
+/// past the end of code.
+fn leader_or_none(map: &BlockMap, pc: CodeAddr) -> u32 {
+    map.leader_at(pc).unwrap_or(NO_BLOCK)
+}
+
+/// Whether straight-line execution from `pc` runs into a `syscall` or
+/// `halt` (or off the end of code) within `k` instructions, following
+/// unconditional jumps. Such a path is a slow path by construction —
+/// futex waits, yields, thread exit — so the branch predictor steers
+/// traces away from it: a forward branch normally predicts
+/// fall-through, but not *into* an imminent deopt (the lock-acquire
+/// success check `beq got, taken` guards exactly this shape, and
+/// mispredicting it costs the whole loop its unrolling).
+/// Whether `op` writes register `r`. Conservative for `Tas { rd: 0 }`
+/// (no architectural write, reported as writing `$zero`) — callers only
+/// use this to *invalidate* facts, so over-reporting is safe.
+fn writes(op: &Op, r: u8) -> bool {
+    match *op {
+        Op::Li { rd, .. }
+        | Op::Alu { rd, .. }
+        | Op::AluI { rd, .. }
+        | Op::Lw { rd, .. }
+        | Op::Rmw { rd, .. }
+        | Op::Tas { rd, .. }
+        | Op::Link { rd, .. }
+        | Op::AluIExit { rd, .. } => rd == r,
+        Op::LwZ { .. } | Op::Sw { .. } | Op::ExitIf { .. } | Op::RetGuard { .. } => false,
+    }
+}
+
+/// Whether pushing `cand` would be architecturally invisible: an
+/// identical op earlier in the trace already left exactly this value in
+/// the destination register and none of the involved registers have
+/// been written since. Only register-to-register ALU ops and immediate
+/// loads qualify — they are deterministic functions of their sources
+/// (loads are not: memory can change under them) — and only when the
+/// destination is not also a source (a self-dependent op like
+/// `add rd, rd, k` advances its input and is never idempotent). The
+/// unrolled rounds of a loop are full of these: base-address moves and
+/// constant reloads recomputed every iteration.
+fn op_is_redundant(ops: &[Op], cand: &Op) -> bool {
+    let (rd, s1, s2) = match *cand {
+        Op::Li { rd, .. } => (rd, rd, rd),
+        Op::Alu { rd, rs, rt, .. } if rd != rs && rd != rt => (rd, rs, rt),
+        Op::AluI { rd, rs, .. } if rd != rs => (rd, rs, rs),
+        _ => return false,
+    };
+    for op in ops.iter().rev() {
+        if op == cand {
+            return true;
+        }
+        if writes(op, rd) || writes(op, s1) || writes(op, s2) {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether a side exit on `cond (rs, rt)` is provably untaken: an
+/// earlier op in the trace already exited on the same condition over
+/// the same registers, neither register has been written since, and
+/// execution reaches this point only because that exit did not fire.
+/// The guest idiom producing this shape is a restartable Test-And-Set
+/// followed by the acquire-success check — both branch on the value the
+/// sequence's load returned.
+fn exit_is_redundant(ops: &[Op], cond: Cond, rs: u8, rt: u8) -> bool {
+    for op in ops.iter().rev() {
+        match *op {
+            Op::ExitIf {
+                cond: c,
+                rs: r1,
+                rt: r2,
+                ..
+            } if c == cond && r1 == rs && r2 == rt => return true,
+            // The fused exit tests its condition *after* writing `rd`,
+            // so the fact holds for (rd, rt) — check it before the
+            // write invalidates.
+            Op::AluIExit {
+                cond: c,
+                rd,
+                rt: r2,
+                ..
+            } if c == cond && rd == rs && r2 == rt => return true,
+            _ => {}
+        }
+        if writes(op, rs) || writes(op, rt) {
+            return false;
+        }
+    }
+    false
+}
+
+fn deopts_soon(program: &DecodedProgram, mut pc: CodeAddr, k: u32) -> bool {
+    for _ in 0..k {
+        match program.fetch(pc) {
+            None | Some(Inst::Syscall | Inst::Halt) => return true,
+            Some(Inst::J { target }) => pc = target,
+            Some(Inst::Branch { .. } | Inst::Jr { .. } | Inst::Jalr { .. } | Inst::Jal { .. }) => {
+                return false
+            }
+            Some(_) => pc += 1,
+        }
+    }
+    false
+}
+
+/// Charges the interpreter-exact prefix state for a memory fault `k`
+/// instructions into a trace and produces the exit.
+fn mem_fault_exit(
+    m: &mut Machine,
+    regs: &mut RegFile,
+    info: &MemInfo,
+    addr: u32,
+    e: MemError,
+) -> BlockExit {
+    m.clock += info.prefix_cycles;
+    m.retired += u64::from(info.prefix_retired);
+    regs.set_pc(info.pc);
+    BlockExit::Fault(Machine::mem_fault(e, addr, info.pc))
+}
+
+/// Compiles the superblock trace starting at head block `head`.
+///
+/// Walks forward from the head's leader: straight-line instructions
+/// become micro-ops, direct jumps and calls are followed (the jump
+/// itself becomes pure cycle accounting, a call also links), a `jr`
+/// returning from a call the walk itself inlined continues at the
+/// predicted return pc behind a run-time guard ([`Op::RetGuard`]), and
+/// conditional branches continue along the predicted direction
+/// (backward target = taken, forward = fall-through) with an exact side
+/// exit for the other. Loops *unroll*: the walk keeps going through
+/// already-visited blocks until `cap` instructions, so one trace entry
+/// covers many loop iterations and the per-entry dispatch cost
+/// amortizes away; when the walk is back at the head with no room for
+/// another full round, the trace ends there and chains to itself. The
+/// walk also ends at an indirect jump or a deopt instruction.
+///
+/// Returns `None` when the head's first instruction is itself a deopt
+/// point — such heads stay interpreted forever.
+fn compile_trace(
+    program: &DecodedProgram,
+    map: &BlockMap,
+    head: u32,
+    cost: &CostModel,
+    has_interlocked: bool,
+    cap: u32,
+) -> Option<CompiledBlock> {
+    let head_pc = map.block(head).start;
+    let mut ops: Vec<Op> = Vec::new();
+    let mut mems: Vec<MemInfo> = Vec::new();
+    let mut exits: Vec<ExitInfo> = Vec::new();
+    let mut covers: Vec<u32> = vec![head];
+    let mut cycles: u64 = 0;
+    let mut count: u32 = 0;
+    let mut deopt: Option<DeoptReason> = None;
+    let mut pc = head_pc;
+    // Unroll bookkeeping: instructions in the first round back to the
+    // head, so the walk stops at the head exactly when another full
+    // round would overshoot the cap.
+    let mut round_len: u32 = 0;
+    // Compile-time shadow of the return-address stack: every inlined
+    // `jal` pushes its return pc, and a `jr` with a pending entry is
+    // compiled as a guarded inline return instead of ending the trace.
+    let mut rets: Vec<CodeAddr> = Vec::new();
+
+    let term = loop {
+        if count > 0 {
+            if pc as usize >= program.len() {
+                break Term::Next { pc, next: NO_BLOCK };
+            }
+            let lb = map.leader_at(pc);
+            if pc == head_pc {
+                if round_len == 0 {
+                    round_len = count;
+                }
+                if count.saturating_add(round_len) > cap {
+                    break Term::Next { pc, next: head };
+                }
+            } else if count >= cap {
+                break Term::Next {
+                    pc,
+                    next: lb.unwrap_or(NO_BLOCK),
+                };
+            }
+            if let Some(b) = lb {
+                if !covers.contains(&b) {
+                    covers.push(b);
+                }
+            }
+        }
+        let inst = program
+            .fetch(pc)
+            .expect("trace walk only visits in-range pcs");
+        match inst {
+            Inst::Li { rd, imm } => {
+                cycles += u64::from(cost.alu);
+                count += 1;
+                if !rd.is_zero() {
+                    let cand = Op::Li {
+                        rd: reg8(rd),
+                        imm: imm as u32,
+                    };
+                    if !op_is_redundant(&ops, &cand) {
+                        ops.push(cand);
+                    }
+                }
+                pc += 1;
+            }
+            Inst::Alu { op, rd, rs, rt } => {
+                cycles += u64::from(cost.alu);
+                count += 1;
+                if !rd.is_zero() {
+                    let cand = Op::Alu {
+                        op,
+                        rd: reg8(rd),
+                        rs: reg8(rs),
+                        rt: reg8(rt),
+                    };
+                    if !op_is_redundant(&ops, &cand) {
+                        ops.push(cand);
+                    }
+                }
+                pc += 1;
+            }
+            Inst::AluI { op, rd, rs, imm } => {
+                cycles += u64::from(cost.alu);
+                count += 1;
+                if !rd.is_zero() {
+                    let cand = Op::AluI {
+                        op,
+                        rd: reg8(rd),
+                        rs: reg8(rs),
+                        imm: imm as u32,
+                    };
+                    if !op_is_redundant(&ops, &cand) {
+                        ops.push(cand);
+                    }
+                }
+                pc += 1;
+            }
+            Inst::Lw { rd, base, off } => {
+                cycles += u64::from(cost.load);
+                count += 1;
+                mems.push(MemInfo {
+                    pc,
+                    prefix_cycles: cycles,
+                    prefix_retired: count,
+                });
+                let info = (mems.len() - 1) as u32;
+                if rd.is_zero() {
+                    ops.push(Op::LwZ {
+                        base: reg8(base),
+                        off: off as u32,
+                        info,
+                    });
+                } else {
+                    ops.push(Op::Lw {
+                        rd: reg8(rd),
+                        base: reg8(base),
+                        off: off as u32,
+                        info,
+                    });
+                }
+                pc += 1;
+            }
+            Inst::Sw { rs, base, off } => {
+                cycles += u64::from(cost.store);
+                count += 1;
+                // Peephole: `lw rd,(b,o); alui rd,rd,k; sw rd,(b,o)`
+                // (with `b != rd`, so the address is unchanged) fuses
+                // into one read-modify-write op — the counter idiom.
+                // The store to the word just loaded cannot fault, so
+                // only the load's fixup survives; cycle accounting is
+                // positional and unchanged.
+                let s8 = reg8(rs);
+                let b8 = reg8(base);
+                let o = off as u32;
+                let fusable = s8 != b8
+                    && matches!(
+                        &ops[..],
+                        [.., Op::Lw { rd, base: lb, off: lo, .. }, Op::AluI { rd: ard, rs: ars, .. }]
+                            if *rd == s8 && *ard == s8 && *ars == s8 && *lb == b8 && *lo == o
+                    );
+                if fusable {
+                    let Some(Op::AluI { op, rd, imm, .. }) = ops.pop() else {
+                        unreachable!("pattern checked above");
+                    };
+                    let Some(Op::Lw {
+                        base, off, info, ..
+                    }) = ops.pop()
+                    else {
+                        unreachable!("pattern checked above");
+                    };
+                    ops.push(Op::Rmw {
+                        op,
+                        rd,
+                        base,
+                        off,
+                        imm,
+                        info,
+                    });
+                } else {
+                    mems.push(MemInfo {
+                        pc,
+                        prefix_cycles: cycles,
+                        prefix_retired: count,
+                    });
+                    ops.push(Op::Sw {
+                        rs: s8,
+                        base: b8,
+                        off: o,
+                        info: (mems.len() - 1) as u32,
+                    });
+                }
+                pc += 1;
+            }
+            Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
+                cycles += u64::from(cost.branch);
+                count += 1;
+                // Loop heuristic: a backward branch is predicted taken,
+                // a forward one predicted fall-through — unless falling
+                // through runs straight into a syscall/halt and the
+                // target does not, in which case the target is the fast
+                // path. The other direction becomes an exact side exit
+                // whose condition is stored pre-negated where needed.
+                let taken = target <= pc
+                    || (deopts_soon(program, pc + 1, 6) && !deopts_soon(program, target, 6));
+                let (cont, exit_pc, exit_cond) = if taken {
+                    (target, pc + 1, cond.negated())
+                } else {
+                    (pc + 1, target, cond)
+                };
+                // A branch whose exit condition already failed earlier
+                // in the trace (same condition, same registers, no
+                // intervening write) can never leave here: charge it
+                // and keep walking, no op emitted.
+                if exit_is_redundant(&ops, exit_cond, reg8(rs), reg8(rt)) {
+                    pc = cont;
+                    continue;
+                }
+                exits.push(ExitInfo {
+                    pc: exit_pc,
+                    next: leader_or_none(map, exit_pc),
+                    prefix_cycles: cycles,
+                    prefix_retired: count,
+                });
+                let info = (exits.len() - 1) as u32;
+                // Peephole: `alui rd,...` feeding the branch's left
+                // operand fuses into one compute-and-maybe-exit op —
+                // the decrement-and-loop idiom.
+                let fusable = matches!(ops.last(), Some(Op::AluI { rd, .. }) if *rd == reg8(rs));
+                if fusable {
+                    let Some(Op::AluI {
+                        op,
+                        rd,
+                        rs: ars,
+                        imm,
+                    }) = ops.pop()
+                    else {
+                        unreachable!("pattern checked above");
+                    };
+                    ops.push(Op::AluIExit {
+                        op,
+                        rd,
+                        rs: ars,
+                        imm,
+                        cond: exit_cond,
+                        rt: reg8(rt),
+                        info,
+                    });
+                } else {
+                    ops.push(Op::ExitIf {
+                        cond: exit_cond,
+                        rs: reg8(rs),
+                        rt: reg8(rt),
+                        info,
+                    });
+                }
+                pc = cont;
+            }
+            Inst::J { target } => {
+                cycles += u64::from(cost.jump);
+                count += 1;
+                pc = target;
+            }
+            Inst::Jal { target } => {
+                cycles += u64::from(cost.jump + cost.call_extra);
+                count += 1;
+                ops.push(Op::Link {
+                    rd: reg8(Reg::RA),
+                    value: pc + 1,
+                });
+                rets.push(pc + 1);
+                pc = target;
+            }
+            Inst::Jr { rs } => {
+                cycles += u64::from(cost.jump);
+                count += 1;
+                // Return of a call this trace inlined: predict the jump
+                // lands at the pc after the matching `jal` and keep
+                // walking there, guarded at run time. Without a pending
+                // call the target is unknowable and the trace ends.
+                if let Some(predict) = rets.pop() {
+                    exits.push(ExitInfo {
+                        pc: predict,
+                        next: NO_BLOCK,
+                        prefix_cycles: cycles,
+                        prefix_retired: count,
+                    });
+                    ops.push(Op::RetGuard {
+                        rs: reg8(rs),
+                        predict,
+                        info: (exits.len() - 1) as u32,
+                    });
+                    pc = predict;
+                } else {
+                    break Term::Indirect {
+                        link_rd: 0,
+                        link_value: 0,
+                        rs: reg8(rs),
+                    };
+                }
+            }
+            Inst::Jalr { rd, rs } => {
+                cycles += u64::from(cost.jump + cost.call_extra);
+                count += 1;
+                break Term::Indirect {
+                    link_rd: if rd.is_zero() { 0 } else { reg8(rd) },
+                    link_value: pc + 1,
+                    rs: reg8(rs),
+                };
+            }
+            Inst::Nop | Inst::Landmark => {
+                cycles += u64::from(cost.nop);
+                count += 1;
+                pc += 1;
+            }
+            Inst::Tas { rd, base } => {
+                if !has_interlocked {
+                    // The interpreter raises the exact Illegal fault
+                    // (charging nothing), so deopt before the inst.
+                    deopt = Some(DeoptReason::Unsupported);
+                    break Term::Interp { pc };
+                }
+                cycles += u64::from(cost.interlocked);
+                count += 1;
+                mems.push(MemInfo {
+                    pc,
+                    prefix_cycles: cycles,
+                    prefix_retired: count,
+                });
+                ops.push(Op::Tas {
+                    rd: if rd.is_zero() { 0 } else { reg8(rd) },
+                    base: reg8(base),
+                    info: (mems.len() - 1) as u32,
+                });
+                pc += 1;
+            }
+            Inst::Syscall => {
+                deopt = Some(DeoptReason::Syscall);
+                break Term::Interp { pc };
+            }
+            Inst::BeginAtomic => {
+                deopt = Some(DeoptReason::Sequence);
+                break Term::Interp { pc };
+            }
+            Inst::Halt => {
+                deopt = Some(DeoptReason::Halt);
+                break Term::Interp { pc };
+            }
+        }
+    };
+
+    if count == 0 {
+        return None;
+    }
+
+    let total_cycles = cycles;
+    let total_retired = count;
+    let ops = ops.into_boxed_slice();
+    let mems = mems.into_boxed_slice();
+    let exits = exits.into_boxed_slice();
+    let body = Box::new(move |m: &mut Machine, regs: &mut RegFile| -> BlockExit {
+        for op in ops.iter() {
+            match *op {
+                Op::Li { rd, imm } => regs.set_raw(rd, imm),
+                Op::Alu { op, rd, rs, rt } => {
+                    let v = op.apply(regs.get_raw(rs), regs.get_raw(rt));
+                    regs.set_raw(rd, v);
+                }
+                Op::AluI { op, rd, rs, imm } => {
+                    let v = op.apply(regs.get_raw(rs), imm);
+                    regs.set_raw(rd, v);
+                }
+                Op::Lw {
+                    rd,
+                    base,
+                    off,
+                    info,
+                } => {
+                    let addr = regs.get_raw(base).wrapping_add(off);
+                    match m.mem.load(addr) {
+                        Ok(v) => regs.set_raw(rd, v),
+                        Err(e) => return mem_fault_exit(m, regs, &mems[info as usize], addr, e),
+                    }
+                }
+                Op::LwZ { base, off, info } => {
+                    let addr = regs.get_raw(base).wrapping_add(off);
+                    if let Err(e) = m.mem.load(addr) {
+                        return mem_fault_exit(m, regs, &mems[info as usize], addr, e);
+                    }
+                }
+                Op::Sw {
+                    rs,
+                    base,
+                    off,
+                    info,
+                } => {
+                    let addr = regs.get_raw(base).wrapping_add(off);
+                    if let Err(e) = m.mem.store(addr, regs.get_raw(rs)) {
+                        return mem_fault_exit(m, regs, &mems[info as usize], addr, e);
+                    }
+                }
+                Op::Rmw {
+                    op,
+                    rd,
+                    base,
+                    off,
+                    imm,
+                    info,
+                } => {
+                    let addr = regs.get_raw(base).wrapping_add(off);
+                    match m.mem.update(addr, |v| op.apply(v, imm)) {
+                        Ok(v2) => regs.set_raw(rd, v2),
+                        Err(e) => return mem_fault_exit(m, regs, &mems[info as usize], addr, e),
+                    }
+                }
+                Op::Tas { rd, base, info } => {
+                    let addr = regs.get_raw(base);
+                    let old = match m.mem.load(addr) {
+                        Ok(v) => v,
+                        Err(e) => return mem_fault_exit(m, regs, &mems[info as usize], addr, e),
+                    };
+                    if let Err(e) = m.mem.store(addr, 1) {
+                        return mem_fault_exit(m, regs, &mems[info as usize], addr, e);
+                    }
+                    if rd != 0 {
+                        regs.set_raw(rd, old);
+                    }
+                }
+                Op::Link { rd, value } => regs.set_raw(rd, value),
+                Op::RetGuard { rs, predict, info } => {
+                    let target = regs.get_raw(rs);
+                    if target != predict {
+                        let e = &exits[info as usize];
+                        m.clock += e.prefix_cycles;
+                        m.retired += u64::from(e.prefix_retired);
+                        regs.set_pc(target);
+                        return BlockExit::Lookup;
+                    }
+                }
+                Op::ExitIf { cond, rs, rt, info } => {
+                    if cond.holds(regs.get_raw(rs), regs.get_raw(rt)) {
+                        let e = &exits[info as usize];
+                        m.clock += e.prefix_cycles;
+                        m.retired += u64::from(e.prefix_retired);
+                        regs.set_pc(e.pc);
+                        return BlockExit::Next(e.next);
+                    }
+                }
+                Op::AluIExit {
+                    op,
+                    rd,
+                    rs,
+                    imm,
+                    cond,
+                    rt,
+                    info,
+                } => {
+                    let v = op.apply(regs.get_raw(rs), imm);
+                    regs.set_raw(rd, v);
+                    // `rt == rd` reads the freshly written value, exactly
+                    // as the interpreter's branch would after the alui.
+                    if cond.holds(v, regs.get_raw(rt)) {
+                        let e = &exits[info as usize];
+                        m.clock += e.prefix_cycles;
+                        m.retired += u64::from(e.prefix_retired);
+                        regs.set_pc(e.pc);
+                        return BlockExit::Next(e.next);
+                    }
+                }
+            }
+        }
+        m.clock += total_cycles;
+        m.retired += u64::from(total_retired);
+        match term {
+            Term::Next { pc, next } => {
+                regs.set_pc(pc);
+                BlockExit::Next(next)
+            }
+            Term::Indirect {
+                link_rd,
+                link_value,
+                rs,
+            } => {
+                let target = regs.get_raw(rs);
+                if link_rd != 0 {
+                    regs.set_raw(link_rd, link_value);
+                }
+                regs.set_pc(target);
+                BlockExit::Lookup
+            }
+            Term::Interp { pc } => {
+                regs.set_pc(pc);
+                BlockExit::Interp
+            }
+        }
+    });
+
+    Some(CompiledBlock {
+        cycles: total_cycles,
+        deopt,
+        covers: covers.into_boxed_slice(),
+        body,
+    })
+}
+
+impl Machine {
+    /// Runs guest code through the translation tier: chained compiled
+    /// traces where they exist, the exact interpreter everywhere else.
+    /// Architecturally indistinguishable from [`Machine::run`] — same
+    /// exits at the same clock with the same registers, memory, retired
+    /// count, and restart-bit state — it just gets there faster. See
+    /// the module docs for the exactness argument.
+    ///
+    /// When any instrumentation is enabled the whole call is delegated
+    /// to [`Machine::run`]'s instrumented loop, so collectors observe
+    /// every instruction.
+    pub fn run_translated(
+        &mut self,
+        program: &DecodedProgram,
+        cache: &mut TranslationCache,
+        regs: &mut RegFile,
+        deadline: u64,
+    ) -> Exit {
+        if self.instrumented() {
+            cache.stats.deopt_instrumented += 1;
+            return self.run(program, regs, deadline);
+        }
+        debug_assert!(
+            cache.matches(program),
+            "translation cache was built for a different program"
+        );
+        let cost = self.cost;
+        loop {
+            // Chain phase: run compiled traces back to back while the
+            // restart bit is clear (translated code never sets it) and
+            // each next trace's worst-case cycles fit the deadline.
+            self.poll_atomic_expiry();
+            if self.atomic_from.is_none() {
+                let clock0 = self.clock;
+                let retired0 = self.retired;
+                let mut entries = 0u64;
+                let mut hot: Option<u32> = None;
+                let mut deopt: Option<DeoptReason> = None;
+                let mut fault: Option<Fault> = None;
+                let mut hit_deadline = false;
+                {
+                    let c: &TranslationCache = cache;
+                    let mut bid = c.map.leader_at(regs.pc());
+                    while let Some(id) = bid {
+                        let Some(block) = c.body(id) else {
+                            if c.runnable(id) {
+                                hot = Some(id);
+                            }
+                            break;
+                        };
+                        if !(self.clock < deadline
+                            && self.clock.saturating_add(block.cycles) <= deadline)
+                        {
+                            hit_deadline = true;
+                            break;
+                        }
+                        entries += 1;
+                        match (block.body)(self, regs) {
+                            BlockExit::Next(next) => {
+                                bid = (next != NO_BLOCK).then_some(next);
+                            }
+                            BlockExit::Lookup => bid = c.map.leader_at(regs.pc()),
+                            BlockExit::Interp => {
+                                deopt = block.deopt;
+                                break;
+                            }
+                            BlockExit::Fault(f) => {
+                                fault = Some(f);
+                                break;
+                            }
+                        }
+                    }
+                }
+                cache.stats.block_entries += entries;
+                cache.stats.translated_instructions += self.retired - retired0;
+                cache.stats.translated_cycles += self.clock - clock0;
+                if hit_deadline {
+                    cache.stats.deopt_deadline += 1;
+                }
+                match deopt {
+                    Some(DeoptReason::Sequence) => cache.stats.deopt_sequence += 1,
+                    Some(DeoptReason::Syscall) => cache.stats.deopt_syscall += 1,
+                    Some(DeoptReason::Halt) => cache.stats.deopt_halt += 1,
+                    Some(DeoptReason::Unsupported) => cache.stats.deopt_unsupported += 1,
+                    None => {}
+                }
+                if let Some(f) = fault {
+                    cache.stats.deopt_fault += 1;
+                    return Exit::Fault(f);
+                }
+                if let Some(id) = hot {
+                    cache.stats.deopt_cold += 1;
+                    cache.heat(id, program);
+                    if cache.bodies[id as usize].is_some() {
+                        // Just compiled; re-enter the chain at this pc.
+                        continue;
+                    }
+                }
+            }
+            // Interpreted phase: the exact per-instruction loop (the
+            // reference semantics the amortized fast loop reproduces),
+            // until execution reaches a translatable entry point with
+            // the restart bit clear, or the quantum/run ends.
+            loop {
+                self.poll_atomic_expiry();
+                if self.atomic_from.is_none() && self.clock >= deadline {
+                    return Exit::Budget;
+                }
+                let before = self.clock;
+                let stepped = self.execute_counted::<false>(program, regs, &cost);
+                cache.stats.interpreted_instructions += 1;
+                cache.stats.interpreted_cycles += self.clock - before;
+                if let Some(exit) = stepped {
+                    return exit;
+                }
+                if self.atomic_from.is_none() {
+                    if let Some(id) = cache.map.leader_at(regs.pc()) {
+                        if cache.runnable(id) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_isa::Asm;
+
+    fn assemble(build: impl FnOnce(&mut Asm)) -> DecodedProgram {
+        let mut asm = Asm::new();
+        build(&mut asm);
+        DecodedProgram::new(&asm.finish().unwrap())
+    }
+
+    /// A counter loop: `iters` iterations of load/add/store plus loop
+    /// control — the shape of the paper's fast-path workloads.
+    fn counter_loop(iters: i32) -> DecodedProgram {
+        assemble(|a| {
+            a.li(Reg::S0, iters);
+            a.li(Reg::S1, 64); // counter address
+            let top = a.bind_new();
+            a.lw(Reg::T0, Reg::S1, 0);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.sw(Reg::T0, Reg::S1, 0);
+            a.addi(Reg::S0, Reg::S0, -1);
+            a.bnez(Reg::S0, top);
+            a.halt();
+        })
+    }
+
+    /// Runs `program` to completion (or `deadline`) under both engines
+    /// and asserts identical observable state at every slice boundary.
+    fn assert_engines_agree(program: &DecodedProgram, profile: fn() -> CpuProfile, slices: &[u64]) {
+        let mut mi = Machine::new(profile(), 4096);
+        let mut mt = Machine::new(profile(), 4096);
+        let mut ri = RegFile::new(program.entry());
+        let mut rt = RegFile::new(program.entry());
+        let mut cache = TranslationCache::new(program, &profile(), &[]).with_threshold(1);
+        let mut deadline = 0u64;
+        for (i, slice) in slices.iter().enumerate() {
+            deadline += slice;
+            let ei = mi.run(program, &mut ri, deadline);
+            let et = mt.run_translated(program, &mut cache, &mut rt, deadline);
+            assert_eq!(ei, et, "exit diverged at slice {i}");
+            assert_eq!(mi.clock(), mt.clock(), "clock diverged at slice {i}");
+            assert_eq!(
+                mi.instructions_retired(),
+                mt.instructions_retired(),
+                "retired diverged at slice {i}"
+            );
+            assert_eq!(ri, rt, "registers diverged at slice {i}");
+            assert_eq!(
+                mi.atomic_restart_pc(),
+                mt.atomic_restart_pc(),
+                "restart bit diverged at slice {i}"
+            );
+            for addr in (0..256).step_by(4) {
+                assert_eq!(
+                    mi.mem().load(addr),
+                    mt.mem().load(addr),
+                    "memory diverged at {addr} (slice {i})"
+                );
+            }
+            if !matches!(ei, Exit::Budget) {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn hot_loop_matches_interpreter_exactly() {
+        assert_engines_agree(&counter_loop(500), CpuProfile::r3000, &[u64::MAX]);
+    }
+
+    #[test]
+    fn quantum_expiry_mid_superblock_is_exact() {
+        // Odd slice sizes land deadlines at every possible offset
+        // within the loop's trace; each boundary must match the
+        // interpreter's to the cycle.
+        let slices: Vec<u64> = (1..60).map(|i| 7 + (i % 13)).collect();
+        assert_engines_agree(&counter_loop(100), CpuProfile::r3000, &slices);
+        assert_engines_agree(&counter_loop(100), CpuProfile::i486, &slices);
+    }
+
+    #[test]
+    fn fault_mid_superblock_is_exact() {
+        // The third iteration's store faults (unaligned address
+        // computed into S1): clock/retired/pc at the fault must match.
+        let p = assemble(|a| {
+            a.li(Reg::S0, 5);
+            a.li(Reg::S1, 64);
+            let top = a.bind_new();
+            a.lw(Reg::T0, Reg::S1, 0);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.sw(Reg::T0, Reg::S1, 0);
+            a.addi(Reg::S1, Reg::S1, 2); // drifts to unaligned
+            a.addi(Reg::S0, Reg::S0, -1);
+            a.bnez(Reg::S0, top);
+            a.halt();
+        });
+        assert_engines_agree(&p, CpuProfile::r3000, &[u64::MAX]);
+    }
+
+    #[test]
+    fn out_of_range_load_faults_exactly() {
+        let p = assemble(|a| {
+            a.li(Reg::S1, 1 << 20); // far past memory
+            a.nop();
+            a.lw(Reg::T0, Reg::S1, 0);
+            a.halt();
+        });
+        assert_engines_agree(&p, CpuProfile::r3000, &[u64::MAX]);
+    }
+
+    #[test]
+    fn hardware_sequence_deopts_and_matches() {
+        // i860 restart bit: begin_atomic deopts, the whole window runs
+        // interpreted, the store clears the bit mid-window. Slicing
+        // exercises rollback-relevant boundaries (the kernel reads
+        // atomic_restart_pc at exactly these points).
+        let p = assemble(|a| {
+            a.li(Reg::S0, 20);
+            a.li(Reg::S1, 64);
+            let top = a.bind_new();
+            a.begin_atomic();
+            a.lw(Reg::T0, Reg::S1, 0);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.sw(Reg::T0, Reg::S1, 0);
+            a.addi(Reg::S0, Reg::S0, -1);
+            a.bnez(Reg::S0, top);
+            a.halt();
+        });
+        let slices: Vec<u64> = (1..80).map(|i| 3 + (i % 7)).collect();
+        assert_engines_agree(&p, CpuProfile::i860, &slices);
+        assert_engines_agree(&p, CpuProfile::i860, &[u64::MAX]);
+    }
+
+    #[test]
+    fn tas_translates_on_hardware_profiles_and_deopts_elsewhere() {
+        let p = assemble(|a| {
+            a.li(Reg::S0, 10);
+            a.li(Reg::S1, 64);
+            let top = a.bind_new();
+            a.tas(Reg::T0, Reg::S1);
+            a.sw(Reg::ZERO, Reg::S1, 0);
+            a.addi(Reg::S0, Reg::S0, -1);
+            a.bnez(Reg::S0, top);
+            a.halt();
+        });
+        // i486 has hardware TAS: runs translated.
+        assert_engines_agree(&p, CpuProfile::i486, &[u64::MAX]);
+        // r3000 does not: both engines raise the same Illegal fault.
+        assert_engines_agree(&p, CpuProfile::r3000, &[u64::MAX]);
+    }
+
+    #[test]
+    fn calls_and_indirect_returns_match() {
+        let p = assemble(|a| {
+            let func = a.label();
+            a.li(Reg::S0, 30);
+            a.li(Reg::S1, 64);
+            let top = a.bind_new();
+            a.jal(func);
+            a.addi(Reg::S0, Reg::S0, -1);
+            a.bnez(Reg::S0, top);
+            a.halt();
+            a.bind(func);
+            a.lw(Reg::T0, Reg::S1, 0);
+            a.addi(Reg::T0, Reg::T0, 3);
+            a.sw(Reg::T0, Reg::S1, 0);
+            a.jr(Reg::RA);
+        });
+        assert_engines_agree(&p, CpuProfile::r3000, &[u64::MAX]);
+        let slices: Vec<u64> = (1..40).map(|i| 5 + (i % 11)).collect();
+        assert_engines_agree(&p, CpuProfile::r3000, &slices);
+    }
+
+    #[test]
+    fn zero_destination_writes_are_discarded() {
+        let p = assemble(|a| {
+            a.li(Reg::S1, 64);
+            a.li(Reg::ZERO, 7); // all discarded
+            a.alu(AluOp::Add, Reg::ZERO, Reg::S1, Reg::S1);
+            a.lw(Reg::ZERO, Reg::S1, 0);
+            a.addi(Reg::T0, Reg::ZERO, 5); // reads hardwired zero
+            a.halt();
+        });
+        assert_engines_agree(&p, CpuProfile::r3000, &[u64::MAX]);
+    }
+
+    #[test]
+    fn compilation_waits_for_the_hot_threshold() {
+        let p = counter_loop(50);
+        let profile = CpuProfile::r3000();
+        let mut m = Machine::new(profile.clone(), 4096);
+        let mut regs = RegFile::new(p.entry());
+        let mut cache = TranslationCache::new(&p, &profile, &[]).with_threshold(1000);
+        assert_eq!(
+            m.run_translated(&p, &mut cache, &mut regs, u64::MAX),
+            Exit::Halt
+        );
+        assert_eq!(cache.compiled(), 0, "threshold never reached");
+        let s = cache.stats();
+        assert_eq!(s.translated_instructions, 0);
+        assert!(s.interpreted_instructions > 0);
+    }
+
+    #[test]
+    fn hot_code_actually_runs_translated() {
+        let p = counter_loop(200);
+        let profile = CpuProfile::r3000();
+        let mut m = Machine::new(profile.clone(), 4096);
+        let mut regs = RegFile::new(p.entry());
+        let mut cache = TranslationCache::new(&p, &profile, &[]).with_threshold(2);
+        assert_eq!(
+            m.run_translated(&p, &mut cache, &mut regs, u64::MAX),
+            Exit::Halt
+        );
+        let s = cache.stats();
+        assert!(s.blocks_compiled >= 1);
+        assert!(
+            s.translated_instructions > s.interpreted_instructions,
+            "hot loop should retire mostly translated ({s:?})"
+        );
+        assert_eq!(
+            s.translated_instructions + s.interpreted_instructions,
+            m.instructions_retired()
+        );
+        assert_eq!(s.translated_cycles + s.interpreted_cycles, m.clock());
+        // Warmup entries at cold heads are counted as deopts; `halt`
+        // heads its own block, which is uncompilable, so it simply runs
+        // interpreted without a trace-side deopt.
+        assert!(s.deopt_cold >= 1, "{s:?}");
+    }
+
+    #[test]
+    fn instrumented_mode_delegates_wholesale() {
+        let p = counter_loop(50);
+        let profile = CpuProfile::r3000();
+        let mut m = Machine::new(profile.clone(), 4096);
+        m.enable_mix();
+        let mut regs = RegFile::new(p.entry());
+        let mut cache = TranslationCache::new(&p, &profile, &[]).with_threshold(1);
+        assert_eq!(
+            m.run_translated(&p, &mut cache, &mut regs, u64::MAX),
+            Exit::Halt
+        );
+        let s = cache.stats();
+        assert_eq!(s.deopt_instrumented, 1);
+        assert_eq!(s.block_entries, 0, "no trace runs in instrumented mode");
+        let mix = m.instruction_mix();
+        assert!(mix.iter().sum::<u64>() > 0, "mix collector saw the run");
+    }
+
+    #[test]
+    fn invalidation_drops_covering_traces_and_recompiles() {
+        let p = counter_loop(100);
+        let profile = CpuProfile::r3000();
+        let mut m = Machine::new(profile.clone(), 4096);
+        let mut regs = RegFile::new(p.entry());
+        let mut cache = TranslationCache::new(&p, &profile, &[]).with_threshold(1);
+        assert_eq!(
+            m.run_translated(&p, &mut cache, &mut regs, u64::MAX),
+            Exit::Halt
+        );
+        assert!(cache.compiled() >= 1);
+        // pc 2 is the loop body; every trace covering it must go.
+        let dropped = cache.invalidate(2);
+        assert!(dropped >= 1);
+        assert_eq!(cache.stats().invalidations, dropped as u64);
+        // Rerun from scratch: recompiles and still matches the
+        // interpreter.
+        let mut m2 = Machine::new(profile.clone(), 4096);
+        let mut r2 = RegFile::new(p.entry());
+        let before = cache.stats().blocks_compiled;
+        assert_eq!(
+            m2.run_translated(&p, &mut cache, &mut r2, u64::MAX),
+            Exit::Halt
+        );
+        assert!(cache.stats().blocks_compiled > before);
+        assert_eq!(m2.clock(), {
+            let mut mi = Machine::new(profile.clone(), 4096);
+            let mut ri = RegFile::new(p.entry());
+            mi.run(&p, &mut ri, u64::MAX);
+            mi.clock()
+        });
+        assert!(cache.invalidate_all() >= 1);
+        assert_eq!(cache.compiled(), 0);
+    }
+
+    #[test]
+    fn cache_fingerprint_rejects_other_programs() {
+        let a = counter_loop(10);
+        let b = counter_loop(11);
+        let profile = CpuProfile::r3000();
+        let cache = TranslationCache::new(&a, &profile, &[]);
+        assert!(cache.matches(&a));
+        assert!(!cache.matches(&b));
+    }
+
+    #[test]
+    fn engine_kind_parses_and_displays() {
+        assert_eq!(EngineKind::parse("interp"), Some(EngineKind::Interpreter));
+        assert_eq!(
+            EngineKind::parse("interpreter"),
+            Some(EngineKind::Interpreter)
+        );
+        assert_eq!(
+            EngineKind::parse("translated"),
+            Some(EngineKind::Translated)
+        );
+        assert_eq!(EngineKind::parse("jit"), None);
+        assert_eq!(EngineKind::Translated.to_string(), "translated");
+        assert_eq!(EngineKind::default(), EngineKind::Interpreter);
+    }
+}

@@ -1,10 +1,19 @@
 //! Property tests for the CPU interpreter: ALU semantics against a native
-//! oracle, preemption-transparency of `run`, and the differential
-//! equivalence of the fast and instrumented loop variants.
+//! oracle, preemption-transparency of `run`, and the three-way
+//! differential equivalence of the fast, instrumented, and translated
+//! execution engines.
 
 use proptest::prelude::*;
 use ras_isa::{AluOp, Asm, DecodedProgram, Reg};
-use ras_machine::{CpuProfile, Exit, Machine, RegFile};
+use ras_machine::{CpuProfile, Exit, Machine, RegFile, TranslationCache};
+
+/// Which execution engine a differential replay drives.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Replay {
+    Fast,
+    Instrumented,
+    Translated,
+}
 
 fn arb_alu_op() -> impl Strategy<Value = AluOp> {
     prop_oneof![
@@ -144,15 +153,17 @@ proptest! {
         }
     }
 
-    /// Differential test of the two monomorphized loop variants: replaying
-    /// a random program under random preemption slices on the fast loop
-    /// and on the forced-instrumented loop must observe identical
-    /// (exit, pc, clock, register-file, memory-digest, restart-bit,
-    /// retired-count) streams — on plain profiles, on one with hardware
-    /// TAS, and on the i860 with its restart bit (where some generated
-    /// instructions fault as illegal, which must also match).
+    /// Three-way differential test of the execution engines: replaying a
+    /// random program under random preemption slices on the fast loop, on
+    /// the forced-instrumented loop, and through the translation tier
+    /// (hot threshold 1, cache persisting across slices so compiled
+    /// traces really execute) must observe identical (exit, pc, clock,
+    /// register-file, memory-digest, restart-bit, retired-count) streams
+    /// — on plain profiles, on one with hardware TAS, and on the i860
+    /// with its restart bit (where some generated instructions fault as
+    /// illegal, which must also match).
     #[test]
-    fn fast_and_instrumented_loops_are_equivalent(
+    fn fast_translated_and_instrumented_engines_are_equivalent(
         ops in prop::collection::vec((0u8..10, any::<i16>()), 1..60),
         slices in prop::collection::vec(1u64..8, 1..40),
     ) {
@@ -180,15 +191,21 @@ proptest! {
                 asm.halt();
                 DecodedProgram::new(&asm.finish().unwrap())
             };
-            let replay = |force: bool| {
+            let replay = |mode: Replay| {
                 let mut machine = Machine::new(profile.clone(), 256);
-                machine.set_force_instrumented(force);
+                machine.set_force_instrumented(mode == Replay::Instrumented);
+                let mut cache = TranslationCache::new(&program, &profile, &[]).with_threshold(1);
                 let mut regs = RegFile::new(0);
                 let mut stream = Vec::new();
                 let mut deadline = 0;
                 for s in &slices {
                     deadline += *s;
-                    let exit = machine.run(&program, &mut regs, deadline);
+                    let exit = match mode {
+                        Replay::Translated => {
+                            machine.run_translated(&program, &mut cache, &mut regs, deadline)
+                        }
+                        _ => machine.run(&program, &mut regs, deadline),
+                    };
                     let mut digest = 0u64;
                     for addr in (0..256u32).step_by(4) {
                         digest = digest
@@ -209,7 +226,9 @@ proptest! {
                 }
                 stream
             };
-            prop_assert_eq!(replay(false), replay(true));
+            let fast = replay(Replay::Fast);
+            prop_assert_eq!(&fast, &replay(Replay::Instrumented));
+            prop_assert_eq!(&fast, &replay(Replay::Translated));
         }
     }
 }

@@ -9,6 +9,10 @@
 //! * `--schedules N` — schedule cap per target (default 100000)
 //! * `--workers N` — worker threads in the model workload (default 2)
 //! * `--iterations N` — critical sections per worker (default 1)
+//! * `--engine E` — machine engine for the explored kernels, `interp`
+//!   (default) or `translated`; reports are byte-identical either way
+//!   because oracle stepping always deoptimizes — the flag lets CI prove
+//!   that equivalence end to end
 //! * `--target ID` — only check targets whose id contains `ID`
 //!   (repeatable); e.g. `--target ras-inline`
 //! * `--smoke` — quick subset for CI: one software target, one hardware
@@ -27,6 +31,7 @@
 use std::process::ExitCode;
 
 use ras_diag::Diagnostic;
+use ras_machine::EngineKind;
 use ras_model::{check_target, CheckConfig, ModelTarget, TargetReport};
 
 struct Options {
@@ -59,6 +64,12 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
             "--schedules" => opts.config.max_schedules = num("--schedules", &mut args)?,
             "--workers" => opts.config.workers = num("--workers", &mut args)? as usize,
             "--iterations" => opts.config.iterations = num("--iterations", &mut args)? as u32,
+            "--engine" => {
+                let value = args.next().ok_or("--engine requires a value")?;
+                opts.config.engine = EngineKind::parse(&value).ok_or_else(|| {
+                    format!("bad value for --engine: {value} (want interp or translated)")
+                })?;
+            }
             "--target" => opts
                 .filters
                 .push(args.next().ok_or("--target requires a value")?),
@@ -77,7 +88,8 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: ras-check [--bound N] [--depth N] [--schedules N] [--workers N] \
-         [--iterations N] [--target ID]... [--smoke] [--json] [--trace-out PATH]"
+         [--iterations N] [--engine interp|translated] [--target ID]... [--smoke] \
+         [--json] [--trace-out PATH]"
     );
 }
 

@@ -57,7 +57,7 @@ use ras_guest::workloads::{model_counter, ModelSpec, TasFlavor};
 use ras_guest::{BuiltGuest, Mechanism};
 use ras_isa::{Inst, Reg, SeqRange};
 use ras_kernel::{Checkpoint, Decision, Kernel, StepOutcome, StrategyKind, ThreadId, ThreadState};
-use ras_machine::{AccessKind, CpuProfile};
+use ras_machine::{AccessKind, CpuProfile, EngineKind};
 
 use crate::hb::{Race, RaceDetector};
 use crate::pathset::PathSet;
@@ -89,6 +89,12 @@ pub struct CheckConfig {
     /// Purely a parallelism knob: merged reports are byte-identical to a
     /// sequential search.
     pub split_depth: u32,
+    /// Which machine engine the explored kernels boot with. The explorer
+    /// single-steps every kernel (oracle mode), and instruction-granular
+    /// observation is a standing deoptimization point, so reports are
+    /// byte-identical under either engine — the differential smoke test
+    /// asserts it. The knob exists so CI can prove that claim end to end.
+    pub engine: EngineKind,
 }
 
 impl Default for CheckConfig {
@@ -101,6 +107,7 @@ impl Default for CheckConfig {
             iterations: 1,
             checkpoints: true,
             split_depth: 3,
+            engine: EngineKind::Interpreter,
         }
     }
 }
@@ -637,6 +644,7 @@ impl<'a> Explorer<'a> {
         kc.mem_bytes = 32 * 1024;
         kc.stack_bytes = 4096;
         kc.max_threads = self.config.workers + 2;
+        kc.engine = self.config.engine;
         let mut kernel = self.built.boot(kc).expect("model workload boots");
         if with_log {
             kernel.enable_access_log();

@@ -39,7 +39,7 @@ mod recorder;
 pub use crate::event::{ObsEvent, SwitchReason, TimedObsEvent};
 pub use crate::json::{parse_json, Json};
 pub use crate::lockprof::{lock_profile, LockProfile};
-pub use crate::metrics::{CheckpointCounters, Metrics, ThreadMetrics};
+pub use crate::metrics::{CheckpointCounters, Metrics, ThreadMetrics, TranslationCounters};
 pub use crate::perfetto::{chrome_trace, validate_chrome_trace, TraceSummary};
 pub use crate::profile::{render_hotspots, symbolized_profile, HotSpot};
 pub use crate::recorder::{Recorder, Recording};

@@ -331,6 +331,76 @@ impl CheckpointCounters {
     }
 }
 
+/// The translation tier's counters, in the same shape the other
+/// observability counters use. These come from the machine's
+/// [`ras_machine::TranslationStats`] (host-side compilation mechanics,
+/// invisible to the simulated architecture), so this is a plain carrier
+/// with a renderer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationCounters {
+    /// Basic blocks discovered as trace-head candidates.
+    pub blocks_discovered: u64,
+    /// Trace heads compiled into host closures.
+    pub blocks_compiled: u64,
+    /// Compiled-trace entries from the dispatcher.
+    pub block_entries: u64,
+    /// Guest instructions retired inside compiled traces.
+    pub translated_instructions: u64,
+    /// Guest cycles charged inside compiled traces.
+    pub translated_cycles: u64,
+    /// Guest instructions retired by the interpreter fallback.
+    pub interpreted_instructions: u64,
+    /// Guest cycles charged by the interpreter fallback.
+    pub interpreted_cycles: u64,
+    /// Deoptimizations back to the interpreter, all reasons summed.
+    pub deopts: u64,
+    /// Compiled traces dropped by invalidation.
+    pub invalidations: u64,
+}
+
+impl From<ras_machine::TranslationStats> for TranslationCounters {
+    fn from(s: ras_machine::TranslationStats) -> TranslationCounters {
+        TranslationCounters {
+            blocks_discovered: s.blocks_discovered,
+            blocks_compiled: s.blocks_compiled,
+            block_entries: s.block_entries,
+            translated_instructions: s.translated_instructions,
+            translated_cycles: s.translated_cycles,
+            interpreted_instructions: s.interpreted_instructions,
+            interpreted_cycles: s.interpreted_cycles,
+            deopts: s.deopts(),
+            invalidations: s.invalidations,
+        }
+    }
+}
+
+impl TranslationCounters {
+    /// The compact text section, matching [`Metrics::render`]'s layout.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "translation tier");
+        let mut line = |k: &str, v: String| {
+            let _ = writeln!(s, "  {k:<28} {v}");
+        };
+        line("blocks discovered", self.blocks_discovered.to_string());
+        line("blocks compiled", self.blocks_compiled.to_string());
+        line("block entries", self.block_entries.to_string());
+        line(
+            "translated instructions",
+            self.translated_instructions.to_string(),
+        );
+        line("translated cycles", self.translated_cycles.to_string());
+        line(
+            "interpreted instructions",
+            self.interpreted_instructions.to_string(),
+        );
+        line("interpreted cycles", self.interpreted_cycles.to_string());
+        line("deopts", self.deopts.to_string());
+        line("invalidations", self.invalidations.to_string());
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +422,42 @@ mod tests {
             "states deduped",
             "2048",
             "17",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn translation_counters_convert_and_render_every_field() {
+        let s = ras_machine::TranslationStats {
+            blocks_discovered: 9,
+            blocks_compiled: 3,
+            block_entries: 41,
+            translated_instructions: 5000,
+            translated_cycles: 5100,
+            interpreted_instructions: 77,
+            interpreted_cycles: 80,
+            deopt_sequence: 2,
+            deopt_deadline: 5,
+            invalidations: 1,
+            ..Default::default()
+        };
+        let tc = TranslationCounters::from(s);
+        assert_eq!(tc.deopts, 7, "deopt reasons sum into one counter");
+        let text = tc.render();
+        for needle in [
+            "translation tier",
+            "blocks discovered",
+            "blocks compiled",
+            "block entries",
+            "translated instructions",
+            "translated cycles",
+            "interpreted instructions",
+            "interpreted cycles",
+            "deopts",
+            "invalidations",
+            "5000",
+            "41",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
