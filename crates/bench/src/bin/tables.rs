@@ -39,11 +39,14 @@ fn main() {
                 std::fs::write(&path, &json).expect("write trajectory point");
                 print!("{json}");
                 eprintln!(
-                    "wrote {} (verify {:.0} ms, {:.2}x vs baseline; {:.1}M simulated instructions/s fast)",
+                    "wrote {} (verify {:.0} ms, {:.2}x vs baseline; {:.1}M simulated instructions/s fast; \
+                     lock-server {:.0} ops/s at {:.3}x telemetry overhead)",
                     path.display(),
                     point.verify_wall_ms,
                     point.verify_speedup(),
                     point.fast_ips() / 1e6,
+                    point.lock_server_ops_per_second(),
+                    point.telemetry_overhead_ratio(),
                 );
                 std::process::exit(0);
             }

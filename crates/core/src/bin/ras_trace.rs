@@ -32,7 +32,9 @@ use ras_guest::workloads::{
 };
 use ras_guest::BuiltGuest;
 use ras_machine::CpuProfile;
-use ras_obs::{chrome_trace, render_hotspots, symbolized_profile, validate_chrome_trace};
+use ras_obs::{
+    chrome_trace, chrome_trace_to, render_hotspots, symbolized_profile, validate_chrome_trace,
+};
 
 struct Options {
     mechanism: Mechanism,
@@ -149,6 +151,19 @@ fn build_workload(opts: &Options) -> Result<BuiltGuest, String> {
     })
 }
 
+fn stream_trace(
+    path: &str,
+    events: &[ras_obs::TimedObsEvent],
+    mhz: f64,
+    name: &str,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    chrome_trace_to(&mut w, events, mhz, name)?;
+    w.flush()
+}
+
 fn emit(path: Option<&str>, content: &str) -> Result<(), String> {
     match path {
         Some(p) => std::fs::write(p, content).map_err(|e| format!("writing {p}: {e}")),
@@ -188,7 +203,29 @@ fn main() -> ExitCode {
     match opts.format.as_str() {
         "perfetto" => {
             let name = format!("{} / {}", opts.mechanism.id(), opts.workload);
-            let trace = chrome_trace(recording.events(), mhz, &name);
+            // With --out, stream the trace straight to the file so the
+            // JSON document is never held in memory; validation re-reads
+            // the bytes actually written. Without --out the trace is
+            // small enough to buffer for stdout.
+            let trace = match opts.out.as_deref() {
+                Some(path) => {
+                    if let Err(e) = stream_trace(path, recording.events(), mhz, &name) {
+                        eprintln!("ras-trace: writing {path}: {e}");
+                        return ExitCode::from(1);
+                    }
+                    if !opts.check {
+                        return ExitCode::SUCCESS;
+                    }
+                    match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("ras-trace: re-reading {path}: {e}");
+                            return ExitCode::from(1);
+                        }
+                    }
+                }
+                None => chrome_trace(recording.events(), mhz, &name),
+            };
             if opts.check {
                 match validate_chrome_trace(&trace) {
                     Ok(summary) => {
@@ -203,9 +240,8 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            if let Err(e) = emit(opts.out.as_deref(), &trace) {
-                eprintln!("ras-trace: {e}");
-                return ExitCode::from(1);
+            if opts.out.is_none() {
+                println!("{trace}");
             }
         }
         _ => {

@@ -56,6 +56,14 @@ pub struct RunOptions {
     /// the machine deoptimizes wholesale so collectors see every
     /// instruction.
     pub engine: EngineKind,
+    /// Lock words to watch with streaming telemetry (wait/hold
+    /// histograms, sharded counters — see [`ras_obs::Telemetry`]).
+    /// `None` leaves telemetry off; retrieve the aggregate from the kept
+    /// kernel with `take_telemetry`.
+    pub telemetry_locks: Option<Vec<u32>>,
+    /// Additionally retain every watched access in the telemetry
+    /// aggregate (O(events) memory — differential tests only).
+    pub telemetry_raw: bool,
 }
 
 impl RunOptions {
@@ -76,6 +84,8 @@ impl RunOptions {
             observe: Observe::Off,
             pc_profile: false,
             engine: EngineKind::default(),
+            telemetry_locks: None,
+            telemetry_raw: false,
         }
     }
 }
@@ -170,6 +180,9 @@ pub fn run_guest_keeping_kernel(built: &BuiltGuest, options: &RunOptions) -> (Ru
     }
     if options.pc_profile {
         kernel.enable_pc_profile();
+    }
+    if let Some(locks) = &options.telemetry_locks {
+        kernel.enable_telemetry(locks, options.telemetry_raw);
     }
     let outcome = kernel.run(options.fuel);
     assert!(

@@ -9,6 +9,9 @@
 //!   the §4.1 "richer sequences" demonstration.
 //! * [`model_counter`] — the instrumented critical section driven
 //!   exhaustively by the `ras-model` checker.
+//! * [`lock_server`] — N clients hammering M locks under uniform,
+//!   Zipfian, or bursty arrival schedules; the driver workload for the
+//!   streaming telemetry pipeline.
 //! * [`parthenon`], [`proton64`], [`text_format`], [`afs_bench`] —
 //!   synthetic analogues of the §5.3 applications of Table 3 (the
 //!   originals — a LaTeX run, the Andrew benchmark, the Parthenon theorem
@@ -18,6 +21,7 @@
 
 mod apps;
 mod counter;
+mod lockserver;
 mod malloc;
 mod model;
 mod stack;
@@ -28,6 +32,7 @@ pub use apps::{
     TextFormatSpec,
 };
 pub use counter::{counter_loop, CounterBody, CounterSpec};
+pub use lockserver::{lock_addresses, lock_server, schedule, Arrival, LockServerSpec};
 pub use malloc::{malloc_stress, MallocSpec};
 pub use model::{model_counter, ModelSpec, TasFlavor};
 pub use stack::{treiber_stack, StackSpec};

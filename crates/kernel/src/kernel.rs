@@ -10,7 +10,7 @@ use ras_machine::{
     CpuProfile, EngineKind, Exit, Fault, Machine, PagingConfig, RegFile, TranslationCache,
     TranslationStats,
 };
-use ras_obs::{ObsEvent, Recorder, Recording, SwitchReason};
+use ras_obs::{ObsEvent, Recorder, Recording, SwitchReason, Telemetry};
 
 use crate::{
     CheckTime, Event, KernelStats, PreemptionPolicy, Strategy, StrategyKind, Tcb, ThreadId,
@@ -522,6 +522,59 @@ impl Kernel {
         self.recording.take().map(|boxed| *boxed)
     }
 
+    /// Starts streaming lock/scheduler telemetry over `lock_addrs` (see
+    /// [`ras_obs::Telemetry`]). Turns on the machine's access log and
+    /// attaches a [`Telemetry`] aggregate to the recording (starting a
+    /// metrics-only recording if none is active); the kernel drains the
+    /// access log at every scheduling boundary, so memory stays
+    /// O(locks × histogram buckets) regardless of run length.
+    ///
+    /// With `capture_raw` true the aggregate additionally retains every
+    /// watched access — O(events) memory, intended only for differential
+    /// tests that compare streaming percentiles against exact ones.
+    pub fn enable_telemetry(&mut self, lock_addrs: &[u32], capture_raw: bool) {
+        self.enable_recording(false);
+        self.machine.enable_access_log();
+        // Filter at the source: only the watched lock words enter the
+        // log, so its growth between boundary drains tracks lock
+        // traffic, not total memory traffic.
+        self.machine.set_access_watch(lock_addrs);
+        let mut telemetry = Telemetry::new(lock_addrs);
+        telemetry.set_capture_raw(capture_raw);
+        self.recording
+            .as_deref_mut()
+            .expect("recording was just enabled")
+            .set_telemetry(telemetry);
+    }
+
+    /// The attached telemetry aggregate, if [`Kernel::enable_telemetry`]
+    /// was called.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.recording.as_deref().and_then(|r| r.telemetry())
+    }
+
+    /// Detaches and returns the telemetry aggregate (flushing nothing:
+    /// call after the run loop has returned, when all boundaries have
+    /// been drained).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.recording
+            .as_deref_mut()
+            .and_then(|r| r.take_telemetry())
+    }
+
+    /// Drains the machine's access log into the telemetry aggregate,
+    /// attributing every access to `tid` — called at scheduling
+    /// boundaries while the thread that performed the accesses is still
+    /// current, so attribution is exact. No-op without telemetry.
+    fn drain_telemetry(&mut self, tid: ThreadId) {
+        let Kernel {
+            machine, recording, ..
+        } = self;
+        if let Some(tel) = recording.as_deref_mut().and_then(|r| r.telemetry_mut()) {
+            machine.drain_accesses(|a| tel.observe(tid.0, a));
+        }
+    }
+
     /// Enables the machine's per-PC cycle histogram (see
     /// [`ras_machine::Machine::enable_pc_profile`]).
     pub fn enable_pc_profile(&mut self) {
@@ -847,6 +900,14 @@ impl Kernel {
         self.last_running = Some(tid);
         self.record(Event::Dispatch { thread: tid });
         self.emit(ObsEvent::Dispatch { thread: tid.0 });
+        let depth = self.ready.len() as u64;
+        if let Some(tel) = self
+            .recording
+            .as_deref_mut()
+            .and_then(|r| r.telemetry_mut())
+        {
+            tel.sample_runqueue(depth);
+        }
         // The timer slice starts when the thread reaches user level, so a
         // quantum buys actual user execution even when kernel overhead
         // (context switch, checks) exceeds it.
@@ -1131,6 +1192,11 @@ impl Kernel {
                     .set(Reg::V0, abi::ERR_UNSUPPORTED);
             }
         }
+        // A kernel-emulated Test-And-Set logged its RMW above; drain it
+        // (and any user accesses from the slice) while `tid` is still the
+        // thread that performed them — after a preemption the attribution
+        // would be lost.
+        self.drain_telemetry(tid);
         // Interrupts were disabled during the trap; a timer tick that
         // landed in the meantime is delivered on the way back to user
         // level. This is exactly the §5.3 effect: under kernel emulation a
@@ -1146,6 +1212,12 @@ impl Kernel {
     /// race sanitizer drains it after every step.
     pub fn enable_access_log(&mut self) {
         self.machine.enable_access_log();
+    }
+
+    /// Restricts the machine's access log to `addrs` (see
+    /// [`ras_machine::Machine::set_access_watch`]).
+    pub fn set_access_watch(&mut self, addrs: &[u32]) {
+        self.machine.set_access_watch(addrs);
     }
 
     /// Drains the machine's access log.
@@ -1363,6 +1435,7 @@ impl Kernel {
             machine.step(decoded, &mut threads[tid.0 as usize].regs)
         };
         self.threads[tid.0 as usize].user_cycles += self.machine.clock() - before;
+        self.drain_telemetry(tid);
         match exit {
             // A retired instruction, or (unreachably) a budget stop —
             // `Machine::step` has no deadline to exhaust.
@@ -1496,6 +1569,9 @@ impl Kernel {
                 threads[tid.0 as usize].user_cycles += machine.clock() - before;
                 exit
             };
+            // Scheduling boundary: fold the slice's watched accesses into
+            // the telemetry aggregate before the exit can switch threads.
+            self.drain_telemetry(tid);
             match exit {
                 Exit::Budget => {
                     if self.machine.clock() >= limit && limit < self.slice_deadline {

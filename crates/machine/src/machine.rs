@@ -49,6 +49,16 @@ pub struct MemAccess {
     pub value: u32,
 }
 
+/// Bookkeeping level of the monomorphized execution core: every
+/// collector compiled out — the fast loop.
+pub(crate) const LEVEL_FAST: u8 = 0;
+/// Watched-access telemetry only: memory operations check the access
+/// watch and log hits, everything else compiles out.
+pub(crate) const LEVEL_TELEMETRY: u8 = 1;
+/// Every collector live: mix, trace, unfiltered access log, per-PC
+/// cycles, and dirty tracking.
+pub(crate) const LEVEL_FULL: u8 = 2;
+
 /// Why [`Machine::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Exit {
@@ -127,6 +137,19 @@ pub struct Machine {
     trace: Option<TraceRing>,
     /// Optional log of data-memory accesses (see [`Machine::enable_access_log`]).
     access_log: Option<Vec<MemAccess>>,
+    /// Optional sorted address filter for the access log (see
+    /// [`Machine::set_access_watch`]): when present, only accesses to
+    /// these addresses are logged.
+    access_watch: Option<AccessWatch>,
+    /// Hoisted quick-reject range for the watch, kept directly on the
+    /// machine so the telemetry loop reads two hot fields per memory
+    /// operation instead of chasing the `Option<AccessWatch>` box. An
+    /// access with `addr - watch_lo > watch_span` (wrapping) cannot be
+    /// watched; lock words sit in one small contiguous data region, so
+    /// stack and counter traffic is rejected by this single compare.
+    /// `(0, u32::MAX)` — everything passes — when no watch is installed.
+    watch_lo: u32,
+    watch_span: u32,
     /// Optional per-PC cycle histogram (see [`Machine::enable_pc_profile`]),
     /// grown on demand to cover the highest PC executed.
     pc_cycles: Option<Vec<u64>>,
@@ -134,6 +157,21 @@ pub struct Machine {
     /// instrumentation enabled — for differential benchmarking of the two
     /// monomorphized loop variants.
     force_instrumented: bool,
+}
+
+/// The access-log address filter: a sorted set, consulted only after
+/// the hoisted range check on the machine has already passed.
+#[derive(Debug, Clone)]
+struct AccessWatch {
+    /// The watched addresses, sorted for binary search.
+    addrs: Box<[u32]>,
+}
+
+impl AccessWatch {
+    #[inline(always)]
+    fn hit(&self, addr: DataAddr) -> bool {
+        self.addrs.binary_search(&addr).is_ok()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -174,6 +212,9 @@ impl Machine {
             mix: None,
             trace: None,
             access_log: None,
+            access_watch: None,
+            watch_lo: 0,
+            watch_span: u32::MAX,
             pc_cycles: None,
             force_instrumented: false,
         }
@@ -210,6 +251,55 @@ impl Machine {
         self.access_log.is_some()
     }
 
+    /// Restricts the access log to `addrs`: accesses to any other
+    /// address are dropped before they reach the buffer. The streaming
+    /// telemetry layer watches a handful of lock words over millions of
+    /// ordinary accesses; filtering at the source keeps the log — and
+    /// the per-boundary drain — proportional to lock traffic instead of
+    /// total memory traffic. Passing a new set replaces the old one.
+    pub fn set_access_watch(&mut self, addrs: &[u32]) {
+        let mut sorted: Vec<u32> = addrs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.watch_lo = sorted.first().copied().unwrap_or(u32::MAX);
+        self.watch_span = match (sorted.first(), sorted.last()) {
+            (Some(&lo), Some(&hi)) => hi - lo,
+            _ => 0,
+        };
+        self.access_watch = Some(AccessWatch {
+            addrs: sorted.into_boxed_slice(),
+        });
+    }
+
+    /// Removes the access-log address filter: every data access is
+    /// logged again.
+    pub fn clear_access_watch(&mut self) {
+        self.access_watch = None;
+        self.watch_lo = 0;
+        self.watch_span = u32::MAX;
+    }
+
+    /// The telemetry loop's per-memory-operation test: one wrapping
+    /// subtract and compare against the hoisted watch range. False
+    /// positives (unwatched addresses between two lock words) are
+    /// resolved by the exact search inside `log_access`; an address
+    /// outside the range is proven unwatched without touching the watch
+    /// set.
+    #[inline(always)]
+    fn watch_may_hit(&self, addr: DataAddr) -> bool {
+        addr.wrapping_sub(self.watch_lo) <= self.watch_span
+    }
+
+    /// Whether `addr` passes the access-log filter (vacuously true when
+    /// no watch set is installed).
+    #[inline(always)]
+    fn watched(&self, addr: DataAddr) -> bool {
+        match &self.access_watch {
+            None => true,
+            Some(watch) => watch.hit(addr),
+        }
+    }
+
     /// Drains and returns the accesses logged since the last call. Empty
     /// unless [`Machine::enable_access_log`] was called.
     pub fn take_accesses(&mut self) -> Vec<MemAccess> {
@@ -239,6 +329,9 @@ impl Machine {
     /// writing 1.
     pub fn log_kernel_rmw(&mut self, pc: CodeAddr, addr: DataAddr, old: u32) {
         let clock = self.clock;
+        if !self.watched(addr) {
+            return;
+        }
         if let Some(log) = &mut self.access_log {
             log.push(MemAccess {
                 pc,
@@ -251,6 +344,11 @@ impl Machine {
         }
     }
 
+    // `cold` + `inline(never)` keep the log push out of `execute_one`'s
+    // hot path: inlined call sites on the telemetry loop otherwise bloat
+    // the dispatch enough to tax *every* instruction, watched or not.
+    #[cold]
+    #[inline(never)]
     fn log_access(
         &mut self,
         pc: CodeAddr,
@@ -260,6 +358,19 @@ impl Machine {
         value: u32,
     ) {
         let clock = self.clock;
+        if let Some(watch) = &self.access_watch {
+            if !watch.hit(addr) {
+                return;
+            }
+            // A watched load that read zero observed the lock free — a
+            // non-event to every consumer of a filtered stream (the
+            // streaming telemetry and the exact offline replay both
+            // ignore it), and the single largest class of watched
+            // traffic on an uncontended workload.
+            if kind == AccessKind::Load && value == 0 {
+                return;
+            }
+        }
         if let Some(log) = &mut self.access_log {
             log.push(MemAccess {
                 pc,
@@ -488,20 +599,43 @@ impl Machine {
     /// the hardware defers interrupts until the bit clears (next store or
     /// 32-cycle expiry), exactly as described in §7 of the paper.
     ///
-    /// Dispatches to one of two monomorphized loop variants sharing a
+    /// Dispatches to one of three monomorphized loop variants sharing a
     /// single `execute_one` core: a fast loop with all bookkeeping
-    /// compiled out, taken whenever no instrumentation is enabled, and an
-    /// instrumented loop feeding the mix/trace/access-log collectors. Both
-    /// retire bit-identical architectural state.
+    /// compiled out, taken whenever no instrumentation is enabled; a
+    /// telemetry loop whose only addition is the watched-address check
+    /// on memory operations (what the streaming lock telemetry needs,
+    /// cheap enough to run in production); and a fully instrumented loop
+    /// feeding the mix/trace/access-log collectors. All three retire
+    /// bit-identical architectural state.
     pub fn run(&mut self, program: &DecodedProgram, regs: &mut RegFile, deadline: u64) -> Exit {
-        if self.instrumented() {
-            self.run_loop::<true>(program, regs, deadline)
-        } else {
-            self.run_loop::<false>(program, regs, deadline)
+        match self.level() {
+            LEVEL_FAST => self.run_loop::<LEVEL_FAST>(program, regs, deadline),
+            LEVEL_TELEMETRY => self.run_loop::<LEVEL_TELEMETRY>(program, regs, deadline),
+            _ => self.run_loop::<LEVEL_FULL>(program, regs, deadline),
         }
     }
 
-    fn run_loop<const INSTRUMENTED: bool>(
+    /// Which loop variant [`Machine::run`] will take. A watch-filtered
+    /// access log with no other collector is the telemetry level; an
+    /// unfiltered log (the model checker's race sanitizer wants every
+    /// access) or any other collector forces the full level.
+    fn level(&self) -> u8 {
+        if self.force_instrumented
+            || self.mix.is_some()
+            || self.trace.is_some()
+            || self.pc_cycles.is_some()
+            || self.mem.dirty_enabled()
+            || (self.access_log.is_some() && self.access_watch.is_none())
+        {
+            LEVEL_FULL
+        } else if self.access_log.is_some() {
+            LEVEL_TELEMETRY
+        } else {
+            LEVEL_FAST
+        }
+    }
+
+    fn run_loop<const LEVEL: u8>(
         &mut self,
         program: &DecodedProgram,
         regs: &mut RegFile,
@@ -519,7 +653,7 @@ impl Machine {
                 // whole batch unless an instruction sets it (which breaks
                 // out), so the expiry poll is a no-op here too.
                 while self.atomic_from.is_none() && self.clock.saturating_add(bound) <= deadline {
-                    if let Some(exit) = self.execute_counted::<INSTRUMENTED>(program, regs, &cost) {
+                    if let Some(exit) = self.execute_counted::<LEVEL>(program, regs, &cost) {
                         return exit;
                     }
                 }
@@ -530,7 +664,7 @@ impl Machine {
                     if self.clock >= deadline {
                         return Exit::Budget;
                     }
-                    if let Some(exit) = self.execute_counted::<INSTRUMENTED>(program, regs, &cost) {
+                    if let Some(exit) = self.execute_counted::<LEVEL>(program, regs, &cost) {
                         return exit;
                     }
                 }
@@ -538,7 +672,7 @@ impl Machine {
                 // Atomic window: interrupts are deferred until the bit
                 // clears, so the deadline is not consulted; expiry is
                 // polled at the top of the loop after every instruction.
-                if let Some(exit) = self.execute_counted::<INSTRUMENTED>(program, regs, &cost) {
+                if let Some(exit) = self.execute_counted::<LEVEL>(program, regs, &cost) {
                     return exit;
                 }
             }
@@ -553,27 +687,27 @@ impl Machine {
     /// collector.
     pub fn step(&mut self, program: &DecodedProgram, regs: &mut RegFile) -> Option<Exit> {
         let cost = self.cost;
-        self.execute_counted::<true>(program, regs, &cost)
+        self.execute_counted::<LEVEL_FULL>(program, regs, &cost)
     }
 
     /// Wraps [`Machine::execute_one`] with the per-PC cycle histogram.
-    /// On the fast path (`INSTRUMENTED` false) this delegates directly
-    /// and compiles to the same code as calling `execute_one`; on the
-    /// instrumented path it measures the clock delta each instruction
-    /// charged and accumulates it into that PC's bucket.
+    /// Below `LEVEL_FULL` this delegates directly and compiles to the
+    /// same code as calling `execute_one`; on the fully instrumented
+    /// path it measures the clock delta each instruction charged and
+    /// accumulates it into that PC's bucket.
     #[inline(always)]
-    pub(crate) fn execute_counted<const INSTRUMENTED: bool>(
+    pub(crate) fn execute_counted<const LEVEL: u8>(
         &mut self,
         program: &DecodedProgram,
         regs: &mut RegFile,
         cost: &CostModel,
     ) -> Option<Exit> {
-        if !INSTRUMENTED || self.pc_cycles.is_none() {
-            return self.execute_one::<INSTRUMENTED>(program, regs, cost);
+        if LEVEL != LEVEL_FULL || self.pc_cycles.is_none() {
+            return self.execute_one::<LEVEL>(program, regs, cost);
         }
         let pc = regs.pc();
         let before = self.clock;
-        let exit = self.execute_one::<INSTRUMENTED>(program, regs, cost);
+        let exit = self.execute_one::<LEVEL>(program, regs, cost);
         let charged = self.clock - before;
         if let Some(hist) = &mut self.pc_cycles {
             let i = pc as usize;
@@ -587,11 +721,12 @@ impl Machine {
 
     /// The single execution core shared by both [`Machine::run`] loop
     /// variants and [`Machine::step`], so the fast path cannot drift from
-    /// the instrumented one. With `INSTRUMENTED` false the mix, trace, and
-    /// access-log bookkeeping compiles down to nothing; `cost` is the
-    /// caller-hoisted cost model.
+    /// the instrumented one. At `LEVEL_FAST` the mix, trace, and
+    /// access-log bookkeeping compiles down to nothing; at
+    /// `LEVEL_TELEMETRY` only the watched-address check on memory
+    /// operations survives; `cost` is the caller-hoisted cost model.
     #[inline(always)]
-    fn execute_one<const INSTRUMENTED: bool>(
+    fn execute_one<const LEVEL: u8>(
         &mut self,
         program: &DecodedProgram,
         regs: &mut RegFile,
@@ -602,7 +737,7 @@ impl Machine {
             return Some(Exit::Fault(Fault::BadPc { pc }));
         };
         self.retired += 1;
-        if INSTRUMENTED {
+        if LEVEL == LEVEL_FULL {
             if let Some(mix) = &mut self.mix {
                 mix[program.opcode_index(pc)] += 1;
             }
@@ -646,7 +781,9 @@ impl Machine {
                 let addr = regs.get(base).wrapping_add(off as u32);
                 match self.mem.load(addr) {
                     Ok(v) => {
-                        if INSTRUMENTED {
+                        if LEVEL == LEVEL_FULL
+                            || (LEVEL == LEVEL_TELEMETRY && self.watch_may_hit(addr))
+                        {
                             self.log_access(
                                 pc,
                                 addr,
@@ -666,7 +803,7 @@ impl Machine {
                 let addr = regs.get(base).wrapping_add(off as u32);
                 let was_atomic = self.atomic_from.is_some();
                 let value = regs.get(rs);
-                let stored = if INSTRUMENTED {
+                let stored = if LEVEL == LEVEL_FULL {
                     self.mem.store_tracked(addr, value)
                 } else {
                     self.mem.store(addr, value)
@@ -676,7 +813,9 @@ impl Machine {
                         // A store commits and releases an i860 atomic
                         // sequence.
                         self.atomic_from = None;
-                        if INSTRUMENTED {
+                        if LEVEL == LEVEL_FULL
+                            || (LEVEL == LEVEL_TELEMETRY && self.watch_may_hit(addr))
+                        {
                             self.log_access(pc, addr, AccessKind::Store, was_atomic, value);
                         }
                         regs.advance();
@@ -739,7 +878,7 @@ impl Machine {
                     Ok(v) => v,
                     Err(e) => return Some(Exit::Fault(Self::mem_fault(e, addr, pc))),
                 };
-                let stored = if INSTRUMENTED {
+                let stored = if LEVEL == LEVEL_FULL {
                     self.mem.store_tracked(addr, 1)
                 } else {
                     self.mem.store(addr, 1)
@@ -748,7 +887,7 @@ impl Machine {
                     return Some(Exit::Fault(Self::mem_fault(e, addr, pc)));
                 }
                 self.atomic_from = None;
-                if INSTRUMENTED {
+                if LEVEL == LEVEL_FULL || (LEVEL == LEVEL_TELEMETRY && self.watch_may_hit(addr)) {
                     self.log_access(pc, addr, AccessKind::Rmw, true, old);
                 }
                 regs.set(rd, old);
@@ -1052,6 +1191,40 @@ mod tests {
         assert_eq!(log[0].kind, AccessKind::Rmw);
         assert!(log[0].atomic);
         assert_eq!(log[0].value, 1);
+    }
+
+    #[test]
+    fn access_watch_filters_the_log_at_the_source() {
+        let program = assemble(|a| {
+            a.li(Reg::A0, 16);
+            a.tas(Reg::V0, Reg::A0); // rmw @16: watched
+            a.lw(Reg::T0, Reg::A0, 4); // load @20: dropped
+            a.sw(Reg::T0, Reg::A0, 8); // store @24: dropped
+            a.li(Reg::T1, 0);
+            a.sw(Reg::T1, Reg::A0, 0); // store @16: watched
+            a.lw(Reg::T2, Reg::A0, 0); // load @16 reads 0: quiescent, dropped
+            a.halt();
+        });
+        let mut machine = Machine::new(CpuProfile::i486(), 1024);
+        machine.enable_access_log();
+        machine.set_access_watch(&[16]);
+        let mut regs = RegFile::new(0);
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        machine.log_kernel_rmw(9, 24, 1); // dropped too
+        let summary: Vec<(DataAddr, AccessKind)> = machine
+            .take_accesses()
+            .iter()
+            .map(|a| (a.addr, a.kind))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![(16, AccessKind::Rmw), (16, AccessKind::Store)]
+        );
+        // Clearing the watch restores full logging, quiescent loads included.
+        machine.clear_access_watch();
+        regs = RegFile::new(0);
+        assert_eq!(machine.run(&program, &mut regs, u64::MAX), Exit::Halt);
+        assert_eq!(machine.take_accesses().len(), 5);
     }
 
     #[test]

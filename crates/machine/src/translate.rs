@@ -68,7 +68,7 @@ use std::sync::Arc;
 
 use ras_isa::{AluOp, BlockMap, CodeAddr, Cond, DecodedProgram, Inst, Reg};
 
-use crate::machine::{Exit, Fault, Machine};
+use crate::machine::{Exit, Fault, Machine, LEVEL_FAST};
 use crate::memory::MemError;
 use crate::profile::{CostModel, CpuProfile};
 use crate::regfile::RegFile;
@@ -1291,7 +1291,7 @@ impl Machine {
                     return Exit::Budget;
                 }
                 let before = self.clock;
-                let stepped = self.execute_counted::<false>(program, regs, &cost);
+                let stepped = self.execute_counted::<LEVEL_FAST>(program, regs, &cost);
                 cache.stats.interpreted_instructions += 1;
                 cache.stats.interpreted_cycles += self.clock - before;
                 if let Some(exit) = stepped {

@@ -1,0 +1,260 @@
+//! A deterministic fixed-bucket log2 latency histogram.
+//!
+//! The streaming telemetry layer needs a duration aggregate whose memory
+//! is independent of the number of events and whose percentile answers
+//! are exactly reproducible: same inputs, same buckets, same bytes. A
+//! [`Log2Histogram`] has one bucket per bit-length (65 buckets covering
+//! all of `u64`), `u64` counts, and integer-only percentile lookup — no
+//! floating point anywhere near the recorded values, so merges and
+//! percentile reads commute with the order events arrived in.
+
+/// Number of buckets: one per possible bit-length of a `u64` (0..=64).
+pub const HIST_BUCKETS: usize = 65;
+
+/// Fixed-bucket log2 histogram with deterministic percentile lookup.
+///
+/// Bucket `i` holds values whose bit-length is `i`: bucket 0 is exactly
+/// `{0}`, bucket `i > 0` covers `[2^(i-1), 2^i - 1]`. Memory is constant
+/// (`65 × u64`), so a histogram per lock keeps the telemetry layer at
+/// O(buckets × locks) regardless of event volume.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Log2Histogram")
+            .field("count", &self.total)
+            .field("sum", &self.sum)
+            .field("buckets", &self.buckets().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// The bucket index for a value: its bit-length.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= HIST_BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < HIST_BUCKETS, "bucket index out of range");
+    if index == 0 {
+        (0, 0)
+    } else if index == HIST_BUCKETS - 1 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (index - 1), (1 << index) - 1)
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
+            counts: [0; HIST_BUCKETS],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.counts[bucket_index(value)] += n;
+        self.total += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Saturating sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and associative,
+    /// which is what lets per-thread shards aggregate at scheduling
+    /// boundaries without changing any percentile answer.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs, in index order.
+    pub fn buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// The raw per-bucket counts.
+    pub fn counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.counts
+    }
+
+    /// The `permille/1000` quantile as the upper bound of the bucket
+    /// containing that rank (`permille` 500 = p50, 999 = p99.9).
+    ///
+    /// Integer-only: the rank is `ceil(permille × count / 1000)` clamped
+    /// to `[1, count]`, and the answer is the deterministic bucket upper
+    /// bound — an over-approximation by at most the bucket width, which
+    /// the differential tests pin against exact sorted percentiles.
+    /// Returns 0 on an empty histogram.
+    pub fn percentile_permille(&self, permille: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (permille * self.total).div_ceil(1000).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(HIST_BUCKETS - 1).1
+    }
+
+    /// The fixed percentile row every exporter uses:
+    /// `p50=a p90=b p99=c p99.9=d`. Byte-identical output for equal
+    /// histograms — this string is the differential-test pin.
+    pub fn percentile_summary(&self) -> String {
+        format!(
+            "p50={} p90={} p99={} p99.9={}",
+            self.percentile_permille(500),
+            self.percentile_permille(900),
+            self.percentile_permille(990),
+            self.percentile_permille(999)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bounds_partition_the_u64_line() {
+        let mut next = 0u64;
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, next, "bucket {i} starts where the last ended");
+            assert!(hi >= lo);
+            next = hi.wrapping_add(1);
+        }
+        assert_eq!(next, 0, "last bucket ends at u64::MAX");
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1 << 20, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bound_the_exact_answer() {
+        let mut h = Log2Histogram::new();
+        let values: Vec<u64> = (0..1000).map(|i| i * i % 7919).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let mut last = 0;
+        for permille in [500u64, 900, 990, 999] {
+            let approx = h.percentile_permille(permille);
+            assert!(approx >= last, "percentiles must be monotone");
+            last = approx;
+            // The reported bucket upper bound dominates the exact rank
+            // statistic and is within one bucket of it.
+            let rank = (permille * 1000).div_ceil(1000).clamp(1, 1000);
+            let exact = sorted[(rank - 1) as usize];
+            assert!(approx >= exact, "p{permille}: {approx} < exact {exact}");
+            let (lo, _) = bucket_bounds(bucket_index(approx));
+            assert!(exact >= lo || exact == 0, "exact below the bucket floor");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile_permille(500), 0);
+        assert_eq!(h.percentile_summary(), "p50=0 p90=0 p99=0 p99.9=0");
+    }
+
+    #[test]
+    fn merge_equals_interleaved_recording() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut whole = Log2Histogram::new();
+        for i in 0..500u64 {
+            let v = i.wrapping_mul(2654435761) % 100_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.percentile_summary(), whole.percentile_summary());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record_n(37, 10);
+        for _ in 0..10 {
+            b.record(37);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.sum(), 370);
+    }
+}

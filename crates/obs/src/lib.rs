@@ -29,17 +29,28 @@
 #![warn(missing_docs)]
 
 mod event;
+mod hist;
 mod json;
 mod lockprof;
 mod metrics;
 mod perfetto;
 mod profile;
 mod recorder;
+mod snapshot;
+mod telemetry;
 
 pub use crate::event::{ObsEvent, SwitchReason, TimedObsEvent};
+pub use crate::hist::{bucket_bounds, bucket_index, Log2Histogram, HIST_BUCKETS};
 pub use crate::json::{parse_json, Json};
 pub use crate::lockprof::{lock_profile, LockProfile};
 pub use crate::metrics::{CheckpointCounters, Metrics, ThreadMetrics, TranslationCounters};
-pub use crate::perfetto::{chrome_trace, validate_chrome_trace, TraceSummary};
+pub use crate::perfetto::{chrome_trace, chrome_trace_to, validate_chrome_trace, TraceSummary};
 pub use crate::profile::{render_hotspots, symbolized_profile, HotSpot};
 pub use crate::recorder::{Recorder, Recording};
+pub use crate::snapshot::{
+    validate_stat_snapshot, SnapshotMeta, StatSnapshot, StatSummary, STAT_SCHEMA,
+};
+pub use crate::telemetry::{
+    exact_lock_replay, replay_events, CounterId, ExactLockStats, GaugeId, LockTelemetry, Registry,
+    ShardedCounter, Telemetry, ThreadTelemetry,
+};

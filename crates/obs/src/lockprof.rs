@@ -73,10 +73,15 @@ pub fn lock_profile(accesses: &[MemAccess], lock_addr: u32) -> LockProfile {
                         p.hold_cycles += hold;
                         p.max_hold_cycles = p.max_hold_cycles.max(hold);
                     }
-                } else {
+                } else if held_since.is_none() {
                     // The committing store of an optimistic sequence.
                     acquire(&mut p, &mut held_since, &mut contending_since, a.clock);
                 }
+                // A nonzero store while the lock is already held is the
+                // unconditional overwrite of a failed Test-And-Set (the
+                // sequence always writes 1 and returns the old value):
+                // the attempt was already counted by the load that saw
+                // the lock taken, and ownership does not change.
             }
         }
     }
@@ -138,6 +143,32 @@ mod tests {
         assert_eq!(p.contended_probes, 1);
         assert_eq!(p.hold_cycles, 12 + 6);
         assert_eq!(p.contention_cycles, 25 - 12);
+    }
+
+    #[test]
+    fn failed_tas_overwrite_store_is_not_an_acquire() {
+        // Thread A acquires optimistically; thread B's failed TAS loads
+        // 1 and still stores 1 (the sequence writes unconditionally and
+        // returns the old value). The overwrite must not steal
+        // ownership: A's release at 30 closes A's 22-cycle hold, and B
+        // acquires cleanly afterwards.
+        let log = vec![
+            acc(5, AccessKind::Load, 0),
+            acc(8, AccessKind::Store, 1),
+            acc(12, AccessKind::Load, 1),
+            acc(14, AccessKind::Store, 1),
+            acc(30, AccessKind::Store, 0),
+            acc(35, AccessKind::Load, 0),
+            acc(37, AccessKind::Store, 1),
+            acc(40, AccessKind::Store, 0),
+        ];
+        let p = lock_profile(&log, 64);
+        assert_eq!(p.acquisitions, 2);
+        assert_eq!(p.releases, 2);
+        assert_eq!(p.contended_probes, 1);
+        assert_eq!(p.hold_cycles, 22 + 3);
+        assert_eq!(p.max_hold_cycles, 22);
+        assert_eq!(p.contention_cycles, 37 - 12);
     }
 
     #[test]

@@ -219,15 +219,38 @@ impl Metrics {
             "preemptions inside sequence",
             self.preemptions_inside_sequence.to_string(),
         );
+        // A zero-quanta run has no meaningful rate: render "n/a" instead
+        // of a misleading 0.00 (the accessor returns 0.0 to stay total).
+        let per_quanta = |rate: f64| {
+            if self.quantum_expiries == 0 {
+                "n/a per 100 quanta".to_owned()
+            } else {
+                format!("{rate:.2} per 100 quanta")
+            }
+        };
+        let per_event = |total: u64, events: u64| {
+            if events == 0 {
+                "n/a".to_owned()
+            } else {
+                format!("{:.1}", total as f64 / events as f64)
+            }
+        };
         line(
             "rollbacks",
             format!(
-                "{} ({:.2} per 100 quanta)",
+                "{} ({})",
                 self.rollbacks,
-                self.rollbacks_per_100_quanta()
+                per_quanta(self.rollbacks_per_100_quanta())
             ),
         );
-        line("wasted rollback cycles", self.wasted_cycles.to_string());
+        line(
+            "wasted rollback cycles",
+            format!(
+                "{} (avg {} per rollback)",
+                self.wasted_cycles,
+                per_event(self.wasted_cycles, self.rollbacks)
+            ),
+        );
         line("syscalls", self.syscalls.to_string());
         line(
             "lock attempts",
@@ -241,12 +264,19 @@ impl Metrics {
         line(
             "rseq aborts",
             format!(
-                "{} ({:.2} per 100 quanta)",
+                "{} ({})",
                 self.rseq_aborts,
-                self.aborts_per_100_quanta()
+                per_quanta(self.aborts_per_100_quanta())
             ),
         );
-        line("wasted abort cycles", self.rseq_wasted_cycles.to_string());
+        line(
+            "wasted abort cycles",
+            format!(
+                "{} (avg {} per abort)",
+                self.rseq_wasted_cycles,
+                per_event(self.rseq_wasted_cycles, self.rseq_aborts)
+            ),
+        );
         line("user-level redirects", self.user_redirects.to_string());
         line("page faults", self.page_faults.to_string());
         line("wakeups", self.wakeups.to_string());
@@ -655,5 +685,68 @@ mod tests {
         assert!(text.contains("quantum expiries"));
         assert!(text.contains("per-thread"));
         assert!(text.contains("t0:"));
+    }
+
+    #[test]
+    fn empty_recording_renders_without_division_artifacts() {
+        // An enabled-but-untouched recording must render cleanly: no
+        // NaN/inf from 0/0, and no fake "0.00 per 100 quanta" rate when
+        // no quantum ever expired.
+        let rec = crate::Recording::new(true);
+        assert!(rec.events().is_empty());
+        let m = rec.metrics();
+        assert_eq!(m.rollbacks_per_100_quanta(), 0.0);
+        assert_eq!(m.aborts_per_100_quanta(), 0.0);
+        let text = m.render();
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+        assert!(text.contains("rollbacks                    0 (n/a per 100 quanta)"));
+        assert!(text.contains("(avg n/a per rollback)"));
+        assert!(text.contains("(avg n/a per abort)"));
+    }
+
+    #[test]
+    fn zero_quanta_with_rollbacks_still_renders_na_rate() {
+        // Rollbacks can happen without quantum expiries (voluntary
+        // yields inside a sequence): the per-quanta rate is undefined,
+        // the per-rollback average is not.
+        let mut m = Metrics::default();
+        m.apply(
+            10,
+            &ObsEvent::Rollback {
+                thread: 0,
+                from: 8,
+                to: 4,
+                wasted_cycles: 6,
+            },
+        );
+        assert_eq!(m.quantum_expiries, 0);
+        assert_eq!(m.rollbacks_per_100_quanta(), 0.0);
+        let text = m.render();
+        assert!(text.contains("1 (n/a per 100 quanta)"));
+        assert!(text.contains("6 (avg 6.0 per rollback)"));
+    }
+
+    #[test]
+    fn nonzero_quanta_renders_a_real_rate() {
+        let mut m = Metrics::default();
+        m.apply(
+            5,
+            &ObsEvent::SwitchOut {
+                thread: 0,
+                reason: SwitchReason::Quantum,
+                inside_sequence: false,
+            },
+        );
+        m.apply(
+            10,
+            &ObsEvent::Rollback {
+                thread: 0,
+                from: 8,
+                to: 4,
+                wasted_cycles: 3,
+            },
+        );
+        let text = m.render();
+        assert!(text.contains("(100.00 per 100 quanta)"));
     }
 }

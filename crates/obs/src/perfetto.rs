@@ -22,56 +22,84 @@ pub const IDLE_TID: u32 = 999_999;
 
 const PID: u32 = 1;
 
-/// Serializes a recorded event stream as Chrome trace-event JSON.
+/// Serializes a recorded event stream as Chrome trace-event JSON,
+/// returned as one `String`. Convenience wrapper over
+/// [`chrome_trace_to`] for small traces and tests; large runs should
+/// stream straight to a writer instead.
+pub fn chrome_trace(events: &[TimedObsEvent], cycles_per_us: f64, process_name: &str) -> String {
+    let mut buf = Vec::new();
+    chrome_trace_to(&mut buf, events, cycles_per_us, process_name)
+        .expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+/// Streams a recorded event stream as Chrome trace-event JSON into `w`,
+/// one trace event per chunk — the whole document is never materialized,
+/// so export memory is O(1) in the number of events. Returns the number
+/// of trace events written.
 ///
 /// `cycles_per_us` converts the machine clock to trace timestamps — pass
 /// the CPU profile's MHz (cycles per microsecond). `process_name` labels
 /// the process track, e.g. `"ras-registered × counter"`.
-pub fn chrome_trace(events: &[TimedObsEvent], cycles_per_us: f64, process_name: &str) -> String {
+///
+/// # Errors
+///
+/// Propagates the first I/O error from `w`.
+pub fn chrome_trace_to<W: std::io::Write>(
+    w: &mut W,
+    events: &[TimedObsEvent],
+    cycles_per_us: f64,
+    process_name: &str,
+) -> std::io::Result<usize> {
     let ts = |clock: u64| clock as f64 / cycles_per_us.max(1e-9);
-    let mut out: Vec<String> = Vec::new();
-    out.push(format!(
+    let mut out = Emitter { w, written: 0 };
+    out.line(&format!(
         r#"{{"name":"process_name","ph":"M","pid":{PID},"tid":0,"args":{{"name":"{}"}}}}"#,
         escape(process_name)
-    ));
+    ))?;
     let mut named: HashMap<u32, ()> = HashMap::new();
     let mut open: HashMap<u32, bool> = HashMap::new();
     let mut last_clock = 0u64;
-    let mut name_thread = |out: &mut Vec<String>, tid: u32| {
+    fn name_thread<W: std::io::Write>(
+        out: &mut Emitter<'_, W>,
+        named: &mut HashMap<u32, ()>,
+        tid: u32,
+    ) -> std::io::Result<()> {
         if named.insert(tid, ()).is_none() {
             let label = if tid == IDLE_TID {
                 "idle".to_owned()
             } else {
                 format!("thread {tid}")
             };
-            out.push(format!(
+            out.line(&format!(
                 r#"{{"name":"thread_name","ph":"M","pid":{PID},"tid":{tid},"args":{{"name":"{label}"}}}}"#
-            ));
+            ))?;
         }
-    };
+        Ok(())
+    }
     for e in events {
         last_clock = last_clock.max(e.clock);
         let t = ts(e.clock);
         if let Some(tid) = e.event.thread() {
-            name_thread(&mut out, tid);
+            name_thread(&mut out, &mut named, tid)?;
         }
         match e.event {
             ObsEvent::Boot { threads } => {
-                out.push(format!(
+                out.line(&format!(
                     r#"{{"name":"boot","ph":"i","s":"p","ts":{t:.3},"pid":{PID},"tid":0,"args":{{"threads":{threads}}}}}"#
-                ));
+                ))?;
             }
             ObsEvent::Spawn { thread } => {
-                out.push(instant(t, thread, "spawn", ""));
+                out.line(&instant(t, thread, "spawn", ""))?;
             }
             ObsEvent::Dispatch { thread } => {
                 // Defensive: close a still-open slice rather than nesting.
                 if open.insert(thread, true) == Some(true) {
-                    out.push(slice_end(t, thread, ""));
+                    out.line(&slice_end(t, thread, ""))?;
                 }
-                out.push(format!(
+                out.line(&format!(
                     r#"{{"name":"running","ph":"B","ts":{t:.3},"pid":{PID},"tid":{thread}}}"#
-                ));
+                ))?;
             }
             ObsEvent::SwitchOut {
                 thread,
@@ -83,7 +111,7 @@ pub fn chrome_trace(events: &[TimedObsEvent], cycles_per_us: f64, process_name: 
                         r#""reason":"{}","inside_sequence":{inside_sequence}"#,
                         reason.label()
                     );
-                    out.push(slice_end(t, thread, &args));
+                    out.line(&slice_end(t, thread, &args))?;
                 }
             }
             ObsEvent::Rollback {
@@ -92,46 +120,46 @@ pub fn chrome_trace(events: &[TimedObsEvent], cycles_per_us: f64, process_name: 
                 to,
                 wasted_cycles,
             } => {
-                out.push(instant(
+                out.line(&instant(
                     t,
                     thread,
                     "rollback",
                     &format!(r#""from":{from},"to":{to},"wasted_cycles":{wasted_cycles}"#),
-                ));
+                ))?;
             }
             ObsEvent::UserRedirect { thread } => {
-                out.push(instant(t, thread, "user-redirect", ""));
+                out.line(&instant(t, thread, "user-redirect", ""))?;
             }
             ObsEvent::Syscall { thread, num } => {
-                out.push(instant(t, thread, "syscall", &format!(r#""num":{num}"#)));
+                out.line(&instant(t, thread, "syscall", &format!(r#""num":{num}"#)))?;
             }
             ObsEvent::LockAttempt {
                 thread,
                 addr,
                 acquired,
             } => {
-                out.push(instant(
+                out.line(&instant(
                     t,
                     thread,
                     "tas",
                     &format!(r#""addr":{addr},"acquired":{acquired}"#),
-                ));
+                ))?;
             }
             ObsEvent::SeqRegister { thread, start, len } => {
-                out.push(instant(
+                out.line(&instant(
                     t,
                     thread,
                     "ras-register",
                     &format!(r#""start":{start},"len":{len}"#),
-                ));
+                ))?;
             }
             ObsEvent::RseqRegister { thread, area } => {
-                out.push(instant(
+                out.line(&instant(
                     t,
                     thread,
                     "rseq-register",
                     &format!(r#""area":{area}"#),
-                ));
+                ))?;
             }
             ObsEvent::RseqAbort {
                 thread,
@@ -139,33 +167,33 @@ pub fn chrome_trace(events: &[TimedObsEvent], cycles_per_us: f64, process_name: 
                 abort_ip,
                 wasted_cycles,
             } => {
-                out.push(instant(
+                out.line(&instant(
                     t,
                     thread,
                     "rseq-abort",
                     &format!(
                         r#""from":{from},"abort_ip":{abort_ip},"wasted_cycles":{wasted_cycles}"#
                     ),
-                ));
+                ))?;
             }
             ObsEvent::Wake { thread } => {
-                out.push(instant(t, thread, "wake", ""));
+                out.line(&instant(t, thread, "wake", ""))?;
             }
             ObsEvent::PageFault { thread, addr } => {
-                out.push(instant(
+                out.line(&instant(
                     t,
                     thread,
                     "page-fault",
                     &format!(r#""addr":{addr}"#),
-                ));
+                ))?;
             }
             ObsEvent::Idle { cycles } => {
-                name_thread(&mut out, IDLE_TID);
+                name_thread(&mut out, &mut named, IDLE_TID)?;
                 let start = ts(e.clock.saturating_sub(cycles));
                 let dur = ts(e.clock) - start;
-                out.push(format!(
+                out.line(&format!(
                     r#"{{"name":"idle","ph":"X","ts":{start:.3},"dur":{dur:.3},"pid":{PID},"tid":{IDLE_TID}}}"#
-                ));
+                ))?;
             }
         }
     }
@@ -178,15 +206,38 @@ pub fn chrome_trace(events: &[TimedObsEvent], cycles_per_us: f64, process_name: 
         .collect();
     dangling.sort_unstable();
     for tid in dangling {
-        out.push(slice_end(t, tid, r#""reason":"end-of-recording""#));
+        out.line(&slice_end(t, tid, r#""reason":"end-of-recording""#))?;
     }
-    let mut s = String::from("{\"traceEvents\":[\n");
-    for (i, line) in out.iter().enumerate() {
-        let _ = write!(s, "{line}");
-        let _ = writeln!(s, "{}", if i + 1 < out.len() { "," } else { "" });
+    out.finish()
+}
+
+/// Write-as-you-drain chunk writer: the opening brace goes out before
+/// the first event, each event is one write, commas are emitted as
+/// *prefixes* of the following line so no lookahead buffer is needed.
+struct Emitter<'w, W: std::io::Write> {
+    w: &'w mut W,
+    written: usize,
+}
+
+impl<W: std::io::Write> Emitter<'_, W> {
+    fn line(&mut self, event: &str) -> std::io::Result<()> {
+        if self.written == 0 {
+            self.w.write_all(b"{\"traceEvents\":[\n")?;
+        } else {
+            self.w.write_all(b",\n")?;
+        }
+        self.w.write_all(event.as_bytes())?;
+        self.written += 1;
+        Ok(())
     }
-    s.push_str("]}\n");
-    s
+
+    fn finish(self) -> std::io::Result<usize> {
+        if self.written == 0 {
+            self.w.write_all(b"{\"traceEvents\":[\n")?;
+        }
+        self.w.write_all(b"\n]}\n")?;
+        Ok(self.written)
+    }
 }
 
 fn instant(ts: f64, tid: u32, name: &str, args: &str) -> String {
@@ -450,5 +501,37 @@ mod tests {
         let json = chrome_trace(&[], 25.0, "a\"b\\c");
         validate_chrome_trace(&json).unwrap();
         assert!(json.contains(r#"a\"b\\c"#));
+    }
+
+    #[test]
+    fn streaming_writer_matches_the_string_api() {
+        let events = sample_events();
+        let via_string = chrome_trace(&events, 25.0, "test × counter");
+        let mut buf = Vec::new();
+        let written = chrome_trace_to(&mut buf, &events, 25.0, "test × counter").unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), via_string);
+        assert!(written > events.len(), "metadata lines add to the count");
+    }
+
+    #[test]
+    fn streaming_writer_propagates_io_errors() {
+        struct Full;
+        impl std::io::Write for Full {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = chrome_trace_to(&mut Full, &sample_events(), 25.0, "p").unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+
+    #[test]
+    fn empty_stream_is_still_valid_json() {
+        let mut buf = Vec::new();
+        chrome_trace_to(&mut buf, &[], 25.0, "p").unwrap();
+        validate_chrome_trace(&String::from_utf8(buf).unwrap()).unwrap();
     }
 }

@@ -1,0 +1,488 @@
+//! `ras-stat` snapshot rendering and schema validation.
+//!
+//! Three deterministic exports of a [`Telemetry`] aggregate: a
+//! fixed-width percentile table, a Prometheus-style text exposition, and
+//! a JSON snapshot validated by [`validate_stat_snapshot`]. Everything
+//! is integer-formatted in a fixed field order, so the same run always
+//! produces the same bytes — the determinism the CI artifact gate pins.
+
+use std::fmt::Write as _;
+
+use crate::hist::Log2Histogram;
+use crate::telemetry::Telemetry;
+use crate::{parse_json, Json};
+
+/// The JSON snapshot's schema identifier.
+pub const STAT_SCHEMA: &str = "ras-stat-v1";
+
+/// Run-level context attached to a snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotMeta {
+    /// Mechanism id (e.g. `ras-registered`).
+    pub mechanism: String,
+    /// Workload name (e.g. `lock-server`).
+    pub workload: String,
+    /// Client threads.
+    pub clients: u64,
+    /// Contended locks.
+    pub locks: u64,
+    /// Operations per client.
+    pub ops_per_client: u64,
+    /// Arrival schedule id (`uniform` / `zipfian` / `bursty`).
+    pub arrival: String,
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Total completed lock operations.
+    pub total_ops: u64,
+}
+
+/// A [`Telemetry`] aggregate plus its run context, ready to export.
+#[derive(Debug, Clone)]
+pub struct StatSnapshot<'a> {
+    /// Run-level context.
+    pub meta: SnapshotMeta,
+    /// The aggregate to export.
+    pub telemetry: &'a Telemetry,
+}
+
+fn hist_json(out: &mut String, h: &Log2Histogram) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
+        h.count(),
+        h.sum(),
+        h.percentile_permille(500),
+        h.percentile_permille(900),
+        h.percentile_permille(990),
+        h.percentile_permille(999)
+    );
+    for (i, (idx, count)) in h.buckets().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{idx},{count}]");
+    }
+    out.push_str("]}");
+}
+
+impl StatSnapshot<'_> {
+    /// The schema-validated JSON snapshot. Integer-only, fixed field
+    /// order: the same run always serializes to the same bytes.
+    pub fn to_json(&self) -> String {
+        let m = &self.meta;
+        let t = self.telemetry;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"schema\": \"{STAT_SCHEMA}\",\n  \"mechanism\": \"{}\",\n  \"workload\": \"{}\",\n  \"clients\": {},\n  \"locks\": {},\n  \"ops_per_client\": {},\n  \"arrival\": \"{}\",\n  \"total_cycles\": {},\n  \"total_ops\": {},\n",
+            m.mechanism, m.workload, m.clients, m.locks, m.ops_per_client, m.arrival,
+            m.total_cycles, m.total_ops
+        );
+        s.push_str("  \"counters\": {");
+        for (i, (name, value)) in t.registry().counters().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    \"{name}\": {value}");
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in t.registry().gauges().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    \"{name}\": {value}");
+        }
+        s.push_str("\n  },\n  \"scheduler\": {\n    \"runqueue_depth\": ");
+        hist_json(&mut s, &t.runqueue_depth);
+        s.push_str(",\n    \"quantum_used\": ");
+        hist_json(&mut s, &t.quantum_used);
+        s.push_str("\n  },\n  \"locks_detail\": [");
+        for (i, lock) in t.locks().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"addr\":{},\"acquisitions\":{},\"releases\":{},\"contended_probes\":{},\"wait\":",
+                lock.addr, lock.acquisitions, lock.releases, lock.contended_probes
+            );
+            hist_json(&mut s, &lock.wait);
+            s.push_str(",\"hold\":");
+            hist_json(&mut s, &lock.hold);
+            s.push('}');
+        }
+        s.push_str("\n  ],\n  \"threads\": [");
+        let mut first = true;
+        for th in t.threads() {
+            if th.acquisitions == 0 && th.wait_cycles == 0 && th.hold_cycles == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "\n    {{\"thread\":{},\"acquisitions\":{},\"wait_cycles\":{},\"hold_cycles\":{}}}",
+                th.thread, th.acquisitions, th.wait_cycles, th.hold_cycles
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Prometheus-style text exposition: counters, gauges, and one
+    /// cumulative histogram family per lock metric.
+    pub fn to_prometheus(&self) -> String {
+        let t = self.telemetry;
+        let mut s = String::new();
+        for (name, value) in t.registry().counters() {
+            let _ = writeln!(s, "# TYPE ras_{name} counter");
+            let _ = writeln!(s, "ras_{name} {value}");
+        }
+        for (name, value) in t.registry().gauges() {
+            let _ = writeln!(s, "# TYPE ras_{name} gauge");
+            let _ = writeln!(s, "ras_{name} {value}");
+        }
+        let family = |s: &mut String, metric: &str, labels: &str, h: &Log2Histogram| {
+            let _ = writeln!(s, "# TYPE {metric} histogram");
+            let mut cumulative = 0;
+            for (idx, count) in h.buckets() {
+                cumulative += count;
+                let le = crate::hist::bucket_bounds(idx).1;
+                let sep = if labels.is_empty() { "" } else { "," };
+                let _ = writeln!(
+                    s,
+                    "{metric}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let sep = if labels.is_empty() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "{metric}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}"
+            );
+            if labels.is_empty() {
+                let _ = writeln!(s, "{metric}_sum {}", h.sum());
+                let _ = writeln!(s, "{metric}_count {}", h.count());
+            } else {
+                let _ = writeln!(s, "{metric}_sum{{{labels}}} {}", h.sum());
+                let _ = writeln!(s, "{metric}_count{{{labels}}} {}", h.count());
+            }
+        };
+        for lock in t.locks() {
+            let labels = format!("lock=\"{:#010x}\"", lock.addr);
+            family(&mut s, "ras_lock_wait_cycles", &labels, &lock.wait);
+            family(&mut s, "ras_lock_hold_cycles", &labels, &lock.hold);
+        }
+        family(&mut s, "ras_runqueue_depth", "", &t.runqueue_depth);
+        family(&mut s, "ras_quantum_used_cycles", "", &t.quantum_used);
+        s
+    }
+
+    /// The human-facing percentile table: one row per lock, wait and
+    /// hold p50/p90/p99/p99.9 side by side.
+    pub fn to_table(&self) -> String {
+        let m = &self.meta;
+        let t = self.telemetry;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "lock-server telemetry — {} · {} clients × {} locks × {} ops ({}) · {} cycles",
+            m.mechanism, m.clients, m.locks, m.ops_per_client, m.arrival, m.total_cycles
+        );
+        let _ = writeln!(
+            s,
+            "{:<12} {:>8} {:>8} {:>8}  {:<44} {:<44}",
+            "lock", "acq", "rel", "cont", "wait (cycles)", "hold (cycles)"
+        );
+        for lock in t.locks() {
+            let _ = writeln!(
+                s,
+                "{:<#12x} {:>8} {:>8} {:>8}  {:<44} {:<44}",
+                lock.addr,
+                lock.acquisitions,
+                lock.releases,
+                lock.contended_probes,
+                lock.wait.percentile_summary(),
+                lock.hold.percentile_summary()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "runqueue depth   {}",
+            t.runqueue_depth.percentile_summary()
+        );
+        let _ = writeln!(
+            s,
+            "quantum used     {}",
+            t.quantum_used.percentile_summary()
+        );
+        for (name, value) in t.registry().counters() {
+            let _ = writeln!(s, "{name:<28} {value}");
+        }
+        s
+    }
+}
+
+/// What [`validate_stat_snapshot`] counted while checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatSummary {
+    /// Locks in `locks_detail`.
+    pub locks: usize,
+    /// Entries in `threads`.
+    pub threads: usize,
+    /// Total acquisitions summed over locks.
+    pub acquisitions: u64,
+}
+
+fn require_u64(obj: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    let v = obj
+        .get(key)
+        .ok_or_else(|| format!("{ctx}: missing \"{key}\""))?;
+    let n = v
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" is not a number"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{ctx}: \"{key}\" is not a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn check_hist(obj: &Json, ctx: &str) -> Result<(), String> {
+    let count = require_u64(obj, "count", ctx)?;
+    require_u64(obj, "sum", ctx)?;
+    let p50 = require_u64(obj, "p50", ctx)?;
+    let p90 = require_u64(obj, "p90", ctx)?;
+    let p99 = require_u64(obj, "p99", ctx)?;
+    let p999 = require_u64(obj, "p999", ctx)?;
+    if !(p50 <= p90 && p90 <= p99 && p99 <= p999) {
+        return Err(format!("{ctx}: percentiles not monotone"));
+    }
+    let buckets = obj
+        .get("buckets")
+        .and_then(|b| b.as_arr())
+        .ok_or_else(|| format!("{ctx}: missing \"buckets\" array"))?;
+    let mut total = 0u64;
+    let mut last_idx: Option<u64> = None;
+    for b in buckets {
+        let pair = b
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{ctx}: bucket is not an [index, count] pair"))?;
+        let idx = pair[0]
+            .as_f64()
+            .ok_or_else(|| format!("{ctx}: bucket index not a number"))? as u64;
+        let count = pair[1]
+            .as_f64()
+            .ok_or_else(|| format!("{ctx}: bucket count not a number"))? as u64;
+        if idx >= crate::hist::HIST_BUCKETS as u64 {
+            return Err(format!("{ctx}: bucket index {idx} out of range"));
+        }
+        if let Some(prev) = last_idx {
+            if idx <= prev {
+                return Err(format!("{ctx}: bucket indices not strictly increasing"));
+            }
+        }
+        if count == 0 {
+            return Err(format!("{ctx}: empty bucket serialized"));
+        }
+        last_idx = Some(idx);
+        total += count;
+    }
+    if total != count {
+        return Err(format!(
+            "{ctx}: bucket counts sum to {total}, \"count\" says {count}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a `ras-stat` JSON snapshot against the `ras-stat-v1`
+/// schema: required fields with the right types, in-range strictly
+/// increasing histogram buckets whose counts sum to `count`, and
+/// monotone percentiles. Returns a summary of what was checked.
+pub fn validate_stat_snapshot(text: &str) -> Result<StatSummary, String> {
+    let root = parse_json(text)?;
+    match root.get("schema").and_then(|s| s.as_str()) {
+        Some(STAT_SCHEMA) => {}
+        Some(other) => return Err(format!("unknown schema \"{other}\"")),
+        None => return Err("missing \"schema\"".to_owned()),
+    }
+    for key in ["mechanism", "workload", "arrival"] {
+        if root.get(key).and_then(|s| s.as_str()).is_none() {
+            return Err(format!("missing string field \"{key}\""));
+        }
+    }
+    for key in [
+        "clients",
+        "locks",
+        "ops_per_client",
+        "total_cycles",
+        "total_ops",
+    ] {
+        require_u64(&root, key, "top level")?;
+    }
+    if root.get("counters").is_none() || root.get("gauges").is_none() {
+        return Err("missing \"counters\"/\"gauges\" registry sections".to_owned());
+    }
+    let scheduler = root
+        .get("scheduler")
+        .ok_or_else(|| "missing \"scheduler\"".to_owned())?;
+    for key in ["runqueue_depth", "quantum_used"] {
+        let h = scheduler
+            .get(key)
+            .ok_or_else(|| format!("scheduler: missing \"{key}\""))?;
+        check_hist(h, &format!("scheduler.{key}"))?;
+    }
+    let locks = root
+        .get("locks_detail")
+        .and_then(|l| l.as_arr())
+        .ok_or_else(|| "missing \"locks_detail\" array".to_owned())?;
+    let declared_locks = require_u64(&root, "locks", "top level")?;
+    if locks.len() as u64 != declared_locks {
+        return Err(format!(
+            "locks_detail has {} entries, \"locks\" says {declared_locks}",
+            locks.len()
+        ));
+    }
+    let mut acquisitions = 0;
+    for (i, lock) in locks.iter().enumerate() {
+        let ctx = format!("locks_detail[{i}]");
+        require_u64(lock, "addr", &ctx)?;
+        acquisitions += require_u64(lock, "acquisitions", &ctx)?;
+        require_u64(lock, "releases", &ctx)?;
+        require_u64(lock, "contended_probes", &ctx)?;
+        let wait = lock
+            .get("wait")
+            .ok_or_else(|| format!("{ctx}: missing \"wait\""))?;
+        check_hist(wait, &format!("{ctx}.wait"))?;
+        let hold = lock
+            .get("hold")
+            .ok_or_else(|| format!("{ctx}: missing \"hold\""))?;
+        check_hist(hold, &format!("{ctx}.hold"))?;
+    }
+    let threads = root
+        .get("threads")
+        .and_then(|t| t.as_arr())
+        .ok_or_else(|| "missing \"threads\" array".to_owned())?;
+    for (i, th) in threads.iter().enumerate() {
+        let ctx = format!("threads[{i}]");
+        require_u64(th, "thread", &ctx)?;
+        require_u64(th, "acquisitions", &ctx)?;
+        require_u64(th, "wait_cycles", &ctx)?;
+        require_u64(th, "hold_cycles", &ctx)?;
+    }
+    Ok(StatSummary {
+        locks: locks.len(),
+        threads: threads.len(),
+        acquisitions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_machine::{AccessKind, MemAccess};
+
+    fn sample_snapshot() -> (SnapshotMeta, Telemetry) {
+        let mut t = Telemetry::new(&[64, 68]);
+        let acc = |clock, kind, addr, value| MemAccess {
+            pc: 0,
+            addr,
+            kind,
+            clock,
+            atomic: false,
+            value,
+        };
+        t.observe(0, &acc(0, AccessKind::Rmw, 64, 0));
+        t.observe(1, &acc(5, AccessKind::Rmw, 64, 1));
+        t.observe(0, &acc(20, AccessKind::Store, 64, 0));
+        t.observe(1, &acc(22, AccessKind::Rmw, 64, 0));
+        t.observe(1, &acc(40, AccessKind::Store, 64, 0));
+        t.observe(2, &acc(50, AccessKind::Store, 68, 1));
+        t.observe(2, &acc(90, AccessKind::Store, 68, 0));
+        t.sample_runqueue(3);
+        let meta = SnapshotMeta {
+            mechanism: "ras-registered".to_owned(),
+            workload: "lock-server".to_owned(),
+            clients: 3,
+            locks: 2,
+            ops_per_client: 1,
+            arrival: "uniform".to_owned(),
+            total_cycles: 90,
+            total_ops: 3,
+        };
+        (meta, t)
+    }
+
+    #[test]
+    fn json_snapshot_validates_and_is_deterministic() {
+        let (meta, t) = sample_snapshot();
+        let snap = StatSnapshot {
+            meta,
+            telemetry: &t,
+        };
+        let a = snap.to_json();
+        let b = snap.to_json();
+        assert_eq!(a, b, "same snapshot must serialize to the same bytes");
+        let summary = validate_stat_snapshot(&a).expect("snapshot validates");
+        assert_eq!(summary.locks, 2);
+        assert_eq!(summary.acquisitions, 3);
+    }
+
+    #[test]
+    fn validator_rejects_tampered_snapshots() {
+        let (meta, t) = sample_snapshot();
+        let snap = StatSnapshot {
+            meta,
+            telemetry: &t,
+        };
+        let good = snap.to_json();
+        let bad_schema = good.replace("ras-stat-v1", "ras-stat-v0");
+        assert!(validate_stat_snapshot(&bad_schema).is_err());
+        let bad_count = good.replacen("\"count\":2", "\"count\":3", 1);
+        assert!(
+            validate_stat_snapshot(&bad_count).is_err(),
+            "bucket-sum mismatch must be rejected"
+        );
+        let bad_locks = good.replace("\"locks\": 2", "\"locks\": 5");
+        assert!(validate_stat_snapshot(&bad_locks).is_err());
+        assert!(validate_stat_snapshot("{}").is_err());
+        assert!(validate_stat_snapshot("not json").is_err());
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets() {
+        let (meta, t) = sample_snapshot();
+        let snap = StatSnapshot {
+            meta,
+            telemetry: &t,
+        };
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE ras_lock_wait_cycles histogram"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("ras_lock_acquisitions_total 3"));
+        // Cumulative: every +Inf bucket equals the family count.
+        for family in ["ras_lock_wait_cycles", "ras_lock_hold_cycles"] {
+            let infs: Vec<&str> = text
+                .lines()
+                .filter(|l| l.starts_with(family) && l.contains("+Inf"))
+                .collect();
+            assert!(!infs.is_empty());
+        }
+    }
+
+    #[test]
+    fn table_lists_every_lock() {
+        let (meta, t) = sample_snapshot();
+        let snap = StatSnapshot {
+            meta,
+            telemetry: &t,
+        };
+        let table = snap.to_table();
+        assert!(table.contains("0x40"));
+        assert!(table.contains("0x44"));
+        assert!(table.contains("p99.9="));
+        assert!(table.contains("runqueue depth"));
+    }
+}

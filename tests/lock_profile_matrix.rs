@@ -1,0 +1,180 @@
+//! Lock-profile reconstruction across the mechanism matrix.
+//!
+//! Three independent observers watch the same run: the kernel's
+//! structured `LockAttempt` events (only emitted where the kernel
+//! mediates the lock, i.e. kernel emulation), the batch `lock_profile`
+//! replay of the access log, and the streaming `Telemetry` aggregate.
+//! Where two observers can see the same phenomenon they must agree
+//! exactly — that cross-validation is what makes the value-transition
+//! replay trustworthy for the mechanisms whose releases the kernel never
+//! sees (optimistic RAS sequences, plain stores).
+
+use restartable_atomics::ras_obs::{lock_profile, ObsEvent, Recording, Telemetry};
+use restartable_atomics::workloads::{
+    counter_loop, model_counter, CounterBody, CounterSpec, ModelSpec, TasFlavor,
+};
+use restartable_atomics::{
+    run_guest_keeping_kernel, BuiltGuest, CpuProfile, Mechanism, Observe, Outcome, RunOptions,
+};
+
+fn pick_profile(mechanism: Mechanism) -> CpuProfile {
+    for profile in [CpuProfile::r3000(), CpuProfile::i486(), CpuProfile::i860()] {
+        if mechanism.supported_by(&profile) {
+            return profile;
+        }
+    }
+    unreachable!("every mechanism runs on at least one profile");
+}
+
+/// Runs `built` with events, streaming telemetry, and raw access capture
+/// over `watch`, returning the final value of the named data word too.
+fn run_instrumented(
+    built: &BuiltGuest,
+    watch: &[u32],
+    quantum: u64,
+    read_word: &str,
+) -> (Recording, Telemetry, u32) {
+    let options = RunOptions {
+        quantum,
+        observe: Observe::Events,
+        telemetry_locks: Some(watch.to_vec()),
+        telemetry_raw: true,
+        ..RunOptions::new(pick_profile(built.mechanism))
+    };
+    let (report, mut kernel) = run_guest_keeping_kernel(built, &options);
+    assert_eq!(report.outcome, Outcome::Completed);
+    let telemetry = kernel.take_telemetry().expect("telemetry enabled");
+    let recording = kernel.take_recording().expect("events recorded");
+    let addr = built.data.symbol(read_word).expect("data symbol exists");
+    let value = kernel.read_word(addr).expect("word readable");
+    (recording, telemetry, value)
+}
+
+/// The mechanisms whose lock word follows plain Test-And-Set value
+/// semantics (zero = free), so `lock_profile`'s transition rules apply.
+/// The Lamport protocols use multi-word reservation structures instead.
+fn tas_family() -> Vec<Mechanism> {
+    Mechanism::all()
+        .into_iter()
+        .filter(|m| !matches!(m, Mechanism::LamportPerLock | Mechanism::LamportBundled))
+        .collect()
+}
+
+#[test]
+fn streaming_telemetry_agrees_with_batch_lock_profile_across_mechanisms() {
+    let spec = CounterSpec {
+        iterations: 300,
+        workers: 3,
+        body: CounterBody::LockAndCounter,
+    };
+    for mechanism in tas_family() {
+        let built = counter_loop(mechanism, &spec);
+        let lock = built.data.symbol("lock").expect("lock symbol");
+        let (_, telemetry, counter) = run_instrumented(&built, &[lock], 1_700, "counter");
+        assert_eq!(counter, spec.expected_count(), "{mechanism}: lost updates");
+
+        let accesses: Vec<_> = telemetry.raw().iter().map(|&(_, a)| a).collect();
+        let profile = lock_profile(&accesses, lock);
+        let t = &telemetry.locks()[0];
+        assert_eq!(
+            t.acquisitions, profile.acquisitions,
+            "{mechanism}: acquisition counts disagree"
+        );
+        assert_eq!(
+            t.releases, profile.releases,
+            "{mechanism}: release counts disagree"
+        );
+        assert_eq!(
+            t.contended_probes, profile.contended_probes,
+            "{mechanism}: contended-probe counts disagree"
+        );
+        assert_eq!(
+            t.hold.sum(),
+            profile.hold_cycles,
+            "{mechanism}: total hold time disagrees"
+        );
+        // Every critical section entered was also left, and each of the
+        // 900 increments went through the lock.
+        assert_eq!(t.acquisitions, t.releases, "{mechanism}: unbalanced lock");
+        assert_eq!(
+            t.acquisitions,
+            spec.total_ops(),
+            "{mechanism}: acquisition count differs from operations"
+        );
+    }
+}
+
+#[test]
+fn kernel_lock_attempt_events_match_the_replay_under_emulation() {
+    // Only kernel emulation traps to the kernel for Test-And-Set, so
+    // only there does an event-level observer exist to cross-check the
+    // value-transition replay observation for observation.
+    let spec = CounterSpec {
+        iterations: 250,
+        workers: 3,
+        body: CounterBody::LockAndCounter,
+    };
+    let built = counter_loop(Mechanism::KernelEmulation, &spec);
+    let lock = built.data.symbol("lock").expect("lock symbol");
+    let (recording, telemetry, counter) = run_instrumented(&built, &[lock], 1_900, "counter");
+    assert_eq!(counter, spec.expected_count());
+
+    let mut acquired = 0u64;
+    let mut failed = 0u64;
+    for e in recording.events() {
+        if let ObsEvent::LockAttempt {
+            addr, acquired: ok, ..
+        } = e.event
+        {
+            assert_eq!(addr, lock);
+            if ok {
+                acquired += 1;
+            } else {
+                failed += 1;
+            }
+        }
+    }
+    let accesses: Vec<_> = telemetry.raw().iter().map(|&(_, a)| a).collect();
+    let profile = lock_profile(&accesses, lock);
+    assert_eq!(acquired, profile.acquisitions, "successful TAS traps");
+    assert_eq!(failed, profile.contended_probes, "failed TAS traps");
+    assert_eq!(acquired, telemetry.locks()[0].acquisitions);
+    assert_eq!(failed, telemetry.locks()[0].contended_probes);
+}
+
+#[test]
+fn inline_flavors_reconstruct_cas_xchg_and_lock_free_faa() {
+    let spec = ModelSpec {
+        iterations: 40,
+        workers: 3,
+    };
+    for flavor in [TasFlavor::Cas, TasFlavor::Xchg, TasFlavor::Faa] {
+        let built = model_counter(Mechanism::RasInline, flavor, &spec);
+        let lock = built.data.symbol("lock").expect("lock symbol");
+        let (_, telemetry, counter) = run_instrumented(&built, &[lock], 900, "counter");
+        assert_eq!(counter, spec.expected_count(), "{flavor}: lost updates");
+
+        let accesses: Vec<_> = telemetry.raw().iter().map(|&(_, a)| a).collect();
+        let profile = lock_profile(&accesses, lock);
+        let t = &telemetry.locks()[0];
+        assert_eq!(t.acquisitions, profile.acquisitions, "{flavor}");
+        assert_eq!(t.releases, profile.releases, "{flavor}");
+        assert_eq!(t.contended_probes, profile.contended_probes, "{flavor}");
+        if flavor.is_lock_free() {
+            // Fetch-And-Add increments the counter directly: the lock
+            // word is never touched, and there is no exclusion to
+            // profile — only the lost-update property, checked above.
+            assert_eq!(profile.acquisitions, 0, "faa should never lock");
+            assert_eq!(profile.contended_probes, 0);
+        } else {
+            assert_eq!(
+                profile.acquisitions,
+                u64::from(spec.expected_count()),
+                "{flavor}: every increment goes through the lock"
+            );
+            assert_eq!(profile.acquisitions, profile.releases, "{flavor}");
+            let (_, _, violations) = run_instrumented(&built, &[lock], 900, "violations");
+            assert_eq!(violations, 0, "{flavor}: mutual exclusion violated");
+        }
+    }
+}

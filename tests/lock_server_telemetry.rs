@@ -1,0 +1,238 @@
+//! Differential pinning of the streaming telemetry pipeline against
+//! exact offline statistics, on every bundled lock-server configuration.
+//!
+//! The tentpole guarantee: the O(buckets)-memory streaming histograms
+//! must be *byte-identical* to histograms rebuilt from the complete
+//! buffered event stream — not approximately equal, identical. The runs
+//! here capture both representations at once (`telemetry_raw` retains
+//! the raw watched accesses alongside the streaming fold) and compare
+//! bucket-for-bucket and percentile-string-for-percentile-string.
+
+use restartable_atomics::ras_obs::{
+    exact_lock_replay, validate_stat_snapshot, Log2Histogram, SnapshotMeta, StatSnapshot, Telemetry,
+};
+use restartable_atomics::workloads::{lock_addresses, lock_server, Arrival, LockServerSpec};
+use restartable_atomics::{run_guest_keeping_kernel, CpuProfile, Mechanism, Outcome, RunOptions};
+
+fn pick_profile(mechanism: Mechanism) -> CpuProfile {
+    for profile in [CpuProfile::r3000(), CpuProfile::i486(), CpuProfile::i860()] {
+        if mechanism.supported_by(&profile) {
+            return profile;
+        }
+    }
+    unreachable!("every mechanism runs on at least one profile");
+}
+
+/// The bundled configurations the acceptance gate sweeps.
+fn bundled() -> Vec<(&'static str, LockServerSpec)> {
+    vec![
+        (
+            "smoke-uniform",
+            LockServerSpec {
+                clients: 8,
+                locks: 4,
+                ops_per_client: 24,
+                arrival: Arrival::Uniform,
+                think: 0,
+                ..LockServerSpec::default()
+            },
+        ),
+        (
+            "hot-zipf",
+            LockServerSpec {
+                clients: 8,
+                locks: 8,
+                ops_per_client: 24,
+                arrival: Arrival::Zipfian,
+                think: 40,
+                ..LockServerSpec::default()
+            },
+        ),
+        (
+            "bursty",
+            LockServerSpec {
+                clients: 12,
+                locks: 4,
+                ops_per_client: 16,
+                arrival: Arrival::Bursty,
+                burst_gap: 2_500,
+                ..LockServerSpec::default()
+            },
+        ),
+    ]
+}
+
+fn run_config(mechanism: Mechanism, spec: &LockServerSpec, raw: bool) -> (Telemetry, u64, u64) {
+    let built = lock_server(mechanism, spec);
+    let watch = lock_addresses(&built, spec);
+    let options = RunOptions {
+        quantum: 3_000,
+        telemetry_locks: Some(watch),
+        telemetry_raw: raw,
+        ..RunOptions::new(pick_profile(mechanism))
+    };
+    let (report, mut kernel) = run_guest_keeping_kernel(&built, &options);
+    assert_eq!(report.outcome, Outcome::Completed);
+    let ops_done = built.data.symbol("ops_done").expect("ops_done symbol");
+    let total_ops: u64 = (0..spec.locks)
+        .map(|i| u64::from(kernel.read_word(ops_done + 4 * i as u32).expect("readable")))
+        .sum();
+    let telemetry = kernel.take_telemetry().expect("telemetry enabled");
+    (telemetry, total_ops, report.cycles)
+}
+
+#[test]
+fn streaming_percentiles_are_byte_identical_to_exact_on_every_bundled_config() {
+    for mechanism in Mechanism::all() {
+        for (name, spec) in bundled() {
+            let (telemetry, total_ops, _) = run_config(mechanism, &spec, true);
+            assert_eq!(
+                total_ops,
+                spec.total_ops(),
+                "{mechanism}/{name}: lost updates"
+            );
+            let addrs: Vec<u32> = telemetry.locks().iter().map(|l| l.addr).collect();
+            let exact = exact_lock_replay(telemetry.raw(), &addrs);
+            assert_eq!(exact.len(), telemetry.locks().len());
+            for (lock, exact) in telemetry.locks().iter().zip(&exact) {
+                assert_eq!(lock.addr, exact.addr);
+                assert_eq!(lock.acquisitions, exact.acquisitions, "{mechanism}/{name}");
+                assert_eq!(lock.releases, exact.releases, "{mechanism}/{name}");
+                assert_eq!(
+                    lock.contended_probes, exact.contended_probes,
+                    "{mechanism}/{name}"
+                );
+                let mut wait = Log2Histogram::new();
+                for &w in &exact.waits {
+                    wait.record(w);
+                }
+                let mut hold = Log2Histogram::new();
+                for &h in &exact.holds {
+                    hold.record(h);
+                }
+                // Bucket-exact equality, then the user-visible percentile
+                // strings byte-for-byte.
+                assert_eq!(
+                    lock.wait, wait,
+                    "{mechanism}/{name}: wait histogram drifted"
+                );
+                assert_eq!(
+                    lock.hold, hold,
+                    "{mechanism}/{name}: hold histogram drifted"
+                );
+                assert_eq!(
+                    lock.wait.percentile_summary(),
+                    wait.percentile_summary(),
+                    "{mechanism}/{name}"
+                );
+                assert_eq!(
+                    lock.hold.percentile_summary(),
+                    hold.percentile_summary(),
+                    "{mechanism}/{name}"
+                );
+                // The bucketed percentile must dominate the exact one and
+                // stay within its bucket (upper bound semantics).
+                let mut sorted = exact.waits.clone();
+                sorted.sort_unstable();
+                if !sorted.is_empty() {
+                    for (permille, q) in [(500, 0.5), (900, 0.9), (990, 0.99)] {
+                        let rank =
+                            ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                        let exact_p = sorted[rank - 1];
+                        let bucketed = lock.wait.percentile_permille(permille);
+                        assert!(
+                            bucketed >= exact_p,
+                            "{mechanism}/{name}: p{permille} bucketed {bucketed} < exact {exact_p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_json_is_deterministic_and_schema_valid() {
+    let spec = bundled()[1].1;
+    let json: Vec<String> = (0..2)
+        .map(|_| {
+            let (telemetry, total_ops, cycles) = run_config(Mechanism::RasRegistered, &spec, false);
+            StatSnapshot {
+                meta: SnapshotMeta {
+                    mechanism: Mechanism::RasRegistered.id().to_owned(),
+                    workload: "lock-server".to_owned(),
+                    clients: spec.clients as u64,
+                    locks: spec.locks as u64,
+                    ops_per_client: u64::from(spec.ops_per_client),
+                    arrival: spec.arrival.id().to_owned(),
+                    total_cycles: cycles,
+                    total_ops,
+                },
+                telemetry: &telemetry,
+            }
+            .to_json()
+        })
+        .collect();
+    assert_eq!(
+        json[0], json[1],
+        "same run must serialize to the same bytes"
+    );
+    let summary = validate_stat_snapshot(&json[0]).expect("schema-valid snapshot");
+    assert_eq!(summary.locks, spec.locks);
+    assert_eq!(summary.acquisitions, spec.total_ops());
+}
+
+#[test]
+fn telemetry_memory_stays_bounded_without_raw_capture() {
+    // The production configuration (capture_raw off) retains nothing
+    // per-event: histograms and counters only.
+    let spec = bundled()[0].1;
+    let (telemetry, _, _) = run_config(Mechanism::RasInline, &spec, false);
+    assert!(telemetry.raw().is_empty(), "raw capture must default off");
+    assert!(telemetry.boundary_flushes() > 0, "no boundary flushes ran");
+    let total: u64 = telemetry.locks().iter().map(|l| l.acquisitions).sum();
+    assert_eq!(total, spec.total_ops());
+}
+
+#[test]
+fn a_thousand_clients_complete_with_exact_accounting() {
+    // The scale story in miniature (the CI smoke runs 10,000 clients in
+    // release mode): client stacks shrink so thousands of TCBs fit in
+    // the default 8 MiB image.
+    let spec = LockServerSpec {
+        clients: 1_000,
+        locks: 8,
+        ops_per_client: 2,
+        arrival: Arrival::Zipfian,
+        ..LockServerSpec::default()
+    };
+    let built = lock_server(Mechanism::RasRegistered, &spec);
+    let watch = lock_addresses(&built, &spec);
+    let options = RunOptions {
+        quantum: 10_000,
+        stack_bytes: 512,
+        max_threads: spec.clients + 2,
+        telemetry_locks: Some(watch),
+        ..RunOptions::new(CpuProfile::r3000())
+    };
+    let (report, mut kernel) = run_guest_keeping_kernel(&built, &options);
+    assert_eq!(report.outcome, Outcome::Completed);
+    let telemetry = kernel.take_telemetry().expect("telemetry enabled");
+    let total: u64 = telemetry.locks().iter().map(|l| l.acquisitions).sum();
+    assert_eq!(total, spec.total_ops());
+    // Runqueue depth saw the thundering herd. The queue never holds all
+    // 1,000 at once — main is preempted each quantum and the spawned
+    // wave drains before it resumes — but the per-quantum burst still
+    // stacks up dispatches that see 100+ ready clients (bucket 8 covers
+    // 128..255).
+    let deepest = telemetry
+        .runqueue_depth
+        .buckets()
+        .map(|(i, _)| i)
+        .max()
+        .expect("runqueue depth was sampled");
+    assert!(
+        deepest >= 8,
+        "deepest runqueue bucket {deepest} never reached the herd"
+    );
+}
