@@ -1,0 +1,107 @@
+//! Quick lock-server throughput probe: runs the trajectory's 64×8
+//! config and the 10k-client config once each and prints ops/s, for
+//! sizing scheduler work without waiting on the full bench pass.
+//!
+//! ```sh
+//! cargo run --release -p ras-bench --example lockserver_perf
+//! ```
+
+use std::time::Instant;
+
+use ras_core::{run_guest, run_guest_keeping_kernel, RunOptions};
+use ras_guest::workloads::{lock_addresses, lock_server, Arrival, LockServerSpec};
+use ras_guest::Mechanism;
+use ras_machine::{CpuProfile, EngineKind};
+
+fn measure(label: &str, spec: &LockServerSpec, reps: u32) {
+    let built = lock_server(Mechanism::RasRegistered, spec);
+    let mut options = RunOptions::new(CpuProfile::r3000());
+    options.engine = EngineKind::Translated;
+    options.quantum = 5_000;
+    options.max_threads = spec.clients + 2;
+    if spec.clients > 512 {
+        options.stack_bytes = 512;
+    }
+    let mut best = f64::INFINITY;
+    let mut retired = 0;
+    let mut translation = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = run_guest(&built, &options);
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        retired = out.instructions;
+        translation = out.translation;
+    }
+    if let Some(tc) = &translation {
+        println!("  translation: {tc:?}");
+    }
+    println!("  retired={retired}");
+    let mut enabled_options = options.clone();
+    enabled_options.telemetry_locks = Some(lock_addresses(&built, spec));
+    let mut best_enabled = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = run_guest(&built, &enabled_options);
+        best_enabled = best_enabled.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let (_, kernel) = run_guest_keeping_kernel(&built, &options);
+    let s = kernel.stats();
+    let ops = spec.total_ops() as f64;
+    println!(
+        "{label}: disabled {:.1} ms, enabled {:.1} ms best-of-{reps} \
+         ({:.0} ops/s disabled, {:.0} ops/s enabled, ratio {:.3})",
+        best,
+        best_enabled,
+        ops / (best / 1e3),
+        ops / (best_enabled / 1e3),
+        best_enabled / best,
+    );
+    println!(
+        "  cycles={} switches={} preempt={} yields={} syscalls={} spawns={} \
+         wakeups={} blocks={} suspensions={} ras_checks={} kernel_cycles={}",
+        kernel.machine().clock(),
+        s.context_switches,
+        s.preemptions,
+        s.yields,
+        s.syscalls,
+        s.threads_spawned,
+        s.wakeups,
+        s.blocks,
+        s.suspensions,
+        s.ras_checks,
+        s.kernel_cycles,
+    );
+}
+
+fn main() {
+    for think in [100, 200, 400] {
+        let spec = LockServerSpec {
+            clients: 64,
+            locks: 8,
+            ops_per_client: 200,
+            arrival: Arrival::Zipfian,
+            think,
+            ..LockServerSpec::default()
+        };
+        measure(&format!("lock_server 64x8 think={think}"), &spec, 7);
+    }
+    let small = LockServerSpec {
+        clients: 64,
+        locks: 8,
+        ops_per_client: 200,
+        arrival: Arrival::Zipfian,
+        think: 200,
+        ..LockServerSpec::default()
+    };
+    measure("lock_server 64x8", &small, 7);
+
+    let big = LockServerSpec {
+        clients: 10_000,
+        locks: 64,
+        ops_per_client: 2,
+        arrival: Arrival::Zipfian,
+        think: 200,
+        ..LockServerSpec::default()
+    };
+    measure("lock_server 10k x 64", &big, 3);
+}

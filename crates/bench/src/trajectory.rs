@@ -72,6 +72,25 @@ pub const TRANSLATION_SPEEDUP_GATE: f64 = 2.0;
 /// The trajectory refuses to record a point over this ratio.
 pub const TELEMETRY_OVERHEAD_GATE: f64 = 1.15;
 
+/// Lock-server throughput of the pre-scheduler-refactor pass
+/// (`BENCH_6`): telemetry-enabled client operations per second on the
+/// 64-client config, measured with the interpreter engine and the
+/// O(threads)/O(addresses) scheduler structures. The O(1) intrusive
+/// scheduler plus the translated telemetry tier must beat this by
+/// [`LOCK_SERVER_SPEEDUP_GATE`] for a point to be recorded.
+pub const BASELINE_LOCK_SERVER_OPS_PER_SECOND: f64 = 520_971.0;
+
+/// Minimum acceptable `lock-server ops/s ÷`
+/// [`BASELINE_LOCK_SERVER_OPS_PER_SECOND`] ratio.
+pub const LOCK_SERVER_SPEEDUP_GATE: f64 = 1.3;
+
+/// Drift floor for the 10,000-client lock-server config, telemetry
+/// enabled — absolute because the config is new in `BENCH_7` (measured
+/// ~1.2M ops/s; the floor leaves room for slower hosts, not for
+/// accidentally quadratic scheduler or telemetry work, which costs an
+/// order of magnitude at this thread count).
+pub const LOCK_SERVER_10K_OPS_GATE: f64 = 600_000.0;
+
 /// One measured trajectory point, ready to serialize.
 #[derive(Debug, Clone)]
 pub struct TrajectoryPoint {
@@ -153,6 +172,17 @@ pub struct TrajectoryPoint {
     pub lock_server_disabled_wall_ms: f64,
     /// Best interleaved wall time with telemetry enabled, milliseconds.
     pub lock_server_enabled_wall_ms: f64,
+    /// Clients in the 10k-client lock-server scalability config.
+    pub lock_server_10k_clients: u64,
+    /// Locks in the 10k-client config.
+    pub lock_server_10k_locks: u64,
+    /// Total client operations of the 10k-client config.
+    pub lock_server_10k_total_ops: u64,
+    /// Acquisitions the streaming telemetry counted at 10k clients.
+    pub lock_server_10k_acquisitions: u64,
+    /// Best telemetry-enabled wall time of the 10k-client config,
+    /// milliseconds (spawn through join of all 10,000 threads).
+    pub lock_server_10k_wall_ms: f64,
 }
 
 impl TrajectoryPoint {
@@ -221,6 +251,20 @@ impl TrajectoryPoint {
     /// [`TELEMETRY_OVERHEAD_GATE`].
     pub fn telemetry_overhead_ratio(&self) -> f64 {
         self.lock_server_enabled_wall_ms / self.lock_server_disabled_wall_ms.max(1e-9)
+    }
+
+    /// Lock-server speedup against
+    /// [`BASELINE_LOCK_SERVER_OPS_PER_SECOND`] — the rate to read
+    /// against [`LOCK_SERVER_SPEEDUP_GATE`].
+    pub fn lock_server_speedup(&self) -> f64 {
+        self.lock_server_ops_per_second() / BASELINE_LOCK_SERVER_OPS_PER_SECOND
+    }
+
+    /// Client operations per second of host wall time on the
+    /// telemetry-enabled 10,000-client config — the rate to read
+    /// against [`LOCK_SERVER_10K_OPS_GATE`].
+    pub fn lock_server_10k_ops_per_second(&self) -> f64 {
+        rate(self.lock_server_10k_total_ops, self.lock_server_10k_wall_ms)
     }
 
     /// Serializes the point as the `BENCH_<n>.json` document.
@@ -403,13 +447,50 @@ impl TrajectoryPoint {
         );
         let _ = writeln!(
             s,
+            "    \"baseline_ops_per_second\": {BASELINE_LOCK_SERVER_OPS_PER_SECOND:.0},"
+        );
+        let _ = writeln!(
+            s,
+            "    \"speedup_vs_baseline\": {:.2},",
+            self.lock_server_speedup()
+        );
+        let _ = writeln!(
+            s,
             "    \"telemetry_overhead_ratio\": {:.3},",
             self.telemetry_overhead_ratio()
         );
         let _ = writeln!(
             s,
-            "    \"telemetry_overhead_gate\": {TELEMETRY_OVERHEAD_GATE:.2}"
+            "    \"telemetry_overhead_gate\": {TELEMETRY_OVERHEAD_GATE:.2},"
         );
+        let _ = writeln!(s, "    \"clients_10k\": {{");
+        let _ = writeln!(s, "      \"clients\": {},", self.lock_server_10k_clients);
+        let _ = writeln!(s, "      \"locks\": {},", self.lock_server_10k_locks);
+        let _ = writeln!(
+            s,
+            "      \"total_ops\": {},",
+            self.lock_server_10k_total_ops
+        );
+        let _ = writeln!(
+            s,
+            "      \"acquisitions\": {},",
+            self.lock_server_10k_acquisitions
+        );
+        let _ = writeln!(
+            s,
+            "      \"enabled_wall_ms\": {:.3},",
+            self.lock_server_10k_wall_ms
+        );
+        let _ = writeln!(
+            s,
+            "      \"ops_per_second\": {:.0},",
+            self.lock_server_10k_ops_per_second()
+        );
+        let _ = writeln!(
+            s,
+            "      \"ops_per_second_gate\": {LOCK_SERVER_10K_OPS_GATE:.0}"
+        );
+        let _ = writeln!(s, "    }}");
         let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"verify\": {{");
         let _ = writeln!(s, "    \"claims\": {},", self.verify_claims);
@@ -547,12 +628,15 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
 
     // Lock-server telemetry bench: a contended 64-client lock server
     // with realistic critical sections, run with streaming telemetry on
-    // and off. Measured here, before the allocation-heavy tables and
-    // verify phases fragment the heap; the arms are interleaved so host
-    // clock drift cannot bias either. The overhead gate fails the pass
-    // if enabled wall time exceeds TELEMETRY_OVERHEAD_GATE times
-    // disabled, and the counters must account for every client
-    // operation.
+    // and off — on the translated engine, whose telemetry level logs a
+    // byte-identical access stream to the interpreter's. Measured here,
+    // before the allocation-heavy tables and verify phases fragment the
+    // heap; the arms are interleaved so host clock drift cannot bias
+    // either. The overhead gate fails the pass if enabled wall time
+    // exceeds TELEMETRY_OVERHEAD_GATE times disabled, the throughput
+    // gate fails it if the O(1) scheduler + translated telemetry ever
+    // regress to the BENCH_6 interpreter's rate, and the counters must
+    // account for every client operation.
     let ls_spec = LockServerSpec {
         clients: 64,
         locks: 8,
@@ -565,6 +649,7 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
     let ls_watch = lock_addresses(&ls_built, &ls_spec);
     let ls_options = |telemetry: Option<Vec<u32>>| {
         let mut options = RunOptions::new(CpuProfile::r3000());
+        options.engine = EngineKind::Translated;
         options.quantum = 5_000;
         options.max_threads = ls_spec.clients + 2;
         options.telemetry_locks = telemetry;
@@ -601,6 +686,67 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
         return Err(format!(
             "lock-server telemetry overhead drifted over its gate: enabled/disabled \
              {ls_ratio:.3} exceeds {TELEMETRY_OVERHEAD_GATE:.2}"
+        ));
+    }
+    let ls_ops = rate(ls_spec.total_ops(), ls_enabled);
+    if ls_ops < LOCK_SERVER_SPEEDUP_GATE * BASELINE_LOCK_SERVER_OPS_PER_SECOND {
+        return Err(format!(
+            "lock-server throughput drifted below its gate: {ls_ops:.0} ops/s is under \
+             {LOCK_SERVER_SPEEDUP_GATE}x the BENCH_6 baseline \
+             {BASELINE_LOCK_SERVER_OPS_PER_SECOND:.0}"
+        ));
+    }
+
+    // 10,000-client scalability config: the same server shape at a
+    // thread count where any O(threads) work per scheduling decision —
+    // ready-queue scans, waiter-table rehashing, per-event telemetry
+    // slot walks — dominates wall time. The absolute ops/s floor is the
+    // drift gate; accounting must still be exact at this scale.
+    let ls10k_spec = LockServerSpec {
+        clients: 10_000,
+        locks: 64,
+        ops_per_client: 2,
+        arrival: Arrival::Zipfian,
+        think: 200,
+        ..LockServerSpec::default()
+    };
+    let ls10k_built = lock_server(Mechanism::RasRegistered, &ls10k_spec);
+    let ls10k_watch = lock_addresses(&ls10k_built, &ls10k_spec);
+    let ls10k_options = {
+        let mut options = RunOptions::new(CpuProfile::r3000());
+        options.engine = EngineKind::Translated;
+        options.quantum = 5_000;
+        options.max_threads = ls10k_spec.clients + 2;
+        options.stack_bytes = 512;
+        options.telemetry_locks = Some(ls10k_watch);
+        options
+    };
+    let mut ls10k_wall = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let _ = run_guest(&ls10k_built, &ls10k_options);
+        ls10k_wall = ls10k_wall.min(ms(t));
+    }
+    let (_, mut ls10k_kernel) = run_guest_keeping_kernel(&ls10k_built, &ls10k_options);
+    let ls10k_acquisitions: u64 = ls10k_kernel
+        .take_telemetry()
+        .expect("10k lock-server bench enables telemetry")
+        .locks()
+        .iter()
+        .map(|l| l.acquisitions)
+        .sum();
+    if ls10k_acquisitions != ls10k_spec.total_ops() {
+        return Err(format!(
+            "10k lock-server telemetry lost updates: {} acquisitions for {} operations",
+            ls10k_acquisitions,
+            ls10k_spec.total_ops()
+        ));
+    }
+    let ls10k_ops = rate(ls10k_spec.total_ops(), ls10k_wall);
+    if ls10k_ops < LOCK_SERVER_10K_OPS_GATE {
+        return Err(format!(
+            "10k lock-server throughput drifted below its floor: {ls10k_ops:.0} ops/s \
+             is under {LOCK_SERVER_10K_OPS_GATE:.0}"
         ));
     }
 
@@ -727,6 +873,11 @@ pub fn measure() -> Result<TrajectoryPoint, String> {
         lock_server_contended_probes: ls_probes,
         lock_server_disabled_wall_ms: ls_disabled,
         lock_server_enabled_wall_ms: ls_enabled,
+        lock_server_10k_clients: ls10k_spec.clients as u64,
+        lock_server_10k_locks: ls10k_spec.locks as u64,
+        lock_server_10k_total_ops: ls10k_spec.total_ops(),
+        lock_server_10k_acquisitions: ls10k_acquisitions,
+        lock_server_10k_wall_ms: ls10k_wall,
     })
 }
 
@@ -801,6 +952,11 @@ mod tests {
             lock_server_contended_probes: 6_313,
             lock_server_disabled_wall_ms: 20.0,
             lock_server_enabled_wall_ms: 22.0,
+            lock_server_10k_clients: 10_000,
+            lock_server_10k_locks: 64,
+            lock_server_10k_total_ops: 20_000,
+            lock_server_10k_acquisitions: 20_000,
+            lock_server_10k_wall_ms: 16.0,
         };
         let json = point.to_json(3);
         for needle in [
@@ -843,8 +999,16 @@ mod tests {
             "\"disabled_wall_ms\": 20.000",
             "\"enabled_wall_ms\": 22.000",
             "\"ops_per_second\": 581818",
+            "\"baseline_ops_per_second\": 520971",
             "\"telemetry_overhead_ratio\": 1.100",
             "\"telemetry_overhead_gate\": 1.15",
+            "\"clients_10k\": {",
+            "\"clients\": 10000",
+            "\"total_ops\": 20000",
+            "\"acquisitions\": 20000",
+            "\"enabled_wall_ms\": 16.000",
+            "\"ops_per_second\": 1250000",
+            "\"ops_per_second_gate\": 600000",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

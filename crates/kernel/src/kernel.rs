@@ -1,4 +1,4 @@
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -12,6 +12,7 @@ use ras_machine::{
 };
 use ras_obs::{ObsEvent, Recorder, Recording, SwitchReason, Telemetry};
 
+use crate::runq::{join_push, IntrusiveQueue, WaitBuckets, WaitCheckpoint, NIL};
 use crate::{
     CheckTime, Event, KernelStats, PreemptionPolicy, Strategy, StrategyKind, Tcb, ThreadId,
     ThreadState, TimedEvent,
@@ -206,15 +207,19 @@ pub struct Kernel {
     /// once at boot; `Program::patch` only happens pre-boot.
     decoded: Arc<DecodedProgram>,
     threads: Vec<Tcb>,
-    ready: VecDeque<ThreadId>,
+    /// Intrusive ready FIFO threaded through `threads`; every
+    /// enqueue/dequeue/targeted-removal path is O(1) and `len` is a
+    /// maintained counter.
+    ready: IntrusiveQueue,
     current: Option<ThreadId>,
     last_running: Option<ThreadId>,
     strategy: Strategy,
     check_time: CheckTime,
     policy: PreemptionPolicy,
     slice_deadline: u64,
-    waiters: HashMap<DataAddr, VecDeque<ThreadId>>,
-    join_waiters: HashMap<ThreadId, Vec<ThreadId>>,
+    /// Futex-style wait buckets keyed by lock word; chains threaded
+    /// through `threads`. Join chains hang off each target's TCB.
+    waiters: WaitBuckets,
     /// Sleeping threads ordered by wake time (min-heap).
     sleepers: std::collections::BinaryHeap<std::cmp::Reverse<(u64, ThreadId)>>,
     stats: KernelStats,
@@ -231,6 +236,11 @@ pub struct Kernel {
     /// a snapshot clone (the model checker's per-decision copy) stays
     /// cheap. `None` means every emit site is a single branch.
     recording: Option<Box<Recording>>,
+    /// Streaming lock/scheduler telemetry ([`ras_obs::Telemetry`]),
+    /// standalone so enabling it does not drag the full [`Recording`]
+    /// event fold along: a telemetry run pays for the boundary drains
+    /// and the two scheduler events it consumes, nothing else.
+    telemetry: Option<Box<Telemetry>>,
     /// A fault detected inside a kernel path (e.g. user stack overflow
     /// during a redirect), delivered at the top of the run loop.
     pending_fault: Option<(ThreadId, Fault)>,
@@ -248,10 +258,13 @@ pub struct Kernel {
 /// strategy state, statistics — plus a machine checkpoint whose undo-log
 /// mark rewinds guest memory in O(stores since the checkpoint).
 ///
-/// The by-value part is tiny (a few TCBs and queue entries); the guest
-/// memory image, which dominates a full [`Kernel::clone`], is never
-/// copied. This is what lets the model checker's DFS rewind a sibling
-/// branch for the cost of the writes the branch made.
+/// The by-value part is tiny (the TCB slab and a few queue headers);
+/// the guest memory image, which dominates a full [`Kernel::clone`],
+/// is never copied. This is what lets the model checker's DFS rewind a
+/// sibling branch for the cost of the writes the branch made. Since the
+/// scheduler's chains (ready queue, wait buckets, join chains) are
+/// threaded *through* the TCBs, cloning the slab captures them too:
+/// the former per-node `HashMap` clones are now twelve-byte headers.
 ///
 /// Append-only observational state (timeline, obs recording, the
 /// machine's mix/trace/profile collectors) is not rewound: it describes
@@ -260,7 +273,7 @@ pub struct Kernel {
 pub struct Checkpoint {
     machine: ras_machine::MachineCheckpoint,
     threads: Vec<Tcb>,
-    ready: VecDeque<ThreadId>,
+    ready: IntrusiveQueue,
     current: Option<ThreadId>,
     last_running: Option<ThreadId>,
     /// The one piece of mutable strategy state: the Mach-style explicit
@@ -269,8 +282,7 @@ pub struct Checkpoint {
     registered_range: Option<(CodeAddr, u32)>,
     policy: PreemptionPolicy,
     slice_deadline: u64,
-    waiters: HashMap<DataAddr, VecDeque<ThreadId>>,
-    join_waiters: HashMap<ThreadId, Vec<ThreadId>>,
+    waiters: WaitCheckpoint,
     sleepers: std::collections::BinaryHeap<std::cmp::Reverse<(u64, ThreadId)>>,
     stats: KernelStats,
     output_len: usize,
@@ -285,12 +297,8 @@ impl Checkpoint {
     /// checkpointing against full kernel clones.
     pub fn approx_bytes(&self) -> u64 {
         let tcbs = self.threads.len() * std::mem::size_of::<Tcb>();
-        let queues = (self.ready.len()
-            + self.sleepers.len()
-            + self.page_fifo.len()
-            + self.waiters.values().map(VecDeque::len).sum::<usize>()
-            + self.join_waiters.values().map(Vec::len).sum::<usize>())
-            * std::mem::size_of::<ThreadId>();
+        let queues = (self.sleepers.len() + self.page_fifo.len()) * std::mem::size_of::<ThreadId>()
+            + self.waiters.approx_bytes();
         let fixed = std::mem::size_of::<Checkpoint>();
         (tcbs + queues + fixed) as u64
     }
@@ -360,16 +368,18 @@ impl Kernel {
             machine,
             program: Arc::new(program),
             decoded,
-            threads: Vec::new(),
-            ready: VecDeque::new(),
+            // Pooled up front: spawning the 10k-client workload never
+            // reallocates the TCB slab (which intrusive links thread
+            // through) mid-run.
+            threads: Vec::with_capacity(config.max_threads),
+            ready: IntrusiveQueue::EMPTY,
             current: None,
             last_running: None,
             strategy: Strategy::from_kind(&config.strategy),
             check_time: config.check_time,
             policy,
             slice_deadline: 0,
-            waiters: HashMap::new(),
-            join_waiters: HashMap::new(),
+            waiters: WaitBuckets::new(config.max_threads),
             sleepers: std::collections::BinaryHeap::new(),
             stats: KernelStats::new(),
             output: Vec::new(),
@@ -381,6 +391,7 @@ impl Kernel {
             max_resident,
             timeline: None,
             recording: None,
+            telemetry: None,
             pending_fault: None,
             translation,
         };
@@ -524,42 +535,41 @@ impl Kernel {
 
     /// Starts streaming lock/scheduler telemetry over `lock_addrs` (see
     /// [`ras_obs::Telemetry`]). Turns on the machine's access log and
-    /// attaches a [`Telemetry`] aggregate to the recording (starting a
-    /// metrics-only recording if none is active); the kernel drains the
-    /// access log at every scheduling boundary, so memory stays
-    /// O(locks × histogram buckets) regardless of run length.
+    /// attaches a standalone [`Telemetry`] aggregate — deliberately
+    /// *not* a full [`Recording`]: telemetry consumes only the two
+    /// scheduler events (dispatch, switch-out) and the boundary drains,
+    /// so enabling it does not buy the whole per-event metrics fold.
+    /// The kernel drains the access log at every scheduling boundary,
+    /// so memory stays O(locks × histogram buckets) regardless of run
+    /// length. Idempotent: a second call never discards an aggregate.
     ///
     /// With `capture_raw` true the aggregate additionally retains every
     /// watched access — O(events) memory, intended only for differential
     /// tests that compare streaming percentiles against exact ones.
     pub fn enable_telemetry(&mut self, lock_addrs: &[u32], capture_raw: bool) {
-        self.enable_recording(false);
         self.machine.enable_access_log();
         // Filter at the source: only the watched lock words enter the
         // log, so its growth between boundary drains tracks lock
         // traffic, not total memory traffic.
         self.machine.set_access_watch(lock_addrs);
-        let mut telemetry = Telemetry::new(lock_addrs);
-        telemetry.set_capture_raw(capture_raw);
-        self.recording
-            .as_deref_mut()
-            .expect("recording was just enabled")
-            .set_telemetry(telemetry);
+        if self.telemetry.is_none() {
+            let mut telemetry = Telemetry::new(lock_addrs);
+            telemetry.set_capture_raw(capture_raw);
+            self.telemetry = Some(Box::new(telemetry));
+        }
     }
 
     /// The attached telemetry aggregate, if [`Kernel::enable_telemetry`]
     /// was called.
     pub fn telemetry(&self) -> Option<&Telemetry> {
-        self.recording.as_deref().and_then(|r| r.telemetry())
+        self.telemetry.as_deref()
     }
 
     /// Detaches and returns the telemetry aggregate (flushing nothing:
     /// call after the run loop has returned, when all boundaries have
     /// been drained).
     pub fn take_telemetry(&mut self) -> Option<Telemetry> {
-        self.recording
-            .as_deref_mut()
-            .and_then(|r| r.take_telemetry())
+        self.telemetry.take().map(|boxed| *boxed)
     }
 
     /// Drains the machine's access log into the telemetry aggregate,
@@ -568,11 +578,18 @@ impl Kernel {
     /// current, so attribution is exact. No-op without telemetry.
     fn drain_telemetry(&mut self, tid: ThreadId) {
         let Kernel {
-            machine, recording, ..
+            machine, telemetry, ..
         } = self;
-        if let Some(tel) = recording.as_deref_mut().and_then(|r| r.telemetry_mut()) {
+        if let Some(tel) = telemetry.as_deref_mut() {
             machine.drain_accesses(|a| tel.observe(tid.0, a));
         }
+    }
+
+    /// Whether any structured-event consumer is attached — the emit
+    /// sites that compute extra context (e.g. "inside a sequence?")
+    /// before constructing a switch-out event gate on this.
+    fn observing(&self) -> bool {
+        self.recording.is_some() || self.telemetry.is_some()
     }
 
     /// Enables the machine's per-PC cycle histogram (see
@@ -590,6 +607,9 @@ impl Kernel {
     fn emit(&mut self, event: ObsEvent) {
         if let Some(rec) = &mut self.recording {
             rec.record(self.machine.clock(), &event);
+        }
+        if let Some(tel) = &mut self.telemetry {
+            tel.on_event(self.machine.clock(), &event);
         }
     }
 
@@ -659,17 +679,25 @@ impl Kernel {
 
     /// The ready queue, front (next to dispatch) first.
     pub fn ready_threads(&self) -> Vec<ThreadId> {
-        self.ready.iter().copied().collect()
+        self.ready.iter(&self.threads).collect()
     }
 
-    /// The number of ready threads, without materialising the queue.
+    /// The number of ready threads — a maintained counter, not a scan.
     pub fn ready_len(&self) -> usize {
         self.ready.len()
     }
 
     /// Iterates the ready queue in dispatch order without allocating.
     pub fn ready_iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
-        self.ready.iter().copied()
+        self.ready.iter(&self.threads)
+    }
+
+    /// Scheduler queue depths as maintained counters: `(ready, waiting)`
+    /// where `waiting` counts threads parked on lock words. O(1) — the
+    /// former implementation summed every waiter queue per call, which
+    /// telemetry's runqueue sampling paid on every dispatch.
+    pub fn queues(&self) -> (usize, usize) {
+        (self.ready.len(), self.waiters.waiting())
     }
 
     /// A thread's saved register state (authoritative whenever the thread
@@ -719,7 +747,7 @@ impl Kernel {
         // faults loudly instead of silently running off.
         regs.set(Reg::RA, u32::MAX);
         self.threads.push(Tcb::new(id, regs, stack_top));
-        self.ready.push_back(id);
+        self.ready.push_back(&mut self.threads, id);
         self.live += 1;
         self.stats.threads_spawned += 1;
         self.record(Event::Spawn { thread: id });
@@ -900,12 +928,9 @@ impl Kernel {
         self.last_running = Some(tid);
         self.record(Event::Dispatch { thread: tid });
         self.emit(ObsEvent::Dispatch { thread: tid.0 });
-        let depth = self.ready.len() as u64;
-        if let Some(tel) = self
-            .recording
-            .as_deref_mut()
-            .and_then(|r| r.telemetry_mut())
-        {
+        // Maintained counter — no queue materialisation per sample.
+        let depth = self.queues().0 as u64;
+        if let Some(tel) = self.telemetry.as_deref_mut() {
             tel.sample_runqueue(depth);
         }
         // The timer slice starts when the thread reaches user level, so a
@@ -919,7 +944,7 @@ impl Kernel {
         self.record(Event::Preempt { thread: tid });
         // Capture "inside a sequence?" before the suspension check rolls
         // the PC back — after it, the evidence is gone.
-        if self.recording.is_some() {
+        if self.observing() {
             let inside = self.pc_inside_sequence(tid);
             self.emit(ObsEvent::SwitchOut {
                 thread: tid.0,
@@ -929,7 +954,7 @@ impl Kernel {
         }
         self.suspend(tid);
         self.threads[tid.0 as usize].state = ThreadState::Ready;
-        self.ready.push_back(tid);
+        self.ready.push_back(&mut self.threads, tid);
         self.current = None;
     }
 
@@ -953,7 +978,7 @@ impl Kernel {
         // addresses the faulting instruction. If that lies inside a
         // restartable sequence the whole sequence re-executes — this is
         // the "page fault" row of the event ordering discussed in §4.2.
-        if self.recording.is_some() {
+        if self.observing() {
             let inside = self.pc_inside_sequence(tid);
             self.emit(ObsEvent::SwitchOut {
                 thread: tid.0,
@@ -963,7 +988,7 @@ impl Kernel {
         }
         self.suspend(tid);
         self.threads[tid.0 as usize].state = ThreadState::Ready;
-        self.ready.push_back(tid);
+        self.ready.push_back(&mut self.threads, tid);
         self.current = None;
     }
 
@@ -989,20 +1014,28 @@ impl Kernel {
                 self.threads[tid.0 as usize].state = ThreadState::Exited;
                 self.live -= 1;
                 self.current = None;
-                if let Some(joiners) = self.join_waiters.remove(&tid) {
-                    for j in joiners {
-                        self.threads[j.0 as usize].state = ThreadState::Ready;
-                        self.ready.push_back(j);
-                        self.stats.wakeups += 1;
-                        self.record(Event::Wake { thread: j });
-                        self.emit(ObsEvent::Wake { thread: j.0 });
-                    }
+                // Wake joiners in arrival order, walking the intrusive
+                // chain in place (capture each `next` before detaching).
+                let mut cur = self.threads[tid.0 as usize].joiners_head;
+                self.threads[tid.0 as usize].joiners_head = NIL;
+                self.threads[tid.0 as usize].joiners_tail = NIL;
+                while cur != NIL {
+                    let j = ThreadId(cur);
+                    let t = &mut self.threads[cur as usize];
+                    cur = t.link_next;
+                    t.link_next = NIL;
+                    t.link_prev = NIL;
+                    t.state = ThreadState::Ready;
+                    self.ready.push_back(&mut self.threads, j);
+                    self.stats.wakeups += 1;
+                    self.record(Event::Wake { thread: j });
+                    self.emit(ObsEvent::Wake { thread: j.0 });
                 }
             }
             abi::SYS_YIELD => {
                 self.stats.yields += 1;
                 self.record(Event::Yield { thread: tid });
-                if self.recording.is_some() {
+                if self.observing() {
                     let inside = self.pc_inside_sequence(tid);
                     self.emit(ObsEvent::SwitchOut {
                         thread: tid.0,
@@ -1012,7 +1045,7 @@ impl Kernel {
                 }
                 self.suspend(tid);
                 self.threads[tid.0 as usize].state = ThreadState::Ready;
-                self.ready.push_back(tid);
+                self.ready.push_back(&mut self.threads, tid);
                 self.current = None;
             }
             abi::SYS_SPAWN => {
@@ -1097,7 +1130,7 @@ impl Kernel {
                 if val == a1 {
                     self.stats.blocks += 1;
                     self.record(Event::Block { thread: tid });
-                    if self.recording.is_some() {
+                    if self.observing() {
                         let inside = self.pc_inside_sequence(tid);
                         self.emit(ObsEvent::SwitchOut {
                             thread: tid.0,
@@ -1108,25 +1141,32 @@ impl Kernel {
                     self.threads[tid.0 as usize].regs.set(Reg::V0, 0);
                     self.suspend(tid);
                     self.threads[tid.0 as usize].state = ThreadState::Blocked { addr: a0 };
-                    self.waiters.entry(a0).or_default().push_back(tid);
+                    self.waiters.park(&mut self.threads, a0, tid);
                     self.current = None;
                 } else {
                     self.threads[tid.0 as usize].regs.set(Reg::V0, 1);
                 }
             }
             abi::SYS_WAKE => {
-                let mut to_wake = Vec::new();
-                if let Some(queue) = self.waiters.get_mut(&a0) {
-                    while (to_wake.len() as u32) < a1 {
-                        let Some(w) = queue.pop_front() else { break };
-                        to_wake.push(w);
+                // Wake in place, walking the address's bucket chain from
+                // the front: entries blocked on a hash-colliding address
+                // are skipped, so per-address FIFO order is exactly what
+                // the per-address queues produced — with no scratch Vec
+                // and no hash-map traffic.
+                let mut woken = 0u32;
+                let bucket = self.waiters.bucket_of(a0);
+                let mut cur = self.waiters.head(bucket);
+                while woken < a1 && cur != NIL {
+                    let w = ThreadId(cur);
+                    cur = self.threads[cur as usize].link_next;
+                    if self.threads[w.0 as usize].state != (ThreadState::Blocked { addr: a0 }) {
+                        continue;
                     }
-                }
-                let woken = to_wake.len() as u32;
-                for w in to_wake {
+                    self.waiters.unpark(bucket, &mut self.threads, w);
                     self.threads[w.0 as usize].state = ThreadState::Ready;
-                    self.ready.push_back(w);
+                    self.ready.push_back(&mut self.threads, w);
                     self.stats.wakeups += 1;
+                    woken += 1;
                     self.record(Event::Wake { thread: w });
                     self.emit(ObsEvent::Wake { thread: w.0 });
                 }
@@ -1143,7 +1183,7 @@ impl Kernel {
                 self.stats.sleeps += 1;
                 let until = self.machine.clock().saturating_add(u64::from(a0));
                 self.record(Event::Sleep { thread: tid, until });
-                if self.recording.is_some() {
+                if self.observing() {
                     let inside = self.pc_inside_sequence(tid);
                     self.emit(ObsEvent::SwitchOut {
                         thread: tid.0,
@@ -1170,7 +1210,7 @@ impl Kernel {
                     None => {
                         self.stats.blocks += 1;
                         self.record(Event::Block { thread: tid });
-                        if self.recording.is_some() {
+                        if self.observing() {
                             let inside = self.pc_inside_sequence(tid);
                             self.emit(ObsEvent::SwitchOut {
                                 thread: tid.0,
@@ -1181,7 +1221,7 @@ impl Kernel {
                         self.threads[tid.0 as usize].regs.set(Reg::V0, 0);
                         self.suspend(tid);
                         self.threads[tid.0 as usize].state = ThreadState::Joining { target };
-                        self.join_waiters.entry(target).or_default().push(tid);
+                        join_push(&mut self.threads, target, tid);
                         self.current = None;
                     }
                 }
@@ -1266,10 +1306,12 @@ impl Kernel {
     ///
     /// Panics unless [`Kernel::enable_checkpoints`] was called.
     pub fn checkpoint(&self) -> Checkpoint {
+        let mut waiters = WaitCheckpoint::default();
+        self.waiters.checkpoint_into(&mut waiters);
         Checkpoint {
             machine: self.machine.checkpoint(),
             threads: self.threads.clone(),
-            ready: self.ready.clone(),
+            ready: self.ready,
             current: self.current,
             last_running: self.last_running,
             registered_range: match &self.strategy {
@@ -1278,8 +1320,7 @@ impl Kernel {
             },
             policy: self.policy.clone(),
             slice_deadline: self.slice_deadline,
-            waiters: self.waiters.clone(),
-            join_waiters: self.join_waiters.clone(),
+            waiters,
             sleepers: self.sleepers.clone(),
             stats: self.stats,
             output_len: self.output.len(),
@@ -1297,7 +1338,7 @@ impl Kernel {
     pub fn checkpoint_into(&self, cp: &mut Checkpoint) {
         cp.machine = self.machine.checkpoint();
         cp.threads.clone_from(&self.threads);
-        cp.ready.clone_from(&self.ready);
+        cp.ready = self.ready;
         cp.current = self.current;
         cp.last_running = self.last_running;
         cp.registered_range = match &self.strategy {
@@ -1306,8 +1347,7 @@ impl Kernel {
         };
         cp.policy.clone_from(&self.policy);
         cp.slice_deadline = self.slice_deadline;
-        cp.waiters.clone_from(&self.waiters);
-        cp.join_waiters.clone_from(&self.join_waiters);
+        self.waiters.checkpoint_into(&mut cp.waiters);
         cp.sleepers.clone_from(&self.sleepers);
         cp.stats = self.stats;
         cp.output_len = self.output.len();
@@ -1329,7 +1369,7 @@ impl Kernel {
     pub fn restore(&mut self, cp: &Checkpoint) -> u64 {
         let replayed = self.machine.restore(&cp.machine);
         self.threads.clone_from(&cp.threads);
-        self.ready.clone_from(&cp.ready);
+        self.ready = cp.ready;
         self.current = cp.current;
         self.last_running = cp.last_running;
         if let Strategy::Registered { range } = &mut self.strategy {
@@ -1337,8 +1377,7 @@ impl Kernel {
         }
         self.policy.clone_from(&cp.policy);
         self.slice_deadline = cp.slice_deadline;
-        self.waiters.clone_from(&cp.waiters);
-        self.join_waiters.clone_from(&cp.join_waiters);
+        self.waiters.restore(&cp.waiters);
         self.sleepers.clone_from(&cp.sleepers);
         self.stats = cp.stats;
         self.output.truncate(cp.output_len);
@@ -1382,14 +1421,14 @@ impl Kernel {
                 ThreadState::Sleeping { .. }
             ) {
                 self.threads[tid.0 as usize].state = ThreadState::Ready;
-                self.ready.push_back(tid);
+                self.ready.push_back(&mut self.threads, tid);
                 self.stats.wakeups += 1;
                 self.record(Event::Wake { thread: tid });
                 self.emit(ObsEvent::Wake { thread: tid.0 });
             }
         }
         let Some(tid) = self.current else {
-            let Some(next) = self.ready.pop_front() else {
+            let Some(next) = self.ready.pop_front(&mut self.threads) else {
                 if self.live == 0 {
                     return StepOutcome::Completed;
                 }
@@ -1471,15 +1510,21 @@ impl Kernel {
     /// Moves a ready thread to the front of the ready queue so the next
     /// dispatch picks it. Returns `false` if a thread is currently
     /// running or `tid` is not on the ready queue.
+    ///
+    /// O(1): a thread is on the ready queue exactly when its state is
+    /// [`ThreadState::Ready`], and the intrusive links make the targeted
+    /// removal a pointer splice — the explorer calls this once per
+    /// scheduling decision, so the former O(ready) scan was a per-node
+    /// cost.
     pub fn schedule_next(&mut self, tid: ThreadId) -> bool {
         if self.current.is_some() {
             return false;
         }
-        let Some(pos) = self.ready.iter().position(|&t| t == tid) else {
+        if !self.threads.get(tid.0 as usize).is_some_and(Tcb::is_ready) {
             return false;
-        };
-        let chosen = self.ready.remove(pos).expect("position is in range");
-        self.ready.push_front(chosen);
+        }
+        self.ready.unlink(&mut self.threads, tid);
+        self.ready.push_front(&mut self.threads, tid);
         true
     }
 
@@ -1506,7 +1551,7 @@ impl Kernel {
                     ThreadState::Sleeping { .. }
                 ) {
                     self.threads[tid.0 as usize].state = ThreadState::Ready;
-                    self.ready.push_back(tid);
+                    self.ready.push_back(&mut self.threads, tid);
                     self.stats.wakeups += 1;
                     self.record(Event::Wake { thread: tid });
                 }
@@ -1514,7 +1559,7 @@ impl Kernel {
             let tid = match self.current {
                 Some(t) => t,
                 None => {
-                    let Some(next) = self.ready.pop_front() else {
+                    let Some(next) = self.ready.pop_front(&mut self.threads) else {
                         if self.live == 0 {
                             return Outcome::Completed;
                         }

@@ -18,6 +18,7 @@
 
 mod kernel;
 mod oracle;
+mod runq;
 mod sched;
 mod stats;
 mod strategy;

@@ -1,0 +1,533 @@
+//! Intrusive scheduling queues: O(1) FIFO structures whose links live
+//! inside the TCB array instead of in heap-allocated containers.
+//!
+//! The kernel's scheduling states are mutually exclusive — a thread is
+//! on the ready queue, *or* parked in a wait bucket, *or* chained on a
+//! join target, never two at once — so a single `link_next`/`link_prev`
+//! pair per [`Tcb`] threads every queue. A queue itself is then twelve
+//! bytes of header (`head`, `tail`, `len`), enqueue/dequeue/targeted
+//! removal are pointer splices, and checkpointing a queue is a flat
+//! copy of the header: the chain structure rides along with the TCB
+//! slab the checkpoint already captures.
+//!
+//! The waiter table is a fixed-size futex-style bucket array keyed by a
+//! multiplicative hash of the lock word. Threads hash-colliding into
+//! the same bucket share one chain in block order; a wake walks the
+//! chain from the head and skips entries blocked on a different
+//! address, which preserves the per-address FIFO the old
+//! `HashMap<DataAddr, VecDeque>` table provided — block order within a
+//! bucket is a superset order of block order per address.
+
+use ras_isa::DataAddr;
+
+use crate::tcb::{Tcb, ThreadId};
+
+/// Null link: the thread is not chained anywhere.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// An intrusive doubly-linked FIFO threaded through the TCB slab.
+///
+/// Twelve bytes, `Copy`: checkpointing the queue is a field copy. The
+/// chain itself lives in the TCBs' `link_next`/`link_prev` fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct IntrusiveQueue {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl IntrusiveQueue {
+    /// The empty queue.
+    pub(crate) const EMPTY: IntrusiveQueue = IntrusiveQueue {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+    };
+
+    /// Number of chained threads (maintained counter, O(1)).
+    pub(crate) fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// First chained thread's index, or [`NIL`].
+    pub(crate) fn head(&self) -> u32 {
+        self.head
+    }
+
+    /// Appends `id`, which must not currently be chained anywhere.
+    pub(crate) fn push_back(&mut self, threads: &mut [Tcb], id: ThreadId) {
+        let i = id.0;
+        let t = &mut threads[i as usize];
+        debug_assert!(t.link_next == NIL && t.link_prev == NIL, "already chained");
+        t.link_next = NIL;
+        t.link_prev = self.tail;
+        if self.tail == NIL {
+            self.head = i;
+        } else {
+            threads[self.tail as usize].link_next = i;
+        }
+        self.tail = i;
+        self.len += 1;
+    }
+
+    /// Prepends `id`, which must not currently be chained anywhere.
+    pub(crate) fn push_front(&mut self, threads: &mut [Tcb], id: ThreadId) {
+        let i = id.0;
+        let t = &mut threads[i as usize];
+        debug_assert!(t.link_next == NIL && t.link_prev == NIL, "already chained");
+        t.link_prev = NIL;
+        t.link_next = self.head;
+        if self.head == NIL {
+            self.tail = i;
+        } else {
+            threads[self.head as usize].link_prev = i;
+        }
+        self.head = i;
+        self.len += 1;
+    }
+
+    /// Removes and returns the first chained thread.
+    pub(crate) fn pop_front(&mut self, threads: &mut [Tcb]) -> Option<ThreadId> {
+        if self.head == NIL {
+            return None;
+        }
+        let id = ThreadId(self.head);
+        self.unlink(threads, id);
+        Some(id)
+    }
+
+    /// Unlinks `id` from anywhere in the chain — O(1), the operation the
+    /// old `VecDeque` ready queue paid an O(n) scan for.
+    pub(crate) fn unlink(&mut self, threads: &mut [Tcb], id: ThreadId) {
+        let i = id.0 as usize;
+        let (prev, next) = (threads[i].link_prev, threads[i].link_next);
+        if prev == NIL {
+            debug_assert_eq!(self.head, id.0, "unlink from a queue not holding it");
+            self.head = next;
+        } else {
+            threads[prev as usize].link_next = next;
+        }
+        if next == NIL {
+            debug_assert_eq!(self.tail, id.0, "unlink from a queue not holding it");
+            self.tail = prev;
+        } else {
+            threads[next as usize].link_prev = prev;
+        }
+        threads[i].link_next = NIL;
+        threads[i].link_prev = NIL;
+        self.len -= 1;
+    }
+
+    /// Iterates the chain front (next to dispatch) first.
+    pub(crate) fn iter<'a>(&self, threads: &'a [Tcb]) -> impl Iterator<Item = ThreadId> + 'a {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let id = ThreadId(cur);
+            cur = threads[cur as usize].link_next;
+            Some(id)
+        })
+    }
+}
+
+/// Appends `id` to the chain of threads joining `target`, anchored at
+/// `target`'s TCB (`joiners_head`/`joiners_tail`) and linked through
+/// the same `link_next`/`link_prev` pair as every other chain — a
+/// `Joining` thread is on no other queue.
+pub(crate) fn join_push(threads: &mut [Tcb], target: ThreadId, id: ThreadId) {
+    let i = id.0;
+    debug_assert!(
+        threads[i as usize].link_next == NIL && threads[i as usize].link_prev == NIL,
+        "already chained"
+    );
+    let tail = threads[target.0 as usize].joiners_tail;
+    threads[i as usize].link_next = NIL;
+    threads[i as usize].link_prev = tail;
+    if tail == NIL {
+        threads[target.0 as usize].joiners_head = i;
+    } else {
+        threads[tail as usize].link_next = i;
+    }
+    threads[target.0 as usize].joiners_tail = i;
+}
+
+/// Futex-style waiter table: a fixed power-of-two array of intrusive
+/// chains keyed by a multiplicative hash of the lock word. `SYS_WAIT`
+/// and `SYS_WAKE` touch one bucket header and a handful of TCB links —
+/// no hashing-table allocation, no per-wake scratch vector — and the
+/// total waiter count is a maintained counter.
+#[derive(Debug, Clone)]
+pub(crate) struct WaitBuckets {
+    buckets: Vec<IntrusiveQueue>,
+    /// `32 - log2(buckets.len())`, for the multiplicative hash.
+    shift: u32,
+    waiting: u32,
+}
+
+/// Fibonacci-hashing multiplier (2^32 / φ, odd).
+const GOLDEN: u32 = 0x9E37_79B9;
+
+impl WaitBuckets {
+    /// Sizes the table for `max_threads` waiters: one bucket per
+    /// potential waiter, clamped to `[16, 1024]` and rounded up to a
+    /// power of two.
+    pub(crate) fn new(max_threads: usize) -> WaitBuckets {
+        let n = max_threads.next_power_of_two().clamp(16, 1024);
+        WaitBuckets {
+            buckets: vec![IntrusiveQueue::EMPTY; n],
+            shift: 32 - n.trailing_zeros(),
+            waiting: 0,
+        }
+    }
+
+    /// The bucket index a lock word hashes to.
+    pub(crate) fn bucket_of(&self, addr: DataAddr) -> usize {
+        (addr.wrapping_mul(GOLDEN) >> self.shift) as usize
+    }
+
+    /// First thread chained in `bucket`, or [`NIL`].
+    pub(crate) fn head(&self, bucket: usize) -> u32 {
+        self.buckets[bucket].head()
+    }
+
+    /// Parks `id` at the tail of its address's bucket.
+    pub(crate) fn park(&mut self, threads: &mut [Tcb], addr: DataAddr, id: ThreadId) {
+        let b = self.bucket_of(addr);
+        self.buckets[b].push_back(threads, id);
+        self.waiting += 1;
+    }
+
+    /// Unlinks `id` from `bucket` (it must be chained there).
+    pub(crate) fn unpark(&mut self, bucket: usize, threads: &mut [Tcb], id: ThreadId) {
+        self.buckets[bucket].unlink(threads, id);
+        self.waiting -= 1;
+    }
+
+    /// Total parked threads across all buckets (maintained counter).
+    pub(crate) fn waiting(&self) -> usize {
+        self.waiting as usize
+    }
+
+    /// Captures the occupied bucket headers into `cp`, reusing its
+    /// buffer. The chains themselves live in the TCB slab, which the
+    /// kernel checkpoint copies anyway, so this plus the TCBs is the
+    /// entire waiter state — nothing per-waiter is copied here.
+    pub(crate) fn checkpoint_into(&self, cp: &mut WaitCheckpoint) {
+        cp.occupied.clear();
+        for (i, b) in self.buckets.iter().enumerate() {
+            if b.len > 0 {
+                cp.occupied.push((i as u32, *b));
+            }
+        }
+        cp.waiting = self.waiting;
+    }
+
+    /// Rewinds to a capture taken on this table.
+    pub(crate) fn restore(&mut self, cp: &WaitCheckpoint) {
+        self.buckets.fill(IntrusiveQueue::EMPTY);
+        for &(i, b) in &cp.occupied {
+            self.buckets[i as usize] = b;
+        }
+        self.waiting = cp.waiting;
+    }
+}
+
+/// The by-value part of a [`WaitBuckets`] checkpoint: occupied bucket
+/// headers only. Empty in the common explorer state (no one blocked),
+/// a few dozen bytes under contention.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WaitCheckpoint {
+    occupied: Vec<(u32, IntrusiveQueue)>,
+    waiting: u32,
+}
+
+impl WaitCheckpoint {
+    /// Bytes this capture copies by value.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.occupied.len() * std::mem::size_of::<(u32, IntrusiveQueue)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_machine::RegFile;
+
+    fn slab(n: u32) -> Vec<Tcb> {
+        (0..n)
+            .map(|i| Tcb::new(ThreadId(i), RegFile::new(0), 4096))
+            .collect()
+    }
+
+    #[test]
+    fn fifo_push_pop() {
+        let mut t = slab(4);
+        let mut q = IntrusiveQueue::EMPTY;
+        for i in 0..4 {
+            q.push_back(&mut t, ThreadId(i));
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(
+            q.iter(&t).collect::<Vec<_>>(),
+            vec![ThreadId(0), ThreadId(1), ThreadId(2), ThreadId(3)]
+        );
+        for i in 0..4 {
+            assert_eq!(q.pop_front(&mut t), Some(ThreadId(i)));
+        }
+        assert_eq!(q.pop_front(&mut t), None);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn unlink_middle_and_ends() {
+        let mut t = slab(5);
+        let mut q = IntrusiveQueue::EMPTY;
+        for i in 0..5 {
+            q.push_back(&mut t, ThreadId(i));
+        }
+        q.unlink(&mut t, ThreadId(2));
+        q.unlink(&mut t, ThreadId(0));
+        q.unlink(&mut t, ThreadId(4));
+        assert_eq!(
+            q.iter(&t).collect::<Vec<_>>(),
+            vec![ThreadId(1), ThreadId(3)]
+        );
+        // Unlinked threads are fully detached and re-queueable.
+        q.push_front(&mut t, ThreadId(2));
+        assert_eq!(
+            q.iter(&t).collect::<Vec<_>>(),
+            vec![ThreadId(2), ThreadId(1), ThreadId(3)]
+        );
+    }
+
+    #[test]
+    fn buckets_keep_per_address_fifo_and_counter() {
+        let mut t = slab(6);
+        let mut w = WaitBuckets::new(4);
+        // Two addresses that may or may not collide; park interleaved.
+        for (i, addr) in [(0, 64), (1, 128), (2, 64), (3, 128), (4, 64)] {
+            w.park(&mut t, addr, ThreadId(i));
+        }
+        assert_eq!(w.waiting(), 5);
+        // Walking bucket_of(64)'s chain and filtering to addr 64 yields
+        // block order 0, 2, 4 regardless of collisions.
+        let b = w.bucket_of(64);
+        let mut order = Vec::new();
+        let mut cur = w.head(b);
+        while cur != NIL {
+            order.push(cur);
+            cur = t[cur as usize].link_next;
+        }
+        let parked_on_64: Vec<u32> = order
+            .into_iter()
+            .filter(|&i| [0, 2, 4].contains(&i))
+            .collect();
+        assert_eq!(parked_on_64, vec![0, 2, 4]);
+        w.unpark(b, &mut t, ThreadId(2));
+        assert_eq!(w.waiting(), 4);
+    }
+
+    /// The intrusive ready queue + futex bucket table, driven through
+    /// random spawn/yield/block/wake/exit traces, stays operation-for-
+    /// operation equivalent to the naive structures it replaced: a
+    /// `VecDeque` ready queue and a `HashMap<DataAddr, VecDeque>` waiter
+    /// map. The address set is chosen at runtime so that at least three
+    /// addresses provably collide into one bucket — the wake-walk's
+    /// skip-other-addresses path is always exercised.
+    mod equivalence {
+        use std::collections::{HashMap, VecDeque};
+
+        use proptest::prelude::*;
+
+        use super::super::*;
+        use super::slab;
+
+        #[derive(Debug, Clone, Copy)]
+        enum Op {
+            Spawn,
+            Yield,
+            Block(usize),
+            Wake(usize, u32),
+            Exit,
+        }
+
+        fn arb_op(addrs: usize) -> impl Strategy<Value = Op> {
+            prop_oneof![
+                Just(Op::Spawn),
+                Just(Op::Yield),
+                (0..addrs).prop_map(Op::Block),
+                (0..addrs, 1u32..4).prop_map(|(a, n)| Op::Wake(a, n)),
+                Just(Op::Exit),
+            ]
+        }
+
+        /// Picks a colliding address set: three words aliasing one
+        /// bucket of `table`, plus two from elsewhere.
+        fn colliding_addrs(table: &WaitBuckets) -> Vec<DataAddr> {
+            let mut by_bucket: HashMap<usize, Vec<DataAddr>> = HashMap::new();
+            for addr in (64u32..8192).step_by(4) {
+                let group = by_bucket.entry(table.bucket_of(addr)).or_default();
+                group.push(addr);
+                if group.len() == 3 {
+                    let mut addrs = group.clone();
+                    let home = table.bucket_of(addrs[0]);
+                    addrs.extend(
+                        (64u32..8192)
+                            .step_by(4)
+                            .filter(|&a| table.bucket_of(a) != home)
+                            .take(2),
+                    );
+                    return addrs;
+                }
+            }
+            panic!("no 3-way bucket collision under 8 KiB of words");
+        }
+
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum State {
+            Free,
+            Ready,
+            Blocked(DataAddr),
+            Retired,
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn intrusive_scheduler_matches_naive_reference(
+                ops in prop::collection::vec(arb_op(5), 1..200),
+            ) {
+                const MAX: u32 = 32;
+                let mut threads = slab(MAX);
+                let mut ready = IntrusiveQueue::EMPTY;
+                let mut waiters = WaitBuckets::new(16);
+                let addrs = colliding_addrs(&waiters);
+                prop_assert_eq!(
+                    waiters.bucket_of(addrs[0]),
+                    waiters.bucket_of(addrs[2]),
+                    "first three addresses must collide"
+                );
+
+                let mut ref_ready: VecDeque<u32> = VecDeque::new();
+                let mut ref_waiting: HashMap<DataAddr, VecDeque<u32>> = HashMap::new();
+                let mut state = vec![State::Free; MAX as usize];
+                let mut next = 0u32;
+
+                for op in ops {
+                    match op {
+                        Op::Spawn => {
+                            if next < MAX {
+                                state[next as usize] = State::Ready;
+                                ready.push_back(&mut threads, ThreadId(next));
+                                ref_ready.push_back(next);
+                                next += 1;
+                            }
+                        }
+                        Op::Yield => {
+                            if let Some(id) = ready.pop_front(&mut threads) {
+                                ready.push_back(&mut threads, id);
+                                let r = ref_ready.pop_front().unwrap();
+                                prop_assert_eq!(r, id.0);
+                                ref_ready.push_back(r);
+                            }
+                        }
+                        Op::Block(a) => {
+                            let addr = addrs[a];
+                            if let Some(id) = ready.pop_front(&mut threads) {
+                                waiters.park(&mut threads, addr, id);
+                                state[id.0 as usize] = State::Blocked(addr);
+                                let r = ref_ready.pop_front().unwrap();
+                                prop_assert_eq!(r, id.0);
+                                ref_waiting.entry(addr).or_default().push_back(r);
+                            }
+                        }
+                        Op::Wake(a, n) => {
+                            let addr = addrs[a];
+                            // Subject: the kernel's in-place bucket walk.
+                            let mut woken = 0;
+                            let bucket = waiters.bucket_of(addr);
+                            let mut cur = waiters.head(bucket);
+                            while woken < n && cur != NIL {
+                                let w = ThreadId(cur);
+                                cur = threads[cur as usize].link_next;
+                                if state[w.0 as usize] != State::Blocked(addr) {
+                                    continue;
+                                }
+                                waiters.unpark(bucket, &mut threads, w);
+                                state[w.0 as usize] = State::Ready;
+                                ready.push_back(&mut threads, w);
+                                woken += 1;
+                            }
+                            // Reference: pop the per-address FIFO.
+                            let mut ref_woken = 0;
+                            if let Some(q) = ref_waiting.get_mut(&addr) {
+                                while ref_woken < n {
+                                    let Some(r) = q.pop_front() else { break };
+                                    ref_ready.push_back(r);
+                                    ref_woken += 1;
+                                }
+                            }
+                            prop_assert_eq!(ref_woken, woken);
+                        }
+                        Op::Exit => {
+                            if let Some(id) = ready.pop_front(&mut threads) {
+                                state[id.0 as usize] = State::Retired;
+                                let r = ref_ready.pop_front().unwrap();
+                                prop_assert_eq!(r, id.0);
+                            }
+                        }
+                    }
+                    // Full-structure equivalence after every operation.
+                    prop_assert_eq!(
+                        ready.iter(&threads).map(|t| t.0).collect::<Vec<_>>(),
+                        ref_ready.iter().copied().collect::<Vec<_>>()
+                    );
+                    prop_assert_eq!(
+                        waiters.waiting(),
+                        ref_waiting.values().map(VecDeque::len).sum::<usize>()
+                    );
+                    for (&addr, q) in &ref_waiting {
+                        let bucket = waiters.bucket_of(addr);
+                        let mut chain = Vec::new();
+                        let mut cur = waiters.head(bucket);
+                        while cur != NIL {
+                            if state[cur as usize] == State::Blocked(addr) {
+                                chain.push(cur);
+                            }
+                            cur = threads[cur as usize].link_next;
+                        }
+                        prop_assert_eq!(
+                            chain,
+                            q.iter().copied().collect::<Vec<_>>(),
+                            "per-address FIFO diverged at {:#x}",
+                            addr
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restores_occupied_buckets_exactly() {
+        let mut t = slab(4);
+        let mut w = WaitBuckets::new(8);
+        w.park(&mut t, 64, ThreadId(0));
+        w.park(&mut t, 64, ThreadId(1));
+        let mut cp = WaitCheckpoint::default();
+        w.checkpoint_into(&mut cp);
+        assert!(cp.approx_bytes() > 0);
+        let before = w.clone();
+        w.park(&mut t, 32, ThreadId(2));
+        let b = w.bucket_of(64);
+        w.unpark(b, &mut t, ThreadId(0));
+        w.restore(&cp);
+        assert_eq!(w.waiting(), before.waiting());
+        for i in 0..before.buckets.len() {
+            assert_eq!(w.buckets[i], before.buckets[i]);
+        }
+    }
+}

@@ -3,6 +3,8 @@ use std::fmt;
 use ras_isa::DataAddr;
 use ras_machine::RegFile;
 
+use crate::runq::NIL;
+
 /// Identifier of a simulated thread, dense from zero.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ThreadId(pub u32);
@@ -69,6 +71,17 @@ pub struct Tcb {
     /// address of the currently published critical-section descriptor, or
     /// zero when none is active.
     pub rseq_area: Option<DataAddr>,
+    /// Intrusive queue link: the next thread in whatever chain this
+    /// thread is parked on (ready queue, wait bucket, or join chain —
+    /// the states are mutually exclusive, so one link pair serves all),
+    /// or `NIL` when unchained.
+    pub(crate) link_next: u32,
+    /// Intrusive queue link: the previous thread in the chain, or `NIL`.
+    pub(crate) link_prev: u32,
+    /// Head of the chain of threads joining *this* thread, or `NIL`.
+    pub(crate) joiners_head: u32,
+    /// Tail of the joiner chain, or `NIL`.
+    pub(crate) joiners_tail: u32,
 }
 
 impl Tcb {
@@ -82,6 +95,10 @@ impl Tcb {
             needs_user_restart: false,
             user_cycles: 0,
             rseq_area: None,
+            link_next: NIL,
+            link_prev: NIL,
+            joiners_head: NIL,
+            joiners_tail: NIL,
         }
     }
 

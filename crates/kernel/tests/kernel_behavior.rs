@@ -453,6 +453,98 @@ fn wait_and_wake_form_a_rendezvous() {
 }
 
 #[test]
+fn wake_order_is_per_address_fifo_across_bucket_collisions() {
+    // Five waiters block interleaved on two addresses chosen to collide
+    // into the same futex bucket (the waiter table is
+    // next_power_of_two(max_threads) = 16 buckets with the golden-ratio
+    // multiplicative hash). SYS_WAKE walks the shared chain in place,
+    // skipping the colliding address's entries, so each wake must pick
+    // the earliest blocker *on that address* — exactly the FIFO the old
+    // per-address HashMap queues gave — and the wakeups stat must count
+    // precisely one per woken thread.
+    const GOLDEN: u32 = 0x9E37_79B9;
+    let bucket = |addr: u32| addr.wrapping_mul(GOLDEN) >> 28;
+    let flag_a = 0x1000u32;
+    let flag_b = (0x2000u32..0x3000)
+        .step_by(4)
+        .find(|&x| bucket(x) == bucket(flag_a))
+        .expect("a 16-bucket table must alias some word in this range");
+    let mut asm = Asm::new();
+    let jump_main = asm.label();
+    asm.j(jump_main);
+    let waiter = asm.here();
+    {
+        // Block on the flag address passed as the spawn argument; when
+        // woken, print our own tid and exit.
+        asm.li(Reg::V0, abi::SYS_WAIT as i32);
+        asm.li(Reg::A1, 0);
+        asm.syscall();
+        asm.li(Reg::V0, abi::SYS_PRINT as i32);
+        asm.alui(ras_isa::AluOp::Or, Reg::A0, Reg::GP, 0);
+        asm.syscall();
+        exit(&mut asm);
+    }
+    asm.bind(jump_main);
+    asm.set_entry_here();
+    // Tids 1..=5 block in spawn order: a, b, a, b, a.
+    for (i, flag) in [flag_a, flag_b, flag_a, flag_b, flag_a].iter().enumerate() {
+        spawn_at(
+            &mut asm,
+            waiter,
+            *flag as i32,
+            [Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5][i],
+        );
+    }
+    // Let every waiter run to its SYS_WAIT.
+    for _ in 0..6 {
+        asm.li(Reg::V0, abi::SYS_YIELD as i32);
+        asm.syscall();
+    }
+    let wake = |asm: &mut Asm, addr: u32, n: i32| {
+        asm.li(Reg::V0, abi::SYS_WAKE as i32);
+        asm.li(Reg::A0, addr as i32);
+        asm.li(Reg::A1, n);
+        asm.syscall();
+    };
+    // wake(a, 1) → tid 1 (first on a), not tid 2 even though tid 2 sits
+    // earlier in no queue — and not tid 3/5.
+    wake(&mut asm, flag_a, 1);
+    asm.li(Reg::V0, abi::SYS_YIELD as i32);
+    asm.syscall();
+    // wake(b, 1) → tid 2, skipping a's entries in the shared chain.
+    wake(&mut asm, flag_b, 1);
+    asm.li(Reg::V0, abi::SYS_YIELD as i32);
+    asm.syscall();
+    // wake(a, 2) → tids 3 and 5 in block order; wake(b, 9) → tid 4 only,
+    // returning woken = 1 in $v0 (printed as 100 + v0).
+    wake(&mut asm, flag_a, 2);
+    wake(&mut asm, flag_b, 9);
+    asm.alui(ras_isa::AluOp::Or, Reg::T0, Reg::V0, 0);
+    asm.li(Reg::V0, abi::SYS_PRINT as i32);
+    asm.addi(Reg::A0, Reg::T0, 100);
+    asm.syscall();
+    exit(&mut asm);
+    let mut config = KernelConfig::new(CpuProfile::r3000(), StrategyKind::None);
+    config.quantum = 100_000;
+    config.mem_bytes = 1 << 20;
+    config.stack_bytes = 4096;
+    config.max_threads = 16;
+    let mut k = Kernel::boot(config, asm.finish().unwrap(), &DataLayout::new().finish()).unwrap();
+    assert_eq!(k.run(10_000_000), Outcome::Completed);
+    assert_eq!(
+        k.output(),
+        &[1, 2, 101, 3, 5, 4],
+        "wakes must follow per-address block order"
+    );
+    assert_eq!(k.stats().blocks, 5);
+    assert_eq!(
+        k.stats().wakeups,
+        5,
+        "one wakeup per woken thread, none double-counted"
+    );
+}
+
+#[test]
 fn wait_with_stale_value_returns_immediately() {
     let mut data = DataLayout::new();
     let flag = data.word("flag", 5);

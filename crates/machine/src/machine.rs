@@ -148,8 +148,8 @@ pub struct Machine {
     /// watched; lock words sit in one small contiguous data region, so
     /// stack and counter traffic is rejected by this single compare.
     /// `(0, u32::MAX)` — everything passes — when no watch is installed.
-    watch_lo: u32,
-    watch_span: u32,
+    pub(crate) watch_lo: u32,
+    pub(crate) watch_span: u32,
     /// Optional per-PC cycle histogram (see [`Machine::enable_pc_profile`]),
     /// grown on demand to cover the highest PC executed.
     pc_cycles: Option<Vec<u64>>,
@@ -165,11 +165,30 @@ pub struct Machine {
 struct AccessWatch {
     /// The watched addresses, sorted for binary search.
     addrs: Box<[u32]>,
+    /// The set is exactly every word in `[addrs[0], addrs[last]]` —
+    /// the common "array of lock words" layout. Membership then needs
+    /// only the range test plus word alignment, no search: the hot log
+    /// path runs arithmetic instead of chasing the address table.
+    dense: bool,
 }
 
 impl AccessWatch {
+    fn new(addrs: Box<[u32]>) -> AccessWatch {
+        let lo = addrs.first().copied().unwrap_or(0);
+        let dense = !addrs.is_empty()
+            && addrs
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| a == lo + 4 * i as u32);
+        AccessWatch { addrs, dense }
+    }
+
     #[inline(always)]
     fn hit(&self, addr: DataAddr) -> bool {
+        if self.dense {
+            let off = addr.wrapping_sub(self.addrs[0]);
+            return off < 4 * self.addrs.len() as u32 && off & 3 == 0;
+        }
         self.addrs.binary_search(&addr).is_ok()
     }
 }
@@ -266,9 +285,7 @@ impl Machine {
             (Some(&lo), Some(&hi)) => hi - lo,
             _ => 0,
         };
-        self.access_watch = Some(AccessWatch {
-            addrs: sorted.into_boxed_slice(),
-        });
+        self.access_watch = Some(AccessWatch::new(sorted.into_boxed_slice()));
     }
 
     /// Removes the access-log address filter: every data access is
@@ -286,7 +303,7 @@ impl Machine {
     /// outside the range is proven unwatched without touching the watch
     /// set.
     #[inline(always)]
-    fn watch_may_hit(&self, addr: DataAddr) -> bool {
+    pub(crate) fn watch_may_hit(&self, addr: DataAddr) -> bool {
         addr.wrapping_sub(self.watch_lo) <= self.watch_span
     }
 
@@ -344,11 +361,7 @@ impl Machine {
         }
     }
 
-    // `cold` + `inline(never)` keep the log push out of `execute_one`'s
-    // hot path: inlined call sites on the telemetry loop otherwise bloat
-    // the dispatch enough to tax *every* instruction, watched or not.
-    #[cold]
-    #[inline(never)]
+    #[inline(always)]
     fn log_access(
         &mut self,
         pc: CodeAddr,
@@ -358,6 +371,27 @@ impl Machine {
         value: u32,
     ) {
         let clock = self.clock;
+        self.log_access_at(clock, pc, addr, kind, atomic, value);
+    }
+
+    // `inline(never)` keeps the log push out of `execute_one`'s hot
+    // path: inlined call sites on the telemetry loop otherwise bloat
+    // the dispatch enough to tax *every* instruction, watched or not.
+    // Deliberately not `#[cold]` — on a telemetry run every watched
+    // access lands here, so the body must stay speed-optimised.
+    // The translated tier calls this directly with a reconstructed clock
+    // (`m.clock` is only charged at trace end, so mid-trace accesses pass
+    // `m.clock + prefix_cycles` to reproduce the interpreter's stamps).
+    #[inline(never)]
+    pub(crate) fn log_access_at(
+        &mut self,
+        clock: u64,
+        pc: CodeAddr,
+        addr: DataAddr,
+        kind: AccessKind,
+        atomic: bool,
+        value: u32,
+    ) {
         if let Some(watch) = &self.access_watch {
             if !watch.hit(addr) {
                 return;
@@ -619,7 +653,7 @@ impl Machine {
     /// access log with no other collector is the telemetry level; an
     /// unfiltered log (the model checker's race sanitizer wants every
     /// access) or any other collector forces the full level.
-    fn level(&self) -> u8 {
+    pub(crate) fn level(&self) -> u8 {
         if self.force_instrumented
             || self.mix.is_some()
             || self.trace.is_some()

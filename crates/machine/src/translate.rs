@@ -42,9 +42,19 @@
 //!    itself. While the restart bit is set, everything runs
 //!    interpreted, so the 32-cycle expiry and store-clears-bit rules
 //!    are literally the interpreter's own.
-//! 4. **Instrumented mode wins.** Any enabled collector (mix, trace
-//!    ring, access log, PC profile, dirty tracking) routes the whole
-//!    call to [`Machine::run`]'s instrumented loop.
+//! 4. **Full instrumentation wins; telemetry runs translated.** A
+//!    collector that needs every retired instruction (mix, trace ring,
+//!    PC profile, dirty tracking, an *unfiltered* access log) routes
+//!    the whole call to [`Machine::run`]'s instrumented loop. A
+//!    watch-filtered access log — the streaming-telemetry level — runs
+//!    translated: each memory micro-op carries its source pc and
+//!    prefix-cycle sum, so a watched access is logged with exactly the
+//!    pc, clock, kind, atomicity, and value the interpreter would have
+//!    recorded (the fused [`Op::Rmw`] keeps a second fixup, `sinfo`,
+//!    purely so the elided store logs at the `sw`'s own pc and clock).
+//!    Traces only run while the restart bit is clear, so plain loads
+//!    and stores always log `atomic: false` and `tas` always logs an
+//!    atomic read-modify-write — the interpreter's own rules.
 //!
 //! Software restartable sequences (the paper's §3 mechanisms and the
 //! rseq ABI) need *no* deopt: the kernel only inspects a thread's pc at
@@ -68,7 +78,7 @@ use std::sync::Arc;
 
 use ras_isa::{AluOp, BlockMap, CodeAddr, Cond, DecodedProgram, Inst, Reg};
 
-use crate::machine::{Exit, Fault, Machine, LEVEL_FAST};
+use crate::machine::{AccessKind, Exit, Fault, Machine, LEVEL_FAST, LEVEL_FULL, LEVEL_TELEMETRY};
 use crate::memory::MemError;
 use crate::profile::{CostModel, CpuProfile};
 use crate::regfile::RegFile;
@@ -201,7 +211,10 @@ enum Op {
     /// register, same address) the paper's counter fast paths are made
     /// of. One address computation and one residency/alignment check:
     /// if the load succeeds, the store to the same word cannot fault,
-    /// so the load's fixup (`info`) is the only one needed.
+    /// so the load's fixup (`info`) is the only one needed for faults.
+    /// `sinfo` is the elided store's fixup, kept so the telemetry level
+    /// can stamp the store's access log entry with the store's own pc
+    /// and clock, exactly as the interpreter does.
     Rmw {
         op: AluOp,
         rd: u8,
@@ -209,6 +222,7 @@ enum Op {
         off: u32,
         imm: u32,
         info: u32,
+        sinfo: u32,
     },
     /// Hardware test-and-set; `rd` 0 means the old value is discarded.
     Tas { rd: u8, base: u8, info: u32 },
@@ -843,6 +857,14 @@ fn compile_trace(
                     else {
                         unreachable!("pattern checked above");
                     };
+                    // The store's fixup still gets its own MemInfo so
+                    // the telemetry level can log the store access at
+                    // the `sw` pc with the post-store clock.
+                    mems.push(MemInfo {
+                        pc,
+                        prefix_cycles: cycles,
+                        prefix_retired: count,
+                    });
                     ops.push(Op::Rmw {
                         op,
                         rd,
@@ -850,6 +872,7 @@ fn compile_trace(
                         off,
                         imm,
                         info,
+                        sinfo: (mems.len() - 1) as u32,
                     });
                 } else {
                     mems.push(MemInfo {
@@ -1038,6 +1061,18 @@ fn compile_trace(
     let mems = mems.into_boxed_slice();
     let exits = exits.into_boxed_slice();
     let body = Box::new(move |m: &mut Machine, regs: &mut RegFile| -> BlockExit {
+        // Telemetry guard, hoisted to one register compare per memory
+        // op: with no access log attached the range is unhittable
+        // (word accesses are 4-aligned, so address 1 never occurs, and
+        // `log_access_at` double-checks the log anyway), otherwise it
+        // is the machine's own quick-reject range. The collectors
+        // cannot change mid-closure — only guest code runs here.
+        let (watch_lo, watch_span) = if m.access_log_enabled() {
+            (m.watch_lo, m.watch_span)
+        } else {
+            (1u32, 0u32)
+        };
+        let may_log = |addr: u32| addr.wrapping_sub(watch_lo) <= watch_span;
         for op in ops.iter() {
             match *op {
                 Op::Li { rd, imm } => regs.set_raw(rd, imm),
@@ -1057,14 +1092,40 @@ fn compile_trace(
                 } => {
                     let addr = regs.get_raw(base).wrapping_add(off);
                     match m.mem.load(addr) {
-                        Ok(v) => regs.set_raw(rd, v),
+                        Ok(v) => {
+                            regs.set_raw(rd, v);
+                            if may_log(addr) {
+                                let i = &mems[info as usize];
+                                m.log_access_at(
+                                    m.clock + i.prefix_cycles,
+                                    i.pc,
+                                    addr,
+                                    AccessKind::Load,
+                                    false,
+                                    v,
+                                );
+                            }
+                        }
                         Err(e) => return mem_fault_exit(m, regs, &mems[info as usize], addr, e),
                     }
                 }
                 Op::LwZ { base, off, info } => {
                     let addr = regs.get_raw(base).wrapping_add(off);
-                    if let Err(e) = m.mem.load(addr) {
-                        return mem_fault_exit(m, regs, &mems[info as usize], addr, e);
+                    match m.mem.load(addr) {
+                        Ok(v) => {
+                            if may_log(addr) {
+                                let i = &mems[info as usize];
+                                m.log_access_at(
+                                    m.clock + i.prefix_cycles,
+                                    i.pc,
+                                    addr,
+                                    AccessKind::Load,
+                                    false,
+                                    v,
+                                );
+                            }
+                        }
+                        Err(e) => return mem_fault_exit(m, regs, &mems[info as usize], addr, e),
                     }
                 }
                 Op::Sw {
@@ -1074,8 +1135,20 @@ fn compile_trace(
                     info,
                 } => {
                     let addr = regs.get_raw(base).wrapping_add(off);
-                    if let Err(e) = m.mem.store(addr, regs.get_raw(rs)) {
+                    let v = regs.get_raw(rs);
+                    if let Err(e) = m.mem.store(addr, v) {
                         return mem_fault_exit(m, regs, &mems[info as usize], addr, e);
+                    }
+                    if may_log(addr) {
+                        let i = &mems[info as usize];
+                        m.log_access_at(
+                            m.clock + i.prefix_cycles,
+                            i.pc,
+                            addr,
+                            AccessKind::Store,
+                            false,
+                            v,
+                        );
                     }
                 }
                 Op::Rmw {
@@ -1085,11 +1158,50 @@ fn compile_trace(
                     off,
                     imm,
                     info,
+                    sinfo,
                 } => {
                     let addr = regs.get_raw(base).wrapping_add(off);
-                    match m.mem.update(addr, |v| op.apply(v, imm)) {
-                        Ok(v2) => regs.set_raw(rd, v2),
-                        Err(e) => return mem_fault_exit(m, regs, &mems[info as usize], addr, e),
+                    if may_log(addr) {
+                        // Slow shape: the fused pair logs exactly what
+                        // the interpreter's `lw; alui; sw` would — a
+                        // load of the old value at the `lw` pc, then a
+                        // store of the new value at the `sw` pc.
+                        let old = match m.mem.load(addr) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                return mem_fault_exit(m, regs, &mems[info as usize], addr, e)
+                            }
+                        };
+                        let i = &mems[info as usize];
+                        m.log_access_at(
+                            m.clock + i.prefix_cycles,
+                            i.pc,
+                            addr,
+                            AccessKind::Load,
+                            false,
+                            old,
+                        );
+                        let new = op.apply(old, imm);
+                        if let Err(e) = m.mem.store(addr, new) {
+                            return mem_fault_exit(m, regs, &mems[info as usize], addr, e);
+                        }
+                        let s = &mems[sinfo as usize];
+                        m.log_access_at(
+                            m.clock + s.prefix_cycles,
+                            s.pc,
+                            addr,
+                            AccessKind::Store,
+                            false,
+                            new,
+                        );
+                        regs.set_raw(rd, new);
+                    } else {
+                        match m.mem.update(addr, |v| op.apply(v, imm)) {
+                            Ok(v2) => regs.set_raw(rd, v2),
+                            Err(e) => {
+                                return mem_fault_exit(m, regs, &mems[info as usize], addr, e)
+                            }
+                        }
                     }
                 }
                 Op::Tas { rd, base, info } => {
@@ -1103,6 +1215,17 @@ fn compile_trace(
                     }
                     if rd != 0 {
                         regs.set_raw(rd, old);
+                    }
+                    if may_log(addr) {
+                        let i = &mems[info as usize];
+                        m.log_access_at(
+                            m.clock + i.prefix_cycles,
+                            i.pc,
+                            addr,
+                            AccessKind::Rmw,
+                            true,
+                            old,
+                        );
                     }
                 }
                 Op::Link { rd, value } => regs.set_raw(rd, value),
@@ -1190,9 +1313,14 @@ impl Machine {
     /// count, and restart-bit state — it just gets there faster. See
     /// the module docs for the exactness argument.
     ///
-    /// When any instrumentation is enabled the whole call is delegated
-    /// to [`Machine::run`]'s instrumented loop, so collectors observe
-    /// every instruction.
+    /// When full instrumentation is enabled (tracing, profiling, an
+    /// unfiltered access log, ...) the whole call is delegated to
+    /// [`Machine::run`]'s instrumented loop, so collectors observe
+    /// every instruction. A *watch-filtered* access log — the streaming
+    /// telemetry level — runs translated: compiled traces carry enough
+    /// positional metadata to reproduce the interpreter's log stream
+    /// byte for byte (same pc, clock, kind, atomicity, and value on
+    /// every watched access).
     pub fn run_translated(
         &mut self,
         program: &DecodedProgram,
@@ -1200,7 +1328,8 @@ impl Machine {
         regs: &mut RegFile,
         deadline: u64,
     ) -> Exit {
-        if self.instrumented() {
+        let level = self.level();
+        if level == LEVEL_FULL {
             cache.stats.deopt_instrumented += 1;
             return self.run(program, regs, deadline);
         }
@@ -1291,7 +1420,11 @@ impl Machine {
                     return Exit::Budget;
                 }
                 let before = self.clock;
-                let stepped = self.execute_counted::<LEVEL_FAST>(program, regs, &cost);
+                let stepped = if level == LEVEL_TELEMETRY {
+                    self.execute_counted::<LEVEL_TELEMETRY>(program, regs, &cost)
+                } else {
+                    self.execute_counted::<LEVEL_FAST>(program, regs, &cost)
+                };
                 cache.stats.interpreted_instructions += 1;
                 cache.stats.interpreted_cycles += self.clock - before;
                 if let Some(exit) = stepped {
@@ -1558,6 +1691,106 @@ mod tests {
         assert_eq!(s.block_entries, 0, "no trace runs in instrumented mode");
         let mix = m.instruction_mix();
         assert!(mix.iter().sum::<u64>() > 0, "mix collector saw the run");
+    }
+
+    /// A lock-shaped workload touching every memory micro-op the
+    /// translator emits: `tas` acquire, a fusable `lw;addi;sw` counter
+    /// increment ([`Op::Rmw`]), unwatched scratch traffic, a watched
+    /// release store of zero, and a watched load that reads zero (which
+    /// the telemetry filter must drop).
+    fn lock_workload(iters: i32) -> DecodedProgram {
+        assemble(|a| {
+            a.li(Reg::S0, iters);
+            a.li(Reg::A0, 16); // lock word (watched)
+            a.li(Reg::S1, 64); // shared counter (watched)
+            a.li(Reg::S2, 128); // private scratch (unwatched)
+            let top = a.bind_new();
+            let spin = a.bind_new();
+            a.tas(Reg::V0, Reg::A0);
+            a.bnez(Reg::V0, spin);
+            a.lw(Reg::T0, Reg::S1, 0); // fuses with the next two
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.sw(Reg::T0, Reg::S1, 0);
+            a.lw(Reg::T1, Reg::S2, 0);
+            a.addi(Reg::T1, Reg::T1, 3);
+            a.sw(Reg::T1, Reg::S2, 0);
+            a.sw(Reg::ZERO, Reg::A0, 0); // release: watched store of 0
+            a.lw(Reg::T2, Reg::A0, 0); // watched load of 0: filtered out
+            a.addi(Reg::S0, Reg::S0, -1);
+            a.bnez(Reg::S0, top);
+            a.halt();
+        })
+    }
+
+    #[test]
+    fn telemetry_level_runs_translated_with_identical_access_stream() {
+        let p = lock_workload(200);
+        let profile = CpuProfile::i860;
+        let mut mi = Machine::new(profile(), 4096);
+        let mut mt = Machine::new(profile(), 4096);
+        for m in [&mut mi, &mut mt] {
+            m.enable_access_log();
+            m.set_access_watch(&[16, 64]);
+        }
+        let mut ri = RegFile::new(p.entry());
+        let mut rt = RegFile::new(p.entry());
+        let mut cache = TranslationCache::new(&p, &profile(), &[]).with_threshold(1);
+        // Odd small slices land deadlines at every offset within the
+        // loop (trace worst-case cycles exceed the budget, so these run
+        // through the telemetry interpreter), then an unbounded slice
+        // lets compiled traces chain for the bulk of the run; the
+        // drained access stream must match at every boundary.
+        let slices = [91u64, 103, 97, 115, 101, 93, 107, 99, u64::MAX];
+        let mut deadline = 0u64;
+        for (i, slice) in slices.into_iter().enumerate() {
+            deadline = deadline.saturating_add(slice);
+            let ei = mi.run(&p, &mut ri, deadline);
+            let et = mt.run_translated(&p, &mut cache, &mut rt, deadline);
+            assert_eq!(ei, et, "exit diverged at slice {i}");
+            assert_eq!(mi.clock(), mt.clock(), "clock diverged at slice {i}");
+            assert_eq!(ri, rt, "registers diverged at slice {i}");
+            assert_eq!(
+                mi.take_accesses(),
+                mt.take_accesses(),
+                "access stream diverged at slice {i}"
+            );
+            if !matches!(ei, Exit::Budget) {
+                break;
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(
+            s.deopt_instrumented, 0,
+            "telemetry level must not delegate to the instrumented loop"
+        );
+        assert!(
+            s.block_entries > 0,
+            "telemetry level must actually run compiled traces: {s:?}"
+        );
+        assert!(
+            s.translated_instructions > s.interpreted_instructions,
+            "the hot loop should retire mostly translated: {s:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_unwatched_run_logs_nothing_and_stays_translated() {
+        // A watch that misses every address the workload touches: the
+        // quick-reject keeps the hot path log-free and the stream empty.
+        let p = lock_workload(50);
+        let profile = CpuProfile::i860;
+        let mut m = Machine::new(profile(), 4096);
+        m.enable_access_log();
+        m.set_access_watch(&[2048]);
+        let mut regs = RegFile::new(p.entry());
+        let mut cache = TranslationCache::new(&p, &profile(), &[]).with_threshold(1);
+        assert_eq!(
+            m.run_translated(&p, &mut cache, &mut regs, u64::MAX),
+            Exit::Halt
+        );
+        assert!(m.take_accesses().is_empty());
+        assert_eq!(cache.stats().deopt_instrumented, 0);
+        assert!(cache.stats().block_entries > 0);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Golden fingerprints for the explorer over every bundled model
+//! target, pinned before the kernel's O(1) scheduler refactor. The
+//! intrusive ready queue and futex-style wait buckets must reproduce
+//! the exact dispatch and wake order the VecDeque/HashMap structures
+//! produced, so every counter of every exploration — schedules,
+//! pruning, dedup, snapshot bytes, violations with their minimized
+//! schedules — must match these strings byte for byte.
+//!
+//! Regenerate (only when the *search itself* legitimately changes, e.g.
+//! a new model target) with:
+//!
+//! ```sh
+//! cargo test -p ras-model --test sched_golden -- --nocapture print_fingerprints
+//! ```
+
+use ras_model::{check_target, CheckConfig, ModelTarget, TargetReport};
+
+/// Everything dispatch-order-sensitive about an exploration. The one
+/// field deliberately absent is `snapshot_bytes`: the checkpoint
+/// footprint is an honest size report, and shrinking it is the point
+/// of the flat-slab checkpoint refactor, so it is asserted separately
+/// (smaller-or-equal) rather than pinned.
+fn fingerprint(r: &TargetReport) -> String {
+    let mut out = format!(
+        "schedules={} pruned={} cycles={} livelock={} cap={} \
+         checkpoints={} undo={} deduped={} rseq={}",
+        r.schedules,
+        r.pruned,
+        r.cycles,
+        r.livelock_suspects,
+        r.hit_schedule_cap,
+        r.checkpoints,
+        r.undo_replayed,
+        r.states_deduped,
+        r.rseq_aborts
+    );
+    for v in &r.violations {
+        out.push_str(&format!(
+            " {}@{}:{:?}",
+            v.diag.kind.code(),
+            v.found_after,
+            v.schedule.decisions
+        ));
+    }
+    for race in &r.races {
+        out.push_str(&format!(" {race}"));
+    }
+    out
+}
+
+/// Prints the current fingerprints in GOLDEN-table form; ignored in
+/// normal runs, used only to regenerate the table below.
+#[test]
+#[ignore = "generator for the GOLDEN table"]
+fn print_fingerprints() {
+    for target in ModelTarget::all() {
+        let r = check_target(target, &CheckConfig::default());
+        println!("    (\"{target}\", \"{}\"),", fingerprint(&r));
+    }
+}
+
+#[test]
+fn explorer_results_match_pre_refactor_golden() {
+    const GOLDEN: &[(&str, &str)] = &[
+        ("ras-registered+tas", "schedules=806 pruned=104 cycles=198 livelock=0 cap=false checkpoints=909 undo=3247 deduped=198 rseq=0"),
+        ("ras-inline+tas", "schedules=803 pruned=94 cycles=198 livelock=0 cap=false checkpoints=896 undo=3230 deduped=198 rseq=0"),
+        ("ras-inline+cas", "schedules=803 pruned=94 cycles=198 livelock=0 cap=false checkpoints=896 undo=3230 deduped=198 rseq=0"),
+        ("ras-inline+xchg", "schedules=806 pruned=104 cycles=198 livelock=0 cap=false checkpoints=909 undo=3247 deduped=198 rseq=0"),
+        ("ras-inline+faa", "schedules=181 pruned=24 cycles=0 livelock=0 cap=false checkpoints=204 undo=229 deduped=0 rseq=0"),
+        ("kernel-emulation+tas", "schedules=864 pruned=30 cycles=216 livelock=0 cap=false checkpoints=893 undo=3499 deduped=216 rseq=0"),
+        ("interlocked+tas", "schedules=709 pruned=86 cycles=186 livelock=0 cap=false checkpoints=794 undo=2718 deduped=186 rseq=0"),
+        ("lamport-a+tas", "schedules=1422 pruned=330 cycles=346 livelock=0 cap=false checkpoints=1751 undo=8377 deduped=346 rseq=0"),
+        ("lamport-b+tas", "schedules=1994 pruned=402 cycles=469 livelock=0 cap=false checkpoints=2395 undo=16337 deduped=469 rseq=0"),
+        ("user-level+tas", "schedules=1364 pruned=104 cycles=258 livelock=0 cap=false checkpoints=1467 undo=9384 deduped=258 rseq=0"),
+        ("hardware-bit+tas", "schedules=806 pruned=104 cycles=198 livelock=0 cap=false checkpoints=909 undo=3247 deduped=198 rseq=0"),
+        ("rseq+tas", "schedules=1743 pruned=78 cycles=336 livelock=0 cap=false checkpoints=1820 undo=12749 deduped=336 rseq=132"),
+        ("ras-inline+tas+none", "schedules=785 pruned=98 cycles=186 livelock=0 cap=false checkpoints=882 undo=3139 deduped=188 rseq=0 mutex-violation@192:[(8, Preempt(ThreadId(2))), (14, Preempt(ThreadId(1)))] lost-update@194:[(8, Preempt(ThreadId(2))), (13, Preempt(ThreadId(1)))] error[data-race] @119: unordered read of shared word 0x4 (conflicting access at pc 139) error[data-race] @123: unordered write of shared word 0x4 (conflicting access at pc 139) error[data-race] @128: unordered write of shared word 0xc (conflicting access at pc 137) error[data-race] @129: unordered read of shared word 0x8 (conflicting access at pc 131) error[data-race] @131: unordered write of shared word 0x8 (conflicting access at pc 131) error[data-race] @132: unordered read of shared word 0xc (conflicting access at pc 128) error[data-race] @137: unordered write of shared word 0xc (conflicting access at pc 128) error[data-race] @139: unordered write of shared word 0x4 (conflicting access at pc 123) error[data-race] @119: unordered read of shared word 0x4 (conflicting access at pc 123) error[data-race] @139: unordered write of shared word 0x4 (conflicting access at pc 119) error[data-race] @123: unordered write of shared word 0x4 (conflicting access at pc 119) error[data-race] @123: unordered write of shared word 0x4 (conflicting access at pc 123) error[data-race] @139: unordered write of shared word 0x4 (conflicting access at pc 139) error[data-race] @128: unordered write of shared word 0xc (conflicting access at pc 128) error[data-race] @137: unordered write of shared word 0xc (conflicting access at pc 137) error[data-race] @132: unordered read of shared word 0xc (conflicting access at pc 137) error[data-race] @131: unordered write of shared word 0x8 (conflicting access at pc 129)"),
+    ];
+    // Pre-refactor snapshot footprint per target: the flat-slab
+    // checkpoints must never be larger than the HashMap clones were.
+    const SNAPSHOT_CEILING: &[u64] = &[
+        1036296, 1021424, 1021424, 1036296, 231672, 1018668, 905152, 1997124, 2733404, 1675392,
+        1036296, 2076904, 1005364,
+    ];
+    let targets = ModelTarget::all();
+    assert_eq!(targets.len(), GOLDEN.len(), "target set changed");
+    for (i, (target, (name, expected))) in targets.into_iter().zip(GOLDEN).enumerate() {
+        assert_eq!(&target.to_string(), name, "target order changed");
+        let r = check_target(target, &CheckConfig::default());
+        assert_eq!(
+            &fingerprint(&r),
+            expected,
+            "exploration of {target} diverged from the pre-refactor golden"
+        );
+        assert!(
+            r.snapshot_bytes <= SNAPSHOT_CEILING[i],
+            "checkpoint footprint of {target} grew: {} > {}",
+            r.snapshot_bytes,
+            SNAPSHOT_CEILING[i]
+        );
+    }
+}

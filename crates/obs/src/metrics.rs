@@ -56,6 +56,10 @@ pub struct Metrics {
     /// charged while they ran).
     pub run_cycles: u64,
     threads: Vec<ThreadMetrics>,
+    /// Thread id → slot in `threads` (`u32::MAX` = unseen). Keeps the
+    /// per-event lookup O(1); without it every event paid an O(threads)
+    /// scan, which at 10k clients dominated the whole telemetry run.
+    index: Vec<u32>,
     last_dispatched: Option<u32>,
 }
 
@@ -308,22 +312,29 @@ impl Metrics {
     }
 
     fn thread_mut(&mut self, id: u32) -> &mut ThreadMetrics {
-        match self.threads.iter().position(|t| t.thread == id) {
-            Some(i) => &mut self.threads[i],
-            None => {
-                self.threads.push(ThreadMetrics {
-                    thread: id,
-                    ..ThreadMetrics::default()
-                });
-                self.threads.sort_by_key(|t| t.thread);
-                let i = self
-                    .threads
-                    .iter()
-                    .position(|t| t.thread == id)
-                    .expect("just inserted");
-                &mut self.threads[i]
+        if let Some(&slot) = self.index.get(id as usize) {
+            if slot != u32::MAX {
+                return &mut self.threads[slot as usize];
             }
         }
+        if id as usize >= self.index.len() {
+            self.index.resize(id as usize + 1, u32::MAX);
+        }
+        // First sight of this thread. Ids are dense and first appear in
+        // spawn order, so the sorted insert is an append in practice;
+        // the slice stays id-sorted either way.
+        let pos = self.threads.partition_point(|t| t.thread < id);
+        self.threads.insert(
+            pos,
+            ThreadMetrics {
+                thread: id,
+                ..ThreadMetrics::default()
+            },
+        );
+        for (offset, t) in self.threads[pos..].iter().enumerate() {
+            self.index[t.thread as usize] = (pos + offset) as u32;
+        }
+        &mut self.threads[pos]
     }
 }
 

@@ -229,6 +229,10 @@ pub struct ThreadTelemetry {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Telemetry {
     locks: Vec<LockTelemetry>,
+    /// The watched addresses are exactly every word in the range — the
+    /// "array of lock words" layout — so the per-access lookup is an
+    /// offset computation instead of a binary search.
+    dense: bool,
     threads: Vec<ThreadTelemetry>,
     /// Ready-queue depth sampled at every dispatch.
     pub runqueue_depth: Log2Histogram,
@@ -262,8 +266,14 @@ impl Telemetry {
         let wait_cycles_id = registry.counter("lock_wait_cycles_total");
         let hold_cycles_id = registry.counter("lock_hold_cycles_total");
         let runqueue_gauge = registry.gauge("runqueue_depth");
+        let dense = !addrs.is_empty()
+            && addrs
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| a == addrs[0] + 4 * i as u32);
         Telemetry {
             locks: addrs.into_iter().map(LockTelemetry::new).collect(),
+            dense,
             threads: Vec::new(),
             runqueue_depth: Log2Histogram::new(),
             quantum_used: Log2Histogram::new(),
@@ -291,8 +301,17 @@ impl Telemetry {
     /// Consumes one drained access performed by `thread`, replaying the
     /// lock-word value transition if the address is watched.
     pub fn observe(&mut self, thread: u32, a: &MemAccess) {
-        let Ok(i) = self.locks.binary_search_by_key(&a.addr, |l| l.addr) else {
-            return;
+        let i = if self.dense {
+            let off = a.addr.wrapping_sub(self.locks[0].addr);
+            if off >= 4 * self.locks.len() as u32 || off & 3 != 0 {
+                return;
+            }
+            (off >> 2) as usize
+        } else {
+            match self.locks.binary_search_by_key(&a.addr, |l| l.addr) {
+                Ok(i) => i,
+                Err(_) => return,
+            }
         };
         if self.capture_raw {
             self.raw.push((thread, *a));
@@ -373,8 +392,12 @@ impl Telemetry {
     fn thread_mut(&mut self, thread: u32) -> &mut ThreadTelemetry {
         let i = thread as usize;
         if i >= self.threads.len() {
+            // Stamp ids on the newly created tail only: restamping every
+            // slot per growth was O(threads²) across a 10k-client spawn
+            // wave.
+            let old_len = self.threads.len();
             self.threads.resize_with(i + 1, ThreadTelemetry::default);
-            for (t, slot) in self.threads.iter_mut().enumerate() {
+            for (t, slot) in self.threads.iter_mut().enumerate().skip(old_len) {
                 slot.thread = t as u32;
             }
         }
